@@ -1,0 +1,46 @@
+# The paper ships each patternlet with a Makefile; this is the repo-wide
+# equivalent. Everything is stdlib-only Go — no external dependencies.
+
+GO ?= go
+
+.PHONY: all build vet test race bench figures study lab examples catalog clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/... ./patternlets
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+figures:
+	$(GO) run ./cmd/figures
+
+study:
+	$(GO) run ./cmd/evalstudy
+
+lab:
+	$(GO) run ./cmd/labmatrix
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/redpixels
+	$(GO) run ./examples/montecarlo
+	$(GO) run ./examples/mergesort
+	$(GO) run ./examples/heat
+	$(GO) run ./examples/sorting
+
+catalog:
+	$(GO) run ./cmd/patternlet doc > docs/CATALOG.md
+
+clean:
+	$(GO) clean ./...

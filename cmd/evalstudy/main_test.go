@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func exec(args ...string) (int, string, string) {
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestDefaultRunReproducesPaper(t *testing.T) {
+	code, stdout, _ := exec()
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{
+		"implied common standard deviation",
+		"p = 0.293",
+		"matches the paper",
+		"2.95", "3.05",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestStudentsFlagPrintsScores(t *testing.T) {
+	code, stdout, _ := exec("-students", "-seed", "3")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stdout, "per-student totals") {
+		t.Fatalf("per-student section missing:\n%s", stdout)
+	}
+}
+
+func TestSeedChangesNothingInSummary(t *testing.T) {
+	_, a, _ := exec("-seed", "1")
+	_, b, _ := exec("-seed", "2")
+	for _, out := range []string{a, b} {
+		if !strings.Contains(out, "p = 0.293") {
+			t.Fatal("summary must be seed-independent")
+		}
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	code, _, _ := exec("-bogus")
+	if code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+}

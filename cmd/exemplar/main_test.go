@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func execCLI(args ...string) (int, string, string) {
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestListAndNoArgs(t *testing.T) {
+	code, stdout, _ := execCLI("list")
+	if code != 0 || !strings.Contains(stdout, "histogram") || !strings.Contains(stdout, "mandelbrot") {
+		t.Fatalf("list: %d\n%s", code, stdout)
+	}
+	if code, _, _ := execCLI(); code != 2 {
+		t.Fatal("no args should exit 2")
+	}
+}
+
+func TestUnknownExemplar(t *testing.T) {
+	code, _, stderr := execCLI("frobnicate")
+	if code != 2 || !strings.Contains(stderr, "unknown exemplar") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestHistogramRuns(t *testing.T) {
+	code, stdout, _ := execCLI("histogram", "-threads", "3")
+	if code != 0 || !strings.Contains(stdout, "identical to sequential") {
+		t.Fatalf("code=%d:\n%s", code, stdout)
+	}
+}
+
+func TestLifeRuns(t *testing.T) {
+	code, stdout, _ := execCLI("life", "-threads", "2", "-gens", "4")
+	if code != 0 || !strings.Contains(stdout, "generation 4: population") {
+		t.Fatalf("code=%d:\n%s", code, stdout)
+	}
+}
+
+func TestHeatRuns(t *testing.T) {
+	code, stdout, _ := execCLI("heat", "-np", "4", "-steps", "50")
+	if code != 0 || !strings.Contains(stdout, "total heat 1000.000000") {
+		t.Fatalf("code=%d:\n%s", code, stdout)
+	}
+}
+
+func TestMandelbrotRuns(t *testing.T) {
+	code, stdout, _ := execCLI("mandelbrot", "-np", "3")
+	if code != 0 || !strings.Contains(stdout, "master + 2 workers") {
+		t.Fatalf("code=%d:\n%s", code, stdout)
+	}
+	if !strings.Contains(stdout, "@") {
+		t.Fatal("no interior pixels rendered")
+	}
+}
+
+func TestDotRuns(t *testing.T) {
+	code, stdout, _ := execCLI("dot", "-np", "4")
+	if code != 0 || !strings.Contains(stdout, "dot product") {
+		t.Fatalf("code=%d:\n%s", code, stdout)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if code, _, _ := execCLI("heat", "-bogus"); code != 2 {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,202 @@
+// Command figures regenerates every figure and table of the paper's
+// evaluation from the reproduced system. Each figure id maps to the
+// patternlet execution (task count + directive toggles) that produced it,
+// or to the analysis that computes it.
+//
+// Usage:
+//
+//	figures            # regenerate everything, in paper order
+//	figures -fig 8,9   # only figures 8 and 9
+//	figures -list      # show the index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/matrix"
+	"repro/internal/study"
+	"repro/internal/vtime"
+	"repro/internal/workload"
+)
+
+// figure is one regenerable artifact.
+type figure struct {
+	id      string
+	caption string
+	gen     func(w io.Writer) error
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	only := fs.String("fig", "", "comma-separated figure ids (default: all)")
+	list := fs.Bool("list", false, "list the figure index and exit")
+	seed := fs.Int64("seed", 2015, "seed for the study simulation")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	figs := index(*seed)
+	if *list {
+		for _, f := range figs {
+			fmt.Fprintf(stdout, "%-8s %s\n", f.id, f.caption)
+		}
+		return 0
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		id = strings.TrimSpace(id)
+		if id != "" {
+			want[id] = true
+		}
+	}
+	matched := 0
+	for _, f := range figs {
+		if len(want) > 0 && !want[f.id] {
+			continue
+		}
+		matched++
+		fmt.Fprintf(stdout, "==== Figure %s: %s ====\n", f.id, f.caption)
+		if err := f.gen(stdout); err != nil {
+			fmt.Fprintf(stderr, "figures: figure %s: %v\n", f.id, err)
+			return 1
+		}
+		fmt.Fprintln(stdout)
+	}
+	if matched == 0 {
+		fmt.Fprintln(stderr, "figures: no figure matched (-list shows ids)")
+		return 1
+	}
+	return 0
+}
+
+// runPatternlet regenerates a figure that is a patternlet's output.
+func runPatternlet(key string, np int, toggles map[string]bool) func(io.Writer) error {
+	return func(w io.Writer) error {
+		return collection.Default.Run(key, core.NewSafeWriter(w), core.RunOptions{
+			NumTasks: np,
+			Toggles:  toggles,
+		})
+	}
+}
+
+func on(names ...string) map[string]bool {
+	m := map[string]bool{}
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func index(seed int64) []figure {
+	return []figure{
+		{"2", "spmd.c (OpenMP), 1 thread — parallel directive commented out",
+			runPatternlet("spmd.omp", 1, nil)},
+		{"3", "spmd.c (OpenMP), 4 threads — parallel directive enabled",
+			runPatternlet("spmd.omp", 4, on("parallel"))},
+		{"5", "spmd.c (MPI), 1 process",
+			runPatternlet("spmd.mpi", 1, nil)},
+		{"6", "spmd.c (MPI), 4 processes on node-01..node-04",
+			runPatternlet("spmd.mpi", 4, nil)},
+		{"8", "barrier.c (OpenMP), 4 threads, no barrier — phases interleave",
+			runPatternlet("barrier.omp", 4, nil)},
+		{"9", "barrier.c (OpenMP), 4 threads, barrier enabled — all BEFORE precede all AFTER",
+			runPatternlet("barrier.omp", 4, on("barrier"))},
+		{"11", "barrier.c (MPI), 4 processes, no barrier",
+			runPatternlet("barrier.mpi", 4, nil)},
+		{"12", "barrier.c (MPI), 4 processes, barrier enabled",
+			runPatternlet("barrier.mpi", 4, on("barrier"))},
+		{"14", "parallelLoopEqualChunks.c (OpenMP), 1 thread",
+			runPatternlet("parallelLoopEqualChunks.omp", 1, nil)},
+		{"15", "parallelLoopEqualChunks.c (OpenMP), 2 threads",
+			runPatternlet("parallelLoopEqualChunks.omp", 2, nil)},
+		{"17", "parallelLoopEqualChunks.c (MPI), 2 processes",
+			runPatternlet("parallelLoopEqualChunks.mpi", 2, nil)},
+		{"18", "parallelLoopEqualChunks.c (MPI), 4 processes",
+			runPatternlet("parallelLoopEqualChunks.mpi", 4, nil)},
+		{"19", "the Reduction pattern: sequential O(t) vs tree O(lg t) combining (virtual time)",
+			figure19},
+		{"21", "reduction.c (OpenMP), 1 thread — sequential and parallel sums agree",
+			runPatternlet("reduction.omp", 1, nil)},
+		{"22", "reduction.c (OpenMP), 4 threads, no reduction clause — the race corrupts the sum",
+			runPatternlet("reduction.omp", 4, on("parallel"))},
+		{"21b", "reduction.c (OpenMP), 4 threads, reduction clause enabled — correct again",
+			runPatternlet("reduction.omp", 4, on("parallel", "reduction"))},
+		{"24", "reduction.c (MPI), 10 processes — sum of squares 385, max 100",
+			runPatternlet("reduction.mpi", 10, nil)},
+		{"26", "gather.c (MPI), 2 processes",
+			runPatternlet("gather.mpi", 2, nil)},
+		{"27", "gather.c (MPI), 4 processes",
+			runPatternlet("gather.mpi", 4, nil)},
+		{"28", "gather.c (MPI), 6 processes",
+			runPatternlet("gather.mpi", 6, nil)},
+		{"30", "critical2.c (OpenMP) — atomic vs critical cost per deposit",
+			runPatternlet("critical2.omp", 8, nil)},
+		{"t4b", "§IV.B: exam-score comparison, Fall (no patternlets) vs Spring (with patternlets)",
+			func(w io.Writer) error {
+				r, err := study.Run(seed)
+				if err != nil {
+					return err
+				}
+				_, err = io.WriteString(w, r.Table())
+				return err
+			}},
+		{"sched", "schedule-choice experiment: makespan of each loop schedule per workload shape (virtual time)",
+			func(w io.Writer) error {
+				table, err := workload.ScheduleTable(256, 4)
+				if err != nil {
+					return err
+				}
+				_, err = io.WriteString(w, table)
+				return err
+			}},
+		{"lab", "§IV.A: CS2 matrix lab — speedup vs threads (measured + virtual-core model)",
+			func(w io.Writer) error {
+				results, err := matrix.RunLab(400, []int{1, 2, 4, 8})
+				if err != nil {
+					return err
+				}
+				for _, r := range results {
+					if _, err := io.WriteString(w, r.Table()+"\n"); err != nil {
+						return err
+					}
+				}
+				return nil
+			}},
+	}
+}
+
+// figure19 reproduces the complexity contrast of Figure 19: combining t
+// local values sequentially takes t-1 combine steps on the critical path;
+// the tree takes ceil(lg t). The virtual-time simulator executes both DAGs
+// on t cores.
+func figure19(w io.Writer) error {
+	fmt.Fprintf(w, "%8s %16s %16s %10s\n", "tasks", "seq makespan", "tree makespan", "ratio")
+	sizes := []int{8, 16, 32, 64, 128, 256, 512, 1024}
+	sort.Ints(sizes)
+	const combineCost = 1
+	for _, t := range sizes {
+		seq, err := vtime.Simulate(vtime.ReductionChain(t, combineCost), t)
+		if err != nil {
+			return err
+		}
+		tree, err := vtime.Simulate(vtime.ReductionTree(t, combineCost), t)
+		if err != nil {
+			return err
+		}
+		ratio := float64(seq.Makespan) / float64(tree.Makespan)
+		fmt.Fprintf(w, "%8d %16d %16d %10.2f\n", t, seq.Makespan, tree.Makespan, ratio)
+	}
+	fmt.Fprintln(w, "(same total additions t-1 in both cases; the tree overlaps them in lg t rounds)")
+	return nil
+}

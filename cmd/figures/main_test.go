@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func exec(args ...string) (int, string, string) {
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestListIndex(t *testing.T) {
+	code, stdout, _ := exec("-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, id := range []string{"2", "19", "24", "30", "t4b", "lab"} {
+		if !strings.Contains(stdout, id) {
+			t.Fatalf("index missing %q:\n%s", id, stdout)
+		}
+	}
+}
+
+func TestSelectedFigures(t *testing.T) {
+	code, stdout, _ := exec("-fig", "2,24")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stdout, "Hello from thread 0 of 1") {
+		t.Fatalf("figure 2 output missing:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "The sum of the squares is 385") {
+		t.Fatalf("figure 24 output missing:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "Figure 30") {
+		t.Fatal("unselected figure rendered")
+	}
+}
+
+func TestFigure19Table(t *testing.T) {
+	code, stdout, _ := exec("-fig", "19")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	// t=1024: chain 1023, tree 10.
+	if !strings.Contains(stdout, "1023") || !strings.Contains(stdout, "10") {
+		t.Fatalf("figure 19 values missing:\n%s", stdout)
+	}
+}
+
+func TestStudyFigure(t *testing.T) {
+	code, stdout, _ := exec("-fig", "t4b")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stdout, "p = 0.293") || !strings.Contains(stdout, "not significant") {
+		t.Fatalf("study table wrong:\n%s", stdout)
+	}
+}
+
+func TestNoMatch(t *testing.T) {
+	code, _, stderr := exec("-fig", "999")
+	if code != 1 || !strings.Contains(stderr, "no figure matched") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestIndexCoversEveryPaperFigure(t *testing.T) {
+	figs := index(1)
+	want := []string{"2", "3", "5", "6", "8", "9", "11", "12", "14", "15",
+		"17", "18", "19", "21", "22", "21b", "24", "26", "27", "28", "30", "t4b", "lab"}
+	have := map[string]bool{}
+	for _, f := range figs {
+		have[f.id] = true
+		if f.caption == "" || f.gen == nil {
+			t.Errorf("figure %s incomplete", f.id)
+		}
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("figure %s missing from the index", id)
+		}
+	}
+}
+
+// TestAllFiguresRender runs the complete harness end to end: every figure
+// in the index renders without error.
+func TestAllFiguresRender(t *testing.T) {
+	code, stdout, stderr := exec()
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	want := len(index(1))
+	if got := strings.Count(stdout, "==== Figure "); got != want {
+		t.Fatalf("rendered %d figures, index has %d", got, want)
+	}
+	// Spot-check one artifact per category: output figure, complexity
+	// table, study, schedule experiment, lab.
+	for _, frag := range []string{
+		"Hello from process 3 of 4 on node-04",
+		"1023",
+		"p = 0.293",
+		"<- best",
+		"model-speedup",
+	} {
+		if !strings.Contains(stdout, frag) {
+			t.Fatalf("full render missing %q", frag)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command labmatrix runs the paper's §IV.A Tuesday lab: time sequential
+// matrix addition and transpose, parallelize them, and sweep thread counts
+// to produce the students' speedup chart data. Measured wall times come
+// from this host; the speedup column comes from the virtual-core model
+// (see DESIGN.md — this container has one hardware core).
+//
+// Usage:
+//
+//	labmatrix [-size N] [-threads 1,2,4,8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/matrix"
+	"repro/internal/metrics"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("labmatrix", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	size := fs.Int("size", 1000, "square matrix dimension")
+	threadList := fs.String("threads", "1,2,4,8", "comma-separated thread counts to sweep")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var threads []int
+	for _, part := range strings.Split(*threadList, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			fmt.Fprintf(stderr, "labmatrix: bad thread count %q\n", part)
+			return 2
+		}
+		threads = append(threads, n)
+	}
+	if len(threads) == 0 {
+		fmt.Fprintln(stderr, "labmatrix: no thread counts given")
+		return 2
+	}
+	results, err := matrix.RunLab(*size, threads)
+	if err != nil {
+		fmt.Fprintf(stderr, "labmatrix: %v\n", err)
+		return 1
+	}
+	for _, r := range results {
+		fmt.Fprintln(stdout, r.Table())
+		if table, err := analyzeModel(r); err == nil {
+			fmt.Fprintln(stdout, table)
+		}
+	}
+	return 0
+}
+
+// analyzeModel runs the students' spreadsheet analysis (speedup,
+// efficiency, Karp–Flatt, Amdahl fit) over the virtual-core model's
+// timings. It needs a 1-thread row as the baseline.
+func analyzeModel(r matrix.LabResult) (string, error) {
+	var pts []metrics.Point
+	for _, row := range r.Rows {
+		if row.ModelSpeedup <= 0 {
+			continue
+		}
+		// The model's relative time is 1/speedup (baseline-normalized).
+		pts = append(pts, metrics.Point{Procs: row.Threads, Time: 1 / row.ModelSpeedup})
+	}
+	s := metrics.Series{Label: "virtual-core model analysis (" + r.Op + ")", Points: pts}
+	return s.Table()
+}

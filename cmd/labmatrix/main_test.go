@@ -1,0 +1,38 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func exec(args ...string) (int, string, string) {
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestLabSweep(t *testing.T) {
+	code, stdout, _ := exec("-size", "64", "-threads", "1,2,4")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stdout, "matrix addition") || !strings.Contains(stdout, "matrix transpose") {
+		t.Fatalf("both operations expected:\n%s", stdout)
+	}
+	if strings.Count(stdout, "model-speedup") != 2 {
+		t.Fatalf("two tables expected:\n%s", stdout)
+	}
+}
+
+func TestBadThreadList(t *testing.T) {
+	if code, _, stderr := exec("-threads", "1,zero"); code != 2 || !strings.Contains(stderr, "bad thread count") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+	if code, _, _ := exec("-threads", "0"); code != 2 {
+		t.Fatal("thread count 0 accepted")
+	}
+	if code, _, stderr := exec("-threads", ","); code != 2 || !strings.Contains(stderr, "no thread counts") {
+		t.Fatalf("empty list: code=%d stderr=%q", code, stderr)
+	}
+}

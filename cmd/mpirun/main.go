@@ -1,0 +1,155 @@
+// Command mpirun mimics the launcher the paper uses on its Beowulf
+// cluster: it runs an MPI (or MPI+OpenMP) patternlet with -np processes on
+// the simulated cluster. Three execution modes, increasingly faithful to
+// distributed hardware:
+//
+//	mpirun -np 4 spmd.mpi            # goroutine ranks, in-process channels
+//	mpirun -np 4 -tcp spmd.mpi       # goroutine ranks over loopback TCP
+//	mpirun -np 4 -procs spmd.mpi     # one OS process per rank, real sockets
+//
+// In -procs mode mpirun re-executes itself once per rank; the ranks
+// rendezvous over TCP and then communicate only through sockets, so the
+// world has genuinely disjoint address spaces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/launch"
+)
+
+func main() {
+	if launch.IsWorker() {
+		os.Exit(workerMain(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// options holds the parsed command line, shared by launcher and worker
+// modes (workers receive the identical argv).
+type options struct {
+	np      int
+	useTCP  bool
+	nodes   int
+	procs   bool
+	toggles map[string]bool
+	key     string
+}
+
+func parseArgs(args []string, stderr io.Writer) (*options, int) {
+	fs := flag.NewFlagSet("mpirun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	np := fs.Int("np", 4, "number of processes")
+	useTCP := fs.Bool("tcp", false, "carry messages over loopback TCP instead of in-process channels")
+	nodes := fs.Int("nodes", 0, "simulated cluster node count (0 = one node per process)")
+	procs := fs.Bool("procs", false, "run each rank as a separate OS process")
+	on := fs.String("on", "", "comma-separated directives to enable")
+	if err := fs.Parse(args); err != nil {
+		return nil, 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "mpirun: usage: mpirun -np N [-tcp|-procs] [-nodes K] [-on d1,d2] PATTERNLET.mpi")
+		return nil, 2
+	}
+	toggles := map[string]bool{}
+	for _, name := range splitList(*on) {
+		toggles[name] = true
+	}
+	return &options{
+		np: *np, useTCP: *useTCP, nodes: *nodes, procs: *procs,
+		toggles: toggles, key: fs.Arg(0),
+	}, 0
+}
+
+func lookup(key string, stderr io.Writer) (*core.Patternlet, int) {
+	p, ok := collection.Default.Get(key)
+	if !ok {
+		fmt.Fprintf(stderr, "mpirun: no patternlet %q\n", key)
+		return nil, 1
+	}
+	if p.Model != core.MPI && p.Model != core.Hybrid {
+		fmt.Fprintf(stderr, "mpirun: %q is a %s patternlet; mpirun launches MPI and MPI+OpenMP programs\n", key, p.Model)
+		return nil, 1
+	}
+	return p, 0
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	opts, code := parseArgs(args, stderr)
+	if code != 0 {
+		return code
+	}
+	p, code := lookup(opts.key, stderr)
+	if code != 0 {
+		return code
+	}
+	if opts.procs {
+		// Launcher mode: spawn one copy of ourselves per rank with the
+		// same argv; the workers detect their role from the environment.
+		if err := launch.Spawn(opts.np, args, stdout, stderr); err != nil {
+			fmt.Fprintf(stderr, "mpirun: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	err := core.RunPatternlet(p, core.NewSafeWriter(stdout), core.RunOptions{
+		NumTasks: opts.np,
+		Toggles:  opts.toggles,
+		UseTCP:   opts.useTCP,
+		Nodes:    opts.nodes,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "mpirun: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// workerMain is the per-rank entry in -procs mode: rendezvous, run this
+// rank of the patternlet over the remote transport, exit.
+func workerMain(args []string, stdout, stderr io.Writer) int {
+	opts, code := parseArgs(args, stderr)
+	if code != 0 {
+		return code
+	}
+	p, code := lookup(opts.key, stderr)
+	if code != 0 {
+		return code
+	}
+	rank, np, tr, err := launch.Connect()
+	if err != nil {
+		fmt.Fprintf(stderr, "mpirun (worker): %v\n", err)
+		return 1
+	}
+	defer tr.Close()
+	err = core.RunPatternlet(p, core.NewSafeWriter(stdout), core.RunOptions{
+		NumTasks: np,
+		Toggles:  opts.toggles,
+		Nodes:    opts.nodes,
+		Remote:   &core.RemoteExec{Rank: rank, NP: np, Transport: tr},
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "mpirun (worker rank %d): %v\n", rank, err)
+		return 1
+	}
+	return 0
+}
+
+func splitList(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			if part := s[start:i]; part != "" {
+				out = append(out, part)
+			}
+			start = i + 1
+		}
+	}
+	return out
+}

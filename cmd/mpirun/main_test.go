@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func execCLI(args ...string) (int, string, string) {
+	var out, errBuf bytes.Buffer
+	code := run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestMpirunSPMD(t *testing.T) {
+	code, stdout, _ := execCLI("-np", "4", "spmd.mpi")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Count(stdout, "Hello from process") != 4 {
+		t.Fatalf("wrong process count:\n%s", stdout)
+	}
+}
+
+func TestMpirunGatherSix(t *testing.T) {
+	code, stdout, _ := execCLI("-np", "6", "gather.mpi")
+	if code != 0 || !strings.Contains(stdout, "gatherArray:  0 1 2 10 11 12 20 21 22 30 31 32 40 41 42 50 51 52") {
+		t.Fatalf("Figure 28 output wrong (exit %d):\n%s", code, stdout)
+	}
+}
+
+func TestMpirunTCPAndNodes(t *testing.T) {
+	code, stdout, _ := execCLI("-np", "4", "-tcp", "-nodes", "2", "spmd.mpi")
+	if code != 0 || !strings.Contains(stdout, "node-02") || strings.Contains(stdout, "node-03") {
+		t.Fatalf("exit %d:\n%s", code, stdout)
+	}
+}
+
+func TestMpirunWithToggle(t *testing.T) {
+	code, stdout, _ := execCLI("-np", "2", "-on", "sendrecv", "messagePassing2.mpi")
+	if code != 0 || !strings.Contains(stdout, "exchanged") {
+		t.Fatalf("exit %d:\n%s", code, stdout)
+	}
+}
+
+func TestMpirunRejectsNonMPI(t *testing.T) {
+	code, _, stderr := execCLI("-np", "2", "spmd.omp")
+	if code != 1 || !strings.Contains(stderr, "OpenMP patternlet") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestMpirunAcceptsHybrid(t *testing.T) {
+	code, stdout, _ := execCLI("-np", "2", "spmd.hybrid")
+	if code != 0 || !strings.Contains(stdout, "Hello from thread") {
+		t.Fatalf("exit %d:\n%s", code, stdout)
+	}
+}
+
+func TestMpirunUnknownPatternlet(t *testing.T) {
+	code, _, stderr := execCLI("-np", "2", "void.mpi")
+	if code != 1 || !strings.Contains(stderr, "no patternlet") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestMpirunMissingArg(t *testing.T) {
+	code, _, stderr := execCLI("-np", "2")
+	if code != 2 || !strings.Contains(stderr, "usage") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}

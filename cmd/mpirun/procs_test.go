@@ -1,0 +1,117 @@
+package main
+
+// Integration tests for -procs mode: build the real mpirun binary and run
+// patternlets as separate OS processes communicating over sockets.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var buildOnce struct {
+	sync.Once
+	bin string
+	err error
+}
+
+// buildMpirun compiles cmd/mpirun once per test run.
+func buildMpirun(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "mpirun-test")
+		if err != nil {
+			buildOnce.err = err
+			return
+		}
+		bin := filepath.Join(dir, "mpirun")
+		cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/mpirun")
+		cmd.Dir = repoRoot(t)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			buildOnce.err = err
+			t.Logf("go build output:\n%s", out)
+			return
+		}
+		buildOnce.bin = bin
+	})
+	if buildOnce.err != nil {
+		t.Skipf("cannot build mpirun binary in this environment: %v", buildOnce.err)
+	}
+	return buildOnce.bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cmd/mpirun -> repo root is two levels up.
+	return filepath.Dir(filepath.Dir(wd))
+}
+
+func runProcs(t *testing.T, args ...string) string {
+	t.Helper()
+	bin := buildMpirun(t)
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("mpirun %v failed: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func TestProcsSPMDFourOSProcesses(t *testing.T) {
+	out := runProcs(t, "-np", "4", "-procs", "spmd.mpi")
+	for i := 0; i < 4; i++ {
+		want := "Hello from process " + string(rune('0'+i)) + " of 4"
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestProcsGatherMatchesFigure27(t *testing.T) {
+	out := runProcs(t, "-np", "4", "-procs", "gather.mpi")
+	if !strings.Contains(out, "gatherArray:  0 1 2 10 11 12 20 21 22 30 31 32") {
+		t.Fatalf("gatherArray wrong in:\n%s", out)
+	}
+}
+
+func TestProcsReductionFigure24(t *testing.T) {
+	out := runProcs(t, "-np", "10", "-procs", "reduction.mpi")
+	if !strings.Contains(out, "The sum of the squares is 385") ||
+		!strings.Contains(out, "The max of the squares is 100") {
+		t.Fatalf("Figure 24 values missing in:\n%s", out)
+	}
+}
+
+func TestProcsBarrierOrdering(t *testing.T) {
+	out := runProcs(t, "-np", "4", "-procs", "-on", "barrier", "barrier.mpi")
+	lastBefore, firstAfter := -1, 1<<30
+	lines := strings.Split(out, "\n")
+	for i, l := range lines {
+		if strings.Contains(l, "BEFORE") {
+			lastBefore = i
+		}
+		if strings.Contains(l, "AFTER") && i < firstAfter {
+			firstAfter = i
+		}
+	}
+	if lastBefore == -1 || firstAfter == 1<<30 {
+		t.Fatalf("missing phase lines in:\n%s", out)
+	}
+	if lastBefore > firstAfter {
+		t.Fatalf("barrier ordering violated across OS processes:\n%s", out)
+	}
+}
+
+func TestProcsHybridPatternlet(t *testing.T) {
+	out := runProcs(t, "-np", "2", "-procs", "spmd.hybrid")
+	if strings.Count(out, "Hello from thread") != 4 { // 2 procs x 2 threads
+		t.Fatalf("expected 4 hybrid hellos:\n%s", out)
+	}
+}

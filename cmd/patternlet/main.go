@@ -1,0 +1,239 @@
+// Command patternlet is the front door to the collection: it lists the 44
+// patternlets, prints their student exercises, and runs any of them with a
+// chosen task count and directive toggles — the command-line equivalent of
+// the live-coding demo the paper describes (uncomment the pragma,
+// recompile, rerun).
+//
+// Usage:
+//
+//	patternlet list [-model MPI|OpenMP|Pthreads|MPI+OpenMP] [-pattern NAME]
+//	patternlet run KEY [-np N] [-on d1,d2] [-off d1,d2] [-tcp] [-nodes N] [-trace]
+//	patternlet exercise KEY
+//	patternlet patterns
+//
+// Examples:
+//
+//	patternlet run spmd.omp -np 4 -on parallel     # Figure 3
+//	patternlet run barrier.omp -np 4               # Figure 8 (no barrier)
+//	patternlet run barrier.omp -np 4 -on barrier   # Figure 9
+//	patternlet run gather.mpi -np 6                # Figure 28
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "list":
+		return cmdList(args[1:], stdout, stderr)
+	case "run":
+		return cmdRun(args[1:], stdout, stderr)
+	case "exercise":
+		return cmdExercise(args[1:], stdout, stderr)
+	case "patterns":
+		return cmdPatterns(stdout)
+	case "doc":
+		return cmdDoc(stdout)
+	case "-h", "--help", "help":
+		usage(stdout)
+		return 0
+	default:
+		fmt.Fprintf(stderr, "patternlet: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `patternlet — run the parallel design pattern teaching programs
+
+commands:
+  list      [-model M] [-pattern P]   list the collection
+  run KEY   [-np N] [-on ...] [-off ...] [-tcp] [-nodes N] [-trace]
+  exercise KEY                        show the student exercise
+  patterns                            show the pattern taxonomy
+  doc                                 emit the catalog as markdown
+`)
+}
+
+func cmdList(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("list", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	model := fs.String("model", "", "filter by model (MPI, OpenMP, Pthreads, MPI+OpenMP)")
+	pattern := fs.String("pattern", "", "filter by design pattern name")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	var pats []*core.Patternlet
+	switch {
+	case *model != "":
+		pats = collection.Default.ByModel(core.Model(*model))
+	case *pattern != "":
+		pats = collection.Default.ByPattern(core.Pattern(*pattern))
+	default:
+		pats = collection.Default.All()
+	}
+	if len(pats) == 0 {
+		fmt.Fprintln(stderr, "no patternlets match")
+		return 1
+	}
+	fmt.Fprintf(stdout, "%-32s %-12s %s\n", "KEY", "MODEL", "SYNOPSIS")
+	for _, p := range pats {
+		fmt.Fprintf(stdout, "%-32s %-12s %s\n", p.Key(), p.Model, p.Synopsis)
+	}
+	counts := collection.Default.Counts()
+	fmt.Fprintf(stdout, "\n%d patternlets (%d MPI, %d OpenMP, %d Pthreads, %d heterogeneous)\n",
+		collection.Default.Len(), counts[core.MPI], counts[core.OpenMP], counts[core.Pthreads], counts[core.Hybrid])
+	return 0
+}
+
+func cmdRun(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "patternlet run: missing KEY (try `patternlet list`)")
+		return 2
+	}
+	key := args[0]
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	np := fs.Int("np", 0, "number of tasks (0 = patternlet default)")
+	on := fs.String("on", "", "comma-separated directives to enable ('uncomment')")
+	off := fs.String("off", "", "comma-separated directives to disable")
+	useTCP := fs.Bool("tcp", false, "run MPI patternlets over loopback TCP")
+	nodes := fs.Int("nodes", 0, "simulated cluster node count (0 = one per process)")
+	showTrace := fs.Bool("trace", false, "print the execution timeline after the run")
+	if err := fs.Parse(args[1:]); err != nil {
+		return 2
+	}
+	p, ok := collection.Default.Get(key)
+	if !ok {
+		fmt.Fprintf(stderr, "patternlet: no patternlet %q (try `patternlet list`)\n", key)
+		return 1
+	}
+
+	toggles := map[string]bool{}
+	for _, name := range splitList(*on) {
+		toggles[name] = true
+	}
+	for _, name := range splitList(*off) {
+		toggles[name] = false
+	}
+	var rec *trace.Recorder
+	if *showTrace {
+		rec = &trace.Recorder{}
+	}
+	opts := core.RunOptions{
+		NumTasks: *np,
+		Toggles:  toggles,
+		Trace:    rec,
+		UseTCP:   *useTCP,
+		Nodes:    *nodes,
+	}
+	fmt.Fprintln(stdout)
+	if err := core.RunPatternlet(p, core.NewSafeWriter(stdout), opts); err != nil {
+		fmt.Fprintf(stderr, "patternlet: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout)
+	if rec != nil {
+		fmt.Fprintln(stdout, "execution timeline (rows: tasks, columns: global event order):")
+		fmt.Fprint(stdout, rec.Timeline())
+	}
+	return 0
+}
+
+func cmdExercise(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "patternlet exercise: missing KEY")
+		return 2
+	}
+	p, ok := collection.Default.Get(args[0])
+	if !ok {
+		fmt.Fprintf(stderr, "patternlet: no patternlet %q\n", args[0])
+		return 1
+	}
+	fmt.Fprintf(stdout, "%s (%s)\n", p.Key(), p.Model)
+	fmt.Fprintf(stdout, "patterns: %s\n", joinPatterns(p.Patterns))
+	fmt.Fprintf(stdout, "synopsis: %s\n\n", p.Synopsis)
+	fmt.Fprintf(stdout, "EXERCISE\n%s\n", p.Exercise)
+	if len(p.Directives) > 0 {
+		fmt.Fprintf(stdout, "\ndirectives (enable with -on NAME):\n")
+		for _, d := range p.Directives {
+			state := "off (commented out)"
+			if d.Default {
+				state = "on"
+			}
+			fmt.Fprintf(stdout, "  %-12s models %-34q default: %s\n", d.Name, d.Pragma, state)
+		}
+	}
+	return 0
+}
+
+func cmdPatterns(stdout io.Writer) int {
+	fmt.Fprintf(stdout, "%-22s %-22s %s\n", "PATTERN", "LAYER", "PATTERNLETS")
+	for _, pat := range core.Patterns() {
+		n := len(collection.Default.ByPattern(pat))
+		fmt.Fprintf(stdout, "%-22s %-22s %d\n", pat, pat.Layer(), n)
+	}
+	return 0
+}
+
+// cmdDoc renders the complete catalog as a markdown document (the
+// generated docs/CATALOG.md).
+func cmdDoc(stdout io.Writer) int {
+	counts := collection.Default.Counts()
+	fmt.Fprintf(stdout, "# The patternlet catalog\n\n")
+	fmt.Fprintf(stdout,
+		"Generated by `patternlet doc`. %d programs: %d MPI, %d OpenMP, %d Pthreads, %d heterogeneous — the composition the paper's abstract reports.\n",
+		collection.Default.Len(), counts[core.MPI], counts[core.OpenMP], counts[core.Pthreads], counts[core.Hybrid])
+	for _, model := range []core.Model{core.OpenMP, core.MPI, core.Pthreads, core.Hybrid} {
+		fmt.Fprintf(stdout, "\n## %s (%d)\n", model, counts[model])
+		for _, p := range collection.Default.ByModel(model) {
+			fmt.Fprintf(stdout, "\n### `%s`\n\n", p.Key())
+			fmt.Fprintf(stdout, "*%s*\n\n", p.Synopsis)
+			fmt.Fprintf(stdout, "Patterns: %s.\n\n", joinPatterns(p.Patterns))
+			if len(p.Directives) > 0 {
+				fmt.Fprintf(stdout, "Directives (all ship commented out, enable with `-on NAME`):\n\n")
+				for _, d := range p.Directives {
+					fmt.Fprintf(stdout, "- `%s` — models `%s`\n", d.Name, d.Pragma)
+				}
+				fmt.Fprintln(stdout)
+			}
+			fmt.Fprintf(stdout, "**Exercise.** %s\n", strings.ReplaceAll(p.Exercise, "\n", " "))
+		}
+	}
+	return 0
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func joinPatterns(ps []core.Pattern) string {
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = string(p)
+	}
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func exec(args ...string) (code int, stdout, stderr string) {
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestNoArgsShowsUsage(t *testing.T) {
+	code, _, stderr := exec()
+	if code != 2 || !strings.Contains(stderr, "commands:") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestHelp(t *testing.T) {
+	code, stdout, _ := exec("help")
+	if code != 0 || !strings.Contains(stdout, "patternlet") {
+		t.Fatalf("help failed: %d %q", code, stdout)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	code, _, stderr := exec("bogus")
+	if code != 2 || !strings.Contains(stderr, "unknown command") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestListShowsCompositionLine(t *testing.T) {
+	code, stdout, _ := exec("list")
+	if code != 0 {
+		t.Fatalf("list exit %d", code)
+	}
+	if !strings.Contains(stdout, "44 patternlets (16 MPI, 17 OpenMP, 9 Pthreads, 2 heterogeneous)") {
+		t.Fatalf("composition line missing:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "spmd.omp") || !strings.Contains(stdout, "gather.mpi") {
+		t.Fatal("expected keys missing from list")
+	}
+}
+
+func TestListFilterByModel(t *testing.T) {
+	code, stdout, _ := exec("list", "-model", "Pthreads")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Contains(stdout, "spmd.omp") || !strings.Contains(stdout, "spmd.pthreads") {
+		t.Fatalf("model filter broken:\n%s", stdout)
+	}
+}
+
+func TestListFilterByPattern(t *testing.T) {
+	code, stdout, _ := exec("list", "-pattern", "Gather")
+	if code != 0 || !strings.Contains(stdout, "gather.mpi") {
+		t.Fatalf("pattern filter broken:\n%s", stdout)
+	}
+}
+
+func TestListNoMatches(t *testing.T) {
+	code, _, stderr := exec("list", "-model", "CUDA")
+	if code != 1 || !strings.Contains(stderr, "no patternlets match") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestRunFigure3(t *testing.T) {
+	code, stdout, _ := exec("run", "spmd.omp", "-np", "4", "-on", "parallel")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Count(stdout, "Hello from thread") != 4 {
+		t.Fatalf("expected 4 hellos:\n%s", stdout)
+	}
+}
+
+func TestRunWithOffToggle(t *testing.T) {
+	code, stdout, _ := exec("run", "spmd.omp", "-np", "4", "-on", "parallel", "-off", "parallel")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	// -off wins because it is applied after -on.
+	if strings.Count(stdout, "Hello from thread") != 1 {
+		t.Fatalf("expected 1 hello:\n%s", stdout)
+	}
+}
+
+func TestRunUnknownKey(t *testing.T) {
+	code, _, stderr := exec("run", "nothing.omp")
+	if code != 1 || !strings.Contains(stderr, "no patternlet") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestRunMissingKey(t *testing.T) {
+	code, _, stderr := exec("run")
+	if code != 2 || !strings.Contains(stderr, "missing KEY") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestRunUnknownToggleFails(t *testing.T) {
+	code, _, stderr := exec("run", "spmd.omp", "-on", "nonexistent")
+	if code != 1 || !strings.Contains(stderr, "no directive") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	code, stdout, _ := exec("run", "barrier.omp", "-np", "2", "-on", "barrier", "-trace")
+	if code != 0 || !strings.Contains(stdout, "execution timeline") {
+		t.Fatalf("trace output missing:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "task  0") {
+		t.Fatalf("timeline rows missing:\n%s", stdout)
+	}
+}
+
+func TestRunMPIWithTCPAndNodes(t *testing.T) {
+	code, stdout, _ := exec("run", "spmd.mpi", "-np", "4", "-tcp", "-nodes", "2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(stdout, "on node-01") || !strings.Contains(stdout, "on node-02") {
+		t.Fatalf("node placement missing:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "node-03") {
+		t.Fatalf("-nodes 2 ignored:\n%s", stdout)
+	}
+}
+
+func TestExerciseShowsDirectives(t *testing.T) {
+	code, stdout, _ := exec("exercise", "reduction.omp")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"EXERCISE", "reduction.omp", "parallel", "reduction", "default: off"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("exercise output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestExerciseUnknownKey(t *testing.T) {
+	code, _, _ := exec("exercise", "none.mpi")
+	if code != 1 {
+		t.Fatalf("exit %d", code)
+	}
+}
+
+func TestPatternsTaxonomy(t *testing.T) {
+	code, stdout, _ := exec("patterns")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"SPMD", "implementation", "Master-Worker", "algorithm-strategy", "Monte Carlo", "architectural"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("taxonomy missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+func TestDocEmitsFullCatalog(t *testing.T) {
+	code, stdout, _ := exec("doc")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if strings.Count(stdout, "### `") != 44 {
+		t.Fatalf("doc lists %d patternlets, want 44", strings.Count(stdout, "### `"))
+	}
+	for _, want := range []string{"## OpenMP (17)", "## MPI (16)", "## Pthreads (9)", "## MPI+OpenMP (2)", "**Exercise.**"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("doc missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+// Montecarlo estimates π by dart-throwing — one of the high-level
+// architectural patterns the paper's §II.B names (Monte Carlo
+// simulations), built from the low-level patterns the patternlets teach:
+// SPMD tasks with private RNG state, a Parallel Loop over trials, and a
+// Reduction to combine hit counts.
+//
+// Both runtimes solve it: the OpenMP-style team reduces in shared memory;
+// the MPI-style world uses Allreduce so every rank knows the estimate.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro/internal/mpi"
+	"repro/internal/omp"
+)
+
+// hits counts darts landing inside the unit quarter-circle. Each task owns
+// a private generator — the "private variable" lesson of the patternlets:
+// sharing one RNG would race.
+func hits(trials int, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	h := 0
+	for i := 0; i < trials; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		if x*x+y*y <= 1 {
+			h++
+		}
+	}
+	return h
+}
+
+func main() {
+	const totalTrials = 4_000_000
+
+	for _, threads := range []int{1, 2, 4, 8} {
+		perThread := totalTrials / threads
+		var total int
+		omp.Parallel(func(t *omp.Thread) {
+			local := hits(perThread, int64(1000+t.ThreadNum()))
+			sum := omp.Reduce(t, omp.Sum[int](), local)
+			t.Master(func() { total = sum })
+		}, omp.WithNumThreads(threads))
+		pi := 4 * float64(total) / float64(perThread*threads)
+		fmt.Printf("omp %2d threads: pi ≈ %.6f (error %.6f)\n", threads, pi, math.Abs(pi-math.Pi))
+	}
+
+	const np = 4
+	err := mpi.Run(np, func(c *mpi.Comm) error {
+		perRank := totalTrials / np
+		local := hits(perRank, int64(2000+c.Rank()))
+		total, err := mpi.Allreduce(c, local, mpi.Sum[int]())
+		if err != nil {
+			return err
+		}
+		pi := 4 * float64(total) / float64(perRank*np)
+		fmt.Printf("mpi rank %d of %d: pi ≈ %.6f (every rank holds the estimate)\n", c.Rank(), np, pi)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

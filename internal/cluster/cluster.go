@@ -1,0 +1,103 @@
+// Package cluster simulates the Beowulf cluster the paper runs its MPI
+// patternlets on: a set of named nodes (node-01, node-02, …), a placement
+// of ranked processes onto those nodes, and a wire transport that carries
+// tagged messages between ranks.
+//
+// Two transports are provided. ChanTransport delivers through in-process
+// mailboxes and is the default. TCPTransport carries every message over a
+// real loopback TCP connection with length-prefixed gob frames, so the
+// message-passing patternlets exercise an actual network path (the
+// distributed-memory column of the paper's §I.A taxonomy). Both present
+// the same Transport interface, and the MPI layer is oblivious to which
+// one is underneath.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Message is the unit carried by a Transport. Payloads are opaque bytes:
+// the typed MPI layer above gob-encodes values into Payload, which is also
+// what enforces MPI's no-shared-memory model — only bytes ever cross
+// between ranks, never pointers into another rank's heap.
+type Message struct {
+	Src     int    // sending world rank
+	Tag     int    // user tags are >= 0; negative tags are reserved for collectives
+	Comm    int    // communicator id, so split communicators have isolated tag spaces
+	Payload []byte // gob-encoded value
+}
+
+// ErrClosed is returned by transport operations after Close.
+var ErrClosed = errors.New("cluster: transport closed")
+
+// ErrTimeout is returned by MatchRecv when the supplied deadline expires
+// before a matching message arrives. The MPI layer maps it to its
+// deadlock-detection error.
+var ErrTimeout = errors.New("cluster: receive timed out")
+
+// Transport moves messages between world ranks.
+type Transport interface {
+	// Send delivers m to the destination rank's mailbox. It may block for
+	// flow control but must not wait for a matching receive (i.e. it has
+	// MPI buffered-send semantics, like eager-protocol MPI_Send).
+	Send(to int, m Message) error
+	// Recv blocks until a message matching the predicate is available for
+	// the given rank and removes it from the mailbox. Matching is in
+	// arrival order: the earliest buffered match wins, which preserves
+	// MPI's non-overtaking guarantee per (source, tag, comm).
+	Recv(rank int, match func(Message) bool) (Message, error)
+	// RecvTimeout is Recv with a deadline in nanoseconds (0 = no deadline).
+	RecvTimeout(rank int, match func(Message) bool, timeoutNanos int64) (Message, error)
+	// Probe blocks like Recv but leaves the message in the mailbox,
+	// returning a copy (MPI_Probe).
+	Probe(rank int, match func(Message) bool) (Message, error)
+	// Close releases transport resources. All blocked operations return
+	// ErrClosed.
+	Close() error
+}
+
+// Node is one machine of the simulated cluster.
+type Node struct {
+	Name string // e.g. "node-01"
+}
+
+// Cluster is a set of named nodes with a round-robin placement of world
+// ranks onto them.
+type Cluster struct {
+	nodes []Node
+}
+
+// New creates a cluster of n nodes named node-01 … node-NN, matching the
+// host names in Figures 5 and 6 of the paper. n below 1 is clamped to 1.
+func New(n int) *Cluster {
+	if n < 1 {
+		n = 1
+	}
+	c := &Cluster{nodes: make([]Node, n)}
+	for i := range c.nodes {
+		c.nodes[i] = Node{Name: fmt.Sprintf("node-%02d", i+1)}
+	}
+	return c
+}
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// NodeFor returns the node hosting the given world rank under round-robin
+// placement, the scheme mpirun uses by default across a machinefile.
+func (c *Cluster) NodeFor(rank int) Node {
+	if rank < 0 {
+		rank = 0
+	}
+	return c.nodes[rank%len(c.nodes)]
+}
+
+// Names returns the node names in order.
+func (c *Cluster) Names() []string {
+	out := make([]string, len(c.nodes))
+	for i, n := range c.nodes {
+		out[i] = n.Name
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// FaultInjector wraps a Transport with programmable failures, for testing
+// how the layers above behave when the interconnect misbehaves — the
+// failure-injection half of the test suite. Faults are deterministic:
+// they trigger on exact operation counts, so tests are reproducible.
+type FaultInjector struct {
+	inner Transport
+
+	mu        sync.Mutex
+	sendCount int
+	failSends map[int]error // 1-based send index -> error to inject
+	dropSends map[int]bool  // 1-based send index -> silently drop
+}
+
+// ErrInjected is the default error returned by injected send failures.
+var ErrInjected = errors.New("cluster: injected fault")
+
+// NewFaultInjector wraps inner.
+func NewFaultInjector(inner Transport) *FaultInjector {
+	return &FaultInjector{
+		inner:     inner,
+		failSends: map[int]error{},
+		dropSends: map[int]bool{},
+	}
+}
+
+// FailSend arranges for the n-th Send (1-based, counted across all ranks)
+// to return err instead of delivering. A nil err injects ErrInjected.
+func (f *FaultInjector) FailSend(n int, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	f.mu.Lock()
+	f.failSends[n] = err
+	f.mu.Unlock()
+}
+
+// DropSend arranges for the n-th Send to be silently lost — the message
+// vanishes but the sender sees success, modeling a lossy link. (Real MPI
+// guarantees reliable delivery, which is why a dropped message manifests
+// as a hang — exactly what the deadlock detector then reports.)
+func (f *FaultInjector) DropSend(n int) {
+	f.mu.Lock()
+	f.dropSends[n] = true
+	f.mu.Unlock()
+}
+
+// SendCount reports how many sends have passed through so far.
+func (f *FaultInjector) SendCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.sendCount
+}
+
+// Send implements Transport with fault injection.
+func (f *FaultInjector) Send(to int, m Message) error {
+	f.mu.Lock()
+	f.sendCount++
+	n := f.sendCount
+	if err, ok := f.failSends[n]; ok {
+		f.mu.Unlock()
+		return fmt.Errorf("send %d to rank %d: %w", n, to, err)
+	}
+	if f.dropSends[n] {
+		f.mu.Unlock()
+		return nil // swallowed
+	}
+	f.mu.Unlock()
+	return f.inner.Send(to, m)
+}
+
+// Recv implements Transport.
+func (f *FaultInjector) Recv(rank int, match func(Message) bool) (Message, error) {
+	return f.inner.Recv(rank, match)
+}
+
+// RecvTimeout implements Transport.
+func (f *FaultInjector) RecvTimeout(rank int, match func(Message) bool, timeoutNanos int64) (Message, error) {
+	return f.inner.RecvTimeout(rank, match, timeoutNanos)
+}
+
+// Probe implements Transport.
+func (f *FaultInjector) Probe(rank int, match func(Message) bool) (Message, error) {
+	return f.inner.Probe(rank, match)
+}
+
+// Close implements Transport.
+func (f *FaultInjector) Close() error { return f.inner.Close() }

@@ -1,0 +1,167 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// mailbox is an ordered buffer of undelivered messages for one rank, with
+// predicate-matched blocking receives. Messages are matched in arrival
+// order, preserving MPI's non-overtaking rule for any fixed (source, tag,
+// comm) triple.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []Message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m Message) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return ErrClosed
+	}
+	mb.queue = append(mb.queue, m)
+	mb.cond.Broadcast()
+	return nil
+}
+
+// take removes and returns the earliest message satisfying match, blocking
+// until one arrives. remove=false gives Probe semantics.
+func (mb *mailbox) take(match func(Message) bool, remove bool, timeout time.Duration) (Message, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		// A timer wakes the waiter so the deadline is honored even when no
+		// message ever arrives.
+		t := time.AfterFunc(timeout, func() { mb.cond.Broadcast() })
+		defer t.Stop()
+	}
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		if mb.closed {
+			return Message{}, ErrClosed
+		}
+		for i, m := range mb.queue {
+			if match(m) {
+				if remove {
+					mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				}
+				return m, nil
+			}
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return Message{}, ErrTimeout
+		}
+		mb.cond.Wait()
+	}
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// pending returns the number of buffered messages (for tests and the
+// deadlock diagnostics in the MPI layer).
+func (mb *mailbox) pending() int {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	return len(mb.queue)
+}
+
+// ChanTransport is the in-process transport: one mailbox per rank, sends
+// deliver directly. An optional synthetic per-message latency models the
+// network of a distributed-memory system for experiments contrasting
+// shared- and distributed-memory costs.
+type ChanTransport struct {
+	boxes   []*mailbox
+	latency time.Duration
+}
+
+// NewChanTransport creates an in-process transport for np ranks.
+func NewChanTransport(np int) *ChanTransport {
+	t := &ChanTransport{boxes: make([]*mailbox, np)}
+	for i := range t.boxes {
+		t.boxes[i] = newMailbox()
+	}
+	return t
+}
+
+// SetLatency sets a synthetic one-way delay applied to every Send. It must
+// be called before the transport is used.
+func (t *ChanTransport) SetLatency(d time.Duration) { t.latency = d }
+
+// Send implements Transport.
+func (t *ChanTransport) Send(to int, m Message) error {
+	if to < 0 || to >= len(t.boxes) {
+		return errBadRank(to, len(t.boxes))
+	}
+	if t.latency > 0 {
+		time.Sleep(t.latency)
+	}
+	return t.boxes[to].put(m)
+}
+
+// Recv implements Transport.
+func (t *ChanTransport) Recv(rank int, match func(Message) bool) (Message, error) {
+	if rank < 0 || rank >= len(t.boxes) {
+		return Message{}, errBadRank(rank, len(t.boxes))
+	}
+	return t.boxes[rank].take(match, true, 0)
+}
+
+// RecvTimeout implements Transport.
+func (t *ChanTransport) RecvTimeout(rank int, match func(Message) bool, timeoutNanos int64) (Message, error) {
+	if rank < 0 || rank >= len(t.boxes) {
+		return Message{}, errBadRank(rank, len(t.boxes))
+	}
+	return t.boxes[rank].take(match, true, time.Duration(timeoutNanos))
+}
+
+// Probe implements Transport.
+func (t *ChanTransport) Probe(rank int, match func(Message) bool) (Message, error) {
+	if rank < 0 || rank >= len(t.boxes) {
+		return Message{}, errBadRank(rank, len(t.boxes))
+	}
+	return t.boxes[rank].take(match, false, 0)
+}
+
+// Close implements Transport.
+func (t *ChanTransport) Close() error {
+	for _, b := range t.boxes {
+		b.close()
+	}
+	return nil
+}
+
+// Pending returns the number of undelivered messages buffered for rank.
+func (t *ChanTransport) Pending(rank int) int {
+	if rank < 0 || rank >= len(t.boxes) {
+		return 0
+	}
+	return t.boxes[rank].pending()
+}
+
+func errBadRank(r, np int) error {
+	return &RankError{Rank: r, Size: np}
+}
+
+// RankError reports an out-of-range rank passed to a transport.
+type RankError struct {
+	Rank, Size int
+}
+
+func (e *RankError) Error() string {
+	return "cluster: rank out of range"
+}

@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// RemoteTransport is the multi-OS-process variant of TCPTransport: it
+// carries exactly one rank of the world, with the other ranks living in
+// other processes (or other RemoteTransport instances). Each instance
+// owns one listener and a mailbox for its own rank, and dials peers by an
+// address table agreed on at startup (see the launch package's
+// rendezvous).
+//
+// With this transport, the "distributed-memory" property is not merely
+// simulated: ranks are separate operating-system processes with disjoint
+// address spaces, exactly like the paper's Beowulf cluster runs.
+type RemoteTransport struct {
+	rank  int
+	np    int
+	addrs []string
+	box   *mailbox
+	ln    net.Listener
+
+	connMu sync.Mutex
+	conns  map[int]*tcpConn
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// NewRemoteTransport creates the transport for one rank. ln must already
+// be listening on addrs[rank]; the address table must be identical in all
+// processes.
+func NewRemoteTransport(rank, np int, addrs []string, ln net.Listener) (*RemoteTransport, error) {
+	if rank < 0 || rank >= np {
+		return nil, fmt.Errorf("cluster: remote rank %d out of range for np %d", rank, np)
+	}
+	if len(addrs) != np {
+		return nil, fmt.Errorf("cluster: %d addresses for np %d", len(addrs), np)
+	}
+	t := &RemoteTransport{
+		rank:   rank,
+		np:     np,
+		addrs:  append([]string(nil), addrs...),
+		box:    newMailbox(),
+		ln:     ln,
+		conns:  map[int]*tcpConn{},
+		closed: make(chan struct{}),
+	}
+	go t.acceptLoop()
+	return t, nil
+}
+
+// ListenLoopback binds an ephemeral loopback listener, for rank processes
+// to create before the rendezvous.
+func ListenLoopback() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}
+
+func (t *RemoteTransport) acceptLoop() {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		go t.readLoop(conn)
+	}
+}
+
+func (t *RemoteTransport) readLoop(conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			_ = conn.Close()
+			return
+		}
+		if f.Dst == t.rank {
+			_ = t.box.put(f.Msg)
+		}
+	}
+}
+
+func (t *RemoteTransport) dial(to int) (*tcpConn, error) {
+	t.connMu.Lock()
+	defer t.connMu.Unlock()
+	if c, ok := t.conns[to]; ok {
+		return c, nil
+	}
+	select {
+	case <-t.closed:
+		return nil, ErrClosed
+	default:
+	}
+	nc, err := net.DialTimeout("tcp", t.addrs[to], 10*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial remote rank %d at %s: %w", to, t.addrs[to], err)
+	}
+	c := &tcpConn{c: nc, enc: gob.NewEncoder(nc)}
+	t.conns[to] = c
+	return c, nil
+}
+
+// Send implements Transport.
+func (t *RemoteTransport) Send(to int, m Message) error {
+	if to < 0 || to >= t.np {
+		return errBadRank(to, t.np)
+	}
+	if to == t.rank {
+		return t.box.put(m) // self-send stays local
+	}
+	c, err := t.dial(to)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(frame{Dst: to, Msg: m}); err != nil {
+		return fmt.Errorf("cluster: send to remote rank %d: %w", to, err)
+	}
+	return nil
+}
+
+// checkOwnRank rejects receive operations for ranks this process does not
+// host.
+func (t *RemoteTransport) checkOwnRank(rank int) error {
+	if rank != t.rank {
+		return fmt.Errorf("cluster: this process hosts rank %d, not %d", t.rank, rank)
+	}
+	return nil
+}
+
+// Recv implements Transport for this process's own rank.
+func (t *RemoteTransport) Recv(rank int, match func(Message) bool) (Message, error) {
+	if err := t.checkOwnRank(rank); err != nil {
+		return Message{}, err
+	}
+	return t.box.take(match, true, 0)
+}
+
+// RecvTimeout implements Transport.
+func (t *RemoteTransport) RecvTimeout(rank int, match func(Message) bool, timeoutNanos int64) (Message, error) {
+	if err := t.checkOwnRank(rank); err != nil {
+		return Message{}, err
+	}
+	return t.box.take(match, true, time.Duration(timeoutNanos))
+}
+
+// Probe implements Transport.
+func (t *RemoteTransport) Probe(rank int, match func(Message) bool) (Message, error) {
+	if err := t.checkOwnRank(rank); err != nil {
+		return Message{}, err
+	}
+	return t.box.take(match, false, 0)
+}
+
+// Close implements Transport.
+func (t *RemoteTransport) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		_ = t.ln.Close()
+		t.connMu.Lock()
+		for _, c := range t.conns {
+			_ = c.c.Close()
+		}
+		t.connMu.Unlock()
+		t.box.close()
+	})
+	return nil
+}
+
+// Rank returns the world rank this transport hosts.
+func (t *RemoteTransport) Rank() int { return t.rank }
+
+// Addrs returns the world address table.
+func (t *RemoteTransport) Addrs() []string { return append([]string(nil), t.addrs...) }

@@ -1,0 +1,181 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCPTransport carries messages over loopback TCP sockets with gob-encoded
+// frames: one listener per rank, one lazily-dialed connection per (sender,
+// receiver) pair. It gives the MPI patternlets a real network substrate —
+// every byte of every message traverses the kernel's TCP stack — standing
+// in for the paper's Beowulf cluster interconnect.
+type TCPTransport struct {
+	np        int
+	boxes     []*mailbox
+	listeners []net.Listener
+	addrs     []string
+
+	connMu sync.Mutex
+	conns  map[[2]int]*tcpConn // key: {from, to}
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+type tcpConn struct {
+	mu  sync.Mutex
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// frame is the wire representation of a message: the destination rank is
+// carried explicitly so a single accept loop can demultiplex.
+type frame struct {
+	Dst int
+	Msg Message
+}
+
+// NewTCPTransport creates a loopback TCP transport for np ranks. It binds
+// np ephemeral ports on 127.0.0.1 and starts an accept loop per rank.
+func NewTCPTransport(np int) (*TCPTransport, error) {
+	t := &TCPTransport{
+		np:     np,
+		boxes:  make([]*mailbox, np),
+		conns:  map[[2]int]*tcpConn{},
+		closed: make(chan struct{}),
+	}
+	for i := 0; i < np; i++ {
+		t.boxes[i] = newMailbox()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			_ = t.Close()
+			return nil, fmt.Errorf("cluster: listen for rank %d: %w", i, err)
+		}
+		t.listeners = append(t.listeners, ln)
+		t.addrs = append(t.addrs, ln.Addr().String())
+		go t.acceptLoop(i, ln)
+	}
+	return t, nil
+}
+
+func (t *TCPTransport) acceptLoop(rank int, ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go t.readLoop(rank, conn)
+	}
+}
+
+func (t *TCPTransport) readLoop(rank int, conn net.Conn) {
+	dec := gob.NewDecoder(conn)
+	for {
+		var f frame
+		if err := dec.Decode(&f); err != nil {
+			_ = conn.Close()
+			return
+		}
+		if f.Dst == rank {
+			_ = t.boxes[rank].put(f.Msg)
+		}
+	}
+}
+
+func (t *TCPTransport) dial(from, to int) (*tcpConn, error) {
+	t.connMu.Lock()
+	defer t.connMu.Unlock()
+	key := [2]int{from, to}
+	if c, ok := t.conns[key]; ok {
+		return c, nil
+	}
+	select {
+	case <-t.closed:
+		return nil, ErrClosed
+	default:
+	}
+	nc, err := net.DialTimeout("tcp", t.addrs[to], 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial rank %d: %w", to, err)
+	}
+	c := &tcpConn{c: nc, enc: gob.NewEncoder(nc)}
+	t.conns[key] = c
+	return c, nil
+}
+
+// Send implements Transport. The sending rank is taken from m.Src.
+func (t *TCPTransport) Send(to int, m Message) error {
+	if to < 0 || to >= t.np {
+		return errBadRank(to, t.np)
+	}
+	c, err := t.dial(m.Src, to)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(frame{Dst: to, Msg: m}); err != nil {
+		return fmt.Errorf("cluster: send to rank %d: %w", to, err)
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (t *TCPTransport) Recv(rank int, match func(Message) bool) (Message, error) {
+	if rank < 0 || rank >= t.np {
+		return Message{}, errBadRank(rank, t.np)
+	}
+	return t.boxes[rank].take(match, true, 0)
+}
+
+// RecvTimeout implements Transport.
+func (t *TCPTransport) RecvTimeout(rank int, match func(Message) bool, timeoutNanos int64) (Message, error) {
+	if rank < 0 || rank >= t.np {
+		return Message{}, errBadRank(rank, t.np)
+	}
+	return t.boxes[rank].take(match, true, time.Duration(timeoutNanos))
+}
+
+// Probe implements Transport.
+func (t *TCPTransport) Probe(rank int, match func(Message) bool) (Message, error) {
+	if rank < 0 || rank >= t.np {
+		return Message{}, errBadRank(rank, t.np)
+	}
+	return t.boxes[rank].take(match, false, 0)
+}
+
+// Close implements Transport: shuts listeners, connections and mailboxes.
+func (t *TCPTransport) Close() error {
+	var errs []error
+	t.closeOnce.Do(func() {
+		close(t.closed)
+		for _, ln := range t.listeners {
+			if err := ln.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		t.connMu.Lock()
+		for _, c := range t.conns {
+			if err := c.c.Close(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		t.connMu.Unlock()
+		for _, b := range t.boxes {
+			b.close()
+		}
+	})
+	return errors.Join(errs...)
+}
+
+// Addrs returns the listen addresses, one per rank (useful in tests).
+func (t *TCPTransport) Addrs() []string {
+	out := make([]string, len(t.addrs))
+	copy(out, t.addrs)
+	return out
+}

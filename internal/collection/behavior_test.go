@@ -1,0 +1,519 @@
+package collection
+
+// Behaviour tests beyond the numbered figures: the race/fix patternlets,
+// the deadlock demonstration, ordered output, the hybrid programs, and
+// catalog metadata quality.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func parseBalance(t *testing.T, lines []string) (balance float64, expected int) {
+	t.Helper()
+	for _, l := range lines {
+		if n, _ := fmt.Sscanf(l, "After %d $1 deposits, your balance is %f", &expected, &balance); n == 2 {
+			return balance, expected
+		}
+	}
+	t.Fatalf("no balance line in %v", lines)
+	return 0, 0
+}
+
+func TestAtomicPatternletFixesRace(t *testing.T) {
+	balance, expected := parseBalance(t, capture(t, "atomic.omp", 4, map[string]bool{"atomic": true}))
+	if balance != float64(expected) {
+		t.Fatalf("atomic enabled but balance %v != %d", balance, expected)
+	}
+}
+
+func TestAtomicPatternletRaceLosesMoney(t *testing.T) {
+	sawLoss := false
+	for attempt := 0; attempt < 5 && !sawLoss; attempt++ {
+		balance, expected := parseBalance(t, capture(t, "atomic.omp", 4, nil))
+		if balance > float64(expected) {
+			t.Fatalf("race minted money: %v > %d", balance, expected)
+		}
+		sawLoss = balance < float64(expected)
+	}
+	if !sawLoss {
+		t.Skip("race did not manifest")
+	}
+}
+
+func TestCriticalPatternletFixesRace(t *testing.T) {
+	balance, expected := parseBalance(t, capture(t, "critical.omp", 4, map[string]bool{"critical": true}))
+	if balance != float64(expected) {
+		t.Fatalf("critical enabled but balance %v != %d", balance, expected)
+	}
+}
+
+func TestMutexPthreadsFixesRace(t *testing.T) {
+	balance, expected := parseBalance(t, capture(t, "mutex.pthreads", 4, map[string]bool{"mutex": true}))
+	if balance != float64(expected) {
+		t.Fatalf("mutex enabled but balance %v != %d", balance, expected)
+	}
+}
+
+func TestMutualExclusionShowsAllThree(t *testing.T) {
+	lines := capture(t, "mutualExclusion.omp", 4, nil)
+	text := strings.Join(lines, "\n")
+	for _, frag := range []string{"unprotected:", "atomic:", "critical:"} {
+		if !strings.Contains(text, frag) {
+			t.Fatalf("missing %q in:\n%s", frag, text)
+		}
+	}
+	// atomic and critical rows must both be exact.
+	var atomicBal, criticalBal float64
+	for _, l := range lines {
+		fmt.Sscanf(l, "atomic:      balance = %f", &atomicBal)
+		fmt.Sscanf(l, "critical:    balance = %f", &criticalBal)
+	}
+	if atomicBal != 80000 || criticalBal != 80000 {
+		t.Fatalf("fixed variants not exact: atomic=%v critical=%v", atomicBal, criticalBal)
+	}
+}
+
+// --- messagePassing2: the deadlock lesson --------------------------------
+
+func TestMessagePassing2DeadlocksWithoutSendrecv(t *testing.T) {
+	lines := capture(t, "messagePassing2.mpi", 2, nil)
+	if !strings.Contains(strings.Join(lines, "\n"), "DEADLOCK detected") {
+		t.Fatalf("deadlock not reported: %v", lines)
+	}
+}
+
+func TestMessagePassing2SendrecvFixes(t *testing.T) {
+	lines := capture(t, "messagePassing2.mpi", 2, map[string]bool{"sendrecv": true})
+	text := strings.Join(lines, "\n")
+	if strings.Contains(text, "DEADLOCK") {
+		t.Fatalf("sendrecv enabled but still deadlocked: %s", text)
+	}
+	if !strings.Contains(text, "Process 0 exchanged: sent 0, received 10") ||
+		!strings.Contains(text, "Process 1 exchanged: sent 10, received 0") {
+		t.Fatalf("exchange lines wrong:\n%s", text)
+	}
+}
+
+// --- messagePassing ring --------------------------------------------------
+
+func TestMessagePassingRingValues(t *testing.T) {
+	lines := capture(t, "messagePassing.mpi", 4, nil)
+	var want []string
+	for id := 0; id < 4; id++ {
+		prev := (id + 3) % 4
+		next := (id + 1) % 4
+		want = append(want, fmt.Sprintf("Process %d sent %d to %d and received %d from %d",
+			id, id*id, next, prev*prev, prev))
+	}
+	assertSameLineSet(t, lines, want)
+}
+
+func TestMessagePassingSingleProcessSelfRing(t *testing.T) {
+	lines := capture(t, "messagePassing.mpi", 1, nil)
+	if len(lines) != 1 || !strings.Contains(lines[0], "Process 0 sent 0 to 0 and received 0 from 0") {
+		t.Fatalf("self-ring: %v", lines)
+	}
+}
+
+// --- ordered output ---------------------------------------------------------
+
+func TestSequenceNumbersAlwaysRankOrdered(t *testing.T) {
+	for run := 0; run < 10; run++ {
+		lines := capture(t, "sequenceNumbers.mpi", 5, nil)
+		if len(lines) != 5 {
+			t.Fatalf("got %d lines", len(lines))
+		}
+		for i, l := range lines {
+			want := fmt.Sprintf("Process %d of 5 reporting in order", i)
+			if l != want {
+				t.Fatalf("run %d line %d = %q, want %q", run, i, l, want)
+			}
+		}
+	}
+}
+
+// --- broadcast / scatter / allgather / allreduce -------------------------
+
+func TestBroadcastBeforeAfterValues(t *testing.T) {
+	lines := capture(t, "broadcast.mpi", 4, nil)
+	var want []string
+	want = append(want, "Process 0 before broadcast: answer = 42")
+	for i := 1; i < 4; i++ {
+		want = append(want, fmt.Sprintf("Process %d before broadcast: answer = -1", i))
+	}
+	for i := 0; i < 4; i++ {
+		want = append(want, fmt.Sprintf("Process %d after broadcast: answer = 42", i))
+	}
+	assertSameLineSet(t, lines, want)
+}
+
+func TestBroadcast2CopiesArePrivate(t *testing.T) {
+	lines := capture(t, "broadcast2.mpi", 3, nil)
+	text := strings.Join(lines, "\n")
+	if !strings.Contains(text, "Process 0 array: [10 20 30 40]") {
+		t.Fatalf("master copy affected by peer mutation:\n%s", text)
+	}
+	if !strings.Contains(text, "Process 1 array: [-10 -20 -30 -40]") {
+		t.Fatalf("mutating rank's own copy wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "Process 2 array: [10 20 30 40]") {
+		t.Fatalf("bystander copy affected:\n%s", text)
+	}
+}
+
+func TestScatterChunks(t *testing.T) {
+	lines := capture(t, "scatter.mpi", 4, nil)
+	text := strings.Join(lines, "\n")
+	for r := 0; r < 4; r++ {
+		want := fmt.Sprintf("Process %d received chunk: [%d %d %d]", r, r*3, r*3+1, r*3+2)
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestAllgatherEveryoneHasAll(t *testing.T) {
+	lines := capture(t, "allgather.mpi", 4, nil)
+	for r := 0; r < 4; r++ {
+		want := fmt.Sprintf("Process %d has the complete array: [0 10 20 30]", r)
+		found := false
+		for _, l := range lines {
+			if l == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing %q in %v", want, lines)
+		}
+	}
+}
+
+func TestAllreduceEveryoneKnowsTotal(t *testing.T) {
+	lines := capture(t, "allreduce.mpi", 4, nil)
+	for r := 0; r < 4; r++ {
+		want := fmt.Sprintf("Process %d knows the total is 10", r)
+		found := false
+		for _, l := range lines {
+			if l == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("missing %q in %v", want, lines)
+		}
+	}
+}
+
+func TestReduction2MPIElemwiseAndMaxLoc(t *testing.T) {
+	lines := capture(t, "reduction2.mpi", 4, nil)
+	text := strings.Join(lines, "\n")
+	if !strings.Contains(text, "Element-wise sums: [6 12 18]") {
+		t.Fatalf("elementwise sums wrong:\n%s", text)
+	}
+	if !strings.Contains(text, "Largest square 16 was computed by process 3") {
+		t.Fatalf("maxloc wrong:\n%s", text)
+	}
+}
+
+// --- masterWorker / forkJoin / sections ----------------------------------
+
+func TestMasterWorkerRoles(t *testing.T) {
+	for _, key := range []string{"masterWorker.omp", "masterWorker.mpi"} {
+		lines := capture(t, key, 5, nil)
+		masters, workers := 0, 0
+		for _, l := range lines {
+			if strings.Contains(l, "master") {
+				masters++
+			}
+			if strings.Contains(l, "worker") {
+				workers++
+			}
+		}
+		if masters != 1 || workers != 4 {
+			t.Fatalf("%s: %d masters, %d workers", key, masters, workers)
+		}
+	}
+}
+
+func TestMasterWorkerSingleTaskStillHasMaster(t *testing.T) {
+	lines := capture(t, "masterWorker.omp", 1, nil)
+	if len(lines) != 1 || !strings.Contains(lines[0], "master") {
+		t.Fatalf("single-task master/worker: %v", lines)
+	}
+}
+
+func TestForkJoinSequentialBracketsParallel(t *testing.T) {
+	lines := capture(t, "forkJoin.omp", 4, map[string]bool{"parallel": true})
+	if lines[0] != "Before..." || lines[len(lines)-1] != "After." {
+		t.Fatalf("fork/join bracket broken: %v", lines)
+	}
+	during := 0
+	for _, l := range lines {
+		if strings.HasPrefix(l, "During:") {
+			during++
+		}
+	}
+	if during != 4 {
+		t.Fatalf("%d During lines, want 4", during)
+	}
+}
+
+func TestForkJoin2RegionSizes(t *testing.T) {
+	lines := capture(t, "forkJoin2.omp", 2, nil)
+	counts := map[int]int{}
+	for _, l := range lines {
+		var region, id, n int
+		if c, _ := fmt.Sscanf(l, "Region %d: hello from thread %d of %d", &region, &id, &n); c == 3 {
+			counts[region]++
+		}
+	}
+	if counts[0] != 1 || counts[1] != 2 || counts[2] != 4 {
+		t.Fatalf("region line counts = %v, want 1/2/4", counts)
+	}
+}
+
+func TestSectionsEachTaskOnce(t *testing.T) {
+	lines := capture(t, "sections.omp", 2, nil)
+	seen := map[string]int{}
+	for _, l := range lines {
+		var task string
+		var tid int
+		if c, _ := fmt.Sscanf(l, "Task %s performed by thread %d", &task, &tid); c == 2 {
+			seen[task]++
+		}
+	}
+	for _, task := range []string{"A", "B", "C", "D"} {
+		if seen[task] != 1 {
+			t.Fatalf("task %s ran %d times (%v)", task, seen[task], seen)
+		}
+	}
+}
+
+// --- pthreads-specific ------------------------------------------------------
+
+func TestSpmd2PthreadsSumsSquares(t *testing.T) {
+	lines := capture(t, "spmd2.pthreads", 4, nil)
+	last := lines[len(lines)-1]
+	if last != "The sum of the squares is 30" {
+		t.Fatalf("final line %q", last)
+	}
+}
+
+func TestSemaphoreMasterReleasesFirst(t *testing.T) {
+	for run := 0; run < 5; run++ {
+		lines := capture(t, "semaphore.pthreads", 4, nil)
+		if !strings.HasPrefix(lines[0], "Master: releasing") {
+			t.Fatalf("run %d: worker proceeded before the master posted:\n%v", run, lines)
+		}
+		if len(lines) != 5 {
+			t.Fatalf("run %d: %d lines", run, len(lines))
+		}
+	}
+}
+
+func TestConditionVariableFIFOConsumption(t *testing.T) {
+	lines := capture(t, "conditionVariable.pthreads", 3, nil)
+	var consumed []int
+	for _, l := range lines {
+		var item, depth int
+		if c, _ := fmt.Sscanf(l, "Consumer got item %d (buffer now %d)", &item, &depth); c == 2 {
+			consumed = append(consumed, item)
+			if depth < 0 || depth > 2 {
+				t.Fatalf("buffer depth %d out of bounds", depth)
+			}
+		}
+	}
+	if len(consumed) != 6 {
+		t.Fatalf("consumed %d items, want 6", len(consumed))
+	}
+	for i, item := range consumed {
+		if item != i {
+			t.Fatalf("FIFO broken: consumed %v", consumed)
+		}
+	}
+}
+
+func TestBarrierPthreadsOrdering(t *testing.T) {
+	_, rec := captureTraced(t, "barrier.pthreads", 4, map[string]bool{"barrier": true})
+	if !rec.PhaseOrdered("before", "after") {
+		t.Fatal("pthreads barrier violated")
+	}
+}
+
+func TestForkJoin2PthreadsRoundsJoinInOrder(t *testing.T) {
+	lines := capture(t, "forkJoin2.pthreads", 3, nil)
+	// "Round r joined." lines appear in round order, and no round r+1
+	// hello precedes round r's join.
+	joined := -1
+	for _, l := range lines {
+		var r int
+		if strings.HasSuffix(l, "joined.") {
+			if c, _ := fmt.Sscanf(l, "Round %d joined.", &r); c != 1 || r != joined+1 {
+				t.Fatalf("join order broken: %v", lines)
+			}
+			joined = r
+			continue
+		}
+		if c, _ := fmt.Sscanf(l, "Round %d:", &r); c == 1 {
+			if r != joined+1 {
+				t.Fatalf("round %d hello before round %d joined: %v", r, joined, lines)
+			}
+		}
+	}
+	if joined != 2 {
+		t.Fatalf("last joined round %d, want 2", joined)
+	}
+}
+
+// --- hybrid -----------------------------------------------------------------
+
+func TestHybridSPMDLineCount(t *testing.T) {
+	lines := capture(t, "spmd.hybrid", 3, nil)
+	if len(lines) != 3*hybridThreadsPerProcess {
+		t.Fatalf("%d lines, want %d", len(lines), 3*hybridThreadsPerProcess)
+	}
+	seen := map[string]bool{}
+	for _, l := range lines {
+		var tid, nt, rank, np int
+		var node string
+		if c, _ := fmt.Sscanf(l, "Hello from thread %d of %d on process %d of %d (%s",
+			&tid, &nt, &rank, &np, &node); c != 5 {
+			t.Fatalf("unparseable line %q", l)
+		}
+		key := fmt.Sprintf("%d-%d", rank, tid)
+		if seen[key] {
+			t.Fatalf("duplicate (process, thread) pair %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestHybridReductionGrandTotal(t *testing.T) {
+	for _, np := range []int{1, 2, 4} {
+		lines := capture(t, "reduction.hybrid", np, nil)
+		n := np * 1000
+		want := fmt.Sprintf("Grand total: %d (expected %d)", n*(n+1)/2, n*(n+1)/2)
+		found := false
+		for _, l := range lines {
+			if l == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("np=%d: missing %q in %v", np, want, lines)
+		}
+	}
+}
+
+// --- reduction2.omp ---------------------------------------------------------
+
+func TestReduction2OMPOperators(t *testing.T) {
+	lines := capture(t, "reduction2.omp", 4, nil)
+	text := strings.Join(lines, "\n")
+	for _, want := range []string{"sum  = 10", "prod = 24", "max  = 4", "min  = 1"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// --- private.omp --------------------------------------------------------------
+
+func TestPrivateTogglePreservesIterationCount(t *testing.T) {
+	lines := capture(t, "private.omp", 4, map[string]bool{"private": true})
+	text := strings.Join(lines, "\n")
+	if !strings.Contains(text, "Total iterations executed: 32 (expected 32)") {
+		t.Fatalf("private indices should give the exact count:\n%s", text)
+	}
+}
+
+// --- TCP execution of the whole MPI catalog ---------------------------------
+
+func TestAllMPIPatternletsRunOverTCP(t *testing.T) {
+	for _, p := range Default.ByModel(core.MPI) {
+		p := p
+		t.Run(p.Key(), func(t *testing.T) {
+			out, err := Default.Capture(p.Key(), core.RunOptions{UseTCP: true})
+			if err != nil {
+				t.Fatalf("over TCP: %v", err)
+			}
+			if strings.TrimSpace(out) == "" {
+				t.Fatal("no output over TCP")
+			}
+		})
+	}
+}
+
+func TestHybridPatternletsRunOverTCP(t *testing.T) {
+	for _, p := range Default.ByModel(core.Hybrid) {
+		if _, err := Default.Capture(p.Key(), core.RunOptions{UseTCP: true}); err != nil {
+			t.Fatalf("%s over TCP: %v", p.Key(), err)
+		}
+	}
+}
+
+// --- catalog metadata quality ------------------------------------------------
+
+func TestEveryPatternletHasExerciseAndSynopsis(t *testing.T) {
+	for _, p := range Default.All() {
+		if len(strings.TrimSpace(p.Exercise)) < 20 {
+			t.Errorf("%s: exercise too thin", p.Key())
+		}
+		if len(strings.TrimSpace(p.Synopsis)) < 10 {
+			t.Errorf("%s: synopsis too thin", p.Key())
+		}
+	}
+}
+
+func TestEveryDirectiveDocumentsItsPragma(t *testing.T) {
+	for _, p := range Default.All() {
+		for _, d := range p.Directives {
+			if d.Pragma == "" {
+				t.Errorf("%s: directive %q has no pragma text", p.Key(), d.Name)
+			}
+			if d.Default {
+				t.Errorf("%s: directive %q ships enabled; patternlets ship with the pragma commented out", p.Key(), d.Name)
+			}
+		}
+	}
+}
+
+func TestEveryPatternIsCataloged(t *testing.T) {
+	known := map[core.Pattern]bool{}
+	for _, pat := range core.Patterns() {
+		known[pat] = true
+	}
+	for _, p := range Default.All() {
+		for _, pat := range p.Patterns {
+			if !known[pat] {
+				t.Errorf("%s teaches uncataloged pattern %q", p.Key(), pat)
+			}
+		}
+	}
+}
+
+// TestPaperNamedPatternsAreCovered: every low-level pattern the paper
+// demonstrates or names in §III has at least one patternlet.
+func TestPaperNamedPatternsAreCovered(t *testing.T) {
+	for _, pat := range []core.Pattern{
+		core.SPMD, core.BarrierPattern, core.ParallelLoop, core.Reduction,
+		core.ForkJoin, core.MasterWorker, core.CriticalSection, core.Broadcast,
+		core.Scatter, core.Gather, core.MessagePassing, core.MutualExclusion,
+	} {
+		if len(Default.ByPattern(pat)) == 0 {
+			t.Errorf("no patternlet teaches %q", pat)
+		}
+	}
+}
+
+func TestSPMDExistsInAllFourModels(t *testing.T) {
+	for _, key := range []string{"spmd.omp", "spmd.mpi", "spmd.pthreads", "spmd.hybrid"} {
+		if _, ok := Default.Get(key); !ok {
+			t.Errorf("missing %s", key)
+		}
+	}
+}

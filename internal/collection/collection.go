@@ -1,0 +1,39 @@
+// Package collection holds the patternlet collection itself: the 44
+// programs the paper reports — 16 MPI, 17 OpenMP, 9 Pthreads and 2
+// heterogeneous (MPI+OpenMP) — ported from C to the Go substrates in this
+// repository. Each file of this package contributes one model's
+// patternlets to the Default registry at init time; a malformed catalog
+// entry panics immediately, so the composition tests run against a
+// complete catalog or not at all.
+//
+// Every patternlet keeps the paper's three design properties:
+//
+//   - minimalist: each Run function is a small, self-contained program;
+//   - scalable: the task count is a parameter, so behaviour can be
+//     observed changing with 1, 2, 4, … tasks;
+//   - syntactically correct: each is a complete working program a student
+//     can copy as a model.
+//
+// The "uncomment the pragma" classroom move is preserved as directive
+// toggles (see core.Directive): running a patternlet with a directive off
+// reproduces the paper's "before" figure, and with it on the "after"
+// figure.
+package collection
+
+import "repro/internal/core"
+
+// Default is the full catalog, populated by this package's init functions.
+var Default = core.NewRegistry()
+
+func register(p *core.Patternlet) { Default.MustRegister(p) }
+
+// ExpectedCounts is the composition the paper's abstract reports.
+var ExpectedCounts = map[core.Model]int{
+	core.MPI:      16,
+	core.OpenMP:   17,
+	core.Pthreads: 9,
+	core.Hybrid:   2,
+}
+
+// ExpectedTotal is the collection size the paper reports.
+const ExpectedTotal = 44

@@ -1,0 +1,164 @@
+package collection
+
+// Cross-model consistency: the same pattern taught in different models
+// must compute the same values — and the whole MPI catalog must behave
+// identically whether ranks are goroutines over channels, goroutines over
+// TCP, or (simulated here with per-rank remote transports) separate
+// address spaces.
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// TestSumOfSquaresAgreesAcrossModels: reduction.mpi's sum of squares with
+// np tasks equals spmd2.pthreads' join-time reduction with the same count.
+func TestSumOfSquaresAgreesAcrossModels(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		want := 0
+		for i := 1; i <= n; i++ {
+			want += i * i
+		}
+		wantLine := fmt.Sprintf("The sum of the squares is %d", want)
+
+		mpiOut := capture(t, "reduction.mpi", n, nil)
+		if !containsLine(mpiOut, wantLine) {
+			t.Errorf("reduction.mpi np=%d missing %q:\n%v", n, wantLine, mpiOut)
+		}
+		ptOut := capture(t, "spmd2.pthreads", n, nil)
+		if !containsLine(ptOut, wantLine) {
+			t.Errorf("spmd2.pthreads n=%d missing %q:\n%v", n, wantLine, ptOut)
+		}
+	}
+}
+
+// TestEqualChunksAgreeAcrossModels: the OpenMP worksharing division and
+// the MPI hand-rolled division assign identical iteration sets.
+func TestEqualChunksAgreeAcrossModels(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		_, ompRec := captureTraced(t, "parallelLoopEqualChunks.omp", n, nil)
+		_, mpiRec := captureTraced(t, "parallelLoopEqualChunks.mpi", n, nil)
+		ompVals := ompRec.ValuesByTask("iter")
+		mpiVals := mpiRec.ValuesByTask("iter")
+		for task := 0; task < n; task++ {
+			assertIters(t, mpiVals[task], sortedInts(ompVals[task]))
+		}
+	}
+}
+
+// TestBarrierPatternletsShareTheInvariant: all three barrier patternlets
+// enforce the identical phase ordering when enabled.
+func TestBarrierPatternletsShareTheInvariant(t *testing.T) {
+	for _, key := range []string{"barrier.omp", "barrier.mpi", "barrier.pthreads"} {
+		_, rec := captureTraced(t, key, 4, map[string]bool{"barrier": true})
+		if !rec.PhaseOrdered("before", "after") {
+			t.Errorf("%s: ordering violated", key)
+		}
+	}
+}
+
+// TestHelloLineShapeConsistent: the three spmd patternlets print one
+// "Hello from …" line per task with distinct ids, across models.
+func TestHelloLineShapeConsistent(t *testing.T) {
+	cases := map[string]map[string]bool{
+		"spmd.omp":      {"parallel": true},
+		"spmd.mpi":      nil,
+		"spmd.pthreads": nil,
+	}
+	for key, toggles := range cases {
+		lines := capture(t, key, 5, toggles)
+		if len(lines) != 5 {
+			t.Errorf("%s: %d lines", key, len(lines))
+			continue
+		}
+		seen := map[string]bool{}
+		for _, l := range lines {
+			if !strings.HasPrefix(l, "Hello from ") || !strings.Contains(l, "of 5") {
+				t.Errorf("%s: unexpected line %q", key, l)
+			}
+			if seen[l] {
+				t.Errorf("%s: duplicate line %q", key, l)
+			}
+			seen[l] = true
+		}
+	}
+}
+
+// TestAllMPIPatternletsRunInDisjointWorlds runs every MPI patternlet with
+// each rank on its own RemoteTransport — per-rank worlds with no shared
+// transport state, exactly the configuration mpirun -procs uses, without
+// the process-spawn overhead.
+func TestAllMPIPatternletsRunInDisjointWorlds(t *testing.T) {
+	for _, p := range Default.ByModel(core.MPI) {
+		p := p
+		t.Run(p.Key(), func(t *testing.T) {
+			np := p.DefaultTasks
+			if np == 0 {
+				np = 4
+			}
+			listeners := make([]net.Listener, np)
+			addrs := make([]string, np)
+			for i := 0; i < np; i++ {
+				ln, err := cluster.ListenLoopback()
+				if err != nil {
+					t.Fatal(err)
+				}
+				listeners[i] = ln
+				addrs[i] = ln.Addr().String()
+			}
+			var buf strings.Builder
+			w := core.NewSafeWriter(&buf)
+			var wg sync.WaitGroup
+			errs := make([]error, np)
+			for rank := 0; rank < np; rank++ {
+				tr, err := cluster.NewRemoteTransport(rank, np, addrs, listeners[rank])
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer tr.Close()
+				wg.Add(1)
+				go func(rank int, tr *cluster.RemoteTransport) {
+					defer wg.Done()
+					errs[rank] = core.RunPatternlet(p, w, core.RunOptions{
+						NumTasks: np,
+						Remote:   &core.RemoteExec{Rank: rank, NP: np, Transport: tr},
+					})
+				}(rank, tr)
+			}
+			wg.Wait()
+			for rank, err := range errs {
+				if err != nil {
+					t.Fatalf("rank %d: %v", rank, err)
+				}
+			}
+			if strings.TrimSpace(buf.String()) == "" {
+				t.Fatal("no output")
+			}
+		})
+	}
+}
+
+func containsLine(lines []string, want string) bool {
+	for _, l := range lines {
+		if l == want {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedInts(xs []int) []int {
+	out := append([]int(nil), xs...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,387 @@
+package collection
+
+// Figure-by-figure reproduction tests: each test pins the behaviour one of
+// the paper's output figures shows. Deterministic figures are compared
+// as (multi)sets of lines or golden text; inherently nondeterministic
+// interleavings are checked through their ordering invariants via the
+// trace recorder (see DESIGN.md §4).
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// capture runs a patternlet and returns its trimmed output lines.
+func capture(t *testing.T, key string, np int, toggles map[string]bool) []string {
+	t.Helper()
+	out, err := Default.Capture(key, core.RunOptions{NumTasks: np, Toggles: toggles})
+	if err != nil {
+		t.Fatalf("%s: %v", key, err)
+	}
+	return core.Lines(out)
+}
+
+// captureTraced additionally records trace events.
+func captureTraced(t *testing.T, key string, np int, toggles map[string]bool) ([]string, *trace.Recorder) {
+	t.Helper()
+	rec := &trace.Recorder{}
+	out, err := Default.Capture(key, core.RunOptions{NumTasks: np, Toggles: toggles, Trace: rec})
+	if err != nil {
+		t.Fatalf("%s: %v", key, err)
+	}
+	return core.Lines(out), rec
+}
+
+func sortedCopy(lines []string) []string {
+	cp := append([]string(nil), lines...)
+	sort.Strings(cp)
+	return cp
+}
+
+func assertSameLineSet(t *testing.T, got, want []string) {
+	t.Helper()
+	g, w := sortedCopy(got), sortedCopy(want)
+	if len(g) != len(w) {
+		t.Fatalf("got %d lines, want %d:\n%v\nvs\n%v", len(g), len(w), got, want)
+	}
+	for i := range w {
+		if g[i] != w[i] {
+			t.Fatalf("line sets differ:\ngot  %v\nwant %v", got, want)
+		}
+	}
+}
+
+// --- Figures 2 and 3: spmd.c (OpenMP) ---------------------------------
+
+func TestFigure2SPMDOneThread(t *testing.T) {
+	got := capture(t, "spmd.omp", 1, nil)
+	if len(got) != 1 || got[0] != "Hello from thread 0 of 1" {
+		t.Fatalf("Figure 2 output: %v", got)
+	}
+	// With the directive still commented out, even -np 4 stays sequential.
+	got = capture(t, "spmd.omp", 4, nil)
+	if len(got) != 1 || got[0] != "Hello from thread 0 of 1" {
+		t.Fatalf("directive-off output with 4 tasks: %v", got)
+	}
+}
+
+func TestFigure3SPMDFourThreads(t *testing.T) {
+	got := capture(t, "spmd.omp", 4, map[string]bool{"parallel": true})
+	var want []string
+	for i := 0; i < 4; i++ {
+		want = append(want, fmt.Sprintf("Hello from thread %d of 4", i))
+	}
+	assertSameLineSet(t, got, want)
+}
+
+// --- Figures 5 and 6: spmd.c (MPI) -------------------------------------
+
+func TestFigure5SPMDOneProcess(t *testing.T) {
+	got := capture(t, "spmd.mpi", 1, nil)
+	if len(got) != 1 || got[0] != "Hello from process 0 of 1 on node-01" {
+		t.Fatalf("Figure 5 output: %v", got)
+	}
+}
+
+func TestFigure6SPMDFourProcessesOnFourNodes(t *testing.T) {
+	got := capture(t, "spmd.mpi", 4, nil)
+	var want []string
+	for i := 0; i < 4; i++ {
+		want = append(want, fmt.Sprintf("Hello from process %d of 4 on node-%02d", i, i+1))
+	}
+	assertSameLineSet(t, got, want)
+}
+
+// --- Figures 8 and 9: barrier.c (OpenMP) --------------------------------
+
+func TestFigure8BarrierOffLineSet(t *testing.T) {
+	got := capture(t, "barrier.omp", 4, nil)
+	var want []string
+	for i := 0; i < 4; i++ {
+		want = append(want, fmt.Sprintf("Thread %d of 4 is BEFORE the barrier.", i))
+		want = append(want, fmt.Sprintf("Thread %d of 4 is AFTER the barrier.", i))
+	}
+	assertSameLineSet(t, got, want)
+}
+
+func TestFigure9BarrierOnOrdersPhases(t *testing.T) {
+	for run := 0; run < 10; run++ {
+		_, rec := captureTraced(t, "barrier.omp", 4, map[string]bool{"barrier": true})
+		if !rec.PhaseOrdered("before", "after") {
+			t.Fatalf("run %d: an AFTER event preceded a BEFORE event despite the barrier:\n%s",
+				run, rec.Timeline())
+		}
+		if len(rec.ByPhase("before")) != 4 || len(rec.ByPhase("after")) != 4 {
+			t.Fatalf("run %d: wrong event counts", run)
+		}
+	}
+}
+
+func TestBarrierOutputTextOrderWithBarrier(t *testing.T) {
+	// The printed lines themselves must also respect the phase split.
+	for run := 0; run < 5; run++ {
+		lines := capture(t, "barrier.omp", 4, map[string]bool{"barrier": true})
+		lastBefore, firstAfter := -1, len(lines)
+		for i, l := range lines {
+			if strings.Contains(l, "BEFORE") {
+				lastBefore = i
+			} else if strings.Contains(l, "AFTER") && i < firstAfter {
+				firstAfter = i
+			}
+		}
+		if lastBefore > firstAfter {
+			t.Fatalf("run %d: BEFORE at line %d after AFTER at line %d:\n%s",
+				run, lastBefore, firstAfter, strings.Join(lines, "\n"))
+		}
+	}
+}
+
+// --- Figures 11 and 12: barrier.c (MPI) ---------------------------------
+
+func TestFigure11MPIBarrierOffLineSet(t *testing.T) {
+	got := capture(t, "barrier.mpi", 4, nil)
+	var want []string
+	for i := 0; i < 4; i++ {
+		want = append(want, fmt.Sprintf("Process %d of 4 is BEFORE the barrier.", i))
+		want = append(want, fmt.Sprintf("Process %d of 4 is AFTER the barrier.", i))
+	}
+	assertSameLineSet(t, got, want)
+}
+
+func TestFigure12MPIBarrierOnOrdersPhases(t *testing.T) {
+	for run := 0; run < 10; run++ {
+		lines, rec := captureTraced(t, "barrier.mpi", 4, map[string]bool{"barrier": true})
+		if !rec.PhaseOrdered("before", "after") {
+			t.Fatalf("run %d: barrier violated:\n%s", run, strings.Join(lines, "\n"))
+		}
+		// The master funnels output, so the printed text shows it too.
+		lastBefore, firstAfter := -1, len(lines)
+		for i, l := range lines {
+			if strings.Contains(l, "BEFORE") {
+				lastBefore = i
+			} else if strings.Contains(l, "AFTER") && i < firstAfter {
+				firstAfter = i
+			}
+		}
+		if lastBefore > firstAfter {
+			t.Fatalf("run %d: printed output violates barrier ordering", run)
+		}
+	}
+}
+
+// --- Figures 14–15: parallelLoopEqualChunks.c (OpenMP) -------------------
+
+func TestFigure14EqualChunksOneThread(t *testing.T) {
+	got := capture(t, "parallelLoopEqualChunks.omp", 1, nil)
+	var want []string
+	for i := 0; i < 8; i++ {
+		want = append(want, fmt.Sprintf("Thread 0 performed iteration %d", i))
+	}
+	// One thread: deterministic order too.
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Figure 14 line %d: %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFigure15EqualChunksTwoThreads(t *testing.T) {
+	_, rec := captureTraced(t, "parallelLoopEqualChunks.omp", 2, nil)
+	vals := rec.ValuesByTask("iter")
+	assertIters(t, vals[0], []int{0, 1, 2, 3})
+	assertIters(t, vals[1], []int{4, 5, 6, 7})
+}
+
+func TestEqualChunksFourThreads(t *testing.T) {
+	_, rec := captureTraced(t, "parallelLoopEqualChunks.omp", 4, nil)
+	vals := rec.ValuesByTask("iter")
+	for tid := 0; tid < 4; tid++ {
+		assertIters(t, vals[tid], []int{tid * 2, tid*2 + 1})
+	}
+}
+
+// --- Figures 17–18: parallelLoopEqualChunks.c (MPI) ----------------------
+
+func TestFigure17MPIEqualChunksTwoProcesses(t *testing.T) {
+	_, rec := captureTraced(t, "parallelLoopEqualChunks.mpi", 2, nil)
+	vals := rec.ValuesByTask("iter")
+	assertIters(t, vals[0], []int{0, 1, 2, 3})
+	assertIters(t, vals[1], []int{4, 5, 6, 7})
+}
+
+func TestFigure18MPIEqualChunksFourProcesses(t *testing.T) {
+	_, rec := captureTraced(t, "parallelLoopEqualChunks.mpi", 4, nil)
+	vals := rec.ValuesByTask("iter")
+	for id := 0; id < 4; id++ {
+		assertIters(t, vals[id], []int{id * 2, id*2 + 1})
+	}
+}
+
+func TestMPIEqualChunksUnevenDivision(t *testing.T) {
+	// 8 iterations over 3 processes: ceil(8/3)=3, so 3+3+2.
+	_, rec := captureTraced(t, "parallelLoopEqualChunks.mpi", 3, nil)
+	vals := rec.ValuesByTask("iter")
+	assertIters(t, vals[0], []int{0, 1, 2})
+	assertIters(t, vals[1], []int{3, 4, 5})
+	assertIters(t, vals[2], []int{6, 7})
+}
+
+// --- chunksOf1 striping ---------------------------------------------------
+
+func TestChunksOf1OMPStripes(t *testing.T) {
+	_, rec := captureTraced(t, "parallelLoopChunksOf1.omp", 4, nil)
+	for tid, iters := range rec.ValuesByTask("iter") {
+		for _, i := range iters {
+			if i%4 != tid {
+				t.Fatalf("thread %d performed iteration %d", tid, i)
+			}
+		}
+	}
+}
+
+func TestChunksOf1MPIStripes(t *testing.T) {
+	_, rec := captureTraced(t, "parallelLoopChunksOf1.mpi", 4, nil)
+	total := 0
+	for id, iters := range rec.ValuesByTask("iter") {
+		total += len(iters)
+		for _, i := range iters {
+			if i%4 != id {
+				t.Fatalf("process %d performed iteration %d", id, i)
+			}
+		}
+	}
+	if total != 16 {
+		t.Fatalf("total iterations %d, want 16", total)
+	}
+}
+
+// --- Figures 21 and 22: reduction.c (OpenMP) -----------------------------
+
+func parseSums(t *testing.T, lines []string) (seq, par int64) {
+	t.Helper()
+	for _, l := range lines {
+		var v int64
+		if n, _ := fmt.Sscanf(l, "Seq. sum: %d", &v); n == 1 {
+			seq = v
+		}
+		if n, _ := fmt.Sscanf(l, "Par. sum: %d", &v); n == 1 {
+			par = v
+		}
+	}
+	if seq == 0 {
+		t.Fatalf("could not parse sums from %v", lines)
+	}
+	return seq, par
+}
+
+func TestFigure21SequentialAndParallelAgree(t *testing.T) {
+	// Directive off entirely: both sums sequential, equal (Figure 21).
+	seq, par := parseSums(t, capture(t, "reduction.omp", 1, nil))
+	if seq != par {
+		t.Fatalf("seq %d != par %d with directives off", seq, par)
+	}
+	// Both directives on: parallel but correct.
+	seq, par = parseSums(t, capture(t, "reduction.omp", 4,
+		map[string]bool{"parallel": true, "reduction": true}))
+	if seq != par {
+		t.Fatalf("reduction clause on but seq %d != par %d", seq, par)
+	}
+}
+
+func TestFigure22RaceCorruptsSum(t *testing.T) {
+	// parallel on, reduction off: the data race loses updates. The loss is
+	// probabilistic; retry a few times but never allow an overshoot.
+	sawLoss := false
+	for attempt := 0; attempt < 5 && !sawLoss; attempt++ {
+		seq, par := parseSums(t, capture(t, "reduction.omp", 4,
+			map[string]bool{"parallel": true}))
+		if par > seq {
+			t.Fatalf("racy sum overshot: %d > %d", par, seq)
+		}
+		if par < seq {
+			sawLoss = true
+		}
+	}
+	if !sawLoss {
+		t.Skip("race did not manifest in 5 attempts")
+	}
+}
+
+// --- Figure 24: reduction.c (MPI) ----------------------------------------
+
+func TestFigure24ReductionMPITenProcesses(t *testing.T) {
+	got := capture(t, "reduction.mpi", 10, nil)
+	var want []string
+	for i := 0; i < 10; i++ {
+		want = append(want, fmt.Sprintf("Process %d computed %d", i, (i+1)*(i+1)))
+	}
+	want = append(want, "The sum of the squares is 385")
+	want = append(want, "The max of the squares is 100")
+	assertSameLineSet(t, got, want)
+	// The two summary lines come last, in order (master prints them after
+	// the reduction).
+	if got[len(got)-2] != "The sum of the squares is 385" ||
+		got[len(got)-1] != "The max of the squares is 100" {
+		t.Fatalf("summary lines misplaced: %v", got[len(got)-2:])
+	}
+}
+
+// --- Figures 26–28: gather.c (MPI) ---------------------------------------
+
+func gatherWant(np int) []string {
+	var want []string
+	var gathered []string
+	for r := 0; r < np; r++ {
+		want = append(want, fmt.Sprintf("Process %d, computeArray:  %d %d %d", r, r*10, r*10+1, r*10+2))
+		gathered = append(gathered, fmt.Sprintf("%d %d %d", r*10, r*10+1, r*10+2))
+	}
+	want = append(want, "Process 0, gatherArray:  "+strings.Join(gathered, " "))
+	return want
+}
+
+func TestFigures26to28Gather(t *testing.T) {
+	for _, np := range []int{2, 4, 6} {
+		got := capture(t, "gather.mpi", np, nil)
+		assertSameLineSet(t, got, gatherWant(np))
+		// The gatherArray line is last: it depends on every contribution.
+		if !strings.Contains(got[len(got)-1], "gatherArray") {
+			t.Fatalf("np=%d: gatherArray not printed last: %v", np, got)
+		}
+	}
+}
+
+// --- Figure 30: critical2.c ----------------------------------------------
+
+func TestFigure30Critical2BothExactAndTimed(t *testing.T) {
+	lines := capture(t, "critical2.omp", 4, nil)
+	text := strings.Join(lines, "\n")
+	// Both mechanisms must produce the exact balance.
+	if !strings.Contains(text, "balance = 400000.00") {
+		t.Fatalf("expected exact balances in:\n%s", text)
+	}
+	if strings.Count(text, "balance = 400000.00") != 2 {
+		t.Fatalf("both atomic and critical should be exact:\n%s", text)
+	}
+	if !strings.Contains(text, "criticalTime / atomicTime ratio:") {
+		t.Fatalf("missing ratio line:\n%s", text)
+	}
+}
+
+func assertIters(t *testing.T, got, want []int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("iterations %v, want %v", got, want)
+	}
+	g := append([]int(nil), got...)
+	sort.Ints(g)
+	for i := range want {
+		if g[i] != want[i] {
+			t.Fatalf("iterations %v, want %v", got, want)
+		}
+	}
+}

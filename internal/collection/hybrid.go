@@ -1,0 +1,86 @@
+package collection
+
+// The 2 heterogeneous (MPI+OpenMP) patternlets: the MPI+X structure of
+// §I.B.3, with MPI distributing processes across nodes and OpenMP forking
+// threads within each process.
+
+import (
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/omp"
+)
+
+// hybridThreadsPerProcess is the inner OpenMP team size the hybrid
+// patternlets fork inside each MPI process (two threads per process keeps
+// the output readable at any -np, as the CSinParallel originals do).
+const hybridThreadsPerProcess = 2
+
+func init() {
+	register(spmdHybrid())
+	register(reductionHybrid())
+}
+
+// spmdHybrid nests the two SPMD hellos: one line per thread per process.
+func spmdHybrid() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "spmd",
+		Model:    core.Hybrid,
+		Patterns: []core.Pattern{core.SPMD, core.ForkJoin, core.MessagePassing},
+		Synopsis: "MPI processes across nodes, each forking an OpenMP team: hello from every thread of every process",
+		Exercise: "With -np 3 and 2 threads per process, how many Hello lines print? Which pair\n" +
+			"of ids identifies a line uniquely, and which substrate provides each id?",
+		DefaultTasks: 2,
+		Run: func(rc *core.RunContext) error {
+			return mpiRun(rc, func(c *mpi.Comm) error {
+				rank, np, node := c.Rank(), c.Size(), c.ProcessorName()
+				omp.Parallel(func(t *omp.Thread) {
+					rc.Record(rank*hybridThreadsPerProcess+t.ThreadNum(), "hello", 0)
+					rc.W.Printf("Hello from thread %d of %d on process %d of %d (%s)\n",
+						t.ThreadNum(), t.NumThreads(), rank, np, node)
+				}, omp.WithNumThreads(hybridThreadsPerProcess))
+				return nil
+			})
+		},
+	}
+}
+
+// reductionHybrid reduces in two stages: each process's OpenMP team
+// reduces its local slice in shared memory, then MPI reduces the local
+// sums across processes — the canonical MPI+OpenMP composition.
+func reductionHybrid() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "reduction",
+		Model:    core.Hybrid,
+		Patterns: []core.Pattern{core.Reduction, core.DataDecomposition, core.SPMD},
+		Synopsis: "two-level reduction: OpenMP within each process, MPI across processes",
+		Exercise: "The data is 1..np*1000 split across processes. Verify the grand total equals\n" +
+			"n(n+1)/2. Which stage of the combining crosses node boundaries?",
+		DefaultTasks: 2,
+		Run: func(rc *core.RunContext) error {
+			const perProcess = 1000
+			return mpiRun(rc, func(c *mpi.Comm) error {
+				rank := c.Rank()
+				// This process's slice of the global 1..np*perProcess data.
+				local := make([]int64, perProcess)
+				for i := range local {
+					local[i] = int64(rank*perProcess + i + 1)
+				}
+				// Stage 1: shared-memory reduction within the process.
+				localSum := omp.ParallelForReduce(perProcess, omp.StaticEqual(), omp.Sum[int64](), 0,
+					func(i int) int64 { return local[i] },
+					omp.WithNumThreads(hybridThreadsPerProcess))
+				rc.W.Printf("Process %d local sum: %d\n", rank, localSum)
+				// Stage 2: message-passing reduction across processes.
+				total, err := mpi.Reduce(c, localSum, mpi.Sum[int64](), master)
+				if err != nil {
+					return err
+				}
+				if rank == master {
+					n := int64(c.Size() * perProcess)
+					rc.W.Printf("Grand total: %d (expected %d)\n", total, n*(n+1)/2)
+				}
+				return nil
+			})
+		},
+	}
+}

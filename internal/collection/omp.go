@@ -1,0 +1,591 @@
+package collection
+
+// The 17 OpenMP patternlets (§III presents spmd, barrier,
+// parallelLoopEqualChunks, reduction and critical2 in full; §III.E names
+// the rest). Each mirrors its C original's observable behaviour.
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/omp"
+)
+
+func init() {
+	register(spmdOMP())
+	register(spmd2OMP())
+	register(forkJoinOMP())
+	register(forkJoin2OMP())
+	register(barrierOMP())
+	register(masterWorkerOMP())
+	register(parallelLoopEqualChunksOMP())
+	register(parallelLoopChunksOf1OMP())
+	register(parallelLoopDynamicOMP())
+	register(reductionOMP())
+	register(reduction2OMP())
+	register(privateOMP())
+	register(atomicOMP())
+	register(criticalOMP())
+	register(critical2OMP())
+	register(sectionsOMP())
+	register(mutualExclusionOMP())
+}
+
+// spmdOMP is Figure 1: the canonical SPMD hello. With the "parallel"
+// directive off it prints one line from thread 0 of 1 (Figure 2); enabled
+// it prints one line per team member in nondeterministic order (Figure 3).
+func spmdOMP() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "spmd",
+		Model:    core.OpenMP,
+		Patterns: []core.Pattern{core.SPMD},
+		Synopsis: "single program multiple data: every thread runs the same code with a different id",
+		Exercise: "Compile and run. Uncomment the parallel directive (enable the 'parallel' toggle),\n" +
+			"rerun, and compare. Rerun several times: why does the order of the Hello lines change?",
+		Directives: []core.Directive{
+			{Name: "parallel", Pragma: "#pragma omp parallel", Default: false},
+		},
+		DefaultTasks: 4,
+		Run: func(rc *core.RunContext) error {
+			body := func(t *omp.Thread) {
+				rc.Record(t.ThreadNum(), "hello", 0)
+				rc.W.Printf("Hello from thread %d of %d\n", t.ThreadNum(), t.NumThreads())
+			}
+			n := 1
+			if rc.Enabled("parallel") {
+				n = rc.NumTasks
+			}
+			omp.Parallel(body, omp.WithNumThreads(n))
+			return nil
+		},
+	}
+}
+
+// spmd2OMP takes the thread count from the command line (the atoi(argv[1])
+// idiom the paper's barrier.c shows), so students can sweep team sizes.
+func spmd2OMP() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "spmd2",
+		Model:    core.OpenMP,
+		Patterns: []core.Pattern{core.SPMD},
+		Synopsis: "SPMD with a user-chosen number of threads",
+		Exercise: "Run with 1, 2, 4 and 8 threads. Is the number of Hello lines always what you asked\n" +
+			"for? Does any thread id ever repeat or go missing?",
+		DefaultTasks: 4,
+		Run: func(rc *core.RunContext) error {
+			omp.Parallel(func(t *omp.Thread) {
+				rc.Record(t.ThreadNum(), "hello", 0)
+				rc.W.Printf("Hello from thread %d of %d\n", t.ThreadNum(), t.NumThreads())
+			}, omp.WithNumThreads(rc.NumTasks))
+			return nil
+		},
+	}
+}
+
+// forkJoinOMP shows the fork/join boundary: sequential before, a team
+// during, sequential after.
+func forkJoinOMP() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "forkJoin",
+		Model:    core.OpenMP,
+		Patterns: []core.Pattern{core.ForkJoin},
+		Synopsis: "one fork/join region between two sequential sections",
+		Exercise: "Predict how many times each message prints before running. Enable the 'parallel'\n" +
+			"toggle and verify: which lines print once and which print once per thread?",
+		Directives: []core.Directive{
+			{Name: "parallel", Pragma: "#pragma omp parallel", Default: false},
+		},
+		DefaultTasks: 4,
+		Run: func(rc *core.RunContext) error {
+			rc.Record(0, "before", 0)
+			rc.W.Printf("Before...\n")
+			n := 1
+			if rc.Enabled("parallel") {
+				n = rc.NumTasks
+			}
+			omp.Parallel(func(t *omp.Thread) {
+				rc.Record(t.ThreadNum(), "during", 0)
+				rc.W.Printf("During: thread %d of %d\n", t.ThreadNum(), t.NumThreads())
+			}, omp.WithNumThreads(n))
+			rc.Record(0, "after", 0)
+			rc.W.Printf("After.\n")
+			return nil
+		},
+	}
+}
+
+// forkJoin2OMP forks three successive teams of different sizes, showing
+// that regions are independent fork/join episodes.
+func forkJoin2OMP() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "forkJoin2",
+		Model:    core.OpenMP,
+		Patterns: []core.Pattern{core.ForkJoin},
+		Synopsis: "multiple fork/join regions with different team sizes",
+		Exercise: "The program forks teams of 1, N and 2N threads. How many lines does each region\n" +
+			"print? What stays the same across runs, and what changes?",
+		DefaultTasks: 2,
+		Run: func(rc *core.RunContext) error {
+			for region, n := range []int{1, rc.NumTasks, 2 * rc.NumTasks} {
+				omp.Parallel(func(t *omp.Thread) {
+					rc.Record(t.ThreadNum(), "region", region)
+					rc.W.Printf("Region %d: hello from thread %d of %d\n", region, t.ThreadNum(), t.NumThreads())
+				}, omp.WithNumThreads(n))
+			}
+			return nil
+		},
+	}
+}
+
+// barrierOMP is Figure 7. With the barrier off, BEFORE and AFTER lines
+// interleave (Figure 8); with it on, every BEFORE precedes every AFTER
+// (Figure 9).
+func barrierOMP() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "barrier",
+		Model:    core.OpenMP,
+		Patterns: []core.Pattern{core.BarrierPattern, core.SPMD},
+		Synopsis: "a barrier separates every thread's 'before' work from any thread's 'after' work",
+		Exercise: "Run with 4 threads and note how BEFORE/AFTER lines interleave. Enable the\n" +
+			"'barrier' toggle and rerun: state the guarantee the barrier provides.",
+		Directives: []core.Directive{
+			{Name: "barrier", Pragma: "#pragma omp barrier", Default: false},
+		},
+		DefaultTasks: 4,
+		Run: func(rc *core.RunContext) error {
+			useBarrier := rc.Enabled("barrier")
+			omp.Parallel(func(t *omp.Thread) {
+				id, n := t.ThreadNum(), t.NumThreads()
+				rc.Record(id, "before", 0)
+				rc.W.Printf("Thread %d of %d is BEFORE the barrier.\n", id, n)
+				if useBarrier {
+					t.Barrier()
+				}
+				rc.Record(id, "after", 0)
+				rc.W.Printf("Thread %d of %d is AFTER the barrier.\n", id, n)
+			}, omp.WithNumThreads(rc.NumTasks))
+			return nil
+		},
+	}
+}
+
+// masterWorkerOMP differentiates thread 0's role from the workers'.
+func masterWorkerOMP() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "masterWorker",
+		Model:    core.OpenMP,
+		Patterns: []core.Pattern{core.MasterWorker, core.SPMD},
+		Synopsis: "thread 0 takes the master role, the rest are workers",
+		Exercise: "Run with several thread counts. Exactly one greeting should come from the\n" +
+			"master regardless of team size — why is testing the thread id enough?",
+		DefaultTasks: 4,
+		Run: func(rc *core.RunContext) error {
+			omp.Parallel(func(t *omp.Thread) {
+				id, n := t.ThreadNum(), t.NumThreads()
+				if id == 0 {
+					rc.Record(id, "master", 0)
+					rc.W.Printf("Greetings from the master, #%d of %d\n", id, n)
+				} else {
+					rc.Record(id, "worker", 0)
+					rc.W.Printf("Hello from worker #%d of %d\n", id, n)
+				}
+			}, omp.WithNumThreads(rc.NumTasks))
+			return nil
+		},
+	}
+}
+
+// parallelLoopEqualChunksOMP is Figure 13: 8 iterations divided into one
+// contiguous chunk per thread (Figures 14–15).
+func parallelLoopEqualChunksOMP() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "parallelLoopEqualChunks",
+		Model:    core.OpenMP,
+		Patterns: []core.Pattern{core.ParallelLoop, core.DataDecomposition},
+		Synopsis: "loop iterations divided into equal contiguous chunks (schedule(static))",
+		Exercise: "Run with 1, 2 and 4 threads. Which iterations does each thread perform?\n" +
+			"Write the formula for thread i's first and last iteration.",
+		DefaultTasks: 2,
+		Run: func(rc *core.RunContext) error {
+			const reps = 8
+			omp.Parallel(func(t *omp.Thread) {
+				t.For(0, reps, omp.StaticEqual(), func(i int) {
+					rc.Record(t.ThreadNum(), "iter", i)
+					rc.W.Printf("Thread %d performed iteration %d\n", t.ThreadNum(), i)
+				})
+			}, omp.WithNumThreads(rc.NumTasks))
+			return nil
+		},
+	}
+}
+
+// parallelLoopChunksOf1OMP stripes iterations round-robin
+// (schedule(static,1)).
+func parallelLoopChunksOf1OMP() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "parallelLoopChunksOf1",
+		Model:    core.OpenMP,
+		Patterns: []core.Pattern{core.ParallelLoop, core.DataDecomposition},
+		Synopsis: "loop iterations dealt out one at a time, round-robin (schedule(static,1))",
+		Exercise: "Compare with parallelLoopEqualChunks using the same thread count: how does the\n" +
+			"iteration-to-thread assignment differ? When would striping balance load better?",
+		DefaultTasks: 2,
+		Run: func(rc *core.RunContext) error {
+			const reps = 16
+			omp.Parallel(func(t *omp.Thread) {
+				t.For(0, reps, omp.StaticChunk(1), func(i int) {
+					rc.Record(t.ThreadNum(), "iter", i)
+					rc.W.Printf("Thread %d performed iteration %d\n", t.ThreadNum(), i)
+				})
+			}, omp.WithNumThreads(rc.NumTasks))
+			return nil
+		},
+	}
+}
+
+// parallelLoopDynamicOMP hands out iterations on demand, balancing an
+// imbalanced workload (iteration i costs ~i work units).
+func parallelLoopDynamicOMP() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "parallelLoopDynamic",
+		Model:    core.OpenMP,
+		Patterns: []core.Pattern{core.ParallelLoop, core.DataDecomposition},
+		Synopsis: "iterations claimed on demand (schedule(dynamic,1)) to balance uneven work",
+		Exercise: "Iterations get more expensive as i grows. Compare how many iterations each\n" +
+			"thread performs here versus under the static schedules. Which finishes soonest?",
+		DefaultTasks: 2,
+		Run: func(rc *core.RunContext) error {
+			const reps = 16
+			omp.Parallel(func(t *omp.Thread) {
+				t.For(0, reps, omp.Dynamic(1), func(i int) {
+					// Simulated increasing cost: iteration i busy-waits ~i µs.
+					busyWait(time.Duration(i) * 50 * time.Microsecond)
+					rc.Record(t.ThreadNum(), "iter", i)
+					rc.W.Printf("Thread %d performed iteration %d\n", t.ThreadNum(), i)
+				})
+			}, omp.WithNumThreads(rc.NumTasks))
+			return nil
+		},
+	}
+}
+
+// busyWait spins for roughly d, yielding nothing to the scheduler — a
+// stand-in for real per-iteration computation.
+func busyWait(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+// reductionOMP is Figure 20: an array summed sequentially and "in
+// parallel". With the parallel directive on but reduction off, the shared
+// sum races and the result is wrong (Figure 22); with both on, the
+// parallel sum matches the sequential one (Figure 21).
+func reductionOMP() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "reduction",
+		Model:    core.OpenMP,
+		Patterns: []core.Pattern{core.Reduction, core.ParallelLoop},
+		Synopsis: "summing an array: sequential vs parallel, with and without the reduction clause",
+		Exercise: "Enable 'parallel' only and rerun several times: why is the parallel sum wrong,\n" +
+			"and why does it differ run to run? Enable 'reduction' too and explain the fix.",
+		Directives: []core.Directive{
+			{Name: "parallel", Pragma: "#pragma omp parallel for", Default: false},
+			{Name: "reduction", Pragma: "reduction(+:sum)", Default: false},
+		},
+		DefaultTasks: 4,
+		Run: func(rc *core.RunContext) error {
+			const size = 100000
+			rng := rand.New(rand.NewSource(42))
+			a := make([]int64, size)
+			for i := range a {
+				a[i] = int64(rng.Intn(1000))
+			}
+			var seq int64
+			for _, v := range a {
+				seq += v
+			}
+
+			var par int64
+			switch {
+			case !rc.Enabled("parallel"):
+				for _, v := range a {
+					par += v
+				}
+			case !rc.Enabled("reduction"):
+				// The race of Figure 22: every thread updates one shared
+				// accumulator with an unprotected read-modify-write.
+				var shared omp.UnsafeInt
+				omp.ParallelFor(size, omp.StaticEqual(), func(i, _ int) {
+					shared.Add(a[i])
+				}, omp.WithNumThreads(rc.NumTasks))
+				par = shared.Value()
+			default:
+				par = omp.ParallelForReduce(size, omp.StaticEqual(), omp.Sum[int64](), 0,
+					func(i int) int64 { return a[i] }, omp.WithNumThreads(rc.NumTasks))
+			}
+			rc.W.Printf("Seq. sum: \t%d\nPar. sum: \t%d\n", seq, par)
+			return nil
+		},
+	}
+}
+
+// reduction2OMP applies the other reduction operators the paper lists
+// (§III.D permits +, *, max, min, bitwise and logical operators).
+func reduction2OMP() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "reduction2",
+		Model:    core.OpenMP,
+		Patterns: []core.Pattern{core.Reduction},
+		Synopsis: "reductions with operators beyond +: product, max, min",
+		Exercise: "Each thread contributes (id+1). Predict the four results for 4 threads, then\n" +
+			"verify. What must be true of an operator for a tree reduction to be valid?",
+		DefaultTasks: 4,
+		Run: func(rc *core.RunContext) error {
+			var sum, prod, mx, mn int
+			omp.Parallel(func(t *omp.Thread) {
+				local := t.ThreadNum() + 1
+				s := omp.Reduce(t, omp.Sum[int](), local)
+				p := omp.Reduce(t, omp.Prod[int](), local)
+				hi := omp.Reduce(t, omp.Max[int](), local)
+				lo := omp.Reduce(t, omp.Min[int](), local)
+				t.Master(func() { sum, prod, mx, mn = s, p, hi, lo })
+			}, omp.WithNumThreads(rc.NumTasks))
+			rc.W.Printf("sum  = %d\nprod = %d\nmax  = %d\nmin  = %d\n", sum, prod, mx, mn)
+			return nil
+		},
+	}
+}
+
+// privateOMP contrasts a shared loop index (a race: iterations lost or
+// repeated) with proper private indices.
+func privateOMP() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "private",
+		Model:    core.OpenMP,
+		Patterns: []core.Pattern{core.MutualExclusion, core.SPMD},
+		Synopsis: "why loop variables must be private: a shared index corrupts the iteration count",
+		Exercise: "With 'private' off, all threads share one loop index; run a few times and count\n" +
+			"the iterations actually executed. Enable 'private' and explain the difference.",
+		Directives: []core.Directive{
+			{Name: "private", Pragma: "private(i)", Default: false},
+		},
+		DefaultTasks: 4,
+		Run: func(rc *core.RunContext) error {
+			const reps = 8
+			expected := reps * rc.NumTasks
+			var executed omp.UnsafeInt
+			if rc.Enabled("private") {
+				omp.Parallel(func(t *omp.Thread) {
+					for i := 0; i < reps; i++ { // i is private to each thread
+						executed.Add(0) // touch the counter without racing the index
+						rc.Record(t.ThreadNum(), "iter", i)
+					}
+					rc.W.Printf("Thread %d executed %d iterations\n", t.ThreadNum(), reps)
+				}, omp.WithNumThreads(rc.NumTasks))
+				rc.W.Printf("Total iterations executed: %d (expected %d)\n", expected, expected)
+				return nil
+			}
+			// Shared index: every thread increments the same i without
+			// protection, so threads skip over each other's increments.
+			var shared omp.UnsafeInt
+			var count omp.UnsafeInt
+			omp.Parallel(func(t *omp.Thread) {
+				for shared.Value() < int64(expected) {
+					shared.Add(1)
+					count.Add(1)
+					rc.Record(t.ThreadNum(), "iter", int(shared.Value()))
+				}
+			}, omp.WithNumThreads(rc.NumTasks))
+			rc.W.Printf("Total iterations executed: %d (expected %d)\n", count.Value(), expected)
+			return nil
+		},
+	}
+}
+
+// atomicOMP is the race patternlet of §III.E: concurrent $1 deposits to a
+// shared balance lose money unless each update is atomic.
+func atomicOMP() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "atomic",
+		Model:    core.OpenMP,
+		Patterns: []core.Pattern{core.AtomicUpdate, core.MutualExclusion},
+		Synopsis: "unprotected deposits to a shared balance lose updates; #pragma omp atomic fixes it",
+		Exercise: "With 'atomic' off, how much of the money do you actually end up with? Rerun —\n" +
+			"does the loss change? Enable 'atomic' and state why the result is now exact.",
+		Directives: []core.Directive{
+			{Name: "atomic", Pragma: "#pragma omp atomic", Default: false},
+		},
+		DefaultTasks: 4,
+		Run: func(rc *core.RunContext) error {
+			const reps = 20000
+			total := reps * rc.NumTasks
+			var balance float64
+			if rc.Enabled("atomic") {
+				var cell uint64
+				omp.ParallelFor(total, omp.StaticEqual(), func(_, _ int) {
+					omp.AtomicAddFloat64(&cell, 1.0)
+				}, omp.WithNumThreads(rc.NumTasks))
+				balance = omp.LoadFloat64(&cell)
+			} else {
+				var c omp.UnsafeCounter
+				omp.ParallelFor(total, omp.StaticEqual(), func(_, _ int) {
+					c.Add(1.0)
+				}, omp.WithNumThreads(rc.NumTasks))
+				balance = c.Value()
+			}
+			rc.W.Printf("After %d $1 deposits, your balance is %.2f (expected %d.00)\n", total, balance, total)
+			return nil
+		},
+	}
+}
+
+// criticalOMP is the same race fixed with a critical section instead.
+func criticalOMP() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "critical",
+		Model:    core.OpenMP,
+		Patterns: []core.Pattern{core.CriticalSection, core.MutualExclusion},
+		Synopsis: "the deposit race fixed with #pragma omp critical",
+		Exercise: "Enable 'critical' and verify the balance is exact. atomic also fixes this\n" +
+			"program — what can critical protect that atomic cannot?",
+		Directives: []core.Directive{
+			{Name: "critical", Pragma: "#pragma omp critical", Default: false},
+		},
+		DefaultTasks: 4,
+		Run: func(rc *core.RunContext) error {
+			const reps = 20000
+			total := reps * rc.NumTasks
+			var balance float64
+			if rc.Enabled("critical") {
+				omp.Parallel(func(t *omp.Thread) {
+					t.For(0, total, omp.StaticEqual(), func(int) {
+						t.Critical("balance", func() { balance += 1.0 })
+					})
+				}, omp.WithNumThreads(rc.NumTasks))
+			} else {
+				var c omp.UnsafeCounter
+				omp.ParallelFor(total, omp.StaticEqual(), func(_, _ int) {
+					c.Add(1.0)
+				}, omp.WithNumThreads(rc.NumTasks))
+				balance = c.Value()
+			}
+			rc.W.Printf("After %d $1 deposits, your balance is %.2f (expected %d.00)\n", total, balance, total)
+			return nil
+		},
+	}
+}
+
+// critical2OMP is Figure 29: both atomic and critical give the right
+// answer, but at very different per-deposit costs (Figure 30 reports a
+// ~16.5x ratio on the authors' 8-thread machine).
+func critical2OMP() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "critical2",
+		Model:    core.OpenMP,
+		Patterns: []core.Pattern{core.AtomicUpdate, core.CriticalSection, core.MutualExclusion},
+		Synopsis: "timing atomic vs critical: both are correct, atomic is much cheaper",
+		Exercise: "Run with 2, 4 and 8 threads and record the critical/atomic time ratio each\n" +
+			"time. Why does the gap grow with contention?",
+		DefaultTasks: 4,
+		Run: func(rc *core.RunContext) error {
+			reps := 100000
+			total := reps * rc.NumTasks
+			rc.W.Printf("Your starting bank account balance is 0.00\n\n")
+
+			var cell uint64
+			start := omp.GetWTime()
+			omp.ParallelFor(total, omp.StaticEqual(), func(_, _ int) {
+				omp.AtomicAddFloat64(&cell, 1.0)
+			}, omp.WithNumThreads(rc.NumTasks))
+			atomicTime := omp.GetWTime() - start
+			rc.W.Printf("After %d $1 deposits using 'atomic':\n - balance = %.2f,\n - total time = %.12f,\n - average time per deposit = %.12f\n\n",
+				total, omp.LoadFloat64(&cell), atomicTime, atomicTime/float64(total))
+
+			balance := 0.0
+			start = omp.GetWTime()
+			omp.Parallel(func(t *omp.Thread) {
+				t.For(0, total, omp.StaticEqual(), func(int) {
+					t.Critical("balance", func() { balance += 1.0 })
+				})
+			}, omp.WithNumThreads(rc.NumTasks))
+			criticalTime := omp.GetWTime() - start
+			rc.W.Printf("After %d $1 deposits using 'critical':\n - balance = %.2f,\n - total time = %.12f,\n - average time per deposit = %.12f\n\n",
+				total, balance, criticalTime, criticalTime/float64(total))
+
+			if atomicTime > 0 {
+				rc.W.Printf("criticalTime / atomicTime ratio: %.12f\n", criticalTime/atomicTime)
+			}
+			return nil
+		},
+	}
+}
+
+// sectionsOMP distributes independent tasks (not loop iterations) across
+// the team — the Task Decomposition route into parallelism.
+func sectionsOMP() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "sections",
+		Model:    core.OpenMP,
+		Patterns: []core.Pattern{core.TaskDecomposition, core.ForkJoin},
+		Synopsis: "independent tasks distributed with #pragma omp sections",
+		Exercise: "Run with 1, 2 and 4 threads. Each task runs exactly once — which thread runs\n" +
+			"which task, and is the assignment stable across runs?",
+		DefaultTasks: 2,
+		Run: func(rc *core.RunContext) error {
+			tasks := []string{"A", "B", "C", "D"}
+			omp.Parallel(func(t *omp.Thread) {
+				var fns []func()
+				for _, name := range tasks {
+					fns = append(fns, func() {
+						rc.Record(t.ThreadNum(), "task", 0)
+						rc.W.Printf("Task %s performed by thread %d\n", name, t.ThreadNum())
+					})
+				}
+				t.Sections(fns...)
+			}, omp.WithNumThreads(rc.NumTasks))
+			return nil
+		},
+	}
+}
+
+// mutualExclusionOMP runs the deposit workload three ways in one program —
+// unprotected, atomic, critical — so students see loss and both fixes side
+// by side.
+func mutualExclusionOMP() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "mutualExclusion",
+		Model:    core.OpenMP,
+		Patterns: []core.Pattern{core.MutualExclusion, core.AtomicUpdate, core.CriticalSection},
+		Synopsis: "the deposit race and both of its fixes, side by side",
+		Exercise: "Which of the three balances are exact? Rank the three variants by expected\n" +
+			"speed and justify the ranking.",
+		DefaultTasks: 4,
+		Run: func(rc *core.RunContext) error {
+			const reps = 20000
+			total := reps * rc.NumTasks
+
+			var racy omp.UnsafeCounter
+			omp.ParallelFor(total, omp.StaticEqual(), func(_, _ int) {
+				racy.Add(1.0)
+			}, omp.WithNumThreads(rc.NumTasks))
+			rc.W.Printf("unprotected: balance = %.2f of %d.00\n", racy.Value(), total)
+
+			var cell uint64
+			omp.ParallelFor(total, omp.StaticEqual(), func(_, _ int) {
+				omp.AtomicAddFloat64(&cell, 1.0)
+			}, omp.WithNumThreads(rc.NumTasks))
+			rc.W.Printf("atomic:      balance = %.2f of %d.00\n", omp.LoadFloat64(&cell), total)
+
+			balance := 0.0
+			omp.Parallel(func(t *omp.Thread) {
+				t.For(0, total, omp.StaticEqual(), func(int) {
+					t.Critical("balance", func() { balance += 1.0 })
+				})
+			}, omp.WithNumThreads(rc.NumTasks))
+			rc.W.Printf("critical:    balance = %.2f of %d.00\n", balance, total)
+			return nil
+		},
+	}
+}

@@ -1,0 +1,368 @@
+package collection
+
+// The 9 Pthreads patternlets. Where OpenMP forks a team implicitly, these
+// show the explicit thread lifecycle: create, run, join — plus the raw
+// synchronization objects (mutex, semaphore, condition variable, barrier).
+
+import (
+	"repro/internal/core"
+	"repro/internal/omp"
+	"repro/internal/pthreads"
+)
+
+func init() {
+	register(spmdPthreads())
+	register(spmd2Pthreads())
+	register(forkJoinPthreads())
+	register(forkJoin2Pthreads())
+	register(barrierPthreads())
+	register(masterWorkerPthreads())
+	register(mutexPthreads())
+	register(semaphorePthreads())
+	register(condVarPthreads())
+}
+
+// threadArg is the argument struct the Pthreads patternlets pass to
+// pthread_create, carrying the id that OpenMP would provide implicitly.
+type threadArg struct {
+	id, numThreads int
+}
+
+// spmdPthreads creates N joinable threads that each print a hello.
+func spmdPthreads() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "spmd",
+		Model:    core.Pthreads,
+		Patterns: []core.Pattern{core.SPMD, core.ForkJoin},
+		Synopsis: "explicit thread creation: each thread gets its id through the start-routine argument",
+		Exercise: "OpenMP's omp_get_thread_num() is gone — how does each thread learn its id here?\n" +
+			"What would go wrong if all threads shared one argument struct?",
+		DefaultTasks: 4,
+		Run: func(rc *core.RunContext) error {
+			n := rc.NumTasks
+			threads := make([]*pthreads.Thread, n)
+			for i := 0; i < n; i++ {
+				threads[i] = pthreads.Create(func(arg any) any {
+					a := arg.(threadArg)
+					rc.Record(a.id, "hello", 0)
+					rc.W.Printf("Hello from thread %d of %d\n", a.id, a.numThreads)
+					return nil
+				}, threadArg{id: i, numThreads: n})
+			}
+			_, err := pthreads.JoinAll(threads)
+			return err
+		},
+	}
+}
+
+// spmd2Pthreads returns a value from each thread and collects them at
+// join, the pthread_join(…, &retval) idiom.
+func spmd2Pthreads() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "spmd2",
+		Model:    core.Pthreads,
+		Patterns: []core.Pattern{core.SPMD, core.Reduction},
+		Synopsis: "threads return values through join; the main thread combines them",
+		Exercise: "Each thread returns (id+1)²; main sums the returns after joining. How is this a\n" +
+			"reduction? Which thread does the combining, and when?",
+		DefaultTasks: 4,
+		Run: func(rc *core.RunContext) error {
+			n := rc.NumTasks
+			threads := make([]*pthreads.Thread, n)
+			for i := 0; i < n; i++ {
+				threads[i] = pthreads.Create(func(arg any) any {
+					a := arg.(threadArg)
+					square := (a.id + 1) * (a.id + 1)
+					rc.W.Printf("Thread %d computed %d\n", a.id, square)
+					return square
+				}, threadArg{id: i, numThreads: n})
+			}
+			sum := 0
+			for _, t := range threads {
+				v, err := t.Join()
+				if err != nil {
+					return err
+				}
+				sum += v.(int)
+			}
+			rc.W.Printf("The sum of the squares is %d\n", sum)
+			return nil
+		},
+	}
+}
+
+// forkJoinPthreads shows one explicit fork and join around a child thread.
+func forkJoinPthreads() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "forkJoin",
+		Model:    core.Pthreads,
+		Patterns: []core.Pattern{core.ForkJoin},
+		Synopsis: "one child thread forked and joined between two sequential sections",
+		Exercise: "Remove the join (mentally): could 'After.' print before the child's line? What\n" +
+			"does join guarantee about the child's side effects?",
+		DefaultTasks: 1,
+		Run: func(rc *core.RunContext) error {
+			rc.Record(0, "before", 0)
+			rc.W.Printf("Before...\n")
+			child := pthreads.Create(func(any) any {
+				rc.Record(1, "during", 0)
+				rc.W.Printf("During: hello from the child thread\n")
+				return nil
+			}, nil)
+			if _, err := child.Join(); err != nil {
+				return err
+			}
+			rc.Record(0, "after", 0)
+			rc.W.Printf("After.\n")
+			return nil
+		},
+	}
+}
+
+// forkJoin2Pthreads forks and joins several rounds of threads, showing the
+// lifecycle repeats cleanly.
+func forkJoin2Pthreads() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "forkJoin2",
+		Model:    core.Pthreads,
+		Patterns: []core.Pattern{core.ForkJoin},
+		Synopsis: "repeated fork/join rounds with a growing number of threads",
+		Exercise: "Round r forks r+1 threads and joins them all before round r+1 starts. What\n" +
+			"orderings between rounds are guaranteed? Within a round?",
+		DefaultTasks: 3,
+		Run: func(rc *core.RunContext) error {
+			for round := 0; round < rc.NumTasks; round++ {
+				threads := make([]*pthreads.Thread, round+1)
+				for i := range threads {
+					threads[i] = pthreads.Create(func(arg any) any {
+						a := arg.(threadArg)
+						rc.Record(a.id, "round", round)
+						rc.W.Printf("Round %d: hello from thread %d of %d\n", round, a.id, a.numThreads)
+						return nil
+					}, threadArg{id: i, numThreads: round + 1})
+				}
+				if _, err := pthreads.JoinAll(threads); err != nil {
+					return err
+				}
+				rc.W.Printf("Round %d joined.\n", round)
+			}
+			return nil
+		},
+	}
+}
+
+// barrierPthreads is the barrier patternlet on an explicit
+// pthread_barrier_t.
+func barrierPthreads() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "barrier",
+		Model:    core.Pthreads,
+		Patterns: []core.Pattern{core.BarrierPattern},
+		Synopsis: "an explicit reusable barrier separating the threads' phases",
+		Exercise: "One thread per phase sees Wait() return 'serial' — what is that good for?\n" +
+			"Disable the 'barrier' toggle: which orderings become possible?",
+		Directives: []core.Directive{
+			{Name: "barrier", Pragma: "pthread_barrier_wait(&b)", Default: false},
+		},
+		DefaultTasks: 4,
+		Run: func(rc *core.RunContext) error {
+			n := rc.NumTasks
+			useBarrier := rc.Enabled("barrier")
+			bar := pthreads.MustBarrier(n)
+			threads := make([]*pthreads.Thread, n)
+			for i := 0; i < n; i++ {
+				threads[i] = pthreads.Create(func(arg any) any {
+					a := arg.(threadArg)
+					rc.Record(a.id, "before", 0)
+					rc.W.Printf("Thread %d of %d is BEFORE the barrier.\n", a.id, a.numThreads)
+					if useBarrier {
+						bar.Wait()
+					}
+					rc.Record(a.id, "after", 0)
+					rc.W.Printf("Thread %d of %d is AFTER the barrier.\n", a.id, a.numThreads)
+					return nil
+				}, threadArg{id: i, numThreads: n})
+			}
+			_, err := pthreads.JoinAll(threads)
+			return err
+		},
+	}
+}
+
+// masterWorkerPthreads keeps the creating thread as master while children
+// work.
+func masterWorkerPthreads() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "masterWorker",
+		Model:    core.Pthreads,
+		Patterns: []core.Pattern{core.MasterWorker},
+		Synopsis: "the main thread plays master; created threads are the workers",
+		Exercise: "In the OpenMP version the master is team member 0; here it is the creating\n" +
+			"thread. What work is only safe to do after JoinAll returns?",
+		DefaultTasks: 4,
+		Run: func(rc *core.RunContext) error {
+			n := rc.NumTasks
+			rc.Record(0, "master", 0)
+			rc.W.Printf("Master: dispatching %d workers\n", n)
+			threads := make([]*pthreads.Thread, n)
+			for i := 0; i < n; i++ {
+				threads[i] = pthreads.Create(func(arg any) any {
+					a := arg.(threadArg)
+					rc.Record(a.id+1, "worker", 0)
+					rc.W.Printf("Hello from worker #%d of %d\n", a.id, a.numThreads)
+					return nil
+				}, threadArg{id: i, numThreads: n})
+			}
+			if _, err := pthreads.JoinAll(threads); err != nil {
+				return err
+			}
+			rc.W.Printf("Master: all workers joined\n")
+			return nil
+		},
+	}
+}
+
+// mutexPthreads is the deposit race with an explicit pthread mutex as the
+// fix.
+func mutexPthreads() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "mutex",
+		Model:    core.Pthreads,
+		Patterns: []core.Pattern{core.MutualExclusion, core.CriticalSection},
+		Synopsis: "the deposit race fixed with an explicit mutex",
+		Exercise: "With 'mutex' off the balance comes up short. Where exactly is the critical\n" +
+			"section, and why must *both* the read and the write be inside it?",
+		Directives: []core.Directive{
+			{Name: "mutex", Pragma: "pthread_mutex_lock(&lock)", Default: false},
+		},
+		DefaultTasks: 4,
+		Run: func(rc *core.RunContext) error {
+			const reps = 20000
+			n := rc.NumTasks
+			total := reps * n
+			useMutex := rc.Enabled("mutex")
+
+			var lock pthreads.Mutex
+			balance := 0.0
+			var racy omp.UnsafeCounter
+			threads := make([]*pthreads.Thread, n)
+			for i := 0; i < n; i++ {
+				threads[i] = pthreads.Create(func(any) any {
+					for r := 0; r < reps; r++ {
+						if useMutex {
+							lock.Lock()
+							balance += 1.0
+							lock.Unlock()
+						} else {
+							racy.Add(1.0)
+						}
+					}
+					return nil
+				}, nil)
+			}
+			if _, err := pthreads.JoinAll(threads); err != nil {
+				return err
+			}
+			if !useMutex {
+				balance = racy.Value()
+			}
+			rc.W.Printf("After %d $1 deposits, your balance is %.2f (expected %d.00)\n", total, balance, total)
+			return nil
+		},
+	}
+}
+
+// semaphorePthreads shows one-way signaling: workers cannot pass Wait
+// until the master Posts, so the master's line always prints first.
+func semaphorePthreads() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "semaphore",
+		Model:    core.Pthreads,
+		Patterns: []core.Pattern{core.ProducerConsumer, core.MutualExclusion},
+		Synopsis: "a counting semaphore gates the workers until the master signals",
+		Exercise: "The master posts the semaphore once per worker. What invariant relates posts\n" +
+			"to the number of workers that can proceed? Swap Wait and Post: what breaks?",
+		DefaultTasks: 4,
+		Run: func(rc *core.RunContext) error {
+			n := rc.NumTasks
+			sem := pthreads.MustSemaphore(0)
+			threads := make([]*pthreads.Thread, n)
+			for i := 0; i < n; i++ {
+				threads[i] = pthreads.Create(func(arg any) any {
+					a := arg.(threadArg)
+					sem.Wait() // blocked until the master signals
+					rc.Record(a.id, "signaled", 0)
+					rc.W.Printf("Worker %d proceeded past the semaphore\n", a.id)
+					return nil
+				}, threadArg{id: i, numThreads: n})
+			}
+			rc.Record(-1, "master", 0)
+			rc.W.Printf("Master: releasing %d workers\n", n)
+			for i := 0; i < n; i++ {
+				sem.Post()
+			}
+			_, err := pthreads.JoinAll(threads)
+			return err
+		},
+	}
+}
+
+// condVarPthreads is a bounded-buffer producer/consumer on a condition
+// variable.
+func condVarPthreads() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "conditionVariable",
+		Model:    core.Pthreads,
+		Patterns: []core.Pattern{core.ProducerConsumer, core.MutualExclusion},
+		Synopsis: "a bounded buffer coordinated by a mutex and condition variable",
+		Exercise: "Why must Wait be called in a loop re-checking the predicate? Shrink the buffer\n" +
+			"capacity to 1: does the program still terminate, and why?",
+		DefaultTasks: 4,
+		Run: func(rc *core.RunContext) error {
+			const capacity = 2
+			items := rc.NumTasks * 2
+
+			var mu pthreads.Mutex
+			notFull := pthreads.NewCond(&mu)
+			notEmpty := pthreads.NewCond(&mu)
+			var buffer []int
+
+			producer := pthreads.Create(func(any) any {
+				for i := 0; i < items; i++ {
+					mu.Lock()
+					for len(buffer) == capacity {
+						notFull.Wait()
+					}
+					buffer = append(buffer, i)
+					rc.W.Printf("Producer put item %d (buffer now %d)\n", i, len(buffer))
+					notEmpty.Signal()
+					mu.Unlock()
+				}
+				return nil
+			}, nil)
+			consumer := pthreads.Create(func(any) any {
+				for i := 0; i < items; i++ {
+					mu.Lock()
+					for len(buffer) == 0 {
+						notEmpty.Wait()
+					}
+					item := buffer[0]
+					buffer = buffer[1:]
+					rc.W.Printf("Consumer got item %d (buffer now %d)\n", item, len(buffer))
+					notFull.Signal()
+					mu.Unlock()
+				}
+				return nil
+			}, nil)
+
+			if _, err := producer.Join(); err != nil {
+				return err
+			}
+			if _, err := consumer.Join(); err != nil {
+				return err
+			}
+			rc.W.Printf("All %d items produced and consumed in order.\n", items)
+			return nil
+		},
+	}
+}

@@ -1,0 +1,137 @@
+package collection
+
+// The paper's second design property is *scalable*: "students can see the
+// pattern's behavior change as the number of threads or processes
+// changes." These tests push task counts well beyond the classroom
+// demos' 4–10 to check the runtimes and the patternlets themselves hold
+// up.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mpi"
+	"repro/internal/omp"
+)
+
+func TestSPMDAt64Threads(t *testing.T) {
+	lines := capture(t, "spmd.omp", 64, map[string]bool{"parallel": true})
+	if len(lines) != 64 {
+		t.Fatalf("%d lines, want 64", len(lines))
+	}
+	seen := map[string]bool{}
+	for _, l := range lines {
+		if seen[l] {
+			t.Fatalf("duplicate line %q", l)
+		}
+		seen[l] = true
+	}
+}
+
+func TestSPMDMPIAt32Processes(t *testing.T) {
+	lines := capture(t, "spmd.mpi", 32, nil)
+	if len(lines) != 32 {
+		t.Fatalf("%d lines, want 32", len(lines))
+	}
+	if !containsLine(lines, "Hello from process 31 of 32 on node-32") {
+		t.Fatalf("rank 31 missing: %v", lines)
+	}
+}
+
+func TestBarrierInvariantAt32Tasks(t *testing.T) {
+	for _, key := range []string{"barrier.omp", "barrier.mpi"} {
+		_, rec := captureTraced(t, key, 32, map[string]bool{"barrier": true})
+		if !rec.PhaseOrdered("before", "after") {
+			t.Fatalf("%s: barrier violated at 32 tasks", key)
+		}
+		if len(rec.ByPhase("before")) != 32 {
+			t.Fatalf("%s: %d before events", key, len(rec.ByPhase("before")))
+		}
+	}
+}
+
+func TestGatherAt24Processes(t *testing.T) {
+	lines := capture(t, "gather.mpi", 24, nil)
+	var gathered string
+	for _, l := range lines {
+		if strings.Contains(l, "gatherArray") {
+			gathered = l
+		}
+	}
+	// 24 ranks × 3 values each; spot-check both ends.
+	if !strings.Contains(gathered, " 0 1 2 ") || !strings.HasSuffix(gathered, "230 231 232") {
+		t.Fatalf("gatherArray wrong at scale: %q", gathered)
+	}
+}
+
+func TestReductionFormulaHoldsAcrossScales(t *testing.T) {
+	for _, np := range []int{1, 3, 10, 17, 32} {
+		want := 0
+		for i := 1; i <= np; i++ {
+			want += i * i
+		}
+		lines := capture(t, "reduction.mpi", np, nil)
+		if !containsLine(lines, fmt.Sprintf("The sum of the squares is %d", want)) {
+			t.Fatalf("np=%d: sum wrong", np)
+		}
+		if !containsLine(lines, fmt.Sprintf("The max of the squares is %d", np*np)) {
+			t.Fatalf("np=%d: max wrong", np)
+		}
+	}
+}
+
+func TestAllreduceAt48Ranks(t *testing.T) {
+	err := mpi.Run(48, func(c *mpi.Comm) error {
+		total, err := mpi.Allreduce(c, 1, mpi.Sum[int]())
+		if err != nil {
+			return err
+		}
+		if total != 48 {
+			t.Errorf("rank %d: total %d", c.Rank(), total)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOMPReductionAt64Threads(t *testing.T) {
+	got := omp.ParallelForReduce(1<<16, omp.StaticEqual(), omp.Sum[int](), 0,
+		func(i int) int { return 1 }, omp.WithNumThreads(64))
+	if got != 1<<16 {
+		t.Fatalf("sum = %d", got)
+	}
+}
+
+// TestDefaultTasksWithinClassroomRange: catalog defaults should stay at
+// demo-friendly sizes (the live demo runs in seconds).
+func TestDefaultTasksWithinClassroomRange(t *testing.T) {
+	for _, p := range Default.All() {
+		if p.DefaultTasks < 0 || p.DefaultTasks > 10 {
+			t.Errorf("%s: default task count %d outside classroom range", p.Key(), p.DefaultTasks)
+		}
+	}
+}
+
+// TestEveryPatternletRunsAtOneAndEightTasks: degenerate single-task runs
+// and beyond-default parallelism both work for the whole catalog (except
+// entries with a higher MinTasks, which are run at that minimum).
+func TestEveryPatternletRunsAtOneAndEightTasks(t *testing.T) {
+	for _, p := range Default.All() {
+		p := p
+		t.Run(p.Key(), func(t *testing.T) {
+			t.Parallel()
+			for _, n := range []int{1, 8} {
+				if p.MinTasks > n {
+					n = p.MinTasks
+				}
+				if _, err := Default.Capture(p.Key(), core.RunOptions{NumTasks: n}); err != nil {
+					t.Fatalf("tasks=%d: %v", n, err)
+				}
+			}
+		})
+	}
+}

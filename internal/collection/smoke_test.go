@@ -1,0 +1,66 @@
+package collection
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestCatalogComposition checks the §III table: 44 patternlets — 16 MPI,
+// 17 OpenMP, 9 Pthreads, 2 heterogeneous.
+func TestCatalogComposition(t *testing.T) {
+	if got := Default.Len(); got != ExpectedTotal {
+		t.Errorf("catalog has %d patternlets, paper reports %d", got, ExpectedTotal)
+	}
+	counts := Default.Counts()
+	for model, want := range ExpectedCounts {
+		if counts[model] != want {
+			t.Errorf("%s: got %d patternlets, paper reports %d", model, counts[model], want)
+		}
+	}
+}
+
+// TestEveryPatternletRuns executes every catalog entry with its default
+// task count and directive defaults; every one must complete without error
+// and produce some output.
+func TestEveryPatternletRuns(t *testing.T) {
+	for _, p := range Default.All() {
+		p := p
+		t.Run(p.Key(), func(t *testing.T) {
+			t.Parallel()
+			out, err := Default.Capture(p.Key(), core.RunOptions{})
+			if err != nil {
+				t.Fatalf("run failed: %v", err)
+			}
+			if strings.TrimSpace(out) == "" {
+				t.Fatalf("produced no output")
+			}
+		})
+	}
+}
+
+// TestEveryPatternletRunsWithDirectivesEnabled flips every declared
+// directive on and reruns — the "after uncommenting" state of each demo.
+func TestEveryPatternletRunsWithDirectivesEnabled(t *testing.T) {
+	for _, p := range Default.All() {
+		if len(p.Directives) == 0 {
+			continue
+		}
+		p := p
+		t.Run(p.Key(), func(t *testing.T) {
+			t.Parallel()
+			toggles := map[string]bool{}
+			for _, d := range p.Directives {
+				toggles[d.Name] = true
+			}
+			out, err := Default.Capture(p.Key(), core.RunOptions{Toggles: toggles})
+			if err != nil {
+				t.Fatalf("run with directives enabled failed: %v", err)
+			}
+			if strings.TrimSpace(out) == "" {
+				t.Fatalf("produced no output")
+			}
+		})
+	}
+}

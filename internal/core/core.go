@@ -1,0 +1,283 @@
+// Package core is the patternlet framework — the paper's primary
+// contribution. A patternlet is a minimalist, scalable, syntactically
+// correct program that demonstrates one parallel design pattern (§III).
+// This package defines what a patternlet *is* in this reproduction:
+//
+//   - metadata: name, programming model, the design pattern(s) it teaches,
+//     a synopsis, and the student exercise from the source file's header
+//     comment;
+//   - directives: the named "#pragma" lines that the classroom demo
+//     toggles between commented-out and enabled — uncommenting a pragma in
+//     the paper becomes enabling a named toggle here, preserving the
+//     before/after contrast that drives the pedagogy;
+//   - a Run function that executes the program with a given task count,
+//     writing the same output the paper's figures show.
+//
+// The Registry holds the full collection (44 programs: 16 MPI, 17 OpenMP,
+// 9 Pthreads, 2 heterogeneous — the composition reported in the
+// abstract), which package collection populates.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Model identifies the parallel programming model a patternlet targets.
+type Model string
+
+// The four models in the paper's collection.
+const (
+	OpenMP   Model = "OpenMP"
+	MPI      Model = "MPI"
+	Pthreads Model = "Pthreads"
+	Hybrid   Model = "MPI+OpenMP"
+)
+
+// suffix gives the registry key suffix for each model.
+func (m Model) suffix() string {
+	switch m {
+	case OpenMP:
+		return "omp"
+	case MPI:
+		return "mpi"
+	case Pthreads:
+		return "pthreads"
+	case Hybrid:
+		return "hybrid"
+	}
+	return "unknown"
+}
+
+// Layer is the catalog level of a pattern in the UIUC / Berkeley-Intel
+// (OPL) hierarchies the paper cites in §II.B: architectural patterns at
+// the top, algorithm-strategy patterns in the middle, implementation
+// patterns at the bottom.
+type Layer int
+
+// The three layers.
+const (
+	ArchitecturalLayer Layer = iota
+	AlgorithmLayer
+	ImplementationLayer
+)
+
+// String names the layer.
+func (l Layer) String() string {
+	switch l {
+	case ArchitecturalLayer:
+		return "architectural"
+	case AlgorithmLayer:
+		return "algorithm-strategy"
+	case ImplementationLayer:
+		return "implementation"
+	}
+	return "unknown"
+}
+
+// Pattern is a named parallel design pattern.
+type Pattern string
+
+// The patterns the collection teaches, with the paper's own examples of
+// each layer (§II.B names N-Body Problems and Monte Carlo as high level,
+// Data/Task Decomposition as mid level, Barrier/Reduction/Message Passing
+// as low level).
+const (
+	SPMD              Pattern = "SPMD"
+	ForkJoin          Pattern = "Fork-Join"
+	BarrierPattern    Pattern = "Barrier"
+	ParallelLoop      Pattern = "Parallel Loop"
+	Reduction         Pattern = "Reduction"
+	MasterWorker      Pattern = "Master-Worker"
+	MessagePassing    Pattern = "Message Passing"
+	Broadcast         Pattern = "Broadcast"
+	Scatter           Pattern = "Scatter"
+	Gather            Pattern = "Gather"
+	MutualExclusion   Pattern = "Mutual Exclusion"
+	CriticalSection   Pattern = "Critical Section"
+	AtomicUpdate      Pattern = "Atomic Update"
+	DataDecomposition Pattern = "Data Decomposition"
+	TaskDecomposition Pattern = "Task Decomposition"
+	ProducerConsumer  Pattern = "Producer-Consumer"
+	MonteCarlo        Pattern = "Monte Carlo"
+	NBody             Pattern = "N-Body Problems"
+)
+
+// patternLayers places each pattern in the hierarchy.
+var patternLayers = map[Pattern]Layer{
+	MonteCarlo:        ArchitecturalLayer,
+	NBody:             ArchitecturalLayer,
+	DataDecomposition: AlgorithmLayer,
+	TaskDecomposition: AlgorithmLayer,
+	MasterWorker:      AlgorithmLayer,
+	ProducerConsumer:  AlgorithmLayer,
+	ParallelLoop:      AlgorithmLayer,
+	SPMD:              ImplementationLayer,
+	ForkJoin:          ImplementationLayer,
+	BarrierPattern:    ImplementationLayer,
+	Reduction:         ImplementationLayer,
+	MessagePassing:    ImplementationLayer,
+	Broadcast:         ImplementationLayer,
+	Scatter:           ImplementationLayer,
+	Gather:            ImplementationLayer,
+	MutualExclusion:   ImplementationLayer,
+	CriticalSection:   ImplementationLayer,
+	AtomicUpdate:      ImplementationLayer,
+}
+
+// Layer returns the catalog layer of the pattern.
+func (p Pattern) Layer() Layer {
+	if l, ok := patternLayers[p]; ok {
+		return l
+	}
+	return ImplementationLayer
+}
+
+// Patterns returns every cataloged pattern, sorted by name.
+func Patterns() []Pattern {
+	out := make([]Pattern, 0, len(patternLayers))
+	for p := range patternLayers {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Directive models one toggleable pragma/construct in a patternlet: the
+// line the instructor uncomments live in class. Default is the state the
+// source ships in (the paper's patternlets ship with the key directive
+// commented out, so the "before" behaviour shows first).
+type Directive struct {
+	Name    string // toggle name, e.g. "barrier"
+	Pragma  string // the C construct it models, e.g. "#pragma omp barrier"
+	Default bool   // enabled state before any toggling
+}
+
+// Patternlet is one program of the collection.
+type Patternlet struct {
+	Name         string // base name, e.g. "spmd" — Key() adds the model suffix
+	Model        Model
+	Patterns     []Pattern
+	Synopsis     string      // one-line description
+	Exercise     string      // the header-comment student exercise
+	Directives   []Directive // toggleable constructs, if any
+	MinTasks     int         // smallest meaningful task count (default 1)
+	DefaultTasks int         // task count used when the caller passes 0
+	Run          func(rc *RunContext) error
+}
+
+// Key returns the registry key, e.g. "spmd.omp" or "barrier.mpi".
+func (p *Patternlet) Key() string { return p.Name + "." + p.Model.suffix() }
+
+// Validate checks the patternlet's metadata for registration.
+func (p *Patternlet) Validate() error {
+	switch {
+	case p.Name == "":
+		return errors.New("core: patternlet has no name")
+	case p.Model == "":
+		return fmt.Errorf("core: patternlet %q has no model", p.Name)
+	case len(p.Patterns) == 0:
+		return fmt.Errorf("core: patternlet %q teaches no patterns", p.Name)
+	case p.Synopsis == "":
+		return fmt.Errorf("core: patternlet %q has no synopsis", p.Name)
+	case p.Exercise == "":
+		return fmt.Errorf("core: patternlet %q has no exercise", p.Name)
+	case p.Run == nil:
+		return fmt.Errorf("core: patternlet %q has no Run function", p.Name)
+	}
+	seen := map[string]bool{}
+	for _, d := range p.Directives {
+		if d.Name == "" {
+			return fmt.Errorf("core: patternlet %q has an unnamed directive", p.Name)
+		}
+		if seen[d.Name] {
+			return fmt.Errorf("core: patternlet %q has duplicate directive %q", p.Name, d.Name)
+		}
+		seen[d.Name] = true
+	}
+	return nil
+}
+
+// directive returns the directive named name, if declared.
+func (p *Patternlet) directive(name string) (Directive, bool) {
+	for _, d := range p.Directives {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}
+
+// RunContext is everything a patternlet's Run receives.
+type RunContext struct {
+	W        *SafeWriter // concurrent-safe output sink
+	NumTasks int         // number of threads/processes (>= 1; Runner applies defaults)
+	Toggles  map[string]bool
+	Trace    *trace.Recorder // optional; patternlets record phases when non-nil
+
+	// MPI execution options, used by MPI and hybrid patternlets.
+	UseTCP      bool
+	Nodes       int           // simulated cluster nodes; 0 = one per process
+	RecvTimeout time.Duration // deadlock detection bound; 0 = block forever
+	Remote      *RemoteExec   // non-nil when this process hosts one rank of a multi-process world
+
+	pl *Patternlet
+}
+
+// Enabled reports whether the named directive is on: the explicit toggle
+// if the caller set one, the directive's shipped default otherwise.
+// Asking about an undeclared directive is a programming error in the
+// patternlet and panics, so the catalog tests catch it immediately.
+func (rc *RunContext) Enabled(name string) bool {
+	if v, ok := rc.Toggles[name]; ok {
+		return v
+	}
+	if rc.pl != nil {
+		if d, ok := rc.pl.directive(name); ok {
+			return d.Default
+		}
+		panic(fmt.Sprintf("core: patternlet %q queried undeclared directive %q", rc.pl.Name, name))
+	}
+	return false
+}
+
+// Record traces an event if tracing is active.
+func (rc *RunContext) Record(task int, phase string, value int) {
+	if rc.Trace != nil {
+		rc.Trace.Record(task, phase, value)
+	}
+}
+
+// SafeWriter serializes concurrent writes. Each Printf is one atomic
+// write — the same guarantee a glibc printf of a short line gives the C
+// patternlets, and what makes interleaved-but-uncorrupted output like
+// Figure 8 possible.
+type SafeWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewSafeWriter wraps w for concurrent use.
+func NewSafeWriter(w io.Writer) *SafeWriter {
+	return &SafeWriter{w: w}
+}
+
+// Printf formats and writes atomically.
+func (s *SafeWriter) Printf(format string, args ...any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.w, format, args...)
+}
+
+// Write implements io.Writer (whole-buffer atomic).
+func (s *SafeWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}

@@ -1,0 +1,8 @@
+package core
+
+import "time"
+
+// durationFromNanos converts a nanosecond count to a Duration; separated
+// for clarity at the RunOptions boundary, which is integer-typed so the
+// options struct stays plain data.
+func durationFromNanos(n int64) time.Duration { return time.Duration(n) }

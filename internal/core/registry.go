@@ -1,0 +1,187 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/trace"
+)
+
+// Registry is a catalog of patternlets keyed by "name.model".
+type Registry struct {
+	mu   sync.RWMutex
+	pats map[string]*Patternlet
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{pats: map[string]*Patternlet{}}
+}
+
+// Register validates and adds a patternlet. Duplicate keys are rejected.
+func (r *Registry) Register(p *Patternlet) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := p.Key()
+	if _, dup := r.pats[key]; dup {
+		return fmt.Errorf("core: duplicate patternlet %q", key)
+	}
+	r.pats[key] = p
+	return nil
+}
+
+// MustRegister is Register that panics on error; collection uses it at
+// package init so a malformed catalog fails fast.
+func (r *Registry) MustRegister(p *Patternlet) {
+	if err := r.Register(p); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the patternlet with the given key ("name.model").
+func (r *Registry) Get(key string) (*Patternlet, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	p, ok := r.pats[key]
+	return p, ok
+}
+
+// All returns every patternlet, sorted by key.
+func (r *Registry) All() []*Patternlet {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Patternlet, 0, len(r.pats))
+	for _, p := range r.pats {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// ByModel returns the patternlets for one model, sorted by name.
+func (r *Registry) ByModel(m Model) []*Patternlet {
+	var out []*Patternlet
+	for _, p := range r.All() {
+		if p.Model == m {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ByPattern returns the patternlets that teach the given pattern.
+func (r *Registry) ByPattern(pat Pattern) []*Patternlet {
+	var out []*Patternlet
+	for _, p := range r.All() {
+		for _, q := range p.Patterns {
+			if q == pat {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Counts returns the number of patternlets per model — the composition
+// table from the paper's abstract (16 MPI, 17 OpenMP, 9 Pthreads, 2
+// heterogeneous).
+func (r *Registry) Counts() map[Model]int {
+	out := map[Model]int{}
+	for _, p := range r.All() {
+		out[p.Model]++
+	}
+	return out
+}
+
+// Len returns the total number of registered patternlets.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.pats)
+}
+
+// RunOptions configures one execution of a patternlet.
+type RunOptions struct {
+	NumTasks    int             // 0 = patternlet default
+	Toggles     map[string]bool // overrides for declared directives
+	Trace       *trace.Recorder
+	UseTCP      bool
+	Nodes       int
+	RecvTimeout int64 // nanoseconds; 0 = block forever
+	Remote      *RemoteExec
+}
+
+// Run executes the patternlet with the given options, writing to w.
+func (r *Registry) Run(key string, w *SafeWriter, opts RunOptions) error {
+	p, ok := r.Get(key)
+	if !ok {
+		return fmt.Errorf("core: no patternlet %q", key)
+	}
+	return RunPatternlet(p, w, opts)
+}
+
+// RunPatternlet executes one patternlet directly.
+func RunPatternlet(p *Patternlet, w *SafeWriter, opts RunOptions) error {
+	for name := range opts.Toggles {
+		if _, ok := p.directive(name); !ok {
+			return fmt.Errorf("core: patternlet %q has no directive %q", p.Key(), name)
+		}
+	}
+	n := opts.NumTasks
+	if n == 0 {
+		n = p.DefaultTasks
+	}
+	if n == 0 {
+		n = 4 // the paper's quad-core default
+	}
+	min := p.MinTasks
+	if min == 0 {
+		min = 1
+	}
+	if n < min {
+		return fmt.Errorf("core: patternlet %q needs at least %d tasks, got %d", p.Key(), min, n)
+	}
+	rc := &RunContext{
+		W:        w,
+		NumTasks: n,
+		Toggles:  opts.Toggles,
+		Trace:    opts.Trace,
+		UseTCP:   opts.UseTCP,
+		Nodes:    opts.Nodes,
+		Remote:   opts.Remote,
+		pl:       p,
+	}
+	if opts.RecvTimeout > 0 {
+		rc.RecvTimeout = durationFromNanos(opts.RecvTimeout)
+	}
+	return p.Run(rc)
+}
+
+// Capture runs the patternlet and returns everything it wrote, the common
+// path for tests and the figures harness.
+func (r *Registry) Capture(key string, opts RunOptions) (string, error) {
+	var buf bytes.Buffer
+	err := r.Run(key, NewSafeWriter(&buf), opts)
+	return buf.String(), err
+}
+
+// Lines splits captured output into non-empty trimmed lines, a convenience
+// for figure comparisons (the paper's figures show only the message
+// lines).
+func Lines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		l = strings.TrimSpace(l)
+		if l != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}

@@ -1,0 +1,13 @@
+package core
+
+import "repro/internal/cluster"
+
+// RemoteExec tells an MPI patternlet that this process *is* one rank of a
+// multi-OS-process world rather than the host of a whole in-process
+// world: the launch package established the transport, and the patternlet
+// should execute exactly this rank. See cmd/mpirun's -procs mode.
+type RemoteExec struct {
+	Rank      int
+	NP        int
+	Transport cluster.Transport
+}

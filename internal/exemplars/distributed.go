@@ -1,0 +1,252 @@
+package exemplars
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/mpi"
+)
+
+// The distributed-memory exemplars, built on the MPI runtime.
+
+// DistributedHeat runs explicit 1-D heat diffusion with the domain
+// decomposed across np ranks — the Message Passing / halo-exchange
+// exemplar. Each rank owns a contiguous block of cells plus two ghost
+// cells it refreshes from its Cartesian neighbours every step; the rod's
+// ends are insulated. It returns the final temperature field, gathered at
+// the root.
+//
+// This is the distributed sibling of the shared-memory examples/heat
+// stencil: the same physics, with the barrier replaced by neighbour
+// messages.
+func DistributedHeat(np, cells, steps int, alpha float64, opts ...mpi.RunOption) ([]float64, error) {
+	if np < 1 || cells < np || cells%np != 0 || steps < 0 {
+		return nil, fmt.Errorf("%w: np=%d cells=%d steps=%d", ErrBadInput, np, cells, steps)
+	}
+	var result []float64
+	err := mpi.Run(np, func(c *mpi.Comm) error {
+		ct, err := mpi.NewCart(c, []int{np}, nil) // non-periodic line of ranks
+		if err != nil {
+			return err
+		}
+		local := cells / np
+		// cur[1..local] are owned cells; cur[0] and cur[local+1] are ghosts.
+		cur := make([]float64, local+2)
+		next := make([]float64, local+2)
+		// Initial condition: a unit spike at the global middle cell.
+		mid := cells / 2
+		lo := c.Rank() * local
+		if mid >= lo && mid < lo+local {
+			cur[mid-lo+1] = 1000.0
+		}
+
+		for s := 0; s < steps; s++ {
+			// Halo exchange: send the right edge rightward / receive the
+			// left ghost, then the mirror image.
+			rightGhost := cur[local] // value my right neighbour needs
+			leftGhost := cur[1]      // value my left neighbour needs
+			fromLeft, err := mpi.SendrecvShift(ct, rightGhost, 0, 1, 1)
+			if err != nil {
+				return err
+			}
+			fromRight, err := mpi.SendrecvShift(ct, leftGhost, 0, -1, 2)
+			if err != nil {
+				return err
+			}
+			src, dst, err := ct.Shift(0, 1)
+			if err != nil {
+				return err
+			}
+			if src != mpi.ProcNull {
+				cur[0] = fromLeft
+			} else {
+				cur[0] = cur[1] // insulated end: mirror boundary
+			}
+			if dst != mpi.ProcNull {
+				cur[local+1] = fromRight
+			} else {
+				cur[local+1] = cur[local]
+			}
+			for i := 1; i <= local; i++ {
+				next[i] = cur[i] + alpha*(cur[i-1]-2*cur[i]+cur[i+1])
+			}
+			cur, next = next, cur
+		}
+
+		field, err := mpi.Gather(c, cur[1:local+1], 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			result = field
+		}
+		return nil
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return result, nil
+}
+
+// SequentialHeat is the single-process reference for DistributedHeat.
+func SequentialHeat(cells, steps int, alpha float64) []float64 {
+	cur := make([]float64, cells)
+	next := make([]float64, cells)
+	cur[cells/2] = 1000.0
+	at := func(s []float64, i int) float64 {
+		if i < 0 {
+			return s[0] // insulated ends mirror the edge cell
+		}
+		if i >= cells {
+			return s[cells-1]
+		}
+		return s[i]
+	}
+	for s := 0; s < steps; s++ {
+		for i := 0; i < cells; i++ {
+			next[i] = cur[i] + alpha*(at(cur, i-1)-2*cur[i]+at(cur, i+1))
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// MandelbrotRow computes the iteration counts for one row of the
+// Mandelbrot set over the region [-2, 1) × [-1.5, 1.5), at the given
+// image resolution.
+func MandelbrotRow(row, width, height, maxIter int) []int {
+	out := make([]int, width)
+	ci := -1.5 + 3.0*float64(row)/float64(height)
+	for x := 0; x < width; x++ {
+		cr := -2.0 + 3.0*float64(x)/float64(width)
+		z := complex(0, 0)
+		cc := complex(cr, ci)
+		n := 0
+		for ; n < maxIter; n++ {
+			z = z*z + cc
+			if cmplx.Abs(z) > 2 {
+				break
+			}
+		}
+		out[x] = n
+	}
+	return out
+}
+
+// mandelMsg tags for the task farm.
+const (
+	mandelTagWork   = 10 // master -> worker: row index to compute
+	mandelTagResult = 11 // worker -> master: (row, counts)
+	mandelTagStop   = 12 // master -> worker: no more work
+)
+
+type mandelResult struct {
+	Row    int
+	Counts []int
+}
+
+// Mandelbrot renders a width×height iteration-count image using the
+// Master-Worker pattern as a dynamic task farm over np ranks: the master
+// hands out one row at a time to whichever worker returns first, so slow
+// rows (deep in the set) never stall the others. np must be >= 2 (one
+// master plus at least one worker). The image is returned at the caller.
+func Mandelbrot(np, width, height, maxIter int, opts ...mpi.RunOption) ([][]int, error) {
+	if np < 2 || width < 1 || height < 1 || maxIter < 1 {
+		return nil, fmt.Errorf("%w: np=%d image=%dx%d maxIter=%d", ErrBadInput, np, width, height, maxIter)
+	}
+	var image [][]int
+	err := mpi.Run(np, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			img := make([][]int, height)
+			nextRow := 0
+			// Prime every worker with one row (or stop it immediately).
+			for w := 1; w < c.Size(); w++ {
+				if nextRow < height {
+					if err := mpi.Send(c, nextRow, w, mandelTagWork); err != nil {
+						return err
+					}
+					nextRow++
+				} else {
+					if err := mpi.Send(c, -1, w, mandelTagStop); err != nil {
+						return err
+					}
+				}
+			}
+			outstanding := min(height, c.Size()-1)
+			for outstanding > 0 {
+				res, st, err := mpi.Recv[mandelResult](c, mpi.AnySource, mandelTagResult)
+				if err != nil {
+					return err
+				}
+				img[res.Row] = res.Counts
+				if nextRow < height {
+					if err := mpi.Send(c, nextRow, st.Source, mandelTagWork); err != nil {
+						return err
+					}
+					nextRow++
+				} else {
+					if err := mpi.Send(c, -1, st.Source, mandelTagStop); err != nil {
+						return err
+					}
+					outstanding--
+				}
+			}
+			image = img
+			return nil
+		}
+		// Worker: loop requesting work until stopped.
+		for {
+			row, st, err := mpi.Recv[int](c, 0, mpi.AnyTag)
+			if err != nil {
+				return err
+			}
+			if st.Tag == mandelTagStop {
+				return nil
+			}
+			counts := MandelbrotRow(row, width, height, maxIter)
+			if err := mpi.Send(c, mandelResult{Row: row, Counts: counts}, 0, mandelTagResult); err != nil {
+				return err
+			}
+		}
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return image, nil
+}
+
+// DotProduct computes x·y with the full Scatter → local work → Reduce
+// pipeline over np ranks. len(x) == len(y) must be a multiple of np.
+func DotProduct(np int, x, y []float64, opts ...mpi.RunOption) (float64, error) {
+	if len(x) != len(y) || np < 1 || len(x)%np != 0 {
+		return 0, fmt.Errorf("%w: len(x)=%d len(y)=%d np=%d", ErrBadInput, len(x), len(y), np)
+	}
+	var result float64
+	err := mpi.Run(np, func(c *mpi.Comm) error {
+		var sx, sy []float64
+		if c.Rank() == 0 {
+			sx, sy = x, y
+		}
+		px, err := mpi.Scatter(c, sx, 0)
+		if err != nil {
+			return err
+		}
+		py, err := mpi.Scatter(c, sy, 0)
+		if err != nil {
+			return err
+		}
+		local := 0.0
+		for i := range px {
+			local += px[i] * py[i]
+		}
+		total, err := mpi.Reduce(c, local, mpi.Sum[float64](), 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			result = total
+		}
+		return nil
+	}, opts...)
+	return result, err
+}

@@ -1,0 +1,179 @@
+// Package exemplars implements the second half of the paper's teaching
+// strategy (§V): "After this first exposure, we believe it is important
+// to show students an exemplar — a 'real world' problem whose solution
+// uses the same pattern(s)." Each exemplar here is a small but genuine
+// computation built on exactly the patterns its patternlet introduced:
+//
+//   - Histogram       — Reduction + Parallel Loop (private bins, merged)
+//   - GameOfLife      — Barrier (stencil generations on a shared grid)
+//   - DistributedHeat — Message Passing + Cartesian halo exchange (MPI)
+//   - Mandelbrot      — Master-Worker dynamic task farm (MPI)
+//   - DotProduct      — Scatter + Reduction (MPI collectives end to end)
+package exemplars
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/omp"
+)
+
+// ErrBadInput reports invalid exemplar parameters.
+var ErrBadInput = errors.New("exemplars: invalid input")
+
+// Histogram counts value frequencies over data into `bins` buckets in
+// [min, max), using the reduction discipline the patternlets teach: each
+// thread fills a private histogram over its loop share, and the private
+// copies are merged — no shared counter is ever updated concurrently.
+func Histogram(data []float64, bins int, min, max float64, threads int) ([]int64, error) {
+	if bins < 1 || max <= min || threads < 1 {
+		return nil, fmt.Errorf("%w: bins=%d range=[%v,%v) threads=%d", ErrBadInput, bins, min, max, threads)
+	}
+	width := (max - min) / float64(bins)
+	result := make([]int64, bins)
+	omp.Parallel(func(t *omp.Thread) {
+		private := make([]int64, bins) // the "private copy" of the reduction variable
+		t.ForNoWait(0, len(data), omp.StaticEqual(), func(i int) {
+			v := data[i]
+			if v < min || v >= max {
+				return
+			}
+			b := int((v - min) / width)
+			if b >= bins { // guard the max-edge rounding case
+				b = bins - 1
+			}
+			private[b]++
+		})
+		// Merge under mutual exclusion: one critical section per thread,
+		// not per element — the cheap way to combine private results.
+		t.Critical("merge", func() {
+			for b, c := range private {
+				result[b] += c
+			}
+		})
+	}, omp.WithNumThreads(threads))
+	return result, nil
+}
+
+// SequentialHistogram is the baseline the parallel version must match.
+func SequentialHistogram(data []float64, bins int, min, max float64) ([]int64, error) {
+	if bins < 1 || max <= min {
+		return nil, fmt.Errorf("%w: bins=%d range=[%v,%v)", ErrBadInput, bins, min, max)
+	}
+	width := (max - min) / float64(bins)
+	out := make([]int64, bins)
+	for _, v := range data {
+		if v < min || v >= max {
+			continue
+		}
+		b := int((v - min) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		out[b]++
+	}
+	return out, nil
+}
+
+// Life is a toroidal Game of Life grid — the Barrier exemplar: each
+// generation every thread updates its block of rows into the next buffer,
+// and a barrier separates the generations so no thread reads a
+// half-written neighbourhood.
+type Life struct {
+	rows, cols int
+	cur, next  []bool
+}
+
+// NewLife creates a rows×cols toroidal grid with the given live cells.
+func NewLife(rows, cols int, live [][2]int) (*Life, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("%w: grid %dx%d", ErrBadInput, rows, cols)
+	}
+	l := &Life{rows: rows, cols: cols, cur: make([]bool, rows*cols), next: make([]bool, rows*cols)}
+	for _, rc := range live {
+		r := ((rc[0] % rows) + rows) % rows
+		c := ((rc[1] % cols) + cols) % cols
+		l.cur[r*cols+c] = true
+	}
+	return l, nil
+}
+
+// Alive reports whether cell (r, c) is live (toroidal indexing).
+func (l *Life) Alive(r, c int) bool {
+	r = ((r % l.rows) + l.rows) % l.rows
+	c = ((c % l.cols) + l.cols) % l.cols
+	return l.cur[r*l.cols+c]
+}
+
+// Population returns the live-cell count.
+func (l *Life) Population() int {
+	n := 0
+	for _, v := range l.cur {
+		if v {
+			n++
+		}
+	}
+	return n
+}
+
+func (l *Life) neighbours(r, c int) int {
+	n := 0
+	for dr := -1; dr <= 1; dr++ {
+		for dc := -1; dc <= 1; dc++ {
+			if dr == 0 && dc == 0 {
+				continue
+			}
+			if l.Alive(r+dr, c+dc) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Step advances the grid by generations using a team of threads, with a
+// barrier between the compute and swap phases of every generation.
+func (l *Life) Step(generations, threads int) {
+	if generations < 1 {
+		return
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	omp.Parallel(func(t *omp.Thread) {
+		for g := 0; g < generations; g++ {
+			t.ForNoWait(0, l.rows, omp.StaticEqual(), func(r int) {
+				for c := 0; c < l.cols; c++ {
+					n := l.neighbours(r, c)
+					alive := l.cur[r*l.cols+c]
+					l.next[r*l.cols+c] = n == 3 || (alive && n == 2)
+				}
+			})
+			t.Barrier() // every cell of `next` written before the swap
+			t.Single(func() { l.cur, l.next = l.next, l.cur })
+			// Single's implicit barrier keeps generation g+1's reads
+			// behind the swap.
+		}
+	}, omp.WithNumThreads(threads))
+}
+
+// StepSequential is the baseline single-threaded generation stepper.
+func (l *Life) StepSequential(generations int) {
+	for g := 0; g < generations; g++ {
+		for r := 0; r < l.rows; r++ {
+			for c := 0; c < l.cols; c++ {
+				n := l.neighbours(r, c)
+				alive := l.cur[r*l.cols+c]
+				l.next[r*l.cols+c] = n == 3 || (alive && n == 2)
+			}
+		}
+		l.cur, l.next = l.next, l.cur
+	}
+}
+
+// Cells returns a copy of the live-cell grid (row-major booleans).
+func (l *Life) Cells() []bool {
+	out := make([]bool, len(l.cur))
+	copy(out, l.cur)
+	return out
+}

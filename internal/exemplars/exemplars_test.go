@@ -1,0 +1,318 @@
+package exemplars
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]float64, 50000)
+	for i := range data {
+		data[i] = rng.NormFloat64()
+	}
+	want, err := SequentialHistogram(data, 32, -4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 2, 4, 8} {
+		got, err := Histogram(data, 32, -4, 4, threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := range want {
+			if got[b] != want[b] {
+				t.Fatalf("threads=%d bin %d: %d != %d", threads, b, got[b], want[b])
+			}
+		}
+	}
+}
+
+func TestHistogramTotalConservation(t *testing.T) {
+	data := []float64{0.1, 0.5, 0.9, 0.5, 0.5, -1, 2} // two outside [0,1)
+	h, err := Histogram(data, 4, 0, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, c := range h {
+		total += c
+	}
+	if total != 5 {
+		t.Fatalf("histogram holds %d values, want 5 (outliers dropped)", total)
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	// Values exactly at min land in bin 0; values at max are excluded;
+	// values just below max land in the last bin.
+	h, err := Histogram([]float64{0, 0.999999, 1.0}, 10, 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h[0] != 1 || h[9] != 1 {
+		t.Fatalf("edge binning wrong: %v", h)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := Histogram(nil, 0, 0, 1, 2); !errors.Is(err, ErrBadInput) {
+		t.Fatal("bins=0 accepted")
+	}
+	if _, err := Histogram(nil, 4, 1, 1, 2); !errors.Is(err, ErrBadInput) {
+		t.Fatal("empty range accepted")
+	}
+	if _, err := SequentialHistogram(nil, 0, 0, 1); !errors.Is(err, ErrBadInput) {
+		t.Fatal("sequential bins=0 accepted")
+	}
+}
+
+// TestHistogramProperty: parallel equals sequential for random data and
+// configurations.
+func TestHistogramProperty(t *testing.T) {
+	f := func(seed int64, binsRaw, threadsRaw uint8) bool {
+		bins := 1 + int(binsRaw%30)
+		threads := 1 + int(threadsRaw%6)
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]float64, 500)
+		for i := range data {
+			data[i] = rng.Float64()*3 - 1
+		}
+		seq, err1 := SequentialHistogram(data, bins, 0, 1)
+		par, err2 := Histogram(data, bins, 0, 1, threads)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for b := range seq {
+			if seq[b] != par[b] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- Game of Life (Barrier exemplar) --------------------------------------
+
+// blinker is the period-2 oscillator.
+var blinker = [][2]int{{2, 1}, {2, 2}, {2, 3}}
+
+func TestLifeBlinkerOscillates(t *testing.T) {
+	l, err := NewLife(5, 5, blinker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Step(1, 4)
+	// Horizontal blinker becomes vertical.
+	for _, rc := range [][2]int{{1, 2}, {2, 2}, {3, 2}} {
+		if !l.Alive(rc[0], rc[1]) {
+			t.Fatalf("vertical blinker cell (%d,%d) dead", rc[0], rc[1])
+		}
+	}
+	if l.Population() != 3 {
+		t.Fatalf("population %d, want 3", l.Population())
+	}
+	l.Step(1, 4)
+	for _, rc := range blinker {
+		if !l.Alive(rc[0], rc[1]) {
+			t.Fatalf("blinker did not return after two generations")
+		}
+	}
+}
+
+func TestLifeBlockIsStill(t *testing.T) {
+	block := [][2]int{{1, 1}, {1, 2}, {2, 1}, {2, 2}}
+	l, _ := NewLife(4, 4, block)
+	l.Step(5, 3)
+	if l.Population() != 4 {
+		t.Fatalf("still life changed: population %d", l.Population())
+	}
+	for _, rc := range block {
+		if !l.Alive(rc[0], rc[1]) {
+			t.Fatal("block cell died")
+		}
+	}
+}
+
+func TestLifeParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var live [][2]int
+	for i := 0; i < 120; i++ {
+		live = append(live, [2]int{rng.Intn(16), rng.Intn(16)})
+	}
+	seq, _ := NewLife(16, 16, live)
+	seq.StepSequential(8)
+	for _, threads := range []int{1, 2, 4, 5} {
+		par, _ := NewLife(16, 16, live)
+		par.Step(8, threads)
+		sc, pc := seq.Cells(), par.Cells()
+		for i := range sc {
+			if sc[i] != pc[i] {
+				t.Fatalf("threads=%d: grids diverge at cell %d", threads, i)
+			}
+		}
+	}
+}
+
+func TestLifeToroidalWrap(t *testing.T) {
+	// A blinker crossing the edge must wrap.
+	l, _ := NewLife(5, 5, [][2]int{{0, 4}, {0, 0}, {0, 1}})
+	l.Step(1, 2)
+	for _, rc := range [][2]int{{4, 0}, {0, 0}, {1, 0}} {
+		if !l.Alive(rc[0], rc[1]) {
+			t.Fatalf("toroidal blinker missing cell (%d,%d)", rc[0], rc[1])
+		}
+	}
+}
+
+func TestLifeValidation(t *testing.T) {
+	if _, err := NewLife(0, 5, nil); !errors.Is(err, ErrBadInput) {
+		t.Fatal("0 rows accepted")
+	}
+	l, _ := NewLife(3, 3, nil)
+	l.Step(0, 4) // no generations: a no-op, not a hang
+	if l.Population() != 0 {
+		t.Fatal("empty grid changed")
+	}
+}
+
+// --- Distributed heat (halo exchange exemplar) -----------------------------
+
+func TestDistributedHeatMatchesSequential(t *testing.T) {
+	const cells, steps = 64, 50
+	want := SequentialHeat(cells, steps, 0.25)
+	for _, np := range []int{1, 2, 4, 8} {
+		got, err := DistributedHeat(np, cells, steps, 0.25)
+		if err != nil {
+			t.Fatalf("np=%d: %v", np, err)
+		}
+		if len(got) != cells {
+			t.Fatalf("np=%d: %d cells", np, len(got))
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("np=%d cell %d: %v != %v", np, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDistributedHeatConservesEnergy(t *testing.T) {
+	field, err := DistributedHeat(4, 128, 200, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, v := range field {
+		total += v
+	}
+	if math.Abs(total-1000.0) > 1e-6 {
+		t.Fatalf("heat not conserved: %v", total)
+	}
+}
+
+func TestDistributedHeatValidation(t *testing.T) {
+	if _, err := DistributedHeat(3, 64, 10, 0.25); !errors.Is(err, ErrBadInput) {
+		t.Fatal("indivisible cells accepted")
+	}
+	if _, err := DistributedHeat(0, 64, 10, 0.25); !errors.Is(err, ErrBadInput) {
+		t.Fatal("np=0 accepted")
+	}
+}
+
+// --- Mandelbrot (master-worker exemplar) -----------------------------------
+
+func TestMandelbrotMatchesRowByRow(t *testing.T) {
+	const w, h, iters = 32, 24, 64
+	img, err := Mandelbrot(4, w, h, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != h {
+		t.Fatalf("%d rows", len(img))
+	}
+	for r := 0; r < h; r++ {
+		want := MandelbrotRow(r, w, h, iters)
+		if len(img[r]) != w {
+			t.Fatalf("row %d missing or short (%d)", r, len(img[r]))
+		}
+		for x := range want {
+			if img[r][x] != want[x] {
+				t.Fatalf("pixel (%d,%d): %d != %d", r, x, img[r][x], want[x])
+			}
+		}
+	}
+}
+
+func TestMandelbrotInteriorHitsMaxIter(t *testing.T) {
+	row := MandelbrotRow(12, 32, 24, 100) // middle row passes through the set
+	sawMax := false
+	for _, n := range row {
+		if n == 100 {
+			sawMax = true
+		}
+	}
+	if !sawMax {
+		t.Fatal("no interior point reached maxIter on the central row")
+	}
+}
+
+func TestMandelbrotMoreWorkersThanRows(t *testing.T) {
+	img, err := Mandelbrot(6, 16, 3, 32) // 5 workers, 3 rows
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range img {
+		if img[r] == nil {
+			t.Fatalf("row %d never computed", r)
+		}
+	}
+}
+
+func TestMandelbrotValidation(t *testing.T) {
+	if _, err := Mandelbrot(1, 8, 8, 10); !errors.Is(err, ErrBadInput) {
+		t.Fatal("np=1 accepted (needs at least one worker)")
+	}
+	if _, err := Mandelbrot(2, 0, 8, 10); !errors.Is(err, ErrBadInput) {
+		t.Fatal("width=0 accepted")
+	}
+}
+
+// --- Dot product (scatter/reduce exemplar) ----------------------------------
+
+func TestDotProductMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 1024
+	x := make([]float64, n)
+	y := make([]float64, n)
+	want := 0.0
+	for i := range x {
+		x[i] = rng.Float64()
+		y[i] = rng.Float64()
+		want += x[i] * y[i]
+	}
+	for _, np := range []int{1, 2, 4, 8} {
+		got, err := DotProduct(np, x, y)
+		if err != nil {
+			t.Fatalf("np=%d: %v", np, err)
+		}
+		if math.Abs(got-want) > 1e-9*math.Abs(want) {
+			t.Fatalf("np=%d: %v != %v", np, got, want)
+		}
+	}
+}
+
+func TestDotProductValidation(t *testing.T) {
+	if _, err := DotProduct(2, []float64{1}, []float64{1, 2}); !errors.Is(err, ErrBadInput) {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := DotProduct(3, make([]float64, 4), make([]float64, 4)); !errors.Is(err, ErrBadInput) {
+		t.Fatal("indivisible length accepted")
+	}
+}

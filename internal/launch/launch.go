@@ -1,0 +1,191 @@
+// Package launch starts a multi-OS-process MPI world, playing the role of
+// the mpirun/mpiexec process manager on the paper's Beowulf cluster.
+//
+// Protocol: the launcher binds a loopback rendezvous listener and spawns
+// np copies of the current executable with the rank, world size, and
+// rendezvous address in the environment. Each worker binds its own data
+// listener, reports (rank, data address) to the rendezvous, and receives
+// the complete address table back. Workers then construct a
+// cluster.RemoteTransport over that table and run their rank with
+// mpi.RunWorker. Every byte between ranks crosses a real socket between
+// disjoint OS address spaces.
+package launch
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// Environment variables carrying the worker configuration.
+const (
+	EnvRank       = "PATTERNLET_RANK"
+	EnvNP         = "PATTERNLET_NP"
+	EnvRendezvous = "PATTERNLET_RENDEZVOUS"
+)
+
+// hello is the worker -> launcher registration message.
+type hello struct {
+	Rank int
+	Addr string
+}
+
+// table is the launcher -> worker address-table message.
+type table struct {
+	Addrs []string
+}
+
+// IsWorker reports whether this process was spawned as a rank by Spawn.
+func IsWorker() bool {
+	return os.Getenv(EnvRank) != ""
+}
+
+// Spawn launches np copies of the current executable with the given
+// arguments, coordinates their rendezvous, streams their combined output
+// to stdout/stderr, and waits for all of them. It returns the joined
+// error of the rendezvous and every worker's exit status.
+func Spawn(np int, args []string, stdout, stderr io.Writer) error {
+	if np < 1 {
+		return fmt.Errorf("launch: np must be >= 1, got %d", np)
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("launch: cannot locate executable: %w", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("launch: rendezvous listen: %w", err)
+	}
+	defer ln.Close()
+
+	cmds := make([]*exec.Cmd, np)
+	for rank := 0; rank < np; rank++ {
+		cmd := exec.Command(self, args...)
+		cmd.Stdout = stdout
+		cmd.Stderr = stderr
+		cmd.Env = append(os.Environ(),
+			EnvRank+"="+strconv.Itoa(rank),
+			EnvNP+"="+strconv.Itoa(np),
+			EnvRendezvous+"="+ln.Addr().String(),
+		)
+		if err := cmd.Start(); err != nil {
+			killAll(cmds[:rank])
+			return fmt.Errorf("launch: start rank %d: %w", rank, err)
+		}
+		cmds[rank] = cmd
+	}
+
+	if err := runRendezvous(ln, np); err != nil {
+		killAll(cmds)
+		for _, cmd := range cmds {
+			_ = cmd.Wait()
+		}
+		return err
+	}
+
+	var errs []error
+	for rank, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			errs = append(errs, fmt.Errorf("launch: rank %d: %w", rank, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func killAll(cmds []*exec.Cmd) {
+	for _, cmd := range cmds {
+		if cmd != nil && cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+	}
+}
+
+// runRendezvous accepts one registration per rank and replies with the
+// complete address table.
+func runRendezvous(ln net.Listener, np int) (err error) {
+	addrs := make([]string, np)
+	conns := make([]net.Conn, 0, np)
+	defer func() {
+		for _, c := range conns {
+			_ = c.Close()
+		}
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for len(conns) < np {
+		if d, ok := ln.(*net.TCPListener); ok {
+			_ = d.SetDeadline(deadline)
+		}
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("launch: rendezvous accept: %w", err)
+		}
+		conns = append(conns, conn)
+		var h hello
+		if err := gob.NewDecoder(conn).Decode(&h); err != nil {
+			return fmt.Errorf("launch: rendezvous decode: %w", err)
+		}
+		if h.Rank < 0 || h.Rank >= np || addrs[h.Rank] != "" {
+			return fmt.Errorf("launch: invalid or duplicate rank %d in rendezvous", h.Rank)
+		}
+		addrs[h.Rank] = h.Addr
+	}
+	var errs []error
+	for _, conn := range conns {
+		if err := gob.NewEncoder(conn).Encode(table{Addrs: addrs}); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Connect performs the worker-side rendezvous using the environment set
+// by Spawn: binds this rank's data listener, registers it, and builds the
+// remote transport over the received address table.
+func Connect() (rank, np int, tr *cluster.RemoteTransport, err error) {
+	rank, err = strconv.Atoi(os.Getenv(EnvRank))
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("launch: bad %s: %w", EnvRank, err)
+	}
+	np, err = strconv.Atoi(os.Getenv(EnvNP))
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("launch: bad %s: %w", EnvNP, err)
+	}
+	rendezvous := os.Getenv(EnvRendezvous)
+	if rendezvous == "" {
+		return 0, 0, nil, fmt.Errorf("launch: %s not set", EnvRendezvous)
+	}
+
+	ln, err := cluster.ListenLoopback()
+	if err != nil {
+		return 0, 0, nil, fmt.Errorf("launch: data listen: %w", err)
+	}
+	conn, err := net.DialTimeout("tcp", rendezvous, 10*time.Second)
+	if err != nil {
+		_ = ln.Close()
+		return 0, 0, nil, fmt.Errorf("launch: dial rendezvous: %w", err)
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(hello{Rank: rank, Addr: ln.Addr().String()}); err != nil {
+		_ = ln.Close()
+		return 0, 0, nil, fmt.Errorf("launch: register: %w", err)
+	}
+	var tbl table
+	if err := gob.NewDecoder(conn).Decode(&tbl); err != nil {
+		_ = ln.Close()
+		return 0, 0, nil, fmt.Errorf("launch: receive address table: %w", err)
+	}
+	tr, err = cluster.NewRemoteTransport(rank, np, tbl.Addrs, ln)
+	if err != nil {
+		_ = ln.Close()
+		return 0, 0, nil, err
+	}
+	return rank, np, tr, nil
+}

@@ -1,0 +1,224 @@
+package launch
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// fakeWorker performs the worker side of the rendezvous protocol by hand.
+// It never fails the test directly (rejection tests expect the server to
+// cut it off); it reports nil on any failure.
+func fakeWorker(rendezvous string, rank int, addr string, got chan<- []string) {
+	conn, err := net.DialTimeout("tcp", rendezvous, 5*time.Second)
+	if err != nil {
+		got <- nil
+		return
+	}
+	defer conn.Close()
+	if err := gob.NewEncoder(conn).Encode(hello{Rank: rank, Addr: addr}); err != nil {
+		got <- nil
+		return
+	}
+	var tbl table
+	if err := gob.NewDecoder(conn).Decode(&tbl); err != nil {
+		got <- nil
+		return
+	}
+	got <- tbl.Addrs
+}
+
+func TestRendezvousDistributesFullTable(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	const np = 3
+	got := make(chan []string, np)
+	for rank := 0; rank < np; rank++ {
+		go fakeWorker(ln.Addr().String(), rank, "addr-of-"+string(rune('0'+rank)), got)
+	}
+	if err := runRendezvous(ln, np); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < np; i++ {
+		addrs := <-got
+		if addrs == nil {
+			t.Fatal("a worker failed")
+		}
+		if len(addrs) != np {
+			t.Fatalf("table has %d entries", len(addrs))
+		}
+		for r := 0; r < np; r++ {
+			want := "addr-of-" + string(rune('0'+r))
+			if addrs[r] != want {
+				t.Fatalf("table[%d] = %q, want %q", r, addrs[r], want)
+			}
+		}
+	}
+}
+
+func TestRendezvousRejectsDuplicateRank(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	got := make(chan []string, 2)
+	go fakeWorker(ln.Addr().String(), 0, "a", got)
+	// Give the first registration time to land, then duplicate it.
+	time.Sleep(20 * time.Millisecond)
+	go fakeWorker(ln.Addr().String(), 0, "b", got)
+	err = runRendezvous(ln, 2)
+	if err == nil || !strings.Contains(err.Error(), "duplicate rank") {
+		t.Fatalf("err = %v, want duplicate-rank failure", err)
+	}
+}
+
+func TestRendezvousRejectsOutOfRangeRank(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	got := make(chan []string, 1)
+	go fakeWorker(ln.Addr().String(), 9, "a", got)
+	if err := runRendezvous(ln, 2); err == nil {
+		t.Fatal("rank 9 accepted in a 2-rank world")
+	}
+}
+
+func TestIsWorkerFollowsEnv(t *testing.T) {
+	t.Setenv(EnvRank, "")
+	if IsWorker() {
+		t.Fatal("IsWorker true with empty env")
+	}
+	t.Setenv(EnvRank, "2")
+	if !IsWorker() {
+		t.Fatal("IsWorker false with rank set")
+	}
+}
+
+func TestConnectRequiresEnv(t *testing.T) {
+	t.Setenv(EnvRank, "")
+	t.Setenv(EnvNP, "")
+	t.Setenv(EnvRendezvous, "")
+	if _, _, _, err := Connect(); err == nil {
+		t.Fatal("Connect without environment succeeded")
+	}
+	t.Setenv(EnvRank, "notanumber")
+	if _, _, _, err := Connect(); err == nil {
+		t.Fatal("Connect with bad rank succeeded")
+	}
+}
+
+func TestConnectEndToEnd(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	t.Setenv(EnvRank, "0")
+	t.Setenv(EnvNP, "1")
+	t.Setenv(EnvRendezvous, ln.Addr().String())
+	done := make(chan error, 1)
+	go func() { done <- runRendezvous(ln, 1) }()
+	rank, np, tr, err := Connect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if rank != 0 || np != 1 {
+		t.Fatalf("rank=%d np=%d", rank, np)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Addrs()) != 1 {
+		t.Fatalf("addrs %v", tr.Addrs())
+	}
+}
+
+func TestSpawnValidation(t *testing.T) {
+	if err := Spawn(0, nil, nil, nil); err == nil {
+		t.Fatal("np=0 accepted")
+	}
+}
+
+// TestMain doubles as the worker entry point: when Spawn re-executes the
+// test binary with the worker environment set, we run a tiny MPI worker
+// instead of the test suite — the same trick mpirun -procs uses with its
+// own binary.
+func TestMain(m *testing.M) {
+	if IsWorker() {
+		if err := workerBody(); err != nil {
+			fmt.Fprintln(os.Stderr, "worker:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// workerBody is the per-rank program for TestSpawnEndToEnd: allreduce the
+// ranks and print the total.
+func workerBody() error {
+	rank, np, tr, err := Connect()
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	return mpi.RunWorker(rank, np, tr, func(c *mpi.Comm) error {
+		total, err := mpi.Allreduce(c, c.Rank()+1, mpi.Sum[int]())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rank %d sees total %d\n", c.Rank(), total)
+		return nil
+	})
+}
+
+// TestSpawnEndToEnd launches three OS processes (copies of this test
+// binary), has them rendezvous and allreduce, and checks all three
+// printed the right total.
+func TestSpawnEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	out := &lockedBuffer{}
+	// The argument is irrelevant to workers (they branch in TestMain) but
+	// keeps a re-run of the suite from happening if the env were lost.
+	if err := Spawn(3, []string{"-test.run=NoSuchTest"}, out, out); err != nil {
+		t.Fatalf("Spawn: %v\noutput:\n%s", err, out.String())
+	}
+	if got := strings.Count(out.String(), "sees total 6"); got != 3 {
+		t.Fatalf("%d of 3 workers reported total 6:\n%s", got, out.String())
+	}
+}
+
+// lockedBuffer serializes the three worker processes' pipe copiers.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

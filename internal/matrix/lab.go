@@ -1,0 +1,94 @@
+package matrix
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/vtime"
+)
+
+// The §IV.A Tuesday lab: time the sequential operation, parallelize it,
+// time it again with varying thread counts, and chart speedup. On this
+// reproduction's single-core host, measured wall-clock speedup is
+// physically impossible, so each row reports BOTH the measured time (which
+// shows the partitioning is correct and overhead bounded) and the
+// virtual-time model's speedup on P simulated cores (which reproduces the
+// chart's shape — see DESIGN.md's substitution table).
+
+// LabRow is one line of the students' speedup chart.
+type LabRow struct {
+	Threads      int
+	Measured     time.Duration // wall time of the parallel op on this host
+	ModelSpeedup float64       // vtime speedup on Threads virtual cores
+	ModelEff     float64       // ModelSpeedup / Threads
+}
+
+// LabResult is the full sweep for one operation.
+type LabResult struct {
+	Op         string
+	Size       int
+	Sequential time.Duration
+	Rows       []LabRow
+}
+
+// RunLab executes the lab for the given square matrix size and thread
+// counts, for both operations the paper names (addition and transpose).
+func RunLab(size int, threads []int) ([]LabResult, error) {
+	a := New(size, size)
+	b := New(size, size)
+	a.Random(1)
+	b.Random(2)
+	dst := New(size, size)
+	tdst := New(size, size)
+
+	addSeq := timeIt(func() { _ = a.Add(b, dst) })
+	trSeq := timeIt(func() { _ = a.Transpose(tdst) })
+
+	add := LabResult{Op: "addition", Size: size, Sequential: addSeq}
+	tr := LabResult{Op: "transpose", Size: size, Sequential: trSeq}
+
+	// Virtual-time model: one task per row, cost proportional to the row's
+	// element count; the model computes the makespan of that task set on P
+	// cores.
+	rowTasks := vtime.IndependentLoop(size, func(int) int64 { return int64(size) })
+
+	for _, p := range threads {
+		if p < 1 {
+			return nil, fmt.Errorf("matrix: invalid thread count %d", p)
+		}
+		sched, err := vtime.Simulate(rowTasks, p)
+		if err != nil {
+			return nil, err
+		}
+		addMeasured := timeIt(func() { _ = a.AddParallel(b, dst, p) })
+		add.Rows = append(add.Rows, LabRow{
+			Threads: p, Measured: addMeasured,
+			ModelSpeedup: sched.Speedup(), ModelEff: sched.Efficiency(p),
+		})
+		trMeasured := timeIt(func() { _ = a.TransposeParallel(tdst, p) })
+		tr.Rows = append(tr.Rows, LabRow{
+			Threads: p, Measured: trMeasured,
+			ModelSpeedup: sched.Speedup(), ModelEff: sched.Efficiency(p),
+		})
+	}
+	return []LabResult{add, tr}, nil
+}
+
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// Table renders one operation's sweep as the chart data the students
+// produce in their spreadsheets.
+func (r LabResult) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "matrix %s, %dx%d (sequential: %v)\n", r.Op, r.Size, r.Size, r.Sequential)
+	fmt.Fprintf(&b, "%8s %14s %14s %12s\n", "threads", "measured", "model-speedup", "model-eff")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%8d %14v %14.2f %12.2f\n", row.Threads, row.Measured, row.ModelSpeedup, row.ModelEff)
+	}
+	return b.String()
+}

@@ -1,0 +1,179 @@
+// Package matrix implements the workload of the paper's §IV.A Tuesday lab:
+// the Matrix class whose sequential addition and transpose the CS2
+// students time, parallelize with OpenMP, and re-time with varying thread
+// counts to chart speedup.
+//
+// Matrices are dense, row-major, in a single allocation (the layout
+// Effective Go recommends for 2-D data).
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/omp"
+)
+
+// ErrShape reports mismatched matrix dimensions.
+var ErrShape = errors.New("matrix: dimension mismatch")
+
+// Matrix is a dense rows×cols matrix of float64 in row-major order.
+type Matrix struct {
+	Rows, Cols int
+	data       []float64
+}
+
+// New creates a zero rows×cols matrix. It panics on non-positive
+// dimensions, which are always a program error in the lab code.
+func New(rows, cols int) *Matrix {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, data: make([]float64, rows*cols)}
+}
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.data[r*m.Cols+c] }
+
+// Set stores v at (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.data[r*m.Cols+c] = v }
+
+// Row returns a view of row r (shared storage, not a copy).
+func (m *Matrix) Row(r int) []float64 { return m.data[r*m.Cols : (r+1)*m.Cols] }
+
+// Fill sets every element to f(r, c).
+func (m *Matrix) Fill(f func(r, c int) float64) {
+	for r := 0; r < m.Rows; r++ {
+		row := m.Row(r)
+		for c := range row {
+			row[c] = f(r, c)
+		}
+	}
+}
+
+// Random fills the matrix with deterministic pseudo-random values.
+func (m *Matrix) Random(seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range m.data {
+		m.data[i] = rng.Float64()
+	}
+}
+
+// Equal reports whether m and o have the same shape and elements.
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.Rows != o.Rows || m.Cols != o.Cols {
+		return false
+	}
+	for i, v := range m.data {
+		if o.data[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Add computes dst = m + o sequentially — the operation the students time
+// first.
+func (m *Matrix) Add(o, dst *Matrix) error {
+	if m.Rows != o.Rows || m.Cols != o.Cols || m.Rows != dst.Rows || m.Cols != dst.Cols {
+		return ErrShape
+	}
+	for i := range m.data {
+		dst.data[i] = m.data[i] + o.data[i]
+	}
+	return nil
+}
+
+// AddParallel computes dst = m + o with the row loop workshared over an
+// OpenMP-style team — the students' "parallelized" addition.
+func (m *Matrix) AddParallel(o, dst *Matrix, threads int) error {
+	if m.Rows != o.Rows || m.Cols != o.Cols || m.Rows != dst.Rows || m.Cols != dst.Cols {
+		return ErrShape
+	}
+	omp.ParallelFor(m.Rows, omp.StaticEqual(), func(r, _ int) {
+		base := r * m.Cols
+		for c := 0; c < m.Cols; c++ {
+			dst.data[base+c] = m.data[base+c] + o.data[base+c]
+		}
+	}, omp.WithNumThreads(threads))
+	return nil
+}
+
+// Transpose computes dst = mᵀ sequentially.
+func (m *Matrix) Transpose(dst *Matrix) error {
+	if m.Rows != dst.Cols || m.Cols != dst.Rows {
+		return ErrShape
+	}
+	for r := 0; r < m.Rows; r++ {
+		base := r * m.Cols
+		for c := 0; c < m.Cols; c++ {
+			dst.data[c*dst.Cols+r] = m.data[base+c]
+		}
+	}
+	return nil
+}
+
+// TransposeParallel computes dst = mᵀ with the row loop workshared.
+func (m *Matrix) TransposeParallel(dst *Matrix, threads int) error {
+	if m.Rows != dst.Cols || m.Cols != dst.Rows {
+		return ErrShape
+	}
+	omp.ParallelFor(m.Rows, omp.StaticEqual(), func(r, _ int) {
+		base := r * m.Cols
+		for c := 0; c < m.Cols; c++ {
+			dst.data[c*dst.Cols+r] = m.data[base+c]
+		}
+	}, omp.WithNumThreads(threads))
+	return nil
+}
+
+// Mul computes dst = m × o sequentially (used by the Algorithms-course
+// follow-on exercises).
+func (m *Matrix) Mul(o, dst *Matrix) error {
+	if m.Cols != o.Rows || dst.Rows != m.Rows || dst.Cols != o.Cols {
+		return ErrShape
+	}
+	for r := 0; r < m.Rows; r++ {
+		drow := dst.Row(r)
+		for c := range drow {
+			drow[c] = 0
+		}
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(r, k)
+			orow := o.Row(k)
+			for c := 0; c < o.Cols; c++ {
+				drow[c] += a * orow[c]
+			}
+		}
+	}
+	return nil
+}
+
+// MulParallel computes dst = m × o with the outer row loop workshared.
+func (m *Matrix) MulParallel(o, dst *Matrix, threads int) error {
+	if m.Cols != o.Rows || dst.Rows != m.Rows || dst.Cols != o.Cols {
+		return ErrShape
+	}
+	omp.ParallelFor(m.Rows, omp.StaticEqual(), func(r, _ int) {
+		drow := dst.Row(r)
+		for c := range drow {
+			drow[c] = 0
+		}
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(r, k)
+			orow := o.Row(k)
+			for c := 0; c < o.Cols; c++ {
+				drow[c] += a * orow[c]
+			}
+		}
+	}, omp.WithNumThreads(threads))
+	return nil
+}

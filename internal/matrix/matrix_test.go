@@ -1,0 +1,274 @@
+package matrix
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewZeroed(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("dims %dx%d", m.Rows, m.Cols)
+	}
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 4; c++ {
+			if m.At(r, c) != 0 {
+				t.Fatalf("not zeroed at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 3}, {3, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestSetAtRow(t *testing.T) {
+	m := New(2, 3)
+	m.Set(1, 2, 7.5)
+	if m.At(1, 2) != 7.5 {
+		t.Fatal("Set/At mismatch")
+	}
+	row := m.Row(1)
+	if row[2] != 7.5 {
+		t.Fatal("Row view wrong")
+	}
+	row[0] = 9 // views share storage
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row is not a view")
+	}
+}
+
+func TestFill(t *testing.T) {
+	m := New(3, 3)
+	m.Fill(func(r, c int) float64 { return float64(r*10 + c) })
+	if m.At(2, 1) != 21 {
+		t.Fatalf("Fill wrong: %v", m.At(2, 1))
+	}
+}
+
+func TestEqualAndClone(t *testing.T) {
+	a := New(2, 2)
+	a.Fill(func(r, c int) float64 { return float64(r + c) })
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b.Set(0, 0, 99)
+	if a.Equal(b) || a.At(0, 0) == 99 {
+		t.Fatal("clone shares storage")
+	}
+	c := New(2, 3)
+	if a.Equal(c) {
+		t.Fatal("different shapes equal")
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, b := New(4, 4), New(4, 4)
+	a.Random(7)
+	b.Random(7)
+	if !a.Equal(b) {
+		t.Fatal("same seed gave different matrices")
+	}
+	b.Random(8)
+	if a.Equal(b) {
+		t.Fatal("different seeds gave identical matrices")
+	}
+}
+
+func TestAddSequential(t *testing.T) {
+	a, b, dst := New(2, 2), New(2, 2), New(2, 2)
+	a.Fill(func(r, c int) float64 { return float64(r) })
+	b.Fill(func(r, c int) float64 { return float64(c) })
+	if err := a.Add(b, dst); err != nil {
+		t.Fatal(err)
+	}
+	if dst.At(1, 1) != 2 || dst.At(0, 1) != 1 {
+		t.Fatal("Add wrong")
+	}
+}
+
+func TestAddShapeErrors(t *testing.T) {
+	a, b := New(2, 2), New(2, 3)
+	if err := a.Add(b, New(2, 2)); !errors.Is(err, ErrShape) {
+		t.Fatal("mismatched operand accepted")
+	}
+	if err := a.Add(New(2, 2), New(3, 2)); !errors.Is(err, ErrShape) {
+		t.Fatal("mismatched dst accepted")
+	}
+	if err := a.AddParallel(b, New(2, 2), 2); !errors.Is(err, ErrShape) {
+		t.Fatal("parallel mismatched operand accepted")
+	}
+}
+
+func TestTransposeSequential(t *testing.T) {
+	m := New(2, 3)
+	m.Fill(func(r, c int) float64 { return float64(r*3 + c) })
+	dst := New(3, 2)
+	if err := m.Transpose(dst); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		for c := 0; c < 3; c++ {
+			if dst.At(c, r) != m.At(r, c) {
+				t.Fatalf("transpose wrong at (%d,%d)", r, c)
+			}
+		}
+	}
+	if err := m.Transpose(New(2, 3)); !errors.Is(err, ErrShape) {
+		t.Fatal("bad transpose dst accepted")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := New(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 3)
+	a.Set(1, 1, 4)
+	b := New(2, 2)
+	b.Set(0, 0, 5)
+	b.Set(0, 1, 6)
+	b.Set(1, 0, 7)
+	b.Set(1, 1, 8)
+	dst := New(2, 2)
+	if err := a.Mul(b, dst); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for r := range want {
+		for c := range want[r] {
+			if dst.At(r, c) != want[r][c] {
+				t.Fatalf("Mul[%d][%d] = %v, want %v", r, c, dst.At(r, c), want[r][c])
+			}
+		}
+	}
+	if err := a.Mul(New(3, 2), dst); !errors.Is(err, ErrShape) {
+		t.Fatal("inner-dim mismatch accepted")
+	}
+}
+
+// TestParallelOpsMatchSequentialProperty: for random shapes and thread
+// counts, the parallel operations agree exactly with the sequential ones.
+func TestParallelOpsMatchSequentialProperty(t *testing.T) {
+	f := func(rRaw, cRaw, tRaw, seed uint8) bool {
+		rows := 1 + int(rRaw%20)
+		cols := 1 + int(cRaw%20)
+		threads := 1 + int(tRaw%8)
+		a := New(rows, cols)
+		b := New(rows, cols)
+		a.Random(int64(seed))
+		b.Random(int64(seed) + 1000)
+
+		s1, p1 := New(rows, cols), New(rows, cols)
+		if a.Add(b, s1) != nil || a.AddParallel(b, p1, threads) != nil {
+			return false
+		}
+		if !s1.Equal(p1) {
+			return false
+		}
+		s2, p2 := New(cols, rows), New(cols, rows)
+		if a.Transpose(s2) != nil || a.TransposeParallel(p2, threads) != nil {
+			return false
+		}
+		return s2.Equal(p2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulParallelMatchesSequential(t *testing.T) {
+	a, b := New(17, 9), New(9, 13)
+	a.Random(3)
+	b.Random(4)
+	s, p := New(17, 13), New(17, 13)
+	if err := a.Mul(b, s); err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 2, 5} {
+		if err := a.MulParallel(b, p, threads); err != nil {
+			t.Fatal(err)
+		}
+		if !s.Equal(p) {
+			t.Fatalf("threads=%d: parallel product differs", threads)
+		}
+	}
+	if err := a.MulParallel(New(3, 3), p, 2); !errors.Is(err, ErrShape) {
+		t.Fatal("bad shape accepted")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	m := New(5, 7)
+	m.Random(11)
+	once, twice := New(7, 5), New(5, 7)
+	if err := m.Transpose(once); err != nil {
+		t.Fatal(err)
+	}
+	if err := once.Transpose(twice); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Equal(twice) {
+		t.Fatal("(Mᵀ)ᵀ != M")
+	}
+}
+
+func TestRunLabShape(t *testing.T) {
+	results, err := RunLab(64, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("RunLab returned %d results", len(results))
+	}
+	for _, r := range results {
+		if len(r.Rows) != 3 {
+			t.Fatalf("%s: %d rows", r.Op, len(r.Rows))
+		}
+		// The virtual-core model's speedup must not decrease with threads
+		// for this uniform row workload.
+		prev := 0.0
+		for _, row := range r.Rows {
+			if row.ModelSpeedup < prev-1e-9 {
+				t.Fatalf("%s: model speedup decreased: %+v", r.Op, r.Rows)
+			}
+			prev = row.ModelSpeedup
+		}
+		// Perfect division cases: 64 rows over 1/2/4 cores.
+		if got := r.Rows[2].ModelSpeedup; got != 4 {
+			t.Fatalf("%s: model speedup on 4 cores = %v, want 4", r.Op, got)
+		}
+	}
+}
+
+func TestRunLabRejectsBadThreads(t *testing.T) {
+	if _, err := RunLab(16, []int{0}); err == nil {
+		t.Fatal("thread count 0 accepted")
+	}
+}
+
+func TestLabTableFormat(t *testing.T) {
+	results, err := RunLab(32, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := results[0].Table()
+	for _, want := range []string{"matrix addition", "threads", "model-speedup", "sequential"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Package metrics implements the scalability analysis the paper's CS2 lab
+// asks students to perform on their timing charts: speedup and efficiency
+// from a timing series, plus the two standard diagnostics built on them —
+// the Amdahl's-law serial-fraction fit and the Karp–Flatt experimentally
+// determined serial fraction.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one measurement of the same problem at a processor count.
+type Point struct {
+	Procs int
+	Time  float64 // seconds (or any consistent unit)
+}
+
+// Series is a set of measurements for one workload. It must include a
+// 1-processor baseline for speedup to be defined.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// ErrNoBaseline is returned when no 1-processor measurement exists.
+var ErrNoBaseline = errors.New("metrics: series has no 1-processor baseline")
+
+// ErrBadPoint is returned for non-positive times or processor counts.
+var ErrBadPoint = errors.New("metrics: non-positive time or processor count")
+
+// normalize sorts points by processor count and validates them.
+func (s Series) normalize() ([]Point, float64, error) {
+	if len(s.Points) == 0 {
+		return nil, 0, ErrNoBaseline
+	}
+	pts := append([]Point(nil), s.Points...)
+	sort.Slice(pts, func(i, j int) bool { return pts[i].Procs < pts[j].Procs })
+	baseline := math.NaN()
+	for _, p := range pts {
+		if p.Procs < 1 || p.Time <= 0 {
+			return nil, 0, fmt.Errorf("%w: %+v", ErrBadPoint, p)
+		}
+		if p.Procs == 1 {
+			baseline = p.Time
+		}
+	}
+	if math.IsNaN(baseline) {
+		return nil, 0, ErrNoBaseline
+	}
+	return pts, baseline, nil
+}
+
+// Speedup returns, for each measured processor count, T(1)/T(p).
+func (s Series) Speedup() (map[int]float64, error) {
+	pts, baseline, err := s.normalize()
+	if err != nil {
+		return nil, err
+	}
+	out := map[int]float64{}
+	for _, p := range pts {
+		out[p.Procs] = baseline / p.Time
+	}
+	return out, nil
+}
+
+// Efficiency returns speedup(p)/p for each measured count.
+func (s Series) Efficiency() (map[int]float64, error) {
+	sp, err := s.Speedup()
+	if err != nil {
+		return nil, err
+	}
+	out := map[int]float64{}
+	for p, v := range sp {
+		out[p] = v / float64(p)
+	}
+	return out, nil
+}
+
+// KarpFlatt returns the experimentally determined serial fraction at each
+// p > 1:
+//
+//	e(p) = (1/ψ − 1/p) / (1 − 1/p),   ψ = speedup(p).
+//
+// A roughly constant e across p indicates Amdahl-style serial-fraction
+// limiting; a growing e indicates overhead that grows with p.
+func (s Series) KarpFlatt() (map[int]float64, error) {
+	sp, err := s.Speedup()
+	if err != nil {
+		return nil, err
+	}
+	out := map[int]float64{}
+	for p, psi := range sp {
+		if p == 1 {
+			continue
+		}
+		inv := 1.0 / float64(p)
+		out[p] = (1/psi - inv) / (1 - inv)
+	}
+	return out, nil
+}
+
+// AmdahlFit estimates the serial fraction f by least squares over the
+// measured speedups under Amdahl's model ψ(p) = 1 / (f + (1−f)/p),
+// equivalently 1/ψ = f·(1 − 1/p) + 1/p — linear in f. The returned
+// fraction is clamped to [0, 1].
+func (s Series) AmdahlFit() (serialFraction float64, err error) {
+	sp, err := s.Speedup()
+	if err != nil {
+		return 0, err
+	}
+	// Least squares of y = f·x with y = 1/ψ − 1/p and x = 1 − 1/p.
+	var sxy, sxx float64
+	for p, psi := range sp {
+		if p == 1 {
+			continue
+		}
+		x := 1 - 1/float64(p)
+		y := 1/psi - 1/float64(p)
+		sxy += x * y
+		sxx += x * x
+	}
+	if sxx == 0 {
+		return 0, errors.New("metrics: need at least one p > 1 measurement")
+	}
+	f := sxy / sxx
+	return math.Max(0, math.Min(1, f)), nil
+}
+
+// AmdahlPredict returns the speedup Amdahl's law predicts at p for a
+// serial fraction f.
+func AmdahlPredict(f float64, p int) float64 {
+	if p < 1 {
+		return math.NaN()
+	}
+	return 1 / (f + (1-f)/float64(p))
+}
+
+// Table renders the full analysis the lab's spreadsheet produces.
+func (s Series) Table() (string, error) {
+	pts, _, err := s.normalize()
+	if err != nil {
+		return "", err
+	}
+	sp, _ := s.Speedup()
+	eff, _ := s.Efficiency()
+	kf, _ := s.KarpFlatt()
+	f, fitErr := s.AmdahlFit()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", s.Label)
+	fmt.Fprintf(&b, "%8s %12s %10s %12s %12s\n", "procs", "time", "speedup", "efficiency", "karp-flatt")
+	for _, p := range pts {
+		kfStr := "-"
+		if v, ok := kf[p.Procs]; ok {
+			kfStr = fmt.Sprintf("%.4f", v)
+		}
+		fmt.Fprintf(&b, "%8d %12.6f %10.2f %12.2f %12s\n",
+			p.Procs, p.Time, sp[p.Procs], eff[p.Procs], kfStr)
+	}
+	if fitErr == nil {
+		fmt.Fprintf(&b, "Amdahl fit: serial fraction f = %.4f (predicted speedup at 16p: %.2f)\n",
+			f, AmdahlPredict(f, 16))
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,171 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func near(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func perfectSeries() Series {
+	return Series{
+		Label: "perfect scaling",
+		Points: []Point{
+			{Procs: 1, Time: 8}, {Procs: 2, Time: 4}, {Procs: 4, Time: 2}, {Procs: 8, Time: 1},
+		},
+	}
+}
+
+// amdahlSeries builds timings that follow Amdahl's law exactly for serial
+// fraction f.
+func amdahlSeries(f float64) Series {
+	var pts []Point
+	for _, p := range []int{1, 2, 4, 8, 16} {
+		pts = append(pts, Point{Procs: p, Time: 10 * (f + (1-f)/float64(p))})
+	}
+	return Series{Label: "amdahl", Points: pts}
+}
+
+func TestSpeedupPerfect(t *testing.T) {
+	sp, err := perfectSeries().Speedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		if !near(sp[p], float64(p), 1e-12) {
+			t.Fatalf("speedup(%d) = %v", p, sp[p])
+		}
+	}
+}
+
+func TestEfficiencyPerfect(t *testing.T) {
+	eff, err := perfectSeries().Efficiency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, e := range eff {
+		if !near(e, 1, 1e-12) {
+			t.Fatalf("efficiency(%d) = %v", p, e)
+		}
+	}
+}
+
+func TestNoBaseline(t *testing.T) {
+	s := Series{Points: []Point{{Procs: 2, Time: 1}}}
+	if _, err := s.Speedup(); !errors.Is(err, ErrNoBaseline) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := (Series{}).Speedup(); !errors.Is(err, ErrNoBaseline) {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestBadPoints(t *testing.T) {
+	for _, s := range []Series{
+		{Points: []Point{{Procs: 1, Time: 0}}},
+		{Points: []Point{{Procs: 0, Time: 1}, {Procs: 1, Time: 1}}},
+		{Points: []Point{{Procs: 1, Time: -1}}},
+	} {
+		if _, err := s.Speedup(); !errors.Is(err, ErrBadPoint) && !errors.Is(err, ErrNoBaseline) {
+			t.Fatalf("bad series accepted: %+v (%v)", s, err)
+		}
+	}
+}
+
+func TestKarpFlattConstantForAmdahl(t *testing.T) {
+	const f = 0.1
+	kf, err := amdahlSeries(f).KarpFlatt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, has1 := kf[1]; has1 {
+		t.Fatal("Karp–Flatt defined at p=1")
+	}
+	for p, e := range kf {
+		if !near(e, f, 1e-9) {
+			t.Fatalf("e(%d) = %v, want %v for an Amdahl-exact series", p, e, f)
+		}
+	}
+}
+
+func TestAmdahlFitRecoversFraction(t *testing.T) {
+	for _, f := range []float64{0, 0.05, 0.25, 0.5, 0.9} {
+		got, err := amdahlSeries(f).AmdahlFit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !near(got, f, 1e-9) {
+			t.Fatalf("fit = %v, want %v", got, f)
+		}
+	}
+}
+
+func TestAmdahlFitNeedsMultiProcPoint(t *testing.T) {
+	s := Series{Points: []Point{{Procs: 1, Time: 5}}}
+	if _, err := s.AmdahlFit(); err == nil {
+		t.Fatal("fit with only the baseline accepted")
+	}
+}
+
+func TestAmdahlPredict(t *testing.T) {
+	if !near(AmdahlPredict(0, 8), 8, 1e-12) {
+		t.Fatal("f=0 should predict linear speedup")
+	}
+	if !near(AmdahlPredict(1, 8), 1, 1e-12) {
+		t.Fatal("f=1 should predict no speedup")
+	}
+	if !math.IsNaN(AmdahlPredict(0.5, 0)) {
+		t.Fatal("p=0 should be NaN")
+	}
+	// The famous limit: f=0.05 caps speedup at 20.
+	if AmdahlPredict(0.05, 1<<20) > 20 {
+		t.Fatal("asymptote exceeded 1/f")
+	}
+}
+
+// TestSpeedupBoundedByAmdahlProperty: for series generated from Amdahl's
+// model with overhead added, measured speedup never exceeds the ideal
+// model's speedup.
+func TestSpeedupBoundedByAmdahlProperty(t *testing.T) {
+	fn := func(fRaw uint8, overheadRaw uint8) bool {
+		f := float64(fRaw%90) / 100
+		overhead := float64(overheadRaw) / 1000
+		var pts []Point
+		for _, p := range []int{1, 2, 4, 8} {
+			base := 10 * (f + (1-f)/float64(p))
+			extra := overhead * float64(p-1)
+			pts = append(pts, Point{Procs: p, Time: base + extra})
+		}
+		sp, err := Series{Label: "x", Points: pts}.Speedup()
+		if err != nil {
+			return false
+		}
+		for p, v := range sp {
+			if v > AmdahlPredict(f, p)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	table, err := amdahlSeries(0.2).Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"procs", "speedup", "efficiency", "karp-flatt", "Amdahl fit: serial fraction f = 0.2000"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	if _, err := (Series{}).Table(); err == nil {
+		t.Fatal("empty table accepted")
+	}
+}

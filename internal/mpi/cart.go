@@ -1,0 +1,149 @@
+package mpi
+
+import "fmt"
+
+// Cartesian process topologies (MPI_Cart_create and friends): the
+// structured neighbour arithmetic that stencil and halo-exchange
+// exemplars are built on in the HPC course of §IV. The topology is a
+// coordinate view over an existing communicator — no traffic is involved
+// in creating it.
+
+// Cart is a Cartesian view of a communicator: ranks 0..Size()-1 laid out
+// row-major over Dims, each dimension optionally periodic (wrapping).
+type Cart struct {
+	comm     *Comm
+	dims     []int
+	periodic []bool
+}
+
+// NewCart builds a Cartesian topology over c. The product of dims must
+// equal c.Size(); periodic gives per-dimension wrap-around (a single
+// value may be supplied to apply to all dimensions, like mpi4py's
+// shorthand).
+func NewCart(c *Comm, dims []int, periodic []bool) (*Cart, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("mpi: NewCart: no dimensions")
+	}
+	total := 1
+	for _, d := range dims {
+		if d < 1 {
+			return nil, fmt.Errorf("mpi: NewCart: dimension %d invalid", d)
+		}
+		total *= d
+	}
+	if total != c.Size() {
+		return nil, fmt.Errorf("mpi: NewCart: grid %v has %d cells for %d ranks", dims, total, c.Size())
+	}
+	switch len(periodic) {
+	case len(dims):
+	case 1:
+		p := make([]bool, len(dims))
+		for i := range p {
+			p[i] = periodic[0]
+		}
+		periodic = p
+	case 0:
+		periodic = make([]bool, len(dims))
+	default:
+		return nil, fmt.Errorf("mpi: NewCart: %d periodic flags for %d dims", len(periodic), len(dims))
+	}
+	return &Cart{
+		comm:     c,
+		dims:     append([]int(nil), dims...),
+		periodic: append([]bool(nil), periodic...),
+	}, nil
+}
+
+// Dims returns the grid extents.
+func (ct *Cart) Dims() []int { return append([]int(nil), ct.dims...) }
+
+// Comm returns the underlying communicator.
+func (ct *Cart) Comm() *Comm { return ct.comm }
+
+// Coords returns the Cartesian coordinates of the given rank
+// (MPI_Cart_coords), row-major: the last dimension varies fastest.
+func (ct *Cart) Coords(rank int) ([]int, error) {
+	if rank < 0 || rank >= ct.comm.Size() {
+		return nil, ErrInvalidRank
+	}
+	coords := make([]int, len(ct.dims))
+	for i := len(ct.dims) - 1; i >= 0; i-- {
+		coords[i] = rank % ct.dims[i]
+		rank /= ct.dims[i]
+	}
+	return coords, nil
+}
+
+// Rank returns the rank at the given coordinates (MPI_Cart_rank).
+// Out-of-range coordinates wrap in periodic dimensions and are an error
+// otherwise.
+func (ct *Cart) Rank(coords []int) (int, error) {
+	if len(coords) != len(ct.dims) {
+		return -1, fmt.Errorf("mpi: Cart.Rank: %d coords for %d dims", len(coords), len(ct.dims))
+	}
+	rank := 0
+	for i, c := range coords {
+		d := ct.dims[i]
+		if c < 0 || c >= d {
+			if !ct.periodic[i] {
+				return -1, fmt.Errorf("mpi: Cart.Rank: coordinate %d out of range in non-periodic dim %d", c, i)
+			}
+			c = ((c % d) + d) % d
+		}
+		rank = rank*d + c
+	}
+	return rank, nil
+}
+
+// ProcNull is the rank returned by Shift for a neighbour beyond a
+// non-periodic edge, like MPI_PROC_NULL.
+const ProcNull = -2
+
+// Shift returns the source and destination ranks for a displacement along
+// one dimension (MPI_Cart_shift): dst is the neighbour `disp` steps in the
+// positive direction, src the one the same distance behind. At a
+// non-periodic edge the missing neighbour is ProcNull.
+func (ct *Cart) Shift(dim, disp int) (src, dst int, err error) {
+	if dim < 0 || dim >= len(ct.dims) {
+		return ProcNull, ProcNull, fmt.Errorf("mpi: Cart.Shift: dimension %d out of range", dim)
+	}
+	coords, err := ct.Coords(ct.comm.Rank())
+	if err != nil {
+		return ProcNull, ProcNull, err
+	}
+	neighbour := func(delta int) int {
+		c := append([]int(nil), coords...)
+		c[dim] += delta
+		r, err := ct.Rank(c)
+		if err != nil {
+			return ProcNull
+		}
+		return r
+	}
+	return neighbour(-disp), neighbour(disp), nil
+}
+
+// SendrecvShift exchanges a value with the Shift(dim, disp) neighbours:
+// sends v toward dst and receives from src. A ProcNull side is skipped
+// and the zero value returned for a ProcNull source, matching
+// MPI_Sendrecv with MPI_PROC_NULL. The tag must be non-negative.
+func SendrecvShift[T any](ct *Cart, v T, dim, disp, tag int) (T, error) {
+	var zero T
+	src, dst, err := ct.Shift(dim, disp)
+	if err != nil {
+		return zero, err
+	}
+	c := ct.comm
+	switch {
+	case src == ProcNull && dst == ProcNull:
+		return zero, nil
+	case dst == ProcNull:
+		got, _, err := Recv[T](c, src, tag)
+		return got, err
+	case src == ProcNull:
+		return zero, Send(c, v, dst, tag)
+	default:
+		got, _, err := Sendrecv[T, T](c, v, dst, tag, src, tag)
+		return got, err
+	}
+}

@@ -1,0 +1,40 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// encode serializes a value for the wire. Serialization is what gives the
+// runtime genuine address-space isolation: a slice sent to another rank
+// arrives as a fresh allocation, never an alias.
+func encode[T any](v T) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
+		return nil, fmt.Errorf("mpi: encode %T: %w", v, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decode rebuilds a value from its wire form.
+func decode[T any](b []byte) (T, error) {
+	var v T
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v); err != nil {
+		return v, fmt.Errorf("mpi: decode into %T: %w", v, err)
+	}
+	return v, nil
+}
+
+// DeepCopy round-trips a value through the wire encoding. Patternlets use
+// it to show that message payloads are copies (mutating the sender's value
+// after Send cannot affect the receiver), and tests use it to verify the
+// isolation property directly.
+func DeepCopy[T any](v T) (T, error) {
+	b, err := encode(v)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return decode[T](b)
+}

@@ -1,0 +1,144 @@
+package mpi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeepCopyScalarTypes(t *testing.T) {
+	if v, err := DeepCopy(42); err != nil || v != 42 {
+		t.Fatalf("int: (%v, %v)", v, err)
+	}
+	if v, err := DeepCopy("hello"); err != nil || v != "hello" {
+		t.Fatalf("string: (%v, %v)", v, err)
+	}
+	if v, err := DeepCopy(3.25); err != nil || v != 3.25 {
+		t.Fatalf("float: (%v, %v)", v, err)
+	}
+	if v, err := DeepCopy(true); err != nil || !v {
+		t.Fatalf("bool: (%v, %v)", v, err)
+	}
+}
+
+func TestDeepCopySpecialFloats(t *testing.T) {
+	if v, err := DeepCopy(math.Inf(1)); err != nil || !math.IsInf(v, 1) {
+		t.Fatalf("+inf: (%v, %v)", v, err)
+	}
+	v, err := DeepCopy(math.NaN())
+	if err != nil || !math.IsNaN(v) {
+		t.Fatalf("nan: (%v, %v)", v, err)
+	}
+	if v, err := DeepCopy(math.Copysign(0, -1)); err != nil || math.Signbit(v) != true {
+		t.Fatalf("-0: (%v, %v)", v, err)
+	}
+}
+
+func TestDeepCopyNestedStructures(t *testing.T) {
+	type inner struct {
+		Vals []int
+	}
+	type outer struct {
+		Name string
+		M    map[string]inner
+		P    *inner
+	}
+	in := outer{
+		Name: "x",
+		M:    map[string]inner{"a": {Vals: []int{1, 2}}},
+		P:    &inner{Vals: []int{3}},
+	}
+	out, err := DeepCopy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.M["a"].Vals[0] = 99
+	out.P.Vals[0] = 99
+	if in.M["a"].Vals[0] != 1 || in.P.Vals[0] != 3 {
+		t.Fatal("nested structure aliased")
+	}
+}
+
+func TestDeepCopyNilSliceAndMap(t *testing.T) {
+	if v, err := DeepCopy[[]int](nil); err != nil || v != nil {
+		t.Fatalf("nil slice: (%v, %v)", v, err)
+	}
+	if v, err := DeepCopy[map[string]int](nil); err != nil || len(v) != 0 {
+		t.Fatalf("nil map: (%v, %v)", v, err)
+	}
+}
+
+func TestDeepCopyEmptySlicePreserved(t *testing.T) {
+	v, err := DeepCopy([]int{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 0 {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestEncodeRejectsUnencodableTypes(t *testing.T) {
+	// Channels and functions cannot cross address spaces — the codec must
+	// say so rather than smuggle them.
+	if _, err := DeepCopy(make(chan int)); err == nil {
+		t.Fatal("channel encoded")
+	}
+	if _, err := DeepCopy(func() {}); err == nil {
+		t.Fatal("function encoded")
+	}
+}
+
+func TestSendUnencodableReturnsError(t *testing.T) {
+	if err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			err := Send(c, make(chan int), 1, 0)
+			if err == nil {
+				t.Error("Send of a channel succeeded")
+			}
+			// Unblock the receiver.
+			return Send(c, 1, 1, 0)
+		}
+		_, _, err := Recv[int](c, 0, 0)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundTripProperty: arbitrary (quick-generated) payload structs
+// survive the wire encoding unchanged.
+func TestRoundTripProperty(t *testing.T) {
+	type payload struct {
+		A int64
+		B string
+		C []uint16
+		D map[int8]bool
+	}
+	f := func(p payload) bool {
+		q, err := DeepCopy(p)
+		if err != nil {
+			return false
+		}
+		if q.A != p.A || q.B != p.B || len(q.C) != len(p.C) {
+			return false
+		}
+		for i := range p.C {
+			if q.C[i] != p.C[i] {
+				return false
+			}
+		}
+		if len(q.D) != len(p.D) {
+			return false
+		}
+		for k, v := range p.D {
+			if q.D[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

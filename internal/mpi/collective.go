@@ -1,0 +1,265 @@
+package mpi
+
+import "fmt"
+
+// Collective operations. Every rank of the communicator must call the same
+// collectives in the same order; each call reserves one internal tag, so
+// successive collectives can never cross-match. Broadcast and reduction
+// use binomial trees, giving the O(lg p) combining depth that Figure 19 of
+// the paper illustrates for the Reduction pattern.
+
+// Barrier blocks until every rank of the communicator has entered it
+// (MPI_Barrier). It uses the dissemination algorithm: ceil(lg p) rounds,
+// in round k each rank signals the rank 2^k ahead of it and waits for the
+// rank 2^k behind.
+func Barrier(c *Comm) error {
+	tag := c.nextCollTag()
+	p := len(c.ranks)
+	for stride := 1; stride < p; stride *= 2 {
+		to := (c.rank + stride) % p
+		from := (c.rank - stride + p) % p
+		if err := sendRaw(c, struct{}{}, to, tag); err != nil {
+			return err
+		}
+		if _, _, err := recvRaw[struct{}](c, from, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast distributes root's value to every rank (MPI_Bcast): each rank
+// passes its local v (ignored except at root) and receives root's value.
+// The value travels down a binomial tree, reaching all p ranks in
+// ceil(lg p) message latencies.
+func Bcast[T any](c *Comm, v T, root int) (T, error) {
+	var zero T
+	if root < 0 || root >= len(c.ranks) {
+		return zero, ErrInvalidRank
+	}
+	tag := c.nextCollTag()
+	p := len(c.ranks)
+	rel := (c.rank - root + p) % p
+
+	// Receive phase: a non-root rank receives from the peer that owns it
+	// in the binomial tree.
+	mask := 1
+	for mask < p {
+		if rel&mask != 0 {
+			src := (rel - mask + root) % p
+			got, _, err := recvRaw[T](c, src, tag)
+			if err != nil {
+				return zero, err
+			}
+			v = got
+			break
+		}
+		mask <<= 1
+	}
+	// Forward phase: relay to subtree children.
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < p {
+			dst := (rel + mask + root) % p
+			if err := sendRaw(c, v, dst, tag); err != nil {
+				return zero, err
+			}
+		}
+		mask >>= 1
+	}
+	return v, nil
+}
+
+// Reduce combines each rank's value with op and returns the result at
+// root; other ranks receive the zero value (MPI_Reduce). The combine runs
+// up a binomial tree in ceil(lg p) rounds. op must be associative (the
+// requirement MPI places on user-defined operations, per §III.D); for an
+// associative op with root 0 the result equals the sequential fold over
+// ranks 0..p-1 in order, so even non-commutative associative ops reduce
+// deterministically.
+func Reduce[T any](c *Comm, v T, op func(T, T) T, root int) (T, error) {
+	var zero T
+	if root < 0 || root >= len(c.ranks) {
+		return zero, ErrInvalidRank
+	}
+	tag := c.nextCollTag()
+	p := len(c.ranks)
+	rel := (c.rank - root + p) % p
+
+	val := v
+	for mask := 1; mask < p; mask <<= 1 {
+		if rel&mask != 0 {
+			// This rank's partial is done; hand it to the subtree owner.
+			dst := ((rel &^ mask) + root) % p
+			if err := sendRaw(c, val, dst, tag); err != nil {
+				return zero, err
+			}
+			return zero, nil // non-root ranks are done once their partial is handed up
+		}
+		peer := rel | mask
+		if peer < p {
+			pv, _, err := recvRaw[T](c, (peer+root)%p, tag)
+			if err != nil {
+				return zero, err
+			}
+			// rel owns the lower contiguous rank interval, peer the upper:
+			// keep left-to-right order.
+			val = op(val, pv)
+		}
+	}
+	if c.rank == root {
+		return val, nil
+	}
+	return zero, nil
+}
+
+// ReduceLinear is the sequential baseline for the Reduction pattern: root
+// receives every rank's value one at a time and folds them in rank order —
+// the O(t) combining that Figure 19 contrasts with the O(lg t) tree.
+// Results are identical to Reduce for associative ops; only the combining
+// schedule differs. It exists for the Figure 19 experiment.
+func ReduceLinear[T any](c *Comm, v T, op func(T, T) T, root int) (T, error) {
+	var zero T
+	if root < 0 || root >= len(c.ranks) {
+		return zero, ErrInvalidRank
+	}
+	tag := c.nextCollTag()
+	if c.rank != root {
+		if err := sendRaw(c, v, root, tag); err != nil {
+			return zero, err
+		}
+		return zero, nil
+	}
+	// Fold in rank order, substituting the root's own value at its slot.
+	var acc T
+	first := true
+	for r := 0; r < len(c.ranks); r++ {
+		var rv T
+		if r == root {
+			rv = v
+		} else {
+			got, _, err := recvRaw[T](c, r, tag)
+			if err != nil {
+				return zero, err
+			}
+			rv = got
+		}
+		if first {
+			acc = rv
+			first = false
+		} else {
+			acc = op(acc, rv)
+		}
+	}
+	return acc, nil
+}
+
+// Allreduce combines every rank's value and returns the result to all
+// ranks (MPI_Allreduce): a Reduce to rank 0 followed by a Bcast.
+func Allreduce[T any](c *Comm, v T, op func(T, T) T) (T, error) {
+	r, err := Reduce(c, v, op, 0)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return Bcast(c, r, 0)
+}
+
+// Gather concatenates every rank's slice at root in rank order
+// (MPI_Gather, or MPI_Gatherv when contributions differ in length).
+// Non-root ranks receive nil.
+func Gather[T any](c *Comm, send []T, root int) ([]T, error) {
+	if root < 0 || root >= len(c.ranks) {
+		return nil, ErrInvalidRank
+	}
+	tag := c.nextCollTag()
+	if c.rank != root {
+		return nil, sendRaw(c, send, root, tag)
+	}
+	var out []T
+	for r := 0; r < len(c.ranks); r++ {
+		if r == root {
+			// Root's own contribution is deep-copied too, preserving the
+			// everything-is-a-message-copy invariant.
+			cp, err := DeepCopy(send)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cp...)
+			continue
+		}
+		part, _, err := recvRaw[[]T](c, r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+// Allgather concatenates every rank's slice and returns it to all ranks
+// (MPI_Allgather): a Gather to rank 0 followed by a Bcast.
+func Allgather[T any](c *Comm, send []T) ([]T, error) {
+	g, err := Gather(c, send, 0)
+	if err != nil {
+		return nil, err
+	}
+	return Bcast(c, g, 0)
+}
+
+// Scatter splits root's slice into Size() equal chunks and delivers the
+// rank-th chunk to each rank (MPI_Scatter). len(send) at root must be a
+// multiple of Size(); send is ignored at other ranks.
+func Scatter[T any](c *Comm, send []T, root int) ([]T, error) {
+	if root < 0 || root >= len(c.ranks) {
+		return nil, ErrInvalidRank
+	}
+	tag := c.nextCollTag()
+	p := len(c.ranks)
+	if c.rank == root {
+		if len(send)%p != 0 {
+			return nil, fmt.Errorf("mpi: Scatter: %d elements not divisible by %d ranks", len(send), p)
+		}
+		chunk := len(send) / p
+		var own []T
+		for r := 0; r < p; r++ {
+			part := send[r*chunk : (r+1)*chunk]
+			if r == root {
+				cp, err := DeepCopy(part)
+				if err != nil {
+					return nil, err
+				}
+				own = cp
+				continue
+			}
+			if err := sendRaw(c, part, r, tag); err != nil {
+				return nil, err
+			}
+		}
+		return own, nil
+	}
+	part, _, err := recvRaw[[]T](c, root, tag)
+	return part, err
+}
+
+// Scan computes the inclusive prefix reduction: rank r receives
+// op(v0, v1, …, vr) (MPI_Scan). It runs as a linear chain, O(p) latency.
+func Scan[T any](c *Comm, v T, op func(T, T) T) (T, error) {
+	tag := c.nextCollTag()
+	val := v
+	if c.rank > 0 {
+		prefix, _, err := recvRaw[T](c, c.rank-1, tag)
+		if err != nil {
+			var zero T
+			return zero, err
+		}
+		val = op(prefix, v)
+	}
+	if c.rank < len(c.ranks)-1 {
+		if err := sendRaw(c, val, c.rank+1, tag); err != nil {
+			var zero T
+			return zero, err
+		}
+	}
+	return val, nil
+}

@@ -1,0 +1,694 @@
+package mpi
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestBarrierOrdersPhases(t *testing.T) {
+	for _, np := range []int{1, 2, 3, 4, 8} {
+		var before atomic.Int32
+		var violations atomic.Int32
+		err := Run(np, func(c *Comm) error {
+			for phase := 1; phase <= 5; phase++ {
+				before.Add(1)
+				if err := Barrier(c); err != nil {
+					return err
+				}
+				if int(before.Load()) < np*phase {
+					violations.Add(1)
+				}
+				if err := Barrier(c); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if violations.Load() != 0 {
+			t.Fatalf("np=%d: %d barrier violations", np, violations.Load())
+		}
+	}
+}
+
+func TestBcastFromEveryRoot(t *testing.T) {
+	const np = 5
+	for root := 0; root < np; root++ {
+		var mu sync.Mutex
+		got := map[int]int{}
+		err := Run(np, func(c *Comm) error {
+			v := -1
+			if c.Rank() == root {
+				v = 1000 + root
+			}
+			out, err := Bcast(c, v, root)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			got[c.Rank()] = out
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < np; r++ {
+			if got[r] != 1000+root {
+				t.Fatalf("root=%d: rank %d got %d", root, r, got[r])
+			}
+		}
+	}
+}
+
+func TestBcastSlicesAreIndependentCopies(t *testing.T) {
+	if err := Run(3, func(c *Comm) error {
+		var data []int
+		if c.Rank() == 0 {
+			data = []int{7, 8, 9}
+		}
+		got, err := Bcast(c, data, 0)
+		if err != nil {
+			return err
+		}
+		got[0] += c.Rank() * 100 // mutate the local copy
+		if err := Barrier(c); err != nil {
+			return err
+		}
+		// Everyone's mutation is private: re-check local value only.
+		if got[0] != 7+c.Rank()*100 {
+			t.Errorf("rank %d copy aliased: %v", c.Rank(), got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastInvalidRoot(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		_, err := Bcast(c, 1, 5)
+		if !errors.Is(err, ErrInvalidRank) {
+			t.Errorf("Bcast root 5: %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReducePaperFigure24: with 10 processes contributing (rank+1)², the
+// sum is 385 and the max is 100.
+func TestReducePaperFigure24(t *testing.T) {
+	bothTransports(t, 10, func(c *Comm) error {
+		square := (c.Rank() + 1) * (c.Rank() + 1)
+		sum, err := Reduce(c, square, Sum[int](), 0)
+		if err != nil {
+			return err
+		}
+		max, err := Reduce(c, square, Max[int](), 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if sum != 385 {
+				t.Errorf("sum = %d, want 385", sum)
+			}
+			if max != 100 {
+				t.Errorf("max = %d, want 100", max)
+			}
+		} else if sum != 0 || max != 0 {
+			t.Errorf("non-root rank %d received (%d, %d), want zero values", c.Rank(), sum, max)
+		}
+		return nil
+	})
+}
+
+func TestReduceAllOpsSmallWorld(t *testing.T) {
+	const np = 6 // contributions 1..6
+	check := func(name string, op func(int, int) int, want int) {
+		err := Run(np, func(c *Comm) error {
+			got, err := Reduce(c, c.Rank()+1, op, 0)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 && got != want {
+				t.Errorf("%s = %d, want %d", name, got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check("sum", Sum[int](), 21)
+	check("prod", Prod[int](), 720)
+	check("max", Max[int](), 6)
+	check("min", Min[int](), 1)
+	check("band", BAnd[int](), 1&2&3&4&5&6)
+	check("bor", BOr[int](), 1|2|3|4|5|6)
+	check("bxor", BXor[int](), 1^2^3^4^5^6)
+}
+
+func TestReduceLogicalOps(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		and, err := Reduce(c, c.Rank() != 2, LAnd(), 0)
+		if err != nil {
+			return err
+		}
+		or, err := Reduce(c, c.Rank() == 2, LOr(), 0)
+		if err != nil {
+			return err
+		}
+		xor, err := Reduce(c, c.Rank()%2 == 0, LXor(), 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if and {
+				t.Error("LAnd should be false")
+			}
+			if !or {
+				t.Error("LOr should be true")
+			}
+			if xor { // two true values XOR to false
+				t.Error("LXor of two trues should be false")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceNonRootRoot(t *testing.T) {
+	const np, root = 5, 3
+	err := Run(np, func(c *Comm) error {
+		got, err := Reduce(c, c.Rank()+1, Sum[int](), root)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == root && got != 15 {
+			t.Errorf("root %d got %d, want 15", root, got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReduceNonCommutativeOrder: string concatenation at root 0 must equal
+// the fold in rank order.
+func TestReduceNonCommutativeOrder(t *testing.T) {
+	for _, np := range []int{1, 2, 3, 5, 8} {
+		err := Run(np, func(c *Comm) error {
+			s, err := Reduce(c, string(rune('a'+c.Rank())), func(a, b string) string { return a + b }, 0)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				want := ""
+				for i := 0; i < np; i++ {
+					want += string(rune('a' + i))
+				}
+				if s != want {
+					t.Errorf("np=%d: %q, want %q", np, s, want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReduceLinearMatchesTree(t *testing.T) {
+	for _, np := range []int{1, 2, 4, 7} {
+		err := Run(np, func(c *Comm) error {
+			v := (c.Rank() + 1) * 3
+			tree, err := Reduce(c, v, Sum[int](), 0)
+			if err != nil {
+				return err
+			}
+			lin, err := ReduceLinear(c, v, Sum[int](), 0)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 && tree != lin {
+				t.Errorf("np=%d: tree %d != linear %d", np, tree, lin)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReduceLinearNonZeroRoot(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		got, err := ReduceLinear(c, c.Rank()+1, Sum[int](), 2)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 2 && got != 10 {
+			t.Errorf("got %d, want 10", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceEveryRankGetsResult(t *testing.T) {
+	const np = 6
+	var mu sync.Mutex
+	results := map[int]int{}
+	err := Run(np, func(c *Comm) error {
+		v, err := Allreduce(c, c.Rank()+1, Sum[int]())
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results[c.Rank()] = v
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < np; r++ {
+		if results[r] != 21 {
+			t.Fatalf("rank %d allreduce = %d, want 21", r, results[r])
+		}
+	}
+}
+
+// TestGatherPaperFigures26to28: gather output is in rank order regardless
+// of arrival order, for np = 2, 4, 6.
+func TestGatherPaperFigures26to28(t *testing.T) {
+	for _, np := range []int{2, 4, 6} {
+		err := Run(np, func(c *Comm) error {
+			const size = 3
+			arr := make([]int, size)
+			for i := range arr {
+				arr[i] = c.Rank()*10 + i
+			}
+			g, err := Gather(c, arr, 0)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				if len(g) != size*np {
+					t.Errorf("np=%d: gathered %d values", np, len(g))
+					return nil
+				}
+				for r := 0; r < np; r++ {
+					for i := 0; i < size; i++ {
+						if g[r*size+i] != r*10+i {
+							t.Errorf("np=%d: gatherArray[%d] = %d, want %d", np, r*size+i, g[r*size+i], r*10+i)
+						}
+					}
+				}
+			} else if g != nil {
+				t.Errorf("non-root received %v", g)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGatherVariableLengths(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		contrib := make([]int, c.Rank()+1) // lengths 1, 2, 3
+		for i := range contrib {
+			contrib[i] = c.Rank()
+		}
+		g, err := Gather(c, contrib, 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			want := []int{0, 1, 1, 2, 2, 2}
+			if len(g) != len(want) {
+				t.Errorf("gathered %v", g)
+				return nil
+			}
+			for i := range want {
+				if g[i] != want[i] {
+					t.Errorf("g[%d] = %d, want %d", i, g[i], want[i])
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	const np = 4
+	err := Run(np, func(c *Comm) error {
+		all, err := Allgather(c, []int{c.Rank() * 10})
+		if err != nil {
+			return err
+		}
+		want := []int{0, 10, 20, 30}
+		if len(all) != np {
+			t.Errorf("rank %d: %v", c.Rank(), all)
+			return nil
+		}
+		for i := range want {
+			if all[i] != want[i] {
+				t.Errorf("rank %d: all[%d] = %d", c.Rank(), i, all[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterEqualChunks(t *testing.T) {
+	const np, chunk = 4, 3
+	err := Run(np, func(c *Comm) error {
+		var send []int
+		if c.Rank() == 0 {
+			send = make([]int, np*chunk)
+			for i := range send {
+				send[i] = i
+			}
+		}
+		part, err := Scatter(c, send, 0)
+		if err != nil {
+			return err
+		}
+		if len(part) != chunk {
+			t.Errorf("rank %d chunk %v", c.Rank(), part)
+			return nil
+		}
+		for i := 0; i < chunk; i++ {
+			if part[i] != c.Rank()*chunk+i {
+				t.Errorf("rank %d part[%d] = %d", c.Rank(), i, part[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterIndivisibleFails(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		var send []int
+		if c.Rank() == 0 {
+			send = make([]int, 7) // not divisible by 3
+		}
+		_, err := Scatter(c, send, 0)
+		if c.Rank() == 0 {
+			if err == nil {
+				t.Error("Scatter of 7 elements over 3 ranks succeeded")
+			}
+			return nil
+		}
+		// Non-root ranks block on a receive that never comes and time out;
+		// propagate that so Run reports it.
+		return err
+	}, WithRecvTimeout(200_000_000))
+	// Non-root ranks report deadlock; that's expected for this error path.
+	if err == nil {
+		t.Fatal("expected errors from stranded non-root ranks")
+	}
+}
+
+// TestScatterGatherRoundTrip: Gather(Scatter(x)) == x — the inverse
+// property, checked for random inputs.
+func TestScatterGatherRoundTrip(t *testing.T) {
+	f := func(seed int64, npRaw uint8) bool {
+		np := 1 + int(npRaw%6)
+		n := np * 4
+		src := make([]int, n)
+		s := seed
+		for i := range src {
+			s = s*6364136223846793005 + 1442695040888963407
+			src[i] = int(s % 1000)
+		}
+		ok := true
+		err := Run(np, func(c *Comm) error {
+			var send []int
+			if c.Rank() == 0 {
+				send = src
+			}
+			part, err := Scatter(c, send, 0)
+			if err != nil {
+				return err
+			}
+			back, err := Gather(c, part, 0)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				for i := range src {
+					if back[i] != src[i] {
+						ok = false
+					}
+				}
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanInclusivePrefix: rank r's Scan result is the fold of ranks 0..r.
+func TestScanInclusivePrefix(t *testing.T) {
+	const np = 7
+	var mu sync.Mutex
+	results := map[int]int{}
+	err := Run(np, func(c *Comm) error {
+		v, err := Scan(c, c.Rank()+1, Sum[int]())
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results[c.Rank()] = v
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < np; r++ {
+		want := (r + 1) * (r + 2) / 2
+		if results[r] != want {
+			t.Fatalf("rank %d scan = %d, want %d", r, results[r], want)
+		}
+	}
+}
+
+func TestReduceElemWiseArrays(t *testing.T) {
+	const np = 4
+	err := Run(np, func(c *Comm) error {
+		arr := []int{c.Rank(), 2 * c.Rank(), 3 * c.Rank()}
+		sums, err := Reduce(c, arr, ElemWise(Sum[int]()), 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			want := []int{6, 12, 18} // sums of 0..3, 0,2,4,6, 0,3,6,9
+			for i := range want {
+				if sums[i] != want[i] {
+					t.Errorf("sums[%d] = %d, want %d", i, sums[i], want[i])
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElemWiseLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	ElemWise(Sum[int]())([]int{1}, []int{1, 2})
+}
+
+func TestMaxLocMinLoc(t *testing.T) {
+	const np = 6
+	err := Run(np, func(c *Comm) error {
+		// Values: 5, 3, 9, 9, 1, 7 — max 9 first held by rank 2, min 1 at rank 4.
+		vals := []int{5, 3, 9, 9, 1, 7}
+		me := ValLoc[int]{Val: vals[c.Rank()], Rank: c.Rank()}
+		mx, err := Reduce(c, me, MaxLoc[int](), 0)
+		if err != nil {
+			return err
+		}
+		mn, err := Reduce(c, me, MinLoc[int](), 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if mx.Val != 9 || mx.Rank != 2 {
+				t.Errorf("MaxLoc = %+v, want {9 2} (tie goes to lower rank)", mx)
+			}
+			if mn.Val != 1 || mn.Rank != 4 {
+				t.Errorf("MinLoc = %+v, want {1 4}", mn)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReduceSumMatchesSequentialProperty over random world sizes/values.
+func TestReduceSumMatchesSequentialProperty(t *testing.T) {
+	f := func(seed int64, npRaw uint8) bool {
+		np := 1 + int(npRaw%9)
+		vals := make([]int, np)
+		s := seed
+		want := 0
+		for i := range vals {
+			s = s*2862933555777941757 + 3037000493
+			vals[i] = int(s % 500)
+			want += vals[i]
+		}
+		got := 0
+		err := Run(np, func(c *Comm) error {
+			r, err := Reduce(c, vals[c.Rank()], Sum[int](), 0)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				got = r
+			}
+			return nil
+		})
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCollectivesDoNotCrossMatch: interleaving different collectives with
+// point-to-point traffic on the same comm must not confuse matching.
+func TestCollectivesDoNotCrossMatch(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		// P2p burst with wildcard-able tags.
+		if c.Rank() == 0 {
+			for r := 1; r < 4; r++ {
+				if err := Send(c, r, r, 0); err != nil {
+					return err
+				}
+			}
+		}
+		if err := Barrier(c); err != nil {
+			return err
+		}
+		v, err := Allreduce(c, 1, Sum[int]())
+		if err != nil {
+			return err
+		}
+		if v != 4 {
+			t.Errorf("allreduce = %d", v)
+		}
+		if c.Rank() != 0 {
+			got, _, err := Recv[int](c, 0, 0)
+			if err != nil {
+				return err
+			}
+			if got != c.Rank() {
+				t.Errorf("rank %d p2p got %d", c.Rank(), got)
+			}
+		}
+		g, err := Gather(c, []int{c.Rank()}, 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 && len(g) != 4 {
+			t.Errorf("gather %v", g)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleRankCollectives(t *testing.T) {
+	err := Run(1, func(c *Comm) error {
+		if err := Barrier(c); err != nil {
+			return err
+		}
+		if v, err := Bcast(c, 5, 0); err != nil || v != 5 {
+			t.Errorf("Bcast = (%d, %v)", v, err)
+		}
+		if v, err := Reduce(c, 5, Sum[int](), 0); err != nil || v != 5 {
+			t.Errorf("Reduce = (%d, %v)", v, err)
+		}
+		if v, err := Allreduce(c, 5, Sum[int]()); err != nil || v != 5 {
+			t.Errorf("Allreduce = (%d, %v)", v, err)
+		}
+		if g, err := Gather(c, []int{1, 2}, 0); err != nil || len(g) != 2 {
+			t.Errorf("Gather = (%v, %v)", g, err)
+		}
+		if s, err := Scatter(c, []int{1, 2, 3}, 0); err != nil || len(s) != 3 {
+			t.Errorf("Scatter = (%v, %v)", s, err)
+		}
+		if v, err := Scan(c, 5, Sum[int]()); err != nil || v != 5 {
+			t.Errorf("Scan = (%d, %v)", v, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectivesOverTCP(t *testing.T) {
+	if err := Run(4, func(c *Comm) error {
+		sum, err := Allreduce(c, c.Rank()+1, Sum[int]())
+		if err != nil {
+			return err
+		}
+		if sum != 10 {
+			t.Errorf("allreduce over tcp = %d", sum)
+		}
+		g, err := Gather(c, []int{c.Rank()}, 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 && (len(g) != 4 || g[3] != 3) {
+			t.Errorf("gather over tcp = %v", g)
+		}
+		return Barrier(c)
+	}, WithTCP()); err != nil {
+		t.Fatal(err)
+	}
+}

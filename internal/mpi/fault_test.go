@@ -1,0 +1,124 @@
+package mpi
+
+// Failure-injection tests: how the runtime surfaces interconnect faults.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func TestInjectedSendFailureSurfacesToSender(t *testing.T) {
+	fi := cluster.NewFaultInjector(cluster.NewChanTransport(2))
+	fi.FailSend(1, nil)
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return Send(c, 1, 1, 0)
+		}
+		// Receiver must not hang forever on the failed message.
+		_, _, err := Recv[int](c, 0, 0)
+		return err
+	}, WithTransport(fi), WithRecvTimeout(200*time.Millisecond))
+	if !errors.Is(err, cluster.ErrInjected) {
+		t.Fatalf("sender error missing: %v", err)
+	}
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("stranded receiver not reported: %v", err)
+	}
+}
+
+func TestDroppedMessageManifestsAsDeadlock(t *testing.T) {
+	// A silently lost message is indistinguishable from a peer that never
+	// sent: the receiver hangs and the detector reports a deadlock —
+	// exactly the failure mode a lossy interconnect produces under MPI's
+	// reliable-delivery assumption.
+	fi := cluster.NewFaultInjector(cluster.NewChanTransport(2))
+	fi.DropSend(1)
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return Send(c, 42, 1, 0) // appears to succeed
+		}
+		_, _, err := Recv[int](c, 0, 0)
+		return err
+	}, WithTransport(fi), WithRecvTimeout(150*time.Millisecond))
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want deadlock from the dropped message", err)
+	}
+}
+
+func TestCollectiveFaultPropagatesToParticipants(t *testing.T) {
+	// Kill one of the barrier's internal messages: the rank that was
+	// waiting for it times out; ranks whose exchanges completed are fine.
+	fi := cluster.NewFaultInjector(cluster.NewChanTransport(4))
+	fi.DropSend(2)
+	err := Run(4, func(c *Comm) error {
+		return Barrier(c)
+	}, WithTransport(fi), WithRecvTimeout(200*time.Millisecond))
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want deadlock inside the barrier", err)
+	}
+}
+
+func TestReduceWithFailedContribution(t *testing.T) {
+	// The binomial reduce loses one partial: the root (or an interior
+	// node) times out and the failure is attributed to a specific rank.
+	fi := cluster.NewFaultInjector(cluster.NewChanTransport(4))
+	fi.DropSend(1)
+	err := Run(4, func(c *Comm) error {
+		_, err := Reduce(c, c.Rank(), Sum[int](), 0)
+		return err
+	}, WithTransport(fi), WithRecvTimeout(200*time.Millisecond))
+	if err == nil {
+		t.Fatal("reduce with a lost partial succeeded")
+	}
+}
+
+func TestFaultFreeInjectorIsTransparent(t *testing.T) {
+	fi := cluster.NewFaultInjector(cluster.NewChanTransport(3))
+	err := Run(3, func(c *Comm) error {
+		sum, err := Allreduce(c, c.Rank()+1, Sum[int]())
+		if err != nil {
+			return err
+		}
+		if sum != 6 {
+			t.Errorf("allreduce = %d", sum)
+		}
+		return nil
+	}, WithTransport(fi))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fi.SendCount() == 0 {
+		t.Fatal("injector saw no traffic")
+	}
+}
+
+func TestLateFaultAfterSuccessfulTraffic(t *testing.T) {
+	fi := cluster.NewFaultInjector(cluster.NewChanTransport(2))
+	fi.FailSend(3, nil) // first two sends fine, third fails
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < 3; i++ {
+				if err := Send(c, i, 1, 0); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < 2; i++ {
+			v, _, err := Recv[int](c, 0, 0)
+			if err != nil {
+				return err
+			}
+			if v != i {
+				t.Errorf("got %d, want %d", v, i)
+			}
+		}
+		return nil
+	}, WithTransport(fi))
+	if !errors.Is(err, cluster.ErrInjected) {
+		t.Fatalf("err = %v", err)
+	}
+}

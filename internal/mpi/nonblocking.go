@@ -1,0 +1,126 @@
+package mpi
+
+// Nonblocking receives and request aggregation (MPI_Irecv, MPI_Waitall),
+// plus the Alltoall collective. These round out the MPI-1 surface the
+// High Performance Computing course in §IV builds on after the
+// patternlets introduce the basics.
+
+// IRecvResult carries a completed nonblocking receive's value and status.
+type IRecvResult[T any] struct {
+	Value  T
+	Status Status
+}
+
+// TypedRequest is an in-flight nonblocking receive handle carrying a typed
+// result (the Go rendering of MPI_Irecv's request + buffer pair).
+type TypedRequest[T any] struct {
+	done chan struct{}
+	res  IRecvResult[T]
+	err  error
+}
+
+// IRecv starts a nonblocking receive (MPI_Irecv). The returned request
+// must be waited on before the value is read.
+func IRecv[T any](c *Comm, src, tag int) *TypedRequest[T] {
+	r := &TypedRequest[T]{done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		v, st, err := Recv[T](c, src, tag)
+		r.res = IRecvResult[T]{Value: v, Status: st}
+		r.err = err
+	}()
+	return r
+}
+
+// Wait blocks until the receive completes (MPI_Wait) and returns the
+// value and status.
+func (r *TypedRequest[T]) Wait() (T, Status, error) {
+	<-r.done
+	return r.res.Value, r.res.Status, r.err
+}
+
+// Test reports completion without blocking (MPI_Test).
+func (r *TypedRequest[T]) Test() (completed bool, value T, st Status, err error) {
+	select {
+	case <-r.done:
+		return true, r.res.Value, r.res.Status, r.err
+	default:
+		var zero T
+		return false, zero, Status{}, nil
+	}
+}
+
+// WaitAll waits for every request and returns the first error
+// (MPI_Waitall). It accepts the untyped send requests from ISend.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Alltoall performs the complete exchange (MPI_Alltoall): rank i's send
+// slice is split into Size() equal chunks, chunk j going to rank j; the
+// result at rank i is the concatenation of chunk i from every rank, in
+// rank order. len(send) must be a multiple of Size() on every rank.
+func Alltoall[T any](c *Comm, send []T) ([]T, error) {
+	tag := c.nextCollTag()
+	p := len(c.ranks)
+	if len(send)%p != 0 {
+		return nil, errAlltoallShape(len(send), p)
+	}
+	chunk := len(send) / p
+	// Post all sends (buffered), then receive from each rank in order.
+	for r := 0; r < p; r++ {
+		part := send[r*chunk : (r+1)*chunk]
+		if err := sendRaw(c, part, r, tag); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]T, 0, len(send))
+	for r := 0; r < p; r++ {
+		part, _, err := recvRaw[[]T](c, r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+type alltoallShapeError struct{ n, p int }
+
+func errAlltoallShape(n, p int) error { return &alltoallShapeError{n, p} }
+func (e *alltoallShapeError) Error() string {
+	return "mpi: Alltoall: send length not divisible by communicator size"
+}
+
+// BarrierCentral is a linear fan-in/fan-out barrier: every rank signals
+// rank 0, which releases everyone. It is the naive O(p)-latency baseline
+// for the ablation benchmark against the dissemination Barrier (O(lg p)
+// rounds); programs should use Barrier.
+func BarrierCentral(c *Comm) error {
+	tag := c.nextCollTag()
+	p := len(c.ranks)
+	if c.rank == 0 {
+		for r := 1; r < p; r++ {
+			if _, _, err := recvRaw[struct{}](c, r, tag); err != nil {
+				return err
+			}
+		}
+		for r := 1; r < p; r++ {
+			if err := sendRaw(c, struct{}{}, r, tag); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := sendRaw(c, struct{}{}, 0, tag); err != nil {
+		return err
+	}
+	_, _, err := recvRaw[struct{}](c, 0, tag)
+	return err
+}

@@ -1,0 +1,403 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIRecvWait(t *testing.T) {
+	if err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			time.Sleep(5 * time.Millisecond)
+			return Send(c, 77, 0, 4)
+		}
+		req := IRecv[int](c, 1, 4)
+		v, st, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if v != 77 || st.Source != 1 || st.Tag != 4 {
+			t.Errorf("IRecv = (%d, %+v)", v, st)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIRecvTestPolling(t *testing.T) {
+	if err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			time.Sleep(20 * time.Millisecond)
+			return Send(c, 1, 0, 0)
+		}
+		req := IRecv[int](c, 1, 0)
+		if done, _, _, _ := req.Test(); done {
+			t.Error("Test reported completion before the send")
+		}
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			done, v, _, err := req.Test()
+			if err != nil {
+				return err
+			}
+			if done {
+				if v != 1 {
+					t.Errorf("got %d", v)
+				}
+				return nil
+			}
+			if time.Now().After(deadline) {
+				t.Error("IRecv never completed")
+				return nil
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIRecvOverlapsComputation(t *testing.T) {
+	// The classic overlap pattern: post the receive, compute, then wait.
+	if err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return Send(c, []int{1, 2, 3}, 0, 9)
+		}
+		req := IRecv[[]int](c, 1, 9)
+		sum := 0
+		for i := 0; i < 1000; i++ { // "computation"
+			sum += i
+		}
+		v, _, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if len(v) != 3 || sum != 499500 {
+			t.Errorf("overlap broke something: %v %d", v, sum)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAll(t *testing.T) {
+	if err := Run(3, func(c *Comm) error {
+		if c.Rank() == 0 {
+			var reqs []*Request
+			for r := 1; r < 3; r++ {
+				reqs = append(reqs, ISend(c, r*5, r, 0))
+			}
+			return WaitAll(reqs...)
+		}
+		v, _, err := Recv[int](c, 0, 0)
+		if err != nil {
+			return err
+		}
+		if v != c.Rank()*5 {
+			t.Errorf("rank %d got %d", c.Rank(), v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallCompleteExchange(t *testing.T) {
+	const np = 4
+	var mu sync.Mutex
+	results := map[int][]int{}
+	err := Run(np, func(c *Comm) error {
+		// Rank i sends value i*10+j to rank j.
+		send := make([]int, np)
+		for j := range send {
+			send[j] = c.Rank()*10 + j
+		}
+		got, err := Alltoall(c, send)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		results[c.Rank()] = got
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < np; i++ {
+		// Rank i receives j*10+i from each j, in rank order.
+		for j := 0; j < np; j++ {
+			if results[i][j] != j*10+i {
+				t.Fatalf("rank %d slot %d = %d, want %d", i, j, results[i][j], j*10+i)
+			}
+		}
+	}
+}
+
+func TestAlltoallMultiElementChunks(t *testing.T) {
+	const np, chunk = 3, 2
+	err := Run(np, func(c *Comm) error {
+		send := make([]int, np*chunk)
+		for i := range send {
+			send[i] = c.Rank()*100 + i
+		}
+		got, err := Alltoall(c, send)
+		if err != nil {
+			return err
+		}
+		if len(got) != np*chunk {
+			t.Errorf("rank %d got %d elements", c.Rank(), len(got))
+			return nil
+		}
+		for j := 0; j < np; j++ {
+			for k := 0; k < chunk; k++ {
+				want := j*100 + c.Rank()*chunk + k
+				if got[j*chunk+k] != want {
+					t.Errorf("rank %d: got[%d] = %d, want %d", c.Rank(), j*chunk+k, got[j*chunk+k], want)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallShapeError(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		_, err := Alltoall(c, make([]int, 4)) // 4 % 3 != 0
+		if err == nil {
+			t.Error("indivisible Alltoall accepted")
+		}
+		return nil
+	}, WithRecvTimeout(200*time.Millisecond))
+	// Every rank fails its own shape check before any traffic, so no
+	// deadlock errors are expected — but tolerate them if scheduling let
+	// one rank send first.
+	_ = err
+}
+
+func TestBarrierCentralOrdersPhases(t *testing.T) {
+	const np = 6
+	var before int32
+	var mu sync.Mutex
+	violated := false
+	err := Run(np, func(c *Comm) error {
+		mu.Lock()
+		before++
+		mu.Unlock()
+		if err := BarrierCentral(c); err != nil {
+			return err
+		}
+		mu.Lock()
+		if before != np {
+			violated = true
+		}
+		mu.Unlock()
+		return BarrierCentral(c)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violated {
+		t.Fatal("central barrier let a rank through early")
+	}
+}
+
+func TestCartCoordsRankRoundTrip(t *testing.T) {
+	if err := Run(6, func(c *Comm) error {
+		ct, err := NewCart(c, []int{2, 3}, nil)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < 6; r++ {
+			coords, err := ct.Coords(r)
+			if err != nil {
+				return err
+			}
+			back, err := ct.Rank(coords)
+			if err != nil {
+				return err
+			}
+			if back != r {
+				t.Errorf("rank %d -> %v -> %d", r, coords, back)
+			}
+		}
+		// Row-major: rank 4 of a 2x3 grid is (1, 1).
+		coords, _ := ct.Coords(4)
+		if coords[0] != 1 || coords[1] != 1 {
+			t.Errorf("Coords(4) = %v, want [1 1]", coords)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartValidation(t *testing.T) {
+	if err := Run(4, func(c *Comm) error {
+		if _, err := NewCart(c, []int{3, 2}, nil); err == nil {
+			t.Error("6-cell grid accepted for 4 ranks")
+		}
+		if _, err := NewCart(c, nil, nil); err == nil {
+			t.Error("empty dims accepted")
+		}
+		if _, err := NewCart(c, []int{4, 0}, nil); err == nil {
+			t.Error("zero dimension accepted")
+		}
+		if _, err := NewCart(c, []int{2, 2}, []bool{true, false, true}); err == nil {
+			t.Error("mismatched periodic flags accepted")
+		}
+		ct, err := NewCart(c, []int{2, 2}, []bool{true}) // shorthand broadcast
+		if err != nil {
+			return err
+		}
+		if _, err := ct.Coords(9); err == nil {
+			t.Error("out-of-range rank accepted")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartShiftPeriodicRing(t *testing.T) {
+	const np = 5
+	if err := Run(np, func(c *Comm) error {
+		ct, err := NewCart(c, []int{np}, []bool{true})
+		if err != nil {
+			return err
+		}
+		src, dst, err := ct.Shift(0, 1)
+		if err != nil {
+			return err
+		}
+		if dst != (c.Rank()+1)%np || src != (c.Rank()-1+np)%np {
+			t.Errorf("rank %d shift = (src %d, dst %d)", c.Rank(), src, dst)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartShiftNonPeriodicEdges(t *testing.T) {
+	if err := Run(4, func(c *Comm) error {
+		ct, err := NewCart(c, []int{4}, nil) // non-periodic line
+		if err != nil {
+			return err
+		}
+		src, dst, err := ct.Shift(0, 1)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 && src != ProcNull {
+			t.Errorf("rank 0 src = %d, want ProcNull", src)
+		}
+		if c.Rank() == 3 && dst != ProcNull {
+			t.Errorf("rank 3 dst = %d, want ProcNull", dst)
+		}
+		if c.Rank() == 1 && (src != 0 || dst != 2) {
+			t.Errorf("rank 1 shift = (%d, %d)", src, dst)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSendrecvShiftRingRotation: a periodic ring rotates values one step.
+func TestSendrecvShiftRingRotation(t *testing.T) {
+	const np = 4
+	var mu sync.Mutex
+	got := map[int]int{}
+	err := Run(np, func(c *Comm) error {
+		ct, err := NewCart(c, []int{np}, []bool{true})
+		if err != nil {
+			return err
+		}
+		v, err := SendrecvShift(ct, c.Rank()*11, 0, 1, 0)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		got[c.Rank()] = v
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < np; r++ {
+		want := ((r - 1 + np) % np) * 11
+		if got[r] != want {
+			t.Fatalf("rank %d received %d, want %d", r, got[r], want)
+		}
+	}
+}
+
+// TestSendrecvShiftLineEdges: on a non-periodic line, the edges exchange
+// with only one side and get the zero value from the missing one.
+func TestSendrecvShiftLineEdges(t *testing.T) {
+	const np = 3
+	var mu sync.Mutex
+	got := map[int]int{}
+	err := Run(np, func(c *Comm) error {
+		ct, err := NewCart(c, []int{np}, nil)
+		if err != nil {
+			return err
+		}
+		v, err := SendrecvShift(ct, c.Rank()+100, 0, 1, 0)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		got[c.Rank()] = v
+		mu.Unlock()
+		return nil
+	}, WithRecvTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 { // nothing behind rank 0
+		t.Fatalf("rank 0 got %d, want zero value", got[0])
+	}
+	if got[1] != 100 || got[2] != 101 {
+		t.Fatalf("interior values wrong: %v", got)
+	}
+}
+
+// TestCart2DHaloExchange: the canonical 2-D stencil neighbour exchange on
+// a 2x3 periodic grid — each rank learns all four neighbours' ranks.
+func TestCart2DHaloExchange(t *testing.T) {
+	const rows, cols = 2, 3
+	err := Run(rows*cols, func(c *Comm) error {
+		ct, err := NewCart(c, []int{rows, cols}, []bool{true, true})
+		if err != nil {
+			return err
+		}
+		for dim := 0; dim < 2; dim++ {
+			src, dst, err := ct.Shift(dim, 1)
+			if err != nil {
+				return err
+			}
+			// Exchange ranks with the +1 neighbour in this dimension.
+			got, err := SendrecvShift(ct, c.Rank(), dim, 1, dim)
+			if err != nil {
+				return err
+			}
+			if got != src {
+				t.Errorf("rank %d dim %d: received from %d, expected source %d (dst %d)",
+					c.Rank(), dim, got, src, dst)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

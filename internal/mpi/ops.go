@@ -1,0 +1,111 @@
+package mpi
+
+import "cmp"
+
+// The built-in reduction operations §III.D lists for MPI_Reduce: sum,
+// product, maximum, minimum, maximum/minimum with location, logical
+// and/or/xor, and bitwise and/or/xor. User-defined operations are any
+// associative func(T, T) T passed to Reduce directly.
+
+// Number is the constraint for arithmetic reduction operators.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr |
+		~float32 | ~float64
+}
+
+// Integer is the constraint for bitwise reduction operators.
+type Integer interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr
+}
+
+// Sum returns MPI_SUM.
+func Sum[T Number]() func(T, T) T { return func(a, b T) T { return a + b } }
+
+// Prod returns MPI_PROD.
+func Prod[T Number]() func(T, T) T { return func(a, b T) T { return a * b } }
+
+// Max returns MPI_MAX.
+func Max[T cmp.Ordered]() func(T, T) T {
+	return func(a, b T) T {
+		if a > b {
+			return a
+		}
+		return b
+	}
+}
+
+// Min returns MPI_MIN.
+func Min[T cmp.Ordered]() func(T, T) T {
+	return func(a, b T) T {
+		if a < b {
+			return a
+		}
+		return b
+	}
+}
+
+// LAnd returns MPI_LAND.
+func LAnd() func(bool, bool) bool { return func(a, b bool) bool { return a && b } }
+
+// LOr returns MPI_LOR.
+func LOr() func(bool, bool) bool { return func(a, b bool) bool { return a || b } }
+
+// LXor returns MPI_LXOR.
+func LXor() func(bool, bool) bool { return func(a, b bool) bool { return a != b } }
+
+// BAnd returns MPI_BAND.
+func BAnd[T Integer]() func(T, T) T { return func(a, b T) T { return a & b } }
+
+// BOr returns MPI_BOR.
+func BOr[T Integer]() func(T, T) T { return func(a, b T) T { return a | b } }
+
+// BXor returns MPI_BXOR.
+func BXor[T Integer]() func(T, T) T { return func(a, b T) T { return a ^ b } }
+
+// ValLoc pairs a value with the rank that produced it, like MPI's
+// value/index datatypes (MPI_DOUBLE_INT etc.) used with MAXLOC/MINLOC.
+type ValLoc[T cmp.Ordered] struct {
+	Val  T
+	Rank int
+}
+
+// MaxLoc returns MPI_MAXLOC: the larger value wins; ties go to the lower
+// rank, as the MPI standard specifies.
+func MaxLoc[T cmp.Ordered]() func(ValLoc[T], ValLoc[T]) ValLoc[T] {
+	return func(a, b ValLoc[T]) ValLoc[T] {
+		if a.Val > b.Val || (a.Val == b.Val && a.Rank <= b.Rank) {
+			return a
+		}
+		return b
+	}
+}
+
+// MinLoc returns MPI_MINLOC: the smaller value wins; ties go to the lower
+// rank.
+func MinLoc[T cmp.Ordered]() func(ValLoc[T], ValLoc[T]) ValLoc[T] {
+	return func(a, b ValLoc[T]) ValLoc[T] {
+		if a.Val < b.Val || (a.Val == b.Val && a.Rank <= b.Rank) {
+			return a
+		}
+		return b
+	}
+}
+
+// ElemWise lifts a scalar operator to equal-length slices, giving the
+// element-wise reduction MPI performs when count > 1. It panics on length
+// mismatch, which indicates ranks contributed different counts — a program
+// error under MPI semantics.
+func ElemWise[T any](op func(T, T) T) func([]T, []T) []T {
+	return func(a, b []T) []T {
+		if len(a) != len(b) {
+			panic("mpi: ElemWise: slices of unequal length")
+		}
+		out := make([]T, len(a))
+		for i := range a {
+			out[i] = op(a[i], b[i])
+		}
+		return out
+	}
+}

@@ -1,0 +1,187 @@
+package mpi
+
+import (
+	"errors"
+
+	"repro/internal/cluster"
+)
+
+// Point-to-point messaging: the Message Passing pattern (§III.E). Methods
+// cannot have type parameters in Go, so the typed operations are free
+// functions taking the communicator first.
+
+// Send delivers v to the process with rank dest in c's communicator,
+// labeled with tag (MPI_Send). Sends are buffered ("eager"): Send returns
+// once the message is queued for the destination, without waiting for a
+// matching Recv, which matches the small-message behaviour of real MPI
+// implementations that the patternlets rely on.
+func Send[T any](c *Comm, v T, dest, tag int) error {
+	if dest < 0 || dest >= len(c.ranks) {
+		return ErrInvalidRank
+	}
+	if tag < 0 {
+		return ErrInvalidTag
+	}
+	return sendRaw(c, v, dest, tag)
+}
+
+// sendRaw is Send without user-facing validation, shared with collectives
+// (which use reserved negative tags).
+func sendRaw[T any](c *Comm, v T, dest, tag int) error {
+	payload, err := encode(v)
+	if err != nil {
+		return err
+	}
+	m := cluster.Message{
+		Src:     c.WorldRank(), // transport addressing uses world ranks
+		Tag:     tag,
+		Comm:    c.id,
+		Payload: payload,
+	}
+	return c.w.tr.Send(c.ranks[dest], m)
+}
+
+// matcher builds the mailbox predicate for (src, tag) in communicator c,
+// honoring AnySource and AnyTag wildcards. src is a comm rank.
+func (c *Comm) matcher(src, tag int) func(cluster.Message) bool {
+	var wantWorldSrc = -1
+	if src != AnySource {
+		wantWorldSrc = c.ranks[src]
+	}
+	return func(m cluster.Message) bool {
+		if m.Comm != c.id {
+			return false
+		}
+		if wantWorldSrc != -1 && m.Src != wantWorldSrc {
+			return false
+		}
+		if tag != AnyTag && m.Tag != tag {
+			return false
+		}
+		if tag == AnyTag && m.Tag < 0 {
+			return false // wildcards never match internal collective traffic
+		}
+		return true
+	}
+}
+
+func (c *Comm) statusFor(m cluster.Message) Status {
+	src, ok := c.toComm[m.Src]
+	if !ok {
+		src = -1
+	}
+	return Status{Source: src, Tag: m.Tag, Bytes: len(m.Payload)}
+}
+
+// Recv blocks until a message with the given source and tag arrives and
+// returns its decoded value (MPI_Recv). src may be AnySource and tag may
+// be AnyTag; the returned Status reports the actual sender and tag.
+func Recv[T any](c *Comm, src, tag int) (T, Status, error) {
+	var zero T
+	if src != AnySource && (src < 0 || src >= len(c.ranks)) {
+		return zero, Status{}, ErrInvalidRank
+	}
+	if tag != AnyTag && tag < 0 {
+		return zero, Status{}, ErrInvalidTag
+	}
+	return recvRaw[T](c, src, tag)
+}
+
+func recvRaw[T any](c *Comm, src, tag int) (T, Status, error) {
+	var zero T
+	var m cluster.Message
+	var err error
+	if c.w.recvTimeout > 0 {
+		m, err = c.w.tr.RecvTimeout(c.WorldRank(), c.matcher(src, tag), int64(c.w.recvTimeout))
+	} else {
+		m, err = c.w.tr.Recv(c.WorldRank(), c.matcher(src, tag))
+	}
+	if err != nil {
+		if errors.Is(err, cluster.ErrTimeout) {
+			return zero, Status{}, ErrDeadlock
+		}
+		return zero, Status{}, err
+	}
+	v, err := decode[T](m.Payload)
+	if err != nil {
+		return zero, Status{}, err
+	}
+	return v, c.statusFor(m), nil
+}
+
+// Probe blocks until a matching message is available without receiving it
+// (MPI_Probe), returning its Status. A following Recv with the status's
+// source and tag retrieves that message.
+func Probe(c *Comm, src, tag int) (Status, error) {
+	if src != AnySource && (src < 0 || src >= len(c.ranks)) {
+		return Status{}, ErrInvalidRank
+	}
+	if tag != AnyTag && tag < 0 {
+		return Status{}, ErrInvalidTag
+	}
+	m, err := c.w.tr.Probe(c.WorldRank(), c.matcher(src, tag))
+	if err != nil {
+		return Status{}, err
+	}
+	return c.statusFor(m), nil
+}
+
+// Sendrecv performs a send and a receive as one operation (MPI_Sendrecv),
+// which cannot deadlock even when every rank targets a neighbour
+// simultaneously — the canonical fix for the ring-exchange deadlock shown
+// by the messagePassing patternlets.
+func Sendrecv[S, R any](c *Comm, sendVal S, dest, sendTag int, src, recvTag int) (R, Status, error) {
+	var zero R
+	if dest < 0 || dest >= len(c.ranks) {
+		return zero, Status{}, ErrInvalidRank
+	}
+	if sendTag < 0 || (recvTag != AnyTag && recvTag < 0) {
+		return zero, Status{}, ErrInvalidTag
+	}
+	if src != AnySource && (src < 0 || src >= len(c.ranks)) {
+		return zero, Status{}, ErrInvalidRank
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- sendRaw(c, sendVal, dest, sendTag) }()
+	v, st, rerr := recvRaw[R](c, src, recvTag)
+	serr := <-errCh
+	if rerr != nil {
+		return zero, st, rerr
+	}
+	return v, st, serr
+}
+
+// ISend starts a send and returns a Request that must be waited on
+// (MPI_Isend). Because sends are buffered, the request completes as soon
+// as the message is queued.
+func ISend[T any](c *Comm, v T, dest, tag int) *Request {
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		defer close(r.done)
+		r.err = Send(c, v, dest, tag)
+	}()
+	return r
+}
+
+// Request is an in-flight nonblocking operation handle (MPI_Request).
+type Request struct {
+	done chan struct{}
+	err  error
+}
+
+// Wait blocks until the operation completes (MPI_Wait).
+func (r *Request) Wait() error {
+	<-r.done
+	return r.err
+}
+
+// Test reports whether the operation has completed (MPI_Test); when it
+// has, the operation's error is returned.
+func (r *Request) Test() (bool, error) {
+	select {
+	case <-r.done:
+		return true, r.err
+	default:
+		return false, nil
+	}
+}

@@ -1,0 +1,443 @@
+package mpi
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// bothTransports runs the body under the channel and TCP transports.
+func bothTransports(t *testing.T, np int, body func(c *Comm) error, extra ...RunOption) {
+	t.Helper()
+	t.Run("chan", func(t *testing.T) {
+		if err := Run(np, body, extra...); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("tcp", func(t *testing.T) {
+		if err := Run(np, body, append([]RunOption{WithTCP()}, extra...)...); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestRunBasicWorld(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	err := Run(4, func(c *Comm) error {
+		if c.Size() != 4 {
+			t.Errorf("Size = %d", c.Size())
+		}
+		mu.Lock()
+		seen[c.Rank()] = true
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 4 {
+		t.Fatalf("ranks seen: %v", seen)
+	}
+}
+
+func TestRunRejectsBadNP(t *testing.T) {
+	if err := Run(0, func(*Comm) error { return nil }); err == nil {
+		t.Fatal("Run(0) succeeded")
+	}
+	if err := Run(-2, func(*Comm) error { return nil }); err == nil {
+		t.Fatal("Run(-2) succeeded")
+	}
+}
+
+func TestRunCollectsRankErrors(t *testing.T) {
+	sentinel := errors.New("rank failure")
+	err := Run(3, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+}
+
+func TestRunConvertsPanicsToErrors(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("rank 0 exploded")
+		}
+		return nil
+	})
+	if err == nil || !contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v, want panic report", err)
+	}
+}
+
+func TestProcessorNamesOnePerProcess(t *testing.T) {
+	var mu sync.Mutex
+	names := map[int]string{}
+	err := Run(4, func(c *Comm) error {
+		mu.Lock()
+		names[c.Rank()] = c.ProcessorName()
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default: one node per process, as in Figure 6.
+	want := map[int]string{0: "node-01", 1: "node-02", 2: "node-03", 3: "node-04"}
+	for r, n := range want {
+		if names[r] != n {
+			t.Errorf("rank %d on %q, want %q", r, names[r], n)
+		}
+	}
+}
+
+func TestWithNodesRoundRobinPlacement(t *testing.T) {
+	var mu sync.Mutex
+	names := map[int]string{}
+	err := Run(4, func(c *Comm) error {
+		mu.Lock()
+		names[c.Rank()] = c.ProcessorName()
+		mu.Unlock()
+		return nil
+	}, WithNodes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]string{0: "node-01", 1: "node-02", 2: "node-01", 3: "node-02"}
+	for r, n := range want {
+		if names[r] != n {
+			t.Errorf("rank %d on %q, want %q", r, names[r], n)
+		}
+	}
+}
+
+func TestSendRecvInt(t *testing.T) {
+	bothTransports(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return Send(c, 12345, 1, 7)
+		}
+		v, st, err := Recv[int](c, 0, 7)
+		if err != nil {
+			return err
+		}
+		if v != 12345 {
+			t.Errorf("received %d", v)
+		}
+		if st.Source != 0 || st.Tag != 7 || st.Bytes == 0 {
+			t.Errorf("status %+v", st)
+		}
+		return nil
+	})
+}
+
+func TestSendRecvStructAndSlice(t *testing.T) {
+	type payload struct {
+		Name   string
+		Values []float64
+	}
+	bothTransports(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return Send(c, payload{Name: "x", Values: []float64{1.5, 2.5}}, 1, 0)
+		}
+		p, _, err := Recv[payload](c, 0, 0)
+		if err != nil {
+			return err
+		}
+		if p.Name != "x" || len(p.Values) != 2 || p.Values[1] != 2.5 {
+			t.Errorf("payload %+v", p)
+		}
+		return nil
+	})
+}
+
+// TestMessageIsolation: the receiver's slice is a fresh copy — mutating
+// the sender's buffer after Send cannot affect what arrives (the
+// distributed-memory property).
+func TestMessageIsolation(t *testing.T) {
+	if err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			buf := []int{1, 2, 3}
+			if err := Send(c, buf, 1, 0); err != nil {
+				return err
+			}
+			buf[0] = 999 // after the send; must not be visible remotely
+			return Send(c, 0, 1, 1)
+		}
+		// Wait for the mutation signal first, then read the data message.
+		if _, _, err := Recv[int](c, 0, 1); err != nil {
+			return err
+		}
+		got, _, err := Recv[[]int](c, 0, 0)
+		if err != nil {
+			return err
+		}
+		if got[0] != 1 {
+			t.Errorf("receiver saw sender's post-send mutation: %v", got)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeepCopyIndependence(t *testing.T) {
+	orig := [][]int{{1, 2}, {3}}
+	cp, err := DeepCopy(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp[0][0] = 99
+	if orig[0][0] != 1 {
+		t.Fatal("DeepCopy aliased the original")
+	}
+}
+
+func TestAnySourceRecv(t *testing.T) {
+	if err := Run(4, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return Send(c, c.Rank()*10, 0, 3)
+		}
+		got := map[int]int{}
+		for i := 0; i < 3; i++ {
+			v, st, err := Recv[int](c, AnySource, 3)
+			if err != nil {
+				return err
+			}
+			got[st.Source] = v
+		}
+		for src := 1; src < 4; src++ {
+			if got[src] != src*10 {
+				t.Errorf("from %d got %d", src, got[src])
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnyTagRecv(t *testing.T) {
+	if err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := Send(c, "first", 1, 10); err != nil {
+				return err
+			}
+			return Send(c, "second", 1, 20)
+		}
+		a, st1, err := Recv[string](c, 0, AnyTag)
+		if err != nil {
+			return err
+		}
+		b, st2, err := Recv[string](c, 0, AnyTag)
+		if err != nil {
+			return err
+		}
+		if a != "first" || st1.Tag != 10 || b != "second" || st2.Tag != 20 {
+			t.Errorf("got (%q,%d) then (%q,%d)", a, st1.Tag, b, st2.Tag)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonOvertakingPerPair: MPI guarantees messages between one (sender,
+// receiver, tag, comm) tuple are received in send order.
+func TestNonOvertakingPerPair(t *testing.T) {
+	const n = 100
+	bothTransports(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				if err := Send(c, i, 1, 0); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < n; i++ {
+			v, _, err := Recv[int](c, 0, 0)
+			if err != nil {
+				return err
+			}
+			if v != i {
+				t.Errorf("message %d overtaken by %d", i, v)
+				return nil
+			}
+		}
+		return nil
+	})
+}
+
+func TestProbeThenRecv(t *testing.T) {
+	if err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return Send(c, []byte{1, 2, 3, 4}, 1, 5)
+		}
+		st, err := Probe(c, AnySource, AnyTag)
+		if err != nil {
+			return err
+		}
+		if st.Source != 0 || st.Tag != 5 {
+			t.Errorf("probe status %+v", st)
+		}
+		v, _, err := Recv[[]byte](c, st.Source, st.Tag)
+		if err != nil {
+			return err
+		}
+		if len(v) != 4 {
+			t.Errorf("got %v", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSendrecvRingCannotDeadlock: every rank exchanges with both ring
+// neighbours simultaneously.
+func TestSendrecvRingCannotDeadlock(t *testing.T) {
+	bothTransports(t, 5, func(c *Comm) error {
+		n := c.Size()
+		next := (c.Rank() + 1) % n
+		prev := (c.Rank() - 1 + n) % n
+		got, _, err := Sendrecv[int, int](c, c.Rank(), next, 1, prev, 1)
+		if err != nil {
+			return err
+		}
+		if got != prev {
+			t.Errorf("rank %d received %d, want %d", c.Rank(), got, prev)
+		}
+		return nil
+	}, WithRecvTimeout(5*time.Second))
+}
+
+// TestRecvFirstRingDeadlocks: the messagePassing2 lesson — every rank
+// receiving before sending hangs, and the detector reports it.
+func TestRecvFirstRingDeadlocks(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		n := c.Size()
+		prev := (c.Rank() - 1 + n) % n
+		next := (c.Rank() + 1) % n
+		if _, _, err := Recv[int](c, prev, 0); err != nil {
+			return err
+		}
+		return Send(c, 1, next, 0)
+	}, WithRecvTimeout(100*time.Millisecond))
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestSelfSendBuffered(t *testing.T) {
+	if err := Run(1, func(c *Comm) error {
+		if err := Send(c, 42, 0, 0); err != nil {
+			return err
+		}
+		v, _, err := Recv[int](c, 0, 0)
+		if err != nil {
+			return err
+		}
+		if v != 42 {
+			t.Errorf("self-send got %d", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	if err := Run(2, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		if err := Send(c, 1, 5, 0); !errors.Is(err, ErrInvalidRank) {
+			t.Errorf("Send to rank 5: %v", err)
+		}
+		if err := Send(c, 1, -1, 0); !errors.Is(err, ErrInvalidRank) {
+			t.Errorf("Send to rank -1: %v", err)
+		}
+		if err := Send(c, 1, 1, -3); !errors.Is(err, ErrInvalidTag) {
+			t.Errorf("Send with tag -3: %v", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvValidation(t *testing.T) {
+	if err := Run(2, func(c *Comm) error {
+		if c.Rank() != 0 {
+			return nil
+		}
+		if _, _, err := Recv[int](c, 9, 0); !errors.Is(err, ErrInvalidRank) {
+			t.Errorf("Recv from rank 9: %v", err)
+		}
+		if _, _, err := Recv[int](c, 1, -2); !errors.Is(err, ErrInvalidTag) {
+			t.Errorf("Recv with tag -2: %v", err)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestISendWaitAndTest(t *testing.T) {
+	if err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			req := ISend(c, "async", 1, 2)
+			if err := req.Wait(); err != nil {
+				return err
+			}
+			done, err := req.Test()
+			if !done || err != nil {
+				t.Errorf("Test after Wait = (%v, %v)", done, err)
+			}
+			return nil
+		}
+		v, _, err := Recv[string](c, 0, 2)
+		if err != nil {
+			return err
+		}
+		if v != "async" {
+			t.Errorf("got %q", v)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWtimeMonotonic(t *testing.T) {
+	if err := Run(1, func(c *Comm) error {
+		a := c.Wtime()
+		b := c.Wtime()
+		if b < a {
+			t.Errorf("Wtime went backwards")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorldRankEqualsRankInWorldComm(t *testing.T) {
+	if err := Run(3, func(c *Comm) error {
+		if c.WorldRank() != c.Rank() {
+			t.Errorf("WorldRank %d != Rank %d", c.WorldRank(), c.Rank())
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -1,0 +1,133 @@
+package mpi
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// runRemoteWorld drives body on np RunWorker instances over remote
+// transports — the in-test equivalent of the multi-OS-process launcher
+// (each "process" is a goroutine, but all traffic crosses real sockets
+// and no transport state is shared between ranks).
+func runRemoteWorld(t *testing.T, np int, body func(c *Comm) error) {
+	t.Helper()
+	listeners := make([]net.Listener, np)
+	addrs := make([]string, np)
+	for i := 0; i < np; i++ {
+		ln, err := cluster.ListenLoopback()
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, np)
+	for rank := 0; rank < np; rank++ {
+		tr, err := cluster.NewRemoteTransport(rank, np, addrs, listeners[rank])
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tr.Close()
+		wg.Add(1)
+		go func(rank int, tr *cluster.RemoteTransport) {
+			defer wg.Done()
+			errs[rank] = RunWorker(rank, np, tr, body)
+		}(rank, tr)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+}
+
+func TestRunWorkerPointToPoint(t *testing.T) {
+	runRemoteWorld(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return Send(c, "across processes", 1, 3)
+		}
+		v, st, err := Recv[string](c, 0, 3)
+		if err != nil {
+			return err
+		}
+		if v != "across processes" || st.Source != 0 {
+			t.Errorf("got (%q, %+v)", v, st)
+		}
+		return nil
+	})
+}
+
+func TestRunWorkerCollectives(t *testing.T) {
+	runRemoteWorld(t, 4, func(c *Comm) error {
+		sum, err := Allreduce(c, c.Rank()+1, Sum[int]())
+		if err != nil {
+			return err
+		}
+		if sum != 10 {
+			t.Errorf("rank %d allreduce = %d", c.Rank(), sum)
+		}
+		g, err := Gather(c, []int{c.Rank() * 10}, 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			want := []int{0, 10, 20, 30}
+			for i := range want {
+				if g[i] != want[i] {
+					t.Errorf("gather = %v", g)
+					break
+				}
+			}
+		}
+		return Barrier(c)
+	})
+}
+
+// TestRunWorkerSplitIDsAgree: communicator ids are derived, not allocated,
+// so Split works even though each rank has an independent world object.
+func TestRunWorkerSplitIDsAgree(t *testing.T) {
+	runRemoteWorld(t, 4, func(c *Comm) error {
+		sub, err := c.Split(c.Rank()%2, c.Rank())
+		if err != nil {
+			return err
+		}
+		sum, err := Allreduce(sub, c.Rank(), Sum[int]())
+		if err != nil {
+			return err
+		}
+		want := 0 + 2
+		if c.Rank()%2 == 1 {
+			want = 1 + 3
+		}
+		if sum != want {
+			t.Errorf("rank %d: subgroup sum %d, want %d", c.Rank(), sum, want)
+		}
+		return nil
+	})
+}
+
+func TestRunWorkerValidation(t *testing.T) {
+	tr := cluster.NewChanTransport(2)
+	defer tr.Close()
+	if err := RunWorker(5, 2, tr, func(*Comm) error { return nil }); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+	if err := RunWorker(0, 0, tr, func(*Comm) error { return nil }); err == nil {
+		t.Fatal("np 0 accepted")
+	}
+}
+
+func TestRunWorkerProcessorNames(t *testing.T) {
+	runRemoteWorld(t, 3, func(c *Comm) error {
+		want := map[int]string{0: "node-01", 1: "node-02", 2: "node-03"}
+		if c.ProcessorName() != want[c.Rank()] {
+			t.Errorf("rank %d on %q", c.Rank(), c.ProcessorName())
+		}
+		return nil
+	})
+}

@@ -1,0 +1,125 @@
+package omp
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file provides the two mutual-exclusion mechanisms the paper's
+// critical2.c patternlet compares (#pragma omp atomic vs #pragma omp
+// critical, Figures 29–30), plus OpenMP's explicit lock API.
+
+// AtomicAddInt64 performs x += delta as a single atomic hardware operation,
+// like #pragma omp atomic on an integer update. It returns the new value.
+func AtomicAddInt64(x *int64, delta int64) int64 {
+	return atomic.AddInt64(x, delta)
+}
+
+// AtomicAddFloat64 performs x += delta atomically via a compare-and-swap
+// loop on the float's bit pattern. critical2.c updates a float64 bank
+// balance with #pragma omp atomic; this is the Go equivalent.
+func AtomicAddFloat64(x *uint64, delta float64) float64 {
+	for {
+		oldBits := atomic.LoadUint64(x)
+		newVal := math.Float64frombits(oldBits) + delta
+		if atomic.CompareAndSwapUint64(x, oldBits, math.Float64bits(newVal)) {
+			return newVal
+		}
+	}
+}
+
+// LoadFloat64 reads the float64 stored by AtomicAddFloat64.
+func LoadFloat64(x *uint64) float64 {
+	return math.Float64frombits(atomic.LoadUint64(x))
+}
+
+// StoreFloat64 stores v into the atomic float64 cell x.
+func StoreFloat64(x *uint64, v float64) {
+	atomic.StoreUint64(x, math.Float64bits(v))
+}
+
+// Lock is OpenMP's explicit lock (omp_lock_t). The zero value is an
+// unlocked lock ready for use (omp_init_lock is implicit).
+type Lock struct {
+	mu sync.Mutex
+}
+
+// Set acquires the lock, blocking if necessary (omp_set_lock).
+func (l *Lock) Set() { l.mu.Lock() }
+
+// Unset releases the lock (omp_unset_lock).
+func (l *Lock) Unset() { l.mu.Unlock() }
+
+// Test attempts to acquire the lock without blocking and reports success
+// (omp_test_lock).
+func (l *Lock) Test() bool { return l.mu.TryLock() }
+
+// UnsafeCounter is the teaching device behind the paper's race-condition
+// patternlets (Figure 22 and the balance-loss demo in §III.E): a counter
+// whose Add is deliberately a non-atomic read-modify-write, so concurrent
+// increments lose updates.
+//
+// It is built from separate atomic load / compute / store steps rather
+// than a plain racy int, so the lost-update behaviour is identical but the
+// program remains well-defined Go and clean under the race detector —
+// which lets the demonstration live inside the test suite.
+type UnsafeCounter struct {
+	bits  uint64
+	ticks uint64
+}
+
+// interleaveWindow sits between the unprotected read and write. On a
+// multicore host the OS provides the interleavings that lose updates; on a
+// single hardware core Go's preemption is too coarse (~10ms) to land
+// inside a nanosecond window, so every 16th update explicitly yields the
+// processor there — modeling the preemption a real parallel machine
+// supplies for free. The lost-update *mechanism* (stale read overwrites a
+// concurrent update) is untouched.
+func interleaveWindow(ticks *uint64) {
+	if atomic.AddUint64(ticks, 1)%16 == 0 {
+		runtime.Gosched()
+	}
+}
+
+// Add performs the classic unprotected balance += delta: read, compute,
+// write, with a deliberate interleaving window between read and write.
+func (c *UnsafeCounter) Add(delta float64) {
+	v := math.Float64frombits(atomic.LoadUint64(&c.bits))
+	v += delta
+	interleaveWindow(&c.ticks)
+	atomic.StoreUint64(&c.bits, math.Float64bits(v))
+}
+
+// Value returns the current counter value.
+func (c *UnsafeCounter) Value() float64 {
+	return math.Float64frombits(atomic.LoadUint64(&c.bits))
+}
+
+// Reset sets the counter back to zero.
+func (c *UnsafeCounter) Reset() {
+	atomic.StoreUint64(&c.bits, 0)
+}
+
+// UnsafeInt is the integer counterpart of UnsafeCounter, used by the
+// reduction and private-variable patternlets where the racy accumulator is
+// an int (Figure 22's incorrect parallel sum).
+type UnsafeInt struct {
+	v     int64
+	ticks uint64
+}
+
+// Add performs the unprotected v += delta read-modify-write.
+func (c *UnsafeInt) Add(delta int64) {
+	v := atomic.LoadInt64(&c.v)
+	v += delta
+	interleaveWindow(&c.ticks)
+	atomic.StoreInt64(&c.v, v)
+}
+
+// Value returns the current value.
+func (c *UnsafeInt) Value() int64 { return atomic.LoadInt64(&c.v) }
+
+// Reset sets the counter to zero.
+func (c *UnsafeInt) Reset() { atomic.StoreInt64(&c.v, 0) }

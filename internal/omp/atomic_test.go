@@ -1,0 +1,165 @@
+package omp
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAtomicAddInt64Exact(t *testing.T) {
+	const n, reps = 8, 5000
+	var x int64
+	ParallelFor(n*reps, StaticEqual(), func(_, _ int) {
+		AtomicAddInt64(&x, 1)
+	}, WithNumThreads(n))
+	if x != n*reps {
+		t.Fatalf("x = %d, want %d", x, n*reps)
+	}
+}
+
+func TestAtomicAddInt64ReturnsNewValue(t *testing.T) {
+	var x int64 = 10
+	if got := AtomicAddInt64(&x, 5); got != 15 {
+		t.Fatalf("returned %d, want 15", got)
+	}
+}
+
+func TestAtomicAddFloat64Exact(t *testing.T) {
+	const n, reps = 8, 5000
+	var cell uint64
+	ParallelFor(n*reps, StaticEqual(), func(_, _ int) {
+		AtomicAddFloat64(&cell, 1.0)
+	}, WithNumThreads(n))
+	if got := LoadFloat64(&cell); got != n*reps {
+		t.Fatalf("balance = %v, want %d (atomic float add lost updates)", got, n*reps)
+	}
+}
+
+func TestAtomicAddFloat64Fractions(t *testing.T) {
+	var cell uint64
+	StoreFloat64(&cell, 1.5)
+	if got := AtomicAddFloat64(&cell, 0.25); got != 1.75 {
+		t.Fatalf("got %v, want 1.75", got)
+	}
+	if got := LoadFloat64(&cell); got != 1.75 {
+		t.Fatalf("Load = %v, want 1.75", got)
+	}
+}
+
+func TestStoreLoadFloat64RoundTrip(t *testing.T) {
+	var cell uint64
+	for _, v := range []float64{0, -1.5, 3.14159, 1e300, -1e-300} {
+		StoreFloat64(&cell, v)
+		if got := LoadFloat64(&cell); got != v {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestLockMutualExclusion(t *testing.T) {
+	var l Lock
+	counter := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 2000; r++ {
+				l.Set()
+				counter++
+				l.Unset()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 16000 {
+		t.Fatalf("counter = %d, want 16000", counter)
+	}
+}
+
+func TestLockTest(t *testing.T) {
+	var l Lock
+	if !l.Test() {
+		t.Fatal("Test on free lock failed")
+	}
+	if l.Test() {
+		t.Fatal("Test on held lock succeeded")
+	}
+	l.Unset()
+	if !l.Test() {
+		t.Fatal("Test after Unset failed")
+	}
+	l.Unset()
+}
+
+// TestUnsafeCounterLosesUpdates demonstrates Figure 22 / §III.E: the
+// unprotected read-modify-write drops deposits under contention. The loss
+// is probabilistic, so we retry a few workloads and require at least one
+// observed loss — and, always, that the result never exceeds the true
+// total (money is lost, never minted).
+func TestUnsafeCounterLosesUpdates(t *testing.T) {
+	const n, reps = 8, 20000
+	sawLoss := false
+	for attempt := 0; attempt < 5 && !sawLoss; attempt++ {
+		var c UnsafeCounter
+		ParallelFor(n*reps, StaticEqual(), func(_, _ int) {
+			c.Add(1.0)
+		}, WithNumThreads(n))
+		got := c.Value()
+		if got > n*reps {
+			t.Fatalf("racy counter OVERSHOT: %v > %d", got, n*reps)
+		}
+		if got < n*reps {
+			sawLoss = true
+		}
+	}
+	if !sawLoss {
+		t.Skip("no lost update observed in 5 attempts — acceptable on a lightly scheduled host, but unusual")
+	}
+}
+
+func TestUnsafeCounterSingleThreadIsExact(t *testing.T) {
+	var c UnsafeCounter
+	for i := 0; i < 1000; i++ {
+		c.Add(1.0)
+	}
+	if c.Value() != 1000 {
+		t.Fatalf("single-threaded racy counter = %v, want 1000", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("Reset left %v", c.Value())
+	}
+}
+
+func TestUnsafeIntSingleThreadIsExact(t *testing.T) {
+	var c UnsafeInt
+	for i := 0; i < 1000; i++ {
+		c.Add(3)
+	}
+	if c.Value() != 3000 {
+		t.Fatalf("got %d, want 3000", c.Value())
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestUnsafeIntLosesUpdates(t *testing.T) {
+	const n, reps = 8, 20000
+	sawLoss := false
+	for attempt := 0; attempt < 5 && !sawLoss; attempt++ {
+		var c UnsafeInt
+		ParallelFor(n*reps, StaticEqual(), func(_, _ int) {
+			c.Add(1)
+		}, WithNumThreads(n))
+		if got := c.Value(); got > n*reps {
+			t.Fatalf("racy int OVERSHOT: %d", got)
+		} else if got < n*reps {
+			sawLoss = true
+		}
+	}
+	if !sawLoss {
+		t.Skip("no lost update observed in 5 attempts")
+	}
+}

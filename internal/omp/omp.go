@@ -1,0 +1,318 @@
+// Package omp is an OpenMP-like shared-memory parallel runtime built on
+// goroutines.
+//
+// The patternlets paper's 17 OpenMP programs are all built from a small set
+// of constructs: parallel regions (#pragma omp parallel), thread identity
+// (omp_get_thread_num / omp_get_num_threads), barriers, worksharing loops
+// with schedules, reduction clauses, critical sections, atomic updates,
+// single/master blocks, sections, locks, and omp_get_wtime. This package
+// provides Go equivalents with the same fork/join semantics:
+//
+//	omp.Parallel(func(t *omp.Thread) {
+//	    fmt.Printf("Hello from thread %d of %d\n", t.ThreadNum(), t.NumThreads())
+//	}, omp.WithNumThreads(4))
+//
+// A Thread is only valid inside the region body it was passed to, exactly
+// as omp_get_thread_num() is only meaningful inside a parallel region.
+package omp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// defaultThreads mirrors omp_set_num_threads / OMP_NUM_THREADS: the team
+// size used when a region does not specify one. The paper's quad-core demo
+// machine motivates the default of 4.
+var defaultThreads = struct {
+	mu sync.Mutex
+	n  int
+}{n: 4}
+
+// SetNumThreads sets the default team size for subsequent parallel regions
+// (omp_set_num_threads). Values below 1 are clamped to 1.
+func SetNumThreads(n int) {
+	if n < 1 {
+		n = 1
+	}
+	defaultThreads.mu.Lock()
+	defaultThreads.n = n
+	defaultThreads.mu.Unlock()
+}
+
+// MaxThreads returns the current default team size (omp_get_max_threads).
+func MaxThreads() int {
+	defaultThreads.mu.Lock()
+	defer defaultThreads.mu.Unlock()
+	return defaultThreads.n
+}
+
+// GetWTime returns elapsed wall-clock seconds since an arbitrary fixed
+// point in the past (omp_get_wtime).
+func GetWTime() float64 {
+	return time.Since(wtimeEpoch).Seconds()
+}
+
+var wtimeEpoch = time.Now()
+
+// Option configures a parallel region.
+type Option func(*config)
+
+type config struct {
+	numThreads int
+}
+
+// WithNumThreads sets the team size for one region, like the num_threads
+// clause. Values below 1 are clamped to 1.
+func WithNumThreads(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		c.numThreads = n
+	}
+}
+
+// team is the shared state of one parallel region.
+type team struct {
+	size    int
+	barrier *reusableBarrier
+
+	critMu    sync.Mutex
+	criticals map[string]*sync.Mutex
+
+	constructMu sync.Mutex
+	constructs  map[int]*constructEntry // construct index -> shared state (dynamic loops, single flags, reductions)
+	tasks       *taskPool               // lazily created by the first Task()
+}
+
+func newTeam(size int) *team {
+	return &team{
+		size:       size,
+		barrier:    newReusableBarrier(size),
+		criticals:  map[string]*sync.Mutex{},
+		constructs: map[int]*constructEntry{},
+	}
+}
+
+// constructEntry tracks one worksharing construct's shared state and how
+// many team members have picked it up.
+type constructEntry struct {
+	state    any
+	arrivals int
+}
+
+// construct returns the shared state for the idx-th worksharing construct
+// encountered in the region, creating it with mk on first arrival. All
+// threads must encounter worksharing constructs in the same order, as in
+// OpenMP. Each thread calls construct exactly once per index, so once the
+// whole team has arrived the map entry is dropped — regions that loop over
+// worksharing constructs (e.g. a stencil's timestep loop) stay O(1) in
+// memory.
+func (tm *team) construct(idx int, mk func() any) any {
+	tm.constructMu.Lock()
+	defer tm.constructMu.Unlock()
+	e, ok := tm.constructs[idx]
+	if !ok {
+		e = &constructEntry{state: mk()}
+		tm.constructs[idx] = e
+	}
+	e.arrivals++
+	if e.arrivals == tm.size {
+		delete(tm.constructs, idx)
+	}
+	return e.state
+}
+
+func (tm *team) critical(name string) *sync.Mutex {
+	tm.critMu.Lock()
+	defer tm.critMu.Unlock()
+	m, ok := tm.criticals[name]
+	if !ok {
+		m = &sync.Mutex{}
+		tm.criticals[name] = m
+	}
+	return m
+}
+
+// Thread is the per-member view of a parallel region. It is passed to the
+// region body and must not be retained or used after the body returns.
+type Thread struct {
+	id        int
+	team      *team
+	construct int // per-thread count of worksharing constructs encountered
+}
+
+// ThreadNum returns this thread's id within the team, 0..NumThreads()-1
+// (omp_get_thread_num).
+func (t *Thread) ThreadNum() int { return t.id }
+
+// NumThreads returns the team size (omp_get_num_threads).
+func (t *Thread) NumThreads() int { return t.team.size }
+
+// Barrier blocks until all threads in the team have reached it
+// (#pragma omp barrier).
+func (t *Thread) Barrier() { t.team.barrier.await() }
+
+// Critical executes fn while holding the named critical section's lock
+// (#pragma omp critical(name)). As in OpenMP, distinct names are distinct
+// locks and the empty name is the single anonymous critical section.
+func (t *Thread) Critical(name string, fn func()) {
+	m := t.team.critical(name)
+	m.Lock()
+	defer m.Unlock()
+	fn()
+}
+
+// Master executes fn on thread 0 only, with no implied barrier
+// (#pragma omp master).
+func (t *Thread) Master(fn func()) {
+	if t.id == 0 {
+		fn()
+	}
+}
+
+// Single executes fn on exactly one thread — whichever arrives first — and
+// then synchronizes the whole team, matching #pragma omp single with its
+// implicit barrier.
+func (t *Thread) Single(fn func()) {
+	t.SingleNoWait(fn)
+	t.Barrier()
+}
+
+// SingleNoWait is Single with the nowait clause: one thread runs fn, the
+// others continue immediately.
+func (t *Thread) SingleNoWait(fn func()) {
+	idx := t.nextConstruct()
+	st := t.team.construct(idx, func() any { return &singleState{} }).(*singleState)
+	if st.claim() {
+		fn()
+	}
+}
+
+type singleState struct {
+	mu      sync.Mutex
+	claimed bool
+}
+
+func (s *singleState) claim() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.claimed {
+		return false
+	}
+	s.claimed = true
+	return true
+}
+
+// Sections distributes the given section bodies among the team's threads
+// (#pragma omp sections): each section runs exactly once, on some thread,
+// and an implicit barrier follows.
+func (t *Thread) Sections(sections ...func()) {
+	idx := t.nextConstruct()
+	st := t.team.construct(idx, func() any { return &dynCounter{} }).(*dynCounter)
+	for {
+		i := st.next(1, len(sections))
+		if i >= len(sections) {
+			break
+		}
+		sections[i]()
+	}
+	t.Barrier()
+}
+
+func (t *Thread) nextConstruct() int {
+	idx := t.construct
+	t.construct++
+	return idx
+}
+
+// Parallel runs body on a team of threads and blocks until all of them
+// finish — the fork/join of #pragma omp parallel. The calling goroutine
+// becomes team member 0 (the master thread), as in OpenMP. If any team
+// member panics, Parallel waits for the rest of the team and then
+// re-panics with the first panic value.
+func Parallel(body func(t *Thread), opts ...Option) {
+	cfg := config{numThreads: MaxThreads()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	n := cfg.numThreads
+	tm := newTeam(n)
+
+	var wg sync.WaitGroup
+	panics := make(chan any, n)
+	run := func(id int) {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				panics <- r
+				// A panicking member would deadlock teammates waiting at a
+				// barrier; poison the barrier so they unwind too.
+				tm.barrier.poison()
+			}
+		}()
+		body(&Thread{id: id, team: tm})
+	}
+
+	wg.Add(n)
+	for id := 1; id < n; id++ {
+		go run(id)
+	}
+	run(0) // master thread participates directly
+	wg.Wait()
+	tm.drainTasks() // implicit taskwait at the end of the region
+
+	select {
+	case r := <-panics:
+		panic(fmt.Sprintf("omp: parallel region panicked: %v", r))
+	default:
+	}
+}
+
+// reusableBarrier is a cyclic barrier with poison support so a panicking
+// team member does not strand its teammates.
+type reusableBarrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	parties  int
+	waiting  int
+	phase    uint64
+	poisoned bool
+}
+
+func newReusableBarrier(parties int) *reusableBarrier {
+	b := &reusableBarrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *reusableBarrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		panic("omp: barrier poisoned by panicking teammate")
+	}
+	phase := b.phase
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+		return
+	}
+	for phase == b.phase && !b.poisoned {
+		b.cond.Wait()
+	}
+	if b.poisoned && phase == b.phase {
+		panic("omp: barrier poisoned by panicking teammate")
+	}
+}
+
+func (b *reusableBarrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,0 +1,307 @@
+package omp
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParallelTeamSizeAndIDs(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8, 16} {
+		var mu sync.Mutex
+		seen := map[int]int{}
+		Parallel(func(th *Thread) {
+			if th.NumThreads() != n {
+				t.Errorf("NumThreads = %d, want %d", th.NumThreads(), n)
+			}
+			mu.Lock()
+			seen[th.ThreadNum()]++
+			mu.Unlock()
+		}, WithNumThreads(n))
+		if len(seen) != n {
+			t.Fatalf("n=%d: %d distinct thread ids", n, len(seen))
+		}
+		for id, count := range seen {
+			if id < 0 || id >= n {
+				t.Fatalf("n=%d: id %d out of range", n, id)
+			}
+			if count != 1 {
+				t.Fatalf("n=%d: id %d ran %d times", n, id, count)
+			}
+		}
+	}
+}
+
+func TestParallelDefaultsToMaxThreads(t *testing.T) {
+	old := MaxThreads()
+	defer SetNumThreads(old)
+	SetNumThreads(3)
+	got := 0
+	Parallel(func(th *Thread) {
+		th.Master(func() { got = th.NumThreads() })
+	})
+	if got != 3 {
+		t.Fatalf("default team size %d, want 3", got)
+	}
+}
+
+func TestSetNumThreadsClampsToOne(t *testing.T) {
+	old := MaxThreads()
+	defer SetNumThreads(old)
+	SetNumThreads(-5)
+	if MaxThreads() != 1 {
+		t.Fatalf("MaxThreads = %d, want 1", MaxThreads())
+	}
+}
+
+func TestWithNumThreadsClampsToOne(t *testing.T) {
+	ran := 0
+	Parallel(func(th *Thread) { ran++ }, WithNumThreads(0))
+	if ran != 1 {
+		t.Fatalf("team of clamped size ran %d bodies, want 1", ran)
+	}
+}
+
+// TestBarrierOrdersPhases is the Figure 9 invariant: no thread's
+// post-barrier work starts until every thread's pre-barrier work is done.
+func TestBarrierOrdersPhases(t *testing.T) {
+	const n = 8
+	var before atomic.Int32
+	ok := true
+	var mu sync.Mutex
+	Parallel(func(th *Thread) {
+		before.Add(1)
+		th.Barrier()
+		if before.Load() != n {
+			mu.Lock()
+			ok = false
+			mu.Unlock()
+		}
+	}, WithNumThreads(n))
+	if !ok {
+		t.Fatal("a thread passed the barrier early")
+	}
+}
+
+func TestBarrierReusableAcrossPhases(t *testing.T) {
+	const n, phases = 4, 25
+	var counter atomic.Int32
+	Parallel(func(th *Thread) {
+		for p := 0; p < phases; p++ {
+			counter.Add(1)
+			th.Barrier()
+			if got := counter.Load(); got != int32(n*(p+1)) {
+				t.Errorf("phase %d: counter %d, want %d", p, got, n*(p+1))
+			}
+			th.Barrier()
+		}
+	}, WithNumThreads(n))
+}
+
+func TestMasterRunsOnThreadZeroOnly(t *testing.T) {
+	var calls atomic.Int32
+	var masterID atomic.Int32
+	masterID.Store(-1)
+	Parallel(func(th *Thread) {
+		th.Master(func() {
+			calls.Add(1)
+			masterID.Store(int32(th.ThreadNum()))
+		})
+	}, WithNumThreads(8))
+	if calls.Load() != 1 || masterID.Load() != 0 {
+		t.Fatalf("master ran %d times on thread %d", calls.Load(), masterID.Load())
+	}
+}
+
+func TestSingleRunsExactlyOnce(t *testing.T) {
+	var calls atomic.Int32
+	Parallel(func(th *Thread) {
+		th.Single(func() { calls.Add(1) })
+	}, WithNumThreads(8))
+	if calls.Load() != 1 {
+		t.Fatalf("single ran %d times", calls.Load())
+	}
+}
+
+func TestSingleImpliedBarrier(t *testing.T) {
+	// Everything the single block writes must be visible to all threads
+	// after Single returns.
+	var value int
+	ok := true
+	var mu sync.Mutex
+	Parallel(func(th *Thread) {
+		th.Single(func() { value = 42 })
+		if value != 42 {
+			mu.Lock()
+			ok = false
+			mu.Unlock()
+		}
+	}, WithNumThreads(8))
+	if !ok {
+		t.Fatal("a thread observed the pre-single value after Single returned")
+	}
+}
+
+func TestRepeatedSinglesPickOnePerConstruct(t *testing.T) {
+	const rounds = 10
+	var calls atomic.Int32
+	Parallel(func(th *Thread) {
+		for i := 0; i < rounds; i++ {
+			th.Single(func() { calls.Add(1) })
+		}
+	}, WithNumThreads(4))
+	if calls.Load() != rounds {
+		t.Fatalf("singles ran %d times, want %d", calls.Load(), rounds)
+	}
+}
+
+func TestSectionsEachRunOnce(t *testing.T) {
+	const nsec = 7
+	var runs [nsec]atomic.Int32
+	Parallel(func(th *Thread) {
+		var fns []func()
+		for i := 0; i < nsec; i++ {
+			fns = append(fns, func() { runs[i].Add(1) })
+		}
+		th.Sections(fns...)
+	}, WithNumThreads(3))
+	for i := range runs {
+		if runs[i].Load() != 1 {
+			t.Fatalf("section %d ran %d times", i, runs[i].Load())
+		}
+	}
+}
+
+func TestSectionsMoreThreadsThanSections(t *testing.T) {
+	var total atomic.Int32
+	Parallel(func(th *Thread) {
+		th.Sections(
+			func() { total.Add(1) },
+			func() { total.Add(1) },
+		)
+	}, WithNumThreads(8))
+	if total.Load() != 2 {
+		t.Fatalf("sections ran %d bodies, want 2", total.Load())
+	}
+}
+
+func TestCriticalMutualExclusion(t *testing.T) {
+	const n, reps = 8, 2000
+	counter := 0
+	Parallel(func(th *Thread) {
+		for i := 0; i < reps; i++ {
+			th.Critical("c", func() { counter++ })
+		}
+	}, WithNumThreads(n))
+	if counter != n*reps {
+		t.Fatalf("counter = %d, want %d (critical failed to exclude)", counter, n*reps)
+	}
+}
+
+func TestCriticalDistinctNamesAreDistinctLocks(t *testing.T) {
+	// A thread holding critical "a" must not block one entering "b":
+	// verify both make progress when interleaved heavily.
+	a, b := 0, 0
+	Parallel(func(th *Thread) {
+		for i := 0; i < 1000; i++ {
+			if th.ThreadNum()%2 == 0 {
+				th.Critical("a", func() { a++ })
+			} else {
+				th.Critical("b", func() { b++ })
+			}
+		}
+	}, WithNumThreads(4))
+	if a != 2000 || b != 2000 {
+		t.Fatalf("a=%d b=%d, want 2000 each", a, b)
+	}
+}
+
+func TestParallelPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Parallel did not re-panic")
+		}
+		if !strings.Contains(r.(string), "boom") {
+			t.Fatalf("panic value %v does not carry the original", r)
+		}
+	}()
+	Parallel(func(th *Thread) {
+		if th.ThreadNum() == 1 {
+			panic("boom")
+		}
+	}, WithNumThreads(4))
+}
+
+// TestPanicDoesNotStrandBarrierWaiters: a panicking thread poisons the
+// barrier so teammates blocked in Barrier unwind instead of deadlocking.
+func TestPanicDoesNotStrandBarrierWaiters(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer func() {
+			recover() // the region's re-panic
+			close(done)
+		}()
+		Parallel(func(th *Thread) {
+			if th.ThreadNum() == 0 {
+				panic("die before the barrier")
+			}
+			th.Barrier() // would hang forever without poisoning
+		}, WithNumThreads(4))
+	}()
+	select {
+	case <-done:
+	case <-timeoutC(t):
+		t.Fatal("teammates stranded at the barrier after a panic")
+	}
+}
+
+func TestNestedParallelRegions(t *testing.T) {
+	var mu sync.Mutex
+	var pairs []string
+	Parallel(func(outer *Thread) {
+		Parallel(func(inner *Thread) {
+			mu.Lock()
+			pairs = append(pairs, itoa2(outer.ThreadNum(), inner.ThreadNum()))
+			mu.Unlock()
+		}, WithNumThreads(3))
+	}, WithNumThreads(2))
+	if len(pairs) != 6 {
+		t.Fatalf("nested regions produced %d executions, want 6", len(pairs))
+	}
+	sort.Strings(pairs)
+	want := []string{"0-0", "0-1", "0-2", "1-0", "1-1", "1-2"}
+	for i := range want {
+		if pairs[i] != want[i] {
+			t.Fatalf("pairs = %v, want %v", pairs, want)
+		}
+	}
+}
+
+func TestGetWTimeMonotonic(t *testing.T) {
+	a := GetWTime()
+	b := GetWTime()
+	if b < a {
+		t.Fatalf("GetWTime went backwards: %v then %v", a, b)
+	}
+}
+
+func itoa2(a, b int) string {
+	return string(rune('0'+a)) + "-" + string(rune('0'+b))
+}
+
+func timeoutC(t *testing.T) <-chan struct{} {
+	t.Helper()
+	ch := make(chan struct{})
+	go func() {
+		defer close(ch)
+		// Generous bound: any poisoning bug manifests as a permanent hang.
+		<-testTimer()
+	}()
+	return ch
+}
+
+func testTimer() <-chan time.Time { return time.After(5 * time.Second) }

@@ -1,0 +1,122 @@
+package omp
+
+import (
+	"cmp"
+	"sync"
+)
+
+// Number is the constraint for arithmetic reduction operators.
+type Number interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr |
+		~float32 | ~float64
+}
+
+// Integer is the constraint for bitwise reduction operators.
+type Integer interface {
+	~int | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint | ~uint8 | ~uint16 | ~uint32 | ~uint64 | ~uintptr
+}
+
+// The reduction operators OpenMP permits in a reduction clause, per §III.D
+// of the paper: +, *, -, &, |, ^, && and || (and max/min, which MPI also
+// provides). OpenMP defines reduction(-) to combine by addition, and so
+// do we.
+
+// Sum returns the + reduction operator.
+func Sum[T Number]() func(T, T) T { return func(a, b T) T { return a + b } }
+
+// Prod returns the * reduction operator.
+func Prod[T Number]() func(T, T) T { return func(a, b T) T { return a * b } }
+
+// Max returns the max reduction operator.
+func Max[T cmp.Ordered]() func(T, T) T {
+	return func(a, b T) T {
+		if a > b {
+			return a
+		}
+		return b
+	}
+}
+
+// Min returns the min reduction operator.
+func Min[T cmp.Ordered]() func(T, T) T {
+	return func(a, b T) T {
+		if a < b {
+			return a
+		}
+		return b
+	}
+}
+
+// BitAnd returns the & reduction operator.
+func BitAnd[T Integer]() func(T, T) T { return func(a, b T) T { return a & b } }
+
+// BitOr returns the | reduction operator.
+func BitOr[T Integer]() func(T, T) T { return func(a, b T) T { return a | b } }
+
+// BitXor returns the ^ reduction operator.
+func BitXor[T Integer]() func(T, T) T { return func(a, b T) T { return a ^ b } }
+
+// LogAnd returns the && reduction operator.
+func LogAnd() func(bool, bool) bool { return func(a, b bool) bool { return a && b } }
+
+// LogOr returns the || reduction operator.
+func LogOr() func(bool, bool) bool { return func(a, b bool) bool { return a || b } }
+
+// reduceState holds one reduction construct's contributions. vals is sized
+// to the team; the tree combine mutates it in place across lg(p) barrier-
+// separated rounds.
+type reduceState[T any] struct {
+	once sync.Once
+	vals []T
+}
+
+// Reduce combines each team member's local value with op and returns the
+// combined value to every thread — the semantics of OpenMP's
+// reduction(op:var) clause at the end of a region. Every thread in the
+// team must call Reduce, passing the same op.
+//
+// The combine runs as a binary tree over thread ids (Figure 19 of the
+// paper): values at distance `stride` fold pairwise, stride doubling each
+// round, so p local values combine in ceil(lg p) rounds rather than p-1
+// sequential steps. For an associative op the result equals the
+// sequential left-to-right fold over thread ids, so results are
+// deterministic.
+func Reduce[T any](t *Thread, op func(T, T) T, local T) T {
+	idx := t.nextConstruct()
+	st := t.team.construct(idx, func() any { return &reduceState[T]{} }).(*reduceState[T])
+	st.once.Do(func() { st.vals = make([]T, t.team.size) })
+	st.vals[t.id] = local
+	t.Barrier()
+	p := t.team.size
+	for stride := 1; stride < p; stride *= 2 {
+		if t.id%(2*stride) == 0 && t.id+stride < p {
+			st.vals[t.id] = op(st.vals[t.id], st.vals[t.id+stride])
+		}
+		t.Barrier()
+	}
+	result := st.vals[0]
+	t.Barrier() // everyone reads vals[0] before any later construct reuses state
+	return result
+}
+
+// ParallelForReduce forks a team, workshares the loop over [0, n), reduces
+// each thread's fold of its iterations with op, and returns the combined
+// value — the fused #pragma omp parallel for reduction(op:acc).
+//
+// identity must be op's identity element (0 for +, 1 for *, etc.); each
+// thread starts its private accumulator there, exactly as OpenMP
+// initializes the private copy of a reduction variable.
+func ParallelForReduce[T any](n int, sched Schedule, op func(T, T) T, identity T, body func(i int) T, opts ...Option) T {
+	var result T
+	Parallel(func(t *Thread) {
+		local := identity
+		t.ForNoWait(0, n, sched, func(i int) {
+			local = op(local, body(i))
+		})
+		combined := Reduce(t, op, local)
+		t.Master(func() { result = combined })
+	}, opts...)
+	return result
+}

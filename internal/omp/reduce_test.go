@@ -1,0 +1,237 @@
+package omp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReduceSumAllThreadsReceiveResult(t *testing.T) {
+	const n = 8
+	results := make([]int, n)
+	Parallel(func(th *Thread) {
+		results[th.ThreadNum()] = Reduce(th, Sum[int](), th.ThreadNum()+1)
+	}, WithNumThreads(n))
+	want := n * (n + 1) / 2
+	for id, r := range results {
+		if r != want {
+			t.Fatalf("thread %d received %d, want %d", id, r, want)
+		}
+	}
+}
+
+func TestReduceOperators(t *testing.T) {
+	// Contributions are (id+1) for a 6-thread team: 1..6.
+	const n = 6
+	run := func(op func(int, int) int) int {
+		var out int
+		Parallel(func(th *Thread) {
+			r := Reduce(th, op, th.ThreadNum()+1)
+			th.Master(func() { out = r })
+		}, WithNumThreads(n))
+		return out
+	}
+	if got := run(Sum[int]()); got != 21 {
+		t.Errorf("Sum = %d, want 21", got)
+	}
+	if got := run(Prod[int]()); got != 720 {
+		t.Errorf("Prod = %d, want 720", got)
+	}
+	if got := run(Max[int]()); got != 6 {
+		t.Errorf("Max = %d, want 6", got)
+	}
+	if got := run(Min[int]()); got != 1 {
+		t.Errorf("Min = %d, want 1", got)
+	}
+}
+
+func TestReduceBitwiseOperators(t *testing.T) {
+	const n = 4 // contributions 0b0001, 0b0010, 0b0011, 0b0100
+	contrib := func(id int) uint { return uint(id + 1) }
+	run := func(op func(uint, uint) uint) uint {
+		var out uint
+		Parallel(func(th *Thread) {
+			r := Reduce(th, op, contrib(th.ThreadNum()))
+			th.Master(func() { out = r })
+		}, WithNumThreads(n))
+		return out
+	}
+	if got := run(BitOr[uint]()); got != 0b0111 {
+		t.Errorf("BitOr = %b, want 111", got)
+	}
+	if got := run(BitAnd[uint]()); got != 0 {
+		t.Errorf("BitAnd = %b, want 0", got)
+	}
+	if got := run(BitXor[uint]()); got != 1^2^3^4 {
+		t.Errorf("BitXor = %d, want %d", got, 1^2^3^4)
+	}
+}
+
+func TestReduceLogicalOperators(t *testing.T) {
+	const n = 5
+	run := func(op func(bool, bool) bool, pred func(id int) bool) bool {
+		var out bool
+		Parallel(func(th *Thread) {
+			r := Reduce(th, op, pred(th.ThreadNum()))
+			th.Master(func() { out = r })
+		}, WithNumThreads(n))
+		return out
+	}
+	allTrue := func(int) bool { return true }
+	oneFalse := func(id int) bool { return id != 2 }
+	allFalse := func(int) bool { return false }
+	if !run(LogAnd(), allTrue) || run(LogAnd(), oneFalse) {
+		t.Error("LogAnd wrong")
+	}
+	if !run(LogOr(), oneFalse) || run(LogOr(), allFalse) {
+		t.Error("LogOr wrong")
+	}
+}
+
+// TestReduceNonCommutativeAssociative: string concatenation is associative
+// but not commutative; the tree must still produce the in-order fold.
+func TestReduceNonCommutativeAssociative(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 13} {
+		var out string
+		Parallel(func(th *Thread) {
+			s := Reduce(th, func(a, b string) string { return a + b }, string(rune('a'+th.ThreadNum())))
+			th.Master(func() { out = s })
+		}, WithNumThreads(n))
+		want := strings.Repeat("", 0)
+		for i := 0; i < n; i++ {
+			want += string(rune('a' + i))
+		}
+		if out != want {
+			t.Fatalf("n=%d: tree fold = %q, want in-order %q", n, out, want)
+		}
+	}
+}
+
+// TestReduceMatchesSequentialFoldProperty: for random team sizes and
+// values, the tree reduce equals the sequential fold.
+func TestReduceMatchesSequentialFoldProperty(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		p := 1 + int(pRaw%12)
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]int, p)
+		for i := range vals {
+			vals[i] = rng.Intn(1000) - 500
+		}
+		var out int
+		Parallel(func(th *Thread) {
+			r := Reduce(th, Sum[int](), vals[th.ThreadNum()])
+			th.Master(func() { out = r })
+		}, WithNumThreads(p))
+		want := 0
+		for _, v := range vals {
+			want += v
+		}
+		return out == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReduceDeterministicAcrossRuns(t *testing.T) {
+	// Floating-point sums depend on combine order; the tree order is
+	// fixed, so repeated runs must agree bit-for-bit.
+	const n = 7
+	vals := []float64{0.1, 0.2, 0.3, 1e10, -1e10, 0.4, 0.5}
+	run := func() float64 {
+		var out float64
+		Parallel(func(th *Thread) {
+			r := Reduce(th, Sum[float64](), vals[th.ThreadNum()])
+			th.Master(func() { out = r })
+		}, WithNumThreads(n))
+		return out
+	}
+	first := run()
+	for i := 0; i < 10; i++ {
+		if got := run(); got != first {
+			t.Fatalf("run %d: %v != first run %v (combine order not deterministic)", i, got, first)
+		}
+	}
+}
+
+func TestRepeatedReductionsInOneRegion(t *testing.T) {
+	const n = 4
+	var sum, prod int
+	Parallel(func(th *Thread) {
+		s := Reduce(th, Sum[int](), th.ThreadNum()+1)
+		p := Reduce(th, Prod[int](), th.ThreadNum()+1)
+		th.Master(func() { sum, prod = s, p })
+	}, WithNumThreads(n))
+	if sum != 10 || prod != 24 {
+		t.Fatalf("sum=%d prod=%d, want 10 and 24", sum, prod)
+	}
+}
+
+func TestParallelForReduceMatchesSequential(t *testing.T) {
+	const size = 10000
+	rng := rand.New(rand.NewSource(5))
+	a := make([]int64, size)
+	var want int64
+	for i := range a {
+		a[i] = int64(rng.Intn(2000) - 1000)
+		want += a[i]
+	}
+	for _, threads := range []int{1, 2, 4, 7, 8} {
+		for _, sched := range []Schedule{StaticEqual(), StaticChunk(1), Dynamic(16), Guided(4)} {
+			got := ParallelForReduce(size, sched, Sum[int64](), 0,
+				func(i int) int64 { return a[i] }, WithNumThreads(threads))
+			if got != want {
+				t.Fatalf("threads=%d sched=%v: sum %d, want %d", threads, sched, got, want)
+			}
+		}
+	}
+}
+
+func TestParallelForReduceMax(t *testing.T) {
+	got := ParallelForReduce(1000, StaticEqual(), Max[int](), -1<<62,
+		func(i int) int { return (i * 37) % 1000 }, WithNumThreads(4))
+	if got != 999 {
+		t.Fatalf("max = %d, want 999", got)
+	}
+}
+
+func TestParallelForReduceEmptyLoopYieldsIdentity(t *testing.T) {
+	got := ParallelForReduce(0, StaticEqual(), Sum[int](), 0,
+		func(int) int { t.Error("body ran for empty loop"); return 1 },
+		WithNumThreads(4))
+	if got != 0 {
+		t.Fatalf("empty reduce = %d, want identity 0", got)
+	}
+}
+
+// TestParallelForReduceProperty: any random array, thread count and
+// schedule sums to the sequential answer.
+func TestParallelForReduceProperty(t *testing.T) {
+	f := func(seed int64, pRaw, schedRaw uint8) bool {
+		p := 1 + int(pRaw%8)
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(500)
+		a := make([]int, n)
+		want := 0
+		for i := range a {
+			a[i] = rng.Intn(100)
+			want += a[i]
+		}
+		var sched Schedule
+		switch schedRaw % 3 {
+		case 0:
+			sched = StaticEqual()
+		case 1:
+			sched = StaticChunk(2)
+		default:
+			sched = Dynamic(3)
+		}
+		got := ParallelForReduce(n, sched, Sum[int](), 0,
+			func(i int) int { return a[i] }, WithNumThreads(p))
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+package omp
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Schedule selects how a worksharing loop's iterations are divided among
+// the team, mirroring OpenMP's schedule clause. The paper's Parallel Loop
+// patternlets contrast "equal chunks" (schedule(static)) with "chunks of 1"
+// (schedule(static,1)) and dynamic scheduling.
+type Schedule struct {
+	kind  scheduleKind
+	chunk int
+}
+
+type scheduleKind int
+
+const (
+	schedStaticEqual scheduleKind = iota
+	schedStaticChunk
+	schedDynamic
+	schedGuided
+)
+
+// StaticEqual divides iterations into one contiguous block per thread, the
+// default OpenMP static schedule and the division used by
+// parallelLoopEqualChunks.c (Figures 13–18): thread id gets iterations
+// [id*ceil(n/p), min((id+1)*ceil(n/p), n)).
+func StaticEqual() Schedule { return Schedule{kind: schedStaticEqual} }
+
+// StaticChunk assigns fixed-size chunks round-robin: with chunk 1 this is
+// the striped "chunks of 1" schedule of parallelLoopChunksOf1.c. A chunk
+// below 1 is treated as 1.
+func StaticChunk(chunk int) Schedule {
+	if chunk < 1 {
+		chunk = 1
+	}
+	return Schedule{kind: schedStaticChunk, chunk: chunk}
+}
+
+// Dynamic hands out chunks on demand from a shared counter, like
+// schedule(dynamic,chunk): faster threads grab more work, which balances
+// irregular iterations. A chunk below 1 is treated as 1.
+func Dynamic(chunk int) Schedule {
+	if chunk < 1 {
+		chunk = 1
+	}
+	return Schedule{kind: schedDynamic, chunk: chunk}
+}
+
+// Guided hands out exponentially shrinking chunks — remaining/p, floored at
+// minChunk — like schedule(guided,minChunk).
+func Guided(minChunk int) Schedule {
+	if minChunk < 1 {
+		minChunk = 1
+	}
+	return Schedule{kind: schedGuided, chunk: minChunk}
+}
+
+// String names the schedule in OpenMP clause syntax.
+func (s Schedule) String() string {
+	switch s.kind {
+	case schedStaticEqual:
+		return "static"
+	case schedStaticChunk:
+		return fmt.Sprintf("static,%d", s.chunk)
+	case schedDynamic:
+		return fmt.Sprintf("dynamic,%d", s.chunk)
+	case schedGuided:
+		return fmt.Sprintf("guided,%d", s.chunk)
+	}
+	return "unknown"
+}
+
+// EqualChunkBounds returns the [start, stop) iteration range a given task
+// receives under the equal-chunks division of n iterations over p tasks.
+// It is exported because the MPI parallel-loop patternlet implements the
+// same arithmetic by hand (Figure 16), and tests verify both against it.
+func EqualChunkBounds(n, p, id int) (start, stop int) {
+	if p < 1 || id < 0 || id >= p || n <= 0 {
+		return 0, 0
+	}
+	chunk := (n + p - 1) / p // ceil(n/p), as in the paper's ceil() call
+	start = id * chunk
+	stop = start + chunk
+	if id == p-1 || stop > n {
+		stop = n
+	}
+	if start > n {
+		start = n
+		stop = n
+	}
+	return start, stop
+}
+
+// dynCounter is the shared chunk dispenser for dynamic schedules and
+// sections.
+type dynCounter struct {
+	mu  sync.Mutex
+	pos int
+}
+
+// next claims `chunk` consecutive indices below limit and returns the first;
+// a return >= limit means no work remains.
+func (d *dynCounter) next(chunk, limit int) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	i := d.pos
+	if i < limit {
+		d.pos += chunk
+		if d.pos > limit {
+			d.pos = limit
+		}
+	}
+	return i
+}
+
+// guidedCounter dispenses exponentially shrinking chunks.
+type guidedCounter struct {
+	mu       sync.Mutex
+	next     int
+	limit    int
+	parties  int
+	minChunk int
+}
+
+// grab returns the next [start, stop) block, or ok=false when exhausted.
+func (g *guidedCounter) grab() (start, stop int, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	remaining := g.limit - g.next
+	if remaining <= 0 {
+		return 0, 0, false
+	}
+	chunk := remaining / g.parties
+	if chunk < g.minChunk {
+		chunk = g.minChunk
+	}
+	if chunk > remaining {
+		chunk = remaining
+	}
+	start = g.next
+	g.next += chunk
+	return start, g.next, true
+}
+
+// For is a worksharing loop over iterations [lo, hi) inside a parallel
+// region (#pragma omp for schedule(...)). Every thread in the team must
+// call For with identical arguments; each iteration executes exactly once
+// on some thread; an implicit barrier follows.
+func (t *Thread) For(lo, hi int, sched Schedule, body func(i int)) {
+	t.ForNoWait(lo, hi, sched, body)
+	t.Barrier()
+}
+
+// ForNoWait is For with the nowait clause: no trailing barrier.
+func (t *Thread) ForNoWait(lo, hi int, sched Schedule, body func(i int)) {
+	idx := t.nextConstruct()
+	n := hi - lo
+	if n < 0 {
+		n = 0
+	}
+	p := t.team.size
+	switch sched.kind {
+	case schedStaticEqual:
+		start, stop := EqualChunkBounds(n, p, t.id)
+		for i := start; i < stop; i++ {
+			body(lo + i)
+		}
+	case schedStaticChunk:
+		// Blocks of size chunk assigned round-robin by block index.
+		for blockStart := t.id * sched.chunk; blockStart < n; blockStart += p * sched.chunk {
+			blockStop := blockStart + sched.chunk
+			if blockStop > n {
+				blockStop = n
+			}
+			for i := blockStart; i < blockStop; i++ {
+				body(lo + i)
+			}
+		}
+	case schedDynamic:
+		st := t.team.construct(idx, func() any { return &dynCounter{} }).(*dynCounter)
+		for {
+			start := st.next(sched.chunk, n)
+			if start >= n {
+				break
+			}
+			stop := start + sched.chunk
+			if stop > n {
+				stop = n
+			}
+			for i := start; i < stop; i++ {
+				body(lo + i)
+			}
+		}
+	case schedGuided:
+		st := t.team.construct(idx, func() any {
+			return &guidedCounter{limit: n, parties: p, minChunk: sched.chunk}
+		}).(*guidedCounter)
+		for {
+			start, stop, ok := st.grab()
+			if !ok {
+				break
+			}
+			for i := start; i < stop; i++ {
+				body(lo + i)
+			}
+		}
+	}
+}
+
+// ParallelFor forks a team, runs a worksharing loop over [0, n), and joins
+// — the fused #pragma omp parallel for. The body receives the iteration
+// index and the executing thread's id.
+func ParallelFor(n int, sched Schedule, body func(i, tid int), opts ...Option) {
+	Parallel(func(t *Thread) {
+		t.For(0, n, sched, func(i int) { body(i, t.ThreadNum()) })
+	}, opts...)
+}

@@ -1,0 +1,328 @@
+package omp
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// collectAssignments runs a worksharing loop and returns, per thread, the
+// ordered iterations it executed.
+func collectAssignments(n, threads int, sched Schedule) map[int][]int {
+	var mu sync.Mutex
+	got := map[int][]int{}
+	Parallel(func(t *Thread) {
+		t.For(0, n, sched, func(i int) {
+			mu.Lock()
+			got[t.ThreadNum()] = append(got[t.ThreadNum()], i)
+			mu.Unlock()
+		})
+	}, WithNumThreads(threads))
+	return got
+}
+
+// flatten sorts all executed iterations into one slice.
+func flatten(m map[int][]int) []int {
+	var all []int
+	for _, v := range m {
+		all = append(all, v...)
+	}
+	sort.Ints(all)
+	return all
+}
+
+// assertExactCoverage checks the fundamental worksharing contract: every
+// iteration in [0, n) runs exactly once.
+func assertExactCoverage(t *testing.T, m map[int][]int, n int) {
+	t.Helper()
+	all := flatten(m)
+	if len(all) != n {
+		t.Fatalf("%d iterations executed, want %d", len(all), n)
+	}
+	for i, v := range all {
+		if v != i {
+			t.Fatalf("iteration coverage broken at %d: got %d (all=%v)", i, v, all)
+		}
+	}
+}
+
+func TestStaticEqualCoverage(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{
+		{8, 1}, {8, 2}, {8, 4}, {8, 3}, {8, 8}, {8, 16}, {1, 4}, {0, 4}, {100, 7},
+	} {
+		m := collectAssignments(tc.n, tc.p, StaticEqual())
+		assertExactCoverage(t, m, tc.n)
+	}
+}
+
+// TestStaticEqualMatchesPaperFigure15: with 8 iterations on 2 threads,
+// thread 0 performs 0–3 and thread 1 performs 4–7.
+func TestStaticEqualMatchesPaperFigure15(t *testing.T) {
+	m := collectAssignments(8, 2, StaticEqual())
+	want := map[int][]int{0: {0, 1, 2, 3}, 1: {4, 5, 6, 7}}
+	for tid, iters := range want {
+		if !equalInts(m[tid], iters) {
+			t.Fatalf("thread %d performed %v, want %v", tid, m[tid], iters)
+		}
+	}
+}
+
+// TestStaticEqualContiguousBlocks: each thread's share is one contiguous
+// ascending block.
+func TestStaticEqualContiguousBlocks(t *testing.T) {
+	m := collectAssignments(100, 7, StaticEqual())
+	for tid, iters := range m {
+		for k := 1; k < len(iters); k++ {
+			if iters[k] != iters[k-1]+1 {
+				t.Fatalf("thread %d block not contiguous: %v", tid, iters)
+			}
+		}
+	}
+}
+
+// TestChunksOf1Striping: schedule(static,1) assigns iteration i to thread
+// i mod p.
+func TestChunksOf1Striping(t *testing.T) {
+	const n, p = 16, 4
+	m := collectAssignments(n, p, StaticChunk(1))
+	assertExactCoverage(t, m, n)
+	for tid, iters := range m {
+		for _, i := range iters {
+			if i%p != tid {
+				t.Fatalf("thread %d performed iteration %d (stripe broken)", tid, i)
+			}
+		}
+	}
+}
+
+func TestStaticChunkRoundRobinBlocks(t *testing.T) {
+	const n, p, chunk = 24, 3, 4
+	m := collectAssignments(n, p, StaticChunk(chunk))
+	assertExactCoverage(t, m, n)
+	for tid, iters := range m {
+		for _, i := range iters {
+			if (i/chunk)%p != tid {
+				t.Fatalf("thread %d got iteration %d; block %d should go to thread %d",
+					tid, i, i/chunk, (i/chunk)%p)
+			}
+		}
+	}
+}
+
+func TestDynamicCoverage(t *testing.T) {
+	for _, chunk := range []int{1, 2, 3, 5} {
+		m := collectAssignments(50, 4, Dynamic(chunk))
+		assertExactCoverage(t, m, 50)
+	}
+}
+
+func TestGuidedCoverage(t *testing.T) {
+	for _, minChunk := range []int{1, 2, 8} {
+		m := collectAssignments(100, 4, Guided(minChunk))
+		assertExactCoverage(t, m, 100)
+	}
+}
+
+// TestScheduleCoverageProperty: for any (n, p, schedule, chunk) the
+// worksharing contract holds.
+func TestScheduleCoverageProperty(t *testing.T) {
+	f := func(nRaw, pRaw, chunkRaw uint8, kind uint8) bool {
+		n := int(nRaw % 64)
+		p := 1 + int(pRaw%8)
+		chunk := 1 + int(chunkRaw%5)
+		var sched Schedule
+		switch kind % 4 {
+		case 0:
+			sched = StaticEqual()
+		case 1:
+			sched = StaticChunk(chunk)
+		case 2:
+			sched = Dynamic(chunk)
+		default:
+			sched = Guided(chunk)
+		}
+		m := collectAssignments(n, p, sched)
+		all := flatten(m)
+		if len(all) != n {
+			return false
+		}
+		for i, v := range all {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForWithNonZeroLowerBound(t *testing.T) {
+	var mu sync.Mutex
+	var got []int
+	Parallel(func(th *Thread) {
+		th.For(10, 20, StaticEqual(), func(i int) {
+			mu.Lock()
+			got = append(got, i)
+			mu.Unlock()
+		})
+	}, WithNumThreads(3))
+	sort.Ints(got)
+	if len(got) != 10 || got[0] != 10 || got[9] != 19 {
+		t.Fatalf("got %v, want 10..19", got)
+	}
+}
+
+func TestForEmptyAndInvertedRanges(t *testing.T) {
+	for _, tc := range []struct{ lo, hi int }{{5, 5}, {5, 3}, {0, 0}} {
+		ran := 0
+		var mu sync.Mutex
+		Parallel(func(th *Thread) {
+			th.For(tc.lo, tc.hi, StaticEqual(), func(int) {
+				mu.Lock()
+				ran++
+				mu.Unlock()
+			})
+		}, WithNumThreads(4))
+		if ran != 0 {
+			t.Fatalf("For(%d, %d) ran %d iterations, want 0", tc.lo, tc.hi, ran)
+		}
+	}
+}
+
+func TestEqualChunkBoundsPaperArithmetic(t *testing.T) {
+	// The exact bounds of the paper's Figure 16 code: chunkSize =
+	// ceil(REPS/np), last process takes the remainder.
+	cases := []struct {
+		n, p, id, start, stop int
+	}{
+		{8, 1, 0, 0, 8},
+		{8, 2, 0, 0, 4}, {8, 2, 1, 4, 8},
+		{8, 4, 2, 4, 6},
+		{8, 3, 0, 0, 3}, {8, 3, 1, 3, 6}, {8, 3, 2, 6, 8},
+		{7, 4, 3, 6, 7},
+		{2, 4, 0, 0, 1}, {2, 4, 1, 1, 2}, {2, 4, 2, 2, 2}, {2, 4, 3, 2, 2},
+	}
+	for _, c := range cases {
+		start, stop := EqualChunkBounds(c.n, c.p, c.id)
+		if start != c.start || stop != c.stop {
+			t.Errorf("EqualChunkBounds(%d,%d,%d) = [%d,%d), want [%d,%d)",
+				c.n, c.p, c.id, start, stop, c.start, c.stop)
+		}
+	}
+}
+
+func TestEqualChunkBoundsDegenerate(t *testing.T) {
+	for _, c := range []struct{ n, p, id int }{
+		{8, 0, 0}, {8, 4, -1}, {8, 4, 4}, {0, 4, 0}, {-3, 4, 0},
+	} {
+		if s, e := EqualChunkBounds(c.n, c.p, c.id); s != 0 || e != 0 {
+			t.Errorf("EqualChunkBounds(%d,%d,%d) = [%d,%d), want empty", c.n, c.p, c.id, s, e)
+		}
+	}
+}
+
+// TestEqualChunkBoundsPartitionProperty: the per-task ranges partition
+// [0, n) for any n, p.
+func TestEqualChunkBoundsPartitionProperty(t *testing.T) {
+	f := func(nRaw, pRaw uint16) bool {
+		n := int(nRaw % 1000)
+		p := 1 + int(pRaw%32)
+		covered := 0
+		prevStop := 0
+		for id := 0; id < p; id++ {
+			start, stop := EqualChunkBounds(n, p, id)
+			if start > stop || start < prevStop {
+				return false
+			}
+			if start != stop && start != prevStop {
+				return false // gap
+			}
+			covered += stop - start
+			if stop > prevStop {
+				prevStop = stop
+			}
+		}
+		return covered == n && prevStop == n || (n == 0 && covered == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	cases := map[string]Schedule{
+		"static":    StaticEqual(),
+		"static,1":  StaticChunk(1),
+		"static,5":  StaticChunk(5),
+		"dynamic,2": Dynamic(2),
+		"guided,3":  Guided(3),
+	}
+	for want, s := range cases {
+		if s.String() != want {
+			t.Errorf("String() = %q, want %q", s.String(), want)
+		}
+	}
+}
+
+func TestScheduleChunkClamping(t *testing.T) {
+	for _, s := range []Schedule{StaticChunk(0), Dynamic(-3), Guided(0)} {
+		if s.chunk != 1 {
+			t.Errorf("%v chunk = %d, want clamped to 1", s, s.chunk)
+		}
+	}
+}
+
+func TestParallelForDeliversThreadIDs(t *testing.T) {
+	var mu sync.Mutex
+	byThread := map[int]int{}
+	ParallelFor(32, StaticEqual(), func(i, tid int) {
+		mu.Lock()
+		byThread[tid]++
+		mu.Unlock()
+	}, WithNumThreads(4))
+	if len(byThread) != 4 {
+		t.Fatalf("work ran on %d threads, want 4", len(byThread))
+	}
+	for tid, count := range byThread {
+		if count != 8 {
+			t.Fatalf("thread %d ran %d iterations, want 8", tid, count)
+		}
+	}
+}
+
+// TestDynamicSharedCounterIsPerConstruct: two successive dynamic loops in
+// one region must not share their chunk counter.
+func TestDynamicSharedCounterIsPerConstruct(t *testing.T) {
+	var mu sync.Mutex
+	first, second := 0, 0
+	Parallel(func(th *Thread) {
+		th.For(0, 20, Dynamic(1), func(int) {
+			mu.Lock()
+			first++
+			mu.Unlock()
+		})
+		th.For(0, 20, Dynamic(1), func(int) {
+			mu.Lock()
+			second++
+			mu.Unlock()
+		})
+	}, WithNumThreads(4))
+	if first != 20 || second != 20 {
+		t.Fatalf("loops ran %d and %d iterations, want 20 each", first, second)
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

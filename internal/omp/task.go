@@ -1,0 +1,169 @@
+package omp
+
+import "sync"
+
+// Explicit tasking, OpenMP 3.0's #pragma omp task / taskwait. The paper's
+// collection predates task patternlets, but tasks are the natural next
+// construct in the same curriculum (recursive Fork-Join workloads like the
+// CS2 merge-sort session), so the runtime supports them as an extension.
+//
+// Semantics follow OpenMP: a task may be executed by any thread of the
+// team, immediately or deferred; TaskWait blocks until all tasks created
+// by the *current* task region (here: by the whole team since the last
+// sync point) have finished. The end of the parallel region is an
+// implicit taskwait — Parallel does not return while tasks are pending.
+
+// taskPool is per-team shared state tracking outstanding tasks.
+type taskPool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []func()
+	active  int // tasks currently running
+}
+
+func (tp *taskPool) init() {
+	if tp.cond == nil {
+		tp.cond = sync.NewCond(&tp.mu)
+	}
+}
+
+// pool lazily creates the team's task pool.
+func (tm *team) pool() *taskPool {
+	tm.constructMu.Lock()
+	defer tm.constructMu.Unlock()
+	if tm.tasks == nil {
+		tm.tasks = &taskPool{}
+		tm.tasks.init()
+	}
+	return tm.tasks
+}
+
+// Task submits fn for execution by some thread of the team
+// (#pragma omp task). The submitting thread may execute it itself during
+// TaskWait; otherwise any thread draining the pool picks it up.
+func (t *Thread) Task(fn func()) {
+	tp := t.team.pool()
+	tp.mu.Lock()
+	tp.pending = append(tp.pending, fn)
+	tp.mu.Unlock()
+	tp.cond.Broadcast()
+}
+
+// TaskWait executes and waits for outstanding tasks until the pool is
+// empty and no task is still running (#pragma omp taskwait). The calling
+// thread participates in the work (task stealing degenerates to a shared
+// queue here, which is fine at teaching scale).
+func (t *Thread) TaskWait() {
+	tp := t.team.pool()
+	tp.mu.Lock()
+	for {
+		if len(tp.pending) > 0 {
+			fn := tp.pending[len(tp.pending)-1]
+			tp.pending = tp.pending[:len(tp.pending)-1]
+			tp.active++
+			tp.mu.Unlock()
+			fn()
+			tp.mu.Lock()
+			tp.active--
+			if len(tp.pending) == 0 && tp.active == 0 {
+				tp.cond.Broadcast()
+			}
+			continue
+		}
+		if tp.active == 0 {
+			tp.mu.Unlock()
+			return
+		}
+		tp.cond.Wait()
+	}
+}
+
+// drainTasks is the implicit taskwait at region end: the master calls it
+// after the body joins so no submitted task is lost.
+func (tm *team) drainTasks() {
+	tm.constructMu.Lock()
+	tp := tm.tasks
+	tm.constructMu.Unlock()
+	if tp == nil {
+		return
+	}
+	tp.mu.Lock()
+	for {
+		if len(tp.pending) > 0 {
+			fn := tp.pending[len(tp.pending)-1]
+			tp.pending = tp.pending[:len(tp.pending)-1]
+			tp.active++
+			tp.mu.Unlock()
+			fn()
+			tp.mu.Lock()
+			tp.active--
+			continue
+		}
+		if tp.active == 0 {
+			tp.mu.Unlock()
+			return
+		}
+		tp.cond.Wait()
+	}
+}
+
+// Ordered executes fn for loop iteration i strictly in ascending iteration
+// order across the team, like #pragma omp ordered inside a loop with the
+// ordered clause. Every iteration of the enclosing For must call Ordered
+// exactly once, passing its own index; lo and hi must match the loop
+// bounds.
+type OrderedRegion struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	next int
+	hi   int
+}
+
+// NewOrdered creates the shared ordered-region state for a loop over
+// [lo, hi).
+func NewOrdered(lo, hi int) *OrderedRegion {
+	o := &OrderedRegion{next: lo, hi: hi}
+	o.cond = sync.NewCond(&o.mu)
+	return o
+}
+
+// Do blocks until every iteration below i has completed its ordered
+// section, runs fn, and releases iteration i+1.
+func (o *OrderedRegion) Do(i int, fn func()) {
+	o.mu.Lock()
+	for o.next != i {
+		o.cond.Wait()
+	}
+	o.mu.Unlock()
+	fn()
+	o.mu.Lock()
+	o.next = i + 1
+	o.cond.Broadcast()
+	o.mu.Unlock()
+}
+
+// TaskYield executes one pending task if any is available and reports
+// whether it did — a task scheduling point. Code that blocks waiting for
+// a specific child task (recursive fork-join) should help-first via
+// TaskYield in its wait loop, so the team cannot deadlock with every
+// thread blocked while work sits in the pool.
+func (t *Thread) TaskYield() bool {
+	tp := t.team.pool()
+	tp.mu.Lock()
+	if len(tp.pending) == 0 {
+		tp.mu.Unlock()
+		return false
+	}
+	fn := tp.pending[len(tp.pending)-1]
+	tp.pending = tp.pending[:len(tp.pending)-1]
+	tp.active++
+	tp.mu.Unlock()
+	fn()
+	tp.mu.Lock()
+	tp.active--
+	if len(tp.pending) == 0 && tp.active == 0 {
+		tp.cond.Broadcast()
+	}
+	tp.mu.Unlock()
+	return true
+}

@@ -1,0 +1,141 @@
+package omp
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestTaskAllExecuteExactlyOnce(t *testing.T) {
+	const ntasks = 50
+	var runs [ntasks]atomic.Int32
+	Parallel(func(th *Thread) {
+		th.Master(func() {
+			for i := 0; i < ntasks; i++ {
+				th.Task(func() { runs[i].Add(1) })
+			}
+		})
+		th.Barrier()
+		th.TaskWait()
+	}, WithNumThreads(4))
+	for i := range runs {
+		if runs[i].Load() != 1 {
+			t.Fatalf("task %d ran %d times", i, runs[i].Load())
+		}
+	}
+}
+
+func TestTaskWaitBlocksUntilDone(t *testing.T) {
+	var done atomic.Int32
+	Parallel(func(th *Thread) {
+		if th.ThreadNum() == 0 {
+			for i := 0; i < 20; i++ {
+				th.Task(func() { done.Add(1) })
+			}
+			th.TaskWait()
+			if done.Load() != 20 {
+				t.Errorf("TaskWait returned with %d of 20 tasks done", done.Load())
+			}
+		}
+	}, WithNumThreads(4))
+}
+
+func TestRegionEndIsImplicitTaskwait(t *testing.T) {
+	var done atomic.Int32
+	Parallel(func(th *Thread) {
+		th.Task(func() { done.Add(1) })
+		// No explicit TaskWait: the region end must still run it.
+	}, WithNumThreads(4))
+	if done.Load() != 4 {
+		t.Fatalf("%d of 4 tasks ran by region end", done.Load())
+	}
+}
+
+func TestNestedTaskSubmission(t *testing.T) {
+	// Tasks submitting tasks: recursive Fork-Join, the merge-sort shape.
+	var leaves atomic.Int32
+	Parallel(func(th *Thread) {
+		th.Master(func() {
+			var spawn func(depth int)
+			spawn = func(depth int) {
+				if depth == 0 {
+					leaves.Add(1)
+					return
+				}
+				th.Task(func() { spawn(depth - 1) })
+				th.Task(func() { spawn(depth - 1) })
+			}
+			spawn(5)
+		})
+		th.Barrier()
+		th.TaskWait()
+	}, WithNumThreads(4))
+	if leaves.Load() != 32 {
+		t.Fatalf("%d leaves, want 32", leaves.Load())
+	}
+}
+
+func TestTasksRunOnMultipleThreads(t *testing.T) {
+	var mu sync.Mutex
+	executors := map[int]bool{}
+	Parallel(func(th *Thread) {
+		th.Master(func() {
+			for i := 0; i < 200; i++ {
+				th.Task(func() {
+					mu.Lock()
+					executors[th.ThreadNum()] = true
+					mu.Unlock()
+				})
+			}
+		})
+		th.Barrier()
+		th.TaskWait()
+	}, WithNumThreads(4))
+	// At least the threads that drained participated; exact spread is
+	// schedule-dependent, but someone must have run them.
+	if len(executors) == 0 {
+		t.Fatal("no task executed")
+	}
+}
+
+func TestOrderedRegionSequencesIterations(t *testing.T) {
+	const n = 32
+	var mu sync.Mutex
+	var order []int
+	ord := NewOrdered(0, n)
+	Parallel(func(th *Thread) {
+		th.For(0, n, StaticChunk(1), func(i int) {
+			// Unordered part could run any time; the ordered section must
+			// execute in iteration order.
+			ord.Do(i, func() {
+				mu.Lock()
+				order = append(order, i)
+				mu.Unlock()
+			})
+		})
+	}, WithNumThreads(4))
+	if len(order) != n {
+		t.Fatalf("%d ordered executions", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("ordered region ran out of order: %v", order)
+		}
+	}
+}
+
+func TestOrderedRegionWithNonZeroLo(t *testing.T) {
+	var got []int
+	ord := NewOrdered(5, 9)
+	Parallel(func(th *Thread) {
+		th.For(5, 9, StaticEqual(), func(i int) {
+			ord.Do(i, func() { got = append(got, i) })
+		})
+	}, WithNumThreads(2))
+	want := []int{5, 6, 7, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package psort
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mpi"
+)
+
+// OddEvenSort is the distributed odd-even transposition sort, the classic
+// MPI teaching sort: each rank sorts its block locally, then in p
+// alternating phases exchanges its whole block with the neighbour and
+// keeps the lower or upper half. After p phases the concatenation of
+// blocks in rank order is globally sorted.
+//
+// Every rank passes its local block (blocks must be equal-sized across
+// ranks) and receives its sorted block back. The tag space starting at
+// tagBase is used for the exchanges.
+func OddEvenSort(c *mpi.Comm, local []int, tagBase int) ([]int, error) {
+	p := c.Size()
+	rank := c.Rank()
+	for r := 0; r < p; r++ {
+		want := len(local)
+		if r == 0 {
+			sort.Ints(local)
+		}
+		// Phase r: even phases pair (0,1)(2,3)…, odd phases pair (1,2)(3,4)…
+		var partner int
+		if r%2 == 0 {
+			if rank%2 == 0 {
+				partner = rank + 1
+			} else {
+				partner = rank - 1
+			}
+		} else {
+			if rank%2 == 0 {
+				partner = rank - 1
+			} else {
+				partner = rank + 1
+			}
+		}
+		if partner < 0 || partner >= p {
+			continue // no partner this phase (edge of the line)
+		}
+		other, _, err := mpi.Sendrecv[[]int, []int](c, local, partner, tagBase+r, partner, tagBase+r)
+		if err != nil {
+			return nil, fmt.Errorf("psort: odd-even phase %d: %w", r, err)
+		}
+		if len(other) != want {
+			return nil, fmt.Errorf("psort: odd-even phase %d: partner block %d != %d", r, len(other), want)
+		}
+		merged := merge(local, other)
+		if rank < partner {
+			local = merged[:want] // lower rank keeps the smaller half
+		} else {
+			local = merged[len(merged)-want:]
+		}
+	}
+	return local, nil
+}
+
+// SampleSort is parallel sorting by regular sampling (PSRS):
+//
+//  1. each rank sorts its local block and picks p regular samples;
+//  2. rank 0 gathers all samples, sorts them, and broadcasts p-1 pivots;
+//  3. each rank partitions its block by the pivots and sends partition j
+//     to rank j;
+//  4. each rank merges the p runs it received.
+//
+// Unlike OddEvenSort, blocks may be of different sizes, and the returned
+// blocks generally have different sizes too (the concatenation in rank
+// order is the sorted sequence). Tags tagBase..tagBase+p are used.
+func SampleSort(c *mpi.Comm, local []int, tagBase int) ([]int, error) {
+	p := c.Size()
+	rank := c.Rank()
+	sort.Ints(local)
+	if p == 1 {
+		return local, nil
+	}
+
+	// 1. Regular samples: positions i*len/p for i in 0..p-1.
+	samples := make([]int, 0, p)
+	for i := 0; i < p; i++ {
+		if len(local) == 0 {
+			break
+		}
+		samples = append(samples, local[i*len(local)/p])
+	}
+
+	// 2. Gather samples; root selects pivots; broadcast.
+	all, err := mpi.Gather(c, samples, 0)
+	if err != nil {
+		return nil, err
+	}
+	var pivots []int
+	if rank == 0 {
+		sort.Ints(all)
+		for i := 1; i < p; i++ {
+			if len(all) == 0 {
+				break
+			}
+			pivots = append(pivots, all[i*len(all)/p])
+		}
+	}
+	pivots, err = mpi.Bcast(c, pivots, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Partition the sorted local block by the pivots and exchange:
+	// partition j (values in (pivot[j-1], pivot[j]]) goes to rank j.
+	parts := make([][]int, p)
+	start := 0
+	for j := 0; j < p-1 && j < len(pivots); j++ {
+		end := sort.SearchInts(local[start:], pivots[j]+1) + start
+		parts[j] = local[start:end]
+		start = end
+	}
+	parts[p-1] = local[start:]
+
+	for j := 0; j < p; j++ {
+		if err := mpi.Send(c, parts[j], j, tagBase+j); err != nil {
+			return nil, err
+		}
+	}
+	// 4. Receive one run from every rank (tag identifies our partition)
+	// and merge.
+	var result []int
+	for j := 0; j < p; j++ {
+		run, _, err := mpi.Recv[[]int](c, j, tagBase+rank)
+		if err != nil {
+			return nil, err
+		}
+		result = merge(result, run)
+	}
+	return result, nil
+}
+
+// SortDistributed is the driver: it scatters data from root, runs the
+// chosen distributed sort, and gathers the blocks back in rank order —
+// the full pipeline a lab exercise would time. algorithm is "oddeven" or
+// "samplesort". len(data) must be a multiple of np for "oddeven".
+func SortDistributed(np int, data []int, algorithm string, opts ...mpi.RunOption) ([]int, error) {
+	out := make([]int, 0, len(data))
+	err := mpi.Run(np, func(c *mpi.Comm) error {
+		var send []int
+		if c.Rank() == 0 {
+			send = data
+		}
+		var local []int
+		var err error
+		if algorithm == "oddeven" {
+			local, err = mpi.Scatter(c, send, 0)
+			if err != nil {
+				return err
+			}
+			local, err = OddEvenSort(c, local, 100)
+		} else {
+			// Sample sort tolerates uneven blocks: deal out remainder-aware
+			// chunks via Gather of indices… simplest: scatter equal chunks
+			// when possible, else rank 0 keeps the remainder.
+			chunk := len(data) / c.Size()
+			if c.Rank() == 0 {
+				send = data[:chunk*c.Size()]
+			}
+			local, err = mpi.Scatter(c, send, 0)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				local = append(local, data[chunk*c.Size():]...)
+			}
+			local, err = SampleSort(c, local, 100)
+		}
+		if err != nil {
+			return err
+		}
+		sorted, err := mpi.Gather(c, local, 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			out = append(out, sorted...)
+		}
+		return nil
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

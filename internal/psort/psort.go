@@ -1,0 +1,145 @@
+// Package psort implements the parallel sorting algorithms the paper's
+// curriculum builds toward: the CS2 week's Friday session "culminates in
+// the parallel merge-sort algorithm", and the CS3 Algorithms course
+// explores "a variety of parallel algorithms (searching, sorting, …)".
+//
+// Three sorts are provided, one per substrate style:
+//
+//   - MergeSort / MergeSortParallel — shared-memory fork-join merge sort
+//     (the CS2 algorithm), parallelized with OpenMP-style tasks;
+//   - OddEvenSort — odd-even transposition sort over MPI, the classic
+//     distributed teaching sort (alternating neighbour exchanges);
+//   - SampleSort — parallel sorting by regular sampling (PSRS) over MPI,
+//     the scalable algorithm a later course would contrast with it.
+package psort
+
+import (
+	"sort"
+
+	"repro/internal/omp"
+)
+
+// MergeSort sorts s in place with sequential top-down merge sort — the
+// baseline the students time first.
+func MergeSort(s []int) {
+	buf := make([]int, len(s))
+	mergeSortRec(s, buf)
+}
+
+func mergeSortRec(s, buf []int) {
+	if len(s) < 2 {
+		return
+	}
+	mid := len(s) / 2
+	mergeSortRec(s[:mid], buf[:mid])
+	mergeSortRec(s[mid:], buf[mid:])
+	mergeInto(s, mid, buf)
+}
+
+// mergeInto merges the sorted halves s[:mid] and s[mid:] using buf as
+// scratch (len(buf) >= len(s)).
+func mergeInto(s []int, mid int, buf []int) {
+	i, j, k := 0, mid, 0
+	for i < mid && j < len(s) {
+		if s[i] <= s[j] {
+			buf[k] = s[i]
+			i++
+		} else {
+			buf[k] = s[j]
+			j++
+		}
+		k++
+	}
+	k += copy(buf[k:], s[i:mid])
+	copy(s[:k], buf[:k])
+}
+
+// MergeSortParallel sorts s in place using fork-join parallelism: each
+// recursion level forks the left half as an OpenMP-style task while the
+// current task handles the right, down to a grain size below which it
+// runs sequentially. threads sets the team size.
+//
+// Joins are help-first: while a fork waits for its child task it drains
+// other pending tasks through TaskYield, the standard discipline that
+// keeps recursive task parallelism deadlock-free on any team size.
+func MergeSortParallel(s []int, threads int) {
+	if threads < 1 {
+		threads = 1
+	}
+	buf := make([]int, len(s))
+	omp.Parallel(func(t *omp.Thread) {
+		var rec func(s, buf []int, depth int)
+		rec = func(s, buf []int, depth int) {
+			const grain = 2048
+			if len(s) < 2 {
+				return
+			}
+			mid := len(s) / 2
+			if depth <= 0 || len(s) <= grain {
+				mergeSortRec(s[:mid], buf[:mid])
+				mergeSortRec(s[mid:], buf[mid:])
+			} else {
+				done := make(chan struct{})
+				t.Task(func() {
+					rec(s[:mid], buf[:mid], depth-1)
+					close(done)
+				})
+				rec(s[mid:], buf[mid:], depth-1)
+				// Join this fork before merging: the merge reads both
+				// halves.
+				joinHelping(t, done)
+			}
+			mergeInto(s, mid, buf)
+		}
+		t.Master(func() {
+			t.Task(func() { rec(s, buf, log2(threads)+2) })
+		})
+		t.Barrier()
+		t.TaskWait()
+	}, omp.WithNumThreads(threads))
+}
+
+// joinHelping waits for done while draining other pending tasks, so a
+// blocked fork never starves the pool.
+func joinHelping(t *omp.Thread, done <-chan struct{}) {
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if !t.TaskYield() {
+			<-done // the child is running on another thread; just wait
+			return
+		}
+	}
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<(k+1) <= n {
+		k++
+	}
+	return k
+}
+
+// IsSorted reports whether s is nondecreasing.
+func IsSorted(s []int) bool { return sort.IntsAreSorted(s) }
+
+// merge returns the sorted merge of two sorted slices.
+func merge(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,257 @@
+package psort
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mpi"
+)
+
+func randomInts(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	s := make([]int, n)
+	for i := range s {
+		s[i] = rng.Intn(10000) - 5000
+	}
+	return s
+}
+
+func assertSortedPermutation(t *testing.T, got, original []int) {
+	t.Helper()
+	if len(got) != len(original) {
+		t.Fatalf("length changed: %d -> %d", len(original), len(got))
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("not sorted: %v", clip(got))
+	}
+	want := append([]int(nil), original...)
+	sort.Ints(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("not a permutation of the input at index %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func clip(s []int) []int {
+	if len(s) > 20 {
+		return s[:20]
+	}
+	return s
+}
+
+func TestMergeSortBasics(t *testing.T) {
+	cases := [][]int{
+		{},
+		{1},
+		{2, 1},
+		{1, 2, 3},
+		{3, 2, 1},
+		{5, 5, 5},
+		{1, 3, 2, 3, 1},
+	}
+	for _, c := range cases {
+		orig := append([]int(nil), c...)
+		MergeSort(c)
+		assertSortedPermutation(t, c, orig)
+	}
+}
+
+func TestMergeSortRandom(t *testing.T) {
+	data := randomInts(5000, 1)
+	orig := append([]int(nil), data...)
+	MergeSort(data)
+	assertSortedPermutation(t, data, orig)
+}
+
+func TestMergeSortParallelMatchesSequential(t *testing.T) {
+	for _, threads := range []int{1, 2, 4, 8} {
+		for _, n := range []int{0, 1, 100, 5000, 50000} {
+			data := randomInts(n, int64(n)+int64(threads))
+			orig := append([]int(nil), data...)
+			MergeSortParallel(data, threads)
+			assertSortedPermutation(t, data, orig)
+		}
+	}
+}
+
+func TestMergeSortParallelProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16, tRaw uint8) bool {
+		n := int(nRaw % 4000)
+		threads := 1 + int(tRaw%8)
+		data := randomInts(n, seed)
+		orig := append([]int(nil), data...)
+		MergeSortParallel(data, threads)
+		if !sort.IntsAreSorted(data) {
+			return false
+		}
+		sort.Ints(orig)
+		for i := range orig {
+			if data[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeHelper(t *testing.T) {
+	got := merge([]int{1, 3, 5}, []int{2, 4, 6})
+	want := []int{1, 2, 3, 4, 5, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge = %v", got)
+		}
+	}
+	if len(merge(nil, nil)) != 0 {
+		t.Fatal("merge of empties")
+	}
+	if got := merge([]int{1}, nil); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("merge with empty = %v", got)
+	}
+}
+
+func TestOddEvenSortDistributed(t *testing.T) {
+	for _, np := range []int{1, 2, 4, 8} {
+		n := np * 32
+		data := randomInts(n, int64(np))
+		orig := append([]int(nil), data...)
+		got, err := SortDistributed(np, data, "oddeven")
+		if err != nil {
+			t.Fatalf("np=%d: %v", np, err)
+		}
+		assertSortedPermutation(t, got, orig)
+	}
+}
+
+func TestOddEvenSortWithDuplicates(t *testing.T) {
+	data := make([]int, 64)
+	for i := range data {
+		data[i] = i % 4
+	}
+	orig := append([]int(nil), data...)
+	got, err := SortDistributed(4, data, "oddeven")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSortedPermutation(t, got, orig)
+}
+
+func TestOddEvenSortAlreadySortedAndReversed(t *testing.T) {
+	n := 48
+	asc := make([]int, n)
+	desc := make([]int, n)
+	for i := range asc {
+		asc[i] = i
+		desc[i] = n - i
+	}
+	for _, data := range [][]int{asc, desc} {
+		orig := append([]int(nil), data...)
+		got, err := SortDistributed(4, append([]int(nil), data...), "oddeven")
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSortedPermutation(t, got, orig)
+	}
+}
+
+func TestSampleSortDistributed(t *testing.T) {
+	for _, np := range []int{1, 2, 3, 4, 8} {
+		for _, n := range []int{0, 7, 64, 501, 2000} {
+			data := randomInts(n, int64(np*1000+n))
+			orig := append([]int(nil), data...)
+			got, err := SortDistributed(np, data, "samplesort")
+			if err != nil {
+				t.Fatalf("np=%d n=%d: %v", np, n, err)
+			}
+			assertSortedPermutation(t, got, orig)
+		}
+	}
+}
+
+func TestSampleSortSkewedInput(t *testing.T) {
+	// Heavily skewed data stresses the pivot selection: most values equal.
+	data := make([]int, 400)
+	for i := range data {
+		if i%10 == 0 {
+			data[i] = i
+		} else {
+			data[i] = 42
+		}
+	}
+	orig := append([]int(nil), data...)
+	got, err := SortDistributed(4, data, "samplesort")
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSortedPermutation(t, got, orig)
+}
+
+// TestDistributedSortsProperty: both distributed sorts produce the sorted
+// permutation for random inputs and world sizes.
+func TestDistributedSortsProperty(t *testing.T) {
+	f := func(seed int64, npRaw, nRaw uint8) bool {
+		np := 1 + int(npRaw%6)
+		blocks := 1 + int(nRaw%16)
+		n := np * blocks // divisible, required by oddeven
+		data := randomInts(n, seed)
+		for _, algo := range []string{"oddeven", "samplesort"} {
+			got, err := SortDistributed(np, append([]int(nil), data...), algo)
+			if err != nil {
+				return false
+			}
+			if !sort.IntsAreSorted(got) || len(got) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOddEvenSortOverTCP(t *testing.T) {
+	data := randomInts(64, 9)
+	orig := append([]int(nil), data...)
+	got, err := SortDistributed(4, data, "oddeven", mpi.WithTCP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSortedPermutation(t, got, orig)
+}
+
+// TestOddEvenBlockInvariant: after the sort, rank i's block is entirely
+// <= rank i+1's block — checked via the per-rank blocks directly.
+func TestOddEvenBlockInvariant(t *testing.T) {
+	const np, perRank = 4, 16
+	data := randomInts(np*perRank, 77)
+	blockMax := make([]int, np)
+	blockMin := make([]int, np)
+	err := mpi.Run(np, func(c *mpi.Comm) error {
+		local, err := mpi.Scatter(c, data, 0)
+		if err != nil {
+			return err
+		}
+		local, err = OddEvenSort(c, local, 100)
+		if err != nil {
+			return err
+		}
+		blockMin[c.Rank()] = local[0]
+		blockMax[c.Rank()] = local[len(local)-1]
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r+1 < np; r++ {
+		if blockMax[r] > blockMin[r+1] {
+			t.Fatalf("rank %d max %d > rank %d min %d", r, blockMax[r], r+1, blockMin[r+1])
+		}
+	}
+}

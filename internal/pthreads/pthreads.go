@@ -1,0 +1,144 @@
+// Package pthreads provides a POSIX-threads-shaped threading layer on top
+// of goroutines and the sync package.
+//
+// The patternlets paper includes nine Pthreads patternlets; this package
+// supplies the primitives those programs need with APIs that deliberately
+// mirror pthread_create/pthread_join, pthread_mutex_t, pthread_cond_t,
+// pthread_barrier_t and POSIX semaphores, so that the Go patternlets read
+// like their C counterparts.
+//
+// Unlike raw goroutines, a Thread is joinable and carries a return value,
+// matching pthread semantics. All primitives are safe for concurrent use.
+package pthreads
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrDetached is returned by Join when the thread has been detached.
+var ErrDetached = errors.New("pthreads: thread is detached")
+
+// ErrAlreadyJoined is returned by Join when the thread was already joined.
+var ErrAlreadyJoined = errors.New("pthreads: thread already joined")
+
+// StartRoutine is the signature of a thread entry point. The arg parameter
+// mirrors pthread_create's void* argument and the returned value mirrors
+// the void* thread exit status retrieved by pthread_join.
+type StartRoutine func(arg any) any
+
+// Thread is a joinable flow of execution, analogous to pthread_t.
+type Thread struct {
+	mu       sync.Mutex
+	done     chan struct{}
+	result   any
+	panicked any
+	joined   bool
+	detached bool
+	id       uint64
+}
+
+var threadIDs struct {
+	mu   sync.Mutex
+	next uint64
+}
+
+func nextThreadID() uint64 {
+	threadIDs.mu.Lock()
+	defer threadIDs.mu.Unlock()
+	threadIDs.next++
+	return threadIDs.next
+}
+
+// Create starts fn(arg) in a new thread of execution and returns a handle
+// that can be joined. It mirrors pthread_create.
+func Create(fn StartRoutine, arg any) *Thread {
+	t := &Thread{done: make(chan struct{}), id: nextThreadID()}
+	go func() {
+		defer close(t.done)
+		defer func() {
+			if r := recover(); r != nil {
+				t.mu.Lock()
+				t.panicked = r
+				t.mu.Unlock()
+			}
+		}()
+		res := fn(arg)
+		t.mu.Lock()
+		t.result = res
+		t.mu.Unlock()
+	}()
+	return t
+}
+
+// ID returns a process-unique identifier for the thread, analogous to the
+// opaque pthread_t value. IDs are never reused within a process.
+func (t *Thread) ID() uint64 { return t.id }
+
+// Join blocks until the thread terminates and returns its exit value,
+// mirroring pthread_join. Joining a detached or already-joined thread is
+// an error. If the thread panicked, Join re-panics with the same value so
+// failures are not silently swallowed.
+func (t *Thread) Join() (any, error) {
+	t.mu.Lock()
+	if t.detached {
+		t.mu.Unlock()
+		return nil, ErrDetached
+	}
+	if t.joined {
+		t.mu.Unlock()
+		return nil, ErrAlreadyJoined
+	}
+	t.joined = true
+	t.mu.Unlock()
+
+	<-t.done
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.panicked != nil {
+		panic(fmt.Sprintf("pthreads: joined thread panicked: %v", t.panicked))
+	}
+	return t.result, nil
+}
+
+// Detach marks the thread as detached: its resources are reclaimed on exit
+// and it can no longer be joined, mirroring pthread_detach.
+func (t *Thread) Detach() {
+	t.mu.Lock()
+	t.detached = true
+	t.mu.Unlock()
+}
+
+// TryJoin reports whether the thread has terminated, and if so returns its
+// exit value. It never blocks (a small extension over POSIX, in the spirit
+// of pthread_tryjoin_np).
+func (t *Thread) TryJoin() (res any, finished bool) {
+	select {
+	case <-t.done:
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		if t.panicked != nil {
+			panic(fmt.Sprintf("pthreads: joined thread panicked: %v", t.panicked))
+		}
+		return t.result, true
+	default:
+		return nil, false
+	}
+}
+
+// JoinAll joins every thread in ts and returns their exit values in order.
+// The first join error (detached/double-join) is returned, but all threads
+// are still waited on.
+func JoinAll(ts []*Thread) ([]any, error) {
+	results := make([]any, len(ts))
+	var firstErr error
+	for i, t := range ts {
+		v, err := t.Join()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		results[i] = v
+	}
+	return results, firstErr
+}

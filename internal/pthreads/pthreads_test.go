@@ -1,0 +1,191 @@
+package pthreads
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCreateAndJoinReturnsValue(t *testing.T) {
+	th := Create(func(arg any) any { return arg.(int) * 2 }, 21)
+	v, err := th.Join()
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if v.(int) != 42 {
+		t.Fatalf("Join returned %v, want 42", v)
+	}
+}
+
+func TestJoinNilReturn(t *testing.T) {
+	th := Create(func(any) any { return nil }, nil)
+	v, err := th.Join()
+	if err != nil || v != nil {
+		t.Fatalf("Join = (%v, %v), want (nil, nil)", v, err)
+	}
+}
+
+func TestDoubleJoinFails(t *testing.T) {
+	th := Create(func(any) any { return 1 }, nil)
+	if _, err := th.Join(); err != nil {
+		t.Fatalf("first Join: %v", err)
+	}
+	if _, err := th.Join(); !errors.Is(err, ErrAlreadyJoined) {
+		t.Fatalf("second Join err = %v, want ErrAlreadyJoined", err)
+	}
+}
+
+func TestJoinDetachedFails(t *testing.T) {
+	th := Create(func(any) any { return 1 }, nil)
+	th.Detach()
+	if _, err := th.Join(); !errors.Is(err, ErrDetached) {
+		t.Fatalf("Join after Detach err = %v, want ErrDetached", err)
+	}
+}
+
+func TestThreadIDsUnique(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		th := Create(func(any) any { return nil }, nil)
+		if seen[th.ID()] {
+			t.Fatalf("duplicate thread id %d", th.ID())
+		}
+		seen[th.ID()] = true
+		if _, err := th.Join(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestJoinBlocksUntilDone(t *testing.T) {
+	release := make(chan struct{})
+	var done atomic.Bool
+	th := Create(func(any) any {
+		<-release
+		done.Store(true)
+		return "finished"
+	}, nil)
+	if _, finished := th.TryJoin(); finished {
+		t.Fatal("TryJoin reported finished before release")
+	}
+	close(release)
+	v, err := th.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done.Load() {
+		t.Fatal("Join returned before the thread body completed")
+	}
+	if v.(string) != "finished" {
+		t.Fatalf("got %v", v)
+	}
+}
+
+func TestTryJoinAfterCompletion(t *testing.T) {
+	th := Create(func(any) any { return 7 }, nil)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if v, ok := th.TryJoin(); ok {
+			if v.(int) != 7 {
+				t.Fatalf("TryJoin value %v, want 7", v)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("TryJoin never reported completion")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestJoinAllOrdersResults(t *testing.T) {
+	threads := make([]*Thread, 10)
+	for i := range threads {
+		threads[i] = Create(func(arg any) any { return arg.(int) * arg.(int) }, i)
+	}
+	results, err := JoinAll(threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.(int) != i*i {
+			t.Fatalf("results[%d] = %v, want %d", i, r, i*i)
+		}
+	}
+}
+
+func TestJoinAllReportsFirstError(t *testing.T) {
+	good := Create(func(any) any { return 1 }, nil)
+	bad := Create(func(any) any { return 2 }, nil)
+	if _, err := bad.Join(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := JoinAll([]*Thread{good, bad})
+	if !errors.Is(err, ErrAlreadyJoined) {
+		t.Fatalf("JoinAll err = %v, want ErrAlreadyJoined", err)
+	}
+}
+
+func TestJoinPanickingThreadRepanics(t *testing.T) {
+	th := Create(func(any) any { panic("boom") }, nil)
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("Join of a panicked thread did not re-panic")
+		}
+	}()
+	_, _ = th.Join()
+}
+
+func TestManyThreadsSharedCounterWithMutex(t *testing.T) {
+	const n, reps = 16, 1000
+	var mu Mutex
+	counter := 0
+	threads := make([]*Thread, n)
+	for i := 0; i < n; i++ {
+		threads[i] = Create(func(any) any {
+			for r := 0; r < reps; r++ {
+				mu.Lock()
+				counter++
+				mu.Unlock()
+			}
+			return nil
+		}, nil)
+	}
+	if _, err := JoinAll(threads); err != nil {
+		t.Fatal(err)
+	}
+	if counter != n*reps {
+		t.Fatalf("counter = %d, want %d", counter, n*reps)
+	}
+}
+
+func TestCreateArgIsDelivered(t *testing.T) {
+	type payload struct{ a, b int }
+	th := Create(func(arg any) any {
+		p := arg.(payload)
+		return p.a + p.b
+	}, payload{a: 3, b: 4})
+	v, err := th.Join()
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("got (%v, %v)", v, err)
+	}
+}
+
+func TestDetachedThreadStillRuns(t *testing.T) {
+	var ran sync.WaitGroup
+	ran.Add(1)
+	th := Create(func(any) any {
+		ran.Done()
+		return nil
+	}, nil)
+	th.Detach()
+	done := make(chan struct{})
+	go func() { ran.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("detached thread never ran")
+	}
+}

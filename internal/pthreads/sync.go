@@ -1,0 +1,227 @@
+package pthreads
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Mutex is a mutual-exclusion lock, analogous to pthread_mutex_t.
+// The zero value is an unlocked mutex.
+type Mutex struct {
+	mu sync.Mutex
+}
+
+// Lock acquires the mutex, blocking until it is available
+// (pthread_mutex_lock).
+func (m *Mutex) Lock() { m.mu.Lock() }
+
+// Unlock releases the mutex (pthread_mutex_unlock).
+func (m *Mutex) Unlock() { m.mu.Unlock() }
+
+// TryLock attempts to acquire the mutex without blocking and reports
+// whether it succeeded (pthread_mutex_trylock).
+func (m *Mutex) TryLock() bool { return m.mu.TryLock() }
+
+// Cond is a condition variable, analogous to pthread_cond_t. A Cond must
+// be created with NewCond so it is bound to its mutex.
+type Cond struct {
+	c *sync.Cond
+}
+
+// NewCond returns a condition variable bound to m.
+func NewCond(m *Mutex) *Cond {
+	return &Cond{c: sync.NewCond(&m.mu)}
+}
+
+// Wait atomically releases the bound mutex and suspends the calling thread
+// until Signal or Broadcast wakes it; the mutex is re-acquired before Wait
+// returns (pthread_cond_wait). As with POSIX, callers must re-check their
+// predicate in a loop.
+func (c *Cond) Wait() { c.c.Wait() }
+
+// Signal wakes at least one waiting thread (pthread_cond_signal).
+func (c *Cond) Signal() { c.c.Signal() }
+
+// Broadcast wakes all waiting threads (pthread_cond_broadcast).
+func (c *Cond) Broadcast() { c.c.Broadcast() }
+
+// ErrBarrierSize is returned by NewBarrier for a non-positive party count.
+var ErrBarrierSize = errors.New("pthreads: barrier requires at least one party")
+
+// Barrier is a reusable synchronization barrier for a fixed number of
+// parties, analogous to pthread_barrier_t. It is cyclic: once all parties
+// arrive, the barrier resets for the next phase.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	phase   uint64
+}
+
+// NewBarrier creates a barrier for the given number of parties.
+func NewBarrier(parties int) (*Barrier, error) {
+	if parties < 1 {
+		return nil, ErrBarrierSize
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b, nil
+}
+
+// MustBarrier is NewBarrier that panics on invalid input; it exists for
+// package-level initialization in patternlets with a fixed thread count.
+func MustBarrier(parties int) *Barrier {
+	b, err := NewBarrier(parties)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Parties returns the number of threads that must call Wait to trip the
+// barrier.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Wait blocks until all parties have called Wait in the current phase
+// (pthread_barrier_wait). Exactly one caller per phase observes serial ==
+// true, mirroring PTHREAD_BARRIER_SERIAL_THREAD, which lets one thread
+// perform a post-phase action.
+func (b *Barrier) Wait() (serial bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	phase := b.phase
+	b.waiting++
+	if b.waiting == b.parties {
+		// Last arrival trips the barrier and advances the phase.
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+		return true
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+	return false
+}
+
+// ErrSemaphoreValue is returned by NewSemaphore for a negative initial value.
+var ErrSemaphoreValue = errors.New("pthreads: semaphore initial value must be non-negative")
+
+// Semaphore is a counting semaphore, analogous to POSIX sem_t.
+type Semaphore struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	value int
+}
+
+// NewSemaphore creates a semaphore with the given initial value (sem_init).
+func NewSemaphore(value int) (*Semaphore, error) {
+	if value < 0 {
+		return nil, ErrSemaphoreValue
+	}
+	s := &Semaphore{value: value}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// MustSemaphore is NewSemaphore that panics on invalid input.
+func MustSemaphore(value int) *Semaphore {
+	s, err := NewSemaphore(value)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Wait decrements the semaphore, blocking while the value is zero
+// (sem_wait).
+func (s *Semaphore) Wait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.value == 0 {
+		s.cond.Wait()
+	}
+	s.value--
+}
+
+// TryWait attempts to decrement without blocking and reports success
+// (sem_trywait).
+func (s *Semaphore) TryWait() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.value == 0 {
+		return false
+	}
+	s.value--
+	return true
+}
+
+// TimedWait is Wait with a deadline; it reports whether the decrement
+// happened (sem_timedwait). A zero or negative timeout degenerates to
+// TryWait.
+func (s *Semaphore) TimedWait(timeout time.Duration) bool {
+	if timeout <= 0 {
+		return s.TryWait()
+	}
+	deadline := time.Now().Add(timeout)
+	// sync.Cond has no timed wait; poll with a short sleep. The patternlets
+	// only use this in teaching demos, so coarse granularity is acceptable.
+	for {
+		if s.TryWait() {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// Post increments the semaphore, waking one waiter if any (sem_post).
+func (s *Semaphore) Post() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.value++
+	s.cond.Signal()
+}
+
+// Value returns the current semaphore value (sem_getvalue). It is a
+// snapshot and may be stale by the time the caller uses it.
+func (s *Semaphore) Value() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.value
+}
+
+// Once runs a function exactly once across threads (pthread_once).
+type Once struct {
+	once sync.Once
+}
+
+// Do invokes fn if and only if no Do call on this Once has run before.
+func (o *Once) Do(fn func()) { o.once.Do(fn) }
+
+// RWLock is a readers-writer lock, analogous to pthread_rwlock_t.
+type RWLock struct {
+	mu sync.RWMutex
+}
+
+// RdLock acquires the lock for reading (pthread_rwlock_rdlock).
+func (l *RWLock) RdLock() { l.mu.RLock() }
+
+// RdUnlock releases a read hold.
+func (l *RWLock) RdUnlock() { l.mu.RUnlock() }
+
+// WrLock acquires the lock for writing (pthread_rwlock_wrlock).
+func (l *RWLock) WrLock() { l.mu.Lock() }
+
+// WrUnlock releases the write hold.
+func (l *RWLock) WrUnlock() { l.mu.Unlock() }
+
+// TryRdLock attempts a non-blocking read acquisition.
+func (l *RWLock) TryRdLock() bool { return l.mu.TryRLock() }
+
+// TryWrLock attempts a non-blocking write acquisition.
+func (l *RWLock) TryWrLock() bool { return l.mu.TryLock() }

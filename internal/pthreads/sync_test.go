@@ -1,0 +1,376 @@
+package pthreads
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMutexTryLock(t *testing.T) {
+	var m Mutex
+	if !m.TryLock() {
+		t.Fatal("TryLock on free mutex failed")
+	}
+	if m.TryLock() {
+		t.Fatal("TryLock on held mutex succeeded")
+	}
+	m.Unlock()
+	if !m.TryLock() {
+		t.Fatal("TryLock after Unlock failed")
+	}
+	m.Unlock()
+}
+
+func TestMutexExcludes(t *testing.T) {
+	var m Mutex
+	inside := 0
+	var maxInside atomic.Int32
+	const n = 8
+	threads := make([]*Thread, n)
+	for i := 0; i < n; i++ {
+		threads[i] = Create(func(any) any {
+			for r := 0; r < 500; r++ {
+				m.Lock()
+				inside++
+				if int32(inside) > maxInside.Load() {
+					maxInside.Store(int32(inside))
+				}
+				inside--
+				m.Unlock()
+			}
+			return nil
+		}, nil)
+	}
+	if _, err := JoinAll(threads); err != nil {
+		t.Fatal(err)
+	}
+	if maxInside.Load() != 1 {
+		t.Fatalf("max simultaneous holders = %d, want 1", maxInside.Load())
+	}
+}
+
+func TestCondSignalWakesWaiter(t *testing.T) {
+	var m Mutex
+	c := NewCond(&m)
+	ready := false
+	done := make(chan struct{})
+	th := Create(func(any) any {
+		m.Lock()
+		for !ready {
+			c.Wait()
+		}
+		m.Unlock()
+		close(done)
+		return nil
+	}, nil)
+	time.Sleep(5 * time.Millisecond)
+	m.Lock()
+	ready = true
+	c.Signal()
+	m.Unlock()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+	if _, err := th.Join(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	var m Mutex
+	c := NewCond(&m)
+	go_ := false
+	const n = 6
+	threads := make([]*Thread, n)
+	for i := 0; i < n; i++ {
+		threads[i] = Create(func(any) any {
+			m.Lock()
+			for !go_ {
+				c.Wait()
+			}
+			m.Unlock()
+			return nil
+		}, nil)
+	}
+	time.Sleep(5 * time.Millisecond)
+	m.Lock()
+	go_ = true
+	c.Broadcast()
+	m.Unlock()
+	if _, err := JoinAll(threads); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewBarrierValidation(t *testing.T) {
+	for _, bad := range []int{0, -1, -100} {
+		if _, err := NewBarrier(bad); !errors.Is(err, ErrBarrierSize) {
+			t.Errorf("NewBarrier(%d) err = %v, want ErrBarrierSize", bad, err)
+		}
+	}
+	if b, err := NewBarrier(1); err != nil || b.Parties() != 1 {
+		t.Fatalf("NewBarrier(1) = (%v, %v)", b, err)
+	}
+}
+
+func TestMustBarrierPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBarrier(0) did not panic")
+		}
+	}()
+	MustBarrier(0)
+}
+
+func TestBarrierSinglePartyNeverBlocks(t *testing.T) {
+	b := MustBarrier(1)
+	for i := 0; i < 5; i++ {
+		if !b.Wait() {
+			t.Fatal("sole party should always be the serial thread")
+		}
+	}
+}
+
+// TestBarrierPhaseOrdering is the core barrier invariant of Figures 8/9:
+// with a barrier, every pre-barrier action happens before any post-barrier
+// action.
+func TestBarrierPhaseOrdering(t *testing.T) {
+	const n = 8
+	b := MustBarrier(n)
+	var before atomic.Int32
+	violated := atomic.Bool{}
+	threads := make([]*Thread, n)
+	for i := 0; i < n; i++ {
+		threads[i] = Create(func(any) any {
+			for phase := 0; phase < 20; phase++ {
+				before.Add(1)
+				b.Wait()
+				// After the barrier, all n increments of this phase must
+				// be visible.
+				if before.Load() < int32(n*(phase+1)) {
+					violated.Store(true)
+				}
+				b.Wait() // second barrier so no thread races ahead a phase
+			}
+			return nil
+		}, nil)
+	}
+	if _, err := JoinAll(threads); err != nil {
+		t.Fatal(err)
+	}
+	if violated.Load() {
+		t.Fatal("a thread passed the barrier before all pre-barrier work completed")
+	}
+}
+
+// TestBarrierExactlyOneSerialPerPhase checks the
+// PTHREAD_BARRIER_SERIAL_THREAD contract across many phases.
+func TestBarrierExactlyOneSerialPerPhase(t *testing.T) {
+	const n, phases = 5, 50
+	b := MustBarrier(n)
+	serialCount := make([]atomic.Int32, phases)
+	threads := make([]*Thread, n)
+	for i := 0; i < n; i++ {
+		threads[i] = Create(func(any) any {
+			for p := 0; p < phases; p++ {
+				if b.Wait() {
+					serialCount[p].Add(1)
+				}
+			}
+			return nil
+		}, nil)
+	}
+	if _, err := JoinAll(threads); err != nil {
+		t.Fatal(err)
+	}
+	for p := range serialCount {
+		if got := serialCount[p].Load(); got != 1 {
+			t.Fatalf("phase %d: %d serial threads, want exactly 1", p, got)
+		}
+	}
+}
+
+func TestSemaphoreValidation(t *testing.T) {
+	if _, err := NewSemaphore(-1); !errors.Is(err, ErrSemaphoreValue) {
+		t.Fatalf("NewSemaphore(-1) err = %v, want ErrSemaphoreValue", err)
+	}
+	s, err := NewSemaphore(3)
+	if err != nil || s.Value() != 3 {
+		t.Fatalf("NewSemaphore(3) = (%v, %v)", s, err)
+	}
+}
+
+func TestMustSemaphorePanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustSemaphore(-1) did not panic")
+		}
+	}()
+	MustSemaphore(-1)
+}
+
+func TestSemaphoreWaitPost(t *testing.T) {
+	s := MustSemaphore(2)
+	s.Wait()
+	s.Wait()
+	if s.Value() != 0 {
+		t.Fatalf("value = %d, want 0", s.Value())
+	}
+	if s.TryWait() {
+		t.Fatal("TryWait on empty semaphore succeeded")
+	}
+	s.Post()
+	if !s.TryWait() {
+		t.Fatal("TryWait after Post failed")
+	}
+}
+
+func TestSemaphoreTimedWait(t *testing.T) {
+	s := MustSemaphore(0)
+	start := time.Now()
+	if s.TimedWait(20 * time.Millisecond) {
+		t.Fatal("TimedWait on empty semaphore succeeded")
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("TimedWait returned too early")
+	}
+	s.Post()
+	if !s.TimedWait(time.Second) {
+		t.Fatal("TimedWait with available permit failed")
+	}
+	if s.TimedWait(0) {
+		t.Fatal("TimedWait(0) should degrade to TryWait and fail")
+	}
+}
+
+func TestSemaphoreBlocksUntilPost(t *testing.T) {
+	s := MustSemaphore(0)
+	proceeded := atomic.Bool{}
+	th := Create(func(any) any {
+		s.Wait()
+		proceeded.Store(true)
+		return nil
+	}, nil)
+	time.Sleep(10 * time.Millisecond)
+	if proceeded.Load() {
+		t.Fatal("waiter proceeded before Post")
+	}
+	s.Post()
+	if _, err := th.Join(); err != nil {
+		t.Fatal(err)
+	}
+	if !proceeded.Load() {
+		t.Fatal("waiter never proceeded")
+	}
+}
+
+// TestSemaphoreConservation: after any interleaving of P posts and P
+// waits, the value returns to its initial level — a counting-semaphore
+// invariant.
+func TestSemaphoreConservation(t *testing.T) {
+	const workers, reps = 8, 200
+	s := MustSemaphore(workers)
+	threads := make([]*Thread, workers)
+	for i := 0; i < workers; i++ {
+		threads[i] = Create(func(any) any {
+			for r := 0; r < reps; r++ {
+				s.Wait()
+				s.Post()
+			}
+			return nil
+		}, nil)
+	}
+	if _, err := JoinAll(threads); err != nil {
+		t.Fatal(err)
+	}
+	if s.Value() != workers {
+		t.Fatalf("final value = %d, want %d", s.Value(), workers)
+	}
+}
+
+// TestSemaphoreNeverNegative is a property test: for any sequence of
+// posts/waits the observable value stays non-negative.
+func TestSemaphoreNeverNegative(t *testing.T) {
+	f := func(initial uint8, ops []bool) bool {
+		s := MustSemaphore(int(initial % 16))
+		for _, post := range ops {
+			if post {
+				s.Post()
+			} else {
+				s.TryWait() // non-blocking so any op sequence terminates
+			}
+			if s.Value() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnceRunsExactlyOnce(t *testing.T) {
+	var once Once
+	var calls atomic.Int32
+	const n = 10
+	threads := make([]*Thread, n)
+	for i := 0; i < n; i++ {
+		threads[i] = Create(func(any) any {
+			once.Do(func() { calls.Add(1) })
+			return nil
+		}, nil)
+	}
+	if _, err := JoinAll(threads); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("Once ran %d times", calls.Load())
+	}
+}
+
+func TestRWLockAllowsConcurrentReaders(t *testing.T) {
+	var l RWLock
+	var readers atomic.Int32
+	var maxReaders atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.RdLock()
+			n := readers.Add(1)
+			if n > maxReaders.Load() {
+				maxReaders.Store(n)
+			}
+			time.Sleep(10 * time.Millisecond)
+			readers.Add(-1)
+			l.RdUnlock()
+		}()
+	}
+	wg.Wait()
+	if maxReaders.Load() < 2 {
+		t.Skipf("never observed concurrent readers (only %d) — scheduling artifact", maxReaders.Load())
+	}
+}
+
+func TestRWLockWriterExcludesReaders(t *testing.T) {
+	var l RWLock
+	l.WrLock()
+	if l.TryRdLock() {
+		t.Fatal("read lock acquired while writer held")
+	}
+	if l.TryWrLock() {
+		t.Fatal("second write lock acquired")
+	}
+	l.WrUnlock()
+	if !l.TryRdLock() {
+		t.Fatal("read lock failed after writer release")
+	}
+	l.RdUnlock()
+}

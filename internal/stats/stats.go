@@ -1,0 +1,269 @@
+// Package stats implements the descriptive and inferential statistics the
+// paper's §IV.B evaluation uses: sample means and variances, pooled and
+// Welch two-sample t-tests, and the Student-t distribution (via the
+// regularized incomplete beta function) needed to turn a t statistic into
+// the paper's reported p-value of 0.293.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned for statistics of an empty sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// ErrTooSmall is returned when a test needs more observations.
+var ErrTooSmall = errors.New("stats: sample too small")
+
+// Mean returns the arithmetic mean of xs.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Variance returns the unbiased (n-1) sample variance.
+func Variance(xs []float64) (float64, error) {
+	if len(xs) < 2 {
+		return 0, ErrTooSmall
+	}
+	m, _ := Mean(xs)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs)-1), nil
+}
+
+// StdDev returns the unbiased sample standard deviation.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Median returns the sample median.
+func Median(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2], nil
+	}
+	return (s[n/2-1] + s[n/2]) / 2, nil
+}
+
+// Summary bundles a sample's descriptive statistics.
+type Summary struct {
+	N      int
+	Mean   float64
+	SD     float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	m, _ := Mean(xs)
+	sd := 0.0
+	if len(xs) >= 2 {
+		sd, _ = StdDev(xs)
+	}
+	med, _ := Median(xs)
+	mn, mx := xs[0], xs[0]
+	for _, x := range xs {
+		if x < mn {
+			mn = x
+		}
+		if x > mx {
+			mx = x
+		}
+	}
+	return Summary{N: len(xs), Mean: m, SD: sd, Min: mn, Max: mx, Median: med}, nil
+}
+
+// TTestResult reports a two-sample t-test.
+type TTestResult struct {
+	T  float64 // t statistic (group1 - group2)
+	DF float64 // degrees of freedom
+	P  float64 // two-sided p-value
+}
+
+// WelchTTest performs Welch's unequal-variance two-sample t-test on the
+// summary statistics of two groups. It works from summaries rather than
+// raw samples because the paper reports only group means and sizes; the
+// study simulator feeds it both synthetic raw data (via Summarize) and the
+// published summary numbers.
+func WelchTTest(mean1, sd1 float64, n1 int, mean2, sd2 float64, n2 int) (TTestResult, error) {
+	if n1 < 2 || n2 < 2 {
+		return TTestResult{}, ErrTooSmall
+	}
+	se1 := sd1 * sd1 / float64(n1)
+	se2 := sd2 * sd2 / float64(n2)
+	se := math.Sqrt(se1 + se2)
+	if se == 0 {
+		return TTestResult{}, errors.New("stats: zero standard error")
+	}
+	t := (mean1 - mean2) / se
+	// Welch–Satterthwaite degrees of freedom.
+	df := (se1 + se2) * (se1 + se2) /
+		(se1*se1/float64(n1-1) + se2*se2/float64(n2-1))
+	p := TwoSidedP(t, df)
+	return TTestResult{T: t, DF: df, P: p}, nil
+}
+
+// PooledTTest performs the classical equal-variance two-sample t-test.
+func PooledTTest(mean1, sd1 float64, n1 int, mean2, sd2 float64, n2 int) (TTestResult, error) {
+	if n1 < 2 || n2 < 2 {
+		return TTestResult{}, ErrTooSmall
+	}
+	df := float64(n1 + n2 - 2)
+	sp2 := (float64(n1-1)*sd1*sd1 + float64(n2-1)*sd2*sd2) / df
+	se := math.Sqrt(sp2 * (1/float64(n1) + 1/float64(n2)))
+	if se == 0 {
+		return TTestResult{}, errors.New("stats: zero standard error")
+	}
+	t := (mean1 - mean2) / se
+	return TTestResult{T: t, DF: df, P: TwoSidedP(t, df)}, nil
+}
+
+// WelchTTestSamples runs Welch's test on two raw samples.
+func WelchTTestSamples(xs, ys []float64) (TTestResult, error) {
+	sx, err := Summarize(xs)
+	if err != nil {
+		return TTestResult{}, err
+	}
+	sy, err := Summarize(ys)
+	if err != nil {
+		return TTestResult{}, err
+	}
+	return WelchTTest(sx.Mean, sx.SD, sx.N, sy.Mean, sy.SD, sy.N)
+}
+
+// TwoSidedP returns the two-sided p-value of a t statistic with df degrees
+// of freedom: P(|T| >= |t|) = I_{df/(df+t²)}(df/2, 1/2).
+func TwoSidedP(t, df float64) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	x := df / (df + t*t)
+	return RegIncBeta(df/2, 0.5, x)
+}
+
+// StudentTCDF returns P(T <= t) for the Student-t distribution with df
+// degrees of freedom.
+func StudentTCDF(t, df float64) float64 {
+	p := TwoSidedP(t, df) / 2
+	if t >= 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// CriticalT returns the two-sided critical value t* with P(|T| >= t*) =
+// alpha for df degrees of freedom, found by bisection.
+func CriticalT(alpha, df float64) float64 {
+	if alpha <= 0 || alpha >= 1 || df <= 0 {
+		return math.NaN()
+	}
+	lo, hi := 0.0, 1e3
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if TwoSidedP(mid, df) > alpha {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// RegIncBeta computes the regularized incomplete beta function I_x(a, b)
+// using the continued-fraction expansion (Numerical Recipes' betai/betacf).
+func RegIncBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	lbeta := lgamma(a+b) - lgamma(a) - lgamma(b)
+	front := math.Exp(lbeta + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betacf(a, b, x) / a
+	}
+	return 1 - front*betacf(b, a, 1-x)/b
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

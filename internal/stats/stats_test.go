@@ -1,0 +1,254 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	m, err := Mean([]float64{1, 2, 3, 4})
+	if err != nil || m != 2.5 {
+		t.Fatalf("Mean = (%v, %v)", m, err)
+	}
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Mean(nil) err = %v", err)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9} // classic example: var = 4.571…
+	v, err := Variance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(v, 32.0/7.0, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", v, 32.0/7.0)
+	}
+	sd, _ := StdDev(xs)
+	if !close(sd, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("StdDev = %v", sd)
+	}
+	if _, err := Variance([]float64{1}); !errors.Is(err, ErrTooSmall) {
+		t.Fatalf("Variance of 1 sample err = %v", err)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m, _ := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m, _ := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+	if _, err := Median(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("Median(nil) should fail")
+	}
+	// Median must not mutate its input.
+	xs := []float64{3, 1, 2}
+	_, _ = Median(xs)
+	if xs[0] != 3 {
+		t.Fatal("Median sorted the caller's slice")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if !close(s.SD, math.Sqrt(2.5), 1e-12) {
+		t.Fatalf("SD = %v", s.SD)
+	}
+	single, err := Summarize([]float64{7})
+	if err != nil || single.SD != 0 {
+		t.Fatalf("single-sample summary = (%+v, %v)", single, err)
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatal("Summarize(nil) should fail")
+	}
+}
+
+func TestRegIncBetaEndpoints(t *testing.T) {
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Fatal("endpoints wrong")
+	}
+	if RegIncBeta(2, 3, -0.5) != 0 || RegIncBeta(2, 3, 1.5) != 1 {
+		t.Fatal("out-of-range x not clamped")
+	}
+}
+
+func TestRegIncBetaSymmetry(t *testing.T) {
+	// I_x(a,b) = 1 - I_{1-x}(b,a).
+	for _, tc := range []struct{ a, b, x float64 }{
+		{2, 3, 0.3}, {0.5, 0.5, 0.7}, {10, 2, 0.9}, {5, 5, 0.5},
+	} {
+		lhs := RegIncBeta(tc.a, tc.b, tc.x)
+		rhs := 1 - RegIncBeta(tc.b, tc.a, 1-tc.x)
+		if !close(lhs, rhs, 1e-10) {
+			t.Errorf("symmetry broken at %+v: %v vs %v", tc, lhs, rhs)
+		}
+	}
+	if !close(RegIncBeta(4, 4, 0.5), 0.5, 1e-12) {
+		t.Error("I_0.5(a,a) should be 0.5")
+	}
+}
+
+func TestRegIncBetaKnownValues(t *testing.T) {
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		if got := RegIncBeta(1, 1, x); !close(got, x, 1e-12) {
+			t.Errorf("I_%v(1,1) = %v", x, got)
+		}
+	}
+	// I_x(2,1) = x² ; I_x(1,2) = 1-(1-x)².
+	if got := RegIncBeta(2, 1, 0.3); !close(got, 0.09, 1e-12) {
+		t.Errorf("I_0.3(2,1) = %v", got)
+	}
+	if got := RegIncBeta(1, 2, 0.3); !close(got, 1-0.49, 1e-12) {
+		t.Errorf("I_0.3(1,2) = %v", got)
+	}
+}
+
+func TestStudentTKnownQuantiles(t *testing.T) {
+	// Standard t-table entries: P(|T| > t*) = alpha.
+	cases := []struct {
+		tStar, df, alpha float64
+	}{
+		{12.706, 1, 0.05},
+		{2.228, 10, 0.05},
+		{1.812, 10, 0.10},
+		{2.086, 20, 0.05},
+		{1.960, 1e6, 0.05}, // approaches the normal
+	}
+	for _, c := range cases {
+		if got := TwoSidedP(c.tStar, c.df); !close(got, c.alpha, 2e-3) {
+			t.Errorf("TwoSidedP(%v, %v) = %v, want %v", c.tStar, c.df, got, c.alpha)
+		}
+	}
+}
+
+func TestStudentTCDFBasics(t *testing.T) {
+	if got := StudentTCDF(0, 10); !close(got, 0.5, 1e-12) {
+		t.Fatalf("CDF(0) = %v", got)
+	}
+	if StudentTCDF(3, 10) <= StudentTCDF(1, 10) {
+		t.Fatal("CDF not increasing")
+	}
+	// Symmetry: F(-t) = 1 - F(t).
+	if !close(StudentTCDF(-1.5, 7), 1-StudentTCDF(1.5, 7), 1e-12) {
+		t.Fatal("CDF not symmetric")
+	}
+}
+
+func TestTwoSidedPSignSymmetryProperty(t *testing.T) {
+	f := func(tRaw, dfRaw uint16) bool {
+		tv := float64(tRaw%500) / 50 // 0..10
+		df := 1 + float64(dfRaw%200)
+		p1 := TwoSidedP(tv, df)
+		p2 := TwoSidedP(-tv, df)
+		return close(p1, p2, 1e-12) && p1 >= 0 && p1 <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoSidedPBadDF(t *testing.T) {
+	if !math.IsNaN(TwoSidedP(1, 0)) || !math.IsNaN(TwoSidedP(1, -2)) {
+		t.Fatal("non-positive df should give NaN")
+	}
+}
+
+func TestCriticalTInvertsTwoSidedP(t *testing.T) {
+	for _, df := range []float64{1, 5, 30, 77} {
+		for _, alpha := range []float64{0.01, 0.05, 0.293, 0.5} {
+			tStar := CriticalT(alpha, df)
+			if got := TwoSidedP(tStar, df); !close(got, alpha, 1e-9) {
+				t.Errorf("df=%v alpha=%v: TwoSidedP(CriticalT) = %v", df, alpha, got)
+			}
+		}
+	}
+	if !math.IsNaN(CriticalT(0, 10)) || !math.IsNaN(CriticalT(1.5, 10)) || !math.IsNaN(CriticalT(0.05, 0)) {
+		t.Fatal("invalid inputs should give NaN")
+	}
+}
+
+func TestWelchTTestKnownExample(t *testing.T) {
+	// Hand-checked example: n1=n2=10, means 10 vs 9, both sd=1:
+	// t = 1/sqrt(0.2) ≈ 2.2360, df = 18, p ≈ 0.0382.
+	r, err := WelchTTest(10, 1, 10, 9, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(r.T, 2.23607, 1e-4) || !close(r.DF, 18, 1e-9) || !close(r.P, 0.0382, 5e-4) {
+		t.Fatalf("Welch = %+v", r)
+	}
+}
+
+func TestWelchEqualsPooledForEqualVarAndN(t *testing.T) {
+	w, err := WelchTTest(5, 2, 20, 4, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PooledTTest(5, 2, 20, 4, 2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(w.T, p.T, 1e-12) || !close(w.DF, p.DF, 1e-9) {
+		t.Fatalf("welch %+v vs pooled %+v", w, p)
+	}
+}
+
+func TestTTestValidation(t *testing.T) {
+	if _, err := WelchTTest(1, 1, 1, 2, 1, 10); !errors.Is(err, ErrTooSmall) {
+		t.Fatal("n=1 accepted")
+	}
+	if _, err := WelchTTest(1, 0, 10, 1, 0, 10); err == nil {
+		t.Fatal("zero variance accepted")
+	}
+	if _, err := PooledTTest(1, 1, 1, 2, 1, 10); !errors.Is(err, ErrTooSmall) {
+		t.Fatal("pooled n=1 accepted")
+	}
+}
+
+func TestWelchTTestSamples(t *testing.T) {
+	xs := []float64{10, 11, 9, 10, 10.5, 9.5}
+	ys := []float64{8, 9, 8.5, 7.5, 9.5, 8.5}
+	r, err := WelchTTestSamples(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.T <= 0 {
+		t.Fatalf("xs > ys but T = %v", r.T)
+	}
+	if r.P <= 0 || r.P >= 1 {
+		t.Fatalf("P = %v", r.P)
+	}
+	if _, err := WelchTTestSamples(nil, ys); err == nil {
+		t.Fatal("empty sample accepted")
+	}
+}
+
+// TestPaperNumbersReproduced: the §IV.B headline — with the implied SD,
+// means 2.95 vs 3.05 and n 41/38 give p = 0.293.
+func TestPaperNumbersReproduced(t *testing.T) {
+	// SD chosen so the test reproduces the paper (see study.ImpliedSD; the
+	// value is ≈ 0.4194).
+	r, err := WelchTTest(3.05, 0.41938, 38, 2.95, 0.41938, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(r.P, 0.293, 5e-4) {
+		t.Fatalf("p = %v, want 0.293", r.P)
+	}
+	if r.P < 0.05 {
+		t.Fatal("paper's difference must NOT be significant at 0.05")
+	}
+}

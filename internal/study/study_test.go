@@ -1,0 +1,222 @@
+package study
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestImpliedSDInvertsPaperP: plugging the implied SD back into the Welch
+// test must return exactly the published p-value.
+func TestImpliedSDInvertsPaperP(t *testing.T) {
+	sd := ImpliedSD()
+	if sd <= 0 || sd > MaxScore {
+		t.Fatalf("implied SD = %v, implausible", sd)
+	}
+	r, err := stats.WelchTTest(SpringMean, sd, SpringN, FallMean, sd, FallN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(r.P, PaperP, 1e-6) {
+		t.Fatalf("round-trip p = %v, want %v", r.P, PaperP)
+	}
+}
+
+// TestCohortMatchesTargetsExactly: the standardization guarantees the
+// synthetic cohort's sample mean and SD equal the published values.
+func TestCohortMatchesTargetsExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := GenerateCohort(rng, "Fall", FallN, FallMean, 0.42)
+	s := c.Summary()
+	if s.N != FallN {
+		t.Fatalf("N = %d", s.N)
+	}
+	if !close(s.Mean, FallMean, 1e-9) {
+		t.Fatalf("mean = %v, want %v", s.Mean, FallMean)
+	}
+	if !close(s.SD, 0.42, 1e-9) {
+		t.Fatalf("sd = %v, want 0.42", s.SD)
+	}
+}
+
+func TestCohortPerQuestionDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := GenerateCohort(rng, "Spring", SpringN, SpringMean, 0.42)
+	if len(c.PerQ) != SpringN {
+		t.Fatalf("PerQ has %d rows", len(c.PerQ))
+	}
+	for i, qs := range c.PerQ {
+		if len(qs) != Questions {
+			t.Fatalf("student %d has %d question scores", i, len(qs))
+		}
+		sum := 0.0
+		for _, q := range qs {
+			if q < 0 || q > 1 {
+				t.Fatalf("student %d question score %v out of [0,1]", i, q)
+			}
+			sum += q
+		}
+		total := c.Scores[i]
+		// Decomposition is exact when the total is within [0, 4]; totals
+		// outside (possible after exact standardization) clamp.
+		if total >= 0 && total <= MaxScore && !close(sum, total, 1e-9) {
+			t.Fatalf("student %d: questions sum to %v, total %v", i, sum, total)
+		}
+	}
+}
+
+func TestRunReproducesPaperTable(t *testing.T) {
+	r, err := Run(2015)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !close(r.FallSummary.Mean, FallMean, 1e-9) || !close(r.SpringSummary.Mean, SpringMean, 1e-9) {
+		t.Fatalf("means (%v, %v)", r.FallSummary.Mean, r.SpringSummary.Mean)
+	}
+	if !close(r.Welch.P, PaperP, 1e-6) {
+		t.Fatalf("synthetic-cohort p = %v, want %v", r.Welch.P, PaperP)
+	}
+	if !close(r.WelchFromSummary.P, PaperP, 1e-6) {
+		t.Fatalf("summary p = %v, want %v", r.WelchFromSummary.P, PaperP)
+	}
+	if r.SignificantAt05 {
+		t.Fatal("the paper's result must not be significant at 0.05")
+	}
+	if !close(r.ImprovementPct, 2.5, 1e-9) {
+		t.Fatalf("improvement = %v%%, paper says 2.5%%", r.ImprovementPct)
+	}
+	if r.Welch.T <= 0 {
+		t.Fatal("Spring mean is higher; t should be positive")
+	}
+}
+
+func TestRunDeterministicForSeed(t *testing.T) {
+	a, err := Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Fall.Scores {
+		if a.Fall.Scores[i] != b.Fall.Scores[i] {
+			t.Fatal("same seed produced different cohorts")
+		}
+	}
+}
+
+func TestDifferentSeedsDifferentStudentsSameSummary(t *testing.T) {
+	a, _ := Run(1)
+	b, _ := Run(2)
+	same := true
+	for i := range a.Fall.Scores {
+		if a.Fall.Scores[i] != b.Fall.Scores[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical cohorts")
+	}
+	if !close(a.FallSummary.Mean, b.FallSummary.Mean, 1e-9) ||
+		!close(a.FallSummary.SD, b.FallSummary.SD, 1e-9) {
+		t.Fatal("summary statistics must be seed-independent")
+	}
+}
+
+func TestTableContents(t *testing.T) {
+	r, err := Run(2015)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := r.Table()
+	for _, want := range []string{
+		"Fall (no patternlets)",
+		"Spring (with patternlets)",
+		"41", "38", "2.95", "3.05",
+		"p = 0.293",
+		"not significant",
+		"matches the paper",
+		"+2.5%",
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestSplitScoreEdgeCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, total := range []float64{0, 4, 2.5, -0.5, 4.5} {
+		qs := splitScore(rng, total)
+		if len(qs) != Questions {
+			t.Fatalf("total %v: %d scores", total, len(qs))
+		}
+		for _, q := range qs {
+			if q < 0 || q > 1 {
+				t.Fatalf("total %v: question score %v", total, q)
+			}
+		}
+	}
+	// Perfect score decomposes to all 1s.
+	qs := splitScore(rng, MaxScore)
+	for _, q := range qs {
+		if !close(q, 1, 1e-9) {
+			t.Fatalf("perfect score decomposition: %v", qs)
+		}
+	}
+}
+
+func TestQuestionMeansConsistentWithTotals(t *testing.T) {
+	r, err := Run(2015)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []Cohort{r.Fall, r.Spring} {
+		means := c.QuestionMeans()
+		if len(means) != Questions {
+			t.Fatalf("%s: %d question means", c.Name, len(means))
+		}
+		sum := 0.0
+		for _, m := range means {
+			if m < 0 || m > 1 {
+				t.Fatalf("%s: question mean %v out of [0,1]", c.Name, m)
+			}
+			sum += m
+		}
+		// Sum of question means ≈ cohort mean (equality would need every
+		// total inside [0,4]; standardization can push a few outside).
+		if math.Abs(sum-c.Summary().Mean) > 0.1 {
+			t.Fatalf("%s: question means sum %v vs cohort mean %v", c.Name, sum, c.Summary().Mean)
+		}
+	}
+}
+
+func TestQuestionMeansEmptyCohort(t *testing.T) {
+	var c Cohort
+	means := c.QuestionMeans()
+	for _, m := range means {
+		if m != 0 {
+			t.Fatal("empty cohort should have zero means")
+		}
+	}
+}
+
+func TestQuestionTable(t *testing.T) {
+	r, err := Run(2015)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := r.QuestionTable()
+	for _, want := range []string{"question", "Fall", "Spring", "delta", "total/4"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("question table missing %q:\n%s", want, table)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package trace records ordered execution events from parallel tasks.
+//
+// The patternlets paper demonstrates each pattern through the *order* in
+// which tasks print lines (Figures 2–30 are all program outputs). This
+// package gives the reproduction a structured equivalent: every task can
+// append timestamped events to a Recorder, and tests can then assert
+// ordering invariants (for example: with a barrier enabled, every thread's
+// "BEFORE" event precedes every thread's "AFTER" event) instead of relying
+// on fragile golden text for inherently nondeterministic interleavings.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Event is a single recorded occurrence in a parallel execution.
+type Event struct {
+	Seq   int    // global arrival order, starting at 0
+	Task  int    // task (thread or process) id
+	Phase string // free-form phase label, e.g. "before-barrier"
+	Value int    // optional payload, e.g. a loop index
+}
+
+// String renders the event compactly for debugging.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d task=%d phase=%q value=%d", e.Seq, e.Task, e.Phase, e.Value)
+}
+
+// Recorder collects events from concurrently executing tasks. The zero
+// value is ready to use.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Record appends an event with the given task, phase and value, assigning
+// it the next global sequence number. The sequence order is the order in
+// which Record calls acquired the recorder's lock, i.e. a linearization of
+// the observed execution.
+func (r *Recorder) Record(task int, phase string, value int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, Event{Seq: len(r.events), Task: task, Phase: phase, Value: value})
+}
+
+// Events returns a copy of all recorded events in sequence order.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Reset discards all recorded events.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = nil
+}
+
+// ByPhase returns the events whose phase equals phase, in sequence order.
+func (r *Recorder) ByPhase(phase string) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Phase == phase {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByTask returns the events recorded by the given task, in sequence order.
+func (r *Recorder) ByTask(task int) []Event {
+	var out []Event
+	for _, e := range r.Events() {
+		if e.Task == task {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Tasks returns the sorted set of distinct task ids that recorded events.
+func (r *Recorder) Tasks() []int {
+	seen := map[int]bool{}
+	for _, e := range r.Events() {
+		seen[e.Task] = true
+	}
+	out := make([]int, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PhaseOrdered reports whether every event with phase first precedes every
+// event with phase second in the global sequence. This is the barrier
+// invariant of Figures 9 and 12: with the barrier enabled, all
+// "before" lines are emitted before any "after" line.
+func (r *Recorder) PhaseOrdered(first, second string) bool {
+	lastFirst, firstSecond := -1, -1
+	for _, e := range r.Events() {
+		switch e.Phase {
+		case first:
+			lastFirst = e.Seq
+		case second:
+			if firstSecond == -1 {
+				firstSecond = e.Seq
+			}
+		}
+	}
+	if lastFirst == -1 || firstSecond == -1 {
+		return true // vacuously ordered if either phase is absent
+	}
+	return lastFirst < firstSecond
+}
+
+// Interleaved reports whether at least one event with phase second appears
+// before the final event with phase first — the *absence* of the barrier
+// invariant, as in Figures 8 and 11.
+func (r *Recorder) Interleaved(first, second string) bool {
+	return !r.PhaseOrdered(first, second)
+}
+
+// ValuesByTask returns, for each task, the ordered slice of Value payloads
+// it recorded in the given phase. Tests use this to check which loop
+// iterations each thread performed (Figures 14–18).
+func (r *Recorder) ValuesByTask(phase string) map[int][]int {
+	out := map[int][]int{}
+	for _, e := range r.Events() {
+		if e.Phase == phase {
+			out[e.Task] = append(out[e.Task], e.Value)
+		}
+	}
+	return out
+}
+
+// Timeline renders an ASCII timeline: one row per task, one column per
+// sequence slot, showing the first letter of the phase at the slot where
+// the task recorded it. It is the textual analogue of the figures in the
+// paper and is printed by the `patternlet` CLI in verbose mode.
+func (r *Recorder) Timeline() string {
+	events := r.Events()
+	tasks := r.Tasks()
+	if len(events) == 0 || len(tasks) == 0 {
+		return "(no events)\n"
+	}
+	row := map[int]int{}
+	for i, t := range tasks {
+		row[t] = i
+	}
+	grid := make([][]byte, len(tasks))
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(".", len(events)))
+	}
+	for _, e := range events {
+		ch := byte('?')
+		if len(e.Phase) > 0 {
+			ch = e.Phase[0]
+		}
+		grid[row[e.Task]][e.Seq] = ch
+	}
+	var b strings.Builder
+	for i, t := range tasks {
+		fmt.Fprintf(&b, "task %2d |%s|\n", t, grid[i])
+	}
+	return b.String()
+}

@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRecordAssignsSequence(t *testing.T) {
+	var r Recorder
+	r.Record(0, "a", 10)
+	r.Record(1, "b", 20)
+	r.Record(0, "c", 30)
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatalf("Len = %d", len(events))
+	}
+	for i, e := range events {
+		if e.Seq != i {
+			t.Errorf("event %d has Seq %d", i, e.Seq)
+		}
+	}
+	if events[1].Task != 1 || events[1].Phase != "b" || events[1].Value != 20 {
+		t.Errorf("event 1 = %+v", events[1])
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	var r Recorder
+	r.Record(0, "a", 0)
+	ev := r.Events()
+	ev[0].Phase = "mutated"
+	if r.Events()[0].Phase != "a" {
+		t.Fatal("Events exposed internal storage")
+	}
+}
+
+func TestLenAndReset(t *testing.T) {
+	var r Recorder
+	for i := 0; i < 5; i++ {
+		r.Record(i, "p", i)
+	}
+	if r.Len() != 5 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	r.Reset()
+	if r.Len() != 0 || len(r.Events()) != 0 {
+		t.Fatal("Reset did not clear events")
+	}
+	r.Record(9, "x", 0)
+	if r.Events()[0].Seq != 0 {
+		t.Fatal("sequence numbers not reset")
+	}
+}
+
+func TestByPhaseAndByTask(t *testing.T) {
+	var r Recorder
+	r.Record(0, "before", 0)
+	r.Record(1, "before", 0)
+	r.Record(0, "after", 0)
+	if got := r.ByPhase("before"); len(got) != 2 {
+		t.Fatalf("ByPhase(before) = %v", got)
+	}
+	if got := r.ByPhase("missing"); got != nil {
+		t.Fatalf("ByPhase(missing) = %v", got)
+	}
+	if got := r.ByTask(0); len(got) != 2 || got[1].Phase != "after" {
+		t.Fatalf("ByTask(0) = %v", got)
+	}
+}
+
+func TestTasksSorted(t *testing.T) {
+	var r Recorder
+	for _, task := range []int{5, 1, 3, 1, 5} {
+		r.Record(task, "p", 0)
+	}
+	got := r.Tasks()
+	want := []int{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Tasks = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Tasks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestPhaseOrderedHolds(t *testing.T) {
+	var r Recorder
+	for task := 0; task < 4; task++ {
+		r.Record(task, "before", 0)
+	}
+	for task := 0; task < 4; task++ {
+		r.Record(task, "after", 0)
+	}
+	if !r.PhaseOrdered("before", "after") {
+		t.Fatal("ordered trace reported as unordered")
+	}
+	if r.Interleaved("before", "after") {
+		t.Fatal("Interleaved inconsistent with PhaseOrdered")
+	}
+}
+
+func TestPhaseOrderedViolated(t *testing.T) {
+	var r Recorder
+	r.Record(0, "before", 0)
+	r.Record(0, "after", 0)
+	r.Record(1, "before", 0) // a before after an after
+	r.Record(1, "after", 0)
+	if r.PhaseOrdered("before", "after") {
+		t.Fatal("interleaved trace reported as ordered")
+	}
+	if !r.Interleaved("before", "after") {
+		t.Fatal("Interleaved should be true")
+	}
+}
+
+func TestPhaseOrderedVacuousWhenPhaseMissing(t *testing.T) {
+	var r Recorder
+	r.Record(0, "only", 0)
+	if !r.PhaseOrdered("only", "absent") || !r.PhaseOrdered("absent", "only") {
+		t.Fatal("missing phases should be vacuously ordered")
+	}
+}
+
+func TestValuesByTask(t *testing.T) {
+	var r Recorder
+	r.Record(0, "iter", 0)
+	r.Record(0, "iter", 1)
+	r.Record(1, "iter", 4)
+	r.Record(0, "other", 99)
+	m := r.ValuesByTask("iter")
+	if len(m) != 2 || len(m[0]) != 2 || m[0][1] != 1 || m[1][0] != 4 {
+		t.Fatalf("ValuesByTask = %v", m)
+	}
+}
+
+func TestTimelineShape(t *testing.T) {
+	var r Recorder
+	r.Record(0, "before", 0)
+	r.Record(1, "after", 0)
+	tl := r.Timeline()
+	lines := strings.Split(strings.TrimRight(tl, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("timeline:\n%s", tl)
+	}
+	if !strings.Contains(lines[0], "b.") || !strings.Contains(lines[1], ".a") {
+		t.Fatalf("timeline grid wrong:\n%s", tl)
+	}
+}
+
+func TestTimelineEmpty(t *testing.T) {
+	var r Recorder
+	if got := r.Timeline(); got != "(no events)\n" {
+		t.Fatalf("empty timeline = %q", got)
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Seq: 2, Task: 1, Phase: "go", Value: 7}
+	s := e.String()
+	for _, frag := range []string{"#2", "task=1", `"go"`, "value=7"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String() = %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	var r Recorder
+	const workers, events = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < events; i++ {
+				r.Record(w, "p", i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	all := r.Events()
+	if len(all) != workers*events {
+		t.Fatalf("recorded %d events, want %d", len(all), workers*events)
+	}
+	// Sequence numbers must be a permutation-free 0..N-1 run.
+	for i, e := range all {
+		if e.Seq != i {
+			t.Fatalf("gap or duplicate at seq %d", i)
+		}
+	}
+	// Per-task values arrive in that task's program order.
+	for w := 0; w < workers; w++ {
+		vals := r.ValuesByTask("p")[w]
+		for i, v := range vals {
+			if v != i {
+				t.Fatalf("task %d order broken at %d", w, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package vtime is a discrete virtual-time execution simulator.
+//
+// The paper's scalability claims — the CS2 lab's matrix speedup charts,
+// and the Reduction pattern's O(t) vs O(lg t) combining (Figure 19) — are
+// statements about how *work partitions onto cores*, observed by the
+// authors on a quad-core desktop and a multi-node cluster. This
+// reproduction runs in a single-core container, where wall-clock speedup
+// is physically impossible; per the substitution rule we therefore model
+// the hardware: tasks carry abstract durations (work units), and the
+// simulator computes the makespan of a task DAG executed greedily on P
+// virtual cores.
+//
+// The model is standard list scheduling: a task becomes ready when all of
+// its dependencies finish; whenever a core is free, it takes the ready
+// task with the earliest release (FIFO among ready tasks). For the
+// independent-iteration workloads in the paper this reproduces exactly the
+// partitioning arithmetic of the schedules being taught.
+package vtime
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Task is one unit of schedulable work in virtual time.
+type Task struct {
+	ID   int
+	Cost int64 // duration in abstract work units; must be >= 0
+	Deps []int // ids of tasks that must finish first
+}
+
+// Result describes one task's simulated execution.
+type Result struct {
+	Task   int
+	Core   int
+	Start  int64
+	Finish int64
+}
+
+// Schedule is the outcome of simulating a DAG on P cores.
+type Schedule struct {
+	Makespan  int64
+	TotalWork int64
+	Results   []Result // in task-finish order
+}
+
+// Speedup returns TotalWork / Makespan: the parallel speedup relative to a
+// single core executing all work back to back.
+func (s Schedule) Speedup() float64 {
+	if s.Makespan == 0 {
+		return 1
+	}
+	return float64(s.TotalWork) / float64(s.Makespan)
+}
+
+// Efficiency returns Speedup / cores for the given core count.
+func (s Schedule) Efficiency(cores int) float64 {
+	if cores < 1 {
+		return 0
+	}
+	return s.Speedup() / float64(cores)
+}
+
+// ErrCycle reports a dependency cycle in the task DAG.
+var ErrCycle = errors.New("vtime: dependency cycle")
+
+// ErrUnknownDep reports a dependency on an id not in the task set.
+var ErrUnknownDep = errors.New("vtime: dependency on unknown task")
+
+// coreHeap orders cores by the time they become free.
+type coreItem struct {
+	free int64
+	id   int
+}
+type coreHeap []coreItem
+
+func (h coreHeap) Len() int { return len(h) }
+func (h coreHeap) Less(i, j int) bool {
+	if h[i].free != h[j].free {
+		return h[i].free < h[j].free
+	}
+	return h[i].id < h[j].id
+}
+func (h coreHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *coreHeap) Push(x any)   { *h = append(*h, x.(coreItem)) }
+func (h *coreHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// readyItem orders ready tasks by release time, then id (FIFO, stable).
+type readyItem struct {
+	release int64
+	id      int
+}
+type readyHeap []readyItem
+
+func (h readyHeap) Len() int { return len(h) }
+func (h readyHeap) Less(i, j int) bool {
+	if h[i].release != h[j].release {
+		return h[i].release < h[j].release
+	}
+	return h[i].id < h[j].id
+}
+func (h readyHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *readyHeap) Push(x any)   { *h = append(*h, x.(readyItem)) }
+func (h *readyHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// Simulate executes the task DAG on `cores` virtual cores and returns the
+// schedule. Tasks with zero dependencies are released at time 0; a task is
+// released when its last dependency finishes.
+func Simulate(tasks []Task, cores int) (Schedule, error) {
+	if cores < 1 {
+		return Schedule{}, fmt.Errorf("vtime: cores must be >= 1, got %d", cores)
+	}
+	byID := make(map[int]*Task, len(tasks))
+	for i := range tasks {
+		t := &tasks[i]
+		if t.Cost < 0 {
+			return Schedule{}, fmt.Errorf("vtime: task %d has negative cost %d", t.ID, t.Cost)
+		}
+		if _, dup := byID[t.ID]; dup {
+			return Schedule{}, fmt.Errorf("vtime: duplicate task id %d", t.ID)
+		}
+		byID[t.ID] = t
+	}
+	remaining := make(map[int]int, len(tasks))    // unfinished dep count
+	dependents := make(map[int][]int, len(tasks)) // dep id -> tasks waiting on it
+	for _, t := range tasks {
+		remaining[t.ID] = len(t.Deps)
+		for _, d := range t.Deps {
+			if _, ok := byID[d]; !ok {
+				return Schedule{}, fmt.Errorf("%w: task %d depends on %d", ErrUnknownDep, t.ID, d)
+			}
+			dependents[d] = append(dependents[d], t.ID)
+		}
+	}
+
+	ready := &readyHeap{}
+	for _, t := range tasks {
+		if remaining[t.ID] == 0 {
+			heap.Push(ready, readyItem{release: 0, id: t.ID})
+		}
+	}
+	freeCores := &coreHeap{}
+	for c := 0; c < cores; c++ {
+		heap.Push(freeCores, coreItem{free: 0, id: c})
+	}
+
+	var sched Schedule
+	finishTime := make(map[int]int64, len(tasks))
+	done := 0
+	for ready.Len() > 0 {
+		rt := heap.Pop(ready).(readyItem)
+		core := heap.Pop(freeCores).(coreItem)
+		start := core.free
+		if rt.release > start {
+			start = rt.release
+		}
+		task := byID[rt.id]
+		finish := start + task.Cost
+		sched.Results = append(sched.Results, Result{Task: task.ID, Core: core.id, Start: start, Finish: finish})
+		sched.TotalWork += task.Cost
+		if finish > sched.Makespan {
+			sched.Makespan = finish
+		}
+		finishTime[task.ID] = finish
+		heap.Push(freeCores, coreItem{free: finish, id: core.id})
+		done++
+
+		for _, dep := range dependents[task.ID] {
+			remaining[dep]--
+			if remaining[dep] == 0 {
+				// Released when the last dependency finishes.
+				var rel int64
+				for _, d := range byID[dep].Deps {
+					if ft := finishTime[d]; ft > rel {
+						rel = ft
+					}
+				}
+				heap.Push(ready, readyItem{release: rel, id: dep})
+			}
+		}
+	}
+	if done != len(tasks) {
+		return Schedule{}, fmt.Errorf("%w: %d of %d tasks never became ready", ErrCycle, len(tasks)-done, len(tasks))
+	}
+	return sched, nil
+}
+
+// IndependentLoop builds the task set for n independent iterations with
+// the given per-iteration cost function — the Parallel Loop workload.
+func IndependentLoop(n int, cost func(i int) int64) []Task {
+	out := make([]Task, n)
+	for i := range out {
+		out[i] = Task{ID: i, Cost: cost(i)}
+	}
+	return out
+}
+
+// ReductionTree builds the Figure 19 workload: t leaves already hold local
+// values; combining is a binary tree of t-1 combine tasks, each costing
+// combineCost. Leaves cost 0 (the local work already happened). The
+// returned DAG's makespan on >= t/2 cores is ceil(lg t) * combineCost.
+func ReductionTree(t int, combineCost int64) []Task {
+	if t < 1 {
+		return nil
+	}
+	var tasks []Task
+	// Leaves: ids 0..t-1, zero cost.
+	for i := 0; i < t; i++ {
+		tasks = append(tasks, Task{ID: i, Cost: 0})
+	}
+	next := t
+	level := make([]int, t)
+	for i := range level {
+		level[i] = i
+	}
+	for len(level) > 1 {
+		var up []int
+		for i := 0; i+1 < len(level); i += 2 {
+			tasks = append(tasks, Task{ID: next, Cost: combineCost, Deps: []int{level[i], level[i+1]}})
+			up = append(up, next)
+			next++
+		}
+		if len(level)%2 == 1 {
+			up = append(up, level[len(level)-1])
+		}
+		level = up
+	}
+	return tasks
+}
+
+// ReductionChain builds the sequential-combining baseline: t leaves folded
+// one after another, t-1 combine tasks in a dependency chain. Its makespan
+// is always (t-1) * combineCost regardless of core count.
+func ReductionChain(t int, combineCost int64) []Task {
+	if t < 1 {
+		return nil
+	}
+	var tasks []Task
+	for i := 0; i < t; i++ {
+		tasks = append(tasks, Task{ID: i, Cost: 0})
+	}
+	prev := 0
+	next := t
+	for i := 1; i < t; i++ {
+		tasks = append(tasks, Task{ID: next, Cost: combineCost, Deps: []int{prev, i}})
+		prev = next
+		next++
+	}
+	return tasks
+}

@@ -1,0 +1,283 @@
+package vtime
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimulateEmpty(t *testing.T) {
+	s, err := Simulate(nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 0 || s.TotalWork != 0 || len(s.Results) != 0 {
+		t.Fatalf("empty schedule = %+v", s)
+	}
+}
+
+func TestSimulateSingleTask(t *testing.T) {
+	s, err := Simulate([]Task{{ID: 0, Cost: 10}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 10 || s.TotalWork != 10 {
+		t.Fatalf("schedule = %+v", s)
+	}
+	r := s.Results[0]
+	if r.Start != 0 || r.Finish != 10 {
+		t.Fatalf("result = %+v", r)
+	}
+}
+
+func TestOneCoreSerializesAllWork(t *testing.T) {
+	tasks := IndependentLoop(10, func(i int) int64 { return int64(i + 1) })
+	s, err := Simulate(tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 55 {
+		t.Fatalf("makespan = %d, want 55 (sum of 1..10)", s.Makespan)
+	}
+	if sp := s.Speedup(); sp != 1 {
+		t.Fatalf("speedup on 1 core = %v", sp)
+	}
+}
+
+func TestPerfectSpeedupForDivisibleLoop(t *testing.T) {
+	// 8 equal tasks on 1, 2, 4, 8 cores: speedup = cores.
+	tasks := IndependentLoop(8, func(int) int64 { return 100 })
+	for _, cores := range []int{1, 2, 4, 8} {
+		s, err := Simulate(tasks, cores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantMakespan := int64(8 / cores * 100)
+		if s.Makespan != wantMakespan {
+			t.Fatalf("cores=%d: makespan %d, want %d", cores, s.Makespan, wantMakespan)
+		}
+		if eff := s.Efficiency(cores); math.Abs(eff-1) > 1e-12 {
+			t.Fatalf("cores=%d: efficiency %v, want 1", cores, eff)
+		}
+	}
+}
+
+func TestMoreCoresThanTasksDoNotHelp(t *testing.T) {
+	tasks := IndependentLoop(4, func(int) int64 { return 10 })
+	s4, _ := Simulate(tasks, 4)
+	s16, _ := Simulate(tasks, 16)
+	if s4.Makespan != s16.Makespan {
+		t.Fatalf("extra cores changed makespan: %d vs %d", s4.Makespan, s16.Makespan)
+	}
+}
+
+func TestDependencyChainSerializes(t *testing.T) {
+	tasks := []Task{
+		{ID: 0, Cost: 5},
+		{ID: 1, Cost: 5, Deps: []int{0}},
+		{ID: 2, Cost: 5, Deps: []int{1}},
+	}
+	s, err := Simulate(tasks, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 15 {
+		t.Fatalf("chained makespan = %d, want 15", s.Makespan)
+	}
+}
+
+func TestDiamondDAG(t *testing.T) {
+	// 0 -> {1, 2} -> 3; the two middles overlap on 2 cores.
+	tasks := []Task{
+		{ID: 0, Cost: 2},
+		{ID: 1, Cost: 3, Deps: []int{0}},
+		{ID: 2, Cost: 4, Deps: []int{0}},
+		{ID: 3, Cost: 1, Deps: []int{1, 2}},
+	}
+	s, err := Simulate(tasks, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != 7 { // 2 + max(3,4) + 1
+		t.Fatalf("diamond makespan = %d, want 7", s.Makespan)
+	}
+}
+
+func TestReleaseWaitsForLastDependency(t *testing.T) {
+	tasks := []Task{
+		{ID: 0, Cost: 10},
+		{ID: 1, Cost: 1},
+		{ID: 2, Cost: 1, Deps: []int{0, 1}},
+	}
+	s, err := Simulate(tasks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range s.Results {
+		if r.Task == 2 && r.Start != 10 {
+			t.Fatalf("task 2 started at %d, want 10", r.Start)
+		}
+	}
+}
+
+func TestCycleDetected(t *testing.T) {
+	tasks := []Task{
+		{ID: 0, Cost: 1, Deps: []int{1}},
+		{ID: 1, Cost: 1, Deps: []int{0}},
+	}
+	if _, err := Simulate(tasks, 2); !errors.Is(err, ErrCycle) {
+		t.Fatalf("err = %v, want ErrCycle", err)
+	}
+}
+
+func TestUnknownDependency(t *testing.T) {
+	tasks := []Task{{ID: 0, Cost: 1, Deps: []int{99}}}
+	if _, err := Simulate(tasks, 2); !errors.Is(err, ErrUnknownDep) {
+		t.Fatalf("err = %v, want ErrUnknownDep", err)
+	}
+}
+
+func TestDuplicateIDRejected(t *testing.T) {
+	tasks := []Task{{ID: 0, Cost: 1}, {ID: 0, Cost: 2}}
+	if _, err := Simulate(tasks, 2); err == nil {
+		t.Fatal("duplicate ids accepted")
+	}
+}
+
+func TestNegativeCostRejected(t *testing.T) {
+	if _, err := Simulate([]Task{{ID: 0, Cost: -1}}, 2); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+}
+
+func TestInvalidCores(t *testing.T) {
+	if _, err := Simulate(nil, 0); err == nil {
+		t.Fatal("0 cores accepted")
+	}
+}
+
+// TestReductionTreeMakespanIsLgT reproduces Figure 19's claim: on enough
+// cores, combining t values takes ceil(lg t) rounds.
+func TestReductionTreeMakespanIsLgT(t *testing.T) {
+	for _, tc := range []struct {
+		t        int
+		makespan int64
+	}{
+		{1, 0}, {2, 1}, {4, 2}, {8, 3}, {16, 4}, {1024, 10},
+		{3, 2}, {5, 3}, {7, 3}, {100, 7},
+	} {
+		s, err := Simulate(ReductionTree(tc.t, 1), tc.t)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Makespan != tc.makespan {
+			t.Errorf("t=%d: tree makespan %d, want ceil(lg t)=%d", tc.t, s.Makespan, tc.makespan)
+		}
+	}
+}
+
+// TestReductionChainMakespanIsTMinus1: the sequential baseline takes t-1
+// combines regardless of cores.
+func TestReductionChainMakespanIsTMinus1(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 100} {
+		s, err := Simulate(ReductionChain(n, 1), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Makespan != int64(n-1) && !(n == 1 && s.Makespan == 0) {
+			t.Errorf("t=%d: chain makespan %d, want %d", n, s.Makespan, n-1)
+		}
+	}
+}
+
+// TestTreeAndChainSameTotalWork: the paper notes the tree performs the
+// same t-1 total additions; only the schedule differs.
+func TestTreeAndChainSameTotalWork(t *testing.T) {
+	for _, n := range []int{2, 5, 16, 33} {
+		tree, _ := Simulate(ReductionTree(n, 1), n)
+		chain, _ := Simulate(ReductionChain(n, 1), n)
+		if tree.TotalWork != chain.TotalWork || tree.TotalWork != int64(n-1) {
+			t.Errorf("t=%d: tree work %d, chain work %d, want %d", n, tree.TotalWork, chain.TotalWork, n-1)
+		}
+	}
+}
+
+func TestReductionBuildersDegenerate(t *testing.T) {
+	if ReductionTree(0, 1) != nil || ReductionChain(0, 1) != nil {
+		t.Fatal("t=0 should yield no tasks")
+	}
+	if len(ReductionTree(1, 1)) != 1 || len(ReductionChain(1, 1)) != 1 {
+		t.Fatal("t=1 should yield just the leaf")
+	}
+}
+
+// TestMakespanBoundsProperty: for any independent loop, the makespan is at
+// least totalWork/cores (work bound) and at least the largest single task
+// (critical path bound), and list scheduling on independent equal-release
+// tasks meets the greedy 2-approximation.
+func TestMakespanBoundsProperty(t *testing.T) {
+	f := func(costsRaw []uint8, coresRaw uint8) bool {
+		if len(costsRaw) == 0 {
+			return true
+		}
+		if len(costsRaw) > 64 {
+			costsRaw = costsRaw[:64]
+		}
+		cores := 1 + int(coresRaw%8)
+		tasks := make([]Task, len(costsRaw))
+		var total, maxCost int64
+		for i, c := range costsRaw {
+			cost := int64(c % 50)
+			tasks[i] = Task{ID: i, Cost: cost}
+			total += cost
+			if cost > maxCost {
+				maxCost = cost
+			}
+		}
+		s, err := Simulate(tasks, cores)
+		if err != nil {
+			return false
+		}
+		lower := (total + int64(cores) - 1) / int64(cores)
+		if s.Makespan < lower || s.Makespan < maxCost {
+			return false
+		}
+		// Greedy bound: makespan <= total/cores + maxCost.
+		return s.Makespan <= total/int64(cores)+maxCost
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoCoreOverlapProperty: no core runs two tasks at once.
+func TestNoCoreOverlapProperty(t *testing.T) {
+	tasks := IndependentLoop(50, func(i int) int64 { return int64(i%7 + 1) })
+	s, err := Simulate(tasks, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type span struct{ start, finish int64 }
+	byCore := map[int][]span{}
+	for _, r := range s.Results {
+		byCore[r.Core] = append(byCore[r.Core], span{r.Start, r.Finish})
+	}
+	for core, spans := range byCore {
+		for i := 1; i < len(spans); i++ {
+			if spans[i].start < spans[i-1].finish {
+				t.Fatalf("core %d overlaps: %v then %v", core, spans[i-1], spans[i])
+			}
+		}
+	}
+}
+
+func TestSpeedupOfZeroMakespan(t *testing.T) {
+	s := Schedule{Makespan: 0, TotalWork: 0}
+	if s.Speedup() != 1 {
+		t.Fatalf("zero-makespan speedup = %v", s.Speedup())
+	}
+	if s.Efficiency(0) != 0 {
+		t.Fatal("efficiency with 0 cores should be 0")
+	}
+}

@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+
+	"repro/internal/omp"
+	"repro/internal/vtime"
+)
+
+// Schedule comparison in virtual time: for a workload shape and a task
+// count, compute the makespan each loop schedule achieves on p virtual
+// cores. This regenerates, as a deterministic table, the lesson the
+// parallel-loop patternlets teach experientially: which schedule wins
+// depends on the workload's shape.
+
+// SchedResult is one schedule's outcome on one workload.
+type SchedResult struct {
+	Schedule string
+	Makespan int64
+	Balance  float64 // heaviest task / ideal share (1 = perfect)
+}
+
+// CompareSchedules evaluates the standard schedules on n iterations of
+// model m over p tasks.
+func CompareSchedules(m Model, n, p int) ([]SchedResult, error) {
+	if n < 0 || p < 1 {
+		return nil, fmt.Errorf("workload: invalid n=%d p=%d", n, p)
+	}
+	costs := make([]int64, n)
+	for i := range costs {
+		costs[i] = m.Cost(i, n)
+	}
+
+	var out []SchedResult
+
+	// Static schedules: the assignment is a pure function of (n, p), so
+	// the makespan is the heaviest task's assigned work.
+	static := func(name string, taskOf func(i int) int) {
+		per := make([]int64, p)
+		for i, c := range costs {
+			per[taskOf(i)] += c
+		}
+		var max int64
+		for _, w := range per {
+			if w > max {
+				max = w
+			}
+		}
+		out = append(out, SchedResult{Schedule: name, Makespan: max, Balance: Balance(per)})
+	}
+	static("static (equal chunks)", func(i int) int {
+		// Invert EqualChunkBounds: find the owner of iteration i.
+		chunk := (n + p - 1) / p
+		owner := i / chunk
+		if owner >= p {
+			owner = p - 1
+		}
+		// Verify against the canonical bounds (guards drift between the
+		// two formulations).
+		if s, e := omp.EqualChunkBounds(n, p, owner); i < s || i >= e {
+			for t := 0; t < p; t++ {
+				if s, e := omp.EqualChunkBounds(n, p, t); i >= s && i < e {
+					return t
+				}
+			}
+		}
+		return owner
+	})
+	static("static,1 (striped)", func(i int) int { return i % p })
+	static("static,4", func(i int) int { return (i / 4) % p })
+
+	// Dynamic,1 is greedy list scheduling in index order — exactly what
+	// the vtime simulator computes for independent tasks.
+	dyn, err := vtime.Simulate(vtime.IndependentLoop(n, func(i int) int64 { return costs[i] }), p)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, SchedResult{
+		Schedule: "dynamic,1",
+		Makespan: dyn.Makespan,
+		Balance:  balanceFromSchedule(dyn, p),
+	})
+
+	// Guided: earliest-free core takes the next shrinking chunk.
+	out = append(out, guidedResult(costs, p))
+	return out, nil
+}
+
+// balanceFromSchedule computes per-core work out of a vtime schedule.
+func balanceFromSchedule(s vtime.Schedule, p int) float64 {
+	per := make([]int64, p)
+	for _, r := range s.Results {
+		per[r.Core] += r.Finish - r.Start
+	}
+	return Balance(per)
+}
+
+// coreQueue orders virtual cores by their free time.
+type coreQueue []struct {
+	free int64
+	id   int
+}
+
+func (h coreQueue) Len() int { return len(h) }
+func (h coreQueue) Less(i, j int) bool {
+	if h[i].free != h[j].free {
+		return h[i].free < h[j].free
+	}
+	return h[i].id < h[j].id
+}
+func (h coreQueue) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *coreQueue) Push(x any) {
+	*h = append(*h, x.(struct {
+		free int64
+		id   int
+	}))
+}
+func (h *coreQueue) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// guidedResult simulates schedule(guided,1) in virtual time.
+func guidedResult(costs []int64, p int) SchedResult {
+	n := len(costs)
+	cores := &coreQueue{}
+	for c := 0; c < p; c++ {
+		heap.Push(cores, struct {
+			free int64
+			id   int
+		}{0, c})
+	}
+	per := make([]int64, p)
+	var makespan int64
+	next := 0
+	for next < n {
+		remaining := n - next
+		chunk := remaining / p
+		if chunk < 1 {
+			chunk = 1
+		}
+		var work int64
+		for i := next; i < next+chunk; i++ {
+			work += costs[i]
+		}
+		next += chunk
+		core := heap.Pop(cores).(struct {
+			free int64
+			id   int
+		})
+		core.free += work
+		per[core.id] += work
+		if core.free > makespan {
+			makespan = core.free
+		}
+		heap.Push(cores, core)
+	}
+	return SchedResult{Schedule: "guided,1", Makespan: makespan, Balance: Balance(per)}
+}
+
+// ScheduleTable renders the full comparison across the standard workload
+// models — the "which schedule should I pick" experiment.
+func ScheduleTable(n, p int) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedule comparison: %d iterations on %d virtual cores (makespan in work units)\n\n", n, p)
+	for _, m := range Standard() {
+		results, err := CompareSchedules(m, n, p)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "%-22s (total %d, imbalance %.1f)\n", m.Name, m.Total(n), m.Imbalance(n))
+		var best int64 = -1
+		for _, r := range results {
+			if best == -1 || r.Makespan < best {
+				best = r.Makespan
+			}
+		}
+		for _, r := range results {
+			marker := ""
+			if r.Makespan == best {
+				marker = "  <- best"
+			}
+			fmt.Fprintf(&b, "  %-24s makespan %8d  balance %5.2f%s\n", r.Schedule, r.Makespan, r.Balance, marker)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String(), nil
+}

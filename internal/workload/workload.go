@@ -1,0 +1,167 @@
+// Package workload provides deterministic synthetic iteration-cost models
+// for the Parallel Loop experiments. The paper's loop patternlets exist
+// precisely because real loops have different cost shapes — uniform loops
+// favour equal chunks, skewed loops favour striping or dynamic
+// scheduling — so the benchmark harness needs named, reproducible shapes
+// to sweep over.
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a named per-iteration cost function over [0, n).
+type Model struct {
+	Name string
+	Cost func(i, n int) int64 // abstract work units for iteration i of n
+}
+
+// Uniform gives every iteration the same cost — the best case for
+// schedule(static).
+func Uniform(units int64) Model {
+	return Model{
+		Name: fmt.Sprintf("uniform(%d)", units),
+		Cost: func(int, int) int64 { return units },
+	}
+}
+
+// Triangular grows linearly with the iteration index (cost i+1), the
+// classic imbalance that makes equal chunks assign almost all work to the
+// last thread — the motivation for chunks-of-1 striping.
+func Triangular() Model {
+	return Model{
+		Name: "triangular",
+		Cost: func(i, _ int) int64 { return int64(i + 1) },
+	}
+}
+
+// FrontLoaded is Triangular reversed: early iterations are expensive.
+func FrontLoaded() Model {
+	return Model{
+		Name: "front-loaded",
+		Cost: func(i, n int) int64 { return int64(n - i) },
+	}
+}
+
+// Spike gives one iteration (the middle) a cost equal to the whole rest of
+// the loop — the pathological case where no static schedule balances and
+// dynamic scheduling shines.
+func Spike(baseUnits int64) Model {
+	return Model{
+		Name: fmt.Sprintf("spike(%d)", baseUnits),
+		Cost: func(i, n int) int64 {
+			if i == n/2 {
+				return baseUnits * int64(n)
+			}
+			return baseUnits
+		},
+	}
+}
+
+// Geometric halves the cost every k iterations, a long-tailed decay.
+func Geometric(start int64, k int) Model {
+	if k < 1 {
+		k = 1
+	}
+	return Model{
+		Name: fmt.Sprintf("geometric(%d,%d)", start, k),
+		Cost: func(i, _ int) int64 {
+			c := start >> uint(i/k)
+			if c < 1 {
+				c = 1
+			}
+			return c
+		},
+	}
+}
+
+// PseudoRandom is a deterministic hash-based cost in [1, max], the
+// "unpredictable but reproducible" shape.
+func PseudoRandom(max int64, seed uint64) Model {
+	if max < 1 {
+		max = 1
+	}
+	return Model{
+		Name: fmt.Sprintf("pseudorandom(%d)", max),
+		Cost: func(i, _ int) int64 {
+			x := uint64(i)*0x9E3779B97F4A7C15 + seed
+			x ^= x >> 31
+			x *= 0xBF58476D1CE4E5B9
+			x ^= x >> 27
+			return int64(x%uint64(max)) + 1
+		},
+	}
+}
+
+// Standard returns the models the schedule-comparison experiment sweeps.
+func Standard() []Model {
+	return []Model{
+		Uniform(8),
+		Triangular(),
+		FrontLoaded(),
+		Spike(2),
+		Geometric(64, 4),
+		PseudoRandom(16, 42),
+	}
+}
+
+// Total returns the model's total work over n iterations.
+func (m Model) Total(n int) int64 {
+	var sum int64
+	for i := 0; i < n; i++ {
+		sum += m.Cost(i, n)
+	}
+	return sum
+}
+
+// Imbalance returns max iteration cost / mean iteration cost, a quick
+// measure of how hostile the shape is to static partitioning (1 = flat).
+func (m Model) Imbalance(n int) float64 {
+	if n == 0 {
+		return 1
+	}
+	var sum, max int64
+	for i := 0; i < n; i++ {
+		c := m.Cost(i, n)
+		sum += c
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(sum) / float64(n)
+	if mean == 0 {
+		return 1
+	}
+	return float64(max) / mean
+}
+
+// Check validates the model produces non-negative costs over [0, n).
+func (m Model) Check(n int) error {
+	for i := 0; i < n; i++ {
+		if m.Cost(i, n) < 0 {
+			return fmt.Errorf("workload %s: negative cost at iteration %d", m.Name, i)
+		}
+	}
+	return nil
+}
+
+// Balance quantifies a partition: given per-task assigned work, it returns
+// the ratio of the heaviest task to the ideal share (1 = perfect).
+func Balance(perTask []int64) float64 {
+	if len(perTask) == 0 {
+		return 1
+	}
+	var sum, max int64
+	for _, w := range perTask {
+		sum += w
+		if w > max {
+			max = w
+		}
+	}
+	ideal := float64(sum) / float64(len(perTask))
+	if ideal == 0 {
+		return 1
+	}
+	return math.Max(1, float64(max)/ideal)
+}

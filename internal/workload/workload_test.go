@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformFlat(t *testing.T) {
+	m := Uniform(5)
+	for i := 0; i < 20; i++ {
+		if m.Cost(i, 20) != 5 {
+			t.Fatalf("uniform cost varies at %d", i)
+		}
+	}
+	if m.Imbalance(20) != 1 {
+		t.Fatalf("uniform imbalance = %v", m.Imbalance(20))
+	}
+	if m.Total(20) != 100 {
+		t.Fatalf("uniform total = %d", m.Total(20))
+	}
+}
+
+func TestTriangularTotal(t *testing.T) {
+	m := Triangular()
+	if m.Total(10) != 55 {
+		t.Fatalf("triangular total = %d, want 55", m.Total(10))
+	}
+	if m.Cost(0, 10) != 1 || m.Cost(9, 10) != 10 {
+		t.Fatal("triangular endpoints wrong")
+	}
+}
+
+func TestFrontLoadedMirrorsTriangular(t *testing.T) {
+	tr, fl := Triangular(), FrontLoaded()
+	const n = 17
+	for i := 0; i < n; i++ {
+		if fl.Cost(i, n) != tr.Cost(n-1-i, n) {
+			t.Fatalf("front-loaded is not the mirror at %d", i)
+		}
+	}
+}
+
+func TestSpikeDominates(t *testing.T) {
+	m := Spike(2)
+	const n = 100
+	spike := m.Cost(n/2, n)
+	if spike != 2*int64(n) {
+		t.Fatalf("spike cost = %d", spike)
+	}
+	if m.Cost(0, n) != 2 {
+		t.Fatalf("base cost = %d", m.Cost(0, n))
+	}
+	if m.Imbalance(n) < 10 {
+		t.Fatalf("spike imbalance = %v, expected large", m.Imbalance(n))
+	}
+}
+
+func TestGeometricDecaysToOne(t *testing.T) {
+	m := Geometric(64, 4)
+	if m.Cost(0, 100) != 64 {
+		t.Fatalf("start = %d", m.Cost(0, 100))
+	}
+	if m.Cost(99, 100) != 1 {
+		t.Fatalf("tail = %d, want floor of 1", m.Cost(99, 100))
+	}
+	for i := 1; i < 100; i++ {
+		if m.Cost(i, 100) > m.Cost(i-1, 100) {
+			t.Fatalf("geometric increased at %d", i)
+		}
+	}
+}
+
+func TestPseudoRandomDeterministicAndBounded(t *testing.T) {
+	a := PseudoRandom(16, 7)
+	b := PseudoRandom(16, 7)
+	c := PseudoRandom(16, 8)
+	differs := false
+	for i := 0; i < 200; i++ {
+		va := a.Cost(i, 200)
+		if va < 1 || va > 16 {
+			t.Fatalf("cost %d out of [1,16]", va)
+		}
+		if va != b.Cost(i, 200) {
+			t.Fatal("same seed, different costs")
+		}
+		if va != c.Cost(i, 200) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("different seeds produced identical sequences")
+	}
+}
+
+func TestStandardModelsAllValid(t *testing.T) {
+	for _, m := range Standard() {
+		if err := m.Check(256); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		if m.Name == "" {
+			t.Error("unnamed model")
+		}
+		if m.Total(256) <= 0 {
+			t.Errorf("%s: non-positive total", m.Name)
+		}
+	}
+}
+
+func TestBalance(t *testing.T) {
+	if b := Balance([]int64{10, 10, 10}); b != 1 {
+		t.Fatalf("flat balance = %v", b)
+	}
+	if b := Balance([]int64{30, 0, 0}); b != 3 {
+		t.Fatalf("skewed balance = %v, want 3", b)
+	}
+	if b := Balance(nil); b != 1 {
+		t.Fatalf("empty balance = %v", b)
+	}
+	if b := Balance([]int64{0, 0}); b != 1 {
+		t.Fatalf("zero-work balance = %v", b)
+	}
+}
+
+// TestBalanceAtLeastOneProperty: balance is always >= 1.
+func TestBalanceAtLeastOneProperty(t *testing.T) {
+	f := func(ws []uint16) bool {
+		per := make([]int64, len(ws))
+		for i, w := range ws {
+			per[i] = int64(w)
+		}
+		return Balance(per) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImbalanceDegenerate(t *testing.T) {
+	if Triangular().Imbalance(0) != 1 {
+		t.Fatal("n=0 imbalance should be 1")
+	}
+}

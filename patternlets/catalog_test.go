@@ -1,0 +1,150 @@
+// Package patternlets holds the 44 standalone patternlet programs — the
+// "syntactically correct working model" source files the paper's students
+// copy, one directory per program (paper §III: each patternlet resides in
+// its own folder with a header-comment exercise). This test file keeps
+// the directory tree and the registry catalog in lockstep and smoke-runs
+// one program per model.
+package patternlets
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"repro/internal/collection"
+	"repro/internal/core"
+)
+
+// modelDirs maps catalog models to subdirectories here.
+var modelDirs = map[core.Model]string{
+	core.OpenMP:   "omp",
+	core.MPI:      "mpi",
+	core.Pthreads: "pthreads",
+	core.Hybrid:   "hybrid",
+}
+
+// TestStandaloneProgramsMatchCatalog: every registry entry has a
+// standalone program directory, and no stray directories exist.
+func TestStandaloneProgramsMatchCatalog(t *testing.T) {
+	want := map[string]bool{} // "omp/spmd" etc.
+	for _, p := range collection.Default.All() {
+		want[modelDirs[p.Model]+"/"+p.Name] = true
+	}
+	got := map[string]bool{}
+	for _, dir := range modelDirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading %s: %v", dir, err)
+		}
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			key := dir + "/" + e.Name()
+			got[key] = true
+			if _, err := os.Stat(key + "/main.go"); err != nil {
+				t.Errorf("%s has no main.go", key)
+			}
+		}
+	}
+	for key := range want {
+		if !got[key] {
+			t.Errorf("catalog entry %s has no standalone program", key)
+		}
+	}
+	for key := range got {
+		if !want[key] {
+			t.Errorf("standalone program %s has no catalog entry", key)
+		}
+	}
+	if len(got) != collection.ExpectedTotal {
+		t.Errorf("%d standalone programs, want %d", len(got), collection.ExpectedTotal)
+	}
+}
+
+// TestEveryProgramHasHeaderExercise: the paper requires each source file
+// to carry a header comment with a student exercise.
+func TestEveryProgramHasHeaderExercise(t *testing.T) {
+	for _, dir := range modelDirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			if !e.IsDir() {
+				continue
+			}
+			path := dir + "/" + e.Name() + "/main.go"
+			src, err := os.ReadFile(path)
+			if err != nil {
+				t.Errorf("%s: %v", path, err)
+				continue
+			}
+			head := string(src)
+			if !strings.HasPrefix(head, "//") {
+				t.Errorf("%s: no header comment", path)
+			}
+			if !strings.Contains(head, "Exercise:") {
+				t.Errorf("%s: header comment has no exercise", path)
+			}
+		}
+	}
+}
+
+// run executes one standalone program with `go run`.
+func run(t *testing.T, dir string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "./" + dir}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Skipf("cannot `go run` in this environment: %v\n%s", err, out)
+	}
+	return string(out)
+}
+
+// TestSmokeRunOnePerModel executes one standalone program per model and
+// checks its headline output.
+func TestSmokeRunOnePerModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	out := run(t, "omp/spmd", "-parallel", "-threads", "4")
+	if strings.Count(out, "Hello from thread") != 4 {
+		t.Errorf("omp/spmd output:\n%s", out)
+	}
+	out = run(t, "mpi/reduction", "-np", "10")
+	if !strings.Contains(out, "The sum of the squares is 385") {
+		t.Errorf("mpi/reduction output:\n%s", out)
+	}
+	out = run(t, "pthreads/spmd2", "-threads", "4")
+	if !strings.Contains(out, "The sum of the squares is 30") {
+		t.Errorf("pthreads/spmd2 output:\n%s", out)
+	}
+	out = run(t, "hybrid/spmd", "-np", "2", "-threads", "2")
+	if strings.Count(out, "Hello from thread") != 4 {
+		t.Errorf("hybrid/spmd output:\n%s", out)
+	}
+}
+
+// TestSmokeRunDirectiveContrast verifies the before/after pedagogy in the
+// standalone form: barrier off interleaves are possible, barrier on
+// orders the phases.
+func TestSmokeRunDirectiveContrast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns go run")
+	}
+	out := run(t, "omp/barrier", "-threads", "4", "-barrier")
+	lines := strings.Split(out, "\n")
+	lastBefore, firstAfter := -1, len(lines)
+	for i, l := range lines {
+		if strings.Contains(l, "BEFORE") {
+			lastBefore = i
+		} else if strings.Contains(l, "AFTER") && i < firstAfter {
+			firstAfter = i
+		}
+	}
+	if lastBefore == -1 || lastBefore > firstAfter {
+		t.Errorf("barrier ordering violated in standalone program:\n%s", out)
+	}
+}

@@ -1,0 +1,49 @@
+// reduction.hybrid — two-level reduction: OpenMP within each process,
+// MPI across processes.
+//
+// Exercise: the data is 1..np*1000 split across processes. Verify the
+// grand total equals n(n+1)/2. Which stage of the combining crosses node
+// boundaries?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+	"repro/internal/omp"
+)
+
+const perProcess = 1000
+
+func main() {
+	np := flag.Int("np", 2, "number of MPI processes")
+	threads := flag.Int("threads", 2, "OpenMP threads per process")
+	flag.Parse()
+
+	err := mpi.Run(*np, func(c *mpi.Comm) error {
+		rank := c.Rank()
+		local := make([]int64, perProcess) // this process's slice of 1..np*perProcess
+		for i := range local {
+			local[i] = int64(rank*perProcess + i + 1)
+		}
+		// Stage 1: shared-memory reduction within the process.
+		localSum := omp.ParallelForReduce(perProcess, omp.StaticEqual(), omp.Sum[int64](), 0,
+			func(i int) int64 { return local[i] }, omp.WithNumThreads(*threads))
+		fmt.Printf("Process %d local sum: %d\n", rank, localSum)
+		// Stage 2: message-passing reduction across processes.
+		total, err := mpi.Reduce(c, localSum, mpi.Sum[int64](), 0)
+		if err != nil {
+			return err
+		}
+		if rank == 0 {
+			n := int64(c.Size() * perProcess)
+			fmt.Printf("Grand total: %d (expected %d)\n", total, n*(n+1)/2)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+// spmd.hybrid — MPI+OpenMP: processes across nodes, threads within each.
+//
+// Exercise: with -np 3 and -threads 2, how many Hello lines print? Which
+// pair of ids identifies a line uniquely, and which substrate provides
+// each id?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+	"repro/internal/omp"
+)
+
+func main() {
+	np := flag.Int("np", 2, "number of MPI processes")
+	threads := flag.Int("threads", 2, "OpenMP threads per process")
+	flag.Parse()
+
+	err := mpi.Run(*np, func(c *mpi.Comm) error {
+		rank, n, node := c.Rank(), c.Size(), c.ProcessorName()
+		omp.Parallel(func(t *omp.Thread) {
+			fmt.Printf("Hello from thread %d of %d on process %d of %d (%s)\n",
+				t.ThreadNum(), t.NumThreads(), rank, n, node)
+		}, omp.WithNumThreads(*threads))
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

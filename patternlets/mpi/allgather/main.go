@@ -1,0 +1,31 @@
+// allgather.mpi — a gather whose result every process receives.
+//
+// Exercise: compare with gather.mpi: who holds the complete array
+// afterwards? Express Allgather in terms of two collectives you already
+// know.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+)
+
+func main() {
+	np := flag.Int("np", 4, "number of processes")
+	flag.Parse()
+
+	err := mpi.Run(*np, func(c *mpi.Comm) error {
+		all, err := mpi.Allgather(c, []int{c.Rank() * 10})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Process %d has the complete array: %v\n", c.Rank(), all)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

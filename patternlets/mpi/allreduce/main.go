@@ -1,0 +1,31 @@
+// allreduce.mpi — a reduction whose result every process receives.
+//
+// Exercise: each process contributes rank+1. After the allreduce, every
+// process should print the same total — why would a plain Reduce not be
+// enough here?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+)
+
+func main() {
+	np := flag.Int("np", 4, "number of processes")
+	flag.Parse()
+
+	err := mpi.Run(*np, func(c *mpi.Comm) error {
+		total, err := mpi.Allreduce(c, c.Rank()+1, mpi.Sum[int]())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Process %d knows the total is %d\n", c.Rank(), total)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

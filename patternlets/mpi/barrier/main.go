@@ -1,0 +1,75 @@
+// barrier.mpi — the Barrier pattern over processes (paper Figure 10).
+//
+// Exercise: stdout from distributed processes preserves no order, so the
+// report lines travel to the master as messages — and with the barrier
+// enabled, the master must receive every BEFORE before it enters the
+// barrier, because the network may deliver messages from different
+// processes out of order. Run with -np 4 (Figure 11), then with -barrier
+// (Figure 12): state the ordering guarantee you observe, and explain why
+// the master's receives are phased with the barrier.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+)
+
+const (
+	tagBefore = 7
+	tagAfter  = 8
+)
+
+func main() {
+	np := flag.Int("np", 4, "number of processes")
+	barrier := flag.Bool("barrier", false, "enable the MPI_Barrier call")
+	flag.Parse()
+
+	err := mpi.Run(*np, func(c *mpi.Comm) error {
+		id, n := c.Rank(), c.Size()
+		report := func(phase string, tag int) error {
+			line := fmt.Sprintf("Process %d of %d is %s the barrier.", id, n, phase)
+			return mpi.Send(c, line, 0, tag)
+		}
+		if err := report("BEFORE", tagBefore); err != nil {
+			return err
+		}
+		if id == 0 && *barrier {
+			// Print every BEFORE before anyone can pass the barrier.
+			for i := 0; i < n; i++ {
+				line, _, err := mpi.Recv[string](c, mpi.AnySource, tagBefore)
+				if err != nil {
+					return err
+				}
+				fmt.Println(line)
+			}
+		}
+		if *barrier { // the commented-out call
+			if err := mpi.Barrier(c); err != nil {
+				return err
+			}
+		}
+		if err := report("AFTER", tagAfter); err != nil {
+			return err
+		}
+		if id == 0 {
+			remaining := n
+			if !*barrier {
+				remaining = 2 * n // both phases, in arrival order
+			}
+			for i := 0; i < remaining; i++ {
+				line, _, err := mpi.Recv[string](c, mpi.AnySource, mpi.AnyTag)
+				if err != nil {
+					return err
+				}
+				fmt.Println(line)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

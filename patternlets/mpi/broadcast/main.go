@@ -1,0 +1,36 @@
+// broadcast.mpi — the Broadcast pattern.
+//
+// Exercise: every process starts with answer = -1. After the broadcast,
+// what does each hold? How many point-to-point messages does a tree
+// broadcast need for -np 8?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+)
+
+func main() {
+	np := flag.Int("np", 4, "number of processes")
+	flag.Parse()
+
+	err := mpi.Run(*np, func(c *mpi.Comm) error {
+		answer := -1
+		if c.Rank() == 0 {
+			answer = 42
+		}
+		fmt.Printf("Process %d before broadcast: answer = %d\n", c.Rank(), answer)
+		got, err := mpi.Bcast(c, answer, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Process %d after broadcast: answer = %d\n", c.Rank(), got)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+// broadcast2.mpi — broadcasting an array; buffers are private copies.
+//
+// Exercise: process 1 overwrites its received array. Check the master's
+// printout: why is the master's copy unaffected, and how does that
+// differ from shared memory?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+)
+
+func main() {
+	np := flag.Int("np", 4, "number of processes")
+	flag.Parse()
+
+	err := mpi.Run(*np, func(c *mpi.Comm) error {
+		var data []int
+		if c.Rank() == 0 {
+			data = []int{10, 20, 30, 40}
+		}
+		got, err := mpi.Bcast(c, data, 0)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			for i := range got {
+				got[i] = -got[i] // mutate MY copy only
+			}
+		}
+		if err := mpi.Barrier(c); err != nil {
+			return err
+		}
+		fmt.Printf("Process %d array: %v\n", c.Rank(), got)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

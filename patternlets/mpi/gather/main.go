@@ -1,0 +1,41 @@
+// gather.mpi — the Gather pattern (paper Figure 25).
+//
+// Exercise: run with -np 2, 4 and 6 and compare with Figures 26-28. In
+// what order do the chunks appear in gatherArray regardless of arrival
+// order, and why?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+)
+
+const size = 3 // the paper's SIZE constant
+
+func main() {
+	np := flag.Int("np", 2, "number of processes")
+	flag.Parse()
+
+	err := mpi.Run(*np, func(c *mpi.Comm) error {
+		myRank := c.Rank()
+		computeArray := make([]int, size) // everyone: load array1 with
+		for i := range computeArray {     // 3 distinct values
+			computeArray[i] = myRank*10 + i
+		}
+		fmt.Printf("Process %d, computeArray: %v\n", myRank, computeArray)
+		gatherArray, err := mpi.Gather(c, computeArray, 0) // gather array1 into array2
+		if err != nil {
+			return err
+		}
+		if myRank == 0 { // master: show array2
+			fmt.Printf("Process %d, gatherArray: %v\n", myRank, gatherArray)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,31 @@
+// masterWorker.mpi — the Master-Worker pattern over processes.
+//
+// Exercise: run with -np 1: is there still a master? With -np 8, how
+// many workers greet you? Where would you put work-distribution code in
+// this skeleton?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+)
+
+func main() {
+	np := flag.Int("np", 4, "number of processes")
+	flag.Parse()
+
+	err := mpi.Run(*np, func(c *mpi.Comm) error {
+		if c.Rank() == 0 {
+			fmt.Printf("Greetings from the master, #%d of %d\n", c.Rank(), c.Size())
+		} else {
+			fmt.Printf("Hello from worker #%d of %d\n", c.Rank(), c.Size())
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

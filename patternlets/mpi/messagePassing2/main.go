@@ -1,0 +1,49 @@
+// messagePassing2.mpi — a receive-before-send deadlock, and the fix.
+//
+// Exercise: run as-is: every process receives before sending — explain
+// why nobody ever proceeds. Rerun with -sendrecv: why can the combined
+// operation not deadlock?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+const tag = 2
+
+func main() {
+	np := flag.Int("np", 2, "number of processes")
+	sendrecv := flag.Bool("sendrecv", false, "use MPI_Sendrecv instead of Recv-then-Send")
+	flag.Parse()
+
+	err := mpi.Run(*np, func(c *mpi.Comm) error {
+		id, n := c.Rank(), c.Size()
+		peer, from := (id+1)%n, (id-1+n)%n
+		if *sendrecv {
+			got, _, err := mpi.Sendrecv[int, int](c, id*10, peer, tag, from, tag)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("Process %d exchanged: sent %d, received %d\n", id, id*10, got)
+			return nil
+		}
+		got, _, err := mpi.Recv[int](c, from, tag) // everyone receives first...
+		if err != nil {
+			return err
+		}
+		if err := mpi.Send(c, id*10, peer, tag); err != nil {
+			return err
+		}
+		fmt.Printf("Process %d received %d\n", id, got)
+		return nil
+	}, mpi.WithRecvTimeout(300*time.Millisecond)) // deadlock detector
+	if err != nil {
+		fmt.Println("DEADLOCK detected: every process is blocked in MPI_Recv.")
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,30 @@
+// parallelLoopChunksOf1.mpi — the striped loop division.
+//
+// Exercise: compare the iteration-to-process map with the equal-chunks
+// version. Which division would you use if iteration cost grows with i?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+)
+
+const reps = 16
+
+func main() {
+	np := flag.Int("np", 2, "number of processes")
+	flag.Parse()
+
+	err := mpi.Run(*np, func(c *mpi.Comm) error {
+		for i := c.Rank(); i < reps; i += c.Size() {
+			fmt.Printf("Process %d performed iteration %d\n", c.Rank(), i)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

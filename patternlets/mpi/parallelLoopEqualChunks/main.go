@@ -1,0 +1,42 @@
+// parallelLoopEqualChunks.mpi — the Parallel Loop pattern by hand
+// (paper Figure 16): MPI has no worksharing construct.
+//
+// Exercise: OpenMP gave us this for free; here the start/stop arithmetic
+// is explicit. Run with -np 3 (8 iterations don't divide evenly): which
+// process gets fewer?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+)
+
+const reps = 8
+
+func main() {
+	np := flag.Int("np", 2, "number of processes")
+	flag.Parse()
+
+	err := mpi.Run(*np, func(c *mpi.Comm) error {
+		id, n := c.Rank(), c.Size()
+		chunkSize := (reps + n - 1) / n // ceil(REPS/numProcesses)
+		start := id * chunkSize
+		stop := (id + 1) * chunkSize
+		if id == n-1 || stop > reps {
+			stop = reps
+		}
+		if start > reps {
+			start = reps
+		}
+		for i := start; i < stop; i++ {
+			fmt.Printf("Process %d performed iteration %d\n", id, i)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

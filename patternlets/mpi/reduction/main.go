@@ -1,0 +1,41 @@
+// reduction.mpi — the Reduction pattern over processes (paper Figure 23).
+//
+// Exercise: with -np 10, the sum of squares is 385 and the max is 100
+// (Figure 24). Derive both by hand, then rerun with -np 4 and check your
+// formula.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+)
+
+func main() {
+	np := flag.Int("np", 10, "number of processes")
+	flag.Parse()
+
+	err := mpi.Run(*np, func(c *mpi.Comm) error {
+		myRank := c.Rank()
+		square := (myRank + 1) * (myRank + 1)
+		fmt.Printf("Process %d computed %d\n", myRank, square)
+		sum, err := mpi.Reduce(c, square, mpi.Sum[int](), 0)
+		if err != nil {
+			return err
+		}
+		max, err := mpi.Reduce(c, square, mpi.Max[int](), 0)
+		if err != nil {
+			return err
+		}
+		if myRank == 0 {
+			fmt.Printf("\nThe sum of the squares is %d\n", sum)
+			fmt.Printf("The max of the squares is %d\n", max)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+// reduction2.mpi — element-wise array reduction and MAXLOC.
+//
+// Exercise: each process contributes [id, 2id, 3id]. Predict the
+// element-wise sums for -np 4. Which rank does MAXLOC report, and why is
+// the tie rule needed?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+)
+
+func main() {
+	np := flag.Int("np", 4, "number of processes")
+	flag.Parse()
+
+	err := mpi.Run(*np, func(c *mpi.Comm) error {
+		id := c.Rank()
+		arr := []int{id, 2 * id, 3 * id}
+		sums, err := mpi.Reduce(c, arr, mpi.ElemWise(mpi.Sum[int]()), 0)
+		if err != nil {
+			return err
+		}
+		square := (id + 1) * (id + 1)
+		loc, err := mpi.Reduce(c, mpi.ValLoc[int]{Val: square, Rank: id}, mpi.MaxLoc[int](), 0)
+		if err != nil {
+			return err
+		}
+		if id == 0 {
+			fmt.Printf("Element-wise sums: %v\n", sums)
+			fmt.Printf("Largest square %d was computed by process %d\n", loc.Val, loc.Rank)
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

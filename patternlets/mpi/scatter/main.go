@@ -1,0 +1,41 @@
+// scatter.mpi — the Scatter pattern.
+//
+// Exercise: the master fills an array with 0..3*np-1 and scatters it.
+// Which values land at process 2? How does Scatter relate to the
+// equal-chunks loop division?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+)
+
+const chunk = 3
+
+func main() {
+	np := flag.Int("np", 4, "number of processes")
+	flag.Parse()
+
+	err := mpi.Run(*np, func(c *mpi.Comm) error {
+		var send []int
+		if c.Rank() == 0 {
+			send = make([]int, chunk*c.Size())
+			for i := range send {
+				send[i] = i
+			}
+			fmt.Printf("Process 0 scatters: %v\n", send)
+		}
+		part, err := mpi.Scatter(c, send, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Process %d received chunk: %v\n", c.Rank(), part)
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,41 @@
+// sequenceNumbers.mpi — ordering distributed output with messages.
+//
+// Exercise: compare with spmd.mpi: why is this output always in rank
+// order? What does the master's posted receive for a specific source
+// guarantee?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+)
+
+const tag = 3
+
+func main() {
+	np := flag.Int("np", 4, "number of processes")
+	flag.Parse()
+
+	err := mpi.Run(*np, func(c *mpi.Comm) error {
+		line := fmt.Sprintf("Process %d of %d reporting in order", c.Rank(), c.Size())
+		if err := mpi.Send(c, line, 0, tag); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			for src := 0; src < c.Size(); src++ { // receive in rank order
+				l, _, err := mpi.Recv[string](c, src, tag)
+				if err != nil {
+					return err
+				}
+				fmt.Println(l)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

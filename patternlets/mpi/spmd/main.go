@@ -1,0 +1,27 @@
+// spmd.mpi — SPMD across processes (paper Figure 4).
+//
+// Exercise: run with -np 1 (Figure 5), then -np 4 (Figure 6). Which
+// values differ between processes? What do the node names tell you about
+// where each process ran?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/mpi"
+)
+
+func main() {
+	np := flag.Int("np", 4, "number of processes")
+	flag.Parse()
+
+	err := mpi.Run(*np, func(c *mpi.Comm) error {
+		fmt.Printf("Hello from process %d of %d on %s\n", c.Rank(), c.Size(), c.ProcessorName())
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

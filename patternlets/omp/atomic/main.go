@@ -1,0 +1,38 @@
+// atomic.omp — a race condition fixed by #pragma omp atomic.
+//
+// Exercise: without -atomic, how much of the money do you end up with?
+// Rerun — does the loss change? Add -atomic and state why the result is
+// now exact.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/omp"
+)
+
+const reps = 20000
+
+func main() {
+	threads := flag.Int("threads", 4, "number of threads")
+	atomic := flag.Bool("atomic", false, "enable the #pragma omp atomic directive")
+	flag.Parse()
+
+	total := reps * *threads
+	var balance float64
+	if *atomic {
+		var cell uint64
+		omp.ParallelFor(total, omp.StaticEqual(), func(_, _ int) {
+			omp.AtomicAddFloat64(&cell, 1.0)
+		}, omp.WithNumThreads(*threads))
+		balance = omp.LoadFloat64(&cell)
+	} else {
+		var c omp.UnsafeCounter // the unprotected read-modify-write
+		omp.ParallelFor(total, omp.StaticEqual(), func(_, _ int) {
+			c.Add(1.0)
+		}, omp.WithNumThreads(*threads))
+		balance = c.Value()
+	}
+	fmt.Printf("After %d $1 deposits, your balance is %.2f (expected %d.00)\n", total, balance, total)
+}

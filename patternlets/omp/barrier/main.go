@@ -1,0 +1,30 @@
+// barrier.omp — the Barrier pattern (paper Figure 7).
+//
+// Exercise: run with -threads 4 and note how BEFORE and AFTER lines
+// interleave (Figure 8). Add -barrier and rerun (Figure 9): state the
+// guarantee the barrier provides.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/omp"
+)
+
+func main() {
+	threads := flag.Int("threads", 4, "number of threads")
+	barrier := flag.Bool("barrier", false, "enable the #pragma omp barrier directive")
+	flag.Parse()
+
+	fmt.Println()
+	omp.Parallel(func(t *omp.Thread) {
+		id, n := t.ThreadNum(), t.NumThreads()
+		fmt.Printf("Thread %d of %d is BEFORE the barrier.\n", id, n)
+		if *barrier { // the commented-out pragma
+			t.Barrier()
+		}
+		fmt.Printf("Thread %d of %d is AFTER the barrier.\n", id, n)
+	}, omp.WithNumThreads(*threads))
+	fmt.Println()
+}

@@ -1,0 +1,37 @@
+// critical.omp — the same race fixed with #pragma omp critical.
+//
+// Exercise: add -critical and verify the balance is exact. atomic also
+// fixes this program — what can critical protect that atomic cannot?
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/omp"
+)
+
+const reps = 20000
+
+func main() {
+	threads := flag.Int("threads", 4, "number of threads")
+	critical := flag.Bool("critical", false, "enable the #pragma omp critical directive")
+	flag.Parse()
+
+	total := reps * *threads
+	var balance float64
+	if *critical {
+		omp.Parallel(func(t *omp.Thread) {
+			t.For(0, total, omp.StaticEqual(), func(int) {
+				t.Critical("balance", func() { balance += 1.0 })
+			})
+		}, omp.WithNumThreads(*threads))
+	} else {
+		var c omp.UnsafeCounter
+		omp.ParallelFor(total, omp.StaticEqual(), func(_, _ int) {
+			c.Add(1.0)
+		}, omp.WithNumThreads(*threads))
+		balance = c.Value()
+	}
+	fmt.Printf("After %d $1 deposits, your balance is %.2f (expected %d.00)\n", total, balance, total)
+}

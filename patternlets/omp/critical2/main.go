@@ -1,0 +1,45 @@
+// critical2.omp — timing atomic vs critical (paper Figure 29).
+//
+// Exercise: run with -threads 2, 4 and 8 and record the
+// criticalTime/atomicTime ratio each time. Why does the gap grow with
+// contention?
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/omp"
+)
+
+const reps = 100000
+
+func main() {
+	threads := flag.Int("threads", 8, "number of threads")
+	flag.Parse()
+
+	total := reps * *threads
+	fmt.Println("Your starting bank account balance is 0.00")
+
+	var cell uint64
+	start := omp.GetWTime()
+	omp.ParallelFor(total, omp.StaticEqual(), func(_, _ int) {
+		omp.AtomicAddFloat64(&cell, 1.0)
+	}, omp.WithNumThreads(*threads))
+	atomicTime := omp.GetWTime() - start
+	fmt.Printf("\nAfter %d $1 deposits using 'atomic':\n - balance = %.2f,\n - total time = %.12f\n",
+		total, omp.LoadFloat64(&cell), atomicTime)
+
+	balance := 0.0
+	start = omp.GetWTime()
+	omp.Parallel(func(t *omp.Thread) {
+		t.For(0, total, omp.StaticEqual(), func(int) {
+			t.Critical("balance", func() { balance += 1.0 })
+		})
+	}, omp.WithNumThreads(*threads))
+	criticalTime := omp.GetWTime() - start
+	fmt.Printf("\nAfter %d $1 deposits using 'critical':\n - balance = %.2f,\n - total time = %.12f\n",
+		total, balance, criticalTime)
+
+	fmt.Printf("\ncriticalTime / atomicTime ratio: %.12f\n", criticalTime/atomicTime)
+}

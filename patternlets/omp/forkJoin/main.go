@@ -1,0 +1,29 @@
+// forkJoin.omp — one fork/join region between two sequential sections.
+//
+// Exercise: predict how many times each message prints, then run with
+// -parallel -threads 4 and verify. Which lines print once, and which
+// print once per thread?
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/omp"
+)
+
+func main() {
+	threads := flag.Int("threads", 4, "team size when -parallel is set")
+	parallel := flag.Bool("parallel", false, "enable the parallel region")
+	flag.Parse()
+
+	fmt.Println("Before...")
+	n := 1
+	if *parallel {
+		n = *threads
+	}
+	omp.Parallel(func(t *omp.Thread) {
+		fmt.Printf("During: thread %d of %d\n", t.ThreadNum(), t.NumThreads())
+	}, omp.WithNumThreads(n))
+	fmt.Println("After.")
+}

@@ -1,0 +1,24 @@
+// forkJoin2.omp — multiple fork/join regions with different team sizes.
+//
+// Exercise: the program forks teams of 1, N and 2N threads. How many
+// lines does each region print? What stays the same across runs, and
+// what changes?
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/omp"
+)
+
+func main() {
+	threads := flag.Int("threads", 2, "base team size N")
+	flag.Parse()
+
+	for region, n := range []int{1, *threads, 2 * *threads} {
+		omp.Parallel(func(t *omp.Thread) {
+			fmt.Printf("Region %d: hello from thread %d of %d\n", region, t.ThreadNum(), t.NumThreads())
+		}, omp.WithNumThreads(n))
+	}
+}

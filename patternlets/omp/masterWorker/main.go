@@ -1,0 +1,26 @@
+// masterWorker.omp — the Master-Worker pattern.
+//
+// Exercise: run with several thread counts. Exactly one greeting should
+// come from the master regardless of team size — why is testing the
+// thread id enough?
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/omp"
+)
+
+func main() {
+	threads := flag.Int("threads", 4, "number of threads")
+	flag.Parse()
+
+	omp.Parallel(func(t *omp.Thread) {
+		if t.ThreadNum() == 0 {
+			fmt.Printf("Greetings from the master, #%d of %d\n", t.ThreadNum(), t.NumThreads())
+		} else {
+			fmt.Printf("Hello from worker #%d of %d\n", t.ThreadNum(), t.NumThreads())
+		}
+	}, omp.WithNumThreads(*threads))
+}

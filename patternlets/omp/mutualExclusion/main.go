@@ -1,0 +1,41 @@
+// mutualExclusion.omp — the deposit race and both of its fixes.
+//
+// Exercise: which of the three balances are exact? Rank the three
+// variants by expected speed and justify the ranking.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/omp"
+)
+
+const reps = 20000
+
+func main() {
+	threads := flag.Int("threads", 4, "number of threads")
+	flag.Parse()
+
+	total := reps * *threads
+
+	var racy omp.UnsafeCounter
+	omp.ParallelFor(total, omp.StaticEqual(), func(_, _ int) {
+		racy.Add(1.0)
+	}, omp.WithNumThreads(*threads))
+	fmt.Printf("unprotected: balance = %.2f of %d.00\n", racy.Value(), total)
+
+	var cell uint64
+	omp.ParallelFor(total, omp.StaticEqual(), func(_, _ int) {
+		omp.AtomicAddFloat64(&cell, 1.0)
+	}, omp.WithNumThreads(*threads))
+	fmt.Printf("atomic:      balance = %.2f of %d.00\n", omp.LoadFloat64(&cell), total)
+
+	balance := 0.0
+	omp.Parallel(func(t *omp.Thread) {
+		t.For(0, total, omp.StaticEqual(), func(int) {
+			t.Critical("balance", func() { balance += 1.0 })
+		})
+	}, omp.WithNumThreads(*threads))
+	fmt.Printf("critical:    balance = %.2f of %d.00\n", balance, total)
+}

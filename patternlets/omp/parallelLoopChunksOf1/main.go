@@ -1,0 +1,27 @@
+// parallelLoopChunksOf1.omp — the Parallel Loop pattern with
+// schedule(static,1): iterations dealt out round-robin.
+//
+// Exercise: compare with parallelLoopEqualChunks at the same thread
+// count: how does the iteration-to-thread assignment differ? When would
+// striping balance load better?
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/omp"
+)
+
+const reps = 16
+
+func main() {
+	threads := flag.Int("threads", 2, "number of threads")
+	flag.Parse()
+
+	omp.Parallel(func(t *omp.Thread) {
+		t.For(0, reps, omp.StaticChunk(1), func(i int) {
+			fmt.Printf("Thread %d performed iteration %d\n", t.ThreadNum(), i)
+		})
+	}, omp.WithNumThreads(*threads))
+}

@@ -1,0 +1,35 @@
+// parallelLoopDynamic.omp — the Parallel Loop pattern with
+// schedule(dynamic,1): iterations claimed on demand.
+//
+// Exercise: iterations get more expensive as i grows. Compare how many
+// iterations each thread performs here versus under the static
+// schedules. Which schedule finishes soonest?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/omp"
+)
+
+const reps = 16
+
+func main() {
+	threads := flag.Int("threads", 2, "number of threads")
+	flag.Parse()
+
+	omp.Parallel(func(t *omp.Thread) {
+		t.For(0, reps, omp.Dynamic(1), func(i int) {
+			spin(time.Duration(i) * 50 * time.Microsecond) // iteration i costs ~i units
+			fmt.Printf("Thread %d performed iteration %d\n", t.ThreadNum(), i)
+		})
+	}, omp.WithNumThreads(*threads))
+}
+
+func spin(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}

@@ -1,0 +1,27 @@
+// parallelLoopEqualChunks.omp — the Parallel Loop pattern with the
+// default static schedule (paper Figure 13).
+//
+// Exercise: run with -threads 1, 2 and 4 (Figures 14-15). Which
+// iterations does each thread perform? Write the formula for thread i's
+// first and last iteration.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/omp"
+)
+
+const reps = 8
+
+func main() {
+	threads := flag.Int("threads", 2, "number of threads")
+	flag.Parse()
+
+	omp.Parallel(func(t *omp.Thread) {
+		t.For(0, reps, omp.StaticEqual(), func(i int) {
+			fmt.Printf("Thread %d performed iteration %d\n", t.ThreadNum(), i)
+		})
+	}, omp.WithNumThreads(*threads))
+}

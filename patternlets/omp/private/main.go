@@ -1,0 +1,42 @@
+// private.omp — why loop variables must be private.
+//
+// Exercise: without -private, all threads share one loop index; run a
+// few times and count the iterations actually executed. Add -private and
+// explain the difference.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/omp"
+)
+
+const reps = 8
+
+func main() {
+	threads := flag.Int("threads", 4, "number of threads")
+	private := flag.Bool("private", false, "give each thread a private loop index")
+	flag.Parse()
+
+	expected := reps * *threads
+	if *private {
+		omp.Parallel(func(t *omp.Thread) {
+			for i := 0; i < reps; i++ { // i is private to each thread
+				_ = i
+			}
+			fmt.Printf("Thread %d executed %d iterations\n", t.ThreadNum(), reps)
+		}, omp.WithNumThreads(*threads))
+		fmt.Printf("Total iterations executed: %d (expected %d)\n", expected, expected)
+		return
+	}
+	// Shared index: threads race on i and skip over each other's work.
+	var shared, count omp.UnsafeInt
+	omp.Parallel(func(t *omp.Thread) {
+		for shared.Value() < int64(expected) {
+			shared.Add(1)
+			count.Add(1)
+		}
+	}, omp.WithNumThreads(*threads))
+	fmt.Printf("Total iterations executed: %d (expected %d)\n", count.Value(), expected)
+}

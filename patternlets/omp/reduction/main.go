@@ -1,0 +1,52 @@
+// reduction.omp — the Reduction pattern (paper Figure 20).
+//
+// Exercise: run as-is (both sums agree, Figure 21). Add -parallel only
+// and rerun several times: why is the parallel sum wrong, and why does
+// it differ run to run (Figure 22)? Add -reduction too and explain the
+// fix.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/omp"
+)
+
+const size = 100000
+
+func main() {
+	threads := flag.Int("threads", 4, "number of threads")
+	parallel := flag.Bool("parallel", false, "enable #pragma omp parallel for")
+	reduction := flag.Bool("reduction", false, "enable the reduction(+:sum) clause")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(42))
+	a := make([]int64, size)
+	for i := range a {
+		a[i] = int64(rng.Intn(1000))
+	}
+	var seq int64
+	for _, v := range a {
+		seq += v
+	}
+
+	var par int64
+	switch {
+	case !*parallel: // both pragmas commented out: sequential
+		for _, v := range a {
+			par += v
+		}
+	case !*reduction: // the data race of Figure 22
+		var shared omp.UnsafeInt
+		omp.ParallelFor(size, omp.StaticEqual(), func(i, _ int) {
+			shared.Add(a[i])
+		}, omp.WithNumThreads(*threads))
+		par = shared.Value()
+	default: // the reduction clause
+		par = omp.ParallelForReduce(size, omp.StaticEqual(), omp.Sum[int64](), 0,
+			func(i int) int64 { return a[i] }, omp.WithNumThreads(*threads))
+	}
+	fmt.Printf("Seq. sum: \t%d\nPar. sum: \t%d\n", seq, par)
+}

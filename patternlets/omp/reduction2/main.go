@@ -1,0 +1,29 @@
+// reduction2.omp — reductions with operators beyond +.
+//
+// Exercise: each thread contributes (id+1). Predict the four results for
+// 4 threads, then verify. What must be true of an operator for a tree
+// reduction to be valid?
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/omp"
+)
+
+func main() {
+	threads := flag.Int("threads", 4, "number of threads")
+	flag.Parse()
+
+	omp.Parallel(func(t *omp.Thread) {
+		local := t.ThreadNum() + 1
+		sum := omp.Reduce(t, omp.Sum[int](), local)
+		prod := omp.Reduce(t, omp.Prod[int](), local)
+		max := omp.Reduce(t, omp.Max[int](), local)
+		min := omp.Reduce(t, omp.Min[int](), local)
+		t.Master(func() {
+			fmt.Printf("sum  = %d\nprod = %d\nmax  = %d\nmin  = %d\n", sum, prod, max, min)
+		})
+	}, omp.WithNumThreads(*threads))
+}

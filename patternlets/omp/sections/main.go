@@ -1,0 +1,28 @@
+// sections.omp — Task Decomposition with #pragma omp sections.
+//
+// Exercise: run with -threads 1, 2 and 4. Each task runs exactly once —
+// which thread runs which task, and is the assignment stable across
+// runs?
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/omp"
+)
+
+func main() {
+	threads := flag.Int("threads", 2, "number of threads")
+	flag.Parse()
+
+	omp.Parallel(func(t *omp.Thread) {
+		var fns []func()
+		for _, name := range []string{"A", "B", "C", "D"} {
+			fns = append(fns, func() {
+				fmt.Printf("Task %s performed by thread %d\n", name, t.ThreadNum())
+			})
+		}
+		t.Sections(fns...)
+	}, omp.WithNumThreads(*threads))
+}

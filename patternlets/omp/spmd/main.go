@@ -1,0 +1,29 @@
+// spmd.omp — the Single Program Multiple Data pattern (paper Figure 1).
+//
+// Exercise: run as-is (one thread, Figure 2), then rerun with -parallel
+// -threads 4 (Figure 3). Rerun several times: why does the order of the
+// Hello lines change?
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/omp"
+)
+
+func main() {
+	threads := flag.Int("threads", 4, "team size when -parallel is set")
+	parallel := flag.Bool("parallel", false, "enable the #pragma omp parallel directive")
+	flag.Parse()
+
+	fmt.Println()
+	n := 1
+	if *parallel { // the commented-out pragma
+		n = *threads
+	}
+	omp.Parallel(func(t *omp.Thread) {
+		fmt.Printf("Hello from thread %d of %d\n", t.ThreadNum(), t.NumThreads())
+	}, omp.WithNumThreads(n))
+	fmt.Println()
+}

@@ -1,0 +1,21 @@
+// spmd2.omp — SPMD with the thread count from the command line.
+//
+// Exercise: run with -threads 1, 2, 4, 8. Is the number of Hello lines
+// always what you asked for? Does any id repeat or go missing?
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/omp"
+)
+
+func main() {
+	threads := flag.Int("threads", 4, "number of threads")
+	flag.Parse()
+
+	omp.Parallel(func(t *omp.Thread) {
+		fmt.Printf("Hello from thread %d of %d\n", t.ThreadNum(), t.NumThreads())
+	}, omp.WithNumThreads(*threads))
+}

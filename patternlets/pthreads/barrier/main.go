@@ -1,0 +1,39 @@
+// barrier.pthreads — an explicit reusable barrier.
+//
+// Exercise: one thread per phase sees Wait() return true ("serial") —
+// what is that good for? Run without -barrier: which orderings become
+// possible?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/pthreads"
+)
+
+type threadArg struct{ id, numThreads int }
+
+func main() {
+	n := flag.Int("threads", 4, "number of threads")
+	barrier := flag.Bool("barrier", false, "enable pthread_barrier_wait")
+	flag.Parse()
+
+	bar := pthreads.MustBarrier(*n)
+	threads := make([]*pthreads.Thread, *n)
+	for i := range threads {
+		threads[i] = pthreads.Create(func(arg any) any {
+			a := arg.(threadArg)
+			fmt.Printf("Thread %d of %d is BEFORE the barrier.\n", a.id, a.numThreads)
+			if *barrier {
+				bar.Wait()
+			}
+			fmt.Printf("Thread %d of %d is AFTER the barrier.\n", a.id, a.numThreads)
+			return nil
+		}, threadArg{id: i, numThreads: *n})
+	}
+	if _, err := pthreads.JoinAll(threads); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+// conditionVariable.pthreads — a bounded buffer on a condition variable.
+//
+// Exercise: why must Wait be called in a loop re-checking the predicate?
+// Shrink -capacity to 1: does the program still terminate, and why?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/pthreads"
+)
+
+func main() {
+	capacity := flag.Int("capacity", 2, "bounded buffer capacity")
+	items := flag.Int("items", 8, "items to produce and consume")
+	flag.Parse()
+
+	var mu pthreads.Mutex
+	notFull := pthreads.NewCond(&mu)
+	notEmpty := pthreads.NewCond(&mu)
+	var buffer []int
+
+	producer := pthreads.Create(func(any) any {
+		for i := 0; i < *items; i++ {
+			mu.Lock()
+			for len(buffer) == *capacity {
+				notFull.Wait()
+			}
+			buffer = append(buffer, i)
+			fmt.Printf("Producer put item %d (buffer now %d)\n", i, len(buffer))
+			notEmpty.Signal()
+			mu.Unlock()
+		}
+		return nil
+	}, nil)
+	consumer := pthreads.Create(func(any) any {
+		for i := 0; i < *items; i++ {
+			mu.Lock()
+			for len(buffer) == 0 {
+				notEmpty.Wait()
+			}
+			item := buffer[0]
+			buffer = buffer[1:]
+			fmt.Printf("Consumer got item %d (buffer now %d)\n", item, len(buffer))
+			notFull.Signal()
+			mu.Unlock()
+		}
+		return nil
+	}, nil)
+
+	if _, err := pthreads.JoinAll([]*pthreads.Thread{producer, consumer}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("All %d items produced and consumed in order.\n", *items)
+}

@@ -1,0 +1,24 @@
+// forkJoin.pthreads — one child thread forked and joined.
+//
+// Exercise: remove the join (mentally): could "After." print before the
+// child's line? What does join guarantee about the child's side effects?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/pthreads"
+)
+
+func main() {
+	fmt.Println("Before...")
+	child := pthreads.Create(func(any) any {
+		fmt.Println("During: hello from the child thread")
+		return nil
+	}, nil)
+	if _, err := child.Join(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("After.")
+}

@@ -1,0 +1,36 @@
+// forkJoin2.pthreads — repeated fork/join rounds.
+//
+// Exercise: round r forks r+1 threads and joins them all before round
+// r+1 starts. What orderings between rounds are guaranteed? Within a
+// round?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/pthreads"
+)
+
+type threadArg struct{ id, numThreads int }
+
+func main() {
+	rounds := flag.Int("rounds", 3, "number of fork/join rounds")
+	flag.Parse()
+
+	for round := 0; round < *rounds; round++ {
+		threads := make([]*pthreads.Thread, round+1)
+		for i := range threads {
+			threads[i] = pthreads.Create(func(arg any) any {
+				a := arg.(threadArg)
+				fmt.Printf("Round %d: hello from thread %d of %d\n", round, a.id, a.numThreads)
+				return nil
+			}, threadArg{id: i, numThreads: round + 1})
+		}
+		if _, err := pthreads.JoinAll(threads); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Round %d joined.\n", round)
+	}
+}

@@ -1,0 +1,35 @@
+// masterWorker.pthreads — the creating thread as master.
+//
+// Exercise: in the OpenMP version the master is team member 0; here it
+// is the creating thread. What work is only safe to do after JoinAll
+// returns?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/pthreads"
+)
+
+type threadArg struct{ id, numThreads int }
+
+func main() {
+	n := flag.Int("threads", 4, "number of worker threads")
+	flag.Parse()
+
+	fmt.Printf("Master: dispatching %d workers\n", *n)
+	threads := make([]*pthreads.Thread, *n)
+	for i := range threads {
+		threads[i] = pthreads.Create(func(arg any) any {
+			a := arg.(threadArg)
+			fmt.Printf("Hello from worker #%d of %d\n", a.id, a.numThreads)
+			return nil
+		}, threadArg{id: i, numThreads: *n})
+	}
+	if _, err := pthreads.JoinAll(threads); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Master: all workers joined")
+}

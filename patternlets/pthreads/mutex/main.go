@@ -1,0 +1,51 @@
+// mutex.pthreads — the deposit race fixed with an explicit mutex.
+//
+// Exercise: without -mutex the balance comes up short. Where exactly is
+// the critical section, and why must both the read and the write be
+// inside it?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/omp"
+	"repro/internal/pthreads"
+)
+
+const reps = 20000
+
+func main() {
+	n := flag.Int("threads", 4, "number of threads")
+	useMutex := flag.Bool("mutex", false, "protect the balance with a mutex")
+	flag.Parse()
+
+	total := reps * *n
+	var lock pthreads.Mutex
+	balance := 0.0
+	var racy omp.UnsafeCounter
+
+	threads := make([]*pthreads.Thread, *n)
+	for i := range threads {
+		threads[i] = pthreads.Create(func(any) any {
+			for r := 0; r < reps; r++ {
+				if *useMutex {
+					lock.Lock()
+					balance += 1.0
+					lock.Unlock()
+				} else {
+					racy.Add(1.0) // the unprotected read-modify-write
+				}
+			}
+			return nil
+		}, nil)
+	}
+	if _, err := pthreads.JoinAll(threads); err != nil {
+		log.Fatal(err)
+	}
+	if !*useMutex {
+		balance = racy.Value()
+	}
+	fmt.Printf("After %d $1 deposits, your balance is %.2f (expected %d.00)\n", total, balance, total)
+}

@@ -1,0 +1,39 @@
+// semaphore.pthreads — one-way signaling with a counting semaphore.
+//
+// Exercise: the master posts the semaphore once per worker. What
+// invariant relates posts to the number of workers that can proceed?
+// Swap Wait and Post: what breaks?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/pthreads"
+)
+
+type threadArg struct{ id int }
+
+func main() {
+	n := flag.Int("threads", 4, "number of worker threads")
+	flag.Parse()
+
+	sem := pthreads.MustSemaphore(0)
+	threads := make([]*pthreads.Thread, *n)
+	for i := range threads {
+		threads[i] = pthreads.Create(func(arg any) any {
+			a := arg.(threadArg)
+			sem.Wait() // blocked until the master signals
+			fmt.Printf("Worker %d proceeded past the semaphore\n", a.id)
+			return nil
+		}, threadArg{id: i})
+	}
+	fmt.Printf("Master: releasing %d workers\n", *n)
+	for i := 0; i < *n; i++ {
+		sem.Post()
+	}
+	if _, err := pthreads.JoinAll(threads); err != nil {
+		log.Fatal(err)
+	}
+}

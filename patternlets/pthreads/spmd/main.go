@@ -1,0 +1,33 @@
+// spmd.pthreads — SPMD with explicit thread creation.
+//
+// Exercise: OpenMP's omp_get_thread_num() is gone — how does each thread
+// learn its id here? What would go wrong if all threads shared one
+// argument struct?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/pthreads"
+)
+
+type threadArg struct{ id, numThreads int }
+
+func main() {
+	n := flag.Int("threads", 4, "number of threads")
+	flag.Parse()
+
+	threads := make([]*pthreads.Thread, *n)
+	for i := range threads {
+		threads[i] = pthreads.Create(func(arg any) any {
+			a := arg.(threadArg)
+			fmt.Printf("Hello from thread %d of %d\n", a.id, a.numThreads)
+			return nil
+		}, threadArg{id: i, numThreads: *n})
+	}
+	if _, err := pthreads.JoinAll(threads); err != nil {
+		log.Fatal(err)
+	}
+}

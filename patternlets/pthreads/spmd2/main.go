@@ -1,0 +1,40 @@
+// spmd2.pthreads — threads return values through join.
+//
+// Exercise: each thread returns (id+1)^2; main sums the returns after
+// joining. How is this a reduction? Which thread does the combining, and
+// when?
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/pthreads"
+)
+
+type threadArg struct{ id, numThreads int }
+
+func main() {
+	n := flag.Int("threads", 4, "number of threads")
+	flag.Parse()
+
+	threads := make([]*pthreads.Thread, *n)
+	for i := range threads {
+		threads[i] = pthreads.Create(func(arg any) any {
+			a := arg.(threadArg)
+			square := (a.id + 1) * (a.id + 1)
+			fmt.Printf("Thread %d computed %d\n", a.id, square)
+			return square
+		}, threadArg{id: i, numThreads: *n})
+	}
+	sum := 0
+	for _, t := range threads {
+		v, err := t.Join()
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum += v.(int)
+	}
+	fmt.Printf("The sum of the squares is %d\n", sum)
+}
