@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench figures study lab examples catalog clean
+.PHONY: all build vet test race bench bench-json figures study lab examples catalog clean
 
 all: build vet test
 
@@ -13,14 +13,23 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+# The runtime's lock-free fast paths (pool handoff, spin-then-park join,
+# atomic chunk dispensers) make the race detector part of the default test
+# gate, not an optional extra.
+test: vet
 	$(GO) test ./...
+	$(GO) test -race ./internal/omp/...
 
 race:
 	$(GO) test -race ./internal/... ./patternlets
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Record the tier-1 benchmark suite as BENCH_<date>[_label].json; compare
+# two recordings with: go run ./cmd/benchjson -compare old.json new.json
+bench-json:
+	$(GO) run ./cmd/benchjson -label "$(LABEL)"
 
 figures:
 	$(GO) run ./cmd/figures

@@ -156,38 +156,55 @@ func BenchmarkFigure30AtomicVsCritical(b *testing.B) {
 // ---------------------------------------------------------------------------
 // §IV.A lab: matrix addition/transpose across thread counts.
 
-// BenchmarkLabMatrix measures wall time of the parallel operations on this
-// host and reports the virtual-core model's speedup (the chart's y-axis)
-// as a custom metric.
+// BenchmarkLabMatrix measures wall time of the lab operations on this host
+// — sequential baselines plus the parallel versions across thread counts —
+// and reports the virtual-core model's speedup (the chart's y-axis) as a
+// custom metric. Size 1024 is the CS2 lab's "large enough to feel it"
+// configuration.
 func BenchmarkLabMatrix(b *testing.B) {
-	const size = 500
-	a := matrix.New(size, size)
-	c := matrix.New(size, size)
-	dst := matrix.New(size, size)
-	a.Random(1)
-	c.Random(2)
-	rowTasks := vtime.IndependentLoop(size, func(int) int64 { return int64(size) })
-	for _, threads := range []int{1, 2, 4, 8} {
-		sched, err := vtime.Simulate(rowTasks, threads)
-		if err != nil {
-			b.Fatal(err)
+	for _, size := range []int{500, 1024} {
+		a := matrix.New(size, size)
+		c := matrix.New(size, size)
+		dst := matrix.New(size, size)
+		a.Random(1)
+		c.Random(2)
+		rowTasks := vtime.IndependentLoop(size, func(int) int64 { return int64(size) })
+		b.Run("addSeq/size="+itoa(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := a.Add(c, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("transposeSeq/size="+itoa(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := a.Transpose(dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, threads := range []int{1, 2, 4, 8} {
+			sched, err := vtime.Simulate(rowTasks, threads)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run("add/size="+itoa(size)+"/threads="+itoa(threads), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := a.AddParallel(c, dst, threads); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(sched.Speedup(), "model-speedup")
+			})
+			b.Run("transpose/size="+itoa(size)+"/threads="+itoa(threads), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if err := a.TransposeParallel(dst, threads); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(sched.Speedup(), "model-speedup")
+			})
 		}
-		b.Run("add/threads="+itoa(threads), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if err := a.AddParallel(c, dst, threads); err != nil {
-					b.Fatal(err)
-				}
-			}
-			b.ReportMetric(sched.Speedup(), "model-speedup")
-		})
-		b.Run("transpose/threads="+itoa(threads), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				if err := a.TransposeParallel(dst, threads); err != nil {
-					b.Fatal(err)
-				}
-			}
-			b.ReportMetric(sched.Speedup(), "model-speedup")
-		})
 	}
 }
 
@@ -216,6 +233,45 @@ func BenchmarkParallelLoopSchedules(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				omp.ParallelFor(n, tc.sched, func(j, _ int) { work(j) }, omp.WithNumThreads(4))
+			}
+		})
+		// Pure scheduling overhead: an empty body over many iterations, so
+		// the chunk-claim path (mutex vs atomic dispenser) dominates.
+		b.Run("overhead/"+tc.name, func(b *testing.B) {
+			const on = 4096
+			for i := 0; i < b.N; i++ {
+				omp.ParallelFor(on, tc.sched, func(_, _ int) {}, omp.WithNumThreads(4))
+			}
+		})
+	}
+}
+
+// BenchmarkBlockVsPerIterationLoop isolates what block worksharing buys: the
+// same summation loop once through the per-iteration For API (an indirect
+// call per element) and once through ForRange (one call per contiguous
+// block, tight local loop inside).
+func BenchmarkBlockVsPerIterationLoop(b *testing.B) {
+	const n = 1 << 16
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = float64(i%7) + 0.5
+	}
+	sink := make([]float64, n)
+	for _, sched := range []omp.Schedule{omp.StaticEqual(), omp.Dynamic(512)} {
+		b.Run("perIteration/"+sched.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				omp.ParallelFor(n, sched, func(j, _ int) {
+					sink[j] = data[j] * 1.0001
+				}, omp.WithNumThreads(4))
+			}
+		})
+		b.Run("block/"+sched.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				omp.ParallelForRange(n, sched, func(start, stop, _ int) {
+					for j := start; j < stop; j++ {
+						sink[j] = data[j] * 1.0001
+					}
+				}, omp.WithNumThreads(4))
 			}
 		})
 	}

@@ -1,0 +1,246 @@
+// Command benchjson runs the tier-1 benchmark suite and writes the results
+// as a machine-readable BENCH_<date>.json file, so the perf trajectory of
+// the runtime can be tracked (and diffed) across PRs. It can also compare
+// two such files:
+//
+//	go run ./cmd/benchjson                      # run + write BENCH_<date>.json
+//	go run ./cmd/benchjson -label tuned         # ... BENCH_<date>_tuned.json
+//	go run ./cmd/benchjson -compare A.json B.json
+//
+// The run mode shells out to `go test -bench` on the repository root (the
+// per-figure benchmark harness in bench_test.go) with -benchmem, then
+// parses the standard benchmark output format, including custom
+// b.ReportMetric metrics such as model-speedup.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// tier1Bench is the default benchmark set: the shared-memory runtime and
+// matrix-lab benchmarks whose trajectory the ROADMAP tracks per PR.
+const tier1Bench = "^(BenchmarkOMPRegionForkJoin|BenchmarkOMPBarrier|" +
+	"BenchmarkParallelLoopSchedules|BenchmarkLabMatrix|" +
+	"BenchmarkAblationReductionMechanisms|BenchmarkFigure30AtomicVsCritical|" +
+	"BenchmarkFigure21Reduction)$"
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string             `json:"name"`
+	Iters       int64              `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the on-disk format.
+type File struct {
+	Date      string   `json:"date"`
+	Label     string   `json:"label,omitempty"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPU       string   `json:"cpu,omitempty"`
+	Bench     string   `json:"bench"`
+	BenchTime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	bench := flag.String("bench", tier1Bench, "benchmark regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "200ms", "value for go test -benchtime")
+	count := flag.Int("count", 1, "value for go test -count")
+	label := flag.String("label", "", "optional label appended to the output file name")
+	out := flag.String("out", "", "output path (default BENCH_<date>[_<label>].json)")
+	compare := flag.Bool("compare", false, "compare two BENCH_*.json files instead of running")
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: benchjson -compare OLD.json NEW.json")
+			os.Exit(2)
+		}
+		if err := compareFiles(flag.Arg(0), flag.Arg(1)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	f, err := run(*bench, *benchtime, *count, *label)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().Format("2006-01-02")
+		if *label != "" {
+			path += "_" + *label
+		}
+		path += ".json"
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d benchmarks)\n", path, len(f.Results))
+}
+
+func run(bench, benchtime string, count int, label string) (*File, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench,
+		"-benchmem", "-benchtime", benchtime, "-count", strconv.Itoa(count), "."}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, outBytes)
+	}
+	f := &File{
+		Date:      time.Now().Format("2006-01-02"),
+		Label:     label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Bench:     bench,
+		BenchTime: benchtime,
+	}
+	f.Results = parse(string(outBytes), f)
+	if len(f.Results) == 0 {
+		return nil, fmt.Errorf("no benchmark results parsed from:\n%s", outBytes)
+	}
+	return f, nil
+}
+
+// parse reads standard `go test -bench` output. Each result line is
+//
+//	BenchmarkName-8  <iters>  <value> <unit>  <value> <unit> ...
+//
+// Repeated names (from -count > 1) are averaged.
+func parse(out string, f *File) []Result {
+	byName := map[string]*Result{}
+	counts := map[string]int{}
+	var order []string
+	for _, line := range strings.Split(out, "\n") {
+		line = strings.TrimSpace(line)
+		if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+			f.CPU = v
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			name = name[:i] // strip the -GOMAXPROCS suffix
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: name, Iters: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsPerOp = v
+			default:
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[unit] = v
+			}
+		}
+		if prev, ok := byName[name]; ok {
+			n := float64(counts[name])
+			prev.NsPerOp = (prev.NsPerOp*n + r.NsPerOp) / (n + 1)
+			prev.BytesPerOp = (prev.BytesPerOp*n + r.BytesPerOp) / (n + 1)
+			prev.AllocsPerOp = (prev.AllocsPerOp*n + r.AllocsPerOp) / (n + 1)
+			counts[name]++
+			continue
+		}
+		byName[name] = &r
+		counts[name] = 1
+		order = append(order, name)
+	}
+	results := make([]Result, 0, len(order))
+	for _, name := range order {
+		results = append(results, *byName[name])
+	}
+	return results
+}
+
+// compareFiles prints a ratio table between two BENCH_*.json files.
+func compareFiles(oldPath, newPath string) error {
+	load := func(path string) (*File, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var f File
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return &f, nil
+	}
+	oldF, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newF, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := map[string]Result{}
+	for _, r := range oldF.Results {
+		oldBy[r.Name] = r
+	}
+	var names []string
+	for _, r := range newF.Results {
+		if _, ok := oldBy[r.Name]; ok {
+			names = append(names, r.Name)
+		}
+	}
+	sort.Strings(names)
+	newBy := map[string]Result{}
+	for _, r := range newF.Results {
+		newBy[r.Name] = r
+	}
+	fmt.Printf("%-64s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "old/new")
+	for _, name := range names {
+		o, n := oldBy[name], newBy[name]
+		ratio := 0.0
+		if n.NsPerOp > 0 {
+			ratio = o.NsPerOp / n.NsPerOp
+		}
+		fmt.Printf("%-64s %14.1f %14.1f %7.2fx\n", name, o.NsPerOp, n.NsPerOp, ratio)
+	}
+	return nil
+}

@@ -607,7 +607,7 @@ func allgatherMPI() *core.Patternlet {
 		Name:     "allgather",
 		Model:    core.MPI,
 		Patterns: []core.Pattern{core.Gather, core.Broadcast},
-		Synopsis: "gather whose result every process receives (Gather + Broadcast)",
+		Synopsis: "gather whose result every process receives (a ring pass under the hood)",
 		Exercise: "Compare with gather.mpi: who holds the complete array afterwards? Express\n" +
 			"Allgather in terms of two collectives you already know.",
 		DefaultTasks: 4,
@@ -631,7 +631,7 @@ func allreduceMPI() *core.Patternlet {
 		Name:     "allreduce",
 		Model:    core.MPI,
 		Patterns: []core.Pattern{core.Reduction, core.Broadcast},
-		Synopsis: "a reduction whose result every process receives (Reduce + Broadcast)",
+		Synopsis: "a reduction whose result every process receives (recursive doubling under the hood)",
 		Exercise: "Each process contributes rank+1. After the allreduce, every process should\n" +
 			"print the same total — why would a plain Reduce not be enough here?",
 		DefaultTasks: 4,

@@ -210,9 +210,14 @@ func parallelLoopEqualChunksOMP() *core.Patternlet {
 		Run: func(rc *core.RunContext) error {
 			const reps = 8
 			omp.Parallel(func(t *omp.Thread) {
-				t.For(0, reps, omp.StaticEqual(), func(i int) {
-					rc.Record(t.ThreadNum(), "iter", i)
-					rc.W.Printf("Thread %d performed iteration %d\n", t.ThreadNum(), i)
+				// Block worksharing: each thread receives its contiguous
+				// chunk as one [start, stop) range — the formula the
+				// exercise asks for, made visible in the API.
+				t.ForRange(0, reps, omp.StaticEqual(), func(start, stop int) {
+					for i := start; i < stop; i++ {
+						rc.Record(t.ThreadNum(), "iter", i)
+						rc.W.Printf("Thread %d performed iteration %d\n", t.ThreadNum(), i)
+					}
 				})
 			}, omp.WithNumThreads(rc.NumTasks))
 			return nil
@@ -234,9 +239,13 @@ func parallelLoopChunksOf1OMP() *core.Patternlet {
 		Run: func(rc *core.RunContext) error {
 			const reps = 16
 			omp.Parallel(func(t *omp.Thread) {
-				t.For(0, reps, omp.StaticChunk(1), func(i int) {
-					rc.Record(t.ThreadNum(), "iter", i)
-					rc.W.Printf("Thread %d performed iteration %d\n", t.ThreadNum(), i)
+				// With chunk size 1 every block is a single iteration, so
+				// the striped assignment is unchanged from the For form.
+				t.ForRange(0, reps, omp.StaticChunk(1), func(start, stop int) {
+					for i := start; i < stop; i++ {
+						rc.Record(t.ThreadNum(), "iter", i)
+						rc.W.Printf("Thread %d performed iteration %d\n", t.ThreadNum(), i)
+					}
 				})
 			}, omp.WithNumThreads(rc.NumTasks))
 			return nil
@@ -258,11 +267,13 @@ func parallelLoopDynamicOMP() *core.Patternlet {
 		Run: func(rc *core.RunContext) error {
 			const reps = 16
 			omp.Parallel(func(t *omp.Thread) {
-				t.For(0, reps, omp.Dynamic(1), func(i int) {
-					// Simulated increasing cost: iteration i busy-waits ~i µs.
-					busyWait(time.Duration(i) * 50 * time.Microsecond)
-					rc.Record(t.ThreadNum(), "iter", i)
-					rc.W.Printf("Thread %d performed iteration %d\n", t.ThreadNum(), i)
+				t.ForRange(0, reps, omp.Dynamic(1), func(start, stop int) {
+					for i := start; i < stop; i++ {
+						// Simulated increasing cost: iteration i busy-waits ~i µs.
+						busyWait(time.Duration(i) * 50 * time.Microsecond)
+						rc.Record(t.ThreadNum(), "iter", i)
+						rc.W.Printf("Thread %d performed iteration %d\n", t.ThreadNum(), i)
+					}
 				})
 			}, omp.WithNumThreads(rc.NumTasks))
 			return nil
@@ -424,14 +435,18 @@ func atomicOMP() *core.Patternlet {
 			var balance float64
 			if rc.Enabled("atomic") {
 				var cell uint64
-				omp.ParallelFor(total, omp.StaticEqual(), func(_, _ int) {
-					omp.AtomicAddFloat64(&cell, 1.0)
+				omp.ParallelForRange(total, omp.StaticEqual(), func(start, stop, _ int) {
+					for i := start; i < stop; i++ {
+						omp.AtomicAddFloat64(&cell, 1.0)
+					}
 				}, omp.WithNumThreads(rc.NumTasks))
 				balance = omp.LoadFloat64(&cell)
 			} else {
 				var c omp.UnsafeCounter
-				omp.ParallelFor(total, omp.StaticEqual(), func(_, _ int) {
-					c.Add(1.0)
+				omp.ParallelForRange(total, omp.StaticEqual(), func(start, stop, _ int) {
+					for i := start; i < stop; i++ {
+						c.Add(1.0)
+					}
 				}, omp.WithNumThreads(rc.NumTasks))
 				balance = c.Value()
 			}
@@ -460,14 +475,18 @@ func criticalOMP() *core.Patternlet {
 			var balance float64
 			if rc.Enabled("critical") {
 				omp.Parallel(func(t *omp.Thread) {
-					t.For(0, total, omp.StaticEqual(), func(int) {
-						t.Critical("balance", func() { balance += 1.0 })
+					t.ForRange(0, total, omp.StaticEqual(), func(start, stop int) {
+						for i := start; i < stop; i++ {
+							t.Critical("balance", func() { balance += 1.0 })
+						}
 					})
 				}, omp.WithNumThreads(rc.NumTasks))
 			} else {
 				var c omp.UnsafeCounter
-				omp.ParallelFor(total, omp.StaticEqual(), func(_, _ int) {
-					c.Add(1.0)
+				omp.ParallelForRange(total, omp.StaticEqual(), func(start, stop, _ int) {
+					for i := start; i < stop; i++ {
+						c.Add(1.0)
+					}
 				}, omp.WithNumThreads(rc.NumTasks))
 				balance = c.Value()
 			}
@@ -496,8 +515,10 @@ func critical2OMP() *core.Patternlet {
 
 			var cell uint64
 			start := omp.GetWTime()
-			omp.ParallelFor(total, omp.StaticEqual(), func(_, _ int) {
-				omp.AtomicAddFloat64(&cell, 1.0)
+			omp.ParallelForRange(total, omp.StaticEqual(), func(start, stop, _ int) {
+				for i := start; i < stop; i++ {
+					omp.AtomicAddFloat64(&cell, 1.0)
+				}
 			}, omp.WithNumThreads(rc.NumTasks))
 			atomicTime := omp.GetWTime() - start
 			rc.W.Printf("After %d $1 deposits using 'atomic':\n - balance = %.2f,\n - total time = %.12f,\n - average time per deposit = %.12f\n\n",
@@ -506,8 +527,10 @@ func critical2OMP() *core.Patternlet {
 			balance := 0.0
 			start = omp.GetWTime()
 			omp.Parallel(func(t *omp.Thread) {
-				t.For(0, total, omp.StaticEqual(), func(int) {
-					t.Critical("balance", func() { balance += 1.0 })
+				t.ForRange(0, total, omp.StaticEqual(), func(start, stop int) {
+					for i := start; i < stop; i++ {
+						t.Critical("balance", func() { balance += 1.0 })
+					}
 				})
 			}, omp.WithNumThreads(rc.NumTasks))
 			criticalTime := omp.GetWTime() - start
@@ -567,21 +590,27 @@ func mutualExclusionOMP() *core.Patternlet {
 			total := reps * rc.NumTasks
 
 			var racy omp.UnsafeCounter
-			omp.ParallelFor(total, omp.StaticEqual(), func(_, _ int) {
-				racy.Add(1.0)
+			omp.ParallelForRange(total, omp.StaticEqual(), func(start, stop, _ int) {
+				for i := start; i < stop; i++ {
+					racy.Add(1.0)
+				}
 			}, omp.WithNumThreads(rc.NumTasks))
 			rc.W.Printf("unprotected: balance = %.2f of %d.00\n", racy.Value(), total)
 
 			var cell uint64
-			omp.ParallelFor(total, omp.StaticEqual(), func(_, _ int) {
-				omp.AtomicAddFloat64(&cell, 1.0)
+			omp.ParallelForRange(total, omp.StaticEqual(), func(start, stop, _ int) {
+				for i := start; i < stop; i++ {
+					omp.AtomicAddFloat64(&cell, 1.0)
+				}
 			}, omp.WithNumThreads(rc.NumTasks))
 			rc.W.Printf("atomic:      balance = %.2f of %d.00\n", omp.LoadFloat64(&cell), total)
 
 			balance := 0.0
 			omp.Parallel(func(t *omp.Thread) {
-				t.For(0, total, omp.StaticEqual(), func(int) {
-					t.Critical("balance", func() { balance += 1.0 })
+				t.ForRange(0, total, omp.StaticEqual(), func(start, stop int) {
+					for i := start; i < stop; i++ {
+						t.Critical("balance", func() { balance += 1.0 })
+					}
 				})
 			}, omp.WithNumThreads(rc.NumTasks))
 			rc.W.Printf("critical:    balance = %.2f of %d.00\n", balance, total)

@@ -155,8 +155,103 @@ func ReduceLinear[T any](c *Comm, v T, op func(T, T) T, root int) (T, error) {
 }
 
 // Allreduce combines every rank's value and returns the result to all
-// ranks (MPI_Allreduce): a Reduce to rank 0 followed by a Bcast.
+// ranks (MPI_Allreduce). It uses recursive doubling: the largest
+// power-of-two subset of ranks exchanges partials pairwise at doubling
+// strides, so every rank holds the full combination after ceil(lg p)
+// symmetric exchange rounds — half the latency of the reduce-then-broadcast
+// composition (AllreduceComposed), which climbs the tree twice.
+//
+// For a non-power-of-two p, the p-pof2 "extra" even ranks fold into their
+// odd neighbours before the doubling rounds and receive the finished result
+// after them, the standard pre/post step.
+//
+// op must be associative. Each active rank always holds the combination of
+// a contiguous run of original ranks, and every pairwise merge orients the
+// operands by rank order, so the result equals the sequential fold over
+// ranks 0..p-1 even for non-commutative ops — the same determinism Reduce
+// guarantees.
 func Allreduce[T any](c *Comm, v T, op func(T, T) T) (T, error) {
+	var zero T
+	tag := c.nextCollTag()
+	p := len(c.ranks)
+	if p == 1 {
+		return v, nil
+	}
+
+	pof2 := 1
+	for pof2*2 <= p {
+		pof2 *= 2
+	}
+	rem := p - pof2
+
+	// Pre-fold: even ranks below 2*rem hand their value to the odd rank
+	// above, which combines keeping rank order (lower operand on the left).
+	val := v
+	newRank := -1 // -1: sitting out of the doubling rounds
+	switch {
+	case c.rank < 2*rem && c.rank%2 == 0:
+		if err := sendRaw(c, val, c.rank+1, tag); err != nil {
+			return zero, err
+		}
+	case c.rank < 2*rem:
+		low, _, err := recvRaw[T](c, c.rank-1, tag)
+		if err != nil {
+			return zero, err
+		}
+		val = op(low, val)
+		newRank = c.rank / 2
+	default:
+		newRank = c.rank - rem
+	}
+
+	if newRank >= 0 {
+		// realRank inverts the renumbering used for the doubling rounds.
+		realRank := func(nr int) int {
+			if nr < rem {
+				return 2*nr + 1
+			}
+			return nr + rem
+		}
+		for mask := 1; mask < pof2; mask <<= 1 {
+			peer := realRank(newRank ^ mask)
+			if err := sendRaw(c, val, peer, tag); err != nil {
+				return zero, err
+			}
+			pv, _, err := recvRaw[T](c, peer, tag)
+			if err != nil {
+				return zero, err
+			}
+			// The peer's partial covers the adjacent run of ranks; merge
+			// with the lower run on the left.
+			if newRank&mask == 0 {
+				val = op(val, pv)
+			} else {
+				val = op(pv, val)
+			}
+		}
+	}
+
+	// Post: the folded-out even ranks get the finished result from their
+	// odd neighbour.
+	if c.rank < 2*rem {
+		if c.rank%2 == 0 {
+			got, _, err := recvRaw[T](c, c.rank+1, tag)
+			if err != nil {
+				return zero, err
+			}
+			val = got
+		} else if err := sendRaw(c, val, c.rank-1, tag); err != nil {
+			return zero, err
+		}
+	}
+	return val, nil
+}
+
+// AllreduceComposed is the textbook composition Allreduce replaced — a
+// Reduce to rank 0 followed by a Bcast. It is retained as the test oracle
+// for Allreduce's recursive doubling: both must return identical results on
+// every rank.
+func AllreduceComposed[T any](c *Comm, v T, op func(T, T) T) (T, error) {
 	r, err := Reduce(c, v, op, 0)
 	if err != nil {
 		var zero T
@@ -198,8 +293,50 @@ func Gather[T any](c *Comm, send []T, root int) ([]T, error) {
 }
 
 // Allgather concatenates every rank's slice and returns it to all ranks
-// (MPI_Allgather): a Gather to rank 0 followed by a Bcast.
+// (MPI_Allgather, MPI_Allgatherv for unequal contributions). It uses the
+// ring algorithm: in each of p-1 rounds every rank forwards the block it
+// received in the previous round to rank+1 and receives a block from
+// rank-1, so each block travels once around the ring. Unlike the
+// gather-then-broadcast composition (AllgatherComposed), no rank handles
+// more than one block per round, so bandwidth use is balanced across the
+// ring instead of concentrating the whole payload at the root.
 func Allgather[T any](c *Comm, send []T) ([]T, error) {
+	tag := c.nextCollTag()
+	p := len(c.ranks)
+
+	parts := make([][]T, p)
+	own, err := DeepCopy(send)
+	if err != nil {
+		return nil, err
+	}
+	parts[c.rank] = own
+	next := (c.rank + 1) % p
+	prev := (c.rank - 1 + p) % p
+	for k := 0; k < p-1; k++ {
+		// Forward the block that is k hops behind us on the ring; receive
+		// the one k+1 hops behind. Per-pair FIFO delivery keeps successive
+		// rounds on the shared tag in order.
+		if err := sendRaw(c, parts[(c.rank-k+p)%p], next, tag); err != nil {
+			return nil, err
+		}
+		got, _, err := recvRaw[[]T](c, prev, tag)
+		if err != nil {
+			return nil, err
+		}
+		parts[(c.rank-k-1+p)%p] = got
+	}
+
+	var out []T
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+// AllgatherComposed is the composition Allgather replaced — a Gather to
+// rank 0 followed by a Bcast. It is retained as the test oracle for
+// Allgather's ring: both must return identical results on every rank.
+func AllgatherComposed[T any](c *Comm, send []T) ([]T, error) {
 	g, err := Gather(c, send, 0)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,189 @@
+package omp
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// forRangeSchedules are the schedules the block-worksharing property tests
+// sweep: every kind, with chunk sizes that divide n, don't, and exceed it.
+func forRangeSchedules() []Schedule {
+	return []Schedule{
+		StaticEqual(),
+		StaticChunk(1),
+		StaticChunk(3),
+		Dynamic(1),
+		Dynamic(4),
+		Guided(1),
+		Guided(2),
+	}
+}
+
+// TestForRangeCoversEveryIterationExactlyOnce is the worksharing safety
+// property for the block API: whatever the schedule, team size and trip
+// count — including the off-by-one-prone n = p-1, p, p+1 — every iteration
+// in [0, n) runs exactly once, and blocks handed to the body are non-empty
+// and in range.
+func TestForRangeCoversEveryIterationExactlyOnce(t *testing.T) {
+	for _, p := range []int{1, 3, 4, 8} {
+		for _, n := range []int{0, 1, p - 1, p, p + 1, 10*p + 3} {
+			if n < 0 {
+				continue
+			}
+			for _, sched := range forRangeSchedules() {
+				counts := make([]atomic.Int32, n)
+				Parallel(func(th *Thread) {
+					th.ForRange(0, n, sched, func(start, stop int) {
+						if start >= stop {
+							t.Errorf("p=%d n=%d %v: empty block [%d,%d)", p, n, sched, start, stop)
+						}
+						if start < 0 || stop > n {
+							t.Errorf("p=%d n=%d %v: block [%d,%d) outside [0,%d)", p, n, sched, start, stop, n)
+						}
+						for i := start; i < stop; i++ {
+							counts[i].Add(1)
+						}
+					})
+				}, WithNumThreads(p))
+				for i := range counts {
+					if c := counts[i].Load(); c != 1 {
+						t.Errorf("p=%d n=%d %v: iteration %d ran %d times", p, n, sched, i, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestForAndForRangeExecuteIdenticalIterationSets: For is a wrapper over
+// ForRange, and for the deterministic static schedules the two APIs must
+// assign every iteration to the same thread. For the demand-driven
+// schedules the assignment is nondeterministic, so only the exactly-once
+// property is compared.
+func TestForAndForRangeExecuteIdenticalIterationSets(t *testing.T) {
+	assign := func(n, p int, sched Schedule, useRange bool) []int32 {
+		owner := make([]int32, n)
+		for i := range owner {
+			owner[i] = -1
+		}
+		var assigned atomic.Int64
+		Parallel(func(th *Thread) {
+			id := int32(th.ThreadNum())
+			record := func(i int) {
+				atomic.StoreInt32(&owner[i], id)
+				assigned.Add(1)
+			}
+			if useRange {
+				th.ForRange(0, n, sched, func(start, stop int) {
+					for i := start; i < stop; i++ {
+						record(i)
+					}
+				})
+			} else {
+				th.For(0, n, sched, record)
+			}
+		}, WithNumThreads(p))
+		if got := assigned.Load(); got != int64(n) {
+			t.Errorf("n=%d p=%d %v range=%v: %d iterations executed", n, p, sched, useRange, got)
+		}
+		return owner
+	}
+
+	for _, p := range []int{1, 3, 4, 8} {
+		for _, n := range []int{0, 1, p - 1, p, p + 1, 10*p + 3} {
+			if n < 0 {
+				continue
+			}
+			for _, sched := range forRangeSchedules() {
+				forOwner := assign(n, p, sched, false)
+				rangeOwner := assign(n, p, sched, true)
+				if sched.kind != schedStaticEqual && sched.kind != schedStaticChunk {
+					continue // dynamic/guided: owner is timing-dependent
+				}
+				for i := range forOwner {
+					if forOwner[i] != rangeOwner[i] {
+						t.Errorf("n=%d p=%d %v: iteration %d on thread %d via For, %d via ForRange",
+							n, p, sched, i, forOwner[i], rangeOwner[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelForRangeDeliversThreadIDs mirrors the ParallelFor test for
+// the fused block form: under equal chunks with n = 8p, every thread
+// receives exactly one block of 8 iterations.
+func TestParallelForRangeDeliversThreadIDs(t *testing.T) {
+	const p, per = 4, 8
+	var mu sync.Mutex
+	blocks := map[int][][2]int{}
+	ParallelForRange(p*per, StaticEqual(), func(start, stop, tid int) {
+		mu.Lock()
+		blocks[tid] = append(blocks[tid], [2]int{start, stop})
+		mu.Unlock()
+	}, WithNumThreads(p))
+	if len(blocks) != p {
+		t.Fatalf("blocks went to %d threads, want %d", len(blocks), p)
+	}
+	for tid := 0; tid < p; tid++ {
+		bs := blocks[tid]
+		if len(bs) != 1 || bs[0][0] != tid*per || bs[0][1] != (tid+1)*per {
+			t.Errorf("thread %d got blocks %v, want [[%d %d]]", tid, bs, tid*per, (tid+1)*per)
+		}
+	}
+}
+
+// TestGuidedChunkSequences pins the exact chunk-size sequence the guided
+// dispenser hands out, including the tail boundary where remaining/parties
+// rounds to zero and minChunk exceeds what is left: the final chunk must be
+// clamped to the remainder, never overshooting the limit.
+func TestGuidedChunkSequences(t *testing.T) {
+	cases := []struct {
+		n, parties, minChunk int
+		want                 []int
+	}{
+		{n: 10, parties: 3, minChunk: 1, want: []int{3, 2, 1, 1, 1, 1, 1}},
+		{n: 7, parties: 4, minChunk: 3, want: []int{3, 3, 1}},
+		{n: 0, parties: 4, minChunk: 1, want: nil},
+		{n: 1, parties: 8, minChunk: 1, want: []int{1}},
+		{n: 5, parties: 2, minChunk: 8, want: []int{5}},     // minChunk > n: one clamped chunk
+		{n: 16, parties: 1, minChunk: 1, want: []int{16}},   // single party takes everything
+		{n: 6, parties: 0, minChunk: 0, want: []int{6}},     // degenerate inputs sanitized to 1
+		{n: 12, parties: 4, minChunk: 2, want: []int{3, 2, 2, 2, 2, 1}},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("n=%d,p=%d,min=%d", tc.n, tc.parties, tc.minChunk), func(t *testing.T) {
+			g := newGuidedCounter(tc.n, tc.parties, tc.minChunk)
+			var got []int
+			next := 0
+			for {
+				start, stop, ok := g.grab()
+				if !ok {
+					break
+				}
+				if start != next {
+					t.Fatalf("chunk %d starts at %d, want contiguous start %d", len(got), start, next)
+				}
+				if stop > tc.n {
+					t.Fatalf("chunk [%d,%d) overshoots limit %d", start, stop, tc.n)
+				}
+				got = append(got, stop-start)
+				next = stop
+			}
+			if next != tc.n {
+				t.Fatalf("chunks cover [0,%d), want [0,%d)", next, tc.n)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("chunk sizes %v, want %v", got, tc.want)
+			}
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Fatalf("chunk sizes %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}

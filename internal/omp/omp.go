@@ -18,17 +18,19 @@ package omp
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // defaultThreads mirrors omp_set_num_threads / OMP_NUM_THREADS: the team
 // size used when a region does not specify one. The paper's quad-core demo
-// machine motivates the default of 4.
-var defaultThreads = struct {
-	mu sync.Mutex
-	n  int
-}{n: 4}
+// machine motivates the default of 4. It is an atomic so reading it on
+// every region fork takes one load, not a lock round trip.
+var defaultThreads atomic.Int64
+
+func init() { defaultThreads.Store(4) }
 
 // SetNumThreads sets the default team size for subsequent parallel regions
 // (omp_set_num_threads). Values below 1 are clamped to 1.
@@ -36,16 +38,12 @@ func SetNumThreads(n int) {
 	if n < 1 {
 		n = 1
 	}
-	defaultThreads.mu.Lock()
-	defaultThreads.n = n
-	defaultThreads.mu.Unlock()
+	defaultThreads.Store(int64(n))
 }
 
 // MaxThreads returns the current default team size (omp_get_max_threads).
 func MaxThreads() int {
-	defaultThreads.mu.Lock()
-	defer defaultThreads.mu.Unlock()
-	return defaultThreads.n
+	return int(defaultThreads.Load())
 }
 
 // GetWTime returns elapsed wall-clock seconds since an arbitrary fixed
@@ -74,25 +72,91 @@ func WithNumThreads(n int) Option {
 	}
 }
 
-// team is the shared state of one parallel region.
+// team is the shared state of one parallel region. The maps (criticals,
+// constructs) and the barrier's condition variable are created lazily, so
+// a region that uses none of them pays for none of them — the fork/join
+// fast path allocates only the team itself and its Thread slots, and even
+// those are recycled between regions through teamPool.
 type team struct {
 	size    int
-	barrier *reusableBarrier
+	barrier reusableBarrier
 
 	critMu    sync.Mutex
-	criticals map[string]*sync.Mutex
+	criticals map[string]*sync.Mutex // lazy
 
 	constructMu sync.Mutex
-	constructs  map[int]*constructEntry // construct index -> shared state (dynamic loops, single flags, reductions)
+	constructs  map[int]*constructEntry // lazy; construct index -> shared state (dynamic loops, single flags, reductions)
 	tasks       *taskPool               // lazily created by the first Task()
+
+	threads []Thread // per-member views, one allocation for the whole team
+
+	// Join bookkeeping: state's low bits count workers (non-master members)
+	// still running; joinWaiterBit is set when the master has given up
+	// spinning and parked on done. panicVal records the region's first
+	// panic.
+	state    atomic.Int32
+	done     chan struct{}
+	panicVal atomic.Pointer[panicValue]
 }
 
+const (
+	joinWaiterBit = 1 << 30
+	joinCountMask = joinWaiterBit - 1
+	joinSpins     = 64
+)
+
+// teamPool recycles team objects across regions: steady-state fork/join
+// reuses both the parked worker goroutines (pool.go) and the team's
+// allocations.
+var teamPool sync.Pool
+
 func newTeam(size int) *team {
-	return &team{
-		size:       size,
-		barrier:    newReusableBarrier(size),
-		criticals:  map[string]*sync.Mutex{},
-		constructs: map[int]*constructEntry{},
+	if v := teamPool.Get(); v != nil {
+		tm := v.(*team)
+		if cap(tm.threads) >= size {
+			tm.reset(size)
+			return tm
+		}
+		// Too small for this region; let the GC have it.
+	}
+	c := size
+	if c < 8 {
+		c = 8 // typical teaching sweeps fork teams of 1..8; share one backing array
+	}
+	tm := &team{size: size, threads: make([]Thread, size, c), done: make(chan struct{}, 1)}
+	tm.barrier.parties = size
+	for id := range tm.threads {
+		tm.threads[id] = Thread{id: id, team: tm}
+	}
+	return tm
+}
+
+// reset readies a recycled team for a new region of the given size. The
+// criticals map, task pool and done channel carry over (all are quiescent
+// after a clean join); construct state is cleared defensively.
+func (tm *team) reset(size int) {
+	tm.size = size
+	tm.threads = tm.threads[:size]
+	for id := range tm.threads {
+		tm.threads[id] = Thread{id: id, team: tm}
+	}
+	tm.barrier.parties = size
+	tm.barrier.waiting = 0
+	tm.barrier.poisoned = false
+	if len(tm.constructs) != 0 {
+		clear(tm.constructs)
+	}
+	tm.state.Store(0)
+	tm.panicVal.Store(nil)
+}
+
+// recoverMember records a team member's panic and poisons the barrier so
+// teammates parked there unwind instead of deadlocking. It must be
+// deferred directly.
+func (tm *team) recoverMember() {
+	if r := recover(); r != nil {
+		tm.panicVal.CompareAndSwap(nil, &panicValue{r})
+		tm.barrier.poison()
 	}
 }
 
@@ -113,6 +177,9 @@ type constructEntry struct {
 func (tm *team) construct(idx int, mk func() any) any {
 	tm.constructMu.Lock()
 	defer tm.constructMu.Unlock()
+	if tm.constructs == nil {
+		tm.constructs = map[int]*constructEntry{}
+	}
 	e, ok := tm.constructs[idx]
 	if !ok {
 		e = &constructEntry{state: mk()}
@@ -128,6 +195,9 @@ func (tm *team) construct(idx int, mk func() any) any {
 func (tm *team) critical(name string) *sync.Mutex {
 	tm.critMu.Lock()
 	defer tm.critMu.Unlock()
+	if tm.criticals == nil {
+		tm.criticals = map[string]*sync.Mutex{}
+	}
 	m, ok := tm.criticals[name]
 	if !ok {
 		m = &sync.Mutex{}
@@ -192,18 +262,11 @@ func (t *Thread) SingleNoWait(fn func()) {
 }
 
 type singleState struct {
-	mu      sync.Mutex
-	claimed bool
+	claimed atomic.Bool
 }
 
 func (s *singleState) claim() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.claimed {
-		return false
-	}
-	s.claimed = true
-	return true
+	return s.claimed.CompareAndSwap(false, true)
 }
 
 // Sections distributes the given section bodies among the team's threads
@@ -228,11 +291,18 @@ func (t *Thread) nextConstruct() int {
 	return idx
 }
 
+// panicValue boxes the first panic raised inside a region.
+type panicValue struct{ r any }
+
 // Parallel runs body on a team of threads and blocks until all of them
 // finish — the fork/join of #pragma omp parallel. The calling goroutine
-// becomes team member 0 (the master thread), as in OpenMP. If any team
-// member panics, Parallel waits for the rest of the team and then
-// re-panics with the first panic value.
+// becomes team member 0 (the master thread), as in OpenMP; the remaining
+// members run on the persistent worker pool (see pool.go), so steady-state
+// regions wake parked goroutines instead of spawning new ones. The join is
+// adaptive: the master yields the processor a few times looking for the
+// workers to finish (the common case for short regions) before parking on
+// a channel. If any team member panics, Parallel waits for the rest of the
+// team and then re-panics with the first panic value.
 func Parallel(body func(t *Thread), opts ...Option) {
 	cfg := config{numThreads: MaxThreads()}
 	for _, o := range opts {
@@ -241,38 +311,74 @@ func Parallel(body func(t *Thread), opts ...Option) {
 	n := cfg.numThreads
 	tm := newTeam(n)
 
-	var wg sync.WaitGroup
-	panics := make(chan any, n)
-	run := func(id int) {
-		defer wg.Done()
-		defer func() {
-			if r := recover(); r != nil {
-				panics <- r
-				// A panicking member would deadlock teammates waiting at a
-				// barrier; poison the barrier so they unwind too.
-				tm.barrier.poison()
-			}
-		}()
-		body(&Thread{id: id, team: tm})
+	if n > 1 {
+		tm.state.Store(int32(n - 1))
+		run := func(id int) {
+			defer func() {
+				// The member that brings the worker count to zero wakes the
+				// master iff it has parked; otherwise the master's spin loop
+				// observes zero and no signal is ever sent, keeping the done
+				// channel clean for team reuse.
+				if s := tm.state.Add(-1); s&joinCountMask == 0 && s&joinWaiterBit != 0 {
+					tm.done <- struct{}{}
+				}
+			}()
+			defer tm.recoverMember()
+			body(&tm.threads[id])
+		}
+		for id := 1; id < n; id++ {
+			submitRun(run, id)
+		}
 	}
 
-	wg.Add(n)
-	for id := 1; id < n; id++ {
-		go run(id)
+	func() { // master thread participates directly
+		defer tm.recoverMember()
+		body(&tm.threads[0])
+	}()
+
+	if n > 1 {
+		joined := false
+		for i := 0; i < joinSpins; i++ {
+			if tm.state.Load()&joinCountMask == 0 {
+				joined = true
+				break
+			}
+			runtime.Gosched()
+		}
+		if !joined {
+			// Publish the waiter bit with a CAS loop (atomic.Int32.Or needs
+			// go1.23; the module supports 1.22). If workers were still
+			// running when the bit landed, the last one signals done; if the
+			// count hit zero first, no signal is coming — clear the bit so
+			// the recycled team starts clean.
+			for {
+				old := tm.state.Load()
+				if old&joinCountMask == 0 {
+					break
+				}
+				if tm.state.CompareAndSwap(old, old|joinWaiterBit) {
+					<-tm.done
+					tm.state.Store(0)
+					break
+				}
+			}
+		}
 	}
-	run(0) // master thread participates directly
-	wg.Wait()
 	tm.drainTasks() // implicit taskwait at the end of the region
 
-	select {
-	case r := <-panics:
-		panic(fmt.Sprintf("omp: parallel region panicked: %v", r))
-	default:
+	if pv := tm.panicVal.Load(); pv != nil {
+		panic(fmt.Sprintf("omp: parallel region panicked: %v", pv.r))
 	}
+	// Clean exit: recycle the team's allocations for the next region. A
+	// panicked team is left for the GC — its barrier is poisoned and its
+	// construct state may be mid-flight.
+	teamPool.Put(tm)
 }
 
 // reusableBarrier is a cyclic barrier with poison support so a panicking
-// team member does not strand its teammates.
+// team member does not strand its teammates. It is embedded by value in
+// the team and its condition variable is created on first wait, so regions
+// that never synchronize never allocate for it.
 type reusableBarrier struct {
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -282,17 +388,18 @@ type reusableBarrier struct {
 	poisoned bool
 }
 
-func newReusableBarrier(parties int) *reusableBarrier {
-	b := &reusableBarrier{parties: parties}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
 func (b *reusableBarrier) await() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.poisoned {
 		panic("omp: barrier poisoned by panicking teammate")
+	}
+	if b.parties == 1 {
+		b.phase++
+		return
+	}
+	if b.cond == nil {
+		b.cond = sync.NewCond(&b.mu)
 	}
 	phase := b.phase
 	b.waiting++
@@ -313,6 +420,8 @@ func (b *reusableBarrier) await() {
 func (b *reusableBarrier) poison() {
 	b.mu.Lock()
 	b.poisoned = true
-	b.cond.Broadcast()
+	if b.cond != nil {
+		b.cond.Broadcast()
+	}
 	b.mu.Unlock()
 }

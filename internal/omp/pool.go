@@ -1,0 +1,133 @@
+package omp
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Persistent worker pool backing Parallel. Real OpenMP runtimes keep their
+// thread team alive between parallel regions so fork/join costs a wakeup,
+// not a thread creation; this file gives the goroutine runtime the same
+// fast path. A region borrows one parked worker per non-master team member
+// and hands it the region body over a channel; when the body returns the
+// worker parks itself again. If the pool cannot supply a worker — first
+// use, or a team larger than the pool cap — the region falls back to
+// spawning, and the new worker joins the pool afterwards (up to the cap).
+
+// workItem is one team member's share of a region: the region's run
+// function plus the member id. Passing the pair by value keeps the
+// per-member handoff allocation-free.
+type workItem struct {
+	run func(int)
+	id  int
+}
+
+// worker is one parked goroutine awaiting region bodies.
+type worker struct {
+	work chan workItem
+}
+
+// loop runs handed-off bodies until the pool declines to keep the worker.
+func (w *worker) loop() {
+	for it := range w.work {
+		it.run(it.id)
+		if !releaseWorker(w) {
+			return
+		}
+	}
+}
+
+var workerPool struct {
+	mu   sync.Mutex
+	idle []*worker
+	cap  int
+}
+
+func init() { workerPool.cap = defaultPoolCap() }
+
+// spawnedWorkers counts worker goroutine creations, so tests can assert
+// that steady-state regions reuse workers instead of spawning.
+var spawnedWorkers atomic.Int64
+
+// defaultPoolCap sizes the pool generously relative to the host: enough
+// for several typical teaching-scale teams (the paper's demos use 4–8
+// threads) without hoarding goroutines on big machines.
+func defaultPoolCap() int {
+	c := 4 * runtime.GOMAXPROCS(0)
+	if c < 16 {
+		c = 16
+	}
+	return c
+}
+
+// SetPoolSize bounds how many idle workers Parallel keeps parked between
+// regions. Values below 0 are clamped to 0 (every region then spawns
+// fresh goroutines, the pre-pool behaviour). Shrinking takes effect as
+// running workers park.
+func SetPoolSize(n int) {
+	if n < 0 {
+		n = 0
+	}
+	workerPool.mu.Lock()
+	workerPool.cap = n
+	// Drop surplus parked workers immediately.
+	for len(workerPool.idle) > n {
+		w := workerPool.idle[len(workerPool.idle)-1]
+		workerPool.idle = workerPool.idle[:len(workerPool.idle)-1]
+		close(w.work)
+	}
+	workerPool.mu.Unlock()
+}
+
+// PoolSize returns the current idle-worker cap.
+func PoolSize() int {
+	workerPool.mu.Lock()
+	defer workerPool.mu.Unlock()
+	return workerPool.cap
+}
+
+// acquireWorker pops a parked worker, or returns nil when none is idle.
+func acquireWorker() *worker {
+	p := &workerPool
+	p.mu.Lock()
+	if k := len(p.idle); k > 0 {
+		w := p.idle[k-1]
+		p.idle[k-1] = nil
+		p.idle = p.idle[:k-1]
+		p.mu.Unlock()
+		return w
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// releaseWorker parks w for reuse and reports whether it was kept; a
+// worker over the cap is discarded and its goroutine exits.
+func releaseWorker(w *worker) bool {
+	p := &workerPool
+	p.mu.Lock()
+	if len(p.idle) >= p.cap {
+		p.mu.Unlock()
+		return false
+	}
+	p.idle = append(p.idle, w)
+	p.mu.Unlock()
+	return true
+}
+
+// submitRun runs run(id) on a pooled worker, spawning a new one when the
+// pool is empty (first use, or a team bigger than the pool). The channel
+// has capacity 1 so the handoff never blocks the forking (master)
+// goroutine.
+func submitRun(run func(int), id int) {
+	it := workItem{run: run, id: id}
+	if w := acquireWorker(); w != nil {
+		w.work <- it
+		return
+	}
+	w := &worker{work: make(chan workItem, 1)}
+	w.work <- it
+	spawnedWorkers.Add(1)
+	go w.loop()
+}

@@ -1,0 +1,101 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestPoolReusesWorkersAcrossRegions: after a warm-up region has parked its
+// workers, steady-state fork/join must not create goroutines.
+func TestPoolReusesWorkersAcrossRegions(t *testing.T) {
+	const teamSize = 4
+	Parallel(func(th *Thread) {}, WithNumThreads(teamSize)) // warm the pool
+	before := spawnedWorkers.Load()
+	var ran atomic.Int64
+	for i := 0; i < 200; i++ {
+		Parallel(func(th *Thread) { ran.Add(1) }, WithNumThreads(teamSize))
+	}
+	if got := spawnedWorkers.Load(); got != before {
+		t.Errorf("steady-state regions spawned %d workers, want 0", got-before)
+	}
+	if got := ran.Load(); got != 200*teamSize {
+		t.Errorf("%d bodies ran, want %d", got, 200*teamSize)
+	}
+}
+
+// TestPoolFallbackWhenDisabled: with the pool capped at zero every region
+// must fall back to spawning — the pre-pool behaviour — and still run
+// correctly.
+func TestPoolFallbackWhenDisabled(t *testing.T) {
+	defer SetPoolSize(defaultPoolCap())
+	SetPoolSize(0)
+	if PoolSize() != 0 {
+		t.Fatalf("PoolSize() = %d after SetPoolSize(0)", PoolSize())
+	}
+	before := spawnedWorkers.Load()
+	var ran atomic.Int64
+	const regions, teamSize = 5, 4
+	for i := 0; i < regions; i++ {
+		Parallel(func(th *Thread) { ran.Add(1) }, WithNumThreads(teamSize))
+	}
+	if got := ran.Load(); got != regions*teamSize {
+		t.Errorf("%d bodies ran, want %d", got, regions*teamSize)
+	}
+	if got := spawnedWorkers.Load() - before; got != regions*(teamSize-1) {
+		t.Errorf("spawned %d workers with pool disabled, want %d", got, regions*(teamSize-1))
+	}
+}
+
+// TestPoolFallbackForOversizedTeam: a team larger than the pool can ever
+// satisfy must still run every member, topping up with spawned workers.
+func TestPoolFallbackForOversizedTeam(t *testing.T) {
+	defer SetPoolSize(defaultPoolCap())
+	SetPoolSize(2)
+	Parallel(func(th *Thread) {}, WithNumThreads(3)) // park 2 workers
+	var ran atomic.Int64
+	const teamSize = 16
+	Parallel(func(th *Thread) { ran.Add(1) }, WithNumThreads(teamSize))
+	if got := ran.Load(); got != teamSize {
+		t.Errorf("%d bodies ran, want %d", got, teamSize)
+	}
+}
+
+// TestPoolSurvivesRegionPanic: a panicking region must propagate its panic
+// (existing behaviour) and leave the pool usable for later regions.
+func TestPoolSurvivesRegionPanic(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic in region body did not propagate")
+			}
+		}()
+		Parallel(func(th *Thread) {
+			if th.ThreadNum() == 1 {
+				panic("boom")
+			}
+		}, WithNumThreads(4))
+	}()
+	var ran atomic.Int64
+	Parallel(func(th *Thread) { ran.Add(1) }, WithNumThreads(4))
+	if got := ran.Load(); got != 4 {
+		t.Errorf("%d bodies ran after a panicked region, want 4", got)
+	}
+}
+
+// TestTeamRecyclingKeepsThreadIdentity: recycled teams must present fresh,
+// correctly-numbered Thread views each region.
+func TestTeamRecyclingKeepsThreadIdentity(t *testing.T) {
+	for region := 0; region < 50; region++ {
+		var mask atomic.Int64
+		n := 1 + region%8
+		Parallel(func(th *Thread) {
+			if th.NumThreads() != n {
+				t.Errorf("region %d: NumThreads = %d, want %d", region, th.NumThreads(), n)
+			}
+			mask.Add(1 << th.ThreadNum())
+		}, WithNumThreads(n))
+		if want := int64(1<<n - 1); mask.Load() != want {
+			t.Errorf("region %d: thread-id mask %b, want %b", region, mask.Load(), want)
+		}
+	}
+}

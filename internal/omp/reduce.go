@@ -64,12 +64,21 @@ func LogAnd() func(bool, bool) bool { return func(a, b bool) bool { return a && 
 // LogOr returns the || reduction operator.
 func LogOr() func(bool, bool) bool { return func(a, b bool) bool { return a || b } }
 
+// paddedSlot spaces per-thread partials at least a cache line apart, so
+// the threads writing their local values before the tree combine do not
+// false-share: without the padding, eight int64 partials fit in one 64-byte
+// line and every write invalidates every other thread's copy.
+type paddedSlot[T any] struct {
+	v T
+	_ [64]byte
+}
+
 // reduceState holds one reduction construct's contributions. vals is sized
-// to the team; the tree combine mutates it in place across lg(p) barrier-
-// separated rounds.
+// to the team, one padded slot per thread; the tree combine mutates it in
+// place across lg(p) barrier-separated rounds.
 type reduceState[T any] struct {
 	once sync.Once
-	vals []T
+	vals []paddedSlot[T]
 }
 
 // Reduce combines each team member's local value with op and returns the
@@ -86,17 +95,17 @@ type reduceState[T any] struct {
 func Reduce[T any](t *Thread, op func(T, T) T, local T) T {
 	idx := t.nextConstruct()
 	st := t.team.construct(idx, func() any { return &reduceState[T]{} }).(*reduceState[T])
-	st.once.Do(func() { st.vals = make([]T, t.team.size) })
-	st.vals[t.id] = local
+	st.once.Do(func() { st.vals = make([]paddedSlot[T], t.team.size) })
+	st.vals[t.id].v = local
 	t.Barrier()
 	p := t.team.size
 	for stride := 1; stride < p; stride *= 2 {
 		if t.id%(2*stride) == 0 && t.id+stride < p {
-			st.vals[t.id] = op(st.vals[t.id], st.vals[t.id+stride])
+			st.vals[t.id].v = op(st.vals[t.id].v, st.vals[t.id+stride].v)
 		}
 		t.Barrier()
 	}
-	result := st.vals[0]
+	result := st.vals[0].v
 	t.Barrier() // everyone reads vals[0] before any later construct reuses state
 	return result
 }

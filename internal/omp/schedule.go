@@ -2,7 +2,7 @@ package omp
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 )
 
 // Schedule selects how a worksharing loop's iterations are divided among
@@ -95,67 +95,84 @@ func EqualChunkBounds(n, p, id int) (start, stop int) {
 }
 
 // dynCounter is the shared chunk dispenser for dynamic schedules and
-// sections.
+// sections: a single atomic fetch-add per claimed chunk, so contending
+// threads never serialize on a lock. The cursor may overshoot limit by at
+// most one chunk per thread (each thread stops after its first failed
+// claim); callers clamp the block they actually execute to limit.
 type dynCounter struct {
-	mu  sync.Mutex
-	pos int
+	pos atomic.Int64
 }
 
 // next claims `chunk` consecutive indices below limit and returns the first;
 // a return >= limit means no work remains.
 func (d *dynCounter) next(chunk, limit int) int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	i := d.pos
-	if i < limit {
-		d.pos += chunk
-		if d.pos > limit {
-			d.pos = limit
-		}
+	i := d.pos.Add(int64(chunk)) - int64(chunk)
+	if i >= int64(limit) {
+		return limit
 	}
-	return i
+	return int(i)
 }
 
-// guidedCounter dispenses exponentially shrinking chunks.
+// guidedCounter dispenses exponentially shrinking chunks with a lock-free
+// compare-and-swap claim. parties and minChunk are fixed (and sanitized)
+// once at creation; grab only advances the cursor.
 type guidedCounter struct {
-	mu       sync.Mutex
-	next     int
+	next     atomic.Int64
 	limit    int
 	parties  int
 	minChunk int
 }
 
-// grab returns the next [start, stop) block, or ok=false when exhausted.
-func (g *guidedCounter) grab() (start, stop int, ok bool) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	remaining := g.limit - g.next
-	if remaining <= 0 {
-		return 0, 0, false
+func newGuidedCounter(limit, parties, minChunk int) *guidedCounter {
+	if parties < 1 {
+		parties = 1
 	}
-	chunk := remaining / g.parties
-	if chunk < g.minChunk {
-		chunk = g.minChunk
+	if minChunk < 1 {
+		minChunk = 1
 	}
-	if chunk > remaining {
-		chunk = remaining
-	}
-	start = g.next
-	g.next += chunk
-	return start, g.next, true
+	return &guidedCounter{limit: limit, parties: parties, minChunk: minChunk}
 }
 
-// For is a worksharing loop over iterations [lo, hi) inside a parallel
-// region (#pragma omp for schedule(...)). Every thread in the team must
-// call For with identical arguments; each iteration executes exactly once
-// on some thread; an implicit barrier follows.
-func (t *Thread) For(lo, hi int, sched Schedule, body func(i int)) {
-	t.ForNoWait(lo, hi, sched, body)
+// grab returns the next [start, stop) block, or ok=false when exhausted.
+// The chunk is remaining/parties floored at minChunk, and always clamped
+// to the work actually remaining — at the tail, where remaining/parties
+// rounds to 0 and minChunk exceeds remaining, the final chunk is exactly
+// the remainder rather than overshooting past limit.
+func (g *guidedCounter) grab() (start, stop int, ok bool) {
+	for {
+		cur := g.next.Load()
+		remaining := g.limit - int(cur)
+		if remaining <= 0 {
+			return 0, 0, false
+		}
+		chunk := remaining / g.parties
+		if chunk < g.minChunk {
+			chunk = g.minChunk
+		}
+		if chunk > remaining {
+			chunk = remaining
+		}
+		if g.next.CompareAndSwap(cur, cur+int64(chunk)) {
+			return int(cur), int(cur) + chunk, true
+		}
+	}
+}
+
+// ForRange is the block-granular worksharing loop over [lo, hi) inside a
+// parallel region: instead of one indirect call per iteration, the body is
+// invoked once per contiguous [start, stop) block the schedule assigns to
+// this thread, and iterates the block itself in a tight local loop. This
+// is the fast path the matrix kernels and exemplars use; For is a
+// per-iteration convenience wrapper over it. Every thread in the team must
+// call ForRange with identical arguments; the blocks passed to body are
+// non-empty and an implicit barrier follows.
+func (t *Thread) ForRange(lo, hi int, sched Schedule, body func(start, stop int)) {
+	t.ForRangeNoWait(lo, hi, sched, body)
 	t.Barrier()
 }
 
-// ForNoWait is For with the nowait clause: no trailing barrier.
-func (t *Thread) ForNoWait(lo, hi int, sched Schedule, body func(i int)) {
+// ForRangeNoWait is ForRange with the nowait clause: no trailing barrier.
+func (t *Thread) ForRangeNoWait(lo, hi int, sched Schedule, body func(start, stop int)) {
 	idx := t.nextConstruct()
 	n := hi - lo
 	if n < 0 {
@@ -165,19 +182,14 @@ func (t *Thread) ForNoWait(lo, hi int, sched Schedule, body func(i int)) {
 	switch sched.kind {
 	case schedStaticEqual:
 		start, stop := EqualChunkBounds(n, p, t.id)
-		for i := start; i < stop; i++ {
-			body(lo + i)
+		if start < stop {
+			body(lo+start, lo+stop)
 		}
 	case schedStaticChunk:
 		// Blocks of size chunk assigned round-robin by block index.
 		for blockStart := t.id * sched.chunk; blockStart < n; blockStart += p * sched.chunk {
-			blockStop := blockStart + sched.chunk
-			if blockStop > n {
-				blockStop = n
-			}
-			for i := blockStart; i < blockStop; i++ {
-				body(lo + i)
-			}
+			blockStop := min(blockStart+sched.chunk, n)
+			body(lo+blockStart, lo+blockStop)
 		}
 	case schedDynamic:
 		st := t.team.construct(idx, func() any { return &dynCounter{} }).(*dynCounter)
@@ -186,28 +198,41 @@ func (t *Thread) ForNoWait(lo, hi int, sched Schedule, body func(i int)) {
 			if start >= n {
 				break
 			}
-			stop := start + sched.chunk
-			if stop > n {
-				stop = n
-			}
-			for i := start; i < stop; i++ {
-				body(lo + i)
-			}
+			body(lo+start, lo+min(start+sched.chunk, n))
 		}
 	case schedGuided:
 		st := t.team.construct(idx, func() any {
-			return &guidedCounter{limit: n, parties: p, minChunk: sched.chunk}
+			return newGuidedCounter(n, p, sched.chunk)
 		}).(*guidedCounter)
 		for {
 			start, stop, ok := st.grab()
 			if !ok {
 				break
 			}
-			for i := start; i < stop; i++ {
-				body(lo + i)
-			}
+			body(lo+start, lo+stop)
 		}
 	}
+}
+
+// For is a worksharing loop over iterations [lo, hi) inside a parallel
+// region (#pragma omp for schedule(...)). Every thread in the team must
+// call For with identical arguments; each iteration executes exactly once
+// on some thread; an implicit barrier follows. It is implemented on top of
+// ForRange: the schedule hands out contiguous blocks and the wrapper
+// expands each block into per-iteration body calls, so both APIs share one
+// scheduling engine and execute identical iteration sets.
+func (t *Thread) For(lo, hi int, sched Schedule, body func(i int)) {
+	t.ForNoWait(lo, hi, sched, body)
+	t.Barrier()
+}
+
+// ForNoWait is For with the nowait clause: no trailing barrier.
+func (t *Thread) ForNoWait(lo, hi int, sched Schedule, body func(i int)) {
+	t.ForRangeNoWait(lo, hi, sched, func(start, stop int) {
+		for i := start; i < stop; i++ {
+			body(i)
+		}
+	})
 }
 
 // ParallelFor forks a team, runs a worksharing loop over [0, n), and joins
@@ -216,5 +241,15 @@ func (t *Thread) ForNoWait(lo, hi int, sched Schedule, body func(i int)) {
 func ParallelFor(n int, sched Schedule, body func(i, tid int), opts ...Option) {
 	Parallel(func(t *Thread) {
 		t.For(0, n, sched, func(i int) { body(i, t.ThreadNum()) })
+	}, opts...)
+}
+
+// ParallelForRange forks a team, workshares [0, n) at block granularity,
+// and joins — the fused parallel-for for tight loops. The body receives
+// each assigned contiguous [start, stop) block and the executing thread's
+// id.
+func ParallelForRange(n int, sched Schedule, body func(start, stop, tid int), opts ...Option) {
+	Parallel(func(t *Thread) {
+		t.ForRange(0, n, sched, func(start, stop int) { body(start, stop, t.ThreadNum()) })
 	}, opts...)
 }
