@@ -14,11 +14,12 @@ vet:
 	$(GO) vet ./...
 
 # The runtime's lock-free fast paths (pool handoff, spin-then-park join,
-# atomic chunk dispensers) make the race detector part of the default test
-# gate, not an optional extra.
+# atomic chunk dispensers) and the communication stack's atomic traffic
+# counters make the race detector part of the default test gate, not an
+# optional extra.
 test: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/omp/...
+	$(GO) test -race ./internal/omp/... ./internal/mpi/... ./internal/cluster/...
 
 race:
 	$(GO) test -race ./internal/... ./patternlets
@@ -26,10 +27,12 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Record the tier-1 benchmark suite as BENCH_<date>[_label].json; compare
+# Record a benchmark suite as BENCH_<date>[_label].json; SUITE=comm
+# records the communication-stack suite (BENCH_<date>_comm.json). Compare
 # two recordings with: go run ./cmd/benchjson -compare old.json new.json
+SUITE ?= tier1
 bench-json:
-	$(GO) run ./cmd/benchjson -label "$(LABEL)"
+	$(GO) run ./cmd/benchjson -suite "$(SUITE)" -label "$(LABEL)"
 
 figures:
 	$(GO) run ./cmd/figures

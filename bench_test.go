@@ -319,7 +319,7 @@ func BenchmarkMPICollectives(b *testing.B) {
 
 // benchWorld runs b.N iterations of op inside one world, amortizing the
 // world setup.
-func benchWorld(b *testing.B, np int, op func(*mpi.Comm) error) {
+func benchWorld(b *testing.B, np int, op func(*mpi.Comm) error, opts ...mpi.RunOption) {
 	b.Helper()
 	err := mpi.Run(np, func(c *mpi.Comm) error {
 		for i := 0; i < b.N; i++ {
@@ -328,9 +328,119 @@ func benchWorld(b *testing.B, np int, op func(*mpi.Comm) error) {
 			}
 		}
 		return nil
-	})
+	}, opts...)
 	if err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkCollectiveAlgorithms pins every registered collective algorithm
+// against its rival on the same workload, across world sizes straddling
+// the registry's policy thresholds. The recorded numbers (see
+// EXPERIMENTS.md and BENCH_*_comm.json) are what justify those
+// thresholds.
+func BenchmarkCollectiveAlgorithms(b *testing.B) {
+	payload := make([]int, 64)
+	for i := range payload {
+		payload[i] = i
+	}
+	force := func(coll, algo string) mpi.RunOption {
+		return mpi.WithCollectiveAlgorithm(coll, algo)
+	}
+	for _, np := range []int{4, 8, 16} {
+		np := np
+		suite := []struct {
+			coll, algo string
+			op         func(*mpi.Comm) error
+		}{
+			{mpi.CollBarrier, mpi.AlgoCentral, func(c *mpi.Comm) error { return mpi.Barrier(c) }},
+			{mpi.CollBarrier, mpi.AlgoDissemination, func(c *mpi.Comm) error { return mpi.Barrier(c) }},
+			{mpi.CollBcast, mpi.AlgoLinear, func(c *mpi.Comm) error {
+				_, err := mpi.Bcast(c, payload, 0)
+				return err
+			}},
+			{mpi.CollBcast, mpi.AlgoBinomial, func(c *mpi.Comm) error {
+				_, err := mpi.Bcast(c, payload, 0)
+				return err
+			}},
+			{mpi.CollReduce, mpi.AlgoLinear, func(c *mpi.Comm) error {
+				_, err := mpi.Reduce(c, c.Rank(), mpi.Sum[int](), 0)
+				return err
+			}},
+			{mpi.CollReduce, mpi.AlgoBinomial, func(c *mpi.Comm) error {
+				_, err := mpi.Reduce(c, c.Rank(), mpi.Sum[int](), 0)
+				return err
+			}},
+			{mpi.CollAllreduce, mpi.AlgoComposed, func(c *mpi.Comm) error {
+				_, err := mpi.Allreduce(c, c.Rank(), mpi.Sum[int]())
+				return err
+			}},
+			{mpi.CollAllreduce, mpi.AlgoRecursiveDoubling, func(c *mpi.Comm) error {
+				_, err := mpi.Allreduce(c, c.Rank(), mpi.Sum[int]())
+				return err
+			}},
+			{mpi.CollAllgather, mpi.AlgoComposed, func(c *mpi.Comm) error {
+				_, err := mpi.Allgather(c, payload[:8])
+				return err
+			}},
+			{mpi.CollAllgather, mpi.AlgoRing, func(c *mpi.Comm) error {
+				_, err := mpi.Allgather(c, payload[:8])
+				return err
+			}},
+			{mpi.CollAlltoall, mpi.AlgoLinear, func(c *mpi.Comm) error {
+				_, err := mpi.Alltoall(c, make([]int, np*8))
+				return err
+			}},
+			{mpi.CollAlltoall, mpi.AlgoPairwise, func(c *mpi.Comm) error {
+				_, err := mpi.Alltoall(c, make([]int, np*8))
+				return err
+			}},
+			{mpi.CollScan, mpi.AlgoLinear, func(c *mpi.Comm) error {
+				_, err := mpi.Scan(c, c.Rank(), mpi.Sum[int]())
+				return err
+			}},
+			{mpi.CollScan, mpi.AlgoDoubling, func(c *mpi.Comm) error {
+				_, err := mpi.Scan(c, c.Rank(), mpi.Sum[int]())
+				return err
+			}},
+			{mpi.CollExscan, mpi.AlgoLinear, func(c *mpi.Comm) error {
+				_, err := mpi.Exscan(c, c.Rank(), mpi.Sum[int]())
+				return err
+			}},
+			{mpi.CollExscan, mpi.AlgoDoubling, func(c *mpi.Comm) error {
+				_, err := mpi.Exscan(c, c.Rank(), mpi.Sum[int]())
+				return err
+			}},
+		}
+		for _, tc := range suite {
+			b.Run(tc.coll+"/"+tc.algo+"/np="+itoa(np), func(b *testing.B) {
+				benchWorld(b, np, tc.op, force(tc.coll, tc.algo))
+			})
+		}
+	}
+
+	// Payload dimension: the bcast policy keys on wire size because a
+	// large frame serializes p-1 times at a linear root but only lg p
+	// times on any one tree rank.
+	big := make([]int, 4096)
+	for _, algo := range []string{mpi.AlgoLinear, mpi.AlgoBinomial} {
+		b.Run("bcast/"+algo+"/np=4/ints=4096", func(b *testing.B) {
+			benchWorld(b, 4, func(c *mpi.Comm) error {
+				_, err := mpi.Bcast(c, big, 0)
+				return err
+			}, force(mpi.CollBcast, algo))
+		})
+	}
+
+	// Latency dimension: with a per-message delay (the Latency middleware
+	// regime) message depth dominates and the trees win outright.
+	for _, algo := range []string{mpi.AlgoLinear, mpi.AlgoBinomial} {
+		b.Run("bcast/"+algo+"/np=8/latency=200us", func(b *testing.B) {
+			benchWorld(b, 8, func(c *mpi.Comm) error {
+				_, err := mpi.Bcast(c, payload, 0)
+				return err
+			}, force(mpi.CollBcast, algo), mpi.WithLatency(200*time.Microsecond))
+		})
 	}
 }
 
@@ -496,12 +606,14 @@ func BenchmarkAblationIsolationCost(b *testing.B) {
 }
 
 // BenchmarkAblationBarrierAlgorithms compares the dissemination barrier
-// (O(lg p) rounds, used by mpi.Barrier) against the naive central barrier
-// (O(p) at the root).
+// (O(lg p) rounds) against the naive central barrier (O(p) at the root).
+// The algorithm is forced through the registry so the policy's own choice
+// doesn't mask the contrast.
 func BenchmarkAblationBarrierAlgorithms(b *testing.B) {
 	for _, np := range []int{4, 8, 16} {
 		b.Run("dissemination/np="+itoa(np), func(b *testing.B) {
-			benchWorld(b, np, func(c *mpi.Comm) error { return mpi.Barrier(c) })
+			benchWorld(b, np, func(c *mpi.Comm) error { return mpi.Barrier(c) },
+				mpi.WithCollectiveAlgorithm(mpi.CollBarrier, mpi.AlgoDissemination))
 		})
 		b.Run("central/np="+itoa(np), func(b *testing.B) {
 			benchWorld(b, np, func(c *mpi.Comm) error { return mpi.BarrierCentral(c) })

@@ -33,6 +33,19 @@ const tier1Bench = "^(BenchmarkOMPRegionForkJoin|BenchmarkOMPBarrier|" +
 	"BenchmarkAblationReductionMechanisms|BenchmarkFigure30AtomicVsCritical|" +
 	"BenchmarkFigure21Reduction)$"
 
+// commBench is the communication-stack suite: the per-collective
+// algorithm matrix plus the transport and barrier baselines, recorded as
+// BENCH_<date>_comm.json to justify the registry's policy thresholds.
+const commBench = "^(BenchmarkCollectiveAlgorithms|BenchmarkMPICollectives|" +
+	"BenchmarkTransportPingPong|BenchmarkAblationBarrierAlgorithms|" +
+	"BenchmarkAlltoall|BenchmarkFigure19MPIReduce)$"
+
+// suites maps -suite names to benchmark regexes.
+var suites = map[string]string{
+	"tier1": tier1Bench,
+	"comm":  commBench,
+}
+
 // Result is one benchmark line.
 type Result struct {
 	Name        string             `json:"name"`
@@ -57,13 +70,28 @@ type File struct {
 }
 
 func main() {
-	bench := flag.String("bench", tier1Bench, "benchmark regex passed to go test -bench")
+	bench := flag.String("bench", "", "benchmark regex passed to go test -bench (overrides -suite)")
+	suite := flag.String("suite", "tier1", "named benchmark suite: tier1 or comm")
 	benchtime := flag.String("benchtime", "200ms", "value for go test -benchtime")
 	count := flag.Int("count", 1, "value for go test -count")
 	label := flag.String("label", "", "optional label appended to the output file name")
 	out := flag.String("out", "", "output path (default BENCH_<date>[_<label>].json)")
 	compare := flag.Bool("compare", false, "compare two BENCH_*.json files instead of running")
 	flag.Parse()
+
+	if *bench == "" {
+		re, ok := suites[*suite]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (have tier1, comm)\n", *suite)
+			os.Exit(2)
+		}
+		*bench = re
+		// The comm suite labels its file so the tier-1 recording of the
+		// same day is never overwritten.
+		if *suite != "tier1" && *label == "" {
+			*label = *suite
+		}
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {
@@ -151,8 +179,13 @@ func parse(out string, f *File) []Result {
 			continue
 		}
 		name := fields[0]
+		// Strip the -GOMAXPROCS suffix, but only when it is numeric:
+		// sub-benchmark names may legitimately contain hyphens
+		// (e.g. allreduce/recursive-doubling).
 		if i := strings.LastIndex(name, "-"); i > 0 {
-			name = name[:i] // strip the -GOMAXPROCS suffix
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
 		}
 		iters, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil {

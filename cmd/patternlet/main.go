@@ -252,6 +252,26 @@ OpenMP runtimes are:
 
 Record a benchmark snapshot with ` + "`make bench-json`" + ` and diff two
 snapshots with ` + "`go run ./cmd/benchjson -compare OLD.json NEW.json`" + `.
+
+## The communication stack
+
+The MPI patternlets run on a layered communication stack: typed
+collectives dispatch through a per-collective algorithm registry (a
+default policy picks by world size and payload; force a choice with
+` + "`mpi.WithCollectiveAlgorithm`" + `), point-to-point messaging carries
+gob-isolated values, and composable middleware (traffic instrumentation,
+latency injection, fault injection) wraps any wire transport — in-process
+channels, loopback TCP, or one OS process per rank.
+
+**Every MPI patternlet's output is byte-identical regardless of which
+collective algorithm the registry selects.** A broadcast is a broadcast
+whether it runs as a root-sends-to-all loop or a binomial tree; only the
+message schedule differs — count it with ` + "`Comm.Stats()`" + `, which
+reports sends, receives, bytes and per-peer counts for each
+communicator. Equivalence tests pin every registered algorithm to its
+linear reference for world sizes 1-9, including non-commutative
+reduction operators. Record the communication benchmarks with
+` + "`make bench-json SUITE=comm`" + `.
 `
 
 func splitList(s string) []string {

@@ -258,10 +258,9 @@ func TestChanTransportPending(t *testing.T) {
 	}
 }
 
-func TestChanTransportLatency(t *testing.T) {
-	tr := NewChanTransport(2)
+func TestLatencyDecoratorDelaysSends(t *testing.T) {
+	tr := NewLatency(NewChanTransport(2), 20*time.Millisecond)
 	defer tr.Close()
-	tr.SetLatency(20 * time.Millisecond)
 	start := time.Now()
 	if err := tr.Send(1, Message{Src: 0}); err != nil {
 		t.Fatal(err)

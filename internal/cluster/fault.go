@@ -6,12 +6,14 @@ import (
 	"sync"
 )
 
-// FaultInjector wraps a Transport with programmable failures, for testing
-// how the layers above behave when the interconnect misbehaves — the
-// failure-injection half of the test suite. Faults are deterministic:
+// FaultInjector is the transport decorator with programmable failures,
+// for testing how the layers above behave when the interconnect
+// misbehaves — the failure-injection half of the test suite. It embeds
+// the Middleware pass-through base and overrides only Send; receives,
+// probes and shutdown flow through untouched. Faults are deterministic:
 // they trigger on exact operation counts, so tests are reproducible.
 type FaultInjector struct {
-	inner Transport
+	Middleware
 
 	mu        sync.Mutex
 	sendCount int
@@ -25,9 +27,9 @@ var ErrInjected = errors.New("cluster: injected fault")
 // NewFaultInjector wraps inner.
 func NewFaultInjector(inner Transport) *FaultInjector {
 	return &FaultInjector{
-		inner:     inner,
-		failSends: map[int]error{},
-		dropSends: map[int]bool{},
+		Middleware: Middleware{Inner: inner},
+		failSends:  map[int]error{},
+		dropSends:  map[int]bool{},
 	}
 }
 
@@ -73,23 +75,5 @@ func (f *FaultInjector) Send(to int, m Message) error {
 		return nil // swallowed
 	}
 	f.mu.Unlock()
-	return f.inner.Send(to, m)
+	return f.Inner.Send(to, m)
 }
-
-// Recv implements Transport.
-func (f *FaultInjector) Recv(rank int, match func(Message) bool) (Message, error) {
-	return f.inner.Recv(rank, match)
-}
-
-// RecvTimeout implements Transport.
-func (f *FaultInjector) RecvTimeout(rank int, match func(Message) bool, timeoutNanos int64) (Message, error) {
-	return f.inner.RecvTimeout(rank, match, timeoutNanos)
-}
-
-// Probe implements Transport.
-func (f *FaultInjector) Probe(rank int, match func(Message) bool) (Message, error) {
-	return f.inner.Probe(rank, match)
-}
-
-// Close implements Transport.
-func (f *FaultInjector) Close() error { return f.inner.Close() }

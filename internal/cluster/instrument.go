@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Instrumented counts the traffic flowing through a transport: sends and
+// receives, payload bytes in each direction, and per-destination message
+// counts — totalled and broken down per communicator id, so the MPI layer
+// can report what a pattern actually moves (Comm.Stats). Counters are
+// lock-free atomics on the hot path; the only synchronization is the
+// first-touch insertion of a new communicator or peer slot.
+type Instrumented struct {
+	Middleware
+	total trafficCounters
+	comms sync.Map // communicator id -> *trafficCounters
+}
+
+// TrafficStats is a point-in-time snapshot of traffic counters.
+type TrafficStats struct {
+	Sends      uint64         // messages handed to the layer below
+	Recvs      uint64         // messages delivered to receivers
+	BytesSent  uint64         // payload bytes sent
+	BytesRecvd uint64         // payload bytes received
+	PeerSends  map[int]uint64 // destination world rank -> messages sent
+}
+
+// trafficCounters is one accounting bucket (the totals, or one
+// communicator's slice of them).
+type trafficCounters struct {
+	sends      atomic.Uint64
+	recvs      atomic.Uint64
+	bytesSent  atomic.Uint64
+	bytesRecvd atomic.Uint64
+	peerSends  sync.Map // destination rank -> *atomic.Uint64
+}
+
+func (tc *trafficCounters) recordSend(to int, bytes uint64) {
+	tc.sends.Add(1)
+	tc.bytesSent.Add(bytes)
+	v, ok := tc.peerSends.Load(to)
+	if !ok {
+		v, _ = tc.peerSends.LoadOrStore(to, new(atomic.Uint64))
+	}
+	v.(*atomic.Uint64).Add(1)
+}
+
+func (tc *trafficCounters) recordRecv(bytes uint64) {
+	tc.recvs.Add(1)
+	tc.bytesRecvd.Add(bytes)
+}
+
+func (tc *trafficCounters) snapshot() TrafficStats {
+	st := TrafficStats{
+		Sends:      tc.sends.Load(),
+		Recvs:      tc.recvs.Load(),
+		BytesSent:  tc.bytesSent.Load(),
+		BytesRecvd: tc.bytesRecvd.Load(),
+		PeerSends:  map[int]uint64{},
+	}
+	tc.peerSends.Range(func(k, v any) bool {
+		st.PeerSends[k.(int)] = v.(*atomic.Uint64).Load()
+		return true
+	})
+	return st
+}
+
+// NewInstrumented wraps inner with traffic accounting.
+func NewInstrumented(inner Transport) *Instrumented {
+	return &Instrumented{Middleware: Middleware{Inner: inner}}
+}
+
+func (t *Instrumented) commCounters(comm int) *trafficCounters {
+	if v, ok := t.comms.Load(comm); ok {
+		return v.(*trafficCounters)
+	}
+	v, _ := t.comms.LoadOrStore(comm, &trafficCounters{})
+	return v.(*trafficCounters)
+}
+
+// Send implements Transport, counting messages the layer below accepted.
+func (t *Instrumented) Send(to int, m Message) error {
+	if err := t.Inner.Send(to, m); err != nil {
+		return err
+	}
+	n := uint64(len(m.Payload))
+	t.total.recordSend(to, n)
+	t.commCounters(m.Comm).recordSend(to, n)
+	return nil
+}
+
+// Recv implements Transport, counting delivered messages.
+func (t *Instrumented) Recv(rank int, match func(Message) bool) (Message, error) {
+	m, err := t.Inner.Recv(rank, match)
+	if err == nil {
+		t.total.recordRecv(uint64(len(m.Payload)))
+		t.commCounters(m.Comm).recordRecv(uint64(len(m.Payload)))
+	}
+	return m, err
+}
+
+// RecvTimeout implements Transport, counting delivered messages.
+func (t *Instrumented) RecvTimeout(rank int, match func(Message) bool, timeoutNanos int64) (Message, error) {
+	m, err := t.Inner.RecvTimeout(rank, match, timeoutNanos)
+	if err == nil {
+		t.total.recordRecv(uint64(len(m.Payload)))
+		t.commCounters(m.Comm).recordRecv(uint64(len(m.Payload)))
+	}
+	return m, err
+}
+
+// Totals returns the counters summed over every communicator.
+func (t *Instrumented) Totals() TrafficStats { return t.total.snapshot() }
+
+// CommStats returns the counters for one communicator id. An id that has
+// carried no traffic reports zeroes.
+func (t *Instrumented) CommStats(comm int) TrafficStats {
+	if v, ok := t.comms.Load(comm); ok {
+		return v.(*trafficCounters).snapshot()
+	}
+	return TrafficStats{PeerSends: map[int]uint64{}}
+}

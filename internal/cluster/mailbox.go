@@ -81,12 +81,11 @@ func (mb *mailbox) pending() int {
 }
 
 // ChanTransport is the in-process transport: one mailbox per rank, sends
-// deliver directly. An optional synthetic per-message latency models the
-// network of a distributed-memory system for experiments contrasting
-// shared- and distributed-memory costs.
+// deliver directly. To model interconnect cost, wrap it in the Latency
+// decorator — synthetic delay is middleware, not a transport special
+// case.
 type ChanTransport struct {
-	boxes   []*mailbox
-	latency time.Duration
+	boxes []*mailbox
 }
 
 // NewChanTransport creates an in-process transport for np ranks.
@@ -98,17 +97,10 @@ func NewChanTransport(np int) *ChanTransport {
 	return t
 }
 
-// SetLatency sets a synthetic one-way delay applied to every Send. It must
-// be called before the transport is used.
-func (t *ChanTransport) SetLatency(d time.Duration) { t.latency = d }
-
 // Send implements Transport.
 func (t *ChanTransport) Send(to int, m Message) error {
 	if to < 0 || to >= len(t.boxes) {
 		return errBadRank(to, len(t.boxes))
-	}
-	if t.latency > 0 {
-		time.Sleep(t.latency)
 	}
 	return t.boxes[to].put(m)
 }

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// The middleware layer: decorators must compose over any transport and
+// stay transparent to traffic they don't alter.
+
+func TestMiddlewarePassThrough(t *testing.T) {
+	inner := NewChanTransport(2)
+	mw := Middleware{Inner: inner}
+	defer mw.Close()
+	if err := mw.Send(1, Message{Src: 0, Tag: 7, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := mw.Recv(1, func(m Message) bool { return m.Tag == 7 })
+	if err != nil || string(m.Payload) != "x" {
+		t.Fatalf("Recv = (%v, %v)", m, err)
+	}
+	if _, err := mw.RecvTimeout(1, func(Message) bool { return true },
+		int64(10*time.Millisecond)); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("RecvTimeout on empty mailbox: %v", err)
+	}
+}
+
+func TestLatencyDecoratorOverTCP(t *testing.T) {
+	base, err := NewTCPTransport(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewLatency(base, 20*time.Millisecond)
+	defer tr.Close()
+	start := time.Now()
+	if err := tr.Send(1, Message{Src: 0, Tag: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("latency not applied over TCP: send took %v", elapsed)
+	}
+	if _, err := tr.Recv(1, func(m Message) bool { return m.Tag == 1 }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInstrumentedCountsTraffic(t *testing.T) {
+	tr := NewInstrumented(NewChanTransport(3))
+	defer tr.Close()
+	payload := []byte{1, 2, 3, 4}
+	// Two comms: 3 messages on comm 0 (two to rank 1, one to rank 2), one
+	// on comm 9.
+	for _, m := range []struct {
+		to  int
+		msg Message
+	}{
+		{1, Message{Src: 0, Tag: 1, Comm: 0, Payload: payload}},
+		{1, Message{Src: 0, Tag: 2, Comm: 0, Payload: payload}},
+		{2, Message{Src: 0, Tag: 3, Comm: 0, Payload: payload}},
+		{1, Message{Src: 2, Tag: 4, Comm: 9, Payload: payload[:2]}},
+	} {
+		if err := tr.Send(m.to, m.msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := tr.Recv(1, func(Message) bool { return true }); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	tot := tr.Totals()
+	if tot.Sends != 4 || tot.BytesSent != 14 {
+		t.Errorf("Totals sends/bytes = %d/%d, want 4/14", tot.Sends, tot.BytesSent)
+	}
+	if tot.Recvs != 3 || tot.BytesRecvd != 10 {
+		t.Errorf("Totals recvs/bytes = %d/%d, want 3/10", tot.Recvs, tot.BytesRecvd)
+	}
+	if tot.PeerSends[1] != 3 || tot.PeerSends[2] != 1 {
+		t.Errorf("PeerSends = %v", tot.PeerSends)
+	}
+
+	c0 := tr.CommStats(0)
+	if c0.Sends != 3 || c0.BytesSent != 12 {
+		t.Errorf("comm 0 sends/bytes = %d/%d, want 3/12", c0.Sends, c0.BytesSent)
+	}
+	c9 := tr.CommStats(9)
+	if c9.Sends != 1 || c9.BytesSent != 2 || c9.PeerSends[1] != 1 {
+		t.Errorf("comm 9 stats = %+v", c9)
+	}
+	if unseen := tr.CommStats(42); unseen.Sends != 0 || unseen.PeerSends == nil {
+		t.Errorf("unseen comm stats = %+v", unseen)
+	}
+}
+
+// Decorators stack: instrumentation over fault injection counts only the
+// sends the injector let through.
+func TestInstrumentedOverFaultInjector(t *testing.T) {
+	fi := NewFaultInjector(NewChanTransport(2))
+	fi.FailSend(2, nil)
+	tr := NewInstrumented(fi)
+	defer tr.Close()
+	if err := tr.Send(1, Message{Src: 0, Payload: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(1, Message{Src: 0, Payload: []byte{2}}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second send: %v", err)
+	}
+	if got := tr.Totals().Sends; got != 1 {
+		t.Fatalf("instrumented counted %d sends, want 1 (failed send excluded)", got)
+	}
+	if fi.SendCount() != 2 {
+		t.Fatalf("injector saw %d sends, want 2", fi.SendCount())
+	}
+}

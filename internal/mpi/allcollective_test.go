@@ -26,7 +26,7 @@ func TestAllreduceMatchesComposedAllWorldSizes(t *testing.T) {
 				t.Errorf("np=%d rank %d: Allreduce = %d, composed oracle = %d", np, c.Rank(), fast, oracle)
 			}
 			return nil
-		})
+		}, WithRecvTimeout(collGuard))
 		if err != nil {
 			t.Fatalf("np=%d: %v", np, err)
 		}
@@ -55,7 +55,7 @@ func TestAllreduceNonCommutativeOp(t *testing.T) {
 			got[c.Rank()] = v
 			mu.Unlock()
 			return nil
-		})
+		}, WithRecvTimeout(collGuard))
 		if err != nil {
 			t.Fatalf("np=%d: %v", np, err)
 		}
@@ -94,7 +94,7 @@ func TestAllgatherMatchesComposedVariableLengths(t *testing.T) {
 				}
 			}
 			return nil
-		})
+		}, WithRecvTimeout(collGuard))
 		if err != nil {
 			t.Fatalf("np=%d: %v", np, err)
 		}
@@ -122,7 +122,7 @@ func TestAllgatherRankOrder(t *testing.T) {
 			}
 		}
 		return nil
-	})
+	}, WithRecvTimeout(collGuard))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,85 @@
+package mpi
+
+// Alltoall performs the complete exchange (MPI_Alltoall): rank i's send
+// slice is split into Size() equal chunks, chunk j going to rank j; the
+// result at rank i is the concatenation of chunk i from every rank, in
+// rank order. len(send) must be a multiple of Size() on every rank.
+//
+// Small and mid worlds post every send eagerly and drain in rank order;
+// larger worlds use the pairwise schedule — p-1 rounds of cyclic-shift
+// exchanges — which bounds each rank's in-flight buffering to one chunk
+// per round instead of p at once.
+func Alltoall[T any](c *Comm, send []T) ([]T, error) {
+	tag := c.nextCollTag()
+	p := len(c.ranks)
+	if len(send)%p != 0 {
+		return nil, errAlltoallShape(len(send), p)
+	}
+	switch algo := c.algoFor(CollAlltoall, 0); algo {
+	case AlgoLinear:
+		return alltoallLinear(c, send, tag)
+	case AlgoPairwise:
+		return alltoallPairwise(c, send, tag)
+	default:
+		return nil, errUnknownAlgo(CollAlltoall, algo)
+	}
+}
+
+func alltoallLinear[T any](c *Comm, send []T, tag int) ([]T, error) {
+	p := len(c.ranks)
+	chunk := len(send) / p
+	// Post all sends (buffered), then receive from each rank in order.
+	for r := 0; r < p; r++ {
+		part := send[r*chunk : (r+1)*chunk]
+		if err := sendRaw(c, part, r, tag); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]T, 0, len(send))
+	for r := 0; r < p; r++ {
+		part, _, err := recvRaw[[]T](c, r, tag)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+// alltoallPairwise: in round k every rank sends its chunk for rank+k and
+// receives from rank-k — a permutation per round, so at most one chunk is
+// buffered per peer at any time.
+func alltoallPairwise[T any](c *Comm, send []T, tag int) ([]T, error) {
+	p := len(c.ranks)
+	chunk := len(send) / p
+	parts := make([][]T, p)
+	own, err := DeepCopy(send[c.rank*chunk : (c.rank+1)*chunk])
+	if err != nil {
+		return nil, err
+	}
+	parts[c.rank] = own
+	for k := 1; k < p; k++ {
+		dst := (c.rank + k) % p
+		src := (c.rank - k + p) % p
+		if err := sendRaw(c, send[dst*chunk:(dst+1)*chunk], dst, tag); err != nil {
+			return nil, err
+		}
+		got, _, err := recvRaw[[]T](c, src, tag)
+		if err != nil {
+			return nil, err
+		}
+		parts[src] = got
+	}
+	out := make([]T, 0, len(send))
+	for _, part := range parts {
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+type alltoallShapeError struct{ n, p int }
+
+func errAlltoallShape(n, p int) error { return &alltoallShapeError{n, p} }
+func (e *alltoallShapeError) Error() string {
+	return "mpi: Alltoall: send length not divisible by communicator size"
+}

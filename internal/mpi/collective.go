@@ -1,19 +1,132 @@
 package mpi
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+)
 
 // Collective operations. Every rank of the communicator must call the same
 // collectives in the same order; each call reserves one internal tag, so
-// successive collectives can never cross-match. Broadcast and reduction
-// use binomial trees, giving the O(lg p) combining depth that Figure 19 of
-// the paper illustrates for the Reduction pattern.
+// successive collectives can never cross-match.
+//
+// Each public collective is a thin dispatcher over the algorithm registry
+// (registry.go): the registry's policy — or a WithCollectiveAlgorithm
+// override — names an algorithm, and the dispatcher runs it. The flat
+// linear/composed forms double as test oracles for the tree forms, giving
+// the O(lg p) combining depth that Figure 19 of the paper illustrates for
+// the Reduction pattern an independently checkable reference.
+
+// sendBytes ships an already-framed payload without re-encoding, used by
+// the rooted collectives to relay a frame unchanged down a tree.
+func sendBytes(c *Comm, payload []byte, dest, tag int) error {
+	m := cluster.Message{
+		Src:     c.WorldRank(),
+		Tag:     tag,
+		Comm:    c.id,
+		Payload: payload,
+	}
+	return c.w.tr.Send(c.ranks[dest], m)
+}
+
+// recvBytes receives a raw frame, honoring the world's receive timeout.
+func recvBytes(c *Comm, src, tag int) ([]byte, error) {
+	var m cluster.Message
+	var err error
+	if c.w.recvTimeout > 0 {
+		m, err = c.w.tr.RecvTimeout(c.WorldRank(), c.matcher(src, tag), int64(c.w.recvTimeout))
+	} else {
+		m, err = c.w.tr.Recv(c.WorldRank(), c.matcher(src, tag))
+	}
+	if err != nil {
+		if errors.Is(err, cluster.ErrTimeout) {
+			return nil, ErrDeadlock
+		}
+		return nil, err
+	}
+	return m.Payload, nil
+}
+
+// Frame headers for the rooted distribution collectives (Bcast, Scatter):
+// the root picks the algorithm from the payload it alone can measure, and
+// the choice travels as the frame's first byte so receivers follow the
+// same schedule without communicating.
+const (
+	hdrLinear   byte = 1
+	hdrBinomial byte = 2
+)
+
+func algoHeader(algo string) (byte, bool) {
+	switch algo {
+	case AlgoLinear:
+		return hdrLinear, true
+	case AlgoBinomial:
+		return hdrBinomial, true
+	}
+	return 0, false
+}
+
+func algoFromHeader(b byte) (string, bool) {
+	switch b {
+	case hdrLinear:
+		return AlgoLinear, true
+	case hdrBinomial:
+		return AlgoBinomial, true
+	}
+	return "", false
+}
+
+// frame prepends an algorithm header byte to an encoded payload.
+func frame(hdr byte, raw []byte) []byte {
+	f := make([]byte, 1+len(raw))
+	f[0] = hdr
+	copy(f[1:], raw)
+	return f
+}
+
+// entryMask returns the binomial-tree span of the node at relative rank
+// rel: the largest power of two M such that the node's subtree covers
+// relative ranks [rel, rel+M), clipped to p. The root (rel 0) spans the
+// whole tree; any other node's span is the lowest set bit of rel.
+func entryMask(rel, p int) int {
+	if rel != 0 {
+		return rel & -rel
+	}
+	m := 1
+	for m < p {
+		m <<= 1
+	}
+	return m
+}
 
 // Barrier blocks until every rank of the communicator has entered it
-// (MPI_Barrier). It uses the dissemination algorithm: ceil(lg p) rounds,
-// in round k each rank signals the rank 2^k ahead of it and waits for the
-// rank 2^k behind.
+// (MPI_Barrier). Small worlds use the central fan-in/fan-out through rank
+// 0; larger worlds the dissemination algorithm's ceil(lg p) symmetric
+// rounds.
 func Barrier(c *Comm) error {
 	tag := c.nextCollTag()
+	switch algo := c.algoFor(CollBarrier, 0); algo {
+	case AlgoDissemination:
+		return barrierDissemination(c, tag)
+	case AlgoCentral:
+		return barrierCentral(c, tag)
+	default:
+		return errUnknownAlgo(CollBarrier, algo)
+	}
+}
+
+// BarrierCentral is the linear fan-in/fan-out barrier: every rank signals
+// rank 0, which releases everyone — the O(p)-latency baseline for the
+// ablation benchmark against the dissemination rounds. Barrier selects
+// between the two automatically.
+func BarrierCentral(c *Comm) error {
+	return barrierCentral(c, c.nextCollTag())
+}
+
+// barrierDissemination: in round k each rank signals the rank 2^k ahead
+// of it and waits for the rank 2^k behind.
+func barrierDissemination(c *Comm, tag int) error {
 	p := len(c.ranks)
 	for stride := 1; stride < p; stride *= 2 {
 		to := (c.rank + stride) % p
@@ -28,10 +141,34 @@ func Barrier(c *Comm) error {
 	return nil
 }
 
+func barrierCentral(c *Comm, tag int) error {
+	p := len(c.ranks)
+	if c.rank == 0 {
+		for r := 1; r < p; r++ {
+			if _, _, err := recvRaw[struct{}](c, r, tag); err != nil {
+				return err
+			}
+		}
+		for r := 1; r < p; r++ {
+			if err := sendRaw(c, struct{}{}, r, tag); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := sendRaw(c, struct{}{}, 0, tag); err != nil {
+		return err
+	}
+	_, _, err := recvRaw[struct{}](c, 0, tag)
+	return err
+}
+
 // Bcast distributes root's value to every rank (MPI_Bcast): each rank
 // passes its local v (ignored except at root) and receives root's value.
-// The value travels down a binomial tree, reaching all p ranks in
-// ceil(lg p) message latencies.
+// The root encodes once, measures the wire size, and picks the schedule:
+// small payloads in small worlds go out flat; otherwise the frame travels
+// down a binomial tree, reaching all p ranks in ceil(lg p) message
+// latencies. Relaying ranks forward the raw frame without re-encoding.
 func Bcast[T any](c *Comm, v T, root int) (T, error) {
 	var zero T
 	if root < 0 || root >= len(c.ranks) {
@@ -39,91 +176,161 @@ func Bcast[T any](c *Comm, v T, root int) (T, error) {
 	}
 	tag := c.nextCollTag()
 	p := len(c.ranks)
-	rel := (c.rank - root + p) % p
+	if p == 1 {
+		return v, nil
+	}
 
-	// Receive phase: a non-root rank receives from the peer that owns it
-	// in the binomial tree.
-	mask := 1
-	for mask < p {
-		if rel&mask != 0 {
-			src := (rel - mask + root) % p
-			got, _, err := recvRaw[T](c, src, tag)
-			if err != nil {
+	if c.rank == root {
+		raw, err := encode(v)
+		if err != nil {
+			return zero, err
+		}
+		algo := c.algoFor(CollBcast, len(raw))
+		hdr, ok := algoHeader(algo)
+		if !ok {
+			return zero, errUnknownAlgo(CollBcast, algo)
+		}
+		f := frame(hdr, raw)
+		switch algo {
+		case AlgoLinear:
+			for r := 0; r < p; r++ {
+				if r == root {
+					continue
+				}
+				if err := sendBytes(c, f, r, tag); err != nil {
+					return zero, err
+				}
+			}
+		case AlgoBinomial:
+			if err := bcastForward(c, f, 0, root, tag); err != nil {
 				return zero, err
 			}
-			v = got
-			break
 		}
-		mask <<= 1
+		return v, nil
 	}
-	// Forward phase: relay to subtree children.
-	mask >>= 1
-	for mask > 0 {
+
+	// Non-root: the root's choice arrives in the frame header. The tag is
+	// unique to this call and each rank receives exactly one frame, so
+	// any-source matching is unambiguous under either schedule.
+	f, err := recvBytes(c, AnySource, tag)
+	if err != nil {
+		return zero, err
+	}
+	if len(f) == 0 {
+		return zero, fmt.Errorf("mpi: Bcast: empty frame")
+	}
+	algo, ok := algoFromHeader(f[0])
+	if !ok {
+		return zero, fmt.Errorf("mpi: Bcast: bad frame header %d", f[0])
+	}
+	if algo == AlgoBinomial {
+		rel := (c.rank - root + p) % p
+		if err := bcastForward(c, f, rel, root, tag); err != nil {
+			return zero, err
+		}
+	}
+	return decode[T](f[1:])
+}
+
+// bcastForward relays a frame to the binomial-tree children of the node
+// at relative rank rel.
+func bcastForward(c *Comm, f []byte, rel, root, tag int) error {
+	p := len(c.ranks)
+	for mask := entryMask(rel, p) >> 1; mask > 0; mask >>= 1 {
 		if rel+mask < p {
-			dst := (rel + mask + root) % p
-			if err := sendRaw(c, v, dst, tag); err != nil {
-				return zero, err
+			if err := sendBytes(c, f, (rel+mask+root)%p, tag); err != nil {
+				return err
 			}
 		}
-		mask >>= 1
 	}
-	return v, nil
+	return nil
 }
 
 // Reduce combines each rank's value with op and returns the result at
-// root; other ranks receive the zero value (MPI_Reduce). The combine runs
-// up a binomial tree in ceil(lg p) rounds. op must be associative (the
-// requirement MPI places on user-defined operations, per §III.D); for an
-// associative op with root 0 the result equals the sequential fold over
-// ranks 0..p-1 in order, so even non-commutative associative ops reduce
-// deterministically.
+// root; other ranks receive the zero value (MPI_Reduce). op must be
+// associative (the requirement MPI places on user-defined operations, per
+// §III.D); both registered schedules fold in rank order, so even
+// non-commutative associative ops reduce deterministically and the two
+// always agree.
 func Reduce[T any](c *Comm, v T, op func(T, T) T, root int) (T, error) {
 	var zero T
 	if root < 0 || root >= len(c.ranks) {
 		return zero, ErrInvalidRank
 	}
 	tag := c.nextCollTag()
-	p := len(c.ranks)
-	rel := (c.rank - root + p) % p
-
-	val := v
-	for mask := 1; mask < p; mask <<= 1 {
-		if rel&mask != 0 {
-			// This rank's partial is done; hand it to the subtree owner.
-			dst := ((rel &^ mask) + root) % p
-			if err := sendRaw(c, val, dst, tag); err != nil {
-				return zero, err
-			}
-			return zero, nil // non-root ranks are done once their partial is handed up
-		}
-		peer := rel | mask
-		if peer < p {
-			pv, _, err := recvRaw[T](c, (peer+root)%p, tag)
-			if err != nil {
-				return zero, err
-			}
-			// rel owns the lower contiguous rank interval, peer the upper:
-			// keep left-to-right order.
-			val = op(val, pv)
-		}
+	switch algo := c.algoFor(CollReduce, 0); algo {
+	case AlgoBinomial:
+		return reduceBinomial(c, v, op, root, tag)
+	case AlgoLinear:
+		return reduceLinear(c, v, op, root, tag)
+	default:
+		return zero, errUnknownAlgo(CollReduce, algo)
 	}
-	if c.rank == root {
-		return val, nil
-	}
-	return zero, nil
 }
 
-// ReduceLinear is the sequential baseline for the Reduction pattern: root
-// receives every rank's value one at a time and folds them in rank order —
-// the O(t) combining that Figure 19 contrasts with the O(lg t) tree.
-// Results are identical to Reduce for associative ops; only the combining
-// schedule differs. It exists for the Figure 19 experiment.
+// ReduceLinear always runs the sequential baseline for the Reduction
+// pattern: root receives every rank's value one at a time and folds them
+// in rank order — the O(t) combining that Figure 19 contrasts with the
+// O(lg t) tree. It exists for the Figure 19 experiment and as the test
+// oracle pinning Reduce's registered schedules.
 func ReduceLinear[T any](c *Comm, v T, op func(T, T) T, root int) (T, error) {
 	var zero T
 	if root < 0 || root >= len(c.ranks) {
 		return zero, ErrInvalidRank
 	}
-	tag := c.nextCollTag()
+	return reduceLinear(c, v, op, root, c.nextCollTag())
+}
+
+// reduceBinomial combines partials up a binomial tree in ceil(lg p)
+// rounds. The tree runs over absolute ranks rooted at rank 0 — each node
+// always holds the combination of a contiguous rank interval and merges
+// keeping the lower interval on the left, so the result equals the
+// sequential fold over ranks 0..p-1 in order even for non-commutative
+// associative ops, exactly like reduceLinear. A non-zero root costs one
+// extra hop: rank 0 forwards it the finished result.
+func reduceBinomial[T any](c *Comm, v T, op func(T, T) T, root, tag int) (T, error) {
+	var zero T
+	p := len(c.ranks)
+
+	val := v
+	holds := true // does this rank still hold a live partial?
+	for mask := 1; mask < p; mask <<= 1 {
+		if c.rank&mask != 0 {
+			// This rank's partial is done; hand it to the subtree owner.
+			if err := sendRaw(c, val, c.rank&^mask, tag); err != nil {
+				return zero, err
+			}
+			holds = false
+			break
+		}
+		peer := c.rank | mask
+		if peer < p {
+			pv, _, err := recvRaw[T](c, peer, tag)
+			if err != nil {
+				return zero, err
+			}
+			// This rank owns the lower contiguous rank interval, peer the
+			// upper: keep left-to-right order.
+			val = op(val, pv)
+		}
+	}
+	switch {
+	case c.rank == root && holds: // root == 0
+		return val, nil
+	case c.rank == 0 && holds:
+		return zero, sendRaw(c, val, root, tag)
+	case c.rank == root:
+		got, _, err := recvRaw[T](c, 0, tag)
+		if err != nil {
+			return zero, err
+		}
+		return got, nil
+	}
+	return zero, nil
+}
+
+func reduceLinear[T any](c *Comm, v T, op func(T, T) T, root, tag int) (T, error) {
+	var zero T
 	if c.rank != root {
 		if err := sendRaw(c, v, root, tag); err != nil {
 			return zero, err
@@ -155,24 +362,46 @@ func ReduceLinear[T any](c *Comm, v T, op func(T, T) T, root int) (T, error) {
 }
 
 // Allreduce combines every rank's value and returns the result to all
-// ranks (MPI_Allreduce). It uses recursive doubling: the largest
-// power-of-two subset of ranks exchanges partials pairwise at doubling
-// strides, so every rank holds the full combination after ceil(lg p)
-// symmetric exchange rounds — half the latency of the reduce-then-broadcast
-// composition (AllreduceComposed), which climbs the tree twice.
-//
-// For a non-power-of-two p, the p-pof2 "extra" even ranks fold into their
-// odd neighbours before the doubling rounds and receive the finished result
-// after them, the standard pre/post step.
-//
-// op must be associative. Each active rank always holds the combination of
-// a contiguous run of original ranks, and every pairwise merge orients the
-// operands by rank order, so the result equals the sequential fold over
-// ranks 0..p-1 even for non-commutative ops — the same determinism Reduce
-// guarantees.
+// ranks (MPI_Allreduce). Large worlds use recursive doubling — every rank
+// finishes after ceil(lg p) symmetric exchange rounds, half the latency
+// of climbing the reduce tree twice; small worlds use the cheaper
+// reduce-then-broadcast composition. op must be associative; both
+// schedules fold in rank order, so results match even for non-commutative
+// ops.
 func Allreduce[T any](c *Comm, v T, op func(T, T) T) (T, error) {
+	switch algo := c.algoFor(CollAllreduce, 0); algo {
+	case AlgoRecursiveDoubling:
+		return allreduceRecursiveDoubling(c, v, op, c.nextCollTag())
+	case AlgoComposed:
+		return AllreduceComposed(c, v, op)
+	default:
+		var zero T
+		return zero, errUnknownAlgo(CollAllreduce, algo)
+	}
+}
+
+// AllreduceComposed always runs the textbook composition — a Reduce to
+// rank 0 followed by a Bcast. It is both a registered algorithm and the
+// test oracle for recursive doubling: the two must return identical
+// results on every rank.
+func AllreduceComposed[T any](c *Comm, v T, op func(T, T) T) (T, error) {
+	r, err := Reduce(c, v, op, 0)
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	return Bcast(c, r, 0)
+}
+
+// allreduceRecursiveDoubling: the largest power-of-two subset of ranks
+// exchanges partials pairwise at doubling strides. For a non-power-of-two
+// p, the p-pof2 "extra" even ranks fold into their odd neighbours before
+// the doubling rounds and receive the finished result after them, the
+// standard pre/post step. Each active rank always holds the combination
+// of a contiguous run of original ranks, and every pairwise merge orients
+// the operands by rank order.
+func allreduceRecursiveDoubling[T any](c *Comm, v T, op func(T, T) T, tag int) (T, error) {
 	var zero T
-	tag := c.nextCollTag()
 	p := len(c.ranks)
 	if p == 1 {
 		return v, nil
@@ -247,27 +476,27 @@ func Allreduce[T any](c *Comm, v T, op func(T, T) T) (T, error) {
 	return val, nil
 }
 
-// AllreduceComposed is the textbook composition Allreduce replaced — a
-// Reduce to rank 0 followed by a Bcast. It is retained as the test oracle
-// for Allreduce's recursive doubling: both must return identical results on
-// every rank.
-func AllreduceComposed[T any](c *Comm, v T, op func(T, T) T) (T, error) {
-	r, err := Reduce(c, v, op, 0)
-	if err != nil {
-		var zero T
-		return zero, err
-	}
-	return Bcast(c, r, 0)
-}
-
 // Gather concatenates every rank's slice at root in rank order
 // (MPI_Gather, or MPI_Gatherv when contributions differ in length).
-// Non-root ranks receive nil.
+// Non-root ranks receive nil. Contributions may be ragged, so the
+// schedule is chosen on world size alone: flat receives at the root for
+// small and mid worlds, binomial bundling beyond.
 func Gather[T any](c *Comm, send []T, root int) ([]T, error) {
 	if root < 0 || root >= len(c.ranks) {
 		return nil, ErrInvalidRank
 	}
 	tag := c.nextCollTag()
+	switch algo := c.algoFor(CollGather, 0); algo {
+	case AlgoLinear:
+		return gatherLinear(c, send, root, tag)
+	case AlgoBinomial:
+		return gatherBinomial(c, send, root, tag)
+	default:
+		return nil, errUnknownAlgo(CollGather, algo)
+	}
+}
+
+func gatherLinear[T any](c *Comm, send []T, root, tag int) ([]T, error) {
 	if c.rank != root {
 		return nil, sendRaw(c, send, root, tag)
 	}
@@ -292,16 +521,82 @@ func Gather[T any](c *Comm, send []T, root int) ([]T, error) {
 	return out, nil
 }
 
+// gatherBinomial bundles contributions up a binomial tree: each node
+// collects its subtree's slices into a relative-rank-indexed bundle and
+// hands the bundle to its parent, so no rank takes more than ceil(lg p)
+// receive turns.
+func gatherBinomial[T any](c *Comm, send []T, root, tag int) ([]T, error) {
+	p := len(c.ranks)
+	rel := (c.rank - root + p) % p
+	span := entryMask(rel, p)
+	cover := span
+	if rel+cover > p {
+		cover = p - rel
+	}
+
+	bundle := make([][]T, cover)
+	if rel == 0 {
+		cp, err := DeepCopy(send)
+		if err != nil {
+			return nil, err
+		}
+		bundle[0] = cp
+	} else {
+		bundle[0] = send // serialized on the way up; no alias escapes
+	}
+	for mask := 1; mask < span && rel+mask < p; mask <<= 1 {
+		child := (rel + mask + root) % p
+		sub, _, err := recvRaw[[][]T](c, child, tag)
+		if err != nil {
+			return nil, err
+		}
+		copy(bundle[mask:], sub)
+	}
+	if rel != 0 {
+		parent := ((rel - span) + root) % p
+		return nil, sendRaw(c, bundle, parent, tag)
+	}
+	// Root: the bundle is in relative-rank order; emit in rank order.
+	var out []T
+	for r := 0; r < p; r++ {
+		out = append(out, bundle[(r-root+p)%p]...)
+	}
+	return out, nil
+}
+
 // Allgather concatenates every rank's slice and returns it to all ranks
-// (MPI_Allgather, MPI_Allgatherv for unequal contributions). It uses the
-// ring algorithm: in each of p-1 rounds every rank forwards the block it
-// received in the previous round to rank+1 and receives a block from
-// rank-1, so each block travels once around the ring. Unlike the
-// gather-then-broadcast composition (AllgatherComposed), no rank handles
-// more than one block per round, so bandwidth use is balanced across the
-// ring instead of concentrating the whole payload at the root.
+// (MPI_Allgather, MPI_Allgatherv for unequal contributions). Large worlds
+// use the ring — each block travels once around, no rank handling more
+// than one block per round — and small worlds the gather-then-broadcast
+// composition, which moves fewer messages overall.
 func Allgather[T any](c *Comm, send []T) ([]T, error) {
-	tag := c.nextCollTag()
+	switch algo := c.algoFor(CollAllgather, 0); algo {
+	case AlgoRing:
+		return allgatherRing(c, send, c.nextCollTag())
+	case AlgoComposed:
+		return AllgatherComposed(c, send)
+	default:
+		return nil, errUnknownAlgo(CollAllgather, algo)
+	}
+}
+
+// AllgatherComposed always runs the composition — a Gather to rank 0
+// followed by a Bcast. It is both a registered algorithm and the test
+// oracle for the ring: the two must return identical results on every
+// rank.
+func AllgatherComposed[T any](c *Comm, send []T) ([]T, error) {
+	g, err := Gather(c, send, 0)
+	if err != nil {
+		return nil, err
+	}
+	return Bcast(c, g, 0)
+}
+
+// allgatherRing: in each of p-1 rounds every rank forwards the block it
+// received in the previous round to rank+1 and receives a block from
+// rank-1, so each block travels once around the ring and bandwidth is
+// balanced across links instead of concentrating at a root.
+func allgatherRing[T any](c *Comm, send []T, tag int) ([]T, error) {
 	p := len(c.ranks)
 
 	parts := make([][]T, p)
@@ -333,70 +628,107 @@ func Allgather[T any](c *Comm, send []T) ([]T, error) {
 	return out, nil
 }
 
-// AllgatherComposed is the composition Allgather replaced — a Gather to
-// rank 0 followed by a Bcast. It is retained as the test oracle for
-// Allgather's ring: both must return identical results on every rank.
-func AllgatherComposed[T any](c *Comm, send []T) ([]T, error) {
-	g, err := Gather(c, send, 0)
-	if err != nil {
-		return nil, err
-	}
-	return Bcast(c, g, 0)
-}
-
 // Scatter splits root's slice into Size() equal chunks and delivers the
 // rank-th chunk to each rank (MPI_Scatter). len(send) at root must be a
-// multiple of Size(); send is ignored at other ranks.
+// multiple of Size(); send is ignored at other ranks. Like Bcast, the
+// root measures the encoded payload and its schedule choice travels in
+// the frame header: flat sends for small worlds, chunk bundles split down
+// a binomial tree beyond.
 func Scatter[T any](c *Comm, send []T, root int) ([]T, error) {
 	if root < 0 || root >= len(c.ranks) {
 		return nil, ErrInvalidRank
 	}
 	tag := c.nextCollTag()
 	p := len(c.ranks)
+
 	if c.rank == root {
 		if len(send)%p != 0 {
 			return nil, fmt.Errorf("mpi: Scatter: %d elements not divisible by %d ranks", len(send), p)
 		}
+		if p == 1 {
+			return DeepCopy(send)
+		}
 		chunk := len(send) / p
-		var own []T
-		for r := 0; r < p; r++ {
-			part := send[r*chunk : (r+1)*chunk]
-			if r == root {
-				cp, err := DeepCopy(part)
+		// Chunks in relative-rank order: chunks[rel] belongs to rank
+		// (rel+root)%p.
+		chunks := make([][]T, p)
+		totalBytes := 0
+		for rel := 0; rel < p; rel++ {
+			r := (rel + root) % p
+			chunks[rel] = send[r*chunk : (r+1)*chunk]
+		}
+		if raw, err := encode(send); err == nil {
+			totalBytes = len(raw)
+		}
+		algo := c.algoFor(CollScatter, totalBytes)
+		hdr, ok := algoHeader(algo)
+		if !ok {
+			return nil, errUnknownAlgo(CollScatter, algo)
+		}
+		switch algo {
+		case AlgoLinear:
+			for rel := 1; rel < p; rel++ {
+				raw, err := encode(chunks[rel])
 				if err != nil {
 					return nil, err
 				}
-				own = cp
-				continue
+				if err := sendBytes(c, frame(hdr, raw), (rel+root)%p, tag); err != nil {
+					return nil, err
+				}
 			}
-			if err := sendRaw(c, part, r, tag); err != nil {
+		case AlgoBinomial:
+			if err := scatterForward(c, chunks, 0, root, tag); err != nil {
 				return nil, err
 			}
 		}
-		return own, nil
+		return DeepCopy(chunks[0])
 	}
-	part, _, err := recvRaw[[]T](c, root, tag)
-	return part, err
+
+	f, err := recvBytes(c, AnySource, tag)
+	if err != nil {
+		return nil, err
+	}
+	if len(f) == 0 {
+		return nil, fmt.Errorf("mpi: Scatter: empty frame")
+	}
+	algo, ok := algoFromHeader(f[0])
+	if !ok {
+		return nil, fmt.Errorf("mpi: Scatter: bad frame header %d", f[0])
+	}
+	if algo == AlgoLinear {
+		return decode[[]T](f[1:])
+	}
+	bundle, err := decode[[][]T](f[1:])
+	if err != nil {
+		return nil, err
+	}
+	rel := (c.rank - root + p) % p
+	if err := scatterForward(c, bundle, rel, root, tag); err != nil {
+		return nil, err
+	}
+	return bundle[0], nil
 }
 
-// Scan computes the inclusive prefix reduction: rank r receives
-// op(v0, v1, …, vr) (MPI_Scan). It runs as a linear chain, O(p) latency.
-func Scan[T any](c *Comm, v T, op func(T, T) T) (T, error) {
-	tag := c.nextCollTag()
-	val := v
-	if c.rank > 0 {
-		prefix, _, err := recvRaw[T](c, c.rank-1, tag)
+// scatterForward sends each binomial-tree child of the node at relative
+// rank rel its sub-bundle of chunks. bundle is indexed by relative-rank
+// offset from rel; the child at offset mask owns offsets [mask, 2*mask).
+func scatterForward[T any](c *Comm, bundle [][]T, rel, root, tag int) error {
+	p := len(c.ranks)
+	for mask := entryMask(rel, p) >> 1; mask > 0; mask >>= 1 {
+		if rel+mask >= p {
+			continue
+		}
+		end := 2 * mask
+		if end > len(bundle) {
+			end = len(bundle)
+		}
+		raw, err := encode(bundle[mask:end])
 		if err != nil {
-			var zero T
-			return zero, err
+			return err
 		}
-		val = op(prefix, v)
-	}
-	if c.rank < len(c.ranks)-1 {
-		if err := sendRaw(c, val, c.rank+1, tag); err != nil {
-			var zero T
-			return zero, err
+		if err := sendBytes(c, frame(hdrBinomial, raw), (rel+mask+root)%p, tag); err != nil {
+			return err
 		}
 	}
-	return val, nil
+	return nil
 }

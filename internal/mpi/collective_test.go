@@ -26,7 +26,7 @@ func TestBarrierOrdersPhases(t *testing.T) {
 				}
 			}
 			return nil
-		})
+		}, WithRecvTimeout(collGuard))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -54,7 +54,7 @@ func TestBcastFromEveryRoot(t *testing.T) {
 			got[c.Rank()] = out
 			mu.Unlock()
 			return nil
-		})
+		}, WithRecvTimeout(collGuard))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,7 +85,7 @@ func TestBcastSlicesAreIndependentCopies(t *testing.T) {
 			t.Errorf("rank %d copy aliased: %v", c.Rank(), got)
 		}
 		return nil
-	}); err != nil {
+	}, WithRecvTimeout(collGuard)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -97,7 +97,7 @@ func TestBcastInvalidRoot(t *testing.T) {
 			t.Errorf("Bcast root 5: %v", err)
 		}
 		return nil
-	})
+	}, WithRecvTimeout(collGuard))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestReduceAllOpsSmallWorld(t *testing.T) {
 				t.Errorf("%s = %d, want %d", name, got, want)
 			}
 			return nil
-		})
+		}, WithRecvTimeout(collGuard))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,7 +182,7 @@ func TestReduceLogicalOps(t *testing.T) {
 			}
 		}
 		return nil
-	})
+	}, WithRecvTimeout(collGuard))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +199,7 @@ func TestReduceNonRootRoot(t *testing.T) {
 			t.Errorf("root %d got %d, want 15", root, got)
 		}
 		return nil
-	})
+	}, WithRecvTimeout(collGuard))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestReduceNonCommutativeOrder(t *testing.T) {
 				}
 			}
 			return nil
-		})
+		}, WithRecvTimeout(collGuard))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -247,7 +247,7 @@ func TestReduceLinearMatchesTree(t *testing.T) {
 				t.Errorf("np=%d: tree %d != linear %d", np, tree, lin)
 			}
 			return nil
-		})
+		}, WithRecvTimeout(collGuard))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -264,7 +264,7 @@ func TestReduceLinearNonZeroRoot(t *testing.T) {
 			t.Errorf("got %d, want 10", got)
 		}
 		return nil
-	})
+	}, WithRecvTimeout(collGuard))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +283,7 @@ func TestAllreduceEveryRankGetsResult(t *testing.T) {
 		results[c.Rank()] = v
 		mu.Unlock()
 		return nil
-	})
+	}, WithRecvTimeout(collGuard))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +324,7 @@ func TestGatherPaperFigures26to28(t *testing.T) {
 				t.Errorf("non-root received %v", g)
 			}
 			return nil
-		})
+		}, WithRecvTimeout(collGuard))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -354,7 +354,7 @@ func TestGatherVariableLengths(t *testing.T) {
 			}
 		}
 		return nil
-	})
+	}, WithRecvTimeout(collGuard))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +378,7 @@ func TestAllgather(t *testing.T) {
 			}
 		}
 		return nil
-	})
+	}, WithRecvTimeout(collGuard))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -408,7 +408,7 @@ func TestScatterEqualChunks(t *testing.T) {
 			}
 		}
 		return nil
-	})
+	}, WithRecvTimeout(collGuard))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -471,7 +471,7 @@ func TestScatterGatherRoundTrip(t *testing.T) {
 				}
 			}
 			return nil
-		})
+		}, WithRecvTimeout(collGuard))
 		return err == nil && ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
@@ -493,7 +493,7 @@ func TestScanInclusivePrefix(t *testing.T) {
 		results[c.Rank()] = v
 		mu.Unlock()
 		return nil
-	})
+	}, WithRecvTimeout(collGuard))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -522,7 +522,7 @@ func TestReduceElemWiseArrays(t *testing.T) {
 			}
 		}
 		return nil
-	})
+	}, WithRecvTimeout(collGuard))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -560,7 +560,7 @@ func TestMaxLocMinLoc(t *testing.T) {
 			}
 		}
 		return nil
-	})
+	}, WithRecvTimeout(collGuard))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -588,7 +588,7 @@ func TestReduceSumMatchesSequentialProperty(t *testing.T) {
 				got = r
 			}
 			return nil
-		})
+		}, WithRecvTimeout(collGuard))
 		return err == nil && got == want
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
@@ -635,7 +635,7 @@ func TestCollectivesDoNotCrossMatch(t *testing.T) {
 			t.Errorf("gather %v", g)
 		}
 		return nil
-	})
+	}, WithRecvTimeout(collGuard))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -665,7 +665,7 @@ func TestSingleRankCollectives(t *testing.T) {
 			t.Errorf("Scan = (%d, %v)", v, err)
 		}
 		return nil
-	})
+	}, WithRecvTimeout(collGuard))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -688,7 +688,7 @@ func TestCollectivesOverTCP(t *testing.T) {
 			t.Errorf("gather over tcp = %v", g)
 		}
 		return Barrier(c)
-	}, WithTCP()); err != nil {
+	}, WithTCP(), WithRecvTimeout(collGuard)); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -70,6 +70,8 @@ type world struct {
 	tr          cluster.Transport
 	cl          *cluster.Cluster
 	recvTimeout time.Duration
+	collAlgo    map[string]string     // WithCollectiveAlgorithm overrides (read-only once running)
+	stats       *cluster.Instrumented // the instrumentation decorator wrapping tr
 }
 
 // Comm is one rank's handle on a communicator, like MPI_Comm plus the
@@ -108,6 +110,21 @@ func (c *Comm) Wtime() float64 { return time.Since(wtimeEpoch).Seconds() }
 
 var wtimeEpoch = time.Now()
 
+// Stats reports the traffic this communicator has put on the wire so far:
+// message and byte counts for sends and receives, plus per-peer send
+// counts keyed by world rank. Counting happens in the cluster package's
+// Instrumented middleware, above the transport, so the numbers are
+// identical whether the world runs over channels or TCP. Counters remain
+// readable after Run returns, which is how tests assert a collective's
+// message complexity (e.g. a binomial broadcast over 8 ranks costs
+// exactly 7 sends).
+func (c *Comm) Stats() cluster.TrafficStats {
+	if c.w.stats == nil {
+		return cluster.TrafficStats{PeerSends: map[int]uint64{}}
+	}
+	return c.w.stats.CommStats(c.id)
+}
+
 // nextCollTag reserves the next internal (negative) tag for a collective.
 // Because all ranks of a communicator execute collectives in the same
 // order, each rank computes the same tag independently.
@@ -125,6 +142,7 @@ type runConfig struct {
 	latency     time.Duration
 	recvTimeout time.Duration
 	transport   cluster.Transport
+	collAlgo    map[string]string
 }
 
 // WithTCP runs the world over the loopback TCP transport instead of
@@ -136,8 +154,10 @@ func WithTCP() RunOption { return func(c *runConfig) { c.useTCP = true } }
 // (process i on node-0(i+1)).
 func WithNodes(n int) RunOption { return func(c *runConfig) { c.nodes = n } }
 
-// WithLatency adds a synthetic per-message one-way delay (channel
-// transport only), modeling interconnect cost.
+// WithLatency adds a synthetic per-message one-way delay, modeling
+// interconnect cost. It works over any transport — channel, TCP, or one
+// supplied via WithTransport — by wrapping it in the cluster package's
+// Latency middleware.
 func WithLatency(d time.Duration) RunOption { return func(c *runConfig) { c.latency = d } }
 
 // WithRecvTimeout bounds every blocking receive; on expiry the receive
@@ -147,8 +167,9 @@ func WithRecvTimeout(d time.Duration) RunOption { return func(c *runConfig) { c.
 
 // WithTransport supplies a caller-built transport (e.g. a
 // cluster.FaultInjector wrapping one of the standard transports for
-// failure-injection tests). It overrides WithTCP/WithLatency. Run still
-// closes the transport when the world ends.
+// failure-injection tests). It overrides WithTCP; WithLatency still
+// applies, wrapped around the supplied transport. Run still closes the
+// transport when the world ends.
 func WithTransport(tr cluster.Transport) RunOption {
 	return func(c *runConfig) { c.transport = tr }
 }
@@ -168,6 +189,9 @@ func Run(np int, body func(c *Comm) error, opts ...RunOption) error {
 	if cfg.nodes < 1 {
 		cfg.nodes = 1
 	}
+	if err := validateCollAlgo(cfg.collAlgo); err != nil {
+		return err
+	}
 
 	var tr cluster.Transport
 	if cfg.transport != nil {
@@ -179,15 +203,24 @@ func Run(np int, body func(c *Comm) error, opts ...RunOption) error {
 		}
 		tr = t
 	} else {
-		t := cluster.NewChanTransport(np)
-		if cfg.latency > 0 {
-			t.SetLatency(cfg.latency)
-		}
-		tr = t
+		tr = cluster.NewChanTransport(np)
 	}
-	defer tr.Close()
+	if cfg.latency > 0 {
+		tr = cluster.NewLatency(tr, cfg.latency)
+	}
+	// Instrumentation is always the outermost layer, so Comm.Stats sees
+	// identical counts regardless of the transport underneath.
+	inst := cluster.NewInstrumented(tr)
+	defer inst.Close()
 
-	w := &world{np: np, tr: tr, cl: cluster.New(cfg.nodes), recvTimeout: cfg.recvTimeout}
+	w := &world{
+		np:          np,
+		tr:          inst,
+		cl:          cluster.New(cfg.nodes),
+		recvTimeout: cfg.recvTimeout,
+		collAlgo:    cfg.collAlgo,
+		stats:       inst,
+	}
 
 	errs := make([]error, np)
 	var wg sync.WaitGroup

@@ -1,9 +1,8 @@
 package mpi
 
-// Nonblocking receives and request aggregation (MPI_Irecv, MPI_Waitall),
-// plus the Alltoall collective. These round out the MPI-1 surface the
-// High Performance Computing course in §IV builds on after the
-// patternlets introduce the basics.
+// Nonblocking receives and request aggregation (MPI_Irecv, MPI_Waitall).
+// These round out the MPI-1 surface the High Performance Computing course
+// in §IV builds on after the patternlets introduce the basics.
 
 // IRecvResult carries a completed nonblocking receive's value and status.
 type IRecvResult[T any] struct {
@@ -60,67 +59,4 @@ func WaitAll(reqs ...*Request) error {
 		}
 	}
 	return first
-}
-
-// Alltoall performs the complete exchange (MPI_Alltoall): rank i's send
-// slice is split into Size() equal chunks, chunk j going to rank j; the
-// result at rank i is the concatenation of chunk i from every rank, in
-// rank order. len(send) must be a multiple of Size() on every rank.
-func Alltoall[T any](c *Comm, send []T) ([]T, error) {
-	tag := c.nextCollTag()
-	p := len(c.ranks)
-	if len(send)%p != 0 {
-		return nil, errAlltoallShape(len(send), p)
-	}
-	chunk := len(send) / p
-	// Post all sends (buffered), then receive from each rank in order.
-	for r := 0; r < p; r++ {
-		part := send[r*chunk : (r+1)*chunk]
-		if err := sendRaw(c, part, r, tag); err != nil {
-			return nil, err
-		}
-	}
-	out := make([]T, 0, len(send))
-	for r := 0; r < p; r++ {
-		part, _, err := recvRaw[[]T](c, r, tag)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, part...)
-	}
-	return out, nil
-}
-
-type alltoallShapeError struct{ n, p int }
-
-func errAlltoallShape(n, p int) error { return &alltoallShapeError{n, p} }
-func (e *alltoallShapeError) Error() string {
-	return "mpi: Alltoall: send length not divisible by communicator size"
-}
-
-// BarrierCentral is a linear fan-in/fan-out barrier: every rank signals
-// rank 0, which releases everyone. It is the naive O(p)-latency baseline
-// for the ablation benchmark against the dissemination Barrier (O(lg p)
-// rounds); programs should use Barrier.
-func BarrierCentral(c *Comm) error {
-	tag := c.nextCollTag()
-	p := len(c.ranks)
-	if c.rank == 0 {
-		for r := 1; r < p; r++ {
-			if _, _, err := recvRaw[struct{}](c, r, tag); err != nil {
-				return err
-			}
-		}
-		for r := 1; r < p; r++ {
-			if err := sendRaw(c, struct{}{}, r, tag); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	if err := sendRaw(c, struct{}{}, 0, tag); err != nil {
-		return err
-	}
-	_, _, err := recvRaw[struct{}](c, 0, tag)
-	return err
 }

@@ -8,16 +8,21 @@ import (
 	"time"
 )
 
-// bothTransports runs the body under the channel and TCP transports.
+// bothTransports runs the body under the channel and TCP transports, with
+// the suite's deadlock guard (collGuard) as a default: a mis-scheduled
+// exchange fails with ErrDeadlock instead of hanging the test binary. A
+// caller-supplied WithRecvTimeout in extra overrides the guard.
 func bothTransports(t *testing.T, np int, body func(c *Comm) error, extra ...RunOption) {
 	t.Helper()
 	t.Run("chan", func(t *testing.T) {
-		if err := Run(np, body, extra...); err != nil {
+		opts := append([]RunOption{WithRecvTimeout(collGuard)}, extra...)
+		if err := Run(np, body, opts...); err != nil {
 			t.Fatal(err)
 		}
 	})
 	t.Run("tcp", func(t *testing.T) {
-		if err := Run(np, body, append([]RunOption{WithTCP()}, extra...)...); err != nil {
+		opts := append([]RunOption{WithRecvTimeout(collGuard), WithTCP()}, extra...)
+		if err := Run(np, body, opts...); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -1,0 +1,144 @@
+package mpi
+
+// Prefix reductions: MPI_Scan and MPI_Exscan. Both register a linear
+// chain (O(p) latency, the oracle) and the Hillis-Steele doubling
+// schedule (ceil(lg p) rounds). Each doubling round uses distinct
+// (source, destination) pairs, so one reserved tag serves the whole call.
+//
+// op must be associative. Every partial a rank holds covers a contiguous
+// window of ranks ending at itself, and incoming partials — which cover
+// the window immediately to the left — are always folded in on the left,
+// so results match the sequential fold even for non-commutative ops.
+
+// Scan computes the inclusive prefix reduction: rank r receives
+// op(v0, v1, …, vr) (MPI_Scan).
+func Scan[T any](c *Comm, v T, op func(T, T) T) (T, error) {
+	tag := c.nextCollTag()
+	switch algo := c.algoFor(CollScan, 0); algo {
+	case AlgoLinear:
+		return scanLinear(c, v, op, tag)
+	case AlgoDoubling:
+		return scanDoubling(c, v, op, tag)
+	default:
+		var zero T
+		return zero, errUnknownAlgo(CollScan, algo)
+	}
+}
+
+// Exscan computes the exclusive prefix reduction: rank r receives
+// op(v0, …, v_{r-1}) (MPI_Exscan). MPI leaves rank 0's result undefined;
+// this runtime defines it as T's zero value.
+func Exscan[T any](c *Comm, v T, op func(T, T) T) (T, error) {
+	tag := c.nextCollTag()
+	switch algo := c.algoFor(CollExscan, 0); algo {
+	case AlgoLinear:
+		return exscanLinear(c, v, op, tag)
+	case AlgoDoubling:
+		return exscanDoubling(c, v, op, tag)
+	default:
+		var zero T
+		return zero, errUnknownAlgo(CollExscan, algo)
+	}
+}
+
+// scanLinear: the prefix flows along the rank chain, each rank folding in
+// its own value before passing the partial on.
+func scanLinear[T any](c *Comm, v T, op func(T, T) T, tag int) (T, error) {
+	var zero T
+	val := v
+	if c.rank > 0 {
+		prefix, _, err := recvRaw[T](c, c.rank-1, tag)
+		if err != nil {
+			return zero, err
+		}
+		val = op(prefix, v)
+	}
+	if c.rank < len(c.ranks)-1 {
+		if err := sendRaw(c, val, c.rank+1, tag); err != nil {
+			return zero, err
+		}
+	}
+	return val, nil
+}
+
+// scanDoubling: after the round at stride s, each rank's partial covers
+// the min(2s, r+1) ranks ending at itself; ceil(lg p) rounds finish the
+// full prefix. Sends are eager, so posting the send before the receive
+// cannot deadlock.
+func scanDoubling[T any](c *Comm, v T, op func(T, T) T, tag int) (T, error) {
+	var zero T
+	p := len(c.ranks)
+	incl := v
+	for stride := 1; stride < p; stride <<= 1 {
+		if c.rank+stride < p {
+			if err := sendRaw(c, incl, c.rank+stride, tag); err != nil {
+				return zero, err
+			}
+		}
+		if c.rank-stride >= 0 {
+			pv, _, err := recvRaw[T](c, c.rank-stride, tag)
+			if err != nil {
+				return zero, err
+			}
+			incl = op(pv, incl)
+		}
+	}
+	return incl, nil
+}
+
+// exscanLinear: rank r-1 passes the inclusive prefix of ranks 0..r-1,
+// which is exactly rank r's exclusive result.
+func exscanLinear[T any](c *Comm, v T, op func(T, T) T, tag int) (T, error) {
+	var zero T
+	var excl T
+	if c.rank > 0 {
+		pv, _, err := recvRaw[T](c, c.rank-1, tag)
+		if err != nil {
+			return zero, err
+		}
+		excl = pv
+	}
+	if c.rank < len(c.ranks)-1 {
+		out := v
+		if c.rank > 0 {
+			out = op(excl, v)
+		}
+		if err := sendRaw(c, out, c.rank+1, tag); err != nil {
+			return zero, err
+		}
+	}
+	return excl, nil
+}
+
+// exscanDoubling runs the same schedule as scanDoubling but carries a
+// second partial that excludes the rank's own value: each incoming
+// partial extends both windows on the left, and the exclusive partial of
+// the first round simply is the incoming value. Rank 0 never receives and
+// keeps the zero value.
+func exscanDoubling[T any](c *Comm, v T, op func(T, T) T, tag int) (T, error) {
+	var zero T
+	p := len(c.ranks)
+	incl := v
+	var excl T
+	hasExcl := false
+	for stride := 1; stride < p; stride <<= 1 {
+		if c.rank+stride < p {
+			if err := sendRaw(c, incl, c.rank+stride, tag); err != nil {
+				return zero, err
+			}
+		}
+		if c.rank-stride >= 0 {
+			pv, _, err := recvRaw[T](c, c.rank-stride, tag)
+			if err != nil {
+				return zero, err
+			}
+			if hasExcl {
+				excl = op(pv, excl)
+			} else {
+				excl, hasExcl = pv, true
+			}
+			incl = op(pv, incl)
+		}
+	}
+	return excl, nil
+}

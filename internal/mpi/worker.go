@@ -28,7 +28,23 @@ func RunWorker(rank, np int, tr cluster.Transport, body func(c *Comm) error, opt
 	if cfg.nodes < 1 {
 		cfg.nodes = 1
 	}
-	w := &world{np: np, tr: tr, cl: cluster.New(cfg.nodes), recvTimeout: cfg.recvTimeout}
+	if err := validateCollAlgo(cfg.collAlgo); err != nil {
+		return err
+	}
+	if cfg.latency > 0 {
+		tr = cluster.NewLatency(tr, cfg.latency)
+	}
+	// Same layering as Run, so Comm.Stats works per-process; the worker's
+	// counters cover only this rank's traffic. Close stays with the caller.
+	inst := cluster.NewInstrumented(tr)
+	w := &world{
+		np:          np,
+		tr:          inst,
+		cl:          cluster.New(cfg.nodes),
+		recvTimeout: cfg.recvTimeout,
+		collAlgo:    cfg.collAlgo,
+		stats:       inst,
+	}
 	c := newWorldComm(w, rank)
 	defer func() {
 		// Give in-flight eager sends a moment to drain before the caller
