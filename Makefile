@@ -19,7 +19,7 @@ vet:
 # optional extra.
 test: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/omp/... ./internal/mpi/... ./internal/cluster/...
+	$(GO) test -race ./internal/omp/... ./internal/mpi/... ./internal/cluster/... ./internal/psort/...
 
 race:
 	$(GO) test -race ./internal/... ./patternlets
@@ -28,7 +28,8 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Record a benchmark suite as BENCH_<date>[_label].json; SUITE=comm
-# records the communication-stack suite (BENCH_<date>_comm.json). Compare
+# records the communication-stack suite (BENCH_<date>_comm.json), and
+# SUITE=tasks the task-runtime suite (BENCH_<date>_tasks.json). Compare
 # two recordings with: go run ./cmd/benchjson -compare old.json new.json
 SUITE ?= tier1
 bench-json:

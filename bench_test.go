@@ -578,6 +578,152 @@ func BenchmarkSorts(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Explicit tasking (the recursive fork-join substrate under merge sort).
+
+// BenchmarkTaskSpawnWait measures fine-grained task throughput: every
+// team member submits its share of b.N empty tasks in batches of 64 with
+// a TaskWait after each batch, so ns/op is the per-task scheduling
+// overhead under full submission pressure — the number the work-stealing
+// runtime exists to shrink (a shared queue pays a lock round trip plus a
+// wakeup broadcast per task). The body is an empty static closure so the
+// benchmark isolates scheduler cost; correctness of task execution is
+// pinned by the internal/omp tests, not here.
+func BenchmarkTaskSpawnWait(b *testing.B) {
+	fn := func() {}
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run("threads="+itoa(threads), func(b *testing.B) {
+			per := b.N/threads + 1
+			omp.Parallel(func(t *omp.Thread) {
+				for i := 0; i < per; i++ {
+					t.Task(fn)
+					if i%64 == 63 {
+						t.TaskWait()
+					}
+				}
+				t.TaskWait()
+			}, omp.WithNumThreads(threads))
+		})
+	}
+}
+
+// BenchmarkMergeSort1M is the acceptance workload of the CS2 session: one
+// million elements, sequential vs task-parallel across thread counts. The
+// model-speedup metric simulates the same fork-join DAG on that many
+// virtual cores (vtime.ForkJoinSort), carrying the speedup shape this
+// 1-core host cannot show in wall time.
+func BenchmarkMergeSort1M(b *testing.B) {
+	const n = 1 << 20
+	rng := rand.New(rand.NewSource(7))
+	data := make([]int, n)
+	for i := range data {
+		data[i] = rng.Int()
+	}
+	scratch := make([]int, n)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			copy(scratch, data)
+			psort.MergeSort(scratch)
+		}
+	})
+	for _, threads := range []int{2, 4, 8} {
+		sched, err := vtime.Simulate(vtime.ForkJoinSort(n, 2048), threads)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("parallel/threads="+itoa(threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				copy(scratch, data)
+				psort.MergeSortParallel(scratch, threads)
+			}
+			b.ReportMetric(sched.Speedup(), "model-speedup")
+		})
+	}
+}
+
+// BenchmarkTaskRecursiveFanout measures the fork-join path the merge
+// sort exercises, minus the memory traffic: a binary taskgroup tree of
+// the given depth, each node forking its left child as a task and
+// descending right inline. ns/op divided by 2^depth leaves is the cost
+// of one spawn+join through nested taskgroups.
+func BenchmarkTaskRecursiveFanout(b *testing.B) {
+	var spawn func(c *omp.Thread, d int)
+	spawn = func(c *omp.Thread, d int) {
+		if d == 0 {
+			return
+		}
+		c.TaskGroup(func(tg *omp.TaskGroup) {
+			tg.Task(c, func(e *omp.Thread) { spawn(e, d-1) })
+			spawn(c, d-1)
+		})
+	}
+	for _, threads := range []int{1, 4, 8} {
+		b.Run("depth=8/threads="+itoa(threads), func(b *testing.B) {
+			omp.Parallel(func(t *omp.Thread) {
+				t.Master(func() {
+					for i := 0; i < b.N; i++ {
+						spawn(t, 8)
+					}
+				})
+			}, omp.WithNumThreads(threads))
+		})
+	}
+}
+
+// BenchmarkTaskloopVsParallelFor puts the taskloop construct against the
+// worksharing for loop on the same trivially-parallel body. The for loop
+// should win — static worksharing has no per-chunk queue traffic — and
+// the gap is the price of taskloop's dynamic load balancing.
+func BenchmarkTaskloopVsParallelFor(b *testing.B) {
+	const n = 1 << 14
+	sink := make([]int64, n)
+	body := func(i int) { sink[i]++ }
+	for _, threads := range []int{4} {
+		b.Run("taskloop/threads="+itoa(threads), func(b *testing.B) {
+			omp.Parallel(func(t *omp.Thread) {
+				t.Master(func() {
+					for i := 0; i < b.N; i++ {
+						t.Taskloop(0, n, 0, body)
+					}
+				})
+			}, omp.WithNumThreads(threads))
+		})
+		b.Run("parallelfor/threads="+itoa(threads), func(b *testing.B) {
+			omp.Parallel(func(t *omp.Thread) {
+				for i := 0; i < b.N; i++ {
+					t.For(0, n, omp.StaticEqual(), body)
+				}
+			}, omp.WithNumThreads(threads))
+		})
+	}
+}
+
+// BenchmarkTaskTreeReduce compares the two O(lg p) reduction combines:
+// Reduce's barrier-separated rounds (lg p full-team barriers) against
+// ReduceTree's task-tree combine (one taskgroup join). Both fold the
+// same per-thread locals.
+func BenchmarkTaskTreeReduce(b *testing.B) {
+	op := omp.Sum[int64]()
+	for _, threads := range []int{4, 8} {
+		b.Run("barrier/threads="+itoa(threads), func(b *testing.B) {
+			omp.Parallel(func(t *omp.Thread) {
+				local := int64(t.ThreadNum())
+				for i := 0; i < b.N; i++ {
+					omp.Reduce(t, op, local)
+				}
+			}, omp.WithNumThreads(threads))
+		})
+		b.Run("tasktree/threads="+itoa(threads), func(b *testing.B) {
+			omp.Parallel(func(t *omp.Thread) {
+				local := int64(t.ThreadNum())
+				for i := 0; i < b.N; i++ {
+					omp.ReduceTree(t, op, local)
+				}
+			}, omp.WithNumThreads(threads))
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Ablations for the design choices DESIGN.md calls out.
 
 // BenchmarkAblationIsolationCost measures the price of the MPI layer's

@@ -40,10 +40,19 @@ const commBench = "^(BenchmarkCollectiveAlgorithms|BenchmarkMPICollectives|" +
 	"BenchmarkTransportPingPong|BenchmarkAblationBarrierAlgorithms|" +
 	"BenchmarkAlltoall|BenchmarkFigure19MPIReduce)$"
 
+// tasksBench is the task-runtime suite: task spawn/wait overhead, taskloop
+// vs worksharing loops, tree-combine reductions, and the merge-sort
+// acceptance sweep, recorded as BENCH_<date>_tasks.json across scheduler
+// changes.
+const tasksBench = "^(BenchmarkTaskSpawnWait|BenchmarkTaskRecursiveFanout|" +
+	"BenchmarkTaskloopVsParallelFor|BenchmarkTaskTreeReduce|" +
+	"BenchmarkMergeSort1M|BenchmarkSorts)$"
+
 // suites maps -suite names to benchmark regexes.
 var suites = map[string]string{
 	"tier1": tier1Bench,
 	"comm":  commBench,
+	"tasks": tasksBench,
 }
 
 // Result is one benchmark line.
@@ -82,7 +91,7 @@ func main() {
 	if *bench == "" {
 		re, ok := suites[*suite]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (have tier1, comm)\n", *suite)
+			fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (have tier1, comm, tasks)\n", *suite)
 			os.Exit(2)
 		}
 		*bench = re

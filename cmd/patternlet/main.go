@@ -1,4 +1,4 @@
-// Command patternlet is the front door to the collection: it lists the 44
+// Command patternlet is the front door to the collection: it lists the 45
 // patternlets, prints their student exercises, and runs any of them with a
 // chosen task count and directive toggles — the command-line equivalent of
 // the live-coding demo the paper describes (uncomment the pragma,

@@ -38,7 +38,7 @@ func TestListShowsCompositionLine(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("list exit %d", code)
 	}
-	if !strings.Contains(stdout, "44 patternlets (16 MPI, 17 OpenMP, 9 Pthreads, 2 heterogeneous)") {
+	if !strings.Contains(stdout, "45 patternlets (16 MPI, 18 OpenMP, 9 Pthreads, 2 heterogeneous)") {
 		t.Fatalf("composition line missing:\n%s", stdout)
 	}
 	if !strings.Contains(stdout, "spmd.omp") || !strings.Contains(stdout, "gather.mpi") {
@@ -171,10 +171,10 @@ func TestDocEmitsFullCatalog(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d", code)
 	}
-	if strings.Count(stdout, "### `") != 44 {
-		t.Fatalf("doc lists %d patternlets, want 44", strings.Count(stdout, "### `"))
+	if strings.Count(stdout, "### `") != 45 {
+		t.Fatalf("doc lists %d patternlets, want 45", strings.Count(stdout, "### `"))
 	}
-	for _, want := range []string{"## OpenMP (17)", "## MPI (16)", "## Pthreads (9)", "## MPI+OpenMP (2)", "**Exercise.**"} {
+	for _, want := range []string{"## OpenMP (18)", "## MPI (16)", "## Pthreads (9)", "## MPI+OpenMP (2)", "**Exercise.**"} {
 		if !strings.Contains(stdout, want) {
 			t.Fatalf("doc missing %q", want)
 		}

@@ -1,7 +1,9 @@
 // Package collection holds the patternlet collection itself: the 44
 // programs the paper reports — 16 MPI, 17 OpenMP, 9 Pthreads and 2
 // heterogeneous (MPI+OpenMP) — ported from C to the Go substrates in this
-// repository. Each file of this package contributes one model's
+// repository, plus a 45th (the OpenMP task patternlet) teaching the
+// deferred-task construct the repository's work-stealing runtime
+// implements. Each file of this package contributes one model's
 // patternlets to the Default registry at init time; a malformed catalog
 // entry panics immediately, so the composition tests run against a
 // complete catalog or not at all.
@@ -30,10 +32,11 @@ func register(p *core.Patternlet) { Default.MustRegister(p) }
 // ExpectedCounts is the composition the paper's abstract reports.
 var ExpectedCounts = map[core.Model]int{
 	core.MPI:      16,
-	core.OpenMP:   17,
+	core.OpenMP:   18,
 	core.Pthreads: 9,
 	core.Hybrid:   2,
 }
 
-// ExpectedTotal is the collection size the paper reports.
-const ExpectedTotal = 44
+// ExpectedTotal is the collection size: the paper's 44 plus the task
+// patternlet this repository adds alongside its work-stealing runtime.
+const ExpectedTotal = 45

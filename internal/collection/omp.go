@@ -1,6 +1,6 @@
 package collection
 
-// The 17 OpenMP patternlets (§III presents spmd, barrier,
+// The OpenMP patternlets: the paper's 17 (§III presents spmd, barrier,
 // parallelLoopEqualChunks, reduction and critical2 in full; §III.E names
 // the rest). Each mirrors its C original's observable behaviour.
 
@@ -30,6 +30,7 @@ func init() {
 	register(critical2OMP())
 	register(sectionsOMP())
 	register(mutualExclusionOMP())
+	register(taskOMP())
 }
 
 // spmdOMP is Figure 1: the canonical SPMD hello. With the "parallel"
@@ -614,6 +615,71 @@ func mutualExclusionOMP() *core.Patternlet {
 				})
 			}, omp.WithNumThreads(rc.NumTasks))
 			rc.W.Printf("critical:    balance = %.2f of %d.00\n", balance, total)
+			return nil
+		},
+	}
+}
+
+// taskOMP is the deferred-task patternlet — the construct the runtime's
+// work-stealing scheduler exists for, and the bridge from the loop
+// patternlets to the CS2 session's parallel merge sort. fib(n) runs as a
+// recursive fork-join: each call level opens a taskgroup, forks fib(n-1)
+// as an explicit task (any team member may run it), computes fib(n-2)
+// inline, and joins. With the 'task' toggle off the recursion is
+// undeferred — the classic "before" figure where one thread does all the
+// work while its teammates idle.
+func taskOMP() *core.Patternlet {
+	return &core.Patternlet{
+		Name:     "task",
+		Model:    core.OpenMP,
+		Patterns: []core.Pattern{core.TaskDecomposition, core.ForkJoin},
+		Synopsis: "recursive fork-join with deferred tasks: fib spread over the team by work stealing",
+		Exercise: "Run as shipped: every node is computed by one thread. Uncomment the task\n" +
+			"directive (enable the 'task' toggle) and run with 2 and 4 threads: which threads\n" +
+			"compute now? Rerun several times — is the assignment of nodes to threads stable?\n" +
+			"Why must the answer itself be stable anyway?",
+		Directives: []core.Directive{
+			{Name: "task", Pragma: "#pragma omp task", Default: false},
+		},
+		DefaultTasks: 4,
+		Run: func(rc *core.RunContext) error {
+			const n = 10
+			deferred := rc.Enabled("task")
+			// fib reports which thread combined each of the top few nodes;
+			// deeper nodes are recorded but not printed (fib(10) has 177
+			// calls — the trace keeps them, the terminal does not).
+			var fib func(t *omp.Thread, k int) int
+			fib = func(t *omp.Thread, k int) int {
+				if k < 2 {
+					return k
+				}
+				var left int
+				var right int
+				if deferred {
+					t.TaskGroup(func(tg *omp.TaskGroup) {
+						tg.Task(t, func(e *omp.Thread) { left = fib(e, k-1) })
+						right = fib(t, k-2)
+					})
+				} else {
+					left = fib(t, k-1)
+					right = fib(t, k-2)
+				}
+				rc.Record(t.ThreadNum(), "combine", k)
+				if k >= n-3 {
+					rc.W.Printf("fib(%2d) combined by thread %d\n", k, t.ThreadNum())
+				}
+				return left + right
+			}
+			var result int
+			omp.Parallel(func(t *omp.Thread) {
+				root := t.SharedTaskGroup()
+				t.Master(func() {
+					root.Task(t, func(e *omp.Thread) { result = fib(e, n) })
+				})
+				t.Barrier()
+				root.Wait(t) // every thread helps execute the task tree
+			}, omp.WithNumThreads(rc.NumTasks))
+			rc.W.Printf("fib(%d) = %d\n", n, result)
 			return nil
 		},
 	}

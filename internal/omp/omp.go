@@ -86,7 +86,7 @@ type team struct {
 
 	constructMu sync.Mutex
 	constructs  map[int]*constructEntry // lazy; construct index -> shared state (dynamic loops, single flags, reductions)
-	tasks       *taskPool               // lazily created by the first Task()
+	sched       *taskScheduler          // work-stealing task runtime; created with the team, recycled with it
 
 	threads []Thread // per-member views, one allocation for the whole team
 
@@ -125,20 +125,22 @@ func newTeam(size int) *team {
 	}
 	tm := &team{size: size, threads: make([]Thread, size, c), done: make(chan struct{}, 1)}
 	tm.barrier.parties = size
+	tm.sched = newTaskScheduler(size)
 	for id := range tm.threads {
-		tm.threads[id] = Thread{id: id, team: tm}
+		tm.threads[id] = Thread{id: id, team: tm, sched: tm.sched, stealSeed: uint64(id)*0x9E3779B97F4A7C15 + 1}
 	}
 	return tm
 }
 
 // reset readies a recycled team for a new region of the given size. The
-// criticals map, task pool and done channel carry over (all are quiescent
-// after a clean join); construct state is cleared defensively.
+// criticals map, task scheduler and done channel carry over (all are
+// quiescent after a clean join); construct state is cleared defensively.
 func (tm *team) reset(size int) {
 	tm.size = size
 	tm.threads = tm.threads[:size]
+	tm.sched.reset(size)
 	for id := range tm.threads {
-		tm.threads[id] = Thread{id: id, team: tm}
+		tm.threads[id] = Thread{id: id, team: tm, sched: tm.sched, stealSeed: uint64(id)*0x9E3779B97F4A7C15 + 1}
 	}
 	tm.barrier.parties = size
 	tm.barrier.waiting = 0
@@ -207,11 +209,17 @@ func (tm *team) critical(name string) *sync.Mutex {
 }
 
 // Thread is the per-member view of a parallel region. It is passed to the
-// region body and must not be retained or used after the body returns.
+// region body (and to task bodies that take a *Thread) and must not be
+// retained or used after the region ends. A Thread is bound to the
+// goroutine running it: task-runtime calls (Task, TaskWait, taskgroups)
+// must go through the calling goroutine's own handle — see task.go.
 type Thread struct {
 	id        int
 	team      *team
-	construct int // per-thread count of worksharing constructs encountered
+	sched     *taskScheduler // cached at team construction; no lock on the submit path
+	construct int            // per-thread count of worksharing constructs encountered
+	node      waitNode       // implicit taskwait scope for Task/TaskWait
+	stealSeed uint64         // per-thread xorshift state for victim selection
 }
 
 // ThreadNum returns this thread's id within the team, 0..NumThreads()-1
@@ -323,6 +331,9 @@ func Parallel(body func(t *Thread), opts ...Option) {
 					tm.done <- struct{}{}
 				}
 			}()
+			// Runs even if the body panics: teammates may be parked waiting
+			// on tasks this thread queued but never published.
+			defer tm.sched.flush(id)
 			defer tm.recoverMember()
 			body(&tm.threads[id])
 		}
@@ -332,6 +343,7 @@ func Parallel(body func(t *Thread), opts ...Option) {
 	}
 
 	func() { // master thread participates directly
+		defer tm.sched.flush(0)
 		defer tm.recoverMember()
 		body(&tm.threads[0])
 	}()

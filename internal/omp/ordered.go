@@ -1,0 +1,38 @@
+package omp
+
+import "sync"
+
+// Ordered executes fn for loop iteration i strictly in ascending iteration
+// order across the team, like #pragma omp ordered inside a loop with the
+// ordered clause. Every iteration of the enclosing For must call Ordered
+// exactly once, passing its own index; lo and hi must match the loop
+// bounds.
+type OrderedRegion struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	next int
+	hi   int
+}
+
+// NewOrdered creates the shared ordered-region state for a loop over
+// [lo, hi).
+func NewOrdered(lo, hi int) *OrderedRegion {
+	o := &OrderedRegion{next: lo, hi: hi}
+	o.cond = sync.NewCond(&o.mu)
+	return o
+}
+
+// Do blocks until every iteration below i has completed its ordered
+// section, runs fn, and releases iteration i+1.
+func (o *OrderedRegion) Do(i int, fn func()) {
+	o.mu.Lock()
+	for o.next != i {
+		o.cond.Wait()
+	}
+	o.mu.Unlock()
+	fn()
+	o.mu.Lock()
+	o.next = i + 1
+	o.cond.Broadcast()
+	o.mu.Unlock()
+}

@@ -110,6 +110,65 @@ func Reduce[T any](t *Thread, op func(T, T) T, local T) T {
 	return result
 }
 
+// reduceTreeState holds one ReduceTree construct's contributions and the
+// shared taskgroup the combine tree runs in.
+type reduceTreeState[T any] struct {
+	once sync.Once
+	vals []paddedSlot[T]
+	root TaskGroup
+	seed singleState
+}
+
+// ReduceTree combines each team member's local value with op and returns
+// the combined value to every thread — the same contract as Reduce, but
+// the O(lg t) combine runs as a recursive fork-join *task tree* instead
+// of barrier-separated rounds: one thread seeds the root combine task
+// into a shared taskgroup, every thread's Wait on the group helps
+// execute it, and each tree node forks its left half while folding the
+// right. This is Figure 19's reduction tree expressed in the runtime's
+// own task vocabulary (vtime.ReductionTree models the identical DAG in
+// virtual time), and the natural follow-on demo once students have seen
+// the task patternlet.
+//
+// For an associative op the result equals the sequential left-to-right
+// fold over thread ids, exactly as Reduce — the tree only rebalances the
+// parenthesization.
+func ReduceTree[T any](t *Thread, op func(T, T) T, local T) T {
+	idx := t.nextConstruct()
+	st := t.team.construct(idx, func() any { return &reduceTreeState[T]{} }).(*reduceTreeState[T])
+	st.once.Do(func() { st.vals = make([]paddedSlot[T], t.team.size) })
+	st.vals[t.id].v = local
+	t.Barrier() // all contributions deposited
+	if st.seed.claim() {
+		vals := st.vals
+		st.root.Task(t, func(c *Thread) { treeCombine(c, vals, op, 0, t.team.size) })
+	}
+	t.Barrier() // root task published before anyone decides to wait
+	st.root.Wait(t)
+	result := st.vals[0].v
+	t.Barrier() // everyone reads vals[0] before any later construct reuses state
+	return result
+}
+
+// treeCombine folds vals[lo:hi] into vals[lo].v: pairs fold directly,
+// larger ranges fork the left half as a task into a per-node taskgroup
+// while the current thread descends into the right, join, then combine
+// the two halves' results.
+func treeCombine[T any](t *Thread, vals []paddedSlot[T], op func(T, T) T, lo, hi int) {
+	if hi-lo <= 2 {
+		if hi-lo == 2 {
+			vals[lo].v = op(vals[lo].v, vals[lo+1].v)
+		}
+		return
+	}
+	mid := lo + (hi-lo)/2
+	t.TaskGroup(func(tg *TaskGroup) {
+		tg.Task(t, func(c *Thread) { treeCombine(c, vals, op, lo, mid) })
+		treeCombine(t, vals, op, mid, hi)
+	})
+	vals[lo].v = op(vals[lo].v, vals[mid].v)
+}
+
 // ParallelForReduce forks a team, workshares the loop over [0, n), reduces
 // each thread's fold of its iterations with op, and returns the combined
 // value — the fused #pragma omp parallel for reduction(op:acc).

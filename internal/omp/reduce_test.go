@@ -235,3 +235,53 @@ func TestParallelForReduceProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReduceTreeSumAllThreadsReceiveResult(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 16} {
+		results := make([]int, n)
+		Parallel(func(th *Thread) {
+			results[th.ThreadNum()] = ReduceTree(th, Sum[int](), th.ThreadNum()+1)
+		}, WithNumThreads(n))
+		want := n * (n + 1) / 2
+		for id, got := range results {
+			if got != want {
+				t.Fatalf("n=%d: thread %d got %d, want %d", n, id, got, want)
+			}
+		}
+	}
+}
+
+func TestReduceTreeNonCommutativeAssociative(t *testing.T) {
+	// String concatenation is associative but not commutative: the task
+	// tree must still produce the in-thread-id-order fold, whatever
+	// thread executes each combine node.
+	for _, n := range []int{1, 2, 3, 5, 8, 13, 16} {
+		var out string
+		Parallel(func(th *Thread) {
+			s := ReduceTree(th, func(a, b string) string { return a + b }, string(rune('a'+th.ThreadNum())))
+			th.Master(func() { out = s })
+		}, WithNumThreads(n))
+		var want string
+		for i := 0; i < n; i++ {
+			want += string(rune('a' + i))
+		}
+		if out != want {
+			t.Fatalf("n=%d: task-tree fold = %q, want in-order %q", n, out, want)
+		}
+	}
+}
+
+func TestReduceTreeAgreesWithReduce(t *testing.T) {
+	for _, n := range []int{1, 4, 8} {
+		var tree, rounds int64
+		Parallel(func(th *Thread) {
+			local := int64((th.ThreadNum() + 3) * 17)
+			a := ReduceTree(th, Sum[int64](), local)
+			b := Reduce(th, Sum[int64](), local)
+			th.Master(func() { tree, rounds = a, b })
+		}, WithNumThreads(n))
+		if tree != rounds {
+			t.Fatalf("n=%d: ReduceTree=%d Reduce=%d", n, tree, rounds)
+		}
+	}
+}

@@ -1,169 +1,76 @@
 package omp
 
-import "sync"
-
 // Explicit tasking, OpenMP 3.0's #pragma omp task / taskwait. The paper's
 // collection predates task patternlets, but tasks are the natural next
 // construct in the same curriculum (recursive Fork-Join workloads like the
 // CS2 merge-sort session), so the runtime supports them as an extension.
 //
-// Semantics follow OpenMP: a task may be executed by any thread of the
-// team, immediately or deferred; TaskWait blocks until all tasks created
-// by the *current* task region (here: by the whole team since the last
-// sync point) have finished. The end of the parallel region is an
-// implicit taskwait — Parallel does not return while tasks are pending.
+// The implementation is a per-thread work-stealing scheduler — deque.go
+// for the data structure, sched.go for the stealing/idling protocol,
+// taskgroup.go for scoped waiting. This file is the thin OpenMP-shaped
+// surface over it.
+//
+// Ownership contract: a Thread handle is bound to the goroutine running
+// it — the region body, or a task body that received it as its *Thread
+// parameter. Task, TaskWait, TaskYield and the taskgroup constructs must
+// be called through the calling goroutine's own handle; submitting
+// through another thread's captured handle would race on its deque. Code
+// inside a task that wants to spawn or wait uses the *Thread its body
+// received (TaskGroup tasks), which is always the executing thread.
 
-// taskPool is per-team shared state tracking outstanding tasks.
-type taskPool struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pending []func()
-	active  int // tasks currently running
-}
-
-func (tp *taskPool) init() {
-	if tp.cond == nil {
-		tp.cond = sync.NewCond(&tp.mu)
-	}
-}
-
-// pool lazily creates the team's task pool.
-func (tm *team) pool() *taskPool {
-	tm.constructMu.Lock()
-	defer tm.constructMu.Unlock()
-	if tm.tasks == nil {
-		tm.tasks = &taskPool{}
-		tm.tasks.init()
-	}
-	return tm.tasks
-}
-
-// Task submits fn for execution by some thread of the team
-// (#pragma omp task). The submitting thread may execute it itself during
-// TaskWait; otherwise any thread draining the pool picks it up.
+// Task submits fn for deferred execution (#pragma omp task). The task
+// lands on the calling thread's own deque and is normally executed by
+// the caller during its next TaskWait — LIFO, cache-warm — unless an
+// idle teammate steals it first.
 func (t *Thread) Task(fn func()) {
-	tp := t.team.pool()
-	tp.mu.Lock()
-	tp.pending = append(tp.pending, fn)
-	tp.mu.Unlock()
-	tp.cond.Broadcast()
+	t.sched.submit(t.id, task{fn: fn, node: &t.node})
 }
 
-// TaskWait executes and waits for outstanding tasks until the pool is
-// empty and no task is still running (#pragma omp taskwait). The calling
-// thread participates in the work (task stealing degenerates to a shared
-// queue here, which is fine at teaching scale).
+// TaskWait executes and waits for the tasks this thread submitted with
+// Task (#pragma omp taskwait: the calling task region's children — not,
+// as an earlier version of this runtime had it, every task the team ever
+// submitted; tasks spawned by other threads are covered by their own
+// TaskWait, by a shared TaskGroup, or by the region-end implicit
+// taskwait). The caller drains its own deque and, if children were
+// stolen, helps the team's other work until they finish.
 func (t *Thread) TaskWait() {
-	tp := t.team.pool()
-	tp.mu.Lock()
-	for {
-		if len(tp.pending) > 0 {
-			fn := tp.pending[len(tp.pending)-1]
-			tp.pending = tp.pending[:len(tp.pending)-1]
-			tp.active++
-			tp.mu.Unlock()
-			fn()
-			tp.mu.Lock()
-			tp.active--
-			if len(tp.pending) == 0 && tp.active == 0 {
-				tp.cond.Broadcast()
-			}
-			continue
-		}
-		if tp.active == 0 {
-			tp.mu.Unlock()
-			return
-		}
-		tp.cond.Wait()
+	t.sched.drainOwn(t)
+	if t.node.state.Load() == 0 {
+		return
 	}
+	t.sched.waitNodeZero(t, &t.node)
+}
+
+// TaskYield executes one pending task if any is runnable and reports
+// whether it did — a task scheduling point (#pragma omp taskyield). The
+// caller's own deque is preferred; otherwise one steal sweep is made.
+func (t *Thread) TaskYield() bool {
+	d := &t.sched.deques[t.id]
+	if tk, ok := d.popOne(); ok {
+		t.sched.run(t, tk, false)
+		return true
+	}
+	return t.sched.stealOnce(t)
 }
 
 // drainTasks is the implicit taskwait at region end: the master calls it
-// after the body joins so no submitted task is lost.
+// after the join, so no submitted task is lost even if a thread exited
+// the body without waiting.
 func (tm *team) drainTasks() {
-	tm.constructMu.Lock()
-	tp := tm.tasks
-	tm.constructMu.Unlock()
-	if tp == nil {
+	s := tm.sched
+	if s == nil {
 		return
 	}
-	tp.mu.Lock()
-	for {
-		if len(tp.pending) > 0 {
-			fn := tp.pending[len(tp.pending)-1]
-			tp.pending = tp.pending[:len(tp.pending)-1]
-			tp.active++
-			tp.mu.Unlock()
-			fn()
-			tp.mu.Lock()
-			tp.active--
-			continue
+	// Fast path: nothing was ever spawned anywhere.
+	busy := false
+	for i := range s.deques[:s.size] {
+		if s.deques[i].pushed != 0 {
+			busy = true
+			break
 		}
-		if tp.active == 0 {
-			tp.mu.Unlock()
-			return
-		}
-		tp.cond.Wait()
 	}
-}
-
-// Ordered executes fn for loop iteration i strictly in ascending iteration
-// order across the team, like #pragma omp ordered inside a loop with the
-// ordered clause. Every iteration of the enclosing For must call Ordered
-// exactly once, passing its own index; lo and hi must match the loop
-// bounds.
-type OrderedRegion struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	next int
-	hi   int
-}
-
-// NewOrdered creates the shared ordered-region state for a loop over
-// [lo, hi).
-func NewOrdered(lo, hi int) *OrderedRegion {
-	o := &OrderedRegion{next: lo, hi: hi}
-	o.cond = sync.NewCond(&o.mu)
-	return o
-}
-
-// Do blocks until every iteration below i has completed its ordered
-// section, runs fn, and releases iteration i+1.
-func (o *OrderedRegion) Do(i int, fn func()) {
-	o.mu.Lock()
-	for o.next != i {
-		o.cond.Wait()
+	if !busy {
+		return
 	}
-	o.mu.Unlock()
-	fn()
-	o.mu.Lock()
-	o.next = i + 1
-	o.cond.Broadcast()
-	o.mu.Unlock()
-}
-
-// TaskYield executes one pending task if any is available and reports
-// whether it did — a task scheduling point. Code that blocks waiting for
-// a specific child task (recursive fork-join) should help-first via
-// TaskYield in its wait loop, so the team cannot deadlock with every
-// thread blocked while work sits in the pool.
-func (t *Thread) TaskYield() bool {
-	tp := t.team.pool()
-	tp.mu.Lock()
-	if len(tp.pending) == 0 {
-		tp.mu.Unlock()
-		return false
-	}
-	fn := tp.pending[len(tp.pending)-1]
-	tp.pending = tp.pending[:len(tp.pending)-1]
-	tp.active++
-	tp.mu.Unlock()
-	fn()
-	tp.mu.Lock()
-	tp.active--
-	if len(tp.pending) == 0 && tp.active == 0 {
-		tp.cond.Broadcast()
-	}
-	tp.mu.Unlock()
-	return true
+	s.drainAll(&tm.threads[0])
 }

@@ -1,0 +1,126 @@
+package omp
+
+import "sync/atomic"
+
+// Task groups: scoped completion tracking for the task runtime,
+// OpenMP 4.0's #pragma omp taskgroup. A TaskGroup waits for exactly the
+// tasks submitted to it — the scope recursive fork-join code needs,
+// where "wait for my children" must not mean "wait for every task the
+// team ever submitted". Nesting gives the transitive guarantee: a child
+// that opens its own group for its children does not return until they
+// finish, so a parent group's Wait covers the whole subtree.
+//
+// (OpenMP's taskgroup implicitly covers descendant tasks too; here
+// descendants are covered exactly when the recursion nests groups, which
+// is how every fork-join decomposition in this repo is written. The
+// trade keeps the hot path free of parent-chain bookkeeping.)
+
+// waitNode is a completion counter one waiter scope (a TaskGroup, or a
+// Thread's implicit taskwait scope) blocks on. state counts outstanding
+// tasks; waiting threads help execute work and park in the scheduler's
+// idle protocol until it reaches zero, so the node itself needs no
+// channel or condition variable.
+type waitNode struct {
+	state atomic.Int64
+}
+
+// TaskGroup tracks a set of tasks so they can be waited on as a unit.
+// The zero value is ready to use. A group may be shared across the team
+// (see Thread.SharedTaskGroup); submissions must happen-before the Wait
+// that is meant to cover them — in a shared group, separate the
+// submitting phase from Wait with a Barrier.
+type TaskGroup struct {
+	node waitNode
+}
+
+// Task submits fn to the group. t must be the calling goroutine's own
+// thread handle (the region-body parameter, or the *Thread a task body
+// received); fn receives the thread that ends up executing it, which is
+// the handle it must use to spawn or wait in turn.
+func (tg *TaskGroup) Task(t *Thread, fn func(*Thread)) {
+	tg.node.state.Add(1)
+	t.sched.submit(t.id, task{exec: fn, node: &tg.node, counted: true})
+}
+
+// Wait blocks until every task submitted to the group has finished,
+// executing the caller's own queued tasks and stealing from teammates
+// while it waits.
+func (tg *TaskGroup) Wait(t *Thread) {
+	if tg.node.state.Load() == 0 {
+		return
+	}
+	t.sched.waitNodeZero(t, &tg.node)
+}
+
+// TaskGroup runs body with a fresh group and waits for the group's tasks
+// before returning — the block form of #pragma omp taskgroup:
+//
+//	t.TaskGroup(func(tg *omp.TaskGroup) {
+//		tg.Task(t, func(c *omp.Thread) { left(c) })
+//		right(t) // current thread takes the other half
+//	}) // joined: both halves done
+func (t *Thread) TaskGroup(body func(tg *TaskGroup)) {
+	var tg TaskGroup
+	body(&tg)
+	tg.Wait(t)
+}
+
+// SharedTaskGroup returns one group shared by the whole team — a
+// worksharing construct, so every thread must call it in the same
+// construct order. The usual shape is: one thread seeds the group with
+// the root task, a Barrier publishes the submission, then every thread
+// calls Wait and the whole team helps execute the decomposition.
+func (t *Thread) SharedTaskGroup() *TaskGroup {
+	idx := t.nextConstruct()
+	return t.team.construct(idx, func() any { return &TaskGroup{} }).(*TaskGroup)
+}
+
+// SerialCutoff reports whether a recursive decomposition should stop
+// spawning and handle a subproblem of size n inline: true once n is at
+// most grain, or when the team has nobody to share work with. Using it
+// as the base-case test keeps the task count proportional to the useful
+// parallelism instead of the input size.
+func (t *Thread) SerialCutoff(n, grain int) bool {
+	return n <= grain || t.team.size == 1
+}
+
+// Taskloop runs body(i) for every i in [lo, hi) as chunked tasks and
+// waits for all of them — #pragma omp taskloop. Unlike For, the chunks
+// load-balance through the work-stealing scheduler rather than a
+// worksharing schedule, and only the calling thread need encounter the
+// construct. grain is the chunk size; grain <= 0 picks one that yields a
+// few chunks per team member. The final chunk runs inline on the caller.
+func (t *Thread) Taskloop(lo, hi, grain int, body func(i int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = n / (4 * t.team.size)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	var tg TaskGroup
+	first := lo // first chunk is kept for the caller
+	for start := lo + grain; start < hi; start += grain {
+		end := start + grain
+		if end > hi {
+			end = hi
+		}
+		s, e := start, end
+		tg.Task(t, func(*Thread) {
+			for i := s; i < e; i++ {
+				body(i)
+			}
+		})
+	}
+	inlineEnd := first + grain
+	if inlineEnd > hi {
+		inlineEnd = hi
+	}
+	for i := first; i < inlineEnd; i++ {
+		body(i)
+	}
+	tg.Wait(t)
+}

@@ -54,73 +54,62 @@ func mergeInto(s []int, mid int, buf []int) {
 	copy(s[:k], buf[:k])
 }
 
+// sortGrain is the serial cutoff for the parallel merge sort: subarrays
+// at or below this size sort sequentially. At 1M elements this yields
+// ~512 leaf tasks — enough parallel slack for any teaching-scale team,
+// while each task still does thousands of comparisons of real work, so
+// scheduling overhead stays in the noise.
+const sortGrain = 2048
+
 // MergeSortParallel sorts s in place using fork-join parallelism: each
-// recursion level forks the left half as an OpenMP-style task while the
-// current task handles the right, down to a grain size below which it
-// runs sequentially. threads sets the team size.
+// recursion level forks the left half as a task into a taskgroup while
+// the current thread handles the right half, joins the group, and then
+// merges — the CS2 session's recursive decomposition, one taskgroup per
+// fork. Below the serial cutoff (SerialCutoff) a subarray sorts
+// sequentially. threads sets the team size.
 //
-// Joins are help-first: while a fork waits for its child task it drains
-// other pending tasks through TaskYield, the standard discipline that
-// keeps recursive task parallelism deadlock-free on any team size.
+// The whole team helps: the root of the recursion is seeded into a
+// shared taskgroup by the master, and every thread's Wait on that group
+// executes queued subtrees and steals from busy teammates until the sort
+// is done. Joins are help-first automatically — a fork waiting on its
+// child's taskgroup drains runnable work instead of blocking — so the
+// recursion cannot deadlock on any team size.
 func MergeSortParallel(s []int, threads int) {
 	if threads < 1 {
 		threads = 1
 	}
+	if len(s) < 2 {
+		return
+	}
 	buf := make([]int, len(s))
+	if threads == 1 || len(s) <= sortGrain {
+		mergeSortRec(s, buf)
+		return
+	}
 	omp.Parallel(func(t *omp.Thread) {
-		var rec func(s, buf []int, depth int)
-		rec = func(s, buf []int, depth int) {
-			const grain = 2048
-			if len(s) < 2 {
-				return
-			}
-			mid := len(s) / 2
-			if depth <= 0 || len(s) <= grain {
-				mergeSortRec(s[:mid], buf[:mid])
-				mergeSortRec(s[mid:], buf[mid:])
-			} else {
-				done := make(chan struct{})
-				t.Task(func() {
-					rec(s[:mid], buf[:mid], depth-1)
-					close(done)
-				})
-				rec(s[mid:], buf[mid:], depth-1)
-				// Join this fork before merging: the merge reads both
-				// halves.
-				joinHelping(t, done)
-			}
-			mergeInto(s, mid, buf)
-		}
+		root := t.SharedTaskGroup()
 		t.Master(func() {
-			t.Task(func() { rec(s, buf, log2(threads)+2) })
+			root.Task(t, func(c *omp.Thread) { sortRec(c, s, buf) })
 		})
-		t.Barrier()
-		t.TaskWait()
+		t.Barrier() // publish the root task before anyone decides to wait
+		root.Wait(t)
 	}, omp.WithNumThreads(threads))
 }
 
-// joinHelping waits for done while draining other pending tasks, so a
-// blocked fork never starves the pool.
-func joinHelping(t *omp.Thread, done <-chan struct{}) {
-	for {
-		select {
-		case <-done:
-			return
-		default:
-		}
-		if !t.TaskYield() {
-			<-done // the child is running on another thread; just wait
-			return
-		}
+// sortRec is one node of the fork-join tree. t is the thread actually
+// executing this node — task bodies receive their executor, so spawns
+// always go through the running thread's own deque.
+func sortRec(t *omp.Thread, s, buf []int) {
+	if t.SerialCutoff(len(s), sortGrain) {
+		mergeSortRec(s, buf)
+		return
 	}
-}
-
-func log2(n int) int {
-	k := 0
-	for 1<<(k+1) <= n {
-		k++
-	}
-	return k
+	mid := len(s) / 2
+	t.TaskGroup(func(tg *omp.TaskGroup) {
+		tg.Task(t, func(c *omp.Thread) { sortRec(c, s[:mid], buf[:mid]) })
+		sortRec(t, s[mid:], buf[mid:])
+	}) // group joined: both halves sorted
+	mergeInto(s, mid, buf)
 }
 
 // IsSorted reports whether s is nondecreasing.

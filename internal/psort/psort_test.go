@@ -255,3 +255,62 @@ func TestOddEvenBlockInvariant(t *testing.T) {
 		}
 	}
 }
+
+// TestMergeSortParallelDeterministic pins MergeSortParallel to sort.Ints
+// across team sizes 1–16 and adversarial shapes: empty, singletons, odd
+// lengths, all-duplicates, saturated duplicates, presorted and reversed
+// inputs. The work-stealing schedule is nondeterministic; the output must
+// not be.
+func TestMergeSortParallelDeterministic(t *testing.T) {
+	shapes := map[string]func() []int{
+		"empty":  func() []int { return nil },
+		"single": func() []int { return []int{42} },
+		"pair":   func() []int { return []int{2, 1} },
+		"odd":    func() []int { return randomInts(4097, 11) },
+		"dupheavy": func() []int {
+			s := randomInts(3000, 12)
+			for i := range s {
+				s[i] %= 7 // seven distinct values across 3000 slots
+			}
+			return s
+		},
+		"alldup": func() []int {
+			s := make([]int, 2500)
+			for i := range s {
+				s[i] = 9
+			}
+			return s
+		},
+		"presorted": func() []int {
+			s := make([]int, 5000)
+			for i := range s {
+				s[i] = i
+			}
+			return s
+		},
+		"reversed": func() []int {
+			s := make([]int, 5001)
+			for i := range s {
+				s[i] = len(s) - i
+			}
+			return s
+		},
+	}
+	for name, mk := range shapes {
+		for threads := 1; threads <= 16; threads++ {
+			data := mk()
+			want := append([]int(nil), data...)
+			sort.Ints(want)
+			MergeSortParallel(data, threads)
+			for i := range want {
+				if data[i] != want[i] {
+					t.Fatalf("%s/threads=%d: diverges from sort.Ints at %d: got %d want %d",
+						name, threads, i, data[i], want[i])
+				}
+			}
+			if len(data) != len(want) {
+				t.Fatalf("%s/threads=%d: length changed", name, threads)
+			}
+		}
+	}
+}

@@ -229,6 +229,50 @@ func ReductionTree(t int, combineCost int64) []Task {
 	return tasks
 }
 
+// ForkJoinSort builds the task DAG of a top-down parallel merge sort over
+// n elements with serial cutoff grain: subarrays of at most grain elements
+// sort serially as leaves (cost m·⌈lg m⌉ comparison units), larger ones
+// fork two half-sized children and merge their results (cost m, depending
+// on both halves). Simulating it on P cores gives the model speedup of the
+// CS2 merge-sort session's recursive fork-join shape, the same way
+// ReductionTree models Figure 19.
+func ForkJoinSort(n int, grain int64) []Task {
+	if n < 1 {
+		return nil
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	var tasks []Task
+	next := 0
+	var build func(m int64) int
+	build = func(m int64) int {
+		id := next
+		next++
+		tasks = append(tasks, Task{ID: id}) // cost and deps filled below
+		if m <= grain {
+			tasks[id].Cost = m * ceilLg(m)
+			return id
+		}
+		left := build(m / 2)
+		right := build(m - m/2)
+		tasks[id].Cost = m // the merge pass
+		tasks[id].Deps = []int{left, right}
+		return id
+	}
+	build(int64(n))
+	return tasks
+}
+
+// ceilLg returns ⌈lg m⌉ for m >= 1 (0 for m == 1).
+func ceilLg(m int64) int64 {
+	var k int64
+	for p := int64(1); p < m; p *= 2 {
+		k++
+	}
+	return k
+}
+
 // ReductionChain builds the sequential-combining baseline: t leaves folded
 // one after another, t-1 combine tasks in a dependency chain. Its makespan
 // is always (t-1) * combineCost regardless of core count.

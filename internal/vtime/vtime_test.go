@@ -281,3 +281,44 @@ func TestSpeedupOfZeroMakespan(t *testing.T) {
 		t.Fatal("efficiency with 0 cores should be 0")
 	}
 }
+
+// TestForkJoinSortShape: the merge-sort DAG's critical path is one leaf
+// sort plus the merges on the path to the root, so on enough cores the
+// makespan is far below the total work, and one core serializes exactly.
+func TestForkJoinSortShape(t *testing.T) {
+	const n, grain = 1 << 12, 1 << 8
+	tasks := ForkJoinSort(n, grain)
+	one, err := Simulate(tasks, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Makespan != one.TotalWork {
+		t.Fatalf("one core: makespan %d != total work %d", one.Makespan, one.TotalWork)
+	}
+	many, err := Simulate(tasks, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Critical path: grain·lg(grain) for the deepest leaf plus the merge
+	// chain 2·grain + 4·grain + … + n ≈ 2n.
+	if many.Speedup() < 2 {
+		t.Fatalf("16 cores speed up only %.2fx (makespan %d of %d)", many.Speedup(), many.Makespan, many.TotalWork)
+	}
+	if many.Makespan > one.Makespan {
+		t.Fatal("more cores made it slower")
+	}
+}
+
+func TestForkJoinSortDegenerate(t *testing.T) {
+	if ForkJoinSort(0, 8) != nil {
+		t.Fatal("n=0 should yield no tasks")
+	}
+	tasks := ForkJoinSort(1, 0) // grain clamps to 1
+	if len(tasks) != 1 || tasks[0].Cost != 0 {
+		t.Fatalf("single element: %+v", tasks)
+	}
+	// Every id referenced exists and the DAG simulates cleanly.
+	if _, err := Simulate(ForkJoinSort(1000, 64), 4); err != nil {
+		t.Fatal(err)
+	}
+}

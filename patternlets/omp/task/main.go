@@ -1,0 +1,61 @@
+// task.omp — recursive fork-join with deferred tasks.
+//
+// fib(n) runs as a recursive decomposition: each call level opens a
+// taskgroup, forks fib(n-1) as an explicit task, computes fib(n-2)
+// inline, and joins the group before combining. Without -task the
+// recursion is undeferred and one thread computes every node while its
+// teammates idle; with it, the work-stealing scheduler spreads the call
+// tree over the team.
+//
+// Exercise: run without -task: every node is computed by one thread.
+// Rerun with -task -threads 2 and 4: which threads compute now? Rerun
+// several times — is the assignment of nodes to threads stable? Why must
+// the answer itself be stable anyway?
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/omp"
+)
+
+func main() {
+	threads := flag.Int("threads", 4, "team size")
+	n := flag.Int("n", 10, "fibonacci index to compute")
+	deferred := flag.Bool("task", false, "enable the task directive")
+	flag.Parse()
+
+	var fib func(t *omp.Thread, k int) int
+	fib = func(t *omp.Thread, k int) int {
+		if k < 2 {
+			return k
+		}
+		var left int
+		var right int
+		if *deferred {
+			t.TaskGroup(func(tg *omp.TaskGroup) {
+				tg.Task(t, func(e *omp.Thread) { left = fib(e, k-1) })
+				right = fib(t, k-2)
+			})
+		} else {
+			left = fib(t, k-1)
+			right = fib(t, k-2)
+		}
+		if k >= *n-3 {
+			fmt.Printf("fib(%2d) combined by thread %d\n", k, t.ThreadNum())
+		}
+		return left + right
+	}
+
+	var result int
+	omp.Parallel(func(t *omp.Thread) {
+		root := t.SharedTaskGroup()
+		t.Master(func() {
+			root.Task(t, func(e *omp.Thread) { result = fib(e, *n) })
+		})
+		t.Barrier()
+		root.Wait(t) // every thread helps execute the task tree
+	}, omp.WithNumThreads(*threads))
+	fmt.Printf("fib(%d) = %d\n", *n, result)
+}
