@@ -14,12 +14,13 @@ vet:
 	$(GO) vet ./...
 
 # The runtime's lock-free fast paths (pool handoff, spin-then-park join,
-# atomic chunk dispensers) and the communication stack's atomic traffic
-# counters make the race detector part of the default test gate, not an
-# optional extra.
+# atomic chunk dispensers), the communication stack's atomic traffic
+# counters, and the telemetry spine's concurrent counter/event plumbing
+# make the race detector part of the default test gate, not an optional
+# extra.
 test: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/omp/... ./internal/mpi/... ./internal/cluster/... ./internal/psort/...
+	$(GO) test -race ./internal/omp/... ./internal/mpi/... ./internal/cluster/... ./internal/psort/... ./internal/telemetry/... ./internal/trace/...
 
 race:
 	$(GO) test -race ./internal/... ./patternlets

@@ -24,6 +24,10 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/omp"
+	"repro/internal/telemetry"
 )
 
 // tier1Bench is the default benchmark set: the shared-memory runtime and
@@ -76,6 +80,11 @@ type File struct {
 	Bench     string   `json:"bench"`
 	BenchTime string   `json:"benchtime"`
 	Results   []Result `json:"results"`
+	// Telemetry is the counter snapshot from a fixed instrumented probe
+	// workload (see telemetryProbe), recorded alongside the timings so a
+	// BENCH file also documents what the runtimes *did* — regions forked,
+	// tasks spawned/stolen, collectives run, messages moved.
+	Telemetry map[string]int64 `json:"telemetry,omitempty"`
 }
 
 func main() {
@@ -162,7 +171,45 @@ func run(bench, benchtime string, count int, label string) (*File, error) {
 	if len(f.Results) == 0 {
 		return nil, fmt.Errorf("no benchmark results parsed from:\n%s", outBytes)
 	}
+	tele, err := telemetryProbe()
+	if err != nil {
+		return nil, fmt.Errorf("telemetry probe: %w", err)
+	}
+	f.Telemetry = tele
 	return f, nil
+}
+
+// telemetryProbe runs a small fixed workload — an omp task fan-out and an
+// mpi broadcast — with the telemetry spine enabled, and returns the
+// counter snapshot. The workload is deterministic in its counted work
+// (64 tasks spawned and executed, 4 collectives, 3 transport sends), so
+// the snapshot doubles as a sanity check that instrumentation still
+// counts across BENCH recordings; only the steal split varies with
+// scheduling.
+func telemetryProbe() (map[string]int64, error) {
+	col := telemetry.New()
+	telemetry.Enable(col)
+	defer telemetry.Disable()
+
+	const ntasks = 64
+	omp.Parallel(func(th *omp.Thread) {
+		th.Master(func() {
+			for i := 0; i < ntasks; i++ {
+				th.Task(func() {})
+			}
+		})
+		th.Barrier()
+		th.TaskWait()
+	}, omp.WithNumThreads(4))
+
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		_, err := mpi.Bcast(c, 42, 0)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return col.Counters().Snapshot(), nil
 }
 
 // parse reads standard `go test -bench` output. Each result line is

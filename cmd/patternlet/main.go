@@ -7,7 +7,8 @@
 // Usage:
 //
 //	patternlet list [-model MPI|OpenMP|Pthreads|MPI+OpenMP] [-pattern NAME]
-//	patternlet run KEY [-np N] [-on d1,d2] [-off d1,d2] [-tcp] [-nodes N] [-trace]
+//	patternlet run KEY [-np N] [-on d1,d2] [-off d1,d2] [-tcp] [-nodes N]
+//	                   [-timeline] [-stats] [-trace FILE]
 //	patternlet exercise KEY
 //	patternlet patterns
 //
@@ -17,6 +18,8 @@
 //	patternlet run barrier.omp -np 4               # Figure 8 (no barrier)
 //	patternlet run barrier.omp -np 4 -on barrier   # Figure 9
 //	patternlet run gather.mpi -np 6                # Figure 28
+//	patternlet run barrier.omp -np 4 -on barrier -trace out.json
+//	    # record a Chrome trace (open in about:tracing or Perfetto)
 package main
 
 import (
@@ -28,6 +31,7 @@ import (
 
 	"repro/internal/collection"
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -64,10 +68,16 @@ func usage(w io.Writer) {
 
 commands:
   list      [-model M] [-pattern P]   list the collection
-  run KEY   [-np N] [-on ...] [-off ...] [-tcp] [-nodes N] [-trace]
+  run KEY   [-np N] [-on ...] [-off ...] [-tcp] [-nodes N]
+            [-timeline] [-stats] [-trace FILE]
   exercise KEY                        show the student exercise
   patterns                            show the pattern taxonomy
   doc                                 emit the catalog as markdown
+
+run observability flags:
+  -timeline     print the ASCII execution timeline after the run
+  -stats        print the telemetry summary (counters and span stats)
+  -trace FILE   write a Chrome trace-event JSON file (about:tracing, Perfetto)
 `)
 }
 
@@ -115,7 +125,9 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	off := fs.String("off", "", "comma-separated directives to disable")
 	useTCP := fs.Bool("tcp", false, "run MPI patternlets over loopback TCP")
 	nodes := fs.Int("nodes", 0, "simulated cluster node count (0 = one per process)")
-	showTrace := fs.Bool("trace", false, "print the execution timeline after the run")
+	timeline := fs.Bool("timeline", false, "print the execution timeline after the run")
+	stats := fs.Bool("stats", false, "print the telemetry summary after the run")
+	traceFile := fs.String("trace", "", "write a Chrome trace-event JSON file to this path")
 	if err := fs.Parse(args[1:]); err != nil {
 		return 2
 	}
@@ -132,9 +144,19 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	for _, name := range splitList(*off) {
 		toggles[name] = false
 	}
+	// Any observability flag turns the telemetry spine on for the run: one
+	// collector, one event stream, shared by the runtimes (omp regions,
+	// mpi collectives) and the patternlet's own phase events, which the
+	// trace.Recorder view records into the same stream.
 	var rec *trace.Recorder
-	if *showTrace {
-		rec = &trace.Recorder{}
+	var stream *telemetry.Stream
+	var col *telemetry.Collector
+	if *timeline || *stats || *traceFile != "" {
+		stream = &telemetry.Stream{}
+		col = telemetry.New(telemetry.WithSink(stream))
+		telemetry.Enable(col)
+		defer telemetry.Disable()
+		rec = trace.Attach(col, stream)
 	}
 	opts := core.RunOptions{
 		NumTasks: *np,
@@ -149,11 +171,35 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	fmt.Fprintln(stdout)
-	if rec != nil {
+	if *timeline {
 		fmt.Fprintln(stdout, "execution timeline (rows: tasks, columns: global event order):")
 		fmt.Fprint(stdout, rec.Timeline())
 	}
+	if *stats {
+		fmt.Fprint(stdout, telemetry.Summarize(stream.Events(), col.Counters().Snapshot()))
+	}
+	if *traceFile != "" {
+		if err := writeTrace(*traceFile, stream, col); err != nil {
+			fmt.Fprintf(stderr, "patternlet: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "wrote Chrome trace to %s (open in about:tracing or Perfetto)\n", *traceFile)
+	}
 	return 0
+}
+
+// writeTrace exports the run's event stream and final counter snapshot
+// as a Chrome trace-event JSON file.
+func writeTrace(path string, stream *telemetry.Stream, col *telemetry.Collector) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(f, stream.Events(), col.Counters().Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func cmdExercise(args []string, stdout, stderr io.Writer) int {
@@ -272,6 +318,28 @@ communicator. Equivalence tests pin every registered algorithm to its
 linear reference for world sizes 1-9, including non-commutative
 reduction operators. Record the communication benchmarks with
 ` + "`make bench-json SUITE=comm`" + `.
+
+## Observability
+
+One telemetry spine (` + "`internal/telemetry`" + `) instruments all three
+runtimes: atomic named counters, timed spans, and instant events flow
+into one ordered stream. The OpenMP-style runtime emits region, member,
+barrier-wait and task spans plus steal instants; every MPI collective
+emits one span per rank tagged with the algorithm the registry chose;
+the cluster transport's traffic counters and ` + "`omp.TaskStats`" + ` are
+snapshot views over the same counter spine. Instrumentation is off by
+default and hot paths pay only a nil check.
+
+Surface it from the CLI:
+
+- ` + "`patternlet run KEY -timeline`" + ` — ASCII execution timeline
+  (rows: tasks, columns: global event order), the paper's figures in
+  text form.
+- ` + "`patternlet run KEY -stats`" + ` — counter values and per-span
+  count/total/min/max after the run.
+- ` + "`patternlet run KEY -trace out.json`" + ` — Chrome trace-event JSON;
+  open it in about:tracing or https://ui.perfetto.dev to see regions,
+  collectives and phase events on a per-task timeline.
 `
 
 func splitList(s string) []string {

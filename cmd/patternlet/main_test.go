@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -112,13 +115,92 @@ func TestRunUnknownToggleFails(t *testing.T) {
 	}
 }
 
-func TestRunWithTrace(t *testing.T) {
-	code, stdout, _ := exec("run", "barrier.omp", "-np", "2", "-on", "barrier", "-trace")
+func TestRunWithTimeline(t *testing.T) {
+	code, stdout, _ := exec("run", "barrier.omp", "-np", "2", "-on", "barrier", "-timeline")
 	if code != 0 || !strings.Contains(stdout, "execution timeline") {
-		t.Fatalf("trace output missing:\n%s", stdout)
+		t.Fatalf("timeline output missing:\n%s", stdout)
 	}
 	if !strings.Contains(stdout, "task  0") {
 		t.Fatalf("timeline rows missing:\n%s", stdout)
+	}
+}
+
+func TestRunWithStats(t *testing.T) {
+	code, stdout, _ := exec("run", "barrier.omp", "-np", "2", "-on", "barrier", "-stats")
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, stdout)
+	}
+	for _, want := range []string{"counters:", "omp.regions", "spans:", "omp/region", "omp/barrier-wait"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
+// chromeTrace mirrors the subset of the Chrome trace-event JSON the CLI
+// tests assert on.
+type chromeTrace struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Cat  string         `json:"cat"`
+		Ph   string         `json:"ph"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func runTrace(t *testing.T, args ...string) chromeTrace {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "out.json")
+	code, stdout, stderr := exec(append(args, "-trace", path)...)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "wrote Chrome trace") {
+		t.Fatalf("confirmation line missing:\n%s", stdout)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tr chromeTrace
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	return tr
+}
+
+func TestRunTraceFileOMP(t *testing.T) {
+	tr := runTrace(t, "run", "barrier.omp", "-np", "2", "-on", "barrier")
+	var region, phase bool
+	for _, e := range tr.TraceEvents {
+		if e.Cat == "omp" && e.Name == "region" && e.Ph == "X" {
+			region = true
+		}
+		if e.Cat == "trace" && e.Ph == "i" {
+			phase = true
+		}
+	}
+	if !region {
+		t.Error("no omp region span in trace")
+	}
+	if !phase {
+		t.Error("no patternlet phase instants in trace")
+	}
+}
+
+func TestRunTraceFileMPI(t *testing.T) {
+	tr := runTrace(t, "run", "broadcast.mpi", "-np", "4")
+	var bcasts int
+	for _, e := range tr.TraceEvents {
+		if e.Cat == "mpi" && e.Name == "bcast" && e.Ph == "X" {
+			bcasts++
+			if algo, _ := e.Args["algo"].(string); algo == "" {
+				t.Errorf("bcast span missing algo tag: %+v", e)
+			}
+		}
+	}
+	if bcasts != 4 {
+		t.Errorf("want one bcast span per rank (4), got %d", bcasts)
 	}
 }
 

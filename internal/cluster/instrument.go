@@ -1,14 +1,20 @@
 package cluster
 
 import (
+	"strconv"
+	"strings"
 	"sync"
-	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // Instrumented counts the traffic flowing through a transport: sends and
-// receives, payload bytes in each direction, and per-destination message
-// counts — totalled and broken down per communicator id, so the MPI layer
-// can report what a pattern actually moves (Comm.Stats). Counters are
+// receives, payload bytes in each direction, and per-peer message counts
+// — totalled and broken down per communicator id, so the MPI layer can
+// report what a pattern actually moves (Comm.Stats). The counters are a
+// telemetry.CounterSet per accounting bucket — the same named-atomic
+// spine every other runtime stat in this repository reads from — and
+// TrafficStats is a snapshot view decoded from it. Counters are
 // lock-free atomics on the hot path; the only synchronization is the
 // first-touch insertion of a new communicator or peer slot.
 type Instrumented struct {
@@ -17,52 +23,111 @@ type Instrumented struct {
 	comms sync.Map // communicator id -> *trafficCounters
 }
 
-// TrafficStats is a point-in-time snapshot of traffic counters.
+// TrafficStats is a point-in-time snapshot of traffic counters. All maps
+// are non-nil in every TrafficStats this package returns, including the
+// zero-traffic snapshot for an unknown communicator.
 type TrafficStats struct {
 	Sends      uint64         // messages handed to the layer below
 	Recvs      uint64         // messages delivered to receivers
 	BytesSent  uint64         // payload bytes sent
 	BytesRecvd uint64         // payload bytes received
 	PeerSends  map[int]uint64 // destination world rank -> messages sent
+	PeerRecvs  map[int]uint64 // source world rank -> messages received
 }
 
+// Counter names within a bucket's CounterSet. Per-peer counters append
+// "/<world rank>" to the peer prefixes.
+const (
+	ctrSends      = "sends"
+	ctrRecvs      = "recvs"
+	ctrBytesSent  = "bytes_sent"
+	ctrBytesRecvd = "bytes_recvd"
+	ctrPeerSend   = "peer_sends/"
+	ctrPeerRecv   = "peer_recvs/"
+)
+
 // trafficCounters is one accounting bucket (the totals, or one
-// communicator's slice of them).
+// communicator's slice of them): a telemetry counter set plus resolved
+// pointers for the four fixed counters and a rank-keyed cache for the
+// per-peer ones, so the per-message path never formats a name or takes
+// the set's lock.
 type trafficCounters struct {
-	sends      atomic.Uint64
-	recvs      atomic.Uint64
-	bytesSent  atomic.Uint64
-	bytesRecvd atomic.Uint64
-	peerSends  sync.Map // destination rank -> *atomic.Uint64
+	set       telemetry.CounterSet
+	initOnce  sync.Once
+	sends     *telemetry.Counter
+	recvs     *telemetry.Counter
+	bytesSent *telemetry.Counter
+	bytesRecv *telemetry.Counter
+	peerSends sync.Map // destination rank -> *telemetry.Counter
+	peerRecvs sync.Map // source rank -> *telemetry.Counter
+}
+
+func (tc *trafficCounters) init() {
+	tc.initOnce.Do(func() {
+		tc.sends = tc.set.Counter(ctrSends)
+		tc.recvs = tc.set.Counter(ctrRecvs)
+		tc.bytesSent = tc.set.Counter(ctrBytesSent)
+		tc.bytesRecv = tc.set.Counter(ctrBytesRecvd)
+	})
+}
+
+// peerCounter resolves the per-peer counter for rank in cache, creating
+// the underlying telemetry counter (named prefix + rank) on first touch.
+func peerCounter(set *telemetry.CounterSet, cache *sync.Map, prefix string, rank int) *telemetry.Counter {
+	if v, ok := cache.Load(rank); ok {
+		return v.(*telemetry.Counter)
+	}
+	c := set.Counter(prefix + strconv.Itoa(rank))
+	v, _ := cache.LoadOrStore(rank, c)
+	return v.(*telemetry.Counter)
 }
 
 func (tc *trafficCounters) recordSend(to int, bytes uint64) {
-	tc.sends.Add(1)
-	tc.bytesSent.Add(bytes)
-	v, ok := tc.peerSends.Load(to)
-	if !ok {
-		v, _ = tc.peerSends.LoadOrStore(to, new(atomic.Uint64))
-	}
-	v.(*atomic.Uint64).Add(1)
+	tc.init()
+	tc.sends.Inc()
+	tc.bytesSent.Add(int64(bytes))
+	peerCounter(&tc.set, &tc.peerSends, ctrPeerSend, to).Inc()
 }
 
-func (tc *trafficCounters) recordRecv(bytes uint64) {
-	tc.recvs.Add(1)
-	tc.bytesRecvd.Add(bytes)
+func (tc *trafficCounters) recordRecv(from int, bytes uint64) {
+	tc.init()
+	tc.recvs.Inc()
+	tc.bytesRecv.Add(int64(bytes))
+	peerCounter(&tc.set, &tc.peerRecvs, ctrPeerRecv, from).Inc()
 }
 
+// emptyTrafficStats is the shared zero-value constructor: every map
+// initialized, so callers can index a snapshot for a communicator that
+// has carried no traffic without nil-map surprises.
+func emptyTrafficStats() TrafficStats {
+	return TrafficStats{PeerSends: map[int]uint64{}, PeerRecvs: map[int]uint64{}}
+}
+
+// snapshot decodes the bucket's counter set into a TrafficStats — the
+// one place the telemetry names map onto the stats view, shared by
+// Totals and CommStats.
 func (tc *trafficCounters) snapshot() TrafficStats {
-	st := TrafficStats{
-		Sends:      tc.sends.Load(),
-		Recvs:      tc.recvs.Load(),
-		BytesSent:  tc.bytesSent.Load(),
-		BytesRecvd: tc.bytesRecvd.Load(),
-		PeerSends:  map[int]uint64{},
+	st := emptyTrafficStats()
+	for name, v := range tc.set.Snapshot() {
+		switch {
+		case name == ctrSends:
+			st.Sends = uint64(v)
+		case name == ctrRecvs:
+			st.Recvs = uint64(v)
+		case name == ctrBytesSent:
+			st.BytesSent = uint64(v)
+		case name == ctrBytesRecvd:
+			st.BytesRecvd = uint64(v)
+		case strings.HasPrefix(name, ctrPeerSend):
+			if rank, err := strconv.Atoi(name[len(ctrPeerSend):]); err == nil {
+				st.PeerSends[rank] = uint64(v)
+			}
+		case strings.HasPrefix(name, ctrPeerRecv):
+			if rank, err := strconv.Atoi(name[len(ctrPeerRecv):]); err == nil {
+				st.PeerRecvs[rank] = uint64(v)
+			}
+		}
 	}
-	tc.peerSends.Range(func(k, v any) bool {
-		st.PeerSends[k.(int)] = v.(*atomic.Uint64).Load()
-		return true
-	})
 	return st
 }
 
@@ -94,8 +159,8 @@ func (t *Instrumented) Send(to int, m Message) error {
 func (t *Instrumented) Recv(rank int, match func(Message) bool) (Message, error) {
 	m, err := t.Inner.Recv(rank, match)
 	if err == nil {
-		t.total.recordRecv(uint64(len(m.Payload)))
-		t.commCounters(m.Comm).recordRecv(uint64(len(m.Payload)))
+		t.total.recordRecv(m.Src, uint64(len(m.Payload)))
+		t.commCounters(m.Comm).recordRecv(m.Src, uint64(len(m.Payload)))
 	}
 	return m, err
 }
@@ -104,8 +169,8 @@ func (t *Instrumented) Recv(rank int, match func(Message) bool) (Message, error)
 func (t *Instrumented) RecvTimeout(rank int, match func(Message) bool, timeoutNanos int64) (Message, error) {
 	m, err := t.Inner.RecvTimeout(rank, match, timeoutNanos)
 	if err == nil {
-		t.total.recordRecv(uint64(len(m.Payload)))
-		t.commCounters(m.Comm).recordRecv(uint64(len(m.Payload)))
+		t.total.recordRecv(m.Src, uint64(len(m.Payload)))
+		t.commCounters(m.Comm).recordRecv(m.Src, uint64(len(m.Payload)))
 	}
 	return m, err
 }
@@ -114,10 +179,21 @@ func (t *Instrumented) RecvTimeout(rank int, match func(Message) bool, timeoutNa
 func (t *Instrumented) Totals() TrafficStats { return t.total.snapshot() }
 
 // CommStats returns the counters for one communicator id. An id that has
-// carried no traffic reports zeroes.
+// carried no traffic reports zeroes with every map initialized.
 func (t *Instrumented) CommStats(comm int) TrafficStats {
 	if v, ok := t.comms.Load(comm); ok {
 		return v.(*trafficCounters).snapshot()
 	}
-	return TrafficStats{PeerSends: map[int]uint64{}}
+	return emptyTrafficStats()
+}
+
+// FoldInto adds this transport's traffic totals to the collector's
+// counter set under "cluster."-prefixed names — the hook mpi.Run uses to
+// surface world traffic in a process-wide telemetry summary.
+func (t *Instrumented) FoldInto(col *telemetry.Collector) {
+	st := t.Totals()
+	col.Counter("cluster.sends").Add(int64(st.Sends))
+	col.Counter("cluster.recvs").Add(int64(st.Recvs))
+	col.Counter("cluster.bytes_sent").Add(int64(st.BytesSent))
+	col.Counter("cluster.bytes_recvd").Add(int64(st.BytesRecvd))
 }

@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // The middleware layer: decorators must compose over any transport and
@@ -80,17 +82,48 @@ func TestInstrumentedCountsTraffic(t *testing.T) {
 	if tot.PeerSends[1] != 3 || tot.PeerSends[2] != 1 {
 		t.Errorf("PeerSends = %v", tot.PeerSends)
 	}
+	// Receives break down by source world rank: rank 1 drained two messages
+	// from src 0 (comm 0) and one from src 2 (comm 9).
+	if tot.PeerRecvs[0] != 2 || tot.PeerRecvs[2] != 1 {
+		t.Errorf("PeerRecvs = %v", tot.PeerRecvs)
+	}
 
 	c0 := tr.CommStats(0)
 	if c0.Sends != 3 || c0.BytesSent != 12 {
 		t.Errorf("comm 0 sends/bytes = %d/%d, want 3/12", c0.Sends, c0.BytesSent)
 	}
 	c9 := tr.CommStats(9)
-	if c9.Sends != 1 || c9.BytesSent != 2 || c9.PeerSends[1] != 1 {
+	if c9.Sends != 1 || c9.BytesSent != 2 || c9.PeerSends[1] != 1 || c9.PeerRecvs[2] != 1 {
 		t.Errorf("comm 9 stats = %+v", c9)
 	}
-	if unseen := tr.CommStats(42); unseen.Sends != 0 || unseen.PeerSends == nil {
-		t.Errorf("unseen comm stats = %+v", unseen)
+	unseen := tr.CommStats(42)
+	if unseen.Sends != 0 || unseen.PeerSends == nil || unseen.PeerRecvs == nil {
+		t.Errorf("unseen comm must report zeroes with every map initialized, got %+v", unseen)
+	}
+}
+
+// FoldInto surfaces the transport totals in a telemetry collector's
+// counter set under the "cluster."-prefixed names.
+func TestInstrumentedFoldInto(t *testing.T) {
+	tr := NewInstrumented(NewChanTransport(2))
+	defer tr.Close()
+	if err := tr.Send(1, Message{Src: 0, Payload: []byte{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Recv(1, func(Message) bool { return true }); err != nil {
+		t.Fatal(err)
+	}
+	col := telemetry.New()
+	tr.FoldInto(col)
+	snap := col.Counters().Snapshot()
+	want := map[string]int64{
+		"cluster.sends": 1, "cluster.recvs": 1,
+		"cluster.bytes_sent": 3, "cluster.bytes_recvd": 3,
+	}
+	for name, v := range want {
+		if snap[name] != v {
+			t.Errorf("%s = %d, want %d", name, snap[name], v)
+		}
 	}
 }
 

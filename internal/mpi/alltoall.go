@@ -15,7 +15,11 @@ func Alltoall[T any](c *Comm, send []T) ([]T, error) {
 	if len(send)%p != 0 {
 		return nil, errAlltoallShape(len(send), p)
 	}
-	switch algo := c.algoFor(CollAlltoall, 0); algo {
+	algo := c.algoFor(CollAlltoall, 0)
+	sp := c.collBegin(CollAlltoall)
+	sp.SetArg("algo", algo)
+	defer sp.End()
+	switch algo {
 	case AlgoLinear:
 		return alltoallLinear(c, send, tag)
 	case AlgoPairwise:

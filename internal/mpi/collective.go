@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/telemetry"
 )
 
 // Collective operations. Every rank of the communicator must call the same
@@ -17,6 +18,24 @@ import (
 // linear/composed forms double as test oracles for the tree forms, giving
 // the O(lg p) combining depth that Figure 19 of the paper illustrates for
 // the Reduction pattern an independently checkable reference.
+
+// collBegin opens one rank's telemetry span for a collective call and
+// bumps the process-wide collectives counter. When telemetry is off
+// (w.tele nil, the cached per-world check) it returns the zero Span,
+// whose SetArg and End are no-ops — so every dispatcher instruments
+// unconditionally and the disabled path stays allocation-free. The
+// dispatcher tags the span with the algorithm the registry chose
+// ("algo") as soon as it is known: immediately for symmetric
+// collectives, after the header decode for non-root ranks of the rooted
+// ones (Bcast, Scatter), whose choice travels in-band.
+func (c *Comm) collBegin(name string) telemetry.Span {
+	col := c.w.tele
+	if col == nil {
+		return telemetry.Span{}
+	}
+	col.Counter("mpi.collectives").Inc()
+	return col.Begin("mpi", name, c.WorldRank())
+}
 
 // sendBytes ships an already-framed payload without re-encoding, used by
 // the rooted collectives to relay a frame unchanged down a tree.
@@ -106,7 +125,11 @@ func entryMask(rel, p int) int {
 // rounds.
 func Barrier(c *Comm) error {
 	tag := c.nextCollTag()
-	switch algo := c.algoFor(CollBarrier, 0); algo {
+	algo := c.algoFor(CollBarrier, 0)
+	sp := c.collBegin(CollBarrier)
+	sp.SetArg("algo", algo)
+	defer sp.End()
+	switch algo {
 	case AlgoDissemination:
 		return barrierDissemination(c, tag)
 	case AlgoCentral:
@@ -176,6 +199,8 @@ func Bcast[T any](c *Comm, v T, root int) (T, error) {
 	}
 	tag := c.nextCollTag()
 	p := len(c.ranks)
+	sp := c.collBegin(CollBcast)
+	defer sp.End()
 	if p == 1 {
 		return v, nil
 	}
@@ -186,6 +211,7 @@ func Bcast[T any](c *Comm, v T, root int) (T, error) {
 			return zero, err
 		}
 		algo := c.algoFor(CollBcast, len(raw))
+		sp.SetArg("algo", algo)
 		hdr, ok := algoHeader(algo)
 		if !ok {
 			return zero, errUnknownAlgo(CollBcast, algo)
@@ -223,6 +249,7 @@ func Bcast[T any](c *Comm, v T, root int) (T, error) {
 	if !ok {
 		return zero, fmt.Errorf("mpi: Bcast: bad frame header %d", f[0])
 	}
+	sp.SetArg("algo", algo)
 	if algo == AlgoBinomial {
 		rel := (c.rank - root + p) % p
 		if err := bcastForward(c, f, rel, root, tag); err != nil {
@@ -258,7 +285,11 @@ func Reduce[T any](c *Comm, v T, op func(T, T) T, root int) (T, error) {
 		return zero, ErrInvalidRank
 	}
 	tag := c.nextCollTag()
-	switch algo := c.algoFor(CollReduce, 0); algo {
+	algo := c.algoFor(CollReduce, 0)
+	sp := c.collBegin(CollReduce)
+	sp.SetArg("algo", algo)
+	defer sp.End()
+	switch algo {
 	case AlgoBinomial:
 		return reduceBinomial(c, v, op, root, tag)
 	case AlgoLinear:
@@ -369,7 +400,11 @@ func reduceLinear[T any](c *Comm, v T, op func(T, T) T, root, tag int) (T, error
 // schedules fold in rank order, so results match even for non-commutative
 // ops.
 func Allreduce[T any](c *Comm, v T, op func(T, T) T) (T, error) {
-	switch algo := c.algoFor(CollAllreduce, 0); algo {
+	algo := c.algoFor(CollAllreduce, 0)
+	sp := c.collBegin(CollAllreduce)
+	sp.SetArg("algo", algo)
+	defer sp.End()
+	switch algo {
 	case AlgoRecursiveDoubling:
 		return allreduceRecursiveDoubling(c, v, op, c.nextCollTag())
 	case AlgoComposed:
@@ -486,7 +521,11 @@ func Gather[T any](c *Comm, send []T, root int) ([]T, error) {
 		return nil, ErrInvalidRank
 	}
 	tag := c.nextCollTag()
-	switch algo := c.algoFor(CollGather, 0); algo {
+	algo := c.algoFor(CollGather, 0)
+	sp := c.collBegin(CollGather)
+	sp.SetArg("algo", algo)
+	defer sp.End()
+	switch algo {
 	case AlgoLinear:
 		return gatherLinear(c, send, root, tag)
 	case AlgoBinomial:
@@ -570,7 +609,11 @@ func gatherBinomial[T any](c *Comm, send []T, root, tag int) ([]T, error) {
 // than one block per round — and small worlds the gather-then-broadcast
 // composition, which moves fewer messages overall.
 func Allgather[T any](c *Comm, send []T) ([]T, error) {
-	switch algo := c.algoFor(CollAllgather, 0); algo {
+	algo := c.algoFor(CollAllgather, 0)
+	sp := c.collBegin(CollAllgather)
+	sp.SetArg("algo", algo)
+	defer sp.End()
+	switch algo {
 	case AlgoRing:
 		return allgatherRing(c, send, c.nextCollTag())
 	case AlgoComposed:
@@ -640,6 +683,8 @@ func Scatter[T any](c *Comm, send []T, root int) ([]T, error) {
 	}
 	tag := c.nextCollTag()
 	p := len(c.ranks)
+	sp := c.collBegin(CollScatter)
+	defer sp.End()
 
 	if c.rank == root {
 		if len(send)%p != 0 {
@@ -661,6 +706,7 @@ func Scatter[T any](c *Comm, send []T, root int) ([]T, error) {
 			totalBytes = len(raw)
 		}
 		algo := c.algoFor(CollScatter, totalBytes)
+		sp.SetArg("algo", algo)
 		hdr, ok := algoHeader(algo)
 		if !ok {
 			return nil, errUnknownAlgo(CollScatter, algo)
@@ -695,6 +741,7 @@ func Scatter[T any](c *Comm, send []T, root int) ([]T, error) {
 	if !ok {
 		return nil, fmt.Errorf("mpi: Scatter: bad frame header %d", f[0])
 	}
+	sp.SetArg("algo", algo)
 	if algo == AlgoLinear {
 		return decode[[]T](f[1:])
 	}

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/telemetry"
 )
 
 // AnySource matches messages from any sender, like MPI_ANY_SOURCE.
@@ -72,6 +73,11 @@ type world struct {
 	recvTimeout time.Duration
 	collAlgo    map[string]string     // WithCollectiveAlgorithm overrides (read-only once running)
 	stats       *cluster.Instrumented // the instrumentation decorator wrapping tr
+	// tele is the process-wide telemetry collector, cached once when the
+	// world starts: every collective checks this plain field against nil,
+	// so a disabled run pays no atomic load per operation. A collector
+	// enabled mid-run attaches at the next Run.
+	tele *telemetry.Collector
 }
 
 // Comm is one rank's handle on a communicator, like MPI_Comm plus the
@@ -120,7 +126,10 @@ var wtimeEpoch = time.Now()
 // exactly 7 sends).
 func (c *Comm) Stats() cluster.TrafficStats {
 	if c.w.stats == nil {
-		return cluster.TrafficStats{PeerSends: map[int]uint64{}}
+		return cluster.TrafficStats{
+			PeerSends: map[int]uint64{},
+			PeerRecvs: map[int]uint64{},
+		}
 	}
 	return c.w.stats.CommStats(c.id)
 }
@@ -220,6 +229,7 @@ func Run(np int, body func(c *Comm) error, opts ...RunOption) error {
 		recvTimeout: cfg.recvTimeout,
 		collAlgo:    cfg.collAlgo,
 		stats:       inst,
+		tele:        telemetry.Active(),
 	}
 
 	errs := make([]error, np)
@@ -240,6 +250,11 @@ func Run(np int, body func(c *Comm) error, opts ...RunOption) error {
 		}(rank)
 	}
 	wg.Wait()
+	if w.tele != nil {
+		// Surface the world's traffic totals in the process-wide counter
+		// set before the transport closes.
+		inst.FoldInto(w.tele)
+	}
 	return errors.Join(errs...)
 }
 

@@ -14,7 +14,11 @@ package mpi
 // op(v0, v1, …, vr) (MPI_Scan).
 func Scan[T any](c *Comm, v T, op func(T, T) T) (T, error) {
 	tag := c.nextCollTag()
-	switch algo := c.algoFor(CollScan, 0); algo {
+	algo := c.algoFor(CollScan, 0)
+	sp := c.collBegin(CollScan)
+	sp.SetArg("algo", algo)
+	defer sp.End()
+	switch algo {
 	case AlgoLinear:
 		return scanLinear(c, v, op, tag)
 	case AlgoDoubling:
@@ -30,7 +34,11 @@ func Scan[T any](c *Comm, v T, op func(T, T) T) (T, error) {
 // this runtime defines it as T's zero value.
 func Exscan[T any](c *Comm, v T, op func(T, T) T) (T, error) {
 	tag := c.nextCollTag()
-	switch algo := c.algoFor(CollExscan, 0); algo {
+	algo := c.algoFor(CollExscan, 0)
+	sp := c.collBegin(CollExscan)
+	sp.SetArg("algo", algo)
+	defer sp.End()
+	switch algo {
 	case AlgoLinear:
 		return exscanLinear(c, v, op, tag)
 	case AlgoDoubling:

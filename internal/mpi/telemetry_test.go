@@ -1,0 +1,140 @@
+package mpi
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// collectSpans runs body in an np-rank world with a fresh collector
+// installed and returns the mpi-category spans plus the final counter
+// snapshot.
+func collectSpans(t *testing.T, np int, body func(c *Comm) error, opts ...RunOption) ([]telemetry.Event, map[string]int64) {
+	t.Helper()
+	stream := &telemetry.Stream{}
+	col := telemetry.New(telemetry.WithSink(stream))
+	telemetry.Enable(col)
+	defer telemetry.Disable()
+	if err := Run(np, body, opts...); err != nil {
+		t.Fatal(err)
+	}
+	var spans []telemetry.Event
+	for _, e := range stream.Events() {
+		if e.Type == telemetry.EventSpan && e.Cat == "mpi" {
+			spans = append(spans, e)
+		}
+	}
+	return spans, col.Counters().Snapshot()
+}
+
+// algoOf returns the span's "algo" annotation, or "".
+func algoOf(e telemetry.Event) string {
+	for _, a := range e.Args {
+		if a.Key == "algo" {
+			return a.Val
+		}
+	}
+	return ""
+}
+
+func TestTelemetryOneSpanPerCollectivePerRank(t *testing.T) {
+	const np = 4
+	spans, counters := collectSpans(t, np, func(c *Comm) error {
+		if _, err := Bcast(c, 42, 0); err != nil {
+			return err
+		}
+		_, err := Reduce(c, c.Rank(), func(a, b int) int { return a + b }, 0)
+		return err
+	})
+
+	byName := map[string]int{}
+	ranks := map[string]map[int]bool{}
+	for _, e := range spans {
+		byName[e.Name]++
+		if ranks[e.Name] == nil {
+			ranks[e.Name] = map[int]bool{}
+		}
+		ranks[e.Name][e.Task] = true
+		// np=4 sits below every tree threshold: the registry picks the
+		// linear form for both collectives, and every rank's span says so.
+		if got := algoOf(e); got != AlgoLinear {
+			t.Errorf("%s span on rank %d: algo = %q, want %q", e.Name, e.Task, got, AlgoLinear)
+		}
+	}
+	if byName[CollBcast] != np || byName[CollReduce] != np {
+		t.Errorf("span counts = %v, want %d of each", byName, np)
+	}
+	for name, rs := range ranks {
+		if len(rs) != np {
+			t.Errorf("%s spans cover ranks %v, want all %d", name, rs, np)
+		}
+	}
+	if counters["mpi.collectives"] != 2*np {
+		t.Errorf("mpi.collectives = %d, want %d", counters["mpi.collectives"], 2*np)
+	}
+	// The world fold surfaced transport traffic alongside.
+	if counters["cluster.sends"] == 0 || counters["cluster.sends"] != counters["cluster.recvs"] {
+		t.Errorf("cluster.sends/recvs = %d/%d, want equal and non-zero",
+			counters["cluster.sends"], counters["cluster.recvs"])
+	}
+}
+
+// Non-root ranks of the rooted collectives learn the algorithm from the
+// frame header; their spans must carry the same tag the root chose.
+func TestTelemetryBcastAlgoTagPropagatesToNonRoots(t *testing.T) {
+	const np = 8 // >= treeWorldSize: the registry picks the binomial tree
+	spans, _ := collectSpans(t, np, func(c *Comm) error {
+		_, err := Bcast(c, "hello", 2)
+		return err
+	})
+	if len(spans) != np {
+		t.Fatalf("got %d bcast spans, want %d", len(spans), np)
+	}
+	for _, e := range spans {
+		if got := algoOf(e); got != AlgoBinomial {
+			t.Errorf("rank %d span algo = %q, want %q", e.Task, got, AlgoBinomial)
+		}
+	}
+}
+
+// A pinned override must show up verbatim in every rank's span.
+func TestTelemetrySpanReflectsAlgorithmOverride(t *testing.T) {
+	spans, _ := collectSpans(t, 4, func(c *Comm) error {
+		return Barrier(c)
+	}, WithCollectiveAlgorithm(CollBarrier, AlgoDissemination))
+	if len(spans) != 4 {
+		t.Fatalf("got %d barrier spans, want 4", len(spans))
+	}
+	for _, e := range spans {
+		if got := algoOf(e); got != AlgoDissemination {
+			t.Errorf("rank %d span algo = %q, want %q", e.Task, got, AlgoDissemination)
+		}
+	}
+}
+
+// With no collector installed (the default), a run must emit nothing and
+// Comm.Stats must keep working as a plain view.
+func TestTelemetryDisabledRunStillCountsStats(t *testing.T) {
+	if telemetry.Active() != nil {
+		t.Fatal("telemetry unexpectedly enabled")
+	}
+	var sends uint64
+	err := Run(4, func(c *Comm) error {
+		if _, err := Bcast(c, 1, 0); err != nil {
+			return err
+		}
+		if err := Barrier(c); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			sends = c.Stats().Sends
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sends == 0 {
+		t.Fatal("Comm.Stats stopped counting without telemetry")
+	}
+}

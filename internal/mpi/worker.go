@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/telemetry"
 )
 
 // RunWorker executes body as one rank of a multi-process world: this
@@ -44,6 +45,7 @@ func RunWorker(rank, np int, tr cluster.Transport, body func(c *Comm) error, opt
 		recvTimeout: cfg.recvTimeout,
 		collAlgo:    cfg.collAlgo,
 		stats:       inst,
+		tele:        telemetry.Active(),
 	}
 	c := newWorldComm(w, rank)
 	defer func() {
@@ -52,5 +54,10 @@ func RunWorker(rank, np int, tr cluster.Transport, body func(c *Comm) error, opt
 		// quiescing step.
 		time.Sleep(5 * time.Millisecond)
 	}()
-	return body(c)
+	err := body(c)
+	if w.tele != nil {
+		// This process hosts one rank, so the fold covers only its traffic.
+		inst.FoldInto(w.tele)
+	}
+	return err
 }

@@ -149,9 +149,9 @@ func TestGuidedChunkSequences(t *testing.T) {
 		{n: 7, parties: 4, minChunk: 3, want: []int{3, 3, 1}},
 		{n: 0, parties: 4, minChunk: 1, want: nil},
 		{n: 1, parties: 8, minChunk: 1, want: []int{1}},
-		{n: 5, parties: 2, minChunk: 8, want: []int{5}},     // minChunk > n: one clamped chunk
-		{n: 16, parties: 1, minChunk: 1, want: []int{16}},   // single party takes everything
-		{n: 6, parties: 0, minChunk: 0, want: []int{6}},     // degenerate inputs sanitized to 1
+		{n: 5, parties: 2, minChunk: 8, want: []int{5}},   // minChunk > n: one clamped chunk
+		{n: 16, parties: 1, minChunk: 1, want: []int{16}}, // single party takes everything
+		{n: 6, parties: 0, minChunk: 0, want: []int{6}},   // degenerate inputs sanitized to 1
 		{n: 12, parties: 4, minChunk: 2, want: []int{3, 2, 2, 2, 2, 1}},
 	}
 	for _, tc := range cases {

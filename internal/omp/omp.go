@@ -19,9 +19,12 @@ package omp
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // defaultThreads mirrors omp_set_num_threads / OMP_NUM_THREADS: the team
@@ -97,6 +100,13 @@ type team struct {
 	state    atomic.Int32
 	done     chan struct{}
 	panicVal atomic.Pointer[panicValue]
+
+	// tele caches telemetry.Active() for the region, so the disabled
+	// fast path is one nil field check per instrumented operation — no
+	// atomic load in the hot loops. A collector enabled mid-region
+	// attaches at the next region. Kept at the end of the struct so the
+	// contended join fields above keep their cache placement.
+	tele *telemetry.Collector
 }
 
 const (
@@ -115,6 +125,7 @@ func newTeam(size int) *team {
 		tm := v.(*team)
 		if cap(tm.threads) >= size {
 			tm.reset(size)
+			tm.tele = telemetry.Active()
 			return tm
 		}
 		// Too small for this region; let the GC have it.
@@ -126,6 +137,7 @@ func newTeam(size int) *team {
 	tm := &team{size: size, threads: make([]Thread, size, c), done: make(chan struct{}, 1)}
 	tm.barrier.parties = size
 	tm.sched = newTaskScheduler(size)
+	tm.tele = telemetry.Active()
 	for id := range tm.threads {
 		tm.threads[id] = Thread{id: id, team: tm, sched: tm.sched, stealSeed: uint64(id)*0x9E3779B97F4A7C15 + 1}
 	}
@@ -230,8 +242,25 @@ func (t *Thread) ThreadNum() int { return t.id }
 func (t *Thread) NumThreads() int { return t.team.size }
 
 // Barrier blocks until all threads in the team have reached it
-// (#pragma omp barrier).
-func (t *Thread) Barrier() { t.team.barrier.await() }
+// (#pragma omp barrier). With telemetry enabled, each member's wait is
+// recorded as a "barrier-wait" span — the per-thread imbalance the span
+// durations expose is exactly what the barrier patternlets teach.
+// The traced path lives in its own method so Barrier itself stays under
+// the inlining budget — uninstrumented barriers are a hot synchronization
+// primitive and must stay an inlined nil-check + await call.
+func (t *Thread) Barrier() {
+	if col := t.team.tele; col != nil {
+		t.barrierTraced(col)
+		return
+	}
+	t.team.barrier.await()
+}
+
+func (t *Thread) barrierTraced(col *telemetry.Collector) {
+	sp := col.Begin("omp", "barrier-wait", t.id)
+	t.team.barrier.await()
+	sp.End()
+}
 
 // Critical executes fn while holding the named critical section's lock
 // (#pragma omp critical(name)). As in OpenMP, distinct names are distinct
@@ -319,6 +348,15 @@ func Parallel(body func(t *Thread), opts ...Option) {
 	n := cfg.numThreads
 	tm := newTeam(n)
 
+	// Team lifecycle telemetry: one "region" span on the master covering
+	// fork through the implicit taskwait, one "member" span per worker.
+	var regionSpan telemetry.Span
+	if tm.tele != nil {
+		regionSpan = tm.tele.Begin("omp", "region", 0)
+		regionSpan.SetArg("threads", strconv.Itoa(n))
+		tm.tele.Counter("omp.regions").Inc()
+	}
+
 	if n > 1 {
 		tm.state.Store(int32(n - 1))
 		run := func(id int) {
@@ -335,6 +373,10 @@ func Parallel(body func(t *Thread), opts ...Option) {
 			// on tasks this thread queued but never published.
 			defer tm.sched.flush(id)
 			defer tm.recoverMember()
+			if tm.tele != nil {
+				sp := tm.tele.Begin("omp", "member", id)
+				defer sp.End()
+			}
 			body(&tm.threads[id])
 		}
 		for id := 1; id < n; id++ {
@@ -377,6 +419,14 @@ func Parallel(body func(t *Thread), opts ...Option) {
 		}
 	}
 	tm.drainTasks() // implicit taskwait at the end of the region
+
+	if tm.tele != nil {
+		// Fold the region's task counters into the process-wide collector
+		// and close the lifecycle span (after the implicit taskwait, so
+		// the span covers everything the region ran).
+		tm.sched.foldInto(tm.tele)
+		regionSpan.End()
+	}
 
 	if pv := tm.panicVal.Load(); pv != nil {
 		panic(fmt.Sprintf("omp: parallel region panicked: %v", pv.r))

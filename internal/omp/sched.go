@@ -3,6 +3,8 @@ package omp
 import (
 	"runtime"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // The work-stealing task scheduler: one taskDeque per team member plus
@@ -51,9 +53,10 @@ const taskSpinSweeps = 4
 
 type taskScheduler struct {
 	deques []taskDeque
-	size   int           // active deques this region (== team size)
-	nidle  atomic.Int32  // team members currently parked or about to park
-	wake   chan struct{} // idle-wakeup tokens; buffered to team size
+	size   int                  // active deques this region (== team size)
+	nidle  atomic.Int32         // team members currently parked or about to park
+	wake   chan struct{}        // idle-wakeup tokens; buffered to team size
+	stats  telemetry.CounterSet // the counter view TaskStats reads; see Thread.TaskStats
 }
 
 func newTaskScheduler(size int) *taskScheduler {
@@ -147,7 +150,22 @@ func (s *taskScheduler) wakeIdle() {
 func (s *taskScheduler) run(t *Thread, tk task, stolen bool) {
 	d := &s.deques[t.id]
 	d.ran++
-	if tk.fn != nil {
+	// The body dispatch is written out in both branches rather than
+	// hoisted into a helper: a helper taking the multi-word task struct
+	// by value is over the inlining budget, and the extra call + copy is
+	// measurable at the ~12 ns/task scale the scheduler operates at.
+	if col := t.team.tele; col != nil {
+		sp := col.Begin("omp", "task", t.id)
+		if stolen {
+			sp.SetArg("stolen", "true")
+		}
+		if tk.fn != nil {
+			tk.fn()
+		} else {
+			tk.exec(t)
+		}
+		sp.End()
+	} else if tk.fn != nil {
 		tk.fn()
 	} else {
 		tk.exec(t)
@@ -235,6 +253,10 @@ func (s *taskScheduler) stealOnce(t *Thread) bool {
 			continue
 		}
 		s.deques[t.id].stole++
+		if col := t.team.tele; col != nil {
+			// Instant event: thief t.id took a task from victim v.
+			col.Instant("omp", "steal", t.id, int64(v))
+		}
 		s.run(t, tk, true)
 		return true
 	}
@@ -340,18 +362,55 @@ type TaskStats struct {
 	Steals   int64 // tasks that crossed threads via the steal path
 }
 
-// TaskStats sums the team's scheduler counters. The counters are plain
-// per-thread fields, so the snapshot is only well-defined at a quiescent
-// point: call it after a Barrier (with no concurrent task activity) or
-// use the value captured by the region for after Parallel returns.
-func (t *Thread) TaskStats() TaskStats {
-	var st TaskStats
-	s := t.sched
+// Telemetry counter names for the task scheduler's aggregates.
+const (
+	ctrTasksSpawned  = "omp.tasks.spawned"
+	ctrTasksExecuted = "omp.tasks.executed"
+	ctrTasksStolen   = "omp.tasks.stolen"
+)
+
+// sumDeques folds the hot-path per-deque counters. Only well-defined at
+// a quiescent point (the fields are owner-goroutine plain writes).
+func (s *taskScheduler) sumDeques() (spawned, ran, stole int64) {
 	for i := range s.deques[:s.size] {
 		d := &s.deques[i]
-		st.Spawned += d.pushed
-		st.Executed += d.ran
-		st.Steals += d.stole
+		spawned += d.pushed
+		ran += d.ran
+		stole += d.stole
 	}
-	return st
+	return
+}
+
+// foldInto adds the region's task counter totals to a process-wide
+// collector — called by Parallel at region end when telemetry is active,
+// so `patternlet run -stats` reports task activity without any explicit
+// TaskStats call. Deque counters reset with the region, so successive
+// regions accumulate without double counting.
+func (s *taskScheduler) foldInto(col *telemetry.Collector) {
+	spawned, ran, stole := s.sumDeques()
+	col.Counter(ctrTasksSpawned).Add(spawned)
+	col.Counter(ctrTasksExecuted).Add(ran)
+	col.Counter(ctrTasksStolen).Add(stole)
+}
+
+// TaskStats snapshots the team's task counters as a view over the
+// telemetry spine: the per-deque hot-path fields are folded into the
+// scheduler's telemetry CounterSet, and the returned struct is read back
+// from those counters. The underlying fields are plain per-thread
+// writes, so the snapshot is only well-defined at a quiescent point:
+// call it after a Barrier (with no concurrent task activity) or use the
+// value captured by the region for after Parallel returns.
+func (t *Thread) TaskStats() TaskStats {
+	s := t.sched
+	spawned, ran, stole := s.sumDeques()
+	cs := &s.stats
+	cs.Counter(ctrTasksSpawned).Store(spawned)
+	cs.Counter(ctrTasksExecuted).Store(ran)
+	cs.Counter(ctrTasksStolen).Store(stole)
+	snap := cs.Snapshot()
+	return TaskStats{
+		Spawned:  snap[ctrTasksSpawned],
+		Executed: snap[ctrTasksExecuted],
+		Steals:   snap[ctrTasksStolen],
+	}
 }

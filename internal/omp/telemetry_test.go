@@ -1,0 +1,159 @@
+package omp
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// withCollector enables a fresh collector + stream for the test body and
+// disables it afterwards so other tests see the default (off) state.
+func withCollector(t *testing.T, body func(col *telemetry.Collector, stream *telemetry.Stream)) {
+	t.Helper()
+	stream := &telemetry.Stream{}
+	col := telemetry.New(telemetry.WithSink(stream))
+	telemetry.Enable(col)
+	defer telemetry.Disable()
+	body(col, stream)
+}
+
+// countEvents tallies stream events by (cat, name) and type.
+func countEvents(stream *telemetry.Stream) map[string]int {
+	out := map[string]int{}
+	for _, e := range stream.Events() {
+		kind := "span"
+		if e.Type == telemetry.EventInstant {
+			kind = "instant"
+		}
+		out[kind+":"+e.Cat+"/"+e.Name]++
+	}
+	return out
+}
+
+func TestTelemetryRegionAndMemberSpans(t *testing.T) {
+	withCollector(t, func(col *telemetry.Collector, stream *telemetry.Stream) {
+		Parallel(func(th *Thread) {
+			th.Barrier()
+		}, WithNumThreads(4))
+
+		got := countEvents(stream)
+		if got["span:omp/region"] != 1 {
+			t.Errorf("region spans = %d, want 1", got["span:omp/region"])
+		}
+		// The master is covered by the region span; workers 1..3 each get a
+		// member span.
+		if got["span:omp/member"] != 3 {
+			t.Errorf("member spans = %d, want 3", got["span:omp/member"])
+		}
+		if got["span:omp/barrier-wait"] != 4 {
+			t.Errorf("barrier-wait spans = %d, want 4", got["span:omp/barrier-wait"])
+		}
+		if n := col.Counter("omp.regions").Load(); n != 1 {
+			t.Errorf("omp.regions = %d, want 1", n)
+		}
+		// The region span is annotated with its thread count.
+		for _, e := range stream.Events() {
+			if e.Cat == "omp" && e.Name == "region" {
+				var threads string
+				for _, a := range e.Args {
+					if a.Key == "threads" {
+						threads = a.Val
+					}
+				}
+				if threads != "4" {
+					t.Errorf("region threads arg = %q, want 4", threads)
+				}
+			}
+		}
+	})
+}
+
+func TestTelemetryTaskSpansAndCounters(t *testing.T) {
+	withCollector(t, func(col *telemetry.Collector, stream *telemetry.Stream) {
+		const ntasks = 64
+		var ran atomic.Int64
+		Parallel(func(th *Thread) {
+			th.Master(func() {
+				for i := 0; i < ntasks; i++ {
+					th.Task(func() { ran.Add(1) })
+				}
+			})
+			th.Barrier()
+			th.TaskWait()
+		}, WithNumThreads(4))
+
+		if ran.Load() != ntasks {
+			t.Fatalf("ran %d tasks, want %d", ran.Load(), ntasks)
+		}
+		got := countEvents(stream)
+		if got["span:omp/task"] != ntasks {
+			t.Errorf("task spans = %d, want %d", got["span:omp/task"], ntasks)
+		}
+		// The region fold surfaces the task counters process-wide, and they
+		// agree with the spans in the stream.
+		snap := col.Counters().Snapshot()
+		if snap["omp.tasks.spawned"] != ntasks || snap["omp.tasks.executed"] != ntasks {
+			t.Errorf("spawned/executed = %d/%d, want %d each",
+				snap["omp.tasks.spawned"], snap["omp.tasks.executed"], ntasks)
+		}
+		// Steal instants in the stream match the folded steal counter.
+		if int64(got["instant:omp/steal"]) != snap["omp.tasks.stolen"] {
+			t.Errorf("steal instants = %d, omp.tasks.stolen = %d",
+				got["instant:omp/steal"], snap["omp.tasks.stolen"])
+		}
+	})
+}
+
+// TaskStats must report the same numbers whether or not a collector is
+// installed — it is a view over the scheduler's counter set either way.
+func TestTaskStatsEquivalentWithTelemetryEnabled(t *testing.T) {
+	run := func() TaskStats {
+		const ntasks = 50
+		var stats TaskStats
+		Parallel(func(th *Thread) {
+			th.Master(func() {
+				for i := 0; i < ntasks; i++ {
+					th.Task(func() {})
+				}
+			})
+			th.Barrier()
+			th.TaskWait()
+			th.Barrier()
+			th.Master(func() { stats = th.TaskStats() })
+		}, WithNumThreads(2))
+		return stats
+	}
+
+	plain := run()
+	var instrumented TaskStats
+	withCollector(t, func(*telemetry.Collector, *telemetry.Stream) {
+		instrumented = run()
+	})
+	if plain.Spawned != instrumented.Spawned || plain.Executed != instrumented.Executed {
+		t.Errorf("TaskStats diverged: plain=%+v instrumented=%+v", plain, instrumented)
+	}
+	if plain.Spawned != 50 || plain.Executed != 50 {
+		t.Errorf("TaskStats = %+v, want 50 spawned and executed", plain)
+	}
+}
+
+// With telemetry off (the default), regions must emit nothing and leave
+// no collector attached to recycled teams.
+func TestTelemetryDisabledEmitsNothing(t *testing.T) {
+	stream := &telemetry.Stream{}
+	col := telemetry.New(telemetry.WithSink(stream))
+	// Enabled region, then a disabled one reusing the pooled team.
+	telemetry.Enable(col)
+	Parallel(func(th *Thread) {}, WithNumThreads(2))
+	telemetry.Disable()
+	before := stream.Len()
+	Parallel(func(th *Thread) {
+		th.Barrier()
+		th.Master(func() { th.Task(func() {}) })
+		th.TaskWait()
+	}, WithNumThreads(2))
+	if stream.Len() != before {
+		t.Fatalf("disabled run emitted %d events", stream.Len()-before)
+	}
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export. The output is the JSON Object Format of the
+// Trace Event specification — a {"traceEvents": [...]} object — loadable
+// directly in about:tracing and Perfetto. Spans become complete ("X")
+// events, instants become instant ("i") events, and the final counter
+// snapshot is appended as counter ("C") events so the counter tracks
+// render alongside the timeline.
+//
+// The exporter is deterministic: events are written in stream order,
+// struct field order fixes the key order, and encoding/json sorts the
+// args map — with a ManualClock feeding the timestamps the byte output
+// is exactly reproducible, which is what the golden test pins.
+
+// chromeEvent is one element of the traceEvents array.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the JSON Object Format container.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// usec converts collector nanoseconds to trace-viewer microseconds.
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteChromeTrace writes events (and, if non-nil, a final counter
+// snapshot) as Chrome trace-event JSON. Counter events are stamped with
+// the largest timestamp in the stream so they close the counter tracks.
+func WriteChromeTrace(w io.Writer, events []Event, counters map[string]int64) error {
+	file := chromeFile{TraceEvents: make([]chromeEvent, 0, len(events)+len(counters)), DisplayTimeUnit: "ms"}
+	var last int64
+	for _, e := range events {
+		if end := e.Ts + e.Dur; end > last {
+			last = end
+		}
+		ce := chromeEvent{
+			Name: e.Name,
+			Cat:  e.Cat,
+			Ts:   usec(e.Ts),
+			Tid:  e.Task,
+		}
+		if len(e.Args) > 0 || e.Value != 0 {
+			ce.Args = map[string]any{}
+			for _, a := range e.Args {
+				ce.Args[a.Key] = a.Val
+			}
+			if e.Value != 0 {
+				ce.Args["value"] = e.Value
+			}
+		}
+		switch e.Type {
+		case EventSpan:
+			ce.Ph = "X"
+			d := usec(e.Dur)
+			ce.Dur = &d
+		case EventInstant:
+			ce.Ph = "i"
+			ce.S = "t" // thread-scoped instant
+		default:
+			return fmt.Errorf("telemetry: unknown event type %d", e.Type)
+		}
+		file.TraceEvents = append(file.TraceEvents, ce)
+	}
+	if len(counters) > 0 {
+		names := make([]string, 0, len(counters))
+		for name := range counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			file.TraceEvents = append(file.TraceEvents, chromeEvent{
+				Name: name,
+				Cat:  "counter",
+				Ph:   "C",
+				Ts:   usec(last),
+				Args: map[string]any{"value": counters[name]},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(file)
+}

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+// The golden test: a fixed event sequence on a ManualClock must export
+// byte-identically. Regenerate with:
+//
+//	UPDATE_GOLDEN=1 go test ./internal/telemetry -run TestChromeTraceGolden
+var update = os.Getenv("UPDATE_GOLDEN") != ""
+
+func goldenEvents() []Event {
+	clock := vtime.NewManualClock(1000, 500)
+	stream := &Stream{}
+	col := New(WithSink(stream), WithClock(clock))
+	region := col.Begin("omp", "region", 0) // ts 1000
+	region.SetArg("threads", "2")
+	sp := col.Begin("mpi", "bcast", 1) // ts 1500
+	sp.SetArg("algo", "binomial")
+	sp.SetValue(7)
+	sp.End()                             // ts 2000 -> dur 500
+	col.Instant("trace", "before", 1, 3) // ts 2500
+	col.Instant("omp", "steal", 0, 1)    // ts 3000
+	region.End()                         // ts 3500 -> dur 2500
+	return stream.Events()
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	counters := map[string]int64{
+		"omp.regions":     1,
+		"mpi.collectives": 1,
+	}
+	if err := WriteChromeTrace(&buf, goldenEvents(), counters); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace.golden.json")
+	if update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Chrome trace drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// Independent of the golden bytes, the export must be structurally valid
+// trace-event JSON: every span an "X" with dur, every instant an "i"
+// with thread scope, counters closing the tracks as "C" events.
+func TestChromeTraceStructure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, goldenEvents(), map[string]int64{"c": 9}); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  *float64       `json:"dur"`
+			Tid  int            `json:"tid"`
+			S    string         `json:"s"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	// 2 spans + 2 instants + 1 counter.
+	if len(file.TraceEvents) != 5 {
+		t.Fatalf("got %d events", len(file.TraceEvents))
+	}
+	for _, e := range file.TraceEvents {
+		switch e.Ph {
+		case "X":
+			if e.Dur == nil {
+				t.Errorf("span %q missing dur", e.Name)
+			}
+		case "i":
+			if e.S != "t" {
+				t.Errorf("instant %q scope = %q, want t", e.Name, e.S)
+			}
+		case "C":
+			if e.Args["value"] == nil {
+				t.Errorf("counter %q missing value", e.Name)
+			}
+		default:
+			t.Errorf("unexpected phase %q", e.Ph)
+		}
+	}
+	// The bcast span carries its algorithm tag and numeric payload.
+	var sawAlgo bool
+	for _, e := range file.TraceEvents {
+		if e.Name == "bcast" {
+			if e.Args["algo"] != "binomial" || e.Args["value"] != float64(7) {
+				t.Errorf("bcast args = %v", e.Args)
+			}
+			sawAlgo = true
+		}
+	}
+	if !sawAlgo {
+		t.Error("bcast span missing from export")
+	}
+}

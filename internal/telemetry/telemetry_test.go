@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+func TestCounterSetGetOrCreate(t *testing.T) {
+	var cs CounterSet
+	a := cs.Counter("a")
+	a.Add(3)
+	a.Inc()
+	if got := cs.Counter("a"); got != a {
+		t.Fatal("Counter(a) returned a different pointer on second lookup")
+	}
+	cs.Add("b", 5)
+	snap := cs.Snapshot()
+	if snap["a"] != 4 || snap["b"] != 5 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	// Snapshot is a copy: mutating it must not touch the live counters.
+	snap["a"] = 99
+	if cs.Counter("a").Load() != 4 {
+		t.Fatal("snapshot aliases the live counter set")
+	}
+}
+
+func TestCounterStore(t *testing.T) {
+	var cs CounterSet
+	cs.Counter("x").Store(7)
+	cs.Counter("x").Store(11)
+	if got := cs.Counter("x").Load(); got != 11 {
+		t.Fatalf("Load = %d, want 11", got)
+	}
+}
+
+// Concurrent counter writers and span/instant emitters, meant to run
+// under -race: the counter set, the collector fan-out, and the stream
+// must all be safe for unsynchronized concurrent use.
+func TestConcurrentWritersStress(t *testing.T) {
+	const (
+		workers = 8
+		iters   = 500
+	)
+	stream := &Stream{}
+	col := New(WithSink(stream))
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(id int) {
+			defer wg.Done()
+			ctr := col.Counter("shared")
+			for i := 0; i < iters; i++ {
+				ctr.Inc()
+				col.Counter("also-shared").Add(2)
+				sp := col.Begin("stress", "work", id)
+				sp.SetArg("k", "v")
+				sp.SetValue(int64(i))
+				sp.End()
+				col.Instant("stress", "tick", id, int64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := col.Counters().Snapshot()
+	if snap["shared"] != workers*iters {
+		t.Errorf("shared = %d, want %d", snap["shared"], workers*iters)
+	}
+	if snap["also-shared"] != 2*workers*iters {
+		t.Errorf("also-shared = %d, want %d", snap["also-shared"], 2*workers*iters)
+	}
+	if got := stream.Len(); got != 2*workers*iters {
+		t.Errorf("stream has %d events, want %d", got, 2*workers*iters)
+	}
+	var spans, instants int
+	for _, e := range stream.Events() {
+		switch e.Type {
+		case EventSpan:
+			spans++
+		case EventInstant:
+			instants++
+		}
+	}
+	if spans != workers*iters || instants != workers*iters {
+		t.Errorf("spans/instants = %d/%d, want %d each", spans, instants, workers*iters)
+	}
+}
+
+func TestSpanDurationsWithManualClock(t *testing.T) {
+	stream := &Stream{}
+	col := New(WithSink(stream), WithClock(vtime.NewManualClock(100, 10)))
+	sp := col.Begin("cat", "name", 3) // reads 100
+	sp.End()                          // reads 110
+	col.Instant("cat", "pt", 1, 42)   // reads 120 (Instant) + nothing (Ts set)
+	events := stream.Events()
+	if len(events) != 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0].Ts != 100 || events[0].Dur != 10 {
+		t.Errorf("span Ts/Dur = %d/%d, want 100/10", events[0].Ts, events[0].Dur)
+	}
+	if events[1].Type != EventInstant || events[1].Value != 42 {
+		t.Errorf("instant = %+v", events[1])
+	}
+}
+
+func TestZeroSpanIsNoOp(t *testing.T) {
+	var sp Span
+	sp.SetArg("k", "v") // must not allocate args on a disabled span
+	sp.SetValue(1)
+	sp.End() // must not panic
+	if sp.ev.Args != nil {
+		t.Fatal("zero Span accumulated args")
+	}
+}
+
+func TestEnableDisableActive(t *testing.T) {
+	if Active() != nil {
+		t.Fatal("telemetry active at test start")
+	}
+	col := New()
+	Enable(col)
+	if Active() != col {
+		t.Fatal("Active() != enabled collector")
+	}
+	Disable()
+	if Active() != nil {
+		t.Fatal("Disable did not clear the active collector")
+	}
+}
+
+func TestStreamReset(t *testing.T) {
+	s := &Stream{}
+	s.Event(Event{Name: "a"})
+	s.Reset()
+	if s.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", s.Len())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []Event{
+		{Type: EventSpan, Cat: "omp", Name: "region", Dur: 30},
+		{Type: EventSpan, Cat: "omp", Name: "region", Dur: 10},
+		{Type: EventInstant, Cat: "omp", Name: "steal"},
+	}
+	out := Summarize(events, map[string]int64{"omp.regions": 2, "a.first": 1})
+	for _, want := range []string{
+		"counters:", "omp.regions", "spans:", "omp/region", "instants: 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// Counters render sorted by name.
+	if strings.Index(out, "a.first") > strings.Index(out, "omp.regions") {
+		t.Errorf("counters not sorted:\n%s", out)
+	}
+	// The region line aggregates count=2, total=40, min=10, max=30.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "omp/region") {
+			for _, f := range []string{"2", "40", "10", "30"} {
+				if !strings.Contains(line, f) {
+					t.Errorf("region line missing %s: %q", f, line)
+				}
+			}
+		}
+	}
+	if got := Summarize(nil, nil); got != "(no telemetry recorded)\n" {
+		t.Errorf("empty summary = %q", got)
+	}
+}

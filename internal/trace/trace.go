@@ -7,6 +7,14 @@
 // ordering invariants (for example: with a barrier enabled, every thread's
 // "BEFORE" event precedes every thread's "AFTER" event) instead of relying
 // on fragile golden text for inherently nondeterministic interleavings.
+//
+// A Recorder is an *ordering view* over the telemetry spine
+// (internal/telemetry): Record emits an instant event in the "trace"
+// category into a telemetry event Stream, and every query below reads the
+// stream back, ignoring events from other categories. A standalone zero
+// Recorder owns a private stream; Attach builds a Recorder over a shared
+// Collector so patternlet phase events and runtime spans (omp regions,
+// mpi collectives) land in one stream and export into one Chrome trace.
 package trace
 
 import (
@@ -14,11 +22,17 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/telemetry"
 )
+
+// Category is the telemetry event category Recorder emits under and
+// filters on when reading the stream back.
+const Category = "trace"
 
 // Event is a single recorded occurrence in a parallel execution.
 type Event struct {
-	Seq   int    // global arrival order, starting at 0
+	Seq   int    // arrival order among trace events, starting at 0
 	Task  int    // task (thread or process) id
 	Phase string // free-form phase label, e.g. "before-barrier"
 	Value int    // optional payload, e.g. a loop index
@@ -30,43 +44,62 @@ func (e Event) String() string {
 }
 
 // Recorder collects events from concurrently executing tasks. The zero
-// value is ready to use.
+// value is ready to use and owns a private event stream.
 type Recorder struct {
 	mu     sync.Mutex
-	events []Event
+	col    *telemetry.Collector
+	stream *telemetry.Stream
 }
 
-// Record appends an event with the given task, phase and value, assigning
-// it the next global sequence number. The sequence order is the order in
-// which Record calls acquired the recorder's lock, i.e. a linearization of
-// the observed execution.
+// Attach builds a Recorder that emits through col into stream. stream
+// must be one of col's sinks; the Recorder reads its trace events back
+// from it (events of other categories are ignored by the queries, so the
+// stream may also carry runtime spans).
+func Attach(col *telemetry.Collector, stream *telemetry.Stream) *Recorder {
+	return &Recorder{col: col, stream: stream}
+}
+
+// backing returns the recorder's collector and stream, creating a
+// private pair on first use of a zero Recorder.
+func (r *Recorder) backing() (*telemetry.Collector, *telemetry.Stream) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.stream == nil {
+		r.stream = &telemetry.Stream{}
+		r.col = telemetry.New(telemetry.WithSink(r.stream))
+	}
+	return r.col, r.stream
+}
+
+// Record appends an event with the given task, phase and value. The
+// sequence order is the order in which events reached the stream's lock,
+// i.e. a linearization of the observed execution.
 func (r *Recorder) Record(task int, phase string, value int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.events = append(r.events, Event{Seq: len(r.events), Task: task, Phase: phase, Value: value})
+	col, _ := r.backing()
+	col.Instant(Category, phase, task, int64(value))
 }
 
-// Events returns a copy of all recorded events in sequence order.
+// Events returns a copy of all recorded trace events in sequence order.
 func (r *Recorder) Events() []Event {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make([]Event, len(r.events))
-	copy(out, r.events)
+	_, stream := r.backing()
+	var out []Event
+	for _, e := range stream.Events() {
+		if e.Type != telemetry.EventInstant || e.Cat != Category {
+			continue
+		}
+		out = append(out, Event{Seq: len(out), Task: e.Task, Phase: e.Name, Value: int(e.Value)})
+	}
 	return out
 }
 
-// Len returns the number of recorded events.
-func (r *Recorder) Len() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return len(r.events)
-}
+// Len returns the number of recorded trace events.
+func (r *Recorder) Len() int { return len(r.Events()) }
 
-// Reset discards all recorded events.
+// Reset discards all recorded events — including, for an attached
+// Recorder, any runtime events sharing the stream.
 func (r *Recorder) Reset() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.events = nil
+	_, stream := r.backing()
+	stream.Reset()
 }
 
 // ByPhase returns the events whose phase equals phase, in sequence order.
@@ -150,7 +183,7 @@ func (r *Recorder) ValuesByTask(phase string) map[int][]int {
 // Timeline renders an ASCII timeline: one row per task, one column per
 // sequence slot, showing the first letter of the phase at the slot where
 // the task recorded it. It is the textual analogue of the figures in the
-// paper and is printed by the `patternlet` CLI in verbose mode.
+// paper and is printed by the `patternlet` CLI in timeline mode.
 func (r *Recorder) Timeline() string {
 	events := r.Events()
 	tasks := r.Tasks()

@@ -1,0 +1,51 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// An attached Recorder shares a stream with runtime telemetry: trace
+// queries see only the "trace" category, sequence numbers stay dense,
+// and the foreign events remain in the stream for export.
+func TestAttachedRecorderIgnoresForeignCategories(t *testing.T) {
+	stream := &telemetry.Stream{}
+	col := telemetry.New(telemetry.WithSink(stream))
+	r := Attach(col, stream)
+
+	r.Record(0, "before", 1)
+	sp := col.Begin("omp", "region", 0) // runtime span interleaved
+	sp.End()
+	col.Instant("omp", "steal", 1, 0) // runtime instant interleaved
+	r.Record(1, "after", 2)
+
+	events := r.Events()
+	if len(events) != 2 {
+		t.Fatalf("trace view has %d events, want 2 (runtime events filtered)", len(events))
+	}
+	if events[0].Phase != "before" || events[1].Phase != "after" {
+		t.Fatalf("phases = %q, %q", events[0].Phase, events[1].Phase)
+	}
+	// Seq is dense over trace events even though the stream interleaves
+	// runtime events between them.
+	if events[0].Seq != 0 || events[1].Seq != 1 {
+		t.Fatalf("seqs = %d, %d, want 0, 1", events[0].Seq, events[1].Seq)
+	}
+	if !r.PhaseOrdered("before", "after") {
+		t.Fatal("PhaseOrdered broken on attached recorder")
+	}
+	// The stream itself still carries all four events, in arrival order.
+	if stream.Len() != 4 {
+		t.Fatalf("stream has %d events, want 4", stream.Len())
+	}
+}
+
+// The zero Recorder keeps working standalone, owning a private stream.
+func TestZeroRecorderOwnsPrivateStream(t *testing.T) {
+	var a, b Recorder
+	a.Record(0, "x", 0)
+	if a.Len() != 1 || b.Len() != 0 {
+		t.Fatalf("a/b lens = %d/%d, want 1/0", a.Len(), b.Len())
+	}
+}

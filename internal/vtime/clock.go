@@ -1,0 +1,64 @@
+package vtime
+
+import (
+	"sync"
+	"time"
+)
+
+// Clocks. The simulator above deals in abstract work units; the telemetry
+// spine (internal/telemetry) deals in nanoseconds but must not bake in a
+// wall-clock dependency — span durations asserted by tests would then
+// flake with scheduler jitter. Both needs meet here: a Clock is any
+// monotonic nanosecond source, the real one for production runs and a
+// deterministic manual one for tests and golden files.
+
+// Clock is a monotonic nanosecond time source.
+type Clock interface {
+	// Now returns nanoseconds since an arbitrary fixed origin. Successive
+	// calls never go backwards.
+	Now() int64
+}
+
+// WallClock reads the process's monotonic clock (time.Since an epoch
+// captured at init), the default time source for telemetry.
+type WallClock struct{}
+
+// Now implements Clock.
+func (WallClock) Now() int64 { return int64(time.Since(wallEpoch)) }
+
+var wallEpoch = time.Now()
+
+// ManualClock is a deterministic Clock for tests: every Now returns the
+// current reading and then advances it by a fixed step, so a sequence of
+// timestamps — and every span duration derived from them — is exactly
+// reproducible. It is safe for concurrent use; concurrent readers obtain
+// distinct, strictly increasing readings.
+type ManualClock struct {
+	mu   sync.Mutex
+	now  int64
+	step int64
+}
+
+// NewManualClock returns a ManualClock starting at start whose reading
+// advances by step on every Now call. A zero step freezes the clock
+// (every reading identical) until Advance is called.
+func NewManualClock(start, step int64) *ManualClock {
+	return &ManualClock{now: start, step: step}
+}
+
+// Now implements Clock: return the current reading, then step forward.
+func (m *ManualClock) Now() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.now
+	m.now += m.step
+	return t
+}
+
+// Advance moves the clock forward by d nanoseconds without consuming a
+// reading.
+func (m *ManualClock) Advance(d int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.now += d
+}

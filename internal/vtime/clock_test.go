@@ -1,0 +1,70 @@
+package vtime
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestWallClockMonotonic(t *testing.T) {
+	var c WallClock
+	a := c.Now()
+	b := c.Now()
+	if b < a {
+		t.Fatalf("wall clock went backwards: %d then %d", a, b)
+	}
+}
+
+func TestManualClockStepsDeterministically(t *testing.T) {
+	c := NewManualClock(100, 10)
+	for i, want := range []int64{100, 110, 120} {
+		if got := c.Now(); got != want {
+			t.Fatalf("reading %d = %d, want %d", i, got, want)
+		}
+	}
+	c.Advance(970)
+	if got := c.Now(); got != 1100 {
+		t.Fatalf("after Advance: %d, want 1100", got)
+	}
+}
+
+func TestManualClockZeroStepFreezes(t *testing.T) {
+	c := NewManualClock(5, 0)
+	if c.Now() != 5 || c.Now() != 5 {
+		t.Fatal("zero-step clock advanced")
+	}
+}
+
+// Concurrent readers obtain distinct, strictly increasing readings — the
+// property a shared telemetry collector relies on under -race.
+func TestManualClockConcurrentReadersDistinct(t *testing.T) {
+	const (
+		readers = 8
+		each    = 200
+	)
+	c := NewManualClock(0, 1)
+	var mu sync.Mutex
+	seen := make(map[int64]bool, readers*each)
+	var wg sync.WaitGroup
+	wg.Add(readers)
+	for r := 0; r < readers; r++ {
+		go func() {
+			defer wg.Done()
+			local := make([]int64, 0, each)
+			for i := 0; i < each; i++ {
+				local = append(local, c.Now())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, v := range local {
+				if seen[v] {
+					t.Errorf("duplicate reading %d", v)
+				}
+				seen[v] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != readers*each {
+		t.Fatalf("got %d distinct readings, want %d", len(seen), readers*each)
+	}
+}
