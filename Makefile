@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json figures study lab examples catalog clean
+.PHONY: all build vet test race serve serve-smoke bench bench-json figures study lab examples catalog clean
 
 all: build vet test
 
@@ -20,10 +20,19 @@ vet:
 # extra.
 test: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/omp/... ./internal/mpi/... ./internal/cluster/... ./internal/psort/... ./internal/telemetry/... ./internal/trace/...
+	$(GO) test -race ./internal/omp/... ./internal/mpi/... ./internal/cluster/... ./internal/psort/... ./internal/telemetry/... ./internal/trace/... ./internal/serve/...
 
 race:
 	$(GO) test -race ./internal/... ./patternlets
+
+# Run the patternlet HTTP service with classroom defaults.
+serve:
+	$(GO) run ./cmd/patternletd
+
+# End-to-end smoke of patternletd: boot on an ephemeral port, run one
+# OpenMP and one MPI patternlet over HTTP, check /healthz and /metrics.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -319,7 +319,7 @@ func BenchmarkMPICollectives(b *testing.B) {
 
 // benchWorld runs b.N iterations of op inside one world, amortizing the
 // world setup.
-func benchWorld(b *testing.B, np int, op func(*mpi.Comm) error, opts ...mpi.RunOption) {
+func benchWorld(b *testing.B, np int, op func(*mpi.Comm) error, opts ...mpi.Option) {
 	b.Helper()
 	err := mpi.Run(np, func(c *mpi.Comm) error {
 		for i := 0; i < b.N; i++ {
@@ -344,7 +344,7 @@ func BenchmarkCollectiveAlgorithms(b *testing.B) {
 	for i := range payload {
 		payload[i] = i
 	}
-	force := func(coll, algo string) mpi.RunOption {
+	force := func(coll, algo string) mpi.Option {
 		return mpi.WithCollectiveAlgorithm(coll, algo)
 	}
 	for _, np := range []int{4, 8, 16} {

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,9 +26,8 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/mpi"
-	"repro/internal/omp"
-	"repro/internal/telemetry"
+	"repro/internal/collection"
+	"repro/internal/core"
 )
 
 // tier1Bench is the default benchmark set: the shared-memory runtime and
@@ -179,37 +179,24 @@ func run(bench, benchtime string, count int, label string) (*File, error) {
 	return f, nil
 }
 
-// telemetryProbe runs a small fixed workload — an omp task fan-out and an
-// mpi broadcast — with the telemetry spine enabled, and returns the
-// counter snapshot. The workload is deterministic in its counted work
-// (64 tasks spawned and executed, 4 collectives, 3 transport sends), so
-// the snapshot doubles as a sanity check that instrumentation still
-// counts across BENCH recordings; only the steal split varies with
-// scheduling.
+// telemetryProbe runs a small fixed workload — the task fan-out and the
+// broadcast patternlets, through the same Registry.Run path every front
+// end uses — with the telemetry spine enabled (RunOptions.Collect), and
+// returns the merged counter snapshots. The probe doubles as a sanity
+// check that instrumentation still counts across BENCH recordings; only
+// the steal split varies with scheduling.
 func telemetryProbe() (map[string]int64, error) {
-	col := telemetry.New()
-	telemetry.Enable(col)
-	defer telemetry.Disable()
-
-	const ntasks = 64
-	omp.Parallel(func(th *omp.Thread) {
-		th.Master(func() {
-			for i := 0; i < ntasks; i++ {
-				th.Task(func() {})
-			}
-		})
-		th.Barrier()
-		th.TaskWait()
-	}, omp.WithNumThreads(4))
-
-	err := mpi.Run(4, func(c *mpi.Comm) error {
-		_, err := mpi.Bcast(c, 42, 0)
-		return err
-	})
-	if err != nil {
-		return nil, err
+	merged := map[string]int64{}
+	for _, key := range []string{"task.omp", "broadcast.mpi"} {
+		res, err := collection.Default.Run(context.Background(), key, core.RunOptions{Collect: true})
+		if err != nil {
+			return nil, fmt.Errorf("probe %s: %w", key, err)
+		}
+		for k, v := range res.Counters {
+			merged[k] += v
+		}
 	}
-	return col.Counters().Snapshot(), nil
+	return merged, nil
 }
 
 // parse reads standard `go test -bench` output. Each result line is

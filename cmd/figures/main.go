@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -83,10 +84,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 // runPatternlet regenerates a figure that is a patternlet's output.
 func runPatternlet(key string, np int, toggles map[string]bool) func(io.Writer) error {
 	return func(w io.Writer) error {
-		return collection.Default.Run(key, core.NewSafeWriter(w), core.RunOptions{
+		_, err := collection.Default.Run(context.Background(), key, core.RunOptions{
 			NumTasks: np,
 			Toggles:  toggles,
+			Stream:   w,
 		})
+		return err
 	}
 }
 

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -97,11 +98,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	err := core.RunPatternlet(p, core.NewSafeWriter(stdout), core.RunOptions{
+	_, err := collection.Default.Run(context.Background(), p.Key(), core.RunOptions{
 		NumTasks: opts.np,
 		Toggles:  opts.toggles,
 		UseTCP:   opts.useTCP,
 		Nodes:    opts.nodes,
+		Stream:   stdout,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "mpirun: %v\n", err)
@@ -127,11 +129,12 @@ func workerMain(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	defer tr.Close()
-	err = core.RunPatternlet(p, core.NewSafeWriter(stdout), core.RunOptions{
+	_, err = collection.Default.Run(context.Background(), p.Key(), core.RunOptions{
 		NumTasks: np,
 		Toggles:  opts.toggles,
 		Nodes:    opts.nodes,
 		Remote:   &core.RemoteExec{Rank: rank, NP: np, Transport: tr},
+		Stream:   stdout,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "mpirun (worker rank %d): %v\n", rank, err)

@@ -8,7 +8,7 @@
 //
 //	patternlet list [-model MPI|OpenMP|Pthreads|MPI+OpenMP] [-pattern NAME]
 //	patternlet run KEY [-np N] [-on d1,d2] [-off d1,d2] [-tcp] [-nodes N]
-//	                   [-timeline] [-stats] [-trace FILE]
+//	                   [-timeout D] [-timeline] [-stats] [-trace FILE]
 //	patternlet exercise KEY
 //	patternlet patterns
 //
@@ -23,6 +23,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -69,7 +70,7 @@ func usage(w io.Writer) {
 commands:
   list      [-model M] [-pattern P]   list the collection
   run KEY   [-np N] [-on ...] [-off ...] [-tcp] [-nodes N]
-            [-timeline] [-stats] [-trace FILE]
+            [-timeout D] [-timeline] [-stats] [-trace FILE]
   exercise KEY                        show the student exercise
   patterns                            show the pattern taxonomy
   doc                                 emit the catalog as markdown
@@ -125,16 +126,12 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	off := fs.String("off", "", "comma-separated directives to disable")
 	useTCP := fs.Bool("tcp", false, "run MPI patternlets over loopback TCP")
 	nodes := fs.Int("nodes", 0, "simulated cluster node count (0 = one per process)")
+	timeout := fs.Duration("timeout", 0, "cancel the run after this long (0 = no limit)")
 	timeline := fs.Bool("timeline", false, "print the execution timeline after the run")
 	stats := fs.Bool("stats", false, "print the telemetry summary after the run")
 	traceFile := fs.String("trace", "", "write a Chrome trace-event JSON file to this path")
 	if err := fs.Parse(args[1:]); err != nil {
 		return 2
-	}
-	p, ok := collection.Default.Get(key)
-	if !ok {
-		fmt.Fprintf(stderr, "patternlet: no patternlet %q (try `patternlet list`)\n", key)
-		return 1
 	}
 
 	toggles := map[string]bool{}
@@ -144,42 +141,39 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	for _, name := range splitList(*off) {
 		toggles[name] = false
 	}
-	// Any observability flag turns the telemetry spine on for the run: one
-	// collector, one event stream, shared by the runtimes (omp regions,
-	// mpi collectives) and the patternlet's own phase events, which the
-	// trace.Recorder view records into the same stream.
-	var rec *trace.Recorder
-	var stream *telemetry.Stream
-	var col *telemetry.Collector
-	if *timeline || *stats || *traceFile != "" {
-		stream = &telemetry.Stream{}
-		col = telemetry.New(telemetry.WithSink(stream))
-		telemetry.Enable(col)
-		defer telemetry.Disable()
-		rec = trace.Attach(col, stream)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
-	opts := core.RunOptions{
+	// Any observability flag turns the telemetry spine on for the run
+	// (RunOptions.Collect): the Result carries back the runtimes' spans,
+	// the patternlet's own phase events, and the final counter snapshot.
+	collect := *timeline || *stats || *traceFile != ""
+	fmt.Fprintln(stdout)
+	res, err := collection.Default.Run(ctx, key, core.RunOptions{
 		NumTasks: *np,
 		Toggles:  toggles,
-		Trace:    rec,
 		UseTCP:   *useTCP,
 		Nodes:    *nodes,
-	}
-	fmt.Fprintln(stdout)
-	if err := core.RunPatternlet(p, core.NewSafeWriter(stdout), opts); err != nil {
+		Stream:   stdout, // print live; res.Output keeps the capture
+		Collect:  collect,
+	})
+	if err != nil {
 		fmt.Fprintf(stderr, "patternlet: %v\n", err)
 		return 1
 	}
 	fmt.Fprintln(stdout)
 	if *timeline {
 		fmt.Fprintln(stdout, "execution timeline (rows: tasks, columns: global event order):")
-		fmt.Fprint(stdout, rec.Timeline())
+		fmt.Fprint(stdout, trace.FromEvents(res.Phases).Timeline())
 	}
 	if *stats {
-		fmt.Fprint(stdout, telemetry.Summarize(stream.Events(), col.Counters().Snapshot()))
+		fmt.Fprint(stdout, telemetry.Summarize(res.Events, res.Counters))
 	}
 	if *traceFile != "" {
-		if err := writeTrace(*traceFile, stream, col); err != nil {
+		if err := writeTrace(*traceFile, res); err != nil {
 			fmt.Fprintf(stderr, "patternlet: %v\n", err)
 			return 1
 		}
@@ -190,12 +184,12 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 
 // writeTrace exports the run's event stream and final counter snapshot
 // as a Chrome trace-event JSON file.
-func writeTrace(path string, stream *telemetry.Stream, col *telemetry.Collector) error {
+func writeTrace(path string, res core.Result) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := telemetry.WriteChromeTrace(f, stream.Events(), col.Counters().Snapshot()); err != nil {
+	if err := telemetry.WriteChromeTrace(f, res.Events, res.Counters); err != nil {
 		f.Close()
 		return err
 	}

@@ -1,0 +1,94 @@
+// Command patternletd serves the patternlet collection over HTTP: a
+// classroom-sized execution service where students POST a patternlet key
+// (plus tasks, toggles, and an optional timeout) and get back the run's
+// output, phase trace, and counters as JSON.
+//
+//	patternletd -addr :8080 -workers 4 -queue 32
+//
+// Endpoints:
+//
+//	POST /run          {"key":"spmd.omp","tasks":4,"toggles":{"parallel":true}}
+//	GET  /patternlets  catalog listing
+//	GET  /healthz      liveness + admission stats
+//	GET  /metrics      text counter summary
+//	GET  /metrics.json counter snapshot
+//	GET  /trace/{id}   Chrome trace retained from a "trace":true run
+//
+// The service executes through the same Registry.Run entry point as the
+// patternlet CLI; admission control (bounded queue, worker pool,
+// per-request timeouts, graceful drain) lives in internal/serve.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/collection"
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	workers := flag.Int("workers", serve.DefaultWorkers, "worker pool size (max concurrent runs)")
+	queue := flag.Int("queue", serve.DefaultQueueDepth, "admission queue depth beyond the running jobs")
+	timeout := flag.Duration("timeout", serve.DefaultRequestTimeout, "default per-request execution timeout")
+	maxTimeout := flag.Duration("max-timeout", serve.DefaultMaxTimeout, "cap on the timeout a request may ask for")
+	drainWait := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight runs")
+	flag.Parse()
+
+	srv := serve.New(collection.Default,
+		serve.WithWorkers(*workers),
+		serve.WithQueueDepth(*queue),
+		serve.WithTimeout(*timeout),
+		serve.WithMaxTimeout(*maxTimeout),
+	)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("patternletd: listen %s: %v", *addr, err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		// Written after the listener is live so smoke scripts can poll
+		// for the file and connect immediately.
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatalf("patternletd: write -addr-file: %v", err)
+		}
+	}
+	log.Printf("patternletd: serving %d patternlets on http://%s (workers=%d queue=%d)",
+		collection.Default.Len(), bound, *workers, *queue)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		log.Printf("patternletd: %v — draining", sig)
+	case err := <-errCh:
+		log.Fatalf("patternletd: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	// Stop admitting first (new POSTs bounce with 503), then let the
+	// already-accepted jobs finish, then close the HTTP listener.
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("patternletd: %v", err)
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		log.Printf("patternletd: http shutdown: %v", err)
+	}
+	fmt.Fprintln(os.Stderr, "patternletd: drained")
+}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -51,11 +52,12 @@ func main() {
 	// 4. The teaching collection: run a patternlet by key, with a
 	// directive toggled on — the classroom "uncomment the pragma" move.
 	fmt.Println("\n— patternlet registry: barrier.omp with the barrier enabled —")
-	err = collection.Default.Run("barrier.omp", core.NewSafeWriter(os.Stdout), core.RunOptions{
+	res, err := collection.Default.Run(context.Background(), "barrier.omp", core.RunOptions{
 		NumTasks: 4,
 		Toggles:  map[string]bool{"barrier": true},
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	os.Stdout.WriteString(res.Output)
 }

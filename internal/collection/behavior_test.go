@@ -437,7 +437,7 @@ func TestAllMPIPatternletsRunOverTCP(t *testing.T) {
 	for _, p := range Default.ByModel(core.MPI) {
 		p := p
 		t.Run(p.Key(), func(t *testing.T) {
-			out, err := Default.Capture(p.Key(), core.RunOptions{UseTCP: true})
+			out, err := captureOut(p.Key(), core.RunOptions{UseTCP: true})
 			if err != nil {
 				t.Fatalf("over TCP: %v", err)
 			}
@@ -450,7 +450,7 @@ func TestAllMPIPatternletsRunOverTCP(t *testing.T) {
 
 func TestHybridPatternletsRunOverTCP(t *testing.T) {
 	for _, p := range Default.ByModel(core.Hybrid) {
-		if _, err := Default.Capture(p.Key(), core.RunOptions{UseTCP: true}); err != nil {
+		if _, err := captureOut(p.Key(), core.RunOptions{UseTCP: true}); err != nil {
 			t.Fatalf("%s over TCP: %v", p.Key(), err)
 		}
 	}

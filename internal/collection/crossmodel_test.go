@@ -7,6 +7,7 @@ package collection
 // address spaces.
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"strings"
@@ -113,6 +114,9 @@ func TestAllMPIPatternletsRunInDisjointWorlds(t *testing.T) {
 				addrs[i] = ln.Addr().String()
 			}
 			var buf strings.Builder
+			// Each rank's run keeps its own capture; the shared SafeWriter
+			// tee merges the live output, as mpirun's per-process stdout
+			// interleaving would.
 			w := core.NewSafeWriter(&buf)
 			var wg sync.WaitGroup
 			errs := make([]error, np)
@@ -125,9 +129,10 @@ func TestAllMPIPatternletsRunInDisjointWorlds(t *testing.T) {
 				wg.Add(1)
 				go func(rank int, tr *cluster.RemoteTransport) {
 					defer wg.Done()
-					errs[rank] = core.RunPatternlet(p, w, core.RunOptions{
+					_, errs[rank] = Default.Run(context.Background(), p.Key(), core.RunOptions{
 						NumTasks: np,
 						Remote:   &core.RemoteExec{Rank: rank, NP: np, Transport: tr},
+						Stream:   w,
 					})
 				}(rank, tr)
 			}

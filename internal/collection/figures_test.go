@@ -7,6 +7,7 @@ package collection
 // trace recorder (see DESIGN.md §4).
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -19,22 +20,30 @@ import (
 // capture runs a patternlet and returns its trimmed output lines.
 func capture(t *testing.T, key string, np int, toggles map[string]bool) []string {
 	t.Helper()
-	out, err := Default.Capture(key, core.RunOptions{NumTasks: np, Toggles: toggles})
+	res, err := Default.Run(context.Background(), key, core.RunOptions{NumTasks: np, Toggles: toggles})
 	if err != nil {
 		t.Fatalf("%s: %v", key, err)
 	}
-	return core.Lines(out)
+	return core.Lines(res.Output)
 }
 
 // captureTraced additionally records trace events.
 func captureTraced(t *testing.T, key string, np int, toggles map[string]bool) ([]string, *trace.Recorder) {
 	t.Helper()
 	rec := &trace.Recorder{}
-	out, err := Default.Capture(key, core.RunOptions{NumTasks: np, Toggles: toggles, Trace: rec})
+	res, err := Default.Run(context.Background(), key, core.RunOptions{NumTasks: np, Toggles: toggles, Trace: rec})
 	if err != nil {
 		t.Fatalf("%s: %v", key, err)
 	}
-	return core.Lines(out), rec
+	return core.Lines(res.Output), rec
+}
+
+// captureOut is the (output, error) form the smoke, behavior and
+// scalability tests use — the old Registry.Capture shape on the new
+// single Run entry point.
+func captureOut(key string, opts core.RunOptions) (string, error) {
+	res, err := Default.Run(context.Background(), key, opts)
+	return res.Output, err
 }
 
 func sortedCopy(lines []string) []string {

@@ -37,7 +37,7 @@ func spmdHybrid() *core.Patternlet {
 					rc.Record(rank*hybridThreadsPerProcess+t.ThreadNum(), "hello", 0)
 					rc.W.Printf("Hello from thread %d of %d on process %d of %d (%s)\n",
 						t.ThreadNum(), t.NumThreads(), rank, np, node)
-				}, omp.WithNumThreads(hybridThreadsPerProcess))
+				}, ompOpts(rc, hybridThreadsPerProcess)...)
 				return nil
 			})
 		},
@@ -68,7 +68,7 @@ func reductionHybrid() *core.Patternlet {
 				// Stage 1: shared-memory reduction within the process.
 				localSum := omp.ParallelForReduce(perProcess, omp.StaticEqual(), omp.Sum[int64](), 0,
 					func(i int) int64 { return local[i] },
-					omp.WithNumThreads(hybridThreadsPerProcess))
+					ompOpts(rc, hybridThreadsPerProcess)...)
 				rc.W.Printf("Process %d local sum: %d\n", rank, localSum)
 				// Stage 2: message-passing reduction across processes.
 				total, err := mpi.Reduce(c, localSum, mpi.Sum[int64](), master)

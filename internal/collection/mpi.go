@@ -37,7 +37,7 @@ const master = 0 // the paper's MASTER constant
 // mpiRun executes an MPI patternlet body: as a whole in-process world
 // normally, or as this process's single rank when the run context carries
 // a RemoteExec from the multi-process launcher.
-func mpiRun(rc *core.RunContext, body func(c *mpi.Comm) error, extra ...mpi.RunOption) error {
+func mpiRun(rc *core.RunContext, body func(c *mpi.Comm) error, extra ...mpi.Option) error {
 	opts := append(mpiOpts(rc), extra...)
 	if rc.Remote != nil {
 		return mpi.RunWorker(rc.Remote.Rank, rc.Remote.NP, rc.Remote.Transport, body, opts...)
@@ -46,8 +46,8 @@ func mpiRun(rc *core.RunContext, body func(c *mpi.Comm) error, extra ...mpi.RunO
 }
 
 // mpiOpts converts the run context's MPI knobs to run options.
-func mpiOpts(rc *core.RunContext) []mpi.RunOption {
-	var opts []mpi.RunOption
+func mpiOpts(rc *core.RunContext) []mpi.Option {
+	var opts []mpi.Option
 	if rc.UseTCP {
 		opts = append(opts, mpi.WithTCP())
 	}
@@ -260,7 +260,7 @@ func messagePassing2MPI() *core.Patternlet {
 		DefaultTasks: 2,
 		Run: func(rc *core.RunContext) error {
 			const tag = 2
-			var extra []mpi.RunOption
+			var extra []mpi.Option
 			if rc.RecvTimeout == 0 {
 				// Bound the demonstration so the deadlock is reported
 				// rather than hung on.

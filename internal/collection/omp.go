@@ -33,6 +33,14 @@ func init() {
 	register(taskOMP())
 }
 
+// ompOpts builds the standard region options for an omp patternlet body:
+// the requested team size plus the run's cancellation context, so a
+// caller-side timeout (a patternletd request deadline) actually stops
+// the running region at its next scheduling poll.
+func ompOpts(rc *core.RunContext, n int) []omp.Option {
+	return []omp.Option{omp.WithNumThreads(n), omp.WithContext(rc.Context())}
+}
+
 // spmdOMP is Figure 1: the canonical SPMD hello. With the "parallel"
 // directive off it prints one line from thread 0 of 1 (Figure 2); enabled
 // it prints one line per team member in nondeterministic order (Figure 3).
@@ -57,7 +65,7 @@ func spmdOMP() *core.Patternlet {
 			if rc.Enabled("parallel") {
 				n = rc.NumTasks
 			}
-			omp.Parallel(body, omp.WithNumThreads(n))
+			omp.Parallel(body, ompOpts(rc, n)...)
 			return nil
 		},
 	}
@@ -78,7 +86,7 @@ func spmd2OMP() *core.Patternlet {
 			omp.Parallel(func(t *omp.Thread) {
 				rc.Record(t.ThreadNum(), "hello", 0)
 				rc.W.Printf("Hello from thread %d of %d\n", t.ThreadNum(), t.NumThreads())
-			}, omp.WithNumThreads(rc.NumTasks))
+			}, ompOpts(rc, rc.NumTasks)...)
 			return nil
 		},
 	}
@@ -108,7 +116,7 @@ func forkJoinOMP() *core.Patternlet {
 			omp.Parallel(func(t *omp.Thread) {
 				rc.Record(t.ThreadNum(), "during", 0)
 				rc.W.Printf("During: thread %d of %d\n", t.ThreadNum(), t.NumThreads())
-			}, omp.WithNumThreads(n))
+			}, ompOpts(rc, n)...)
 			rc.Record(0, "after", 0)
 			rc.W.Printf("After.\n")
 			return nil
@@ -132,7 +140,7 @@ func forkJoin2OMP() *core.Patternlet {
 				omp.Parallel(func(t *omp.Thread) {
 					rc.Record(t.ThreadNum(), "region", region)
 					rc.W.Printf("Region %d: hello from thread %d of %d\n", region, t.ThreadNum(), t.NumThreads())
-				}, omp.WithNumThreads(n))
+				}, ompOpts(rc, n)...)
 			}
 			return nil
 		},
@@ -165,7 +173,7 @@ func barrierOMP() *core.Patternlet {
 				}
 				rc.Record(id, "after", 0)
 				rc.W.Printf("Thread %d of %d is AFTER the barrier.\n", id, n)
-			}, omp.WithNumThreads(rc.NumTasks))
+			}, ompOpts(rc, rc.NumTasks)...)
 			return nil
 		},
 	}
@@ -191,7 +199,7 @@ func masterWorkerOMP() *core.Patternlet {
 					rc.Record(id, "worker", 0)
 					rc.W.Printf("Hello from worker #%d of %d\n", id, n)
 				}
-			}, omp.WithNumThreads(rc.NumTasks))
+			}, ompOpts(rc, rc.NumTasks)...)
 			return nil
 		},
 	}
@@ -220,7 +228,7 @@ func parallelLoopEqualChunksOMP() *core.Patternlet {
 						rc.W.Printf("Thread %d performed iteration %d\n", t.ThreadNum(), i)
 					}
 				})
-			}, omp.WithNumThreads(rc.NumTasks))
+			}, ompOpts(rc, rc.NumTasks)...)
 			return nil
 		},
 	}
@@ -248,7 +256,7 @@ func parallelLoopChunksOf1OMP() *core.Patternlet {
 						rc.W.Printf("Thread %d performed iteration %d\n", t.ThreadNum(), i)
 					}
 				})
-			}, omp.WithNumThreads(rc.NumTasks))
+			}, ompOpts(rc, rc.NumTasks)...)
 			return nil
 		},
 	}
@@ -276,7 +284,7 @@ func parallelLoopDynamicOMP() *core.Patternlet {
 						rc.W.Printf("Thread %d performed iteration %d\n", t.ThreadNum(), i)
 					}
 				})
-			}, omp.WithNumThreads(rc.NumTasks))
+			}, ompOpts(rc, rc.NumTasks)...)
 			return nil
 		},
 	}
@@ -331,11 +339,11 @@ func reductionOMP() *core.Patternlet {
 				var shared omp.UnsafeInt
 				omp.ParallelFor(size, omp.StaticEqual(), func(i, _ int) {
 					shared.Add(a[i])
-				}, omp.WithNumThreads(rc.NumTasks))
+				}, ompOpts(rc, rc.NumTasks)...)
 				par = shared.Value()
 			default:
 				par = omp.ParallelForReduce(size, omp.StaticEqual(), omp.Sum[int64](), 0,
-					func(i int) int64 { return a[i] }, omp.WithNumThreads(rc.NumTasks))
+					func(i int) int64 { return a[i] }, ompOpts(rc, rc.NumTasks)...)
 			}
 			rc.W.Printf("Seq. sum: \t%d\nPar. sum: \t%d\n", seq, par)
 			return nil
@@ -363,7 +371,7 @@ func reduction2OMP() *core.Patternlet {
 				hi := omp.Reduce(t, omp.Max[int](), local)
 				lo := omp.Reduce(t, omp.Min[int](), local)
 				t.Master(func() { sum, prod, mx, mn = s, p, hi, lo })
-			}, omp.WithNumThreads(rc.NumTasks))
+			}, ompOpts(rc, rc.NumTasks)...)
 			rc.W.Printf("sum  = %d\nprod = %d\nmax  = %d\nmin  = %d\n", sum, prod, mx, mn)
 			return nil
 		},
@@ -395,7 +403,7 @@ func privateOMP() *core.Patternlet {
 						rc.Record(t.ThreadNum(), "iter", i)
 					}
 					rc.W.Printf("Thread %d executed %d iterations\n", t.ThreadNum(), reps)
-				}, omp.WithNumThreads(rc.NumTasks))
+				}, ompOpts(rc, rc.NumTasks)...)
 				rc.W.Printf("Total iterations executed: %d (expected %d)\n", expected, expected)
 				return nil
 			}
@@ -409,7 +417,7 @@ func privateOMP() *core.Patternlet {
 					count.Add(1)
 					rc.Record(t.ThreadNum(), "iter", int(shared.Value()))
 				}
-			}, omp.WithNumThreads(rc.NumTasks))
+			}, ompOpts(rc, rc.NumTasks)...)
 			rc.W.Printf("Total iterations executed: %d (expected %d)\n", count.Value(), expected)
 			return nil
 		},
@@ -440,7 +448,7 @@ func atomicOMP() *core.Patternlet {
 					for i := start; i < stop; i++ {
 						omp.AtomicAddFloat64(&cell, 1.0)
 					}
-				}, omp.WithNumThreads(rc.NumTasks))
+				}, ompOpts(rc, rc.NumTasks)...)
 				balance = omp.LoadFloat64(&cell)
 			} else {
 				var c omp.UnsafeCounter
@@ -448,7 +456,7 @@ func atomicOMP() *core.Patternlet {
 					for i := start; i < stop; i++ {
 						c.Add(1.0)
 					}
-				}, omp.WithNumThreads(rc.NumTasks))
+				}, ompOpts(rc, rc.NumTasks)...)
 				balance = c.Value()
 			}
 			rc.W.Printf("After %d $1 deposits, your balance is %.2f (expected %d.00)\n", total, balance, total)
@@ -481,14 +489,14 @@ func criticalOMP() *core.Patternlet {
 							t.Critical("balance", func() { balance += 1.0 })
 						}
 					})
-				}, omp.WithNumThreads(rc.NumTasks))
+				}, ompOpts(rc, rc.NumTasks)...)
 			} else {
 				var c omp.UnsafeCounter
 				omp.ParallelForRange(total, omp.StaticEqual(), func(start, stop, _ int) {
 					for i := start; i < stop; i++ {
 						c.Add(1.0)
 					}
-				}, omp.WithNumThreads(rc.NumTasks))
+				}, ompOpts(rc, rc.NumTasks)...)
 				balance = c.Value()
 			}
 			rc.W.Printf("After %d $1 deposits, your balance is %.2f (expected %d.00)\n", total, balance, total)
@@ -520,7 +528,7 @@ func critical2OMP() *core.Patternlet {
 				for i := start; i < stop; i++ {
 					omp.AtomicAddFloat64(&cell, 1.0)
 				}
-			}, omp.WithNumThreads(rc.NumTasks))
+			}, ompOpts(rc, rc.NumTasks)...)
 			atomicTime := omp.GetWTime() - start
 			rc.W.Printf("After %d $1 deposits using 'atomic':\n - balance = %.2f,\n - total time = %.12f,\n - average time per deposit = %.12f\n\n",
 				total, omp.LoadFloat64(&cell), atomicTime, atomicTime/float64(total))
@@ -533,7 +541,7 @@ func critical2OMP() *core.Patternlet {
 						t.Critical("balance", func() { balance += 1.0 })
 					}
 				})
-			}, omp.WithNumThreads(rc.NumTasks))
+			}, ompOpts(rc, rc.NumTasks)...)
 			criticalTime := omp.GetWTime() - start
 			rc.W.Printf("After %d $1 deposits using 'critical':\n - balance = %.2f,\n - total time = %.12f,\n - average time per deposit = %.12f\n\n",
 				total, balance, criticalTime, criticalTime/float64(total))
@@ -568,7 +576,7 @@ func sectionsOMP() *core.Patternlet {
 					})
 				}
 				t.Sections(fns...)
-			}, omp.WithNumThreads(rc.NumTasks))
+			}, ompOpts(rc, rc.NumTasks)...)
 			return nil
 		},
 	}
@@ -595,7 +603,7 @@ func mutualExclusionOMP() *core.Patternlet {
 				for i := start; i < stop; i++ {
 					racy.Add(1.0)
 				}
-			}, omp.WithNumThreads(rc.NumTasks))
+			}, ompOpts(rc, rc.NumTasks)...)
 			rc.W.Printf("unprotected: balance = %.2f of %d.00\n", racy.Value(), total)
 
 			var cell uint64
@@ -603,7 +611,7 @@ func mutualExclusionOMP() *core.Patternlet {
 				for i := start; i < stop; i++ {
 					omp.AtomicAddFloat64(&cell, 1.0)
 				}
-			}, omp.WithNumThreads(rc.NumTasks))
+			}, ompOpts(rc, rc.NumTasks)...)
 			rc.W.Printf("atomic:      balance = %.2f of %d.00\n", omp.LoadFloat64(&cell), total)
 
 			balance := 0.0
@@ -613,7 +621,7 @@ func mutualExclusionOMP() *core.Patternlet {
 						t.Critical("balance", func() { balance += 1.0 })
 					}
 				})
-			}, omp.WithNumThreads(rc.NumTasks))
+			}, ompOpts(rc, rc.NumTasks)...)
 			rc.W.Printf("critical:    balance = %.2f of %d.00\n", balance, total)
 			return nil
 		},
@@ -678,7 +686,7 @@ func taskOMP() *core.Patternlet {
 				})
 				t.Barrier()
 				root.Wait(t) // every thread helps execute the task tree
-			}, omp.WithNumThreads(rc.NumTasks))
+			}, ompOpts(rc, rc.NumTasks)...)
 			rc.W.Printf("fib(%d) = %d\n", n, result)
 			return nil
 		},

@@ -128,7 +128,7 @@ func TestEveryPatternletRunsAtOneAndEightTasks(t *testing.T) {
 				if p.MinTasks > n {
 					n = p.MinTasks
 				}
-				if _, err := Default.Capture(p.Key(), core.RunOptions{NumTasks: n}); err != nil {
+				if _, err := captureOut(p.Key(), core.RunOptions{NumTasks: n}); err != nil {
 					t.Fatalf("tasks=%d: %v", n, err)
 				}
 			}

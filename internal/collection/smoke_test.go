@@ -29,7 +29,7 @@ func TestEveryPatternletRuns(t *testing.T) {
 		p := p
 		t.Run(p.Key(), func(t *testing.T) {
 			t.Parallel()
-			out, err := Default.Capture(p.Key(), core.RunOptions{})
+			out, err := captureOut(p.Key(), core.RunOptions{})
 			if err != nil {
 				t.Fatalf("run failed: %v", err)
 			}
@@ -54,7 +54,7 @@ func TestEveryPatternletRunsWithDirectivesEnabled(t *testing.T) {
 			for _, d := range p.Directives {
 				toggles[d.Name] = true
 			}
-			out, err := Default.Capture(p.Key(), core.RunOptions{Toggles: toggles})
+			out, err := captureOut(p.Key(), core.RunOptions{Toggles: toggles})
 			if err != nil {
 				t.Fatalf("run with directives enabled failed: %v", err)
 			}

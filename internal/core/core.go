@@ -19,6 +19,8 @@
 package core
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -216,8 +218,9 @@ func (p *Patternlet) directive(name string) (Directive, bool) {
 
 // RunContext is everything a patternlet's Run receives.
 type RunContext struct {
-	W        *SafeWriter // concurrent-safe output sink
-	NumTasks int         // number of threads/processes (>= 1; Runner applies defaults)
+	W        *SafeWriter     // concurrent-safe output sink
+	Ctx      context.Context // run-scoped cancellation; never nil under Registry.Run
+	NumTasks int             // number of threads/processes (>= 1; Runner applies defaults)
 	Toggles  map[string]bool
 	Trace    *trace.Recorder // optional; patternlets record phases when non-nil
 
@@ -228,6 +231,17 @@ type RunContext struct {
 	Remote      *RemoteExec   // non-nil when this process hosts one rank of a multi-process world
 
 	pl *Patternlet
+}
+
+// Context returns the run's cancellation context, Background when the
+// RunContext was built by hand without one. Patternlet bodies pass it to
+// the runtimes (omp.WithContext) so a caller-side timeout actually stops
+// the running region.
+func (rc *RunContext) Context() context.Context {
+	if rc.Ctx == nil {
+		return context.Background()
+	}
+	return rc.Ctx
 }
 
 // Enabled reports whether the named directive is on: the explicit toggle
@@ -258,9 +272,18 @@ func (rc *RunContext) Record(task int, phase string, value int) {
 // write — the same guarantee a glibc printf of a short line gives the C
 // patternlets, and what makes interleaved-but-uncorrupted output like
 // Figure 8 possible.
+//
+// A SafeWriter built with NewCapture additionally runs in buffered
+// capture mode: every write is appended to an internal buffer under the
+// same lock that serializes the writes, so the captured transcript is
+// byte-for-byte deterministic for single-threaded patternlets and
+// line-stable (each Printf intact and uncorrupted, only the interleaving
+// order varying) for multi-threaded ones. Registry.Run captures every
+// run this way to fill Result.Output.
 type SafeWriter struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu  sync.Mutex
+	w   io.Writer     // live sink; may be nil in pure capture mode
+	buf *bytes.Buffer // non-nil in capture mode
 }
 
 // NewSafeWriter wraps w for concurrent use.
@@ -268,16 +291,50 @@ func NewSafeWriter(w io.Writer) *SafeWriter {
 	return &SafeWriter{w: w}
 }
 
+// NewCapture returns a SafeWriter in buffered capture mode. tee, when
+// non-nil, additionally receives every write live (the CLI streams to
+// stdout while the run is still captured for the Result).
+func NewCapture(tee io.Writer) *SafeWriter {
+	return &SafeWriter{w: tee, buf: &bytes.Buffer{}}
+}
+
 // Printf formats and writes atomically.
 func (s *SafeWriter) Printf(format string, args ...any) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	fmt.Fprintf(s.w, format, args...)
+	if s.buf == nil {
+		fmt.Fprintf(s.w, format, args...)
+		return
+	}
+	start := s.buf.Len()
+	fmt.Fprintf(s.buf, format, args...)
+	if s.w != nil {
+		s.w.Write(s.buf.Bytes()[start:])
+	}
 }
 
 // Write implements io.Writer (whole-buffer atomic).
 func (s *SafeWriter) Write(p []byte) (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.buf != nil {
+		s.buf.Write(p)
+		if s.w != nil {
+			s.w.Write(p)
+		}
+		return len(p), nil
+	}
 	return s.w.Write(p)
+}
+
+// Captured returns everything written so far to a capture-mode writer,
+// the empty string otherwise. Safe to call concurrently with writers,
+// though the run harness only reads it after the run completes.
+func (s *SafeWriter) Captured() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.buf == nil {
+		return ""
+	}
+	return s.buf.String()
 }

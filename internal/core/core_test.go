@@ -2,12 +2,20 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/trace"
 )
+
+// captureRun mirrors the old Capture helper on the single Run API: run
+// and return the buffered output.
+func captureRun(r *Registry, key string, opts RunOptions) (string, error) {
+	res, err := r.Run(context.Background(), key, opts)
+	return res.Output, err
+}
 
 func testPatternlet(name string, model Model) *Patternlet {
 	return &Patternlet{
@@ -160,7 +168,7 @@ func TestRunAppliesDefaultTasks(t *testing.T) {
 	p := testPatternlet("deft", OpenMP)
 	p.DefaultTasks = 6
 	r.MustRegister(p)
-	out, err := r.Capture("deft.omp", RunOptions{})
+	out, err := captureRun(r, "deft.omp", RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +176,7 @@ func TestRunAppliesDefaultTasks(t *testing.T) {
 		t.Fatalf("output %q", out)
 	}
 	// Explicit count overrides the default.
-	out, err = r.Capture("deft.omp", RunOptions{NumTasks: 2})
+	out, err = captureRun(r, "deft.omp", RunOptions{NumTasks: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +188,7 @@ func TestRunAppliesDefaultTasks(t *testing.T) {
 func TestRunFallsBackToQuadCoreDefault(t *testing.T) {
 	r := NewRegistry()
 	r.MustRegister(testPatternlet("nodefault", OpenMP))
-	out, err := r.Capture("nodefault.omp", RunOptions{})
+	out, err := captureRun(r, "nodefault.omp", RunOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,17 +202,17 @@ func TestRunEnforcesMinTasks(t *testing.T) {
 	p := testPatternlet("min", MPI)
 	p.MinTasks = 2
 	r.MustRegister(p)
-	if _, err := r.Capture("min.mpi", RunOptions{NumTasks: 1}); err == nil {
+	if _, err := captureRun(r, "min.mpi", RunOptions{NumTasks: 1}); err == nil {
 		t.Fatal("below MinTasks accepted")
 	}
-	if _, err := r.Capture("min.mpi", RunOptions{NumTasks: 2}); err != nil {
+	if _, err := captureRun(r, "min.mpi", RunOptions{NumTasks: 2}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownKey(t *testing.T) {
 	r := NewRegistry()
-	if err := r.Run("nope.omp", NewSafeWriter(&bytes.Buffer{}), RunOptions{}); err == nil {
+	if _, err := r.Run(context.Background(), "nope.omp", RunOptions{}); err == nil {
 		t.Fatal("unknown key accepted")
 	}
 }
@@ -212,7 +220,7 @@ func TestRunUnknownKey(t *testing.T) {
 func TestRunRejectsUnknownToggle(t *testing.T) {
 	r := NewRegistry()
 	r.MustRegister(testPatternlet("t", OpenMP))
-	_, err := r.Capture("t.omp", RunOptions{Toggles: map[string]bool{"bogus": true}})
+	_, err := captureRun(r, "t.omp", RunOptions{Toggles: map[string]bool{"bogus": true}})
 	if err == nil {
 		t.Fatal("unknown toggle accepted")
 	}
@@ -235,13 +243,13 @@ func TestEnabledUsesDirectiveDefaultsAndOverrides(t *testing.T) {
 		},
 	}
 	r.MustRegister(p)
-	if _, err := r.Capture("tog.omp", RunOptions{}); err != nil {
+	if _, err := captureRun(r, "tog.omp", RunOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if !onDefault || offDefault {
 		t.Fatalf("defaults: shipsOn=%v shipsOff=%v", onDefault, offDefault)
 	}
-	if _, err := r.Capture("tog.omp", RunOptions{Toggles: map[string]bool{"shipsOn": false, "shipsOff": true}}); err != nil {
+	if _, err := captureRun(r, "tog.omp", RunOptions{Toggles: map[string]bool{"shipsOn": false, "shipsOff": true}}); err != nil {
 		t.Fatal(err)
 	}
 	if onDefault || !offDefault {
@@ -262,7 +270,7 @@ func TestEnabledPanicsOnUndeclaredDirective(t *testing.T) {
 			t.Fatal("undeclared directive query did not panic")
 		}
 	}()
-	_, _ = r.Capture("undeclared.omp", RunOptions{})
+	_, _ = captureRun(r, "undeclared.omp", RunOptions{})
 }
 
 func TestRecordIsOptional(t *testing.T) {
@@ -356,19 +364,27 @@ func TestPatternsSortedAndComplete(t *testing.T) {
 	}
 }
 
-func TestRunPatternletPropagatesTraceAndTasks(t *testing.T) {
+func TestRunPropagatesTraceAndTasks(t *testing.T) {
 	rec := &trace.Recorder{}
+	r := NewRegistry()
 	p := testPatternlet("tr", OpenMP)
 	p.Run = func(rc *RunContext) error {
 		rc.Record(rc.NumTasks, "seen", 0)
 		return nil
 	}
-	var buf bytes.Buffer
-	if err := RunPatternlet(p, NewSafeWriter(&buf), RunOptions{NumTasks: 3, Trace: rec}); err != nil {
+	r.MustRegister(p)
+	res, err := r.Run(context.Background(), "tr.omp", RunOptions{NumTasks: 3, Trace: rec})
+	if err != nil {
 		t.Fatal(err)
 	}
 	ev := rec.Events()
 	if len(ev) != 1 || ev[0].Task != 3 {
 		t.Fatalf("trace events %v", ev)
+	}
+	if len(res.Phases) != 1 || res.Phases[0].Task != 3 {
+		t.Fatalf("Result.Phases %v", res.Phases)
+	}
+	if res.NumTasks != 3 {
+		t.Fatalf("Result.NumTasks = %d, want 3", res.NumTasks)
 	}
 }

@@ -1,12 +1,15 @@
 package core
 
 import (
-	"bytes"
+	"context"
 	"fmt"
+	"io"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -107,31 +110,88 @@ func (r *Registry) Len() int {
 	return len(r.pats)
 }
 
-// RunOptions configures one execution of a patternlet.
+// RunOptions configures one execution of a patternlet through
+// Registry.Run — the single invocation path every front end (the
+// patternlet CLI, mpirun's per-rank workers, benchjson's telemetry
+// probe, and the patternletd HTTP service) goes through.
 type RunOptions struct {
 	NumTasks    int             // 0 = patternlet default
 	Toggles     map[string]bool // overrides for declared directives
-	Trace       *trace.Recorder
-	UseTCP      bool
-	Nodes       int
-	RecvTimeout int64 // nanoseconds; 0 = block forever
-	Remote      *RemoteExec
+	UseTCP      bool            // run MPI worlds over loopback TCP
+	Nodes       int             // simulated cluster nodes; 0 = one per process
+	RecvTimeout time.Duration   // MPI deadlock bound; 0 = the ctx deadline, else block forever
+	Remote      *RemoteExec     // non-nil when this process hosts one rank of a multi-process world
+
+	// Stream, when non-nil, receives the run's output live in addition
+	// to the buffered capture that fills Result.Output — the CLI passes
+	// stdout here so interactive runs still print as they go.
+	Stream io.Writer
+
+	// Trace, when non-nil, is a caller-owned phase recorder: the
+	// patternlet's rc.Record calls land in it (and in Result.Phases)
+	// without engaging the process-wide telemetry spine. Ignored when
+	// Collect also instruments the run.
+	Trace *trace.Recorder
+
+	// Collect enables the telemetry spine for this run: Result.Events,
+	// Result.Counters and Result.Phases are filled from a run-private
+	// collector. Because the runtimes attach to one process-wide
+	// collector, instrumented runs are serialized against all other
+	// Registry.Run calls (a write lock on the spine); uninstrumented
+	// runs share a read lock and execute concurrently.
+	Collect bool
 }
 
-// Run executes the patternlet with the given options, writing to w.
-func (r *Registry) Run(key string, w *SafeWriter, opts RunOptions) error {
+// Result is everything one execution produced.
+type Result struct {
+	Key      string        // registry key that ran
+	NumTasks int           // resolved task count (after defaults)
+	Elapsed  time.Duration // wall-clock duration of the Run body
+	Output   string        // buffered SafeWriter capture (see NewCapture)
+
+	// Phases holds the patternlet's own rc.Record events, when either a
+	// caller recorder (RunOptions.Trace) or Collect was active.
+	Phases []trace.Event
+
+	// Events and Counters are the telemetry spine's view of the run,
+	// filled only when RunOptions.Collect was set: every runtime span
+	// and instant in stream order, and the final counter snapshot.
+	// Render them with telemetry.Summarize or telemetry.WriteChromeTrace.
+	Events   []telemetry.Event
+	Counters map[string]int64
+}
+
+// teleGate serializes instrumented runs against every other run: the
+// runtimes cache the process-wide telemetry collector per region/world,
+// so two concurrent collectors — or an uninstrumented run executing
+// while another run's collector is installed — would cross-contaminate
+// streams. Collect takes the write side; plain runs share the read side
+// and stay fully concurrent with each other.
+var teleGate sync.RWMutex
+
+// Run executes the patternlet with the given options under ctx and
+// returns the captured Result. A ctx deadline or cancellation stops the
+// run: context-aware runtimes (omp regions via WithContext) observe it
+// within one scheduling poll, and MPI receives inherit the deadline as
+// their RecvTimeout unless one was set explicitly. The partial Result is
+// returned alongside the error.
+func (r *Registry) Run(ctx context.Context, key string, opts RunOptions) (Result, error) {
 	p, ok := r.Get(key)
 	if !ok {
-		return fmt.Errorf("core: no patternlet %q", key)
+		return Result{Key: key}, fmt.Errorf("core: no patternlet %q", key)
 	}
-	return RunPatternlet(p, w, opts)
+	return runPatternlet(ctx, p, opts)
 }
 
-// RunPatternlet executes one patternlet directly.
-func RunPatternlet(p *Patternlet, w *SafeWriter, opts RunOptions) error {
+// runPatternlet is the one execution path under Registry.Run.
+func runPatternlet(ctx context.Context, p *Patternlet, opts RunOptions) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	res := Result{Key: p.Key()}
 	for name := range opts.Toggles {
 		if _, ok := p.directive(name); !ok {
-			return fmt.Errorf("core: patternlet %q has no directive %q", p.Key(), name)
+			return res, fmt.Errorf("core: patternlet %q has no directive %q", p.Key(), name)
 		}
 	}
 	n := opts.NumTasks
@@ -146,30 +206,76 @@ func RunPatternlet(p *Patternlet, w *SafeWriter, opts RunOptions) error {
 		min = 1
 	}
 	if n < min {
-		return fmt.Errorf("core: patternlet %q needs at least %d tasks, got %d", p.Key(), min, n)
+		return res, fmt.Errorf("core: patternlet %q needs at least %d tasks, got %d", p.Key(), min, n)
 	}
+	res.NumTasks = n
+	if err := ctx.Err(); err != nil {
+		// A queued job whose client already gave up: don't start at all.
+		return res, fmt.Errorf("core: run %q: %w", p.Key(), err)
+	}
+	recvTimeout := opts.RecvTimeout
+	if recvTimeout == 0 {
+		// MPI patternlets have no chunk boundaries to poll a context at;
+		// bounding every blocking receive by the ctx deadline gives them
+		// equivalent timeout semantics for free.
+		if dl, ok := ctx.Deadline(); ok {
+			recvTimeout = time.Until(dl)
+			if recvTimeout <= 0 {
+				recvTimeout = time.Nanosecond
+			}
+		}
+	}
+	w := NewCapture(opts.Stream)
 	rc := &RunContext{
-		W:        w,
-		NumTasks: n,
-		Toggles:  opts.Toggles,
-		Trace:    opts.Trace,
-		UseTCP:   opts.UseTCP,
-		Nodes:    opts.Nodes,
-		Remote:   opts.Remote,
-		pl:       p,
+		W:           w,
+		Ctx:         ctx,
+		NumTasks:    n,
+		Toggles:     opts.Toggles,
+		Trace:       opts.Trace,
+		UseTCP:      opts.UseTCP,
+		Nodes:       opts.Nodes,
+		RecvTimeout: recvTimeout,
+		Remote:      opts.Remote,
+		pl:          p,
 	}
-	if opts.RecvTimeout > 0 {
-		rc.RecvTimeout = durationFromNanos(opts.RecvTimeout)
-	}
-	return p.Run(rc)
-}
 
-// Capture runs the patternlet and returns everything it wrote, the common
-// path for tests and the figures harness.
-func (r *Registry) Capture(key string, opts RunOptions) (string, error) {
-	var buf bytes.Buffer
-	err := r.Run(key, NewSafeWriter(&buf), opts)
-	return buf.String(), err
+	var stream *telemetry.Stream
+	var col *telemetry.Collector
+	if opts.Collect {
+		teleGate.Lock()
+		defer teleGate.Unlock()
+		stream = &telemetry.Stream{}
+		col = telemetry.New(telemetry.WithSink(stream))
+		telemetry.Enable(col)
+		defer telemetry.Disable()
+		if rc.Trace == nil {
+			rc.Trace = trace.Attach(col, stream)
+		}
+	} else {
+		teleGate.RLock()
+		defer teleGate.RUnlock()
+	}
+
+	start := time.Now()
+	err := p.Run(rc)
+	res.Elapsed = time.Since(start)
+	res.Output = w.Captured()
+	if rc.Trace != nil {
+		res.Phases = rc.Trace.Events()
+	}
+	if opts.Collect {
+		res.Events = stream.Events()
+		res.Counters = col.Counters().Snapshot()
+	}
+	if err != nil {
+		return res, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		// The body unwound because the context fired (a cancelled omp
+		// region returns no error of its own); surface the cause.
+		return res, fmt.Errorf("core: run %q: %w", p.Key(), cerr)
+	}
+	return res, nil
 }
 
 // Lines splits captured output into non-empty trimmed lines, a convenience

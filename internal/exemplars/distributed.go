@@ -19,7 +19,7 @@ import (
 // This is the distributed sibling of the shared-memory examples/heat
 // stencil: the same physics, with the barrier replaced by neighbour
 // messages.
-func DistributedHeat(np, cells, steps int, alpha float64, opts ...mpi.RunOption) ([]float64, error) {
+func DistributedHeat(np, cells, steps int, alpha float64, opts ...mpi.Option) ([]float64, error) {
 	if np < 1 || cells < np || cells%np != 0 || steps < 0 {
 		return nil, fmt.Errorf("%w: np=%d cells=%d steps=%d", ErrBadInput, np, cells, steps)
 	}
@@ -150,7 +150,7 @@ type mandelResult struct {
 // hands out one row at a time to whichever worker returns first, so slow
 // rows (deep in the set) never stall the others. np must be >= 2 (one
 // master plus at least one worker). The image is returned at the caller.
-func Mandelbrot(np, width, height, maxIter int, opts ...mpi.RunOption) ([][]int, error) {
+func Mandelbrot(np, width, height, maxIter int, opts ...mpi.Option) ([][]int, error) {
 	if np < 2 || width < 1 || height < 1 || maxIter < 1 {
 		return nil, fmt.Errorf("%w: np=%d image=%dx%d maxIter=%d", ErrBadInput, np, width, height, maxIter)
 	}
@@ -217,7 +217,7 @@ func Mandelbrot(np, width, height, maxIter int, opts ...mpi.RunOption) ([][]int,
 
 // DotProduct computes x·y with the full Scatter → local work → Reduce
 // pipeline over np ranks. len(x) == len(y) must be a multiple of np.
-func DotProduct(np int, x, y []float64, opts ...mpi.RunOption) (float64, error) {
+func DotProduct(np int, x, y []float64, opts ...mpi.Option) (float64, error) {
 	if len(x) != len(y) || np < 1 || len(x)%np != 0 {
 		return 0, fmt.Errorf("%w: len(x)=%d len(y)=%d np=%d", ErrBadInput, len(x), len(y), np)
 	}

@@ -408,18 +408,19 @@ func Allreduce[T any](c *Comm, v T, op func(T, T) T) (T, error) {
 	case AlgoRecursiveDoubling:
 		return allreduceRecursiveDoubling(c, v, op, c.nextCollTag())
 	case AlgoComposed:
-		return AllreduceComposed(c, v, op)
+		return allreduceComposed(c, v, op)
 	default:
 		var zero T
 		return zero, errUnknownAlgo(CollAllreduce, algo)
 	}
 }
 
-// AllreduceComposed always runs the textbook composition — a Reduce to
+// allreduceComposed always runs the textbook composition — a Reduce to
 // rank 0 followed by a Bcast. It is both a registered algorithm and the
 // test oracle for recursive doubling: the two must return identical
-// results on every rank.
-func AllreduceComposed[T any](c *Comm, v T, op func(T, T) T) (T, error) {
+// results on every rank. Unexported: it is an algorithm and an oracle,
+// not public API — tests reach it through export_test.go.
+func allreduceComposed[T any](c *Comm, v T, op func(T, T) T) (T, error) {
 	r, err := Reduce(c, v, op, 0)
 	if err != nil {
 		var zero T
@@ -617,17 +618,18 @@ func Allgather[T any](c *Comm, send []T) ([]T, error) {
 	case AlgoRing:
 		return allgatherRing(c, send, c.nextCollTag())
 	case AlgoComposed:
-		return AllgatherComposed(c, send)
+		return allgatherComposed(c, send)
 	default:
 		return nil, errUnknownAlgo(CollAllgather, algo)
 	}
 }
 
-// AllgatherComposed always runs the composition — a Gather to rank 0
+// allgatherComposed always runs the composition — a Gather to rank 0
 // followed by a Bcast. It is both a registered algorithm and the test
 // oracle for the ring: the two must return identical results on every
-// rank.
-func AllgatherComposed[T any](c *Comm, send []T) ([]T, error) {
+// rank. Unexported: it is an algorithm and an oracle, not public API —
+// tests reach it through export_test.go.
+func allgatherComposed[T any](c *Comm, send []T) ([]T, error) {
 	g, err := Gather(c, send, 0)
 	if err != nil {
 		return nil, err

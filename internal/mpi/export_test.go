@@ -1,0 +1,13 @@
+package mpi
+
+// Test-only exports. The composed collective forms are algorithms and
+// equivalence oracles, not public API; this shim keeps them reachable
+// from the oracle tests under their old exported names.
+
+func AllreduceComposed[T any](c *Comm, v T, op func(T, T) T) (T, error) {
+	return allreduceComposed(c, v, op)
+}
+
+func AllgatherComposed[T any](c *Comm, send []T) ([]T, error) {
+	return allgatherComposed(c, send)
+}

@@ -142,8 +142,16 @@ func (c *Comm) nextCollTag() int {
 	return -1 - c.collSeq
 }
 
-// RunOption configures a Run harness.
-type RunOption func(*runConfig)
+// Option configures a Run harness. All options follow the WithX
+// functional-option convention shared with omp.Option and serve's
+// server configuration.
+type Option func(*runConfig)
+
+// RunOption is the old name for Option.
+//
+// Deprecated: use Option. The alias is kept for one release so external
+// callers migrate gracefully; new code should not use it.
+type RunOption = Option
 
 type runConfig struct {
 	useTCP      bool
@@ -156,30 +164,30 @@ type runConfig struct {
 
 // WithTCP runs the world over the loopback TCP transport instead of
 // in-process channels.
-func WithTCP() RunOption { return func(c *runConfig) { c.useTCP = true } }
+func WithTCP() Option { return func(c *runConfig) { c.useTCP = true } }
 
 // WithNodes sets the simulated cluster's node count; ranks are placed
 // round-robin. The default is one node per process, matching Figure 6
 // (process i on node-0(i+1)).
-func WithNodes(n int) RunOption { return func(c *runConfig) { c.nodes = n } }
+func WithNodes(n int) Option { return func(c *runConfig) { c.nodes = n } }
 
 // WithLatency adds a synthetic per-message one-way delay, modeling
 // interconnect cost. It works over any transport — channel, TCP, or one
 // supplied via WithTransport — by wrapping it in the cluster package's
 // Latency middleware.
-func WithLatency(d time.Duration) RunOption { return func(c *runConfig) { c.latency = d } }
+func WithLatency(d time.Duration) Option { return func(c *runConfig) { c.latency = d } }
 
 // WithRecvTimeout bounds every blocking receive; on expiry the receive
 // fails with ErrDeadlock. Zero (the default) blocks forever, like real
 // MPI.
-func WithRecvTimeout(d time.Duration) RunOption { return func(c *runConfig) { c.recvTimeout = d } }
+func WithRecvTimeout(d time.Duration) Option { return func(c *runConfig) { c.recvTimeout = d } }
 
 // WithTransport supplies a caller-built transport (e.g. a
 // cluster.FaultInjector wrapping one of the standard transports for
 // failure-injection tests). It overrides WithTCP; WithLatency still
 // applies, wrapped around the supplied transport. Run still closes the
 // transport when the world ends.
-func WithTransport(tr cluster.Transport) RunOption {
+func WithTransport(tr cluster.Transport) Option {
 	return func(c *runConfig) { c.transport = tr }
 }
 
@@ -187,7 +195,7 @@ func WithTransport(tr cluster.Transport) RunOption {
 // communicator, and blocks until all finish (MPI_Init through
 // MPI_Finalize). The returned error joins every rank's error; a panicking
 // rank is reported as an error rather than crashing the caller.
-func Run(np int, body func(c *Comm) error, opts ...RunOption) error {
+func Run(np int, body func(c *Comm) error, opts ...Option) error {
 	if np < 1 {
 		return fmt.Errorf("mpi: np must be >= 1, got %d", np)
 	}

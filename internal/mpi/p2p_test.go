@@ -12,16 +12,16 @@ import (
 // the suite's deadlock guard (collGuard) as a default: a mis-scheduled
 // exchange fails with ErrDeadlock instead of hanging the test binary. A
 // caller-supplied WithRecvTimeout in extra overrides the guard.
-func bothTransports(t *testing.T, np int, body func(c *Comm) error, extra ...RunOption) {
+func bothTransports(t *testing.T, np int, body func(c *Comm) error, extra ...Option) {
 	t.Helper()
 	t.Run("chan", func(t *testing.T) {
-		opts := append([]RunOption{WithRecvTimeout(collGuard)}, extra...)
+		opts := append([]Option{WithRecvTimeout(collGuard)}, extra...)
 		if err := Run(np, body, opts...); err != nil {
 			t.Fatal(err)
 		}
 	})
 	t.Run("tcp", func(t *testing.T) {
-		opts := append([]RunOption{WithRecvTimeout(collGuard), WithTCP()}, extra...)
+		opts := append([]Option{WithRecvTimeout(collGuard), WithTCP()}, extra...)
 		if err := Run(np, body, opts...); err != nil {
 			t.Fatal(err)
 		}

@@ -252,7 +252,7 @@ func CollectiveAlgorithms(collective string) []string {
 // launches. Example:
 //
 //	mpi.Run(8, body, mpi.WithCollectiveAlgorithm(mpi.CollBcast, mpi.AlgoLinear))
-func WithCollectiveAlgorithm(collective, algorithm string) RunOption {
+func WithCollectiveAlgorithm(collective, algorithm string) Option {
 	return func(c *runConfig) {
 		if c.collAlgo == nil {
 			c.collAlgo = map[string]string{}

@@ -11,7 +11,7 @@ import (
 
 // captureComm returns the communicator rank 0 saw, for post-Run Stats
 // reads. All ranks share the world's counters, so one handle suffices.
-func captureComm(t *testing.T, np int, body func(c *Comm) error, opts ...RunOption) *Comm {
+func captureComm(t *testing.T, np int, body func(c *Comm) error, opts ...Option) *Comm {
 	t.Helper()
 	var captured *Comm
 	err := Run(np, func(c *Comm) error {

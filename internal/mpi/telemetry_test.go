@@ -9,7 +9,7 @@ import (
 // collectSpans runs body in an np-rank world with a fresh collector
 // installed and returns the mpi-category spans plus the final counter
 // snapshot.
-func collectSpans(t *testing.T, np int, body func(c *Comm) error, opts ...RunOption) ([]telemetry.Event, map[string]int64) {
+func collectSpans(t *testing.T, np int, body func(c *Comm) error, opts ...Option) ([]telemetry.Event, map[string]int64) {
 	t.Helper()
 	stream := &telemetry.Stream{}
 	col := telemetry.New(telemetry.WithSink(stream))

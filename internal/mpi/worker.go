@@ -15,7 +15,7 @@ import (
 //
 // Unlike Run, RunWorker executes body once, in the calling goroutine, and
 // does not close the transport — the caller owns its lifecycle.
-func RunWorker(rank, np int, tr cluster.Transport, body func(c *Comm) error, opts ...RunOption) error {
+func RunWorker(rank, np int, tr cluster.Transport, body func(c *Comm) error, opts ...Option) error {
 	if np < 1 {
 		return fmt.Errorf("mpi: np must be >= 1, got %d", np)
 	}

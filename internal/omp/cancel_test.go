@@ -1,0 +1,162 @@
+package omp
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The serving layer's timeout guarantee (DESIGN.md §8): once a region's
+// context fires, the region returns within 2× the poll interval — here,
+// the duration of one taskloop chunk, since cancellation is polled at
+// every chunk/task boundary and per iteration inside taskloop bodies.
+func TestWithContextCancelsTaskloopWithinTwoPolls(t *testing.T) {
+	const (
+		iters    = 64
+		iterDur  = 50 * time.Millisecond // one chunk == one iteration (grain 1)
+		maxAfter = 2 * iterDur
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var ran atomic.Int64
+	done := make(chan time.Time, 1)
+	go func() {
+		Parallel(func(th *Thread) {
+			// Taskloop is not a worksharing construct: one thread
+			// encounters it, the team helps through the task scheduler.
+			th.SingleNoWait(func() {
+				th.Taskloop(0, iters, 1, func(int) {
+					ran.Add(1)
+					time.Sleep(iterDur)
+				})
+			})
+		}, WithNumThreads(4), WithContext(ctx))
+		done <- time.Now()
+	}()
+
+	// Let the loop get going, then fire the context mid-run.
+	time.Sleep(iterDur + iterDur/2)
+	cancelled := time.Now()
+	cancel()
+
+	select {
+	case ret := <-done:
+		if late := ret.Sub(cancelled); late > maxAfter {
+			t.Errorf("region returned %v after cancel, want <= %v (2x one chunk)", late, maxAfter)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled taskloop region never returned")
+	}
+	if n := ran.Load(); n >= iters {
+		t.Errorf("all %d iterations ran despite mid-run cancellation", n)
+	}
+}
+
+// An already-expired context runs the region pre-cancelled: worksharing
+// schedules dispense nothing, taskloops queue nothing, and the body sees
+// Cancelled() immediately.
+func TestWithContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	var loopIters, taskIters atomic.Int64
+	Parallel(func(th *Thread) {
+		if !th.Cancelled() {
+			t.Error("Cancelled() = false inside a region whose context expired before the fork")
+		}
+		th.For(0, 100, Dynamic(1), func(int) { loopIters.Add(1) })
+		th.Taskloop(0, 100, 1, func(int) { taskIters.Add(1) })
+	}, WithNumThreads(4), WithContext(ctx))
+
+	if n := loopIters.Load(); n != 0 {
+		t.Errorf("dynamic loop ran %d iterations in a pre-cancelled region, want 0", n)
+	}
+	if n := taskIters.Load(); n != 0 {
+		t.Errorf("taskloop ran %d iterations in a pre-cancelled region, want 0", n)
+	}
+}
+
+// Cancellation stops every worksharing schedule at a chunk boundary; the
+// iterations that did run remain exactly-once (no chunk is both dropped
+// and executed).
+func TestWithContextCancelStopsSchedules(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		sched Schedule
+	}{
+		{"dynamic", Dynamic(1)},
+		{"guided", Guided(1)},
+		{"static-chunk", StaticChunk(1)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			const iters = 1000
+			seen := make([]atomic.Int32, iters)
+			Parallel(func(th *Thread) {
+				th.For(0, iters, tc.sched, func(i int) {
+					if i == 5 { // cancel is idempotent; whichever thread draws i=5 fires it
+						cancel()
+					}
+					seen[i].Add(1)
+					time.Sleep(time.Millisecond)
+				})
+			}, WithNumThreads(4), WithContext(ctx))
+			total := 0
+			for i := range seen {
+				switch n := seen[i].Load(); n {
+				case 0:
+				case 1:
+					total++
+				default:
+					t.Fatalf("iteration %d ran %d times", i, n)
+				}
+			}
+			if total == iters {
+				t.Errorf("%s: all %d iterations ran despite cancellation", tc.name, iters)
+			}
+			if total == 0 {
+				t.Errorf("%s: no iterations ran before cancellation", tc.name)
+			}
+		})
+	}
+}
+
+// A context that cannot fire leaves the region on the uncancellable path:
+// every iteration runs and Cancelled() stays false.
+func TestWithContextBackgroundRunsToCompletion(t *testing.T) {
+	var iters atomic.Int64
+	Parallel(func(th *Thread) {
+		if th.Cancelled() {
+			t.Error("Cancelled() = true under context.Background()")
+		}
+		th.For(0, 100, Dynamic(7), func(int) { iters.Add(1) })
+		th.SingleNoWait(func() {
+			th.Taskloop(0, 100, 0, func(int) { iters.Add(1) })
+		})
+	}, WithNumThreads(4), WithContext(context.Background()))
+	if n := iters.Load(); n != 200 {
+		t.Errorf("ran %d iterations under Background context, want 200", n)
+	}
+}
+
+// A cancelled region must not poison later regions: teams with watchers
+// are not recycled, and a fresh region starts uncancelled.
+func TestCancelledTeamNotReused(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	Parallel(func(th *Thread) {}, WithNumThreads(4), WithContext(ctx))
+
+	var iters atomic.Int64
+	Parallel(func(th *Thread) {
+		if th.Cancelled() {
+			t.Error("fresh region inherited a cancelled flag")
+		}
+		th.For(0, 100, Dynamic(1), func(int) { iters.Add(1) })
+	}, WithNumThreads(4))
+	if n := iters.Load(); n != 100 {
+		t.Errorf("region after a cancelled one ran %d/100 iterations", n)
+	}
+}

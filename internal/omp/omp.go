@@ -17,6 +17,7 @@
 package omp
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -62,6 +63,7 @@ type Option func(*config)
 
 type config struct {
 	numThreads int
+	ctx        context.Context
 }
 
 // WithNumThreads sets the team size for one region, like the num_threads
@@ -73,6 +75,19 @@ func WithNumThreads(n int) Option {
 		}
 		c.numThreads = n
 	}
+}
+
+// WithContext attaches a cancellation context to the region. When ctx
+// fires, the region winds down at its next scheduling poll: worksharing
+// schedules stop dispensing chunks, queued-but-unstarted tasks are
+// dropped (their completion accounting still settles, so taskwaits and
+// taskgroups unblock), and bodies can poll Thread.Cancelled. OpenMP has
+// no such construct — it is the enabler for serving patternlet runs
+// under per-request timeouts. A context that cannot fire (Background)
+// costs nothing; an attached one costs a single predictable branch per
+// task or chunk.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) { c.ctx = ctx }
 }
 
 // team is the shared state of one parallel region. The maps (criticals,
@@ -100,6 +115,15 @@ type team struct {
 	state    atomic.Int32
 	done     chan struct{}
 	panicVal atomic.Pointer[panicValue]
+
+	// Cancellation (WithContext). cancellable is set once at fork when the
+	// region's context can actually fire, so the uncancellable fast path
+	// checks one plain bool before ever touching the atomic; cancelled is
+	// flipped by the watcher goroutine when the context fires. Cancellable
+	// teams are not recycled through teamPool — the watcher may still be
+	// unwinding when Parallel returns.
+	cancellable bool
+	cancelled   atomic.Bool
 
 	// tele caches telemetry.Active() for the region, so the disabled
 	// fast path is one nil field check per instrumented operation — no
@@ -162,6 +186,15 @@ func (tm *team) reset(size int) {
 	}
 	tm.state.Store(0)
 	tm.panicVal.Store(nil)
+	tm.cancellable = false
+	tm.cancelled.Store(false)
+}
+
+// canceled reports whether the region's context has fired. The plain
+// bool short-circuit keeps uncancellable regions — every region not
+// forked with WithContext — at zero atomic cost per poll.
+func (tm *team) canceled() bool {
+	return tm.cancellable && tm.cancelled.Load()
 }
 
 // recoverMember records a team member's panic and poisons the barrier so
@@ -240,6 +273,13 @@ func (t *Thread) ThreadNum() int { return t.id }
 
 // NumThreads returns the team size (omp_get_num_threads).
 func (t *Thread) NumThreads() int { return t.team.size }
+
+// Cancelled reports whether the region's context (WithContext) has
+// fired. Long-running bodies poll it at natural checkpoints the way a C
+// OpenMP program would poll a shared cancellation flag; the worksharing
+// schedules and the task runtime poll it on the caller's behalf at every
+// chunk and task boundary. Always false for regions without a context.
+func (t *Thread) Cancelled() bool { return t.team.canceled() }
 
 // Barrier blocks until all threads in the team have reached it
 // (#pragma omp barrier). With telemetry enabled, each member's wait is
@@ -348,6 +388,31 @@ func Parallel(body func(t *Thread), opts ...Option) {
 	n := cfg.numThreads
 	tm := newTeam(n)
 
+	// Cancellation wiring: only a context that can actually fire gets a
+	// watcher; Background/TODO (Done() == nil) keeps the region on the
+	// uncancellable fast path.
+	var stopWatch chan struct{}
+	if cfg.ctx != nil {
+		if done := cfg.ctx.Done(); done != nil {
+			tm.cancellable = true
+			if cfg.ctx.Err() != nil {
+				tm.cancelled.Store(true) // already expired; run the region as pre-cancelled
+			} else {
+				stopWatch = make(chan struct{})
+				go func() {
+					select {
+					case <-done:
+						tm.cancelled.Store(true)
+						// Idlers parked in the task runtime re-check the
+						// cancel flag on wakeup; give each a token.
+						tm.sched.wakeIdle()
+					case <-stopWatch:
+					}
+				}()
+			}
+		}
+	}
+
 	// Team lifecycle telemetry: one "region" span on the master covering
 	// fork through the implicit taskwait, one "member" span per worker.
 	var regionSpan telemetry.Span
@@ -420,6 +485,10 @@ func Parallel(body func(t *Thread), opts ...Option) {
 	}
 	tm.drainTasks() // implicit taskwait at the end of the region
 
+	if stopWatch != nil {
+		close(stopWatch)
+	}
+
 	if tm.tele != nil {
 		// Fold the region's task counters into the process-wide collector
 		// and close the lifecycle span (after the implicit taskwait, so
@@ -430,6 +499,13 @@ func Parallel(body func(t *Thread), opts ...Option) {
 
 	if pv := tm.panicVal.Load(); pv != nil {
 		panic(fmt.Sprintf("omp: parallel region panicked: %v", pv.r))
+	}
+	if tm.cancellable {
+		// The watcher goroutine may still be between its channel receive
+		// and its last store; recycling the team would let that store land
+		// on the next region. Leave cancellable teams to the GC — they are
+		// the rare, already-slow path.
+		return
 	}
 	// Clean exit: recycle the team's allocations for the next region. A
 	// panicked team is left for the GC — its barrier is poisoned and its

@@ -148,6 +148,17 @@ func (s *taskScheduler) wakeIdle() {
 // reports whether the task crossed threads (its node was incremented by
 // the thief); counted tasks carry their increment from submission.
 func (s *taskScheduler) run(t *Thread, tk task, stolen bool) {
+	if t.team.canceled() {
+		// Cancelled region: drop the body but settle the completion
+		// accounting, so taskwaits and taskgroups parked on this task's
+		// node unblock instead of waiting for work that will never run.
+		if tk.counted || stolen {
+			if tk.node.state.Add(-1) == 0 && s.nidle.Load() > 0 {
+				s.wakeIdle()
+			}
+		}
+		return
+	}
 	d := &s.deques[t.id]
 	d.ran++
 	// The body dispatch is written out in both branches rather than

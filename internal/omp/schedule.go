@@ -179,8 +179,15 @@ func (t *Thread) ForRangeNoWait(lo, hi int, sched Schedule, body func(start, sto
 		n = 0
 	}
 	p := t.team.size
+	// Cancellation is polled once per dispensed block — the "poll
+	// interval" the serving layer's timeout guarantee is stated against:
+	// after the region's context fires, a thread runs at most the block it
+	// already claimed before it stops taking work.
 	switch sched.kind {
 	case schedStaticEqual:
+		if t.team.canceled() {
+			return
+		}
 		start, stop := EqualChunkBounds(n, p, t.id)
 		if start < stop {
 			body(lo+start, lo+stop)
@@ -188,12 +195,18 @@ func (t *Thread) ForRangeNoWait(lo, hi int, sched Schedule, body func(start, sto
 	case schedStaticChunk:
 		// Blocks of size chunk assigned round-robin by block index.
 		for blockStart := t.id * sched.chunk; blockStart < n; blockStart += p * sched.chunk {
+			if t.team.canceled() {
+				return
+			}
 			blockStop := min(blockStart+sched.chunk, n)
 			body(lo+blockStart, lo+blockStop)
 		}
 	case schedDynamic:
 		st := t.team.construct(idx, func() any { return &dynCounter{} }).(*dynCounter)
 		for {
+			if t.team.canceled() {
+				return
+			}
 			start := st.next(sched.chunk, n)
 			if start >= n {
 				break
@@ -205,6 +218,9 @@ func (t *Thread) ForRangeNoWait(lo, hi int, sched Schedule, body func(start, sto
 			return newGuidedCounter(n, p, sched.chunk)
 		}).(*guidedCounter)
 		for {
+			if t.team.canceled() {
+				return
+			}
 			start, stop, ok := st.grab()
 			if !ok {
 				break

@@ -104,13 +104,19 @@ func (t *Thread) Taskloop(lo, hi, grain int, body func(i int)) {
 	var tg TaskGroup
 	first := lo // first chunk is kept for the caller
 	for start := lo + grain; start < hi; start += grain {
+		if t.team.canceled() {
+			break // stop spawning; tasks already queued are dropped by the scheduler
+		}
 		end := start + grain
 		if end > hi {
 			end = hi
 		}
 		s, e := start, end
-		tg.Task(t, func(*Thread) {
+		tg.Task(t, func(et *Thread) {
 			for i := s; i < e; i++ {
+				if et.team.canceled() {
+					return
+				}
 				body(i)
 			}
 		})
@@ -120,6 +126,9 @@ func (t *Thread) Taskloop(lo, hi, grain int, body func(i int)) {
 		inlineEnd = hi
 	}
 	for i := first; i < inlineEnd; i++ {
+		if t.team.canceled() {
+			break
+		}
 		body(i)
 	}
 	tg.Wait(t)

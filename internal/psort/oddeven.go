@@ -140,7 +140,7 @@ func SampleSort(c *mpi.Comm, local []int, tagBase int) ([]int, error) {
 // chosen distributed sort, and gathers the blocks back in rank order —
 // the full pipeline a lab exercise would time. algorithm is "oddeven" or
 // "samplesort". len(data) must be a multiple of np for "oddeven".
-func SortDistributed(np int, data []int, algorithm string, opts ...mpi.RunOption) ([]int, error) {
+func SortDistributed(np int, data []int, algorithm string, opts ...mpi.Option) ([]int, error) {
 	out := make([]int, 0, len(data))
 	err := mpi.Run(np, func(c *mpi.Comm) error {
 		var send []int

@@ -1,0 +1,271 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// RunRequest is the POST /run body. Only Key is required; zero values
+// fall back to the patternlet's defaults, exactly as the CLI's flags do.
+type RunRequest struct {
+	Key       string          `json:"key"`
+	Tasks     int             `json:"tasks,omitempty"`
+	Toggles   map[string]bool `json:"toggles,omitempty"`
+	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+	UseTCP    bool            `json:"tcp,omitempty"`
+	Nodes     int             `json:"nodes,omitempty"`
+	Collect   bool            `json:"collect,omitempty"` // fill phases/counters
+	Trace     bool            `json:"trace,omitempty"`   // retain a Chrome trace, implies collect
+}
+
+// RunResponse is the POST /run reply for an executed run (any outcome
+// that reached the registry, including a timeout, which also carries the
+// partial output).
+type RunResponse struct {
+	Key       string           `json:"key"`
+	Tasks     int              `json:"tasks"`
+	ElapsedMS float64          `json:"elapsed_ms"`
+	Output    string           `json:"output"`
+	Phases    []PhaseSpan      `json:"phases,omitempty"`
+	Counters  map[string]int64 `json:"counters,omitempty"`
+	TraceID   string           `json:"trace_id,omitempty"`
+	Error     string           `json:"error,omitempty"`
+}
+
+// PhaseSpan is one recorded phase event, flattened for JSON.
+type PhaseSpan struct {
+	Seq   int    `json:"seq"`
+	Task  int    `json:"task"`
+	Phase string `json:"phase"`
+	Value int    `json:"value"`
+}
+
+// PatternletInfo is one GET /patternlets entry.
+type PatternletInfo struct {
+	Key          string   `json:"key"`
+	Model        string   `json:"model"`
+	Synopsis     string   `json:"synopsis"`
+	Patterns     []string `json:"patterns"`
+	Directives   []string `json:"directives,omitempty"`
+	MinTasks     int      `json:"min_tasks,omitempty"`
+	DefaultTasks int      `json:"default_tasks,omitempty"`
+}
+
+// Handler returns the server's HTTP mux:
+//
+//	POST /run          execute a patternlet (RunRequest → RunResponse)
+//	GET  /patternlets  catalog listing
+//	GET  /healthz      liveness + admission stats
+//	GET  /metrics      human-readable counter summary (text)
+//	GET  /metrics.json counter snapshot (JSON)
+//	GET  /trace/{id}   retained Chrome trace from a trace=true run
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("GET /patternlets", s.handlePatternlets)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("GET /trace/{id}", s.handleTrace)
+	return mux
+}
+
+// httpError is the uniform JSON error body.
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Key == "" {
+		httpError(w, http.StatusBadRequest, "missing key")
+		return
+	}
+	p, ok := s.reg.Get(req.Key)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no patternlet %q", req.Key)
+		return
+	}
+	// Validate inputs before spending a queue slot, so bad requests fail
+	// fast with 400 instead of occupying a worker.
+	if err := validateRequest(p, &req); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	timeout := s.clampTimeout(time.Duration(req.TimeoutMS) * time.Millisecond)
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	opts := core.RunOptions{
+		NumTasks: req.Tasks,
+		Toggles:  req.Toggles,
+		UseTCP:   req.UseTCP,
+		Nodes:    req.Nodes,
+		Collect:  req.Collect || req.Trace,
+	}
+	res, err := s.Execute(ctx, req.Key, opts)
+	if errors.Is(err, errBusy) {
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.retryAfter)))
+		httpError(w, http.StatusServiceUnavailable, "server busy: admission queue full")
+		return
+	}
+
+	resp := RunResponse{
+		Key:       res.Key,
+		Tasks:     res.NumTasks,
+		ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond),
+		Output:    res.Output,
+		Counters:  res.Counters,
+	}
+	for _, ev := range res.Phases {
+		resp.Phases = append(resp.Phases, PhaseSpan{
+			Seq:   ev.Seq,
+			Task:  ev.Task,
+			Phase: ev.Phase,
+			Value: ev.Value,
+		})
+	}
+	if req.Trace && len(res.Events) > 0 {
+		var buf bytes.Buffer
+		if terr := telemetry.WriteChromeTrace(&buf, res.Events, res.Counters); terr == nil {
+			resp.TraceID = s.traces.put(buf.Bytes())
+		}
+	}
+
+	code := http.StatusOK
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		// The run was stopped by its deadline (or the client hung up);
+		// the partial output still ships so the caller sees how far the
+		// region got before cancellation.
+		code = http.StatusGatewayTimeout
+		resp.Error = err.Error()
+	default:
+		code = http.StatusInternalServerError
+		resp.Error = err.Error()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(resp)
+}
+
+// validateRequest applies the same input checks Registry.Run would, so
+// they surface as 400s before admission rather than 500s after.
+func validateRequest(p *core.Patternlet, req *RunRequest) error {
+	for name := range req.Toggles {
+		found := false
+		for _, d := range p.Directives {
+			if d.Name == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("patternlet %q has no directive %q", p.Key(), name)
+		}
+	}
+	if req.Tasks < 0 {
+		return fmt.Errorf("tasks must be non-negative, got %d", req.Tasks)
+	}
+	n := req.Tasks
+	if n == 0 {
+		n = p.DefaultTasks
+	}
+	min := p.MinTasks
+	if min == 0 {
+		min = 1
+	}
+	if n != 0 && n < min {
+		return fmt.Errorf("patternlet %q needs at least %d tasks, got %d", p.Key(), min, n)
+	}
+	return nil
+}
+
+func retryAfterSeconds(d time.Duration) int {
+	secs := int(d / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+func (s *Server) handlePatternlets(w http.ResponseWriter, r *http.Request) {
+	var out []PatternletInfo
+	for _, p := range s.reg.All() {
+		info := PatternletInfo{
+			Key:          p.Key(),
+			Model:        string(p.Model),
+			Synopsis:     p.Synopsis,
+			MinTasks:     p.MinTasks,
+			DefaultTasks: p.DefaultTasks,
+		}
+		for _, pat := range p.Patterns {
+			info.Patterns = append(info.Patterns, string(pat))
+		}
+		for _, d := range p.Directives {
+			info.Directives = append(info.Directives, d.Name)
+		}
+		out = append(out, info)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	if st.Draining {
+		// Draining: still answering, but not admitting — tell the load
+		// balancer to steer new work elsewhere.
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(struct {
+		Status string `json:"status"`
+		Stats
+	}{status(st), st})
+}
+
+func status(st Stats) string {
+	if st.Draining {
+		return "draining"
+	}
+	return "ok"
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, telemetry.Summarize(nil, s.counters.Snapshot()))
+}
+
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.counters.Snapshot())
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	data, ok := s.traces.get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no trace %q (retained: last %d)", id, s.cfg.traceCapacity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}

@@ -1,0 +1,333 @@
+// Package serve is the serving layer over the patternlet registry: a
+// stdlib-only HTTP/JSON service that executes patternlets under load
+// with production semantics — a bounded admission queue with
+// backpressure, a fixed worker pool capping run concurrency, per-request
+// timeouts that cancel the running region through the context plumbing
+// in core.RunContext, and graceful shutdown that drains exactly the
+// jobs it admitted. See DESIGN.md §8 for the admission → queue → worker
+// pool → run API picture.
+//
+// Every execution goes through core.Registry.Run — the same single entry
+// point the patternlet CLI and benchjson's probe use — so the service
+// adds no second invocation path; it adds admission control around the
+// one that exists.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Defaults for the tunables below.
+const (
+	DefaultWorkers        = 2
+	DefaultQueueDepth     = 16
+	DefaultRequestTimeout = 10 * time.Second
+	DefaultMaxTimeout     = time.Minute
+	DefaultTraceCapacity  = 64
+)
+
+// Option configures a Server, following the same WithX functional-option
+// convention as omp.Option and mpi.Option.
+type Option func(*config)
+
+type config struct {
+	workers       int
+	queueDepth    int
+	timeout       time.Duration
+	maxTimeout    time.Duration
+	traceCapacity int
+	retryAfter    time.Duration
+}
+
+// WithWorkers caps run concurrency: at most n patternlets execute at
+// once, however many requests are in flight. Values below 1 are clamped
+// to 1.
+func WithWorkers(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		c.workers = n
+	}
+}
+
+// WithQueueDepth bounds the admission queue. A submit that finds the
+// queue full is rejected immediately with backpressure (HTTP 503 +
+// Retry-After) rather than queued without bound. Values below 0 are
+// clamped to 0 (every request must find an idle worker).
+func WithQueueDepth(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		c.queueDepth = n
+	}
+}
+
+// WithTimeout sets the default per-request execution timeout, applied
+// when a request does not choose its own.
+func WithTimeout(d time.Duration) Option {
+	return func(c *config) { c.timeout = d }
+}
+
+// WithMaxTimeout caps the timeout a request may ask for.
+func WithMaxTimeout(d time.Duration) Option {
+	return func(c *config) { c.maxTimeout = d }
+}
+
+// WithTraceCapacity bounds how many Chrome traces are retained for
+// GET /trace/{id}; the oldest is evicted when the ring is full.
+func WithTraceCapacity(n int) Option {
+	return func(c *config) {
+		if n < 1 {
+			n = 1
+		}
+		c.traceCapacity = n
+	}
+}
+
+// WithRetryAfter sets the hint returned in the Retry-After header when
+// the admission queue rejects a request.
+func WithRetryAfter(d time.Duration) Option {
+	return func(c *config) { c.retryAfter = d }
+}
+
+// Telemetry counter names the server maintains; /metrics exposes them
+// alongside whatever the snapshot of a Collect run folded in.
+const (
+	ctrSubmitted = "serve.submitted" // admission attempts
+	ctrAccepted  = "serve.accepted"  // admitted into the queue
+	ctrRejected  = "serve.rejected"  // bounced with backpressure
+	ctrCompleted = "serve.completed" // runs finished without error
+	ctrFailed    = "serve.failed"    // runs that returned an error
+	ctrTimedOut  = "serve.timedout"  // runs stopped by their deadline
+)
+
+// job is one admitted execution: the request's context, the run
+// parameters, and the channel the submitting handler waits on.
+type job struct {
+	ctx  context.Context
+	key  string
+	opts core.RunOptions
+
+	res  core.Result
+	err  error
+	done chan struct{}
+}
+
+// Server executes patternlets from a registry under admission control.
+// Create with New, serve with Handler (or mount elsewhere), stop with
+// Shutdown.
+type Server struct {
+	reg *core.Registry
+	cfg config
+
+	queue   chan *job
+	wg      sync.WaitGroup // worker pool
+	running atomic.Int64   // jobs currently executing
+
+	// closed is guarded by mu; submitters hold the read side while
+	// sending on queue so Shutdown's close(queue) (under the write side)
+	// can never race a send.
+	mu     sync.RWMutex
+	closed bool
+
+	counters telemetry.CounterSet
+	traces   traceStore
+}
+
+// New builds a Server over reg and starts its worker pool.
+func New(reg *core.Registry, opts ...Option) *Server {
+	cfg := config{
+		workers:       DefaultWorkers,
+		queueDepth:    DefaultQueueDepth,
+		timeout:       DefaultRequestTimeout,
+		maxTimeout:    DefaultMaxTimeout,
+		traceCapacity: DefaultTraceCapacity,
+		retryAfter:    time.Second,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.timeout > cfg.maxTimeout {
+		cfg.timeout = cfg.maxTimeout
+	}
+	s := &Server{
+		reg:   reg,
+		cfg:   cfg,
+		queue: make(chan *job, cfg.queueDepth),
+	}
+	s.traces.capacity = cfg.traceCapacity
+	s.wg.Add(cfg.workers)
+	for i := 0; i < cfg.workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// worker drains the admission queue until Shutdown closes it. Ranging
+// over the channel guarantees the drain invariant: every job admitted
+// before the close is executed (or, if its context already expired,
+// returned with that error) before the worker exits.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.running.Add(1)
+		j.res, j.err = s.reg.Run(j.ctx, j.key, j.opts)
+		s.running.Add(-1)
+		switch {
+		case j.err == nil:
+			s.counters.Counter(ctrCompleted).Inc()
+		case errors.Is(j.err, context.DeadlineExceeded), errors.Is(j.err, context.Canceled):
+			s.counters.Counter(ctrTimedOut).Inc()
+		default:
+			s.counters.Counter(ctrFailed).Inc()
+		}
+		close(j.done)
+	}
+}
+
+// errBusy is returned by submit when the queue is full or the server is
+// shutting down; the HTTP layer maps it to 503 + Retry-After.
+var errBusy = errors.New("serve: admission queue full")
+
+// submit admits a job or reports backpressure. Non-blocking by design:
+// under saturation the caller learns immediately instead of holding a
+// connection that may never be served in time.
+func (s *Server) submit(j *job) error {
+	s.counters.Counter(ctrSubmitted).Inc()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		s.counters.Counter(ctrRejected).Inc()
+		return errBusy
+	}
+	select {
+	case s.queue <- j:
+		s.counters.Counter(ctrAccepted).Inc()
+		return nil
+	default:
+		s.counters.Counter(ctrRejected).Inc()
+		return errBusy
+	}
+}
+
+// Execute runs one patternlet through the admission path: queue (or
+// bounce), wait for a worker, return the Result. It is the programmatic
+// form of POST /run and what the HTTP handler calls.
+func (s *Server) Execute(ctx context.Context, key string, opts core.RunOptions) (core.Result, error) {
+	j := &job{ctx: ctx, key: key, opts: opts, done: make(chan struct{})}
+	if err := s.submit(j); err != nil {
+		return core.Result{Key: key}, err
+	}
+	// The worker always closes done — even for a job whose context
+	// expired while queued (Registry.Run returns the ctx error without
+	// starting the body) — so this wait cannot leak.
+	<-j.done
+	return j.res, j.err
+}
+
+// Shutdown stops admission and drains: already-accepted jobs (queued or
+// running) complete, new submissions bounce, and Shutdown returns when
+// the worker pool has exited or ctx fires, whichever is first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
+	}
+}
+
+// Stats is a point-in-time view of the server for /healthz.
+type Stats struct {
+	Workers    int              `json:"workers"`
+	QueueDepth int              `json:"queue_depth"`
+	Queued     int              `json:"queued"`
+	Running    int64            `json:"running"`
+	Draining   bool             `json:"draining"`
+	Counters   map[string]int64 `json:"counters"`
+}
+
+// Stats snapshots the server's admission state and counters.
+func (s *Server) Stats() Stats {
+	s.mu.RLock()
+	closed := s.closed
+	s.mu.RUnlock()
+	return Stats{
+		Workers:    s.cfg.workers,
+		QueueDepth: s.cfg.queueDepth,
+		Queued:     len(s.queue),
+		Running:    s.running.Load(),
+		Draining:   closed,
+		Counters:   s.counters.Snapshot(),
+	}
+}
+
+// clampTimeout resolves a requested timeout against the configured
+// default and cap.
+func (s *Server) clampTimeout(req time.Duration) time.Duration {
+	if req <= 0 {
+		return s.cfg.timeout
+	}
+	if req > s.cfg.maxTimeout {
+		return s.cfg.maxTimeout
+	}
+	return req
+}
+
+// traceStore retains the last capacity Chrome-trace exports keyed by id,
+// evicting oldest-first — enough for a classroom's worth of "look at my
+// run" links without unbounded growth.
+type traceStore struct {
+	mu       sync.Mutex
+	capacity int
+	next     int64
+	byID     map[string][]byte
+	order    []string
+}
+
+// put stores one rendered trace and returns its id.
+func (t *traceStore) put(data []byte) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.byID == nil {
+		t.byID = map[string][]byte{}
+	}
+	t.next++
+	id := fmt.Sprintf("t%d", t.next)
+	t.byID[id] = data
+	t.order = append(t.order, id)
+	for len(t.order) > t.capacity {
+		delete(t.byID, t.order[0])
+		t.order = t.order[1:]
+	}
+	return id
+}
+
+// get returns the trace with the given id, if still retained.
+func (t *traceStore) get(id string) ([]byte, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	data, ok := t.byID[id]
+	return data, ok
+}

@@ -59,6 +59,19 @@ func Attach(col *telemetry.Collector, stream *telemetry.Stream) *Recorder {
 	return &Recorder{col: col, stream: stream}
 }
 
+// FromEvents rebuilds a Recorder view over events recorded earlier — the
+// Phases slice a finished core run hands back in its Result. The
+// returned Recorder owns a private stream and supports every query
+// (Timeline, PhaseOrdered, ...) without touching process-wide telemetry
+// state, so front ends can render a timeline from a Result alone.
+func FromEvents(events []Event) *Recorder {
+	r := &Recorder{}
+	for _, e := range events {
+		r.Record(e.Task, e.Phase, e.Value)
+	}
+	return r
+}
+
 // backing returns the recorder's collector and stream, creating a
 // private pair on first use of a zero Recorder.
 func (r *Recorder) backing() (*telemetry.Collector, *telemetry.Stream) {

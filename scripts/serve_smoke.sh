@@ -1,0 +1,74 @@
+#!/usr/bin/env sh
+# Smoke test for patternletd: boot the service on an ephemeral port,
+# submit one OpenMP and one MPI patternlet, check /healthz and /metrics,
+# and shut it down. Exercises the full admission → queue → worker → run
+# path end to end; CI runs it after `make test`.
+set -eu
+
+GO=${GO:-go}
+TMPDIR_SMOKE=$(mktemp -d)
+ADDR_FILE="$TMPDIR_SMOKE/addr"
+LOG_FILE="$TMPDIR_SMOKE/patternletd.log"
+
+cleanup() {
+    [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null || true
+    [ -n "${SRV_PID:-}" ] && wait "$SRV_PID" 2>/dev/null || true
+    rm -rf "$TMPDIR_SMOKE"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "serve-smoke: FAIL: $1" >&2
+    echo "--- patternletd log ---" >&2
+    cat "$LOG_FILE" >&2 || true
+    exit 1
+}
+
+echo "serve-smoke: building patternletd"
+$GO build -o "$TMPDIR_SMOKE/patternletd" ./cmd/patternletd
+
+# :0 picks a free port; -addr-file tells us which one, once listening.
+"$TMPDIR_SMOKE/patternletd" -addr 127.0.0.1:0 -addr-file "$ADDR_FILE" \
+    -workers 2 -queue 8 >"$LOG_FILE" 2>&1 &
+SRV_PID=$!
+
+i=0
+while [ ! -s "$ADDR_FILE" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "server did not write $ADDR_FILE within 10s"
+    kill -0 "$SRV_PID" 2>/dev/null || fail "server exited during startup"
+    sleep 0.1
+done
+BASE="http://$(cat "$ADDR_FILE")"
+echo "serve-smoke: patternletd up at $BASE"
+
+# Liveness first.
+curl -fsS "$BASE/healthz" | grep -q '"status":"ok"' \
+    || fail "/healthz not ok"
+
+# One shared-memory patternlet...
+OMP_OUT=$(curl -fsS -X POST "$BASE/run" \
+    -H 'Content-Type: application/json' \
+    -d '{"key":"spmd.omp","tasks":4,"toggles":{"parallel":true}}')
+echo "$OMP_OUT" | grep -q 'Hello from thread' \
+    || fail "spmd.omp output missing hello lines: $OMP_OUT"
+
+# ...and one message-passing patternlet through the same endpoint.
+MPI_OUT=$(curl -fsS -X POST "$BASE/run" \
+    -H 'Content-Type: application/json' \
+    -d '{"key":"broadcast.mpi","tasks":4}')
+echo "$MPI_OUT" | grep -q '"error"' && fail "broadcast.mpi errored: $MPI_OUT"
+echo "$MPI_OUT" | grep -q '"output"' || fail "broadcast.mpi returned no output: $MPI_OUT"
+
+# Metrics reflect the two completed runs.
+curl -fsS "$BASE/metrics" | grep -q 'serve.completed' \
+    || fail "/metrics missing serve.completed"
+COMPLETED=$(curl -fsS "$BASE/metrics.json" | tr ',{}' '\n\n\n' | grep 'serve.completed' | cut -d: -f2)
+[ "$COMPLETED" = "2" ] || fail "serve.completed = $COMPLETED, want 2"
+
+# Graceful shutdown: SIGTERM drains and exits 0.
+kill "$SRV_PID"
+wait "$SRV_PID" || fail "server exited non-zero on SIGTERM"
+SRV_PID=""
+
+echo "serve-smoke: PASS"
