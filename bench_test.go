@@ -12,10 +12,14 @@
 package repro
 
 import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/exemplars"
 	"repro/internal/matrix"
 	"repro/internal/mpi"
@@ -483,6 +487,203 @@ func BenchmarkTransportPingPong(b *testing.B) {
 			b.Fatal(err)
 		}
 	})
+}
+
+// BenchmarkWireCodec isolates the payload codec: the typed fast paths
+// against the gob fallback they replaced on the hot wire, over the shapes
+// the patternlets actually send. DeepCopy is a full encode+decode round
+// trip through the pooled-buffer path.
+func BenchmarkWireCodec(b *testing.B) {
+	ints := make([]int, 64)
+	for i := range ints {
+		ints[i] = i * 3
+	}
+	f64s := make([]float64, 1<<17) // 1 MiB of float64
+	for i := range f64s {
+		f64s[i] = float64(i) * 1.5
+	}
+	bench := func(name string, roundTrip func() error, bytes int64) {
+		b.Run(name, func(b *testing.B) {
+			if bytes > 0 {
+				b.SetBytes(bytes)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := roundTrip(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	gobTrip := func(v any, out func() any) func() error {
+		return func() error {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+				return err
+			}
+			return gob.NewDecoder(&buf).Decode(out())
+		}
+	}
+	bench("fast/int", func() error { _, err := mpi.DeepCopy(42); return err }, 0)
+	bench("fast/ints-64", func() error { _, err := mpi.DeepCopy(ints); return err }, int64(64*8))
+	bench("fast/float64s-1MiB", func() error { _, err := mpi.DeepCopy(f64s); return err }, 1<<20)
+	v := 42
+	bench("gob/int", gobTrip(&v, func() any { var x int; return &x }), 0)
+	bench("gob/ints-64", gobTrip(&ints, func() any { var x []int; return &x }), int64(64*8))
+	bench("gob/float64s-1MiB", gobTrip(&f64s, func() any { var x []float64; return &x }), 1<<20)
+}
+
+// BenchmarkWirePingPong sweeps a []byte round trip across payload sizes
+// and transports, with the gob fallback as the comparison point — the
+// small-payload rows are the latency acceptance numbers for the framed
+// wire, the fast/…-4KiB rows its copy cost.
+func BenchmarkWirePingPong(b *testing.B) {
+	pingpong := func(rounds, size int) func(c *mpi.Comm) error {
+		payload := make([]byte, size)
+		return func(c *mpi.Comm) error {
+			const tag = 1
+			for i := 0; i < rounds; i++ {
+				if c.Rank() == 0 {
+					if err := mpi.Send(c, payload, 1, tag); err != nil {
+						return err
+					}
+					if _, _, err := mpi.Recv[[]byte](c, 1, tag); err != nil {
+						return err
+					}
+				} else {
+					v, _, err := mpi.Recv[[]byte](c, 0, tag)
+					if err != nil {
+						return err
+					}
+					if err := mpi.Send(c, v, 0, tag); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+	}
+	for _, tr := range []struct {
+		name string
+		opts []mpi.Option
+	}{
+		{"chan", nil},
+		{"tcp", []mpi.Option{mpi.WithTCP()}},
+	} {
+		for _, codec := range []struct {
+			name string
+			opts []mpi.Option
+		}{
+			{"fast", nil},
+			{"gob", []mpi.Option{mpi.WithGobWire()}},
+		} {
+			for _, size := range []int{8, 64, 4096} {
+				opts := append(append([]mpi.Option{}, tr.opts...), codec.opts...)
+				b.Run(fmt.Sprintf("%s/%s/%dB", tr.name, codec.name, size), func(b *testing.B) {
+					if err := mpi.Run(2, pingpong(b.N, size), opts...); err != nil {
+						b.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkWireBandwidth streams 1 MiB messages one way and reports MB/s,
+// fast codec vs gob fallback over both transports — the sustained-
+// bandwidth acceptance numbers for the framed wire.
+func BenchmarkWireBandwidth(b *testing.B) {
+	const elems = 1 << 17 // 1 MiB of float64 per message
+	stream := func(msgs int) func(c *mpi.Comm) error {
+		payload := make([]float64, elems)
+		for i := range payload {
+			payload[i] = float64(i)
+		}
+		return func(c *mpi.Comm) error {
+			const tag = 2
+			if c.Rank() == 0 {
+				for i := 0; i < msgs; i++ {
+					if err := mpi.Send(c, payload, 1, tag); err != nil {
+						return err
+					}
+				}
+				// Tail ack so the sender cannot outrun delivery.
+				_, _, err := mpi.Recv[bool](c, 1, 3)
+				return err
+			}
+			for i := 0; i < msgs; i++ {
+				if _, _, err := mpi.Recv[[]float64](c, 0, tag); err != nil {
+					return err
+				}
+			}
+			return mpi.Send(c, true, 0, 3)
+		}
+	}
+	for _, tr := range []struct {
+		name string
+		opts []mpi.Option
+	}{
+		{"chan", nil},
+		{"tcp", []mpi.Option{mpi.WithTCP()}},
+	} {
+		for _, codec := range []struct {
+			name string
+			opts []mpi.Option
+		}{
+			{"fast", nil},
+			{"gob", []mpi.Option{mpi.WithGobWire()}},
+		} {
+			opts := append(append([]mpi.Option{}, tr.opts...), codec.opts...)
+			b.Run(tr.name+"/"+codec.name+"/1MiB", func(b *testing.B) {
+				b.SetBytes(elems * 8)
+				if err := mpi.Run(2, stream(b.N), opts...); err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkWireCoalescing measures the small-message batching window on
+// the TCP transport with a one-way stream of tiny messages (one message
+// per op, single tail ack): immediate mode pays a write syscall per frame,
+// a batch window rides many frames per write — the throughput side of the
+// latency-vs-syscalls trade the window exists for.
+func BenchmarkWireCoalescing(b *testing.B) {
+	run := func(b *testing.B, window time.Duration) {
+		var topts []cluster.TCPOption
+		if window > 0 {
+			topts = append(topts, cluster.WithBatchWindow(window))
+		}
+		tr, err := cluster.NewTCPTransport(2, topts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs := b.N
+		err = mpi.Run(2, func(c *mpi.Comm) error {
+			const tag = 1
+			if c.Rank() == 0 {
+				for i := 0; i < msgs; i++ {
+					if err := mpi.Send(c, i, 1, tag); err != nil {
+						return err
+					}
+				}
+				_, _, err := mpi.Recv[bool](c, 1, 2)
+				return err
+			}
+			for i := 0; i < msgs; i++ {
+				if _, _, err := mpi.Recv[int](c, 0, tag); err != nil {
+					return err
+				}
+			}
+			return mpi.Send(c, true, 0, 2)
+		}, mpi.WithTransport(tr))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("immediate", func(b *testing.B) { run(b, 0) })
+	b.Run("window-100us", func(b *testing.B) { run(b, 100*time.Microsecond) })
 }
 
 // ---------------------------------------------------------------------------

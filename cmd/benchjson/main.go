@@ -38,11 +38,15 @@ const tier1Bench = "^(BenchmarkOMPRegionForkJoin|BenchmarkOMPBarrier|" +
 	"BenchmarkFigure21Reduction)$"
 
 // commBench is the communication-stack suite: the per-collective
-// algorithm matrix plus the transport and barrier baselines, recorded as
-// BENCH_<date>_comm.json to justify the registry's policy thresholds.
+// algorithm matrix plus the transport, barrier and wire-format baselines
+// (codec fast-path vs gob fallback, payload-size ping-pong, sustained
+// bandwidth, small-message coalescing), recorded as BENCH_<date>_comm.json
+// to justify the registry's policy thresholds and the wire codec's
+// existence.
 const commBench = "^(BenchmarkCollectiveAlgorithms|BenchmarkMPICollectives|" +
 	"BenchmarkTransportPingPong|BenchmarkAblationBarrierAlgorithms|" +
-	"BenchmarkAlltoall|BenchmarkFigure19MPIReduce)$"
+	"BenchmarkAlltoall|BenchmarkFigure19MPIReduce|BenchmarkWireCodec|" +
+	"BenchmarkWirePingPong|BenchmarkWireBandwidth|BenchmarkWireCoalescing)$"
 
 // tasksBench is the task-runtime suite: task spawn/wait overhead, taskloop
 // vs worksharing loops, tree-combine reductions, and the merge-sort
@@ -57,6 +61,17 @@ var suites = map[string]string{
 	"tier1": tier1Bench,
 	"comm":  commBench,
 	"tasks": tasksBench,
+}
+
+// suiteNames returns the -suite choices, sorted, for help and error text —
+// derived from the map so adding a suite cannot leave stale listings.
+func suiteNames() string {
+	names := make([]string, 0, len(suites))
+	for name := range suites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
 }
 
 // Result is one benchmark line.
@@ -89,7 +104,7 @@ type File struct {
 
 func main() {
 	bench := flag.String("bench", "", "benchmark regex passed to go test -bench (overrides -suite)")
-	suite := flag.String("suite", "tier1", "named benchmark suite: tier1 or comm")
+	suite := flag.String("suite", "tier1", "named benchmark suite: "+suiteNames())
 	benchtime := flag.String("benchtime", "200ms", "value for go test -benchtime")
 	count := flag.Int("count", 1, "value for go test -count")
 	label := flag.String("label", "", "optional label appended to the output file name")
@@ -100,7 +115,7 @@ func main() {
 	if *bench == "" {
 		re, ok := suites[*suite]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (have tier1, comm, tasks)\n", *suite)
+			fmt.Fprintf(os.Stderr, "benchjson: unknown suite %q (have %s)\n", *suite, suiteNames())
 			os.Exit(2)
 		}
 		*bench = re

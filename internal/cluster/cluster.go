@@ -5,27 +5,35 @@
 //
 // Two transports are provided. ChanTransport delivers through in-process
 // mailboxes and is the default. TCPTransport carries every message over a
-// real loopback TCP connection with length-prefixed gob frames, so the
-// message-passing patternlets exercise an actual network path (the
-// distributed-memory column of the paper's §I.A taxonomy). Both present
-// the same Transport interface, and the MPI layer is oblivious to which
-// one is underneath.
+// real loopback TCP connection as length-prefixed binary frames (see
+// wire.go), so the message-passing patternlets exercise an actual network
+// path (the distributed-memory column of the paper's §I.A taxonomy). Both
+// present the same Transport interface, and the MPI layer is oblivious to
+// which one is underneath.
 package cluster
 
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Message is the unit carried by a Transport. Payloads are opaque bytes:
-// the typed MPI layer above gob-encodes values into Payload, which is also
-// what enforces MPI's no-shared-memory model — only bytes ever cross
-// between ranks, never pointers into another rank's heap.
+// the typed MPI layer above serializes values into Payload (the compact
+// wire codec with a gob fallback), which is also what enforces MPI's
+// no-shared-memory model — only bytes ever cross between ranks, never
+// pointers into another rank's heap.
+//
+// Payload buffer ownership transfers with the message: once a Message is
+// handed to Send, the payload belongs to the transport and, after
+// delivery, to the receiving rank — the sender must not reuse or recycle
+// it. This is what lets the layer above return received payload buffers
+// to the wirecodec pool after decoding without a reference count.
 type Message struct {
 	Src     int    // sending world rank
 	Tag     int    // user tags are >= 0; negative tags are reserved for collectives
 	Comm    int    // communicator id, so split communicators have isolated tag spaces
-	Payload []byte // gob-encoded value
+	Payload []byte // wire-encoded value
 }
 
 // ErrClosed is returned by transport operations after Close.
@@ -36,25 +44,114 @@ var ErrClosed = errors.New("cluster: transport closed")
 // deadlock-detection error.
 var ErrTimeout = errors.New("cluster: receive timed out")
 
+// Wildcard values for Match fields. Communicator ids and ranks are always
+// non-negative, so -1 is free to mean "any"; tags use the whole negative
+// range for internal collective traffic, so the tag sentinels sit at the
+// far end of the int range where no real tag can ever land.
+const (
+	// AnyComm matches messages on every communicator.
+	AnyComm = -1
+	// AnySrc matches messages from every sender.
+	AnySrc = -1
+	// AnyTag matches every tag, including the negative tags reserved for
+	// collective traffic.
+	AnyTag = math.MinInt
+	// AnyUserTag matches every non-negative tag — the wildcard the MPI
+	// layer uses so MPI_ANY_TAG can never swallow internal collective
+	// frames.
+	AnyUserTag = math.MinInt + 1
+)
+
+// Match selects messages in a mailbox by (communicator, source, tag).
+// It is a plain value — receives pass it by copy, so the hot receive
+// path allocates nothing and transports can evaluate it without an
+// indirect call. (It replaced a func(Message) bool predicate; every
+// matching rule the runtime ever used is expressible as this triple.)
+type Match struct {
+	Comm int // communicator id, or AnyComm
+	Src  int // sending world rank, or AnySrc
+	Tag  int // exact tag, AnyTag, or AnyUserTag
+}
+
+// MatchAny matches every message — what tests and drain loops want.
+func MatchAny() Match { return Match{Comm: AnyComm, Src: AnySrc, Tag: AnyTag} }
+
+// Matches reports whether m satisfies the selector.
+func (mt Match) Matches(m Message) bool {
+	if mt.Comm != AnyComm && m.Comm != mt.Comm {
+		return false
+	}
+	if mt.Src != AnySrc && m.Src != mt.Src {
+		return false
+	}
+	switch mt.Tag {
+	case AnyTag:
+		return true
+	case AnyUserTag:
+		return m.Tag >= 0
+	default:
+		return m.Tag == mt.Tag
+	}
+}
+
 // Transport moves messages between world ranks.
 type Transport interface {
 	// Send delivers m to the destination rank's mailbox. It may block for
 	// flow control but must not wait for a matching receive (i.e. it has
 	// MPI buffered-send semantics, like eager-protocol MPI_Send).
+	// Ownership of m.Payload passes to the transport.
 	Send(to int, m Message) error
-	// Recv blocks until a message matching the predicate is available for
-	// the given rank and removes it from the mailbox. Matching is in
-	// arrival order: the earliest buffered match wins, which preserves
-	// MPI's non-overtaking guarantee per (source, tag, comm).
-	Recv(rank int, match func(Message) bool) (Message, error)
+	// Recv blocks until a message matching mt is available for the given
+	// rank and removes it from the mailbox. Matching is in arrival order:
+	// the earliest buffered match wins, which preserves MPI's
+	// non-overtaking guarantee per (source, tag, comm).
+	Recv(rank int, mt Match) (Message, error)
 	// RecvTimeout is Recv with a deadline in nanoseconds (0 = no deadline).
-	RecvTimeout(rank int, match func(Message) bool, timeoutNanos int64) (Message, error)
+	RecvTimeout(rank int, mt Match, timeoutNanos int64) (Message, error)
 	// Probe blocks like Recv but leaves the message in the mailbox,
 	// returning a copy (MPI_Probe).
-	Probe(rank int, match func(Message) bool) (Message, error)
+	Probe(rank int, mt Match) (Message, error)
 	// Close releases transport resources. All blocked operations return
 	// ErrClosed.
 	Close() error
+}
+
+// PayloadCopier is the optional interface a transport implements when its
+// Send serializes the payload onto a wire (or into a private staging
+// buffer) before returning, instead of retaining the caller's slice. When
+// a transport reports true, the sender may recycle the payload buffer the
+// moment Send returns; when false (or when the interface is absent), the
+// payload is referenced until the receiving rank consumes it.
+type PayloadCopier interface {
+	SendCopiesPayload() bool
+}
+
+// SendCopiesPayload probes t (through any middleware chain) for the
+// PayloadCopier contract, defaulting to false — the conservative answer
+// that keeps buffers alive until delivery.
+func SendCopiesPayload(t Transport) bool {
+	if p, ok := t.(PayloadCopier); ok {
+		return p.SendCopiesPayload()
+	}
+	return false
+}
+
+// WireStatser is the optional interface a transport implements to expose
+// internal wire-level counters (misrouted frames, flush decisions, frames
+// coalesced). The Instrumented middleware folds these into its snapshots
+// so they surface next to the traffic counters instead of vanishing
+// inside the transport.
+type WireStatser interface {
+	WireStats() map[string]int64
+}
+
+// WireStats probes t for wire-level counters, returning nil when the
+// transport keeps none.
+func WireStats(t Transport) map[string]int64 {
+	if ws, ok := t.(WireStatser); ok {
+		return ws.WireStats()
+	}
+	return nil
 }
 
 // Node is one machine of the simulated cluster.

@@ -72,7 +72,7 @@ func transportCases(t *testing.T, f func(t *testing.T, tr Transport)) {
 	})
 }
 
-func anyMsg(Message) bool { return true }
+var anyMsg = MatchAny()
 
 func TestTransportSendRecv(t *testing.T) {
 	transportCases(t, func(t *testing.T, tr Transport) {
@@ -122,11 +122,11 @@ func TestTransportSelectiveMatch(t *testing.T) {
 		if err := tr.Send(1, Message{Src: 0, Tag: 2, Payload: []byte("B")}); err != nil {
 			t.Fatal(err)
 		}
-		b, err := tr.Recv(1, func(m Message) bool { return m.Tag == 2 })
+		b, err := tr.Recv(1, Match{Comm: AnyComm, Src: AnySrc, Tag: 2})
 		if err != nil || string(b.Payload) != "B" {
 			t.Fatalf("tag-2 recv = (%v, %v)", b, err)
 		}
-		a, err := tr.Recv(1, func(m Message) bool { return m.Tag == 1 })
+		a, err := tr.Recv(1, Match{Comm: AnyComm, Src: AnySrc, Tag: 1})
 		if err != nil || string(a.Payload) != "A" {
 			t.Fatalf("tag-1 recv = (%v, %v)", a, err)
 		}

@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/telemetry"
 )
@@ -21,6 +22,15 @@ type Instrumented struct {
 	Middleware
 	total trafficCounters
 	comms sync.Map // communicator id -> *trafficCounters
+	// commCache short-circuits the comms lookup for the most recently used
+	// communicator: traffic is bursty per communicator (usually the world
+	// comm), and the sync.Map path hashes a boxed int key per message.
+	commCache atomic.Pointer[commSlot]
+}
+
+type commSlot struct {
+	id int
+	tc *trafficCounters
 }
 
 // TrafficStats is a point-in-time snapshot of traffic counters. All maps
@@ -33,6 +43,11 @@ type TrafficStats struct {
 	BytesRecvd uint64         // payload bytes received
 	PeerSends  map[int]uint64 // destination world rank -> messages sent
 	PeerRecvs  map[int]uint64 // source world rank -> messages received
+	// Wire holds the underlying transport's wire-level counters
+	// (misrouted_frames, flush_immediate, flush_batched, frames_coalesced)
+	// when the transport keeps them; empty otherwise. Only Totals
+	// populates it — wire counters are per-connection, not per-communicator.
+	Wire map[string]int64
 }
 
 // Counter names within a bucket's CounterSet. Per-peer counters append
@@ -58,8 +73,50 @@ type trafficCounters struct {
 	recvs     *telemetry.Counter
 	bytesSent *telemetry.Counter
 	bytesRecv *telemetry.Counter
-	peerSends sync.Map // destination rank -> *telemetry.Counter
-	peerRecvs sync.Map // source rank -> *telemetry.Counter
+	peerSends peerCounters // indexed by destination rank
+	peerRecvs peerCounters // indexed by source rank
+}
+
+// peerCounters is a rank-indexed counter table with lock-free reads: the
+// hot path is one atomic pointer load and a slice index — world ranks are
+// small dense ints, so a slice beats the interface-keyed sync.Map it
+// replaced (which hashed a boxed int per message). Growth copies under
+// the mutex; readers keep using the old table until the swap.
+type peerCounters struct {
+	tbl atomic.Pointer[[]*telemetry.Counter]
+	mu  sync.Mutex
+}
+
+func (pc *peerCounters) get(set *telemetry.CounterSet, prefix string, rank int) *telemetry.Counter {
+	if t := pc.tbl.Load(); t != nil && rank < len(*t) {
+		if c := (*t)[rank]; c != nil {
+			return c
+		}
+	}
+	if rank < 0 {
+		// Defensive: a negative rank cannot index the table; count it under
+		// its formatted name only.
+		return set.Counter(prefix + strconv.Itoa(rank))
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	var cur []*telemetry.Counter
+	if t := pc.tbl.Load(); t != nil {
+		cur = *t
+	}
+	if rank < len(cur) && cur[rank] != nil {
+		return cur[rank]
+	}
+	n := len(cur)
+	if n <= rank {
+		n = rank + 1
+	}
+	next := make([]*telemetry.Counter, n)
+	copy(next, cur)
+	c := set.Counter(prefix + strconv.Itoa(rank))
+	next[rank] = c
+	pc.tbl.Store(&next)
+	return c
 }
 
 func (tc *trafficCounters) init() {
@@ -71,36 +128,29 @@ func (tc *trafficCounters) init() {
 	})
 }
 
-// peerCounter resolves the per-peer counter for rank in cache, creating
-// the underlying telemetry counter (named prefix + rank) on first touch.
-func peerCounter(set *telemetry.CounterSet, cache *sync.Map, prefix string, rank int) *telemetry.Counter {
-	if v, ok := cache.Load(rank); ok {
-		return v.(*telemetry.Counter)
-	}
-	c := set.Counter(prefix + strconv.Itoa(rank))
-	v, _ := cache.LoadOrStore(rank, c)
-	return v.(*telemetry.Counter)
-}
-
 func (tc *trafficCounters) recordSend(to int, bytes uint64) {
 	tc.init()
 	tc.sends.Inc()
 	tc.bytesSent.Add(int64(bytes))
-	peerCounter(&tc.set, &tc.peerSends, ctrPeerSend, to).Inc()
+	tc.peerSends.get(&tc.set, ctrPeerSend, to).Inc()
 }
 
 func (tc *trafficCounters) recordRecv(from int, bytes uint64) {
 	tc.init()
 	tc.recvs.Inc()
 	tc.bytesRecv.Add(int64(bytes))
-	peerCounter(&tc.set, &tc.peerRecvs, ctrPeerRecv, from).Inc()
+	tc.peerRecvs.get(&tc.set, ctrPeerRecv, from).Inc()
 }
 
 // emptyTrafficStats is the shared zero-value constructor: every map
 // initialized, so callers can index a snapshot for a communicator that
 // has carried no traffic without nil-map surprises.
 func emptyTrafficStats() TrafficStats {
-	return TrafficStats{PeerSends: map[int]uint64{}, PeerRecvs: map[int]uint64{}}
+	return TrafficStats{
+		PeerSends: map[int]uint64{},
+		PeerRecvs: map[int]uint64{},
+		Wire:      map[string]int64{},
+	}
 }
 
 // snapshot decodes the bucket's counter set into a TrafficStats — the
@@ -137,11 +187,16 @@ func NewInstrumented(inner Transport) *Instrumented {
 }
 
 func (t *Instrumented) commCounters(comm int) *trafficCounters {
-	if v, ok := t.comms.Load(comm); ok {
-		return v.(*trafficCounters)
+	if s := t.commCache.Load(); s != nil && s.id == comm {
+		return s.tc
 	}
-	v, _ := t.comms.LoadOrStore(comm, &trafficCounters{})
-	return v.(*trafficCounters)
+	v, ok := t.comms.Load(comm)
+	if !ok {
+		v, _ = t.comms.LoadOrStore(comm, &trafficCounters{})
+	}
+	tc := v.(*trafficCounters)
+	t.commCache.Store(&commSlot{id: comm, tc: tc})
+	return tc
 }
 
 // Send implements Transport, counting messages the layer below accepted.
@@ -156,8 +211,8 @@ func (t *Instrumented) Send(to int, m Message) error {
 }
 
 // Recv implements Transport, counting delivered messages.
-func (t *Instrumented) Recv(rank int, match func(Message) bool) (Message, error) {
-	m, err := t.Inner.Recv(rank, match)
+func (t *Instrumented) Recv(rank int, mt Match) (Message, error) {
+	m, err := t.Inner.Recv(rank, mt)
 	if err == nil {
 		t.total.recordRecv(m.Src, uint64(len(m.Payload)))
 		t.commCounters(m.Comm).recordRecv(m.Src, uint64(len(m.Payload)))
@@ -166,8 +221,8 @@ func (t *Instrumented) Recv(rank int, match func(Message) bool) (Message, error)
 }
 
 // RecvTimeout implements Transport, counting delivered messages.
-func (t *Instrumented) RecvTimeout(rank int, match func(Message) bool, timeoutNanos int64) (Message, error) {
-	m, err := t.Inner.RecvTimeout(rank, match, timeoutNanos)
+func (t *Instrumented) RecvTimeout(rank int, mt Match, timeoutNanos int64) (Message, error) {
+	m, err := t.Inner.RecvTimeout(rank, mt, timeoutNanos)
 	if err == nil {
 		t.total.recordRecv(m.Src, uint64(len(m.Payload)))
 		t.commCounters(m.Comm).recordRecv(m.Src, uint64(len(m.Payload)))
@@ -175,8 +230,17 @@ func (t *Instrumented) RecvTimeout(rank int, match func(Message) bool, timeoutNa
 	return m, err
 }
 
-// Totals returns the counters summed over every communicator.
-func (t *Instrumented) Totals() TrafficStats { return t.total.snapshot() }
+// Totals returns the counters summed over every communicator, with the
+// underlying transport's wire-level counters (when it keeps any) merged
+// into the Wire map — this is where misrouted frames become visible
+// instead of being dropped silently inside a read loop.
+func (t *Instrumented) Totals() TrafficStats {
+	st := t.total.snapshot()
+	for name, v := range WireStats(t.Inner) {
+		st.Wire[name] = v
+	}
+	return st
+}
 
 // CommStats returns the counters for one communicator id. An id that has
 // carried no traffic reports zeroes with every map initialized.
@@ -189,11 +253,16 @@ func (t *Instrumented) CommStats(comm int) TrafficStats {
 
 // FoldInto adds this transport's traffic totals to the collector's
 // counter set under "cluster."-prefixed names — the hook mpi.Run uses to
-// surface world traffic in a process-wide telemetry summary.
+// surface world traffic in a process-wide telemetry summary. Wire-level
+// counters fold under the same prefix (cluster.misrouted_frames,
+// cluster.flush_immediate, …).
 func (t *Instrumented) FoldInto(col *telemetry.Collector) {
 	st := t.Totals()
 	col.Counter("cluster.sends").Add(int64(st.Sends))
 	col.Counter("cluster.recvs").Add(int64(st.Recvs))
 	col.Counter("cluster.bytes_sent").Add(int64(st.BytesSent))
 	col.Counter("cluster.bytes_recvd").Add(int64(st.BytesRecvd))
+	for name, v := range st.Wire {
+		col.Counter("cluster." + name).Add(v)
+	}
 }

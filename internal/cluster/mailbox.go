@@ -1,23 +1,46 @@
 package cluster
 
 import (
+	"runtime"
 	"sync"
 	"time"
 )
 
+// maxMailboxSpin caps the cooperative-yield probes a receiver makes
+// before parking on the condition variable. A message that is already in
+// flight on an in-process transport (the ping-pong and collective-
+// exchange shapes) usually lands within a few scheduler yields, so
+// spinning skips the park/unpark round trip entirely. The budget is
+// adaptive per mailbox: a spin that finds its message restores the full
+// budget, a spin that falls through to parking halves it. Over a wire
+// transport, where delivery takes a syscall round trip no amount of
+// yielding can hide, the budget collapses to zero within a few receives
+// and the mailbox parks immediately — spinning there would only steal
+// CPU from the very read loop that delivers the message.
+const maxMailboxSpin = 64
+
 // mailbox is an ordered buffer of undelivered messages for one rank, with
-// predicate-matched blocking receives. Messages are matched in arrival
+// match-selected blocking receives. Messages are matched in arrival
 // order, preserving MPI's non-overtaking rule for any fixed (source, tag,
 // comm) triple.
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	queue  []Message
-	closed bool
+	mu   sync.Mutex
+	cond *sync.Cond
+	// queue[head:] are the undelivered messages. Deliveries overwhelmingly
+	// match at the front (FIFO traffic), so take bumps head instead of
+	// shifting the slice — a coalesced batch of thousands of frames drains
+	// in linear time — and put resets to the start of the backing array
+	// whenever the queue empties, so steady-state traffic reuses one array
+	// with no allocation.
+	queue   []Message
+	head    int
+	closed  bool
+	spin    int // current spin budget (see maxMailboxSpin)
+	waiters int // receivers parked on cond; put skips the wake when zero
 }
 
 func newMailbox() *mailbox {
-	mb := &mailbox{}
+	mb := &mailbox{spin: maxMailboxSpin}
 	mb.cond = sync.NewCond(&mb.mu)
 	return mb
 }
@@ -28,14 +51,83 @@ func (mb *mailbox) put(m Message) error {
 	if mb.closed {
 		return ErrClosed
 	}
+	if mb.head > 0 && mb.head == len(mb.queue) {
+		mb.queue = mb.queue[:0]
+		mb.head = 0
+	}
 	mb.queue = append(mb.queue, m)
-	mb.cond.Broadcast()
+	if mb.waiters > 0 {
+		mb.cond.Broadcast()
+	}
 	return nil
 }
 
-// take removes and returns the earliest message satisfying match, blocking
+// findLocked returns the queue index of the earliest message matching mt,
+// or -1. Callers hold mb.mu.
+func (mb *mailbox) findLocked(mt Match) int {
+	for i := mb.head; i < len(mb.queue); i++ {
+		if mt.Matches(mb.queue[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// takeLocked removes and returns the message at index i (an absolute
+// index from findLocked). The head case — by far the common one under
+// FIFO traffic — is a head bump, not a memmove; see the queue field docs.
+func (mb *mailbox) takeLocked(i int, remove bool) Message {
+	m := mb.queue[i]
+	if remove {
+		if i == mb.head {
+			mb.queue[i] = Message{} // drop the payload reference
+			mb.head++
+		} else {
+			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+		}
+	}
+	return m
+}
+
+// take removes and returns the earliest message satisfying mt, blocking
 // until one arrives. remove=false gives Probe semantics.
-func (mb *mailbox) take(match func(Message) bool, remove bool, timeout time.Duration) (Message, error) {
+//
+// The wait is two-phase: a bounded adaptive spin of scheduler yields
+// first (the fast path for messages already in flight), then the
+// condition-variable loop. The spin matters on the small-message latency
+// path — it removes the futex wake from a ping-pong round trip — and the
+// adaptive budget keeps it from burning CPU on transports where delivery
+// is never spin-fast (see maxMailboxSpin).
+func (mb *mailbox) take(mt Match, remove bool, timeout time.Duration) (Message, error) {
+	mb.mu.Lock()
+	if mb.closed {
+		mb.mu.Unlock()
+		return Message{}, ErrClosed
+	}
+	if i := mb.findLocked(mt); i >= 0 {
+		m := mb.takeLocked(i, remove)
+		mb.mu.Unlock()
+		return m, nil
+	}
+	budget := mb.spin
+	mb.mu.Unlock()
+
+	for spin := 0; spin < budget; spin++ {
+		runtime.Gosched()
+		mb.mu.Lock()
+		if mb.closed {
+			mb.mu.Unlock()
+			return Message{}, ErrClosed
+		}
+		if i := mb.findLocked(mt); i >= 0 {
+			mb.spin = maxMailboxSpin // spinning paid off; keep doing it
+			m := mb.takeLocked(i, remove)
+			mb.mu.Unlock()
+			return m, nil
+		}
+		mb.mu.Unlock()
+	}
+
 	var deadline time.Time
 	if timeout > 0 {
 		deadline = time.Now().Add(timeout)
@@ -46,22 +138,28 @@ func (mb *mailbox) take(match func(Message) bool, remove bool, timeout time.Dura
 	}
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
+	// Falling through to a park means this mailbox's messages don't arrive
+	// spin-fast; halve the budget so repeated misses converge on parking
+	// almost immediately. The floor of one probe costs a single yield —
+	// noise next to any wait long enough to park for — and is what lets a
+	// later spin hit restore the full budget.
+	mb.spin = budget / 2
+	if mb.spin < 1 {
+		mb.spin = 1
+	}
 	for {
 		if mb.closed {
 			return Message{}, ErrClosed
 		}
-		for i, m := range mb.queue {
-			if match(m) {
-				if remove {
-					mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
-				}
-				return m, nil
-			}
+		if i := mb.findLocked(mt); i >= 0 {
+			return mb.takeLocked(i, remove), nil
 		}
 		if !deadline.IsZero() && !time.Now().Before(deadline) {
 			return Message{}, ErrTimeout
 		}
+		mb.waiters++
 		mb.cond.Wait()
+		mb.waiters--
 	}
 }
 
@@ -77,7 +175,7 @@ func (mb *mailbox) close() {
 func (mb *mailbox) pending() int {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	return len(mb.queue)
+	return len(mb.queue) - mb.head
 }
 
 // ChanTransport is the in-process transport: one mailbox per rank, sends
@@ -97,7 +195,9 @@ func NewChanTransport(np int) *ChanTransport {
 	return t
 }
 
-// Send implements Transport.
+// Send implements Transport. The mailbox retains m.Payload until the
+// receiver takes it, so ChanTransport does not implement PayloadCopier's
+// copy semantics: sender-side buffers are recycled by the receiving rank.
 func (t *ChanTransport) Send(to int, m Message) error {
 	if to < 0 || to >= len(t.boxes) {
 		return errBadRank(to, len(t.boxes))
@@ -106,27 +206,27 @@ func (t *ChanTransport) Send(to int, m Message) error {
 }
 
 // Recv implements Transport.
-func (t *ChanTransport) Recv(rank int, match func(Message) bool) (Message, error) {
+func (t *ChanTransport) Recv(rank int, mt Match) (Message, error) {
 	if rank < 0 || rank >= len(t.boxes) {
 		return Message{}, errBadRank(rank, len(t.boxes))
 	}
-	return t.boxes[rank].take(match, true, 0)
+	return t.boxes[rank].take(mt, true, 0)
 }
 
 // RecvTimeout implements Transport.
-func (t *ChanTransport) RecvTimeout(rank int, match func(Message) bool, timeoutNanos int64) (Message, error) {
+func (t *ChanTransport) RecvTimeout(rank int, mt Match, timeoutNanos int64) (Message, error) {
 	if rank < 0 || rank >= len(t.boxes) {
 		return Message{}, errBadRank(rank, len(t.boxes))
 	}
-	return t.boxes[rank].take(match, true, time.Duration(timeoutNanos))
+	return t.boxes[rank].take(mt, true, time.Duration(timeoutNanos))
 }
 
 // Probe implements Transport.
-func (t *ChanTransport) Probe(rank int, match func(Message) bool) (Message, error) {
+func (t *ChanTransport) Probe(rank int, mt Match) (Message, error) {
 	if rank < 0 || rank >= len(t.boxes) {
 		return Message{}, errBadRank(rank, len(t.boxes))
 	}
-	return t.boxes[rank].take(match, false, 0)
+	return t.boxes[rank].take(mt, false, 0)
 }
 
 // Close implements Transport.

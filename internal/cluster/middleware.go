@@ -30,24 +30,35 @@ type Middleware struct {
 func (w Middleware) Send(to int, m Message) error { return w.Inner.Send(to, m) }
 
 // Recv implements Transport by forwarding to Inner.
-func (w Middleware) Recv(rank int, match func(Message) bool) (Message, error) {
-	return w.Inner.Recv(rank, match)
+func (w Middleware) Recv(rank int, mt Match) (Message, error) {
+	return w.Inner.Recv(rank, mt)
 }
 
 // RecvTimeout implements Transport by forwarding to Inner.
-func (w Middleware) RecvTimeout(rank int, match func(Message) bool, timeoutNanos int64) (Message, error) {
-	return w.Inner.RecvTimeout(rank, match, timeoutNanos)
+func (w Middleware) RecvTimeout(rank int, mt Match, timeoutNanos int64) (Message, error) {
+	return w.Inner.RecvTimeout(rank, mt, timeoutNanos)
 }
 
 // Probe implements Transport by forwarding to Inner.
-func (w Middleware) Probe(rank int, match func(Message) bool) (Message, error) {
-	return w.Inner.Probe(rank, match)
+func (w Middleware) Probe(rank int, mt Match) (Message, error) {
+	return w.Inner.Probe(rank, mt)
 }
 
 // Close implements Transport by forwarding to Inner.
 func (w Middleware) Close() error { return w.Inner.Close() }
 
+// SendCopiesPayload implements PayloadCopier by probing the wrapped
+// transport, so the payload-ownership contract survives any decorator
+// stack (a Latency-wrapped TCPTransport still copies on Send).
+func (w Middleware) SendCopiesPayload() bool { return SendCopiesPayload(w.Inner) }
+
+// WireStats implements WireStatser by probing the wrapped transport, so
+// wire-level counters surface through decorator stacks.
+func (w Middleware) WireStats() map[string]int64 { return WireStats(w.Inner) }
+
 var _ Transport = Middleware{}
+var _ PayloadCopier = Middleware{}
+var _ WireStatser = Middleware{}
 
 // Latency delays every Send by a fixed one-way duration, modeling the
 // interconnect cost of a distributed-memory system. It works over any

@@ -18,11 +18,11 @@ func TestMiddlewarePassThrough(t *testing.T) {
 	if err := mw.Send(1, Message{Src: 0, Tag: 7, Payload: []byte("x")}); err != nil {
 		t.Fatal(err)
 	}
-	m, err := mw.Recv(1, func(m Message) bool { return m.Tag == 7 })
+	m, err := mw.Recv(1, Match{Comm: AnyComm, Src: AnySrc, Tag: 7})
 	if err != nil || string(m.Payload) != "x" {
 		t.Fatalf("Recv = (%v, %v)", m, err)
 	}
-	if _, err := mw.RecvTimeout(1, func(Message) bool { return true },
+	if _, err := mw.RecvTimeout(1, MatchAny(),
 		int64(10*time.Millisecond)); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("RecvTimeout on empty mailbox: %v", err)
 	}
@@ -42,7 +42,7 @@ func TestLatencyDecoratorOverTCP(t *testing.T) {
 	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
 		t.Fatalf("latency not applied over TCP: send took %v", elapsed)
 	}
-	if _, err := tr.Recv(1, func(m Message) bool { return m.Tag == 1 }); err != nil {
+	if _, err := tr.Recv(1, Match{Comm: AnyComm, Src: AnySrc, Tag: 1}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -67,7 +67,7 @@ func TestInstrumentedCountsTraffic(t *testing.T) {
 		}
 	}
 	for i := 0; i < 3; i++ {
-		if _, err := tr.Recv(1, func(Message) bool { return true }); err != nil {
+		if _, err := tr.Recv(1, MatchAny()); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -110,7 +110,7 @@ func TestInstrumentedFoldInto(t *testing.T) {
 	if err := tr.Send(1, Message{Src: 0, Payload: []byte{1, 2, 3}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tr.Recv(1, func(Message) bool { return true }); err != nil {
+	if _, err := tr.Recv(1, MatchAny()); err != nil {
 		t.Fatal(err)
 	}
 	col := telemetry.New()

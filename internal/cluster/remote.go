@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
@@ -13,7 +12,8 @@ import (
 // other processes (or other RemoteTransport instances). Each instance
 // owns one listener and a mailbox for its own rank, and dials peers by an
 // address table agreed on at startup (see the launch package's
-// rendezvous).
+// rendezvous). It speaks the same length-prefixed binary frame format as
+// TCPTransport (wire.go), so the two interoperate byte-for-byte.
 //
 // With this transport, the "distributed-memory" property is not merely
 // simulated: ranks are separate operating-system processes with disjoint
@@ -25,8 +25,11 @@ type RemoteTransport struct {
 	box   *mailbox
 	ln    net.Listener
 
+	cfg  tcpConfig
+	wire wireCounters
+
 	connMu sync.Mutex
-	conns  map[int]*tcpConn
+	conns  map[int]*wireConn
 
 	closeOnce sync.Once
 	closed    chan struct{}
@@ -34,13 +37,19 @@ type RemoteTransport struct {
 
 // NewRemoteTransport creates the transport for one rank. ln must already
 // be listening on addrs[rank]; the address table must be identical in all
-// processes.
-func NewRemoteTransport(rank, np int, addrs []string, ln net.Listener) (*RemoteTransport, error) {
+// processes. Options tune dialing and coalescing exactly as on
+// TCPTransport.
+func NewRemoteTransport(rank, np int, addrs []string, ln net.Listener, opts ...TCPOption) (*RemoteTransport, error) {
 	if rank < 0 || rank >= np {
 		return nil, fmt.Errorf("cluster: remote rank %d out of range for np %d", rank, np)
 	}
 	if len(addrs) != np {
 		return nil, fmt.Errorf("cluster: %d addresses for np %d", len(addrs), np)
+	}
+	cfg := defaultTCPConfig()
+	cfg.dialTimeout = 10 * time.Second // cross-process startup is slower than loopback
+	for _, o := range opts {
+		o(&cfg)
 	}
 	t := &RemoteTransport{
 		rank:   rank,
@@ -48,9 +57,11 @@ func NewRemoteTransport(rank, np int, addrs []string, ln net.Listener) (*RemoteT
 		addrs:  append([]string(nil), addrs...),
 		box:    newMailbox(),
 		ln:     ln,
-		conns:  map[int]*tcpConn{},
+		cfg:    cfg,
+		conns:  map[int]*wireConn{},
 		closed: make(chan struct{}),
 	}
+	t.wire.init()
 	go t.acceptLoop()
 	return t, nil
 }
@@ -67,25 +78,11 @@ func (t *RemoteTransport) acceptLoop() {
 		if err != nil {
 			return
 		}
-		go t.readLoop(conn)
+		go readFrames(conn, t.rank, &t.wire, func(m Message) { _ = t.box.put(m) })
 	}
 }
 
-func (t *RemoteTransport) readLoop(conn net.Conn) {
-	dec := gob.NewDecoder(conn)
-	for {
-		var f frame
-		if err := dec.Decode(&f); err != nil {
-			_ = conn.Close()
-			return
-		}
-		if f.Dst == t.rank {
-			_ = t.box.put(f.Msg)
-		}
-	}
-}
-
-func (t *RemoteTransport) dial(to int) (*tcpConn, error) {
+func (t *RemoteTransport) dial(to int) (*wireConn, error) {
 	t.connMu.Lock()
 	defer t.connMu.Unlock()
 	if c, ok := t.conns[to]; ok {
@@ -96,11 +93,14 @@ func (t *RemoteTransport) dial(to int) (*tcpConn, error) {
 		return nil, ErrClosed
 	default:
 	}
-	nc, err := net.DialTimeout("tcp", t.addrs[to], 10*time.Second)
+	nc, err := net.DialTimeout("tcp", t.addrs[to], t.cfg.dialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial remote rank %d at %s: %w", to, t.addrs[to], err)
 	}
-	c := &tcpConn{c: nc, enc: gob.NewEncoder(nc)}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		_ = tc.SetNoDelay(t.cfg.noDelay)
+	}
+	c := newWireConn(nc, t.cfg.batchWindow, &t.wire)
 	t.conns[to] = c
 	return c, nil
 }
@@ -117,13 +117,18 @@ func (t *RemoteTransport) Send(to int, m Message) error {
 	if err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.enc.Encode(frame{Dst: to, Msg: m}); err != nil {
+	if err := c.send(to, m); err != nil {
 		return fmt.Errorf("cluster: send to remote rank %d: %w", to, err)
 	}
 	return nil
 }
+
+// WireStats implements WireStatser.
+func (t *RemoteTransport) WireStats() map[string]int64 { return t.wire.snapshot() }
+
+// Note: RemoteTransport does NOT implement PayloadCopier — a self-send
+// parks the caller's payload slice in the local mailbox, so sender-side
+// buffers must stay live until consumed.
 
 // checkOwnRank rejects receive operations for ranks this process does not
 // host.
@@ -135,27 +140,27 @@ func (t *RemoteTransport) checkOwnRank(rank int) error {
 }
 
 // Recv implements Transport for this process's own rank.
-func (t *RemoteTransport) Recv(rank int, match func(Message) bool) (Message, error) {
+func (t *RemoteTransport) Recv(rank int, mt Match) (Message, error) {
 	if err := t.checkOwnRank(rank); err != nil {
 		return Message{}, err
 	}
-	return t.box.take(match, true, 0)
+	return t.box.take(mt, true, 0)
 }
 
 // RecvTimeout implements Transport.
-func (t *RemoteTransport) RecvTimeout(rank int, match func(Message) bool, timeoutNanos int64) (Message, error) {
+func (t *RemoteTransport) RecvTimeout(rank int, mt Match, timeoutNanos int64) (Message, error) {
 	if err := t.checkOwnRank(rank); err != nil {
 		return Message{}, err
 	}
-	return t.box.take(match, true, time.Duration(timeoutNanos))
+	return t.box.take(mt, true, time.Duration(timeoutNanos))
 }
 
 // Probe implements Transport.
-func (t *RemoteTransport) Probe(rank int, match func(Message) bool) (Message, error) {
+func (t *RemoteTransport) Probe(rank int, mt Match) (Message, error) {
 	if err := t.checkOwnRank(rank); err != nil {
 		return Message{}, err
 	}
-	return t.box.take(match, false, 0)
+	return t.box.take(mt, false, 0)
 }
 
 // Close implements Transport.
@@ -165,7 +170,7 @@ func (t *RemoteTransport) Close() error {
 		_ = t.ln.Close()
 		t.connMu.Lock()
 		for _, c := range t.conns {
-			_ = c.c.Close()
+			_ = c.close()
 		}
 		t.connMu.Unlock()
 		t.box.close()

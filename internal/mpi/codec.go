@@ -4,26 +4,79 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+
+	"repro/internal/wirecodec"
 )
 
 // encode serializes a value for the wire. Serialization is what gives the
 // runtime genuine address-space isolation: a slice sent to another rank
 // arrives as a fresh allocation, never an alias.
+//
+// The returned buffer comes from the wirecodec pool on the fast path;
+// ownership follows the cluster.Message convention (the last consumer
+// recycles it). Shapes without a fast path fall back to gob behind tag 0,
+// so arbitrary user types keep working unchanged.
 func encode[T any](v T) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(&v); err != nil {
-		return nil, fmt.Errorf("mpi: encode %T: %w", v, err)
+	return encodeMode(v, false)
+}
+
+// encodeMode is encode with an explicit gob-only switch — worlds started
+// with the gob-only test option force every payload through the fallback,
+// which is how the equivalence tests pin the fast path against the gob
+// oracle.
+func encodeMode[T any](v T, gobOnly bool) ([]byte, error) {
+	if !gobOnly {
+		// encodeFast never retains the pointer, so escape analysis keeps v
+		// on the caller's stack: the interface here is pointer-shaped and
+		// allocation-free. This is the zero-alloc property the small-message
+		// benchmark pins — keep gob (which does leak its argument) on its
+		// own copy below.
+		if b, ok := encodeFast(&v); ok {
+			codecStats.fastEnc.Inc()
+			return b, nil
+		}
 	}
+	vg := v
+	var buf bytes.Buffer
+	buf.WriteByte(tagGob)
+	if err := gob.NewEncoder(&buf).Encode(&vg); err != nil {
+		return nil, fmt.Errorf("mpi: encode %T: %w", vg, err)
+	}
+	codecStats.gobEnc.Inc()
 	return buf.Bytes(), nil
 }
 
-// decode rebuilds a value from its wire form.
+// decode rebuilds a value from its wire form. Decoded values never alias
+// b, so callers may recycle b immediately afterwards.
 func decode[T any](b []byte) (T, error) {
-	var v T
-	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v); err != nil {
-		return v, fmt.Errorf("mpi: decode into %T: %w", v, err)
+	if len(b) == 0 {
+		var zero T
+		return zero, fmt.Errorf("mpi: decode into %T: empty payload", zero)
 	}
-	return v, nil
+	if b[0] != tagGob {
+		// As in encodeMode: decodeFast does not retain the pointer, so v
+		// stays on the stack and the typed receive path allocates nothing
+		// beyond what the decoded value itself needs.
+		var v T
+		ok, err := decodeFast(&v, b)
+		if err != nil {
+			return v, err
+		}
+		if !ok {
+			// Box a fresh zero value for the message, not v itself: putting v
+			// in an interface here would force it onto the heap on the happy
+			// path too, costing an allocation per receive.
+			return v, fmt.Errorf("mpi: decode into %T: typed wire payload (tag %d) for a type without a fast path", *new(T), b[0])
+		}
+		codecStats.fastDec.Inc()
+		return v, nil
+	}
+	var vg T
+	if err := gob.NewDecoder(bytes.NewReader(b[1:])).Decode(&vg); err != nil {
+		return vg, fmt.Errorf("mpi: decode into %T: %w", vg, err)
+	}
+	codecStats.gobDec.Inc()
+	return vg, nil
 }
 
 // DeepCopy round-trips a value through the wire encoding. Patternlets use
@@ -36,5 +89,7 @@ func DeepCopy[T any](v T) (T, error) {
 		var zero T
 		return zero, err
 	}
-	return decode[T](b)
+	out, err := decode[T](b)
+	wirecodec.Put(b) // the round trip owns the buffer end to end
+	return out, err
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/telemetry"
+	"repro/internal/wirecodec"
 )
 
 // Collective operations. Every rank of the communicator must call the same
@@ -96,12 +97,21 @@ func algoFromHeader(b byte) (string, bool) {
 	return "", false
 }
 
-// frame prepends an algorithm header byte to an encoded payload.
-func frame(hdr byte, raw []byte) []byte {
+// encodeFramed encodes v and prepends the algorithm header byte. The
+// result is deliberately GC-managed, not pooled: a rooted collective
+// relays the identical frame to several children (and decodes it locally),
+// so no single consumer could safely recycle it. The intermediate encode
+// buffer is recycled here.
+func encodeFramed[T any](c *Comm, hdr byte, v T) ([]byte, error) {
+	raw, err := encodeMode(v, c.w.gobOnly)
+	if err != nil {
+		return nil, err
+	}
 	f := make([]byte, 1+len(raw))
 	f[0] = hdr
 	copy(f[1:], raw)
-	return f
+	wirecodec.Put(raw)
+	return f, nil
 }
 
 // entryMask returns the binomial-tree span of the node at relative rank
@@ -206,7 +216,7 @@ func Bcast[T any](c *Comm, v T, root int) (T, error) {
 	}
 
 	if c.rank == root {
-		raw, err := encode(v)
+		raw, err := encodeMode(v, c.w.gobOnly)
 		if err != nil {
 			return zero, err
 		}
@@ -214,9 +224,13 @@ func Bcast[T any](c *Comm, v T, root int) (T, error) {
 		sp.SetArg("algo", algo)
 		hdr, ok := algoHeader(algo)
 		if !ok {
+			wirecodec.Put(raw)
 			return zero, errUnknownAlgo(CollBcast, algo)
 		}
-		f := frame(hdr, raw)
+		f := make([]byte, 1+len(raw))
+		f[0] = hdr
+		copy(f[1:], raw)
+		wirecodec.Put(raw)
 		switch algo {
 		case AlgoLinear:
 			for r := 0; r < p; r++ {
@@ -256,7 +270,15 @@ func Bcast[T any](c *Comm, v T, root int) (T, error) {
 			return zero, err
 		}
 	}
-	return decode[T](f[1:])
+	out, err := decode[T](f[1:])
+	// Over a copying transport the received frame is a pooled read buffer
+	// and, with the relays above already written out, this rank is its last
+	// user. Over an in-process transport the frame may still sit in sibling
+	// mailboxes, so it stays with the garbage collector.
+	if c.w.copies {
+		wirecodec.Put(f)
+	}
+	return out, err
 }
 
 // bcastForward relays a frame to the binomial-tree children of the node
@@ -704,8 +726,9 @@ func Scatter[T any](c *Comm, send []T, root int) ([]T, error) {
 			r := (rel + root) % p
 			chunks[rel] = send[r*chunk : (r+1)*chunk]
 		}
-		if raw, err := encode(send); err == nil {
+		if raw, err := encodeMode(send, c.w.gobOnly); err == nil {
 			totalBytes = len(raw)
+			wirecodec.Put(raw)
 		}
 		algo := c.algoFor(CollScatter, totalBytes)
 		sp.SetArg("algo", algo)
@@ -716,11 +739,11 @@ func Scatter[T any](c *Comm, send []T, root int) ([]T, error) {
 		switch algo {
 		case AlgoLinear:
 			for rel := 1; rel < p; rel++ {
-				raw, err := encode(chunks[rel])
+				f, err := encodeFramed(c, hdr, chunks[rel])
 				if err != nil {
 					return nil, err
 				}
-				if err := sendBytes(c, frame(hdr, raw), (rel+root)%p, tag); err != nil {
+				if err := sendBytes(c, f, (rel+root)%p, tag); err != nil {
 					return nil, err
 				}
 			}
@@ -745,9 +768,16 @@ func Scatter[T any](c *Comm, send []T, root int) ([]T, error) {
 	}
 	sp.SetArg("algo", algo)
 	if algo == AlgoLinear {
-		return decode[[]T](f[1:])
+		out, err := decode[[]T](f[1:])
+		if c.w.copies {
+			wirecodec.Put(f) // pooled read buffer, last use (see Bcast)
+		}
+		return out, err
 	}
 	bundle, err := decode[[][]T](f[1:])
+	if c.w.copies {
+		wirecodec.Put(f)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -771,11 +801,11 @@ func scatterForward[T any](c *Comm, bundle [][]T, rel, root, tag int) error {
 		if end > len(bundle) {
 			end = len(bundle)
 		}
-		raw, err := encode(bundle[mask:end])
+		f, err := encodeFramed(c, hdrBinomial, bundle[mask:end])
 		if err != nil {
 			return err
 		}
-		if err := sendBytes(c, frame(hdrBinomial, raw), (rel+mask+root)%p, tag); err != nil {
+		if err := sendBytes(c, f, (rel+mask+root)%p, tag); err != nil {
 			return err
 		}
 	}

@@ -65,22 +65,20 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	})
 
 	ranks := make([]int, len(group))
-	toComm := make(map[int]int, len(group))
 	myNewRank := -1
 	for i, e := range group {
 		worldRank := c.ranks[e.Rank]
 		ranks[i] = worldRank
-		toComm[worldRank] = i
 		if e.Rank == c.rank {
 			myNewRank = i
 		}
 	}
 	return &Comm{
-		w:      c.w,
-		id:     deriveCommID(c.id, seq, color),
-		rank:   myNewRank,
-		ranks:  ranks,
-		toComm: toComm,
+		w:         c.w,
+		id:        deriveCommID(c.id, seq, color),
+		rank:      myNewRank,
+		ranks:     ranks,
+		fromWorld: buildFromWorld(c.w.np, ranks),
 	}, nil
 }
 
@@ -100,15 +98,11 @@ func (c *Comm) Dup() (*Comm, error) {
 	seq := c.collSeq
 	ranks := make([]int, len(c.ranks))
 	copy(ranks, c.ranks)
-	toComm := make(map[int]int, len(c.toComm))
-	for k, v := range c.toComm {
-		toComm[k] = v
-	}
 	return &Comm{
-		w:      c.w,
-		id:     deriveCommID(c.id, seq, dupColor),
-		rank:   c.rank,
-		ranks:  ranks,
-		toComm: toComm,
+		w:         c.w,
+		id:        deriveCommID(c.id, seq, dupColor),
+		rank:      c.rank,
+		ranks:     ranks,
+		fromWorld: buildFromWorld(c.w.np, ranks),
 	}, nil
 }

@@ -1,0 +1,154 @@
+package mpi
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"testing"
+)
+
+// collectiveFingerprint runs every collective plus a point-to-point ring
+// over an np-rank world and gob-encodes each rank's observed results into
+// a per-rank byte fingerprint. Two runs are behaviorally identical exactly
+// when their fingerprints match byte for byte — which is how the
+// equivalence tests pin the fast wire codec against the gob oracle without
+// enumerating result shapes.
+func collectiveFingerprint(np int, opts ...Option) ([][]byte, error) {
+	results := make([][]byte, np)
+	err := Run(np, func(c *Comm) error {
+		var buf bytes.Buffer
+		enc := gob.NewEncoder(&buf)
+		record := func(label string, v any, err error) error {
+			if err != nil {
+				return fmt.Errorf("%s: %w", label, err)
+			}
+			if err := enc.Encode(label); err != nil {
+				return err
+			}
+			return enc.Encode(v)
+		}
+		addI := func(a, b int) int { return a + b }
+		addF := func(a, b float64) float64 { return a + b }
+
+		bc, err := Bcast(c, []float64{1.5, -2.5, float64(np)}, 0)
+		if err := record("bcast", bc, err); err != nil {
+			return err
+		}
+		scSend := make([]int, np*2)
+		for i := range scSend {
+			scSend[i] = i*3 + 1
+		}
+		sc, err := Scatter(c, scSend, 0)
+		if err := record("scatter", sc, err); err != nil {
+			return err
+		}
+		ga, err := Gather(c, []int{c.Rank()*10 + 1, -c.Rank()}, 0)
+		if err := record("gather", ga, err); err != nil {
+			return err
+		}
+		ag, err := Allgather(c, []string{fmt.Sprintf("r%d", c.Rank())})
+		if err := record("allgather", ag, err); err != nil {
+			return err
+		}
+		rd, err := Reduce(c, c.Rank()+1, addI, 0)
+		if err := record("reduce", rd, err); err != nil {
+			return err
+		}
+		ar, err := Allreduce(c, float64(c.Rank())+0.5, addF)
+		if err := record("allreduce", ar, err); err != nil {
+			return err
+		}
+		sn, err := Scan(c, c.Rank()+1, addI)
+		if err := record("scan", sn, err); err != nil {
+			return err
+		}
+		ex, err := Exscan(c, c.Rank()+1, addI)
+		if err := record("exscan", ex, err); err != nil {
+			return err
+		}
+		atSend := make([]int, np)
+		for i := range atSend {
+			atSend[i] = c.Rank()*100 + i
+		}
+		at, err := Alltoall(c, atSend)
+		if err := record("alltoall", at, err); err != nil {
+			return err
+		}
+		dst, src := (c.Rank()+1)%np, (c.Rank()+np-1)%np
+		ring, st, err := Sendrecv[[]byte, []byte](c, []byte(fmt.Sprintf("from %d", c.Rank())), dst, 3, src, 3)
+		if err := record("sendrecv", ring, err); err != nil {
+			return err
+		}
+		// Status.Bytes is the on-wire payload size, which legitimately
+		// differs between codecs; only the routing fields must agree.
+		if err := record("sendrecv-status", []int{st.Source, st.Tag}, nil); err != nil {
+			return err
+		}
+		if err := Barrier(c); err != nil {
+			return err
+		}
+		// Split exercises the splitEntry wire shape and collectives over a
+		// derived communicator.
+		nc, err := c.Split(c.Rank()%2, -c.Rank())
+		if err != nil {
+			return fmt.Errorf("split: %w", err)
+		}
+		if nc != nil {
+			sub, err := Allreduce(nc, c.Rank(), addI)
+			if err := record("split-allreduce", []int{nc.Rank(), nc.Size(), sub}, err); err != nil {
+				return err
+			}
+		}
+		results[c.Rank()] = buf.Bytes()
+		return nil
+	}, opts...)
+	return results, err
+}
+
+// TestCollectiveEquivalenceGobVsFast pins the tentpole invariant: every
+// collective produces byte-identical results whether payloads ride the
+// typed fast codec or are forced through the gob fallback, for every world
+// size 1 through 9 (covering the binomial/dissemination trees' power-of-
+// two, odd and prime shapes).
+func TestCollectiveEquivalenceGobVsFast(t *testing.T) {
+	for np := 1; np <= 9; np++ {
+		fast, err := collectiveFingerprint(np)
+		if err != nil {
+			t.Fatalf("np=%d fast codec: %v", np, err)
+		}
+		oracle, err := collectiveFingerprint(np, WithGobWire())
+		if err != nil {
+			t.Fatalf("np=%d gob oracle: %v", np, err)
+		}
+		for r := 0; r < np; r++ {
+			if !bytes.Equal(fast[r], oracle[r]) {
+				t.Errorf("np=%d rank %d: fast-codec results differ from gob oracle (%d vs %d fingerprint bytes)",
+					np, r, len(fast[r]), len(oracle[r]))
+			}
+		}
+	}
+}
+
+// TestCollectiveEquivalenceGobVsFastTCP repeats the oracle comparison over
+// the TCP transport (framed wire, pooled read buffers, copy-on-send) for a
+// power-of-two, a prime and the max tested world size.
+func TestCollectiveEquivalenceGobVsFastTCP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP equivalence sweep is not short")
+	}
+	for _, np := range []int{2, 5, 9} {
+		fast, err := collectiveFingerprint(np, WithTCP())
+		if err != nil {
+			t.Fatalf("np=%d fast codec: %v", np, err)
+		}
+		oracle, err := collectiveFingerprint(np, WithGobWire(), WithTCP())
+		if err != nil {
+			t.Fatalf("np=%d gob oracle: %v", np, err)
+		}
+		for r := 0; r < np; r++ {
+			if !bytes.Equal(fast[r], oracle[r]) {
+				t.Errorf("np=%d rank %d: TCP fast-codec results differ from gob oracle", np, r)
+			}
+		}
+	}
+}

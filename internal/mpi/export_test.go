@@ -11,3 +11,12 @@ func AllreduceComposed[T any](c *Comm, v T, op func(T, T) T) (T, error) {
 func AllgatherComposed[T any](c *Comm, send []T) ([]T, error) {
 	return allgatherComposed(c, send)
 }
+
+// EncodeMode, DecodeWire and PutWireBuf expose the codec internals to the
+// fuzz and round-trip tests.
+func EncodeMode[T any](v T, gobOnly bool) ([]byte, error) { return encodeMode(v, gobOnly) }
+
+func DecodeWire[T any](b []byte) (T, error) { return decode[T](b) }
+
+// SplitEntry mirrors the internal splitEntry for codec tests.
+type SplitEntry = splitEntry

@@ -73,6 +73,14 @@ type world struct {
 	recvTimeout time.Duration
 	collAlgo    map[string]string     // WithCollectiveAlgorithm overrides (read-only once running)
 	stats       *cluster.Instrumented // the instrumentation decorator wrapping tr
+	// copies caches cluster.SendCopiesPayload(tr): true when the transport
+	// serializes payloads on Send, letting senders recycle encode buffers
+	// immediately; false when the payload rides to the receiver, which
+	// recycles it after decoding.
+	copies bool
+	// gobOnly forces every payload through the gob fallback — the switch
+	// the equivalence tests flip to pin the fast codec against the oracle.
+	gobOnly bool
 	// tele is the process-wide telemetry collector, cached once when the
 	// world starts: every collective checks this plain field against nil,
 	// so a disabled run pays no atomic load per operation. A collector
@@ -84,12 +92,27 @@ type world struct {
 // implicit rank of the calling process. Each rank receives its own *Comm;
 // a Comm must only be used from the goroutine-process it was given to.
 type Comm struct {
-	w       *world
-	id      int
-	rank    int   // this process's rank within the communicator
-	ranks   []int // communicator rank -> world rank
-	toComm  map[int]int
-	collSeq int // per-rank counter of collective operations, for tag agreement
+	w     *world
+	id    int
+	rank  int   // this process's rank within the communicator
+	ranks []int // communicator rank -> world rank
+	// fromWorld maps world rank -> communicator rank (-1 for non-members).
+	// World ranks are small dense ints, so a slice keeps the per-receive
+	// status lookup to an index instead of a map probe.
+	fromWorld []int
+	collSeq   int // per-rank counter of collective operations, for tag agreement
+}
+
+// buildFromWorld inverts a ranks table over a world of np processes.
+func buildFromWorld(np int, ranks []int) []int {
+	fw := make([]int, np)
+	for i := range fw {
+		fw[i] = -1
+	}
+	for cr, wr := range ranks {
+		fw[wr] = cr
+	}
+	return fw
 }
 
 // Rank returns the calling process's rank in this communicator
@@ -160,7 +183,15 @@ type runConfig struct {
 	recvTimeout time.Duration
 	transport   cluster.Transport
 	collAlgo    map[string]string
+	gobOnly     bool
 }
+
+// WithGobWire forces every payload through the gob fallback codec,
+// bypassing the typed fast paths. The equivalence tests use it to pin the
+// fast codec against the gob oracle (same collectives, byte-identical
+// results), and the wire benchmarks use it to measure what the fast codec
+// buys. Production code should never need it.
+func WithGobWire() Option { return func(c *runConfig) { c.gobOnly = true } }
 
 // WithTCP runs the world over the loopback TCP transport instead of
 // in-process channels.
@@ -237,7 +268,13 @@ func Run(np int, body func(c *Comm) error, opts ...Option) error {
 		recvTimeout: cfg.recvTimeout,
 		collAlgo:    cfg.collAlgo,
 		stats:       inst,
+		copies:      cluster.SendCopiesPayload(inst),
+		gobOnly:     cfg.gobOnly,
 		tele:        telemetry.Active(),
+	}
+	var codecBase map[string]int64
+	if w.tele != nil {
+		codecBase = codecSnapshot()
 	}
 
 	errs := make([]error, np)
@@ -260,18 +297,18 @@ func Run(np int, body func(c *Comm) error, opts ...Option) error {
 	wg.Wait()
 	if w.tele != nil {
 		// Surface the world's traffic totals in the process-wide counter
-		// set before the transport closes.
+		// set before the transport closes, plus the codec fast-path vs
+		// gob-fallback activity this world generated.
 		inst.FoldInto(w.tele)
+		foldCodecDelta(w.tele, codecBase)
 	}
 	return errors.Join(errs...)
 }
 
 func newWorldComm(w *world, rank int) *Comm {
 	ranks := make([]int, w.np)
-	toComm := make(map[int]int, w.np)
 	for i := range ranks {
 		ranks[i] = i
-		toComm[i] = i
 	}
-	return &Comm{w: w, id: 0, rank: rank, ranks: ranks, toComm: toComm}
+	return &Comm{w: w, id: 0, rank: rank, ranks: ranks, fromWorld: buildFromWorld(w.np, ranks)}
 }

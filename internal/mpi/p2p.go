@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"repro/internal/cluster"
+	"repro/internal/wirecodec"
 )
 
 // Point-to-point messaging: the Message Passing pattern (§III.E). Methods
@@ -26,9 +27,12 @@ func Send[T any](c *Comm, v T, dest, tag int) error {
 }
 
 // sendRaw is Send without user-facing validation, shared with collectives
-// (which use reserved negative tags).
+// (which use reserved negative tags). The encoded payload is a pooled
+// buffer: when the transport copies on Send (TCP frames), it is recycled
+// here immediately; otherwise ownership rides with the message and the
+// receiving rank recycles it after decoding.
 func sendRaw[T any](c *Comm, v T, dest, tag int) error {
-	payload, err := encode(v)
+	payload, err := encodeMode(v, c.w.gobOnly)
 	if err != nil {
 		return err
 	}
@@ -38,37 +42,34 @@ func sendRaw[T any](c *Comm, v T, dest, tag int) error {
 		Comm:    c.id,
 		Payload: payload,
 	}
-	return c.w.tr.Send(c.ranks[dest], m)
+	err = c.w.tr.Send(c.ranks[dest], m)
+	if c.w.copies {
+		wirecodec.Put(payload)
+	}
+	return err
 }
 
-// matcher builds the mailbox predicate for (src, tag) in communicator c,
-// honoring AnySource and AnyTag wildcards. src is a comm rank.
-func (c *Comm) matcher(src, tag int) func(cluster.Message) bool {
-	var wantWorldSrc = -1
+// matcher builds the mailbox selector for (src, tag) in communicator c,
+// honoring AnySource and AnyTag wildcards. src is a comm rank. The
+// selector is a plain value (no closure), so the receive path allocates
+// nothing.
+func (c *Comm) matcher(src, tag int) cluster.Match {
+	mt := cluster.Match{Comm: c.id, Src: cluster.AnySrc, Tag: tag}
 	if src != AnySource {
-		wantWorldSrc = c.ranks[src]
+		mt.Src = c.ranks[src]
 	}
-	return func(m cluster.Message) bool {
-		if m.Comm != c.id {
-			return false
-		}
-		if wantWorldSrc != -1 && m.Src != wantWorldSrc {
-			return false
-		}
-		if tag != AnyTag && m.Tag != tag {
-			return false
-		}
-		if tag == AnyTag && m.Tag < 0 {
-			return false // wildcards never match internal collective traffic
-		}
-		return true
+	if tag == AnyTag {
+		// MPI_ANY_TAG matches user tags only, never the negative internal
+		// tags collective traffic rides on.
+		mt.Tag = cluster.AnyUserTag
 	}
+	return mt
 }
 
 func (c *Comm) statusFor(m cluster.Message) Status {
-	src, ok := c.toComm[m.Src]
-	if !ok {
-		src = -1
+	src := -1
+	if m.Src >= 0 && m.Src < len(c.fromWorld) {
+		src = c.fromWorld[m.Src]
 	}
 	return Status{Source: src, Tag: m.Tag, Bytes: len(m.Payload)}
 }
@@ -103,6 +104,10 @@ func recvRaw[T any](c *Comm, src, tag int) (T, Status, error) {
 		return zero, Status{}, err
 	}
 	v, err := decode[T](m.Payload)
+	// The delivered payload buffer is this rank's to recycle: decoded
+	// values never alias it (codec contract), and point-to-point messages
+	// are consumed exactly once.
+	wirecodec.Put(m.Payload)
 	if err != nil {
 		return zero, Status{}, err
 	}

@@ -45,7 +45,13 @@ func RunWorker(rank, np int, tr cluster.Transport, body func(c *Comm) error, opt
 		recvTimeout: cfg.recvTimeout,
 		collAlgo:    cfg.collAlgo,
 		stats:       inst,
+		copies:      cluster.SendCopiesPayload(inst),
+		gobOnly:     cfg.gobOnly,
 		tele:        telemetry.Active(),
+	}
+	var codecBase map[string]int64
+	if w.tele != nil {
+		codecBase = codecSnapshot()
 	}
 	c := newWorldComm(w, rank)
 	defer func() {
@@ -58,6 +64,7 @@ func RunWorker(rank, np int, tr cluster.Transport, body func(c *Comm) error, opt
 	if w.tele != nil {
 		// This process hosts one rank, so the fold covers only its traffic.
 		inst.FoldInto(w.tele)
+		foldCodecDelta(w.tele, codecBase)
 	}
 	return err
 }

@@ -1,0 +1,201 @@
+// Package wirecodec holds the byte-level building blocks of the message
+// wire format shared by the mpi and cluster packages: size-classed pooled
+// buffers, and varint/fixed-width append/consume primitives.
+//
+// The split of responsibilities is deliberate. This package knows nothing
+// about payload *types* (the mpi package's typed codec lives in
+// internal/mpi/wire.go) or about *frames* (the cluster package's
+// transport framing lives in internal/cluster/wire.go); it only provides
+// the mechanics both need so the two layers agree on integer encodings
+// and recycle buffers through one pool.
+//
+// Buffer ownership convention: a buffer obtained from Get is owned by
+// exactly one party at a time. Whoever holds it last calls Put; putting a
+// buffer back while any alias is still live corrupts later encodes, so
+// callers hand ownership off explicitly (see the cluster package's
+// Transport docs for how ownership crosses the wire).
+package wirecodec
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"sync"
+)
+
+// Buffers up to maxPooledCap are recycled; anything larger is left to the
+// garbage collector so a single huge payload cannot pin memory in the
+// pool forever.
+const (
+	minPooledCap = 64
+	maxPooledCap = 1 << 20 // 1 MiB
+)
+
+// Small classes are recycled through bounded mutex-guarded freelists
+// rather than sync.Pool: storing a []byte in a sync.Pool boxes the slice
+// header into an interface, which is itself a heap allocation — one per
+// recycle, exactly on the small-message path whose whole point is zero
+// allocations. A freelist append copies the header into a retained
+// backing array instead. The worst-case retention is bounded and small
+// (maxFreeEntries × every small class size ≈ 1 MiB); large classes stay
+// on sync.Pool so the GC can reclaim them under pressure.
+const (
+	freelistMaxClass = 7  // classes 0..7: 64 B … 8 KiB
+	maxFreeEntries   = 64 // per-class freelist bound
+)
+
+type freelist struct {
+	mu   sync.Mutex
+	free [][]byte
+}
+
+var freelists [freelistMaxClass + 1]freelist
+
+// pools[i] holds buffers with capacity exactly 1<<(i+6) (64 B … 1 MiB);
+// only the classes above freelistMaxClass are used.
+var pools [15]sync.Pool
+
+// classFor returns the pool index whose buffers have capacity >= n, or -1
+// when n exceeds the largest pooled class.
+func classFor(n int) int {
+	if n <= minPooledCap {
+		return 0
+	}
+	if n > maxPooledCap {
+		return -1
+	}
+	return bits.Len(uint(n-1)) - 6
+}
+
+// Get returns a zero-length buffer with capacity at least n. The buffer
+// comes from the pool when a suitable one is available and is freshly
+// allocated otherwise; either way the caller owns it until it calls Put
+// or hands it off.
+func Get(n int) []byte {
+	ci := classFor(n)
+	if ci < 0 {
+		return make([]byte, 0, n)
+	}
+	if ci <= freelistMaxClass {
+		fl := &freelists[ci]
+		fl.mu.Lock()
+		if k := len(fl.free); k > 0 {
+			b := fl.free[k-1]
+			fl.free[k-1] = nil
+			fl.free = fl.free[:k-1]
+			fl.mu.Unlock()
+			return b
+		}
+		fl.mu.Unlock()
+	} else if v := pools[ci].Get(); v != nil {
+		return v.([]byte)[:0]
+	}
+	return make([]byte, 0, 1<<(ci+6))
+}
+
+// Put returns a buffer to the pool for reuse. Buffers outside the pooled
+// size classes (or sub-slices that no longer start at a class boundary)
+// are dropped for the garbage collector. Put(nil) is a no-op.
+func Put(b []byte) {
+	c := cap(b)
+	if c < minPooledCap || c > maxPooledCap {
+		return
+	}
+	ci := bits.Len(uint(c)) - 7 // exact class only: capacity must be 1<<(ci+6)
+	if ci < 0 || ci >= len(pools) || c != 1<<(ci+6) {
+		return
+	}
+	if ci <= freelistMaxClass {
+		fl := &freelists[ci]
+		fl.mu.Lock()
+		if len(fl.free) < maxFreeEntries {
+			fl.free = append(fl.free, b[:0:c])
+		}
+		fl.mu.Unlock()
+		return
+	}
+	pools[ci].Put(b[:0:c]) //nolint:staticcheck // rare large-class recycle: the interface boxing is noise next to the payload
+}
+
+// ---------------------------------------------------------------------------
+// Integer primitives. Lengths and counts travel as unsigned varints,
+// signed scalars as zigzag varints, and bulk numeric slice elements as
+// fixed-width little-endian words (a bulk copy beats per-element varints
+// for both encode and decode throughput).
+
+// AppendUvarint appends v in unsigned LEB128 form.
+func AppendUvarint(b []byte, v uint64) []byte {
+	return binary.AppendUvarint(b, v)
+}
+
+// AppendVarint appends v in zigzag varint form.
+func AppendVarint(b []byte, v int64) []byte {
+	return binary.AppendVarint(b, v)
+}
+
+// Uvarint consumes an unsigned varint from the front of b, returning the
+// value and the remaining bytes. ok is false on truncated or overlong
+// input.
+func Uvarint(b []byte) (v uint64, rest []byte, ok bool) {
+	v, n := binary.Uvarint(b)
+	if n <= 0 {
+		return 0, b, false
+	}
+	return v, b[n:], true
+}
+
+// Varint consumes a zigzag varint from the front of b.
+func Varint(b []byte) (v int64, rest []byte, ok bool) {
+	v, n := binary.Varint(b)
+	if n <= 0 {
+		return 0, b, false
+	}
+	return v, b[n:], true
+}
+
+// AppendUint64 appends v as 8 fixed little-endian bytes.
+func AppendUint64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+// Uint64 consumes 8 fixed little-endian bytes.
+func Uint64(b []byte) (v uint64, rest []byte, ok bool) {
+	if len(b) < 8 {
+		return 0, b, false
+	}
+	return binary.LittleEndian.Uint64(b), b[8:], true
+}
+
+// AppendUint32 appends v as 4 fixed little-endian bytes.
+func AppendUint32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+// Uint32 consumes 4 fixed little-endian bytes.
+func Uint32(b []byte) (v uint32, rest []byte, ok bool) {
+	if len(b) < 4 {
+		return 0, b, false
+	}
+	return binary.LittleEndian.Uint32(b), b[4:], true
+}
+
+// AppendBytes appends a length-prefixed byte string.
+func AppendBytes(b, s []byte) []byte {
+	b = AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// Bytes consumes a length-prefixed byte string, returning a view into b
+// (no copy — the caller copies if it outlives b).
+func Bytes(b []byte) (s, rest []byte, ok bool) {
+	n, b, ok := Uvarint(b)
+	if !ok || uint64(len(b)) < n {
+		return nil, b, false
+	}
+	return b[:n], b[n:], true
+}
+
+// AppendString appends a length-prefixed string.
+func AppendString(b []byte, s string) []byte {
+	b = AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}

@@ -1,0 +1,143 @@
+package wirecodec
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		n, class int
+	}{
+		{0, 0}, {1, 0}, {64, 0},
+		{65, 1}, {128, 1},
+		{129, 2}, {256, 2},
+		{1 << 20, 14},
+		{1<<20 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestGetCapacityAndLength(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 1 << 20, 1<<20 + 1} {
+		b := Get(n)
+		if len(b) != 0 {
+			t.Errorf("Get(%d): len = %d, want 0", n, len(b))
+		}
+		if cap(b) < n {
+			t.Errorf("Get(%d): cap = %d, want >= %d", n, cap(b), n)
+		}
+		Put(b)
+	}
+}
+
+func TestPutExactClassOnly(t *testing.T) {
+	// A buffer whose capacity is not exactly a pool class must be dropped,
+	// not pooled: a later Get would otherwise hand out a buffer with less
+	// capacity than its class promises. Exercise Put with off-class
+	// capacities and verify Get still honors its capacity contract.
+	for _, c := range []int{63, 65, 100, 1<<20 + 1} {
+		Put(make([]byte, 0, c))
+	}
+	for i := 0; i < 32; i++ {
+		if b := Get(128); cap(b) < 128 {
+			t.Fatalf("Get(128) returned cap %d after off-class Puts", cap(b))
+		}
+	}
+	// Put(nil) must not panic.
+	Put(nil)
+}
+
+func TestPoolRoundTrip(t *testing.T) {
+	b := Get(200) // class 2: cap 256
+	if cap(b) != 256 {
+		t.Fatalf("Get(200): cap = %d, want 256", cap(b))
+	}
+	b = append(b, make([]byte, 200)...)
+	Put(b)
+	// The recycled buffer (or a fresh one) must come back zero-length with
+	// full class capacity.
+	b2 := Get(256)
+	if len(b2) != 0 || cap(b2) < 256 {
+		t.Fatalf("Get(256) after Put: len=%d cap=%d", len(b2), cap(b2))
+	}
+	Put(b2)
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	vals := []int64{0, 1, -1, 63, -64, 1 << 20, -(1 << 20), math.MaxInt64, math.MinInt64}
+	for _, v := range vals {
+		b := AppendVarint(nil, v)
+		got, rest, ok := Varint(b)
+		if !ok || got != v || len(rest) != 0 {
+			t.Errorf("Varint round trip %d: got %d ok=%v rest=%d", v, got, ok, len(rest))
+		}
+	}
+	uvals := []uint64{0, 1, 127, 128, 1 << 32, math.MaxUint64}
+	for _, v := range uvals {
+		b := AppendUvarint(nil, v)
+		got, rest, ok := Uvarint(b)
+		if !ok || got != v || len(rest) != 0 {
+			t.Errorf("Uvarint round trip %d: got %d ok=%v rest=%d", v, got, ok, len(rest))
+		}
+	}
+}
+
+func TestVarintTruncated(t *testing.T) {
+	b := AppendUvarint(nil, 1<<40)
+	if _, _, ok := Uvarint(b[:2]); ok {
+		t.Error("Uvarint accepted truncated input")
+	}
+	b = AppendVarint(nil, -(1 << 40))
+	if _, _, ok := Varint(b[:2]); ok {
+		t.Error("Varint accepted truncated input")
+	}
+	if _, _, ok := Uvarint(nil); ok {
+		t.Error("Uvarint accepted empty input")
+	}
+}
+
+func TestFixedWidthRoundTrip(t *testing.T) {
+	b := AppendUint64(nil, 0xdeadbeefcafef00d)
+	v64, rest, ok := Uint64(b)
+	if !ok || v64 != 0xdeadbeefcafef00d || len(rest) != 0 {
+		t.Errorf("Uint64 round trip: %x ok=%v", v64, ok)
+	}
+	if _, _, ok := Uint64(b[:7]); ok {
+		t.Error("Uint64 accepted short input")
+	}
+	b = AppendUint32(nil, 0xcafebabe)
+	v32, rest, ok := Uint32(b)
+	if !ok || v32 != 0xcafebabe || len(rest) != 0 {
+		t.Errorf("Uint32 round trip: %x ok=%v", v32, ok)
+	}
+	if _, _, ok := Uint32(b[:3]); ok {
+		t.Error("Uint32 accepted short input")
+	}
+}
+
+func TestBytesAndString(t *testing.T) {
+	payload := []byte("patternlet")
+	b := AppendBytes(nil, payload)
+	s, rest, ok := Bytes(b)
+	if !ok || !bytes.Equal(s, payload) || len(rest) != 0 {
+		t.Errorf("Bytes round trip: %q ok=%v", s, ok)
+	}
+	b = AppendString(nil, "mpi")
+	s, rest, ok = Bytes(b)
+	if !ok || string(s) != "mpi" || len(rest) != 0 {
+		t.Errorf("AppendString/Bytes: %q ok=%v", s, ok)
+	}
+	// Length prefix longer than the remaining bytes must fail, not slice
+	// out of range.
+	b = AppendUvarint(nil, 100)
+	b = append(b, 1, 2, 3)
+	if _, _, ok := Bytes(b); ok {
+		t.Error("Bytes accepted length prefix beyond input")
+	}
+}
