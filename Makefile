@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race serve serve-smoke bench bench-json figures study lab examples catalog clean
+.PHONY: all build vet test race serve serve-smoke cluster-smoke bench bench-json figures study lab examples catalog clean
 
 all: build vet test
 
@@ -20,7 +20,7 @@ vet:
 # extra.
 test: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/omp/... ./internal/mpi/... ./internal/cluster/... ./internal/psort/... ./internal/telemetry/... ./internal/trace/... ./internal/serve/...
+	$(GO) test -race ./internal/omp/... ./internal/mpi/... ./internal/cluster/... ./internal/psort/... ./internal/telemetry/... ./internal/trace/... ./internal/serve/... ./internal/ring/...
 
 race:
 	$(GO) test -race ./internal/... ./patternlets
@@ -33,6 +33,12 @@ serve:
 # OpenMP and one MPI patternlet over HTTP, check /healthz and /metrics.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# End-to-end smoke of the multi-node daemon: boot a 3-member ring, run
+# omp and distributed mpi through a non-owner, SIGKILL one member, and
+# verify its keys rehash to the survivors.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

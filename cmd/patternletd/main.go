@@ -5,18 +5,27 @@
 //
 //	patternletd -addr :8080 -workers 4 -queue 32
 //
+// Several daemons form a cluster by sharing a static membership table;
+// each run key is placed on a consistent-hash ring over the members and
+// a /run landing on a non-owner is forwarded to the owner (with retry,
+// hedged failover, and rehashing if the owner is dead):
+//
+//	patternletd -node-id n1 -peers n1=127.0.0.1:7101,n2=127.0.0.1:7102,n3=127.0.0.1:7103
+//
 // Endpoints:
 //
 //	POST /run          {"key":"spmd.omp","tasks":4,"toggles":{"parallel":true}}
+//	POST /worker       host one rank of a cluster-spanning MPI world (cluster mode)
 //	GET  /patternlets  catalog listing
-//	GET  /healthz      liveness + admission stats
+//	GET  /healthz      liveness + admission stats (+ ring ownership in cluster mode)
 //	GET  /metrics      text counter summary
 //	GET  /metrics.json counter snapshot
 //	GET  /trace/{id}   Chrome trace retained from a "trace":true run
 //
 // The service executes through the same Registry.Run entry point as the
 // patternlet CLI; admission control (bounded queue, worker pool,
-// per-request timeouts, graceful drain) lives in internal/serve.
+// per-request timeouts, graceful drain) and cluster placement live in
+// internal/serve.
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -43,14 +53,35 @@ func main() {
 	timeout := flag.Duration("timeout", serve.DefaultRequestTimeout, "default per-request execution timeout")
 	maxTimeout := flag.Duration("max-timeout", serve.DefaultMaxTimeout, "cap on the timeout a request may ask for")
 	drainWait := flag.Duration("drain", 30*time.Second, "how long shutdown waits for in-flight runs")
+	nodeID := flag.String("node-id", "", "this node's id in a multi-node cluster (enables cluster mode)")
+	peers := flag.String("peers", "", "static membership table, id=host:port comma-separated, including this node")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per member on the placement ring (0 = default)")
 	flag.Parse()
 
-	srv := serve.New(collection.Default,
+	opts := []serve.Option{
 		serve.WithWorkers(*workers),
 		serve.WithQueueDepth(*queue),
 		serve.WithTimeout(*timeout),
 		serve.WithMaxTimeout(*maxTimeout),
-	)
+	}
+	var cc *serve.ClusterConfig
+	if *nodeID != "" || *peers != "" {
+		table, err := parsePeers(*peers)
+		if err != nil {
+			log.Fatalf("patternletd: -peers: %v", err)
+		}
+		cc = &serve.ClusterConfig{Self: *nodeID, Peers: table, Replicas: *vnodes}
+		if err := cc.Validate(); err != nil {
+			log.Fatalf("patternletd: %v", err)
+		}
+		opts = append(opts, serve.WithCluster(*cc))
+		// In cluster mode the membership table already names this node's
+		// address; listen there unless -addr was set explicitly.
+		if !flagWasSet("addr") {
+			*addr = table[*nodeID]
+		}
+	}
+	srv := serve.New(collection.Default, opts...)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -64,8 +95,13 @@ func main() {
 			log.Fatalf("patternletd: write -addr-file: %v", err)
 		}
 	}
-	log.Printf("patternletd: serving %d patternlets on http://%s (workers=%d queue=%d)",
-		collection.Default.Len(), bound, *workers, *queue)
+	if cc != nil {
+		log.Printf("patternletd: serving %d patternlets on http://%s (workers=%d queue=%d, node %s of %d-member ring)",
+			collection.Default.Len(), bound, *workers, *queue, cc.Self, len(cc.Peers))
+	} else {
+		log.Printf("patternletd: serving %d patternlets on http://%s (workers=%d queue=%d)",
+			collection.Default.Len(), bound, *workers, *queue)
+	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)
@@ -91,4 +127,35 @@ func main() {
 		log.Printf("patternletd: http shutdown: %v", err)
 	}
 	fmt.Fprintln(os.Stderr, "patternletd: drained")
+}
+
+// parsePeers parses the -peers table: "n1=127.0.0.1:7101,n2=127.0.0.1:7102".
+func parsePeers(s string) (map[string]string, error) {
+	table := map[string]string{}
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(entry, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad entry %q, want id=host:port", entry)
+		}
+		if _, dup := table[id]; dup {
+			return nil, fmt.Errorf("duplicate node id %q", id)
+		}
+		table[id] = addr
+	}
+	return table, nil
+}
+
+// flagWasSet reports whether the named flag appeared on the command line.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }

@@ -171,3 +171,39 @@ func TestRemoteTransportAccessors(t *testing.T) {
 		t.Fatalf("Addrs = %v", trs[0].Addrs())
 	}
 }
+
+// Close must serialize with an in-flight dial: dial holds connMu for the
+// whole TCP connect, so a concurrent Close either waits out the dial and
+// closes the fresh conn, or wins and makes the dial observe closure.
+// Hammer lazy-dialing Sends against Close under the race detector, then
+// pin the post-Close invariant: a dial to a peer that was never connected
+// reports ErrClosed instead of opening a new socket on a dead transport.
+func TestRemoteTransportCloseWhileDialing(t *testing.T) {
+	for iter := 0; iter < 20; iter++ {
+		trs := newRemoteWorld(t, 4)
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 6; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				// Ranks 1 and 2 get dialed during the race; rank 3 never is.
+				to := 1 + g%2
+				_ = trs[0].Send(to, Message{Src: 0, Tag: g, Payload: []byte("racing close")})
+			}(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			_ = trs[0].Close()
+		}()
+		close(start)
+		wg.Wait()
+
+		if err := trs[0].Send(3, Message{Src: 0, Tag: 99}); !errors.Is(err, ErrClosed) {
+			t.Fatalf("iter %d: send after close to undialed rank: err = %v, want ErrClosed", iter, err)
+		}
+	}
+}

@@ -48,6 +48,49 @@ func IsWorker() bool {
 	return os.Getenv(EnvRank) != ""
 }
 
+// Rendezvous is the launcher-side address-table exchange for one world,
+// decoupled from process spawning so that any host of ranks — Spawn's
+// child processes or patternletd daemons hosting ranks for a peer — can
+// coordinate a world over it. Create with NewRendezvous, hand Addr to
+// each rank, and call Wait to run the exchange.
+type Rendezvous struct {
+	ln net.Listener
+	np int
+
+	// Timeout bounds how long Wait waits for all np registrations;
+	// zero selects 30 seconds.
+	Timeout time.Duration
+}
+
+// NewRendezvous binds the rendezvous listener for an np-rank world.
+func NewRendezvous(np int) (*Rendezvous, error) {
+	if np < 1 {
+		return nil, fmt.Errorf("launch: np must be >= 1, got %d", np)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("launch: rendezvous listen: %w", err)
+	}
+	return &Rendezvous{ln: ln, np: np}, nil
+}
+
+// Addr returns the address ranks dial (via Connect or ConnectTo).
+func (r *Rendezvous) Addr() string { return r.ln.Addr().String() }
+
+// Wait accepts one registration per rank and replies to each with the
+// complete address table. It returns once every rank holds the table, or
+// with an error if the exchange fails or times out.
+func (r *Rendezvous) Wait() error {
+	timeout := r.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	return runRendezvous(r.ln, r.np, timeout)
+}
+
+// Close releases the listener; it unblocks a pending Wait with an error.
+func (r *Rendezvous) Close() error { return r.ln.Close() }
+
 // Spawn launches np copies of the current executable with the given
 // arguments, coordinates their rendezvous, streams their combined output
 // to stdout/stderr, and waits for all of them. It returns the joined
@@ -60,10 +103,11 @@ func Spawn(np int, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("launch: cannot locate executable: %w", err)
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	rz, err := NewRendezvous(np)
 	if err != nil {
-		return fmt.Errorf("launch: rendezvous listen: %w", err)
+		return err
 	}
+	ln := rz.ln
 	defer ln.Close()
 
 	cmds := make([]*exec.Cmd, np)
@@ -83,7 +127,7 @@ func Spawn(np int, args []string, stdout, stderr io.Writer) error {
 		cmds[rank] = cmd
 	}
 
-	if err := runRendezvous(ln, np); err != nil {
+	if err := rz.Wait(); err != nil {
 		killAll(cmds)
 		for _, cmd := range cmds {
 			_ = cmd.Wait()
@@ -110,7 +154,7 @@ func killAll(cmds []*exec.Cmd) {
 
 // runRendezvous accepts one registration per rank and replies with the
 // complete address table.
-func runRendezvous(ln net.Listener, np int) (err error) {
+func runRendezvous(ln net.Listener, np int, timeout time.Duration) (err error) {
 	addrs := make([]string, np)
 	conns := make([]net.Conn, 0, np)
 	defer func() {
@@ -118,7 +162,7 @@ func runRendezvous(ln net.Listener, np int) (err error) {
 			_ = c.Close()
 		}
 	}()
-	deadline := time.Now().Add(30 * time.Second)
+	deadline := time.Now().Add(timeout)
 	for len(conns) < np {
 		if d, ok := ln.(*net.TCPListener); ok {
 			_ = d.SetDeadline(deadline)
@@ -162,30 +206,39 @@ func Connect() (rank, np int, tr *cluster.RemoteTransport, err error) {
 	if rendezvous == "" {
 		return 0, 0, nil, fmt.Errorf("launch: %s not set", EnvRendezvous)
 	}
+	tr, err = ConnectTo(rank, np, rendezvous)
+	return rank, np, tr, err
+}
 
+// ConnectTo is the programmatic worker-side rendezvous: it hosts the
+// given rank of an np-rank world coordinated at the rendezvous address,
+// with no environment contract. Spawned worker processes reach it via
+// Connect; patternletd daemons hosting ranks for a cluster-spanning run
+// call it directly.
+func ConnectTo(rank, np int, rendezvous string) (tr *cluster.RemoteTransport, err error) {
 	ln, err := cluster.ListenLoopback()
 	if err != nil {
-		return 0, 0, nil, fmt.Errorf("launch: data listen: %w", err)
+		return nil, fmt.Errorf("launch: data listen: %w", err)
 	}
 	conn, err := net.DialTimeout("tcp", rendezvous, 10*time.Second)
 	if err != nil {
 		_ = ln.Close()
-		return 0, 0, nil, fmt.Errorf("launch: dial rendezvous: %w", err)
+		return nil, fmt.Errorf("launch: dial rendezvous: %w", err)
 	}
 	defer conn.Close()
 	if err := gob.NewEncoder(conn).Encode(hello{Rank: rank, Addr: ln.Addr().String()}); err != nil {
 		_ = ln.Close()
-		return 0, 0, nil, fmt.Errorf("launch: register: %w", err)
+		return nil, fmt.Errorf("launch: register: %w", err)
 	}
 	var tbl table
 	if err := gob.NewDecoder(conn).Decode(&tbl); err != nil {
 		_ = ln.Close()
-		return 0, 0, nil, fmt.Errorf("launch: receive address table: %w", err)
+		return nil, fmt.Errorf("launch: receive address table: %w", err)
 	}
 	tr, err = cluster.NewRemoteTransport(rank, np, tbl.Addrs, ln)
 	if err != nil {
 		_ = ln.Close()
-		return 0, 0, nil, err
+		return nil, err
 	}
-	return rank, np, tr, nil
+	return tr, nil
 }

@@ -47,7 +47,7 @@ func TestRendezvousDistributesFullTable(t *testing.T) {
 	for rank := 0; rank < np; rank++ {
 		go fakeWorker(ln.Addr().String(), rank, "addr-of-"+string(rune('0'+rank)), got)
 	}
-	if err := runRendezvous(ln, np); err != nil {
+	if err := runRendezvous(ln, np, 30*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < np; i++ {
@@ -78,7 +78,7 @@ func TestRendezvousRejectsDuplicateRank(t *testing.T) {
 	// Give the first registration time to land, then duplicate it.
 	time.Sleep(20 * time.Millisecond)
 	go fakeWorker(ln.Addr().String(), 0, "b", got)
-	err = runRendezvous(ln, 2)
+	err = runRendezvous(ln, 2, 30*time.Second)
 	if err == nil || !strings.Contains(err.Error(), "duplicate rank") {
 		t.Fatalf("err = %v, want duplicate-rank failure", err)
 	}
@@ -92,7 +92,7 @@ func TestRendezvousRejectsOutOfRangeRank(t *testing.T) {
 	defer ln.Close()
 	got := make(chan []string, 1)
 	go fakeWorker(ln.Addr().String(), 9, "a", got)
-	if err := runRendezvous(ln, 2); err == nil {
+	if err := runRendezvous(ln, 2, 30*time.Second); err == nil {
 		t.Fatal("rank 9 accepted in a 2-rank world")
 	}
 }
@@ -131,7 +131,7 @@ func TestConnectEndToEnd(t *testing.T) {
 	t.Setenv(EnvNP, "1")
 	t.Setenv(EnvRendezvous, ln.Addr().String())
 	done := make(chan error, 1)
-	go func() { done <- runRendezvous(ln, 1) }()
+	go func() { done <- runRendezvous(ln, 1, 30*time.Second) }()
 	rank, np, tr, err := Connect()
 	if err != nil {
 		t.Fatal(err)

@@ -170,12 +170,6 @@ func (c *Comm) nextCollTag() int {
 // server configuration.
 type Option func(*runConfig)
 
-// RunOption is the old name for Option.
-//
-// Deprecated: use Option. The alias is kept for one release so external
-// callers migrate gracefully; new code should not use it.
-type RunOption = Option
-
 type runConfig struct {
 	useTCP      bool
 	nodes       int

@@ -1,0 +1,202 @@
+// Package ring implements the consistent-hash ring that maps run keys to
+// cluster nodes. Each node is projected onto the ring as many virtual
+// points ("vnodes"); a key is owned by the node whose first vnode follows
+// the key's hash clockwise. The construction is fully deterministic —
+// same members, same replica count, same ownership in every process — so
+// the patternletd nodes of a cluster can route independently and still
+// agree, with no coordination traffic.
+//
+// The property the serving layer leans on is *minimal churn*: removing a
+// node moves only the keys that node owned (they rehash to the survivors
+// that held the next vnodes clockwise), and adding a node steals keys
+// only for the ranges its new vnodes claim. Everything else stays put,
+// which is what keeps a node death from reshuffling the whole catalog.
+package ring
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// DefaultReplicas is the virtual-node count per member: enough points
+// that a 3–10 node cluster's key shares stay within a few percent of
+// even, while membership changes remain cheap to apply.
+const DefaultReplicas = 128
+
+// point is one virtual node: a position on the hash circle and the
+// member that owns it.
+type point struct {
+	hash uint64
+	node string
+}
+
+// Ring is a consistent-hash ring over named nodes. All methods are safe
+// for concurrent use; membership changes (Add/Remove) take a write lock,
+// lookups share a read lock.
+type Ring struct {
+	mu       sync.RWMutex
+	replicas int
+	points   []point         // sorted by hash
+	members  map[string]bool // node -> present
+}
+
+// New builds a ring with the given virtual-node count per member (<= 0
+// selects DefaultReplicas) and initial membership.
+func New(replicas int, nodes ...string) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{replicas: replicas, members: map[string]bool{}}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	return r
+}
+
+// hashKey is FNV-1a 64 with a splitmix64 finalizer: stable across
+// processes and Go versions (unlike maphash), and the avalanche step
+// spreads the near-identical "node#i" vnode strings evenly around the
+// circle, which raw FNV does not.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// vnodeKey names the i-th virtual point of a node.
+func vnodeKey(node string, i int) string {
+	return fmt.Sprintf("%s#%d", node, i)
+}
+
+// Add inserts a node's virtual points. Adding a present member is a
+// no-op, so reconciliation loops can Add unconditionally.
+func (r *Ring) Add(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.members[node] {
+		return
+	}
+	r.members[node] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, point{hash: hashKey(vnodeKey(node, i)), node: node})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a node's virtual points; its keys rehash to whichever
+// members hold the next points clockwise. Removing an absent node is a
+// no-op.
+func (r *Ring) Remove(node string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.members[node] {
+		return
+	}
+	delete(r.members, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Owner returns the node that owns key, or "" if the ring is empty.
+func (r *Ring) Owner(key string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.points[r.search(hashKey(key))].node
+}
+
+// Owners returns up to n distinct nodes in ring order starting at key's
+// owner — the preference list a forwarder walks when the owner is down.
+// Fewer than n are returned when membership is smaller.
+func (r *Ring) Owners(key string, n int) []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	out := make([]string, 0, n)
+	seen := map[string]bool{}
+	for i, start := 0, r.search(hashKey(key)); len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// search finds the index of the first point at or after h, wrapping to 0.
+// Callers hold at least the read lock.
+func (r *Ring) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Replicas returns the virtual-node count per member.
+func (r *Ring) Replicas() int { return r.replicas }
+
+// Has reports whether node is a current member.
+func (r *Ring) Has(node string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.members[node]
+}
+
+// Members returns the current membership, sorted.
+func (r *Ring) Members() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.members))
+	for n := range r.members {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.members)
+}
+
+// Shares counts, for each member, how many of the given keys it owns —
+// the ownership table /healthz reports.
+func (r *Ring) Shares(keys []string) map[string]int {
+	out := map[string]int{}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for n := range r.members {
+		out[n] = 0
+	}
+	if len(r.points) == 0 {
+		return out
+	}
+	for _, k := range keys {
+		out[r.points[r.search(hashKey(k))].node]++
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package ring
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// testKeys builds a deterministic corpus shaped like registry keys.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("patternlet%d.mpi", i)
+	}
+	return keys
+}
+
+// Two independently built rings over the same membership must agree on
+// every owner — the property that lets nodes route without coordinating.
+func TestDeterministicAcrossInstances(t *testing.T) {
+	a := New(0, "n1", "n2", "n3")
+	b := New(0, "n3", "n1", "n2") // different insertion order
+	for _, k := range testKeys(500) {
+		if ao, bo := a.Owner(k), b.Owner(k); ao != bo {
+			t.Fatalf("owner(%q): %q vs %q across instances", k, ao, bo)
+		}
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	r := New(4)
+	if got := r.Owner("x"); got != "" {
+		t.Fatalf("empty ring owner = %q, want \"\"", got)
+	}
+	if got := r.Owners("x", 2); got != nil {
+		t.Fatalf("empty ring owners = %v, want nil", got)
+	}
+	r.Remove("ghost") // no-op, must not panic
+}
+
+// Removing a node moves exactly that node's keys; every other key keeps
+// its owner. This is the minimal-churn guarantee the forwarder's rehash
+// path depends on.
+func TestRemoveMovesOnlyTheDeadNodesKeys(t *testing.T) {
+	r := New(0, "n1", "n2", "n3")
+	keys := testKeys(1000)
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+	r.Remove("n2")
+	for _, k := range keys {
+		after := r.Owner(k)
+		if before[k] == "n2" {
+			if after == "n2" || after == "" {
+				t.Fatalf("key %q still owned by removed node (owner=%q)", k, after)
+			}
+			continue
+		}
+		if after != before[k] {
+			t.Fatalf("key %q moved %q -> %q though its owner survived", k, before[k], after)
+		}
+	}
+}
+
+// Adding a node only steals keys for itself; no key moves between two
+// pre-existing members.
+func TestAddStealsOnlyForItself(t *testing.T) {
+	r := New(0, "n1", "n2")
+	keys := testKeys(1000)
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+	r.Add("n3")
+	moved := 0
+	for _, k := range keys {
+		after := r.Owner(k)
+		if after == before[k] {
+			continue
+		}
+		if after != "n3" {
+			t.Fatalf("key %q moved %q -> %q on an unrelated add", k, before[k], after)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Fatal("adding a third node stole no keys — vnodes not taking ownership")
+	}
+}
+
+// With DefaultReplicas vnodes, a 3-node ring splits 1000 keys within a
+// loose balance envelope (no node starved, none hoarding).
+func TestDistributionIsRoughlyBalanced(t *testing.T) {
+	r := New(0, "n1", "n2", "n3")
+	shares := r.Shares(testKeys(1000))
+	for node, n := range shares {
+		if n < 150 || n > 550 {
+			t.Fatalf("node %s owns %d of 1000 keys; shares=%v", node, n, shares)
+		}
+	}
+}
+
+// Owners returns distinct nodes in preference order, headed by Owner.
+func TestOwnersDistinctAndHeadedByOwner(t *testing.T) {
+	r := New(0, "n1", "n2", "n3")
+	for _, k := range testKeys(100) {
+		owners := r.Owners(k, 3)
+		if len(owners) != 3 {
+			t.Fatalf("owners(%q) = %v, want 3 distinct", k, owners)
+		}
+		if owners[0] != r.Owner(k) {
+			t.Fatalf("owners(%q)[0] = %q, Owner = %q", k, owners[0], r.Owner(k))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("owners(%q) repeats %q: %v", k, o, owners)
+			}
+			seen[o] = true
+		}
+	}
+	// Asking for more than membership clamps.
+	if got := r.Owners("k", 99); len(got) != 3 {
+		t.Fatalf("owners clamp: %v", got)
+	}
+}
+
+// Re-adding a removed node restores its exact ownership: vnode hashes
+// depend only on (node, index), so membership round-trips are stable.
+func TestReAddRestoresOwnership(t *testing.T) {
+	r := New(0, "n1", "n2", "n3")
+	keys := testKeys(500)
+	before := map[string]string{}
+	for _, k := range keys {
+		before[k] = r.Owner(k)
+	}
+	r.Remove("n3")
+	r.Add("n3")
+	for _, k := range keys {
+		if got := r.Owner(k); got != before[k] {
+			t.Fatalf("key %q: owner %q after re-add, want %q", k, got, before[k])
+		}
+	}
+}
+
+func TestDoubleAddIsNoOp(t *testing.T) {
+	r := New(8, "n1")
+	r.Add("n1")
+	if got := len(r.points); got != 8 {
+		t.Fatalf("double add left %d points, want 8", got)
+	}
+	if got := r.Len(); got != 1 {
+		t.Fatalf("Len = %d, want 1", got)
+	}
+}
+
+func TestMembersSorted(t *testing.T) {
+	r := New(4, "zeta", "alpha", "mid")
+	got := r.Members()
+	want := []string{"alpha", "mid", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+}
+
+// Concurrent lookups racing membership changes must be safe (run under
+// -race by the Makefile gate) and never observe an empty answer while at
+// least one member remains.
+func TestConcurrentLookupsDuringMembershipChange(t *testing.T) {
+	r := New(0, "n1", "n2", "n3")
+	keys := testKeys(64)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, k := range keys {
+					if r.Owner(k) == "" {
+						t.Error("Owner returned \"\" with members present")
+						return
+					}
+					r.Owners(k, 2)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		r.Remove("n3")
+		r.Add("n3")
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func BenchmarkOwner(b *testing.B) {
+	r := New(0, "n1", "n2", "n3", "n4", "n5")
+	keys := testKeys(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Owner(keys[i%len(keys)])
+	}
+}

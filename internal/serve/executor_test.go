@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The trace store is a FIFO of the last capacity exports, and the
+// boundary is where it can go wrong: a store holding exactly capacity
+// entries must retain all of them, and the put that goes one past must
+// evict exactly the oldest — not the newest, and not more than one.
+func TestTraceStoreFIFOEvictionAtCapacityBoundary(t *testing.T) {
+	ts := traceStore{capacity: 3}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		ids = append(ids, ts.put([]byte(fmt.Sprintf("trace-%d", i))))
+	}
+
+	// At capacity: nothing evicted yet, every entry readable.
+	if got := ts.len(); got != 3 {
+		t.Fatalf("len at capacity = %d, want 3", got)
+	}
+	for i, id := range ids {
+		data, ok := ts.get(id)
+		if !ok {
+			t.Fatalf("trace %s evicted while store was exactly at capacity", id)
+		}
+		if want := fmt.Sprintf("trace-%d", i); string(data) != want {
+			t.Fatalf("trace %s = %q, want %q", id, data, want)
+		}
+	}
+
+	// One past capacity: the oldest goes, the other three stay.
+	ids = append(ids, ts.put([]byte("trace-3")))
+	if got := ts.len(); got != 3 {
+		t.Fatalf("len past capacity = %d, want 3", got)
+	}
+	if _, ok := ts.get(ids[0]); ok {
+		t.Fatalf("oldest trace %s survived the put past capacity", ids[0])
+	}
+	for _, id := range ids[1:] {
+		if _, ok := ts.get(id); !ok {
+			t.Fatalf("trace %s evicted out of FIFO order", id)
+		}
+	}
+
+	// The next put evicts the next-oldest, pinning strict insertion order.
+	ids = append(ids, ts.put([]byte("trace-4")))
+	if _, ok := ts.get(ids[1]); ok {
+		t.Fatalf("trace %s survived; eviction is not FIFO", ids[1])
+	}
+	if _, ok := ts.get(ids[2]); !ok {
+		t.Fatalf("trace %s evicted ahead of its turn", ids[2])
+	}
+}
+
+// A capacity-1 store degenerates to "latest trace only": every put
+// replaces the previous entry.
+func TestTraceStoreCapacityOne(t *testing.T) {
+	ts := traceStore{capacity: 1}
+	first := ts.put([]byte("a"))
+	second := ts.put([]byte("b"))
+	if _, ok := ts.get(first); ok {
+		t.Fatalf("capacity-1 store retained two traces")
+	}
+	if data, ok := ts.get(second); !ok || string(data) != "b" {
+		t.Fatalf("latest trace = %q, %v", data, ok)
+	}
+	if got := ts.len(); got != 1 {
+		t.Fatalf("len = %d, want 1", got)
+	}
+}

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -17,14 +16,16 @@ import (
 // RunRequest is the POST /run body. Only Key is required; zero values
 // fall back to the patternlet's defaults, exactly as the CLI's flags do.
 type RunRequest struct {
-	Key       string          `json:"key"`
-	Tasks     int             `json:"tasks,omitempty"`
-	Toggles   map[string]bool `json:"toggles,omitempty"`
-	TimeoutMS int64           `json:"timeout_ms,omitempty"`
-	UseTCP    bool            `json:"tcp,omitempty"`
-	Nodes     int             `json:"nodes,omitempty"`
-	Collect   bool            `json:"collect,omitempty"` // fill phases/counters
-	Trace     bool            `json:"trace,omitempty"`   // retain a Chrome trace, implies collect
+	Key        string          `json:"key"`
+	Tasks      int             `json:"tasks,omitempty"`
+	Toggles    map[string]bool `json:"toggles,omitempty"`
+	TimeoutMS  int64           `json:"timeout_ms,omitempty"`
+	UseTCP     bool            `json:"tcp,omitempty"`
+	Nodes      int             `json:"nodes,omitempty"`
+	Collect    bool            `json:"collect,omitempty"`    // fill phases/counters
+	Trace      bool            `json:"trace,omitempty"`      // retain a Chrome trace, implies collect
+	Distribute bool            `json:"distribute,omitempty"` // span the MPI world across cluster members
+	Redirect   bool            `json:"redirect,omitempty"`   // 307 to the owning node instead of proxying
 }
 
 // RunResponse is the POST /run reply for an executed run (any outcome
@@ -38,6 +39,7 @@ type RunResponse struct {
 	Phases    []PhaseSpan      `json:"phases,omitempty"`
 	Counters  map[string]int64 `json:"counters,omitempty"`
 	TraceID   string           `json:"trace_id,omitempty"`
+	Node      string           `json:"node,omitempty"` // executing node id (cluster mode only)
 	Error     string           `json:"error,omitempty"`
 }
 
@@ -63,8 +65,9 @@ type PatternletInfo struct {
 // Handler returns the server's HTTP mux:
 //
 //	POST /run          execute a patternlet (RunRequest → RunResponse)
+//	POST /worker       host one rank of a cluster-spanning world (cluster mode)
 //	GET  /patternlets  catalog listing
-//	GET  /healthz      liveness + admission stats
+//	GET  /healthz      liveness + admission stats (+ ring ownership in cluster mode)
 //	GET  /metrics      human-readable counter summary (text)
 //	GET  /metrics.json counter snapshot (JSON)
 //	GET  /trace/{id}   retained Chrome trace from a trace=true run
@@ -76,6 +79,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("GET /trace/{id}", s.handleTrace)
+	if s.sharded != nil {
+		mux.HandleFunc("POST /worker", s.handleWorker)
+	}
 	return mux
 }
 
@@ -107,31 +113,65 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if req.Distribute {
+		if s.sharded == nil {
+			httpError(w, http.StatusBadRequest, "distribute requires cluster mode (start patternletd with -node-id and -peers)")
+			return
+		}
+		if p.Model != core.MPI && p.Model != core.Hybrid {
+			httpError(w, http.StatusBadRequest, "distribute: %q is a %s patternlet; worlds span only MPI and MPI+OpenMP programs", p.Key(), p.Model)
+			return
+		}
+	}
 
 	timeout := s.clampTimeout(time.Duration(req.TimeoutMS) * time.Millisecond)
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
 
-	opts := core.RunOptions{
-		NumTasks: req.Tasks,
-		Toggles:  req.Toggles,
-		UseTCP:   req.UseTCP,
-		Nodes:    req.Nodes,
-		Collect:  req.Collect || req.Trace,
+	exec := ExecRequest{
+		Key: req.Key,
+		Opts: core.RunOptions{
+			NumTasks: req.Tasks,
+			Toggles:  req.Toggles,
+			UseTCP:   req.UseTCP,
+			Nodes:    req.Nodes,
+			Collect:  req.Collect || req.Trace,
+		},
+		Trace:      req.Trace,
+		Redirect:   req.Redirect,
+		Distribute: req.Distribute,
+		Forwarded:  r.Header.Get(forwardedHeader) != "",
 	}
-	res, err := s.Execute(ctx, req.Key, opts)
+	out, err := s.exec.Execute(ctx, exec)
+
+	var redirect *RedirectError
+	if errors.As(err, &redirect) {
+		w.Header().Set("Location", "http://"+redirect.Addr+"/run")
+		w.WriteHeader(http.StatusTemporaryRedirect)
+		return
+	}
 	if errors.Is(err, errBusy) {
-		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(s.cfg.retryAfter)))
+		// Local saturation answers with this node's configured hint; a
+		// relayed peer 503 carries the peer's own hint through instead.
+		retryAfter := s.cfg.retryAfter
+		var busy *BusyError
+		if errors.As(err, &busy) {
+			retryAfter = busy.RetryAfter
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retryAfter)))
 		httpError(w, http.StatusServiceUnavailable, "server busy: admission queue full")
 		return
 	}
 
+	res := out.Result
 	resp := RunResponse{
 		Key:       res.Key,
 		Tasks:     res.NumTasks,
 		ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond),
 		Output:    res.Output,
 		Counters:  res.Counters,
+		TraceID:   out.TraceID,
+		Node:      out.Node,
 	}
 	for _, ev := range res.Phases {
 		resp.Phases = append(resp.Phases, PhaseSpan{
@@ -140,12 +180,6 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 			Phase: ev.Phase,
 			Value: ev.Value,
 		})
-	}
-	if req.Trace && len(res.Events) > 0 {
-		var buf bytes.Buffer
-		if terr := telemetry.WriteChromeTrace(&buf, res.Events, res.Counters); terr == nil {
-			resp.TraceID = s.traces.put(buf.Bytes())
-		}
 	}
 
 	code := http.StatusOK
@@ -164,6 +198,28 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(resp)
+}
+
+// handleWorker hosts one rank of a peer-launched world in this process.
+// It is cluster-internal: the rank bypasses admission because the world
+// it belongs to already holds an admitted job at its owner.
+func (s *Server) handleWorker(w http.ResponseWriter, r *http.Request) {
+	var wreq WorkerRequest
+	if err := json.NewDecoder(r.Body).Decode(&wreq); err != nil {
+		httpError(w, http.StatusBadRequest, "bad worker body: %v", err)
+		return
+	}
+	if wreq.Key == "" || wreq.NP < 1 || wreq.Rank < 0 || wreq.Rank >= wreq.NP || wreq.Rendezvous == "" {
+		httpError(w, http.StatusBadRequest, "bad worker request: key=%q rank=%d np=%d rendezvous=%q",
+			wreq.Key, wreq.Rank, wreq.NP, wreq.Rendezvous)
+		return
+	}
+	out := s.sharded.hostWorker(r.Context(), wreq)
+	w.Header().Set("Content-Type", "application/json")
+	if out.Error != "" {
+		w.WriteHeader(http.StatusInternalServerError)
+	}
+	json.NewEncoder(w).Encode(out)
 }
 
 // validateRequest applies the same input checks Registry.Run would, so
@@ -236,10 +292,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// balancer to steer new work elsewhere.
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
+	var ringInfo *RingInfo
+	if s.sharded != nil {
+		ringInfo = s.sharded.ringInfo()
+	}
 	json.NewEncoder(w).Encode(struct {
 		Status string `json:"status"`
 		Stats
-	}{status(st), st})
+		Ring *RingInfo `json:"ring,omitempty"`
+	}{status(st), st, ringInfo})
 }
 
 func status(st Stats) string {
@@ -261,7 +322,7 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	data, ok := s.traces.get(id)
+	data, ok := s.local.traces.get(id)
 	if !ok {
 		httpError(w, http.StatusNotFound, "no trace %q (retained: last %d)", id, s.cfg.traceCapacity)
 		return

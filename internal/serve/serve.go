@@ -7,18 +7,21 @@
 // jobs it admitted. See DESIGN.md §8 for the admission → queue → worker
 // pool → run API picture.
 //
-// Every execution goes through core.Registry.Run — the same single entry
-// point the patternlet CLI and benchjson's probe use — so the service
-// adds no second invocation path; it adds admission control around the
-// one that exists.
+// Execution placement is pluggable behind the Executor interface: a
+// single-node server runs everything through its LocalExecutor, while a
+// server configured WithCluster routes each run key over a consistent-
+// hash ring (internal/ring) and forwards remote-owned keys to the peer
+// daemon that owns them, with bounded retry, hedged failover, and
+// rehashing when a peer dies. See DESIGN.md §10.
+//
+// Every execution still goes through core.Registry.Run — the same single
+// entry point the patternlet CLI and benchjson's probe use — so the
+// service adds no second invocation path; it adds admission control and
+// placement around the one that exists.
 package serve
 
 import (
 	"context"
-	"errors"
-	"fmt"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -45,6 +48,7 @@ type config struct {
 	maxTimeout    time.Duration
 	traceCapacity int
 	retryAfter    time.Duration
+	cluster       *ClusterConfig
 }
 
 // WithWorkers caps run concurrency: at most n patternlets execute at
@@ -95,9 +99,18 @@ func WithTraceCapacity(n int) Option {
 }
 
 // WithRetryAfter sets the hint returned in the Retry-After header when
-// the admission queue rejects a request.
+// the admission queue rejects a request. A 503 relayed from a saturated
+// peer carries the peer's own hint instead.
 func WithRetryAfter(d time.Duration) Option {
 	return func(c *config) { c.retryAfter = d }
+}
+
+// WithCluster makes the server one member of a multi-node patternletd
+// cluster: run keys are placed on a consistent-hash ring over the
+// members and remote-owned keys are forwarded to their owner. With no
+// cluster option the server is the exact single-node daemon of PR 5.
+func WithCluster(cc ClusterConfig) Option {
+	return func(c *config) { c.cluster = &cc }
 }
 
 // Telemetry counter names the server maintains; /metrics exposes them
@@ -111,18 +124,6 @@ const (
 	ctrTimedOut  = "serve.timedout"  // runs stopped by their deadline
 )
 
-// job is one admitted execution: the request's context, the run
-// parameters, and the channel the submitting handler waits on.
-type job struct {
-	ctx  context.Context
-	key  string
-	opts core.RunOptions
-
-	res  core.Result
-	err  error
-	done chan struct{}
-}
-
 // Server executes patternlets from a registry under admission control.
 // Create with New, serve with Handler (or mount elsewhere), stop with
 // Shutdown.
@@ -130,18 +131,10 @@ type Server struct {
 	reg *core.Registry
 	cfg config
 
-	queue   chan *job
-	wg      sync.WaitGroup // worker pool
-	running atomic.Int64   // jobs currently executing
-
-	// closed is guarded by mu; submitters hold the read side while
-	// sending on queue so Shutdown's close(queue) (under the write side)
-	// can never race a send.
-	mu     sync.RWMutex
-	closed bool
-
+	local    *LocalExecutor
+	sharded  *shardedExecutor // nil on a single-node server
+	exec     Executor
 	counters telemetry.CounterSet
-	traces   traceStore
 }
 
 // New builds a Server over reg and starts its worker pool.
@@ -160,102 +153,34 @@ func New(reg *core.Registry, opts ...Option) *Server {
 	if cfg.timeout > cfg.maxTimeout {
 		cfg.timeout = cfg.maxTimeout
 	}
-	s := &Server{
-		reg:   reg,
-		cfg:   cfg,
-		queue: make(chan *job, cfg.queueDepth),
-	}
-	s.traces.capacity = cfg.traceCapacity
-	s.wg.Add(cfg.workers)
-	for i := 0; i < cfg.workers; i++ {
-		go s.worker()
+	s := &Server{reg: reg, cfg: cfg}
+	s.local = newLocalExecutor(reg, cfg, &s.counters)
+	s.exec = s.local
+	if cfg.cluster != nil {
+		s.sharded = newShardedExecutor(s.local, *cfg.cluster, &s.counters)
+		s.exec = s.sharded
 	}
 	return s
 }
 
-// worker drains the admission queue until Shutdown closes it. Ranging
-// over the channel guarantees the drain invariant: every job admitted
-// before the close is executed (or, if its context already expired,
-// returned with that error) before the worker exits.
-func (s *Server) worker() {
-	defer s.wg.Done()
-	for j := range s.queue {
-		s.running.Add(1)
-		j.res, j.err = s.reg.Run(j.ctx, j.key, j.opts)
-		s.running.Add(-1)
-		switch {
-		case j.err == nil:
-			s.counters.Counter(ctrCompleted).Inc()
-		case errors.Is(j.err, context.DeadlineExceeded), errors.Is(j.err, context.Canceled):
-			s.counters.Counter(ctrTimedOut).Inc()
-		default:
-			s.counters.Counter(ctrFailed).Inc()
-		}
-		close(j.done)
-	}
-}
-
-// errBusy is returned by submit when the queue is full or the server is
-// shutting down; the HTTP layer maps it to 503 + Retry-After.
-var errBusy = errors.New("serve: admission queue full")
-
-// submit admits a job or reports backpressure. Non-blocking by design:
-// under saturation the caller learns immediately instead of holding a
-// connection that may never be served in time.
-func (s *Server) submit(j *job) error {
-	s.counters.Counter(ctrSubmitted).Inc()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
-		s.counters.Counter(ctrRejected).Inc()
-		return errBusy
-	}
-	select {
-	case s.queue <- j:
-		s.counters.Counter(ctrAccepted).Inc()
-		return nil
-	default:
-		s.counters.Counter(ctrRejected).Inc()
-		return errBusy
-	}
-}
-
 // Execute runs one patternlet through the admission path: queue (or
 // bounce), wait for a worker, return the Result. It is the programmatic
-// form of POST /run and what the HTTP handler calls.
+// form of POST /run and what the HTTP handler calls; on a cluster member
+// the run may execute on a peer node.
 func (s *Server) Execute(ctx context.Context, key string, opts core.RunOptions) (core.Result, error) {
-	j := &job{ctx: ctx, key: key, opts: opts, done: make(chan struct{})}
-	if err := s.submit(j); err != nil {
-		return core.Result{Key: key}, err
-	}
-	// The worker always closes done — even for a job whose context
-	// expired while queued (Registry.Run returns the ctx error without
-	// starting the body) — so this wait cannot leak.
-	<-j.done
-	return j.res, j.err
+	out, err := s.exec.Execute(ctx, ExecRequest{Key: key, Opts: opts})
+	return out.Result, err
 }
+
+// Executor exposes the placement seam, for callers that need the
+// cluster-aware result metadata (node, trace id) Execute drops.
+func (s *Server) Executor() Executor { return s.exec }
 
 // Shutdown stops admission and drains: already-accepted jobs (queued or
 // running) complete, new submissions bounce, and Shutdown returns when
 // the worker pool has exited or ctx fires, whichever is first.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.mu.Lock()
-	if !s.closed {
-		s.closed = true
-		close(s.queue)
-	}
-	s.mu.Unlock()
-	done := make(chan struct{})
-	go func() {
-		s.wg.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		return fmt.Errorf("serve: shutdown: %w", ctx.Err())
-	}
+	return s.local.Shutdown(ctx)
 }
 
 // Stats is a point-in-time view of the server for /healthz.
@@ -270,15 +195,12 @@ type Stats struct {
 
 // Stats snapshots the server's admission state and counters.
 func (s *Server) Stats() Stats {
-	s.mu.RLock()
-	closed := s.closed
-	s.mu.RUnlock()
 	return Stats{
 		Workers:    s.cfg.workers,
 		QueueDepth: s.cfg.queueDepth,
-		Queued:     len(s.queue),
-		Running:    s.running.Load(),
-		Draining:   closed,
+		Queued:     len(s.local.queue),
+		Running:    s.local.running.Load(),
+		Draining:   s.local.draining(),
 		Counters:   s.counters.Snapshot(),
 	}
 }
@@ -293,41 +215,4 @@ func (s *Server) clampTimeout(req time.Duration) time.Duration {
 		return s.cfg.maxTimeout
 	}
 	return req
-}
-
-// traceStore retains the last capacity Chrome-trace exports keyed by id,
-// evicting oldest-first — enough for a classroom's worth of "look at my
-// run" links without unbounded growth.
-type traceStore struct {
-	mu       sync.Mutex
-	capacity int
-	next     int64
-	byID     map[string][]byte
-	order    []string
-}
-
-// put stores one rendered trace and returns its id.
-func (t *traceStore) put(data []byte) string {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.byID == nil {
-		t.byID = map[string][]byte{}
-	}
-	t.next++
-	id := fmt.Sprintf("t%d", t.next)
-	t.byID[id] = data
-	t.order = append(t.order, id)
-	for len(t.order) > t.capacity {
-		delete(t.byID, t.order[0])
-		t.order = t.order[1:]
-	}
-	return id
-}
-
-// get returns the trace with the given id, if still retained.
-func (t *traceStore) get(id string) ([]byte, bool) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	data, ok := t.byID[id]
-	return data, ok
 }

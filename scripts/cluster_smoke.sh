@@ -1,0 +1,157 @@
+#!/usr/bin/env sh
+# Smoke test for multi-node patternletd: boot a 3-member cluster from a
+# static -peers table, run an OpenMP patternlet and a cluster-spanning
+# MPI world through a NON-owner (so the forward path is exercised), then
+# SIGKILL one member and verify its keys rehash to the survivors and
+# forwarded runs still succeed. CI runs it after serve-smoke.
+set -eu
+
+GO=${GO:-go}
+TMPDIR_SMOKE=$(mktemp -d)
+PORT_BASE=${PORT_BASE:-7341}
+
+cleanup() {
+    for pid in "${PID1:-}" "${PID2:-}" "${PID3:-}"; do
+        [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$TMPDIR_SMOKE"
+}
+trap cleanup EXIT INT TERM
+
+fail() {
+    echo "cluster-smoke: FAIL: $1" >&2
+    for n in n1 n2 n3; do
+        echo "--- $n log ---" >&2
+        cat "$TMPDIR_SMOKE/$n.log" >&2 2>/dev/null || true
+    done
+    exit 1
+}
+
+# Extract a top-level string field from a small JSON reply.
+jfield() {
+    printf '%s\n' "$1" | sed -n "s/.*\"$2\":\"\([^\"]*\)\".*/\1/p" | head -1
+}
+
+# Read one counter from a node's /metrics.json (empty if absent).
+counter() {
+    curl -fsS "$1/metrics.json" | tr ',{}' '\n\n\n' | sed -n "s/.*\"$2\":\([0-9]*\).*/\1/p" | head -1
+}
+
+url_of() {
+    case "$1" in
+    n1) echo "http://127.0.0.1:$P1" ;;
+    n2) echo "http://127.0.0.1:$P2" ;;
+    n3) echo "http://127.0.0.1:$P3" ;;
+    esac
+}
+
+echo "cluster-smoke: building patternletd"
+$GO build -o "$TMPDIR_SMOKE/patternletd" ./cmd/patternletd
+
+P1=$PORT_BASE
+P2=$((PORT_BASE + 1))
+P3=$((PORT_BASE + 2))
+PEERS="n1=127.0.0.1:$P1,n2=127.0.0.1:$P2,n3=127.0.0.1:$P3"
+
+"$TMPDIR_SMOKE/patternletd" -node-id n1 -peers "$PEERS" -workers 2 -queue 8 >"$TMPDIR_SMOKE/n1.log" 2>&1 &
+PID1=$!
+"$TMPDIR_SMOKE/patternletd" -node-id n2 -peers "$PEERS" -workers 2 -queue 8 >"$TMPDIR_SMOKE/n2.log" 2>&1 &
+PID2=$!
+"$TMPDIR_SMOKE/patternletd" -node-id n3 -peers "$PEERS" -workers 2 -queue 8 >"$TMPDIR_SMOKE/n3.log" 2>&1 &
+PID3=$!
+
+for n in n1 n2 n3; do
+    i=0
+    until curl -fsS "$(url_of $n)/healthz" 2>/dev/null | grep -q '"status":"ok"'; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && fail "$n did not become healthy within 10s (ports in use? set PORT_BASE)"
+        sleep 0.1
+    done
+done
+echo "cluster-smoke: 3-member ring up on ports $P1-$P3"
+
+# Every member's /healthz must report the ring with all three live.
+for n in n1 n2 n3; do
+    HZ=$(curl -fsS "$(url_of $n)/healthz")
+    printf '%s' "$HZ" | grep -q '"ring"' || fail "$n /healthz has no ring section: $HZ"
+    LIVE=$(printf '%s' "$HZ" | grep -o '"live":true' | wc -l)
+    [ "$LIVE" -eq 3 ] || fail "$n sees $LIVE live members, want 3: $HZ"
+done
+
+# Find spmd.omp's owner by running it once, then resubmit through a
+# non-owner: the reply must name the owner, and the origin must count
+# the forward.
+RUN=$(curl -fsS -X POST "$(url_of n1)/run" -H 'Content-Type: application/json' \
+    -d '{"key":"spmd.omp","tasks":4,"toggles":{"parallel":true}}')
+OWNER=$(jfield "$RUN" node)
+[ -n "$OWNER" ] || fail "no executing node in reply: $RUN"
+ORIGIN=n1
+[ "$OWNER" = n1 ] && ORIGIN=n2
+BEFORE=$(counter "$(url_of $ORIGIN)" serve.forward.out)
+OMP_OUT=$(curl -fsS -X POST "$(url_of $ORIGIN)/run" -H 'Content-Type: application/json' \
+    -d '{"key":"spmd.omp","tasks":4,"toggles":{"parallel":true}}')
+printf '%s' "$OMP_OUT" | grep -q 'Hello from thread' || fail "spmd.omp via non-owner missing hello lines: $OMP_OUT"
+[ "$(jfield "$OMP_OUT" node)" = "$OWNER" ] || fail "spmd.omp did not execute at owner $OWNER: $OMP_OUT"
+AFTER=$(counter "$(url_of $ORIGIN)" serve.forward.out)
+[ "${AFTER:-0}" -gt "${BEFORE:-0}" ] || fail "forward.out did not advance on $ORIGIN (${BEFORE:-0} -> ${AFTER:-0})"
+echo "cluster-smoke: omp run forwarded $ORIGIN -> $OWNER"
+
+# A distribute:true MPI run spans its world across the members: rank 0
+# at the owner, other ranks hosted by peers over POST /worker.
+MPI_RUN=$(curl -fsS -X POST "$(url_of n1)/run" -H 'Content-Type: application/json' \
+    -d '{"key":"broadcast.mpi","tasks":4,"distribute":true}')
+printf '%s' "$MPI_RUN" | grep -q '"error"' && fail "distributed broadcast.mpi errored: $MPI_RUN"
+printf '%s' "$MPI_RUN" | grep -q '"output"' || fail "distributed broadcast.mpi returned no output: $MPI_RUN"
+MPI_OWNER=$(jfield "$MPI_RUN" node)
+[ -n "$MPI_OWNER" ] || fail "no executing node in distributed reply: $MPI_RUN"
+WORLDS=$(counter "$(url_of $MPI_OWNER)" serve.span.worlds)
+[ "${WORLDS:-0}" -ge 1 ] || fail "span.worlds = ${WORLDS:-0} on $MPI_OWNER, want >= 1"
+RANKS=0
+for n in n1 n2 n3; do
+    [ "$n" = "$MPI_OWNER" ] && continue
+    R=$(counter "$(url_of $n)" serve.worker.ranks)
+    RANKS=$((RANKS + ${R:-0}))
+done
+[ "$RANKS" -ge 1 ] || fail "no peer hosted a worker rank (worker.ranks total $RANKS)"
+echo "cluster-smoke: mpi world spanned from $MPI_OWNER ($RANKS peer-hosted ranks)"
+
+# SIGKILL one member and sweep every OpenMP key in the catalog through a
+# survivor: the keys the victim owned must rehash — runs keep succeeding,
+# the rehash counter advances, and /healthz marks the victim dead.
+VICTIM=n3 SURVIVOR=n1
+kill -9 "$PID3"
+PID3=""
+echo "cluster-smoke: SIGKILLed $VICTIM"
+
+KEYS=$(curl -fsS "$(url_of $SURVIVOR)/patternlets" | tr ',{}' '\n\n\n' |
+    sed -n 's/.*"key":"\([^"]*\.omp\)".*/\1/p')
+[ -n "$KEYS" ] || fail "no omp keys in /patternlets"
+N=0
+for key in $KEYS; do
+    OUT=$(curl -fsS -X POST "$(url_of $SURVIVOR)/run" -H 'Content-Type: application/json' \
+        -d "{\"key\":\"$key\"}") || fail "run $key after kill failed outright"
+    printf '%s' "$OUT" | grep -q '"error"' && fail "$key errored after $VICTIM died: $OUT"
+    NODE=$(jfield "$OUT" node)
+    [ "$NODE" = "$VICTIM" ] && fail "$key reportedly ran on dead node $VICTIM"
+    N=$((N + 1))
+done
+echo "cluster-smoke: $N omp keys survived the node death"
+
+REHASH=0
+for n in n1 n2; do
+    R=$(counter "$(url_of $n)" serve.forward.rehash)
+    REHASH=$((REHASH + ${R:-0}))
+done
+[ "$REHASH" -ge 1 ] || fail "no survivor rehashed the dead member off its ring"
+
+HZ=$(curl -fsS "$(url_of $SURVIVOR)/healthz")
+printf '%s' "$HZ" | grep -q '"live":false' || fail "$SURVIVOR still sees every member live: $HZ"
+echo "cluster-smoke: $VICTIM's keys rehashed to survivors (rehash=$REHASH)"
+
+# Survivors drain cleanly on SIGTERM.
+kill "$PID1" "$PID2"
+wait "$PID1" || fail "n1 exited non-zero on SIGTERM"
+wait "$PID2" || fail "n2 exited non-zero on SIGTERM"
+PID1="" PID2=""
+
+echo "cluster-smoke: PASS"
