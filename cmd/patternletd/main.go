@@ -56,6 +56,8 @@ func main() {
 	nodeID := flag.String("node-id", "", "this node's id in a multi-node cluster (enables cluster mode)")
 	peers := flag.String("peers", "", "static membership table, id=host:port comma-separated, including this node")
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per member on the placement ring (0 = default)")
+	probeEvery := flag.Duration("probe-interval", serve.DefaultProbeInterval,
+		"how often members marked down are re-probed for recovery (cluster mode)")
 	flag.Parse()
 
 	opts := []serve.Option{
@@ -70,7 +72,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("patternletd: -peers: %v", err)
 		}
-		cc = &serve.ClusterConfig{Self: *nodeID, Peers: table, Replicas: *vnodes}
+		cc = &serve.ClusterConfig{Self: *nodeID, Peers: table, Replicas: *vnodes, ProbeInterval: *probeEvery}
 		if err := cc.Validate(); err != nil {
 			log.Fatalf("patternletd: %v", err)
 		}

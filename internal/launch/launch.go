@@ -62,12 +62,24 @@ type Rendezvous struct {
 	Timeout time.Duration
 }
 
-// NewRendezvous binds the rendezvous listener for an np-rank world.
+// NewRendezvous binds the rendezvous listener for an np-rank world on
+// loopback — the right scope for Spawn's child processes, which always
+// share the launcher's host.
 func NewRendezvous(np int) (*Rendezvous, error) {
+	return NewRendezvousOn("", np)
+}
+
+// NewRendezvousOn binds the rendezvous listener on the given host, for
+// worlds whose ranks dial in from other machines: Addr then advertises
+// host, not loopback. An empty host selects loopback.
+func NewRendezvousOn(host string, np int) (*Rendezvous, error) {
 	if np < 1 {
 		return nil, fmt.Errorf("launch: np must be >= 1, got %d", np)
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
 	if err != nil {
 		return nil, fmt.Errorf("launch: rendezvous listen: %w", err)
 	}
@@ -212,11 +224,25 @@ func Connect() (rank, np int, tr *cluster.RemoteTransport, err error) {
 
 // ConnectTo is the programmatic worker-side rendezvous: it hosts the
 // given rank of an np-rank world coordinated at the rendezvous address,
-// with no environment contract. Spawned worker processes reach it via
-// Connect; patternletd daemons hosting ranks for a cluster-spanning run
-// call it directly.
-func ConnectTo(rank, np int, rendezvous string) (tr *cluster.RemoteTransport, err error) {
-	ln, err := cluster.ListenLoopback()
+// with no environment contract, binding the rank's data listener on
+// loopback. Spawned worker processes reach it via Connect.
+func ConnectTo(rank, np int, rendezvous string) (*cluster.RemoteTransport, error) {
+	return ConnectOn("", rank, np, rendezvous)
+}
+
+// ConnectOn is ConnectTo with the rank's data listener bound on the
+// given host instead of loopback, so the address it registers at the
+// rendezvous is routable from the world's other ranks when they live on
+// other machines. patternletd daemons hosting ranks for a
+// cluster-spanning run bind on their advertised host. An empty host
+// selects loopback.
+func ConnectOn(host string, rank, np int, rendezvous string) (tr *cluster.RemoteTransport, err error) {
+	var ln net.Listener
+	if host == "" {
+		ln, err = cluster.ListenLoopback()
+	} else {
+		ln, err = net.Listen("tcp", net.JoinHostPort(host, "0"))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("launch: data listen: %w", err)
 	}

@@ -222,3 +222,40 @@ func (b *lockedBuffer) String() string {
 	defer b.mu.Unlock()
 	return b.buf.String()
 }
+
+// NewRendezvousOn and ConnectOn bind on the given host, so the
+// addresses a cross-host world exchanges are routable from its peers;
+// the plain forms keep the loopback default for same-host worlds.
+func TestConnectOnBindsDataListenerOnHost(t *testing.T) {
+	rz, err := NewRendezvousOn("127.0.0.1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rz.Close()
+	if !strings.HasPrefix(rz.Addr(), "127.0.0.1:") {
+		t.Fatalf("rendezvous bound at %q, want an explicit host", rz.Addr())
+	}
+	wait := make(chan error, 1)
+	go func() { wait <- rz.Wait() }()
+
+	// Rank 1 is a hand-rolled worker so the test can read the table the
+	// rendezvous distributed; rank 0 goes through ConnectOn for real.
+	got := make(chan []string, 1)
+	go fakeWorker(rz.Addr(), 1, "addr-of-1", got)
+	tr, err := ConnectOn("127.0.0.1", 0, 2, rz.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := <-wait; err != nil {
+		t.Fatal(err)
+	}
+	tbl := <-got
+	if tbl == nil {
+		t.Fatal("fake worker failed")
+	}
+	host, _, err := net.SplitHostPort(tbl[0])
+	if err != nil || host != "127.0.0.1" {
+		t.Fatalf("rank 0 registered data address %q, want explicit 127.0.0.1 host", tbl[0])
+	}
+}

@@ -134,6 +134,13 @@ func newLocalExecutor(reg *core.Registry, cfg config, counters *telemetry.Counte
 		counters: counters,
 	}
 	l.traces.capacity = cfg.traceCapacity
+	if cfg.cluster != nil {
+		// Node-qualify trace ids in cluster mode: every member counts
+		// "t1, t2, …" independently, and a forwarder's id→node proxy map
+		// must never confuse a peer's t1 with its own. Single-node ids
+		// stay byte-identical to the PR 5 daemon.
+		l.traces.prefix = cfg.cluster.Self + "-"
+	}
 	l.wg.Add(cfg.workers)
 	for i := 0; i < cfg.workers; i++ {
 		go l.worker()
@@ -250,6 +257,7 @@ func (l *LocalExecutor) draining() bool {
 type traceStore struct {
 	mu       sync.Mutex
 	capacity int
+	prefix   string // node qualifier in cluster mode; "" on a single node
 	next     int64
 	byID     map[string][]byte
 	order    []string
@@ -263,7 +271,7 @@ func (t *traceStore) put(data []byte) string {
 		t.byID = map[string][]byte{}
 	}
 	t.next++
-	id := fmt.Sprintf("t%d", t.next)
+	id := fmt.Sprintf("%st%d", t.prefix, t.next)
 	t.byID[id] = data
 	t.order = append(t.order, id)
 	for len(t.order) > t.capacity {

@@ -324,6 +324,12 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	data, ok := s.local.traces.get(id)
 	if !ok {
+		// A forwarded run's trace lives on the node that executed it;
+		// proxy the fetch there so the trace link in the /run reply works
+		// against the node the client contacted.
+		if s.sharded != nil && s.sharded.proxyTrace(w, id) {
+			return
+		}
 		httpError(w, http.StatusNotFound, "no trace %q (retained: last %d)", id, s.cfg.traceCapacity)
 		return
 	}

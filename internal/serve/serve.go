@@ -180,6 +180,9 @@ func (s *Server) Executor() Executor { return s.exec }
 // running) complete, new submissions bounce, and Shutdown returns when
 // the worker pool has exited or ctx fires, whichever is first.
 func (s *Server) Shutdown(ctx context.Context) error {
+	if s.sharded != nil {
+		s.sharded.stop()
+	}
 	return s.local.Shutdown(ctx)
 }
 

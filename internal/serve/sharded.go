@@ -21,14 +21,15 @@ import (
 
 // Cluster routing counters, alongside the serve.* admission set.
 const (
-	ctrForwardOut   = "serve.forward.out"    // runs forwarded to a peer
-	ctrForwardIn    = "serve.forward.in"     // forwarded runs received from peers
-	ctrForwardRetry = "serve.forward.retry"  // per-peer retry attempts
-	ctrForwardHedge = "serve.forward.hedge"  // hedged failover requests launched
-	ctrRehash       = "serve.forward.rehash" // members removed from the ring as dead
-	ctrRedirected   = "serve.redirected"     // 307s issued instead of proxying
-	ctrWorkerRanks  = "serve.worker.ranks"   // world ranks hosted for peers
-	ctrSpanWorlds   = "serve.span.worlds"    // distributed worlds launched here
+	ctrForwardOut   = "serve.forward.out"       // runs forwarded to a peer
+	ctrForwardIn    = "serve.forward.in"        // forwarded runs received from peers
+	ctrForwardRetry = "serve.forward.retry"     // per-peer retry attempts
+	ctrForwardHedge = "serve.forward.hedge"     // hedged failover requests launched
+	ctrRehash       = "serve.forward.rehash"    // members removed from the ring as dead
+	ctrRecovered    = "serve.forward.recovered" // marked-down members probed back onto the ring
+	ctrRedirected   = "serve.redirected"        // 307s issued instead of proxying
+	ctrWorkerRanks  = "serve.worker.ranks"      // world ranks hosted for peers
+	ctrSpanWorlds   = "serve.span.worlds"       // distributed worlds launched here
 )
 
 // Defaults for the cluster knobs below.
@@ -36,6 +37,7 @@ const (
 	DefaultForwardAttempts = 3
 	DefaultForwardBackoff  = 25 * time.Millisecond
 	DefaultHedgeDelay      = 2 * time.Second
+	DefaultProbeInterval   = 2 * time.Second
 )
 
 // ClusterConfig names this node and its static membership table. Peers
@@ -61,6 +63,14 @@ type ClusterConfig struct {
 	// hedged attempt is launched at the next node in the key's
 	// preference order (<= 0 selects DefaultHedgeDelay).
 	HedgeDelay time.Duration
+
+	// ProbeInterval is how often members marked down are re-probed with
+	// GET /healthz; one that answers 200 again rejoins the ring (its
+	// vnode positions are deterministic, so it reclaims exactly the keys
+	// it owned). <= 0 selects DefaultProbeInterval. Without the probe a
+	// transient blip — a peer restart inside the retry window — would
+	// remove the peer until this daemon itself restarts.
+	ProbeInterval time.Duration
 }
 
 // Validate checks the table shape early, so a daemon with a typoed
@@ -114,9 +124,21 @@ type shardedExecutor struct {
 	attempts int
 	backoff  time.Duration
 	hedge    time.Duration
+	probe    time.Duration
 
 	mu   sync.Mutex
 	down map[string]bool
+
+	// remoteTraces remembers which node retained each forwarded run's
+	// trace (id -> node), FIFO-bounded like the trace store itself, so
+	// GET /trace/{id} on this node can proxy to the retaining peer.
+	traceMu    sync.Mutex
+	traceNodes map[string]string
+	traceOrder []string
+	traceCap   int
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
 }
 
 // newShardedExecutor wires the router over an already-started local
@@ -134,16 +156,20 @@ func newShardedExecutor(local *LocalExecutor, cc ClusterConfig, counters *teleme
 	}
 	sort.Strings(members)
 	x := &shardedExecutor{
-		self:     cc.Self,
-		addrs:    addrs,
-		local:    local,
-		ring:     ring.New(cc.Replicas, members...),
-		client:   &http.Client{},
-		counters: counters,
-		attempts: cc.ForwardAttempts,
-		backoff:  cc.ForwardBackoff,
-		hedge:    cc.HedgeDelay,
-		down:     map[string]bool{},
+		self:       cc.Self,
+		addrs:      addrs,
+		local:      local,
+		ring:       ring.New(cc.Replicas, members...),
+		client:     &http.Client{},
+		counters:   counters,
+		attempts:   cc.ForwardAttempts,
+		backoff:    cc.ForwardBackoff,
+		hedge:      cc.HedgeDelay,
+		probe:      cc.ProbeInterval,
+		down:       map[string]bool{},
+		traceNodes: map[string]string{},
+		traceCap:   local.cfg.traceCapacity,
+		stopCh:     make(chan struct{}),
 	}
 	if x.attempts <= 0 {
 		x.attempts = DefaultForwardAttempts
@@ -154,15 +180,24 @@ func newShardedExecutor(local *LocalExecutor, cc ClusterConfig, counters *teleme
 	if x.hedge <= 0 {
 		x.hedge = DefaultHedgeDelay
 	}
+	if x.probe <= 0 {
+		x.probe = DefaultProbeInterval
+	}
 	// Create the routing counters eagerly so a fresh cluster node's
 	// /metrics.json already shows the full routing section at zero.
 	for _, name := range []string{
 		ctrForwardOut, ctrForwardIn, ctrForwardRetry, ctrForwardHedge,
-		ctrRehash, ctrRedirected, ctrWorkerRanks, ctrSpanWorlds,
+		ctrRehash, ctrRecovered, ctrRedirected, ctrWorkerRanks, ctrSpanWorlds,
 	} {
 		x.counters.Counter(name)
 	}
+	go x.probeLoop()
 	return x
+}
+
+// stop halts the background peer prober; Server.Shutdown calls it.
+func (x *shardedExecutor) stop() {
+	x.stopOnce.Do(func() { close(x.stopCh) })
 }
 
 // Execute implements Executor with ring placement.
@@ -213,6 +248,66 @@ func (x *shardedExecutor) markDown(node string) {
 	x.down[node] = true
 	x.ring.Remove(node)
 	x.counters.Counter(ctrRehash).Inc()
+}
+
+// markUp returns a recovered peer to the ring. The vnode positions are
+// deterministic, so it reclaims exactly the keys it owned before the
+// blip; everything else stays put.
+func (x *shardedExecutor) markUp(node string) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if !x.down[node] {
+		return
+	}
+	delete(x.down, node)
+	x.ring.Add(node)
+	x.counters.Counter(ctrRecovered).Inc()
+}
+
+// probeLoop periodically re-probes marked-down members so a peer that
+// was only briefly unreachable (a restart inside the retry window, a
+// network blip) is not exiled until this daemon itself restarts.
+func (x *shardedExecutor) probeLoop() {
+	t := time.NewTicker(x.probe)
+	defer t.Stop()
+	for {
+		select {
+		case <-x.stopCh:
+			return
+		case <-t.C:
+			x.mu.Lock()
+			down := make([]string, 0, len(x.down))
+			for id := range x.down {
+				down = append(down, id)
+			}
+			x.mu.Unlock()
+			for _, id := range down {
+				if x.probeNode(id) {
+					x.markUp(id)
+				}
+			}
+		}
+	}
+}
+
+// probeNode reports whether the member answers GET /healthz with 200.
+// A draining node's 503 keeps it off the ring: it is alive but asked
+// the cluster to steer work elsewhere.
+func (x *shardedExecutor) probeNode(node string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), x.probe)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+x.addrs[node]+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := x.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
 }
 
 // live reports whether the node is still believed up.
@@ -374,7 +469,13 @@ func (x *shardedExecutor) post(ctx context.Context, node string, req ExecRequest
 	}
 	var rr RunResponse
 	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
-		return ExecResult{}, fmt.Errorf("serve: decode forward reply (%d): %w", resp.StatusCode, err), true
+		// The address answered with a body that is not a RunResponse —
+		// an intermediary's HTML error page, a truncated reply. The HTTP
+		// status proves something is alive there; declaring the peer dead
+		// over it would rehash keys away from a healthy node, so this is
+		// a definitive application error, not transport death.
+		return ExecResult{Result: core.Result{Key: req.Key}},
+			fmt.Errorf("serve: malformed reply from %s (status %d): %w", node, resp.StatusCode, err), false
 	}
 	out := ExecResult{
 		Result: core.Result{
@@ -389,6 +490,9 @@ func (x *shardedExecutor) post(ctx context.Context, node string, req ExecRequest
 	}
 	if out.Node == "" {
 		out.Node = node
+	}
+	if out.TraceID != "" && out.Node != x.self {
+		x.rememberTrace(out.TraceID, out.Node)
 	}
 	for _, ph := range rr.Phases {
 		out.Result.Phases = append(out.Result.Phases, trace.Event{
@@ -419,6 +523,61 @@ func readErrorBody(r io.Reader) string {
 // forwardedHeader carries the origin node id on forwarded requests; its
 // presence tells the receiving node to execute locally.
 const forwardedHeader = "X-Patternlet-Forwarded"
+
+// rememberTrace records that a forwarded run's trace bytes live on node,
+// FIFO-bounded to the same capacity as the trace store they point into.
+func (x *shardedExecutor) rememberTrace(id, node string) {
+	x.traceMu.Lock()
+	defer x.traceMu.Unlock()
+	if _, known := x.traceNodes[id]; !known {
+		x.traceOrder = append(x.traceOrder, id)
+	}
+	x.traceNodes[id] = node
+	for len(x.traceOrder) > x.traceCap {
+		delete(x.traceNodes, x.traceOrder[0])
+		x.traceOrder = x.traceOrder[1:]
+	}
+}
+
+// traceNode looks up which peer retained the trace with the given id.
+func (x *shardedExecutor) traceNode(id string) (string, bool) {
+	x.traceMu.Lock()
+	defer x.traceMu.Unlock()
+	node, ok := x.traceNodes[id]
+	return node, ok
+}
+
+// proxyTrace serves GET /trace/{id} for a trace retained on the peer
+// that executed the forwarded run, so the trace link in a /run reply
+// works against the node the client actually contacted. It reports
+// whether it wrote a response (true even for a relayed miss or an
+// unreachable peer — the id was ours to answer for).
+func (x *shardedExecutor) proxyTrace(w http.ResponseWriter, id string) bool {
+	node, ok := x.traceNode(id)
+	if !ok || node == x.self {
+		return false
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		"http://"+x.addrs[node]+"/trace/"+id, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := x.client.Do(req)
+	if err != nil {
+		httpError(w, http.StatusBadGateway,
+			"trace %q is retained on %s, which did not answer: %v", id, node, err)
+		return true
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
 
 // MemberInfo is one node's row in the /healthz ring section.
 type MemberInfo struct {

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -28,6 +29,7 @@ func clusterRegistry(t *testing.T) (*core.Registry, *gate) {
 		key := p.Key()
 		p.Run = func(rc *core.RunContext) error {
 			rc.W.Printf("ran %s with %d tasks\n", key, rc.NumTasks)
+			rc.Record(0, "ran", rc.NumTasks)
 			return nil
 		}
 		r.MustRegister(p)
@@ -530,5 +532,249 @@ func TestConcurrentForwardsDuringNodeDeath(t *testing.T) {
 	close(errs)
 	for err := range errs {
 		t.Error(err)
+	}
+}
+
+// A span whose context expires mid-flight must not declare the worker's
+// host dead: every in-flight /worker POST fails with the span's own ctx
+// error, which says nothing about the peers' health.
+func TestSpanCancellationDoesNotMarkPeerDown(t *testing.T) {
+	blackLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer blackLn.Close()
+	hang := make(chan struct{})
+	defer close(hang)
+	blackSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-hang
+	})}
+	go blackSrv.Serve(blackLn)
+	defer blackSrv.Close()
+
+	reg, _ := clusterRegistry(t)
+	srv := New(reg, WithCluster(ClusterConfig{
+		Self:  "n1",
+		Peers: map[string]string{"n1": "127.0.0.1:1", "nb": blackLn.Addr().String()},
+	}))
+	defer srv.Shutdown(context.Background())
+	x := srv.sharded
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err = x.remoteRank(ctx, "nb", "hello.mpi", 1, 2, "127.0.0.1:9", nil)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the span's deadline", err)
+	}
+	var pd *peerDownError
+	if errors.As(err, &pd) {
+		t.Fatalf("the span's own cancellation surfaced as peer death: %v", err)
+	}
+	if !x.live("nb") || !x.ring.Has("nb") {
+		t.Fatal("healthy peer marked down by the span's own cancellation")
+	}
+}
+
+// A peer fronted by something that answers non-JSON (an intermediary's
+// 502 page, a truncated body) delivered a definitive HTTP status: the
+// forward fails as an application error, without retries and without
+// rehashing a live member off the ring.
+func TestMalformedPeerReplyIsDefinitive(t *testing.T) {
+	garbLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer garbLn.Close()
+	garbSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		w.WriteHeader(http.StatusBadGateway)
+		fmt.Fprint(w, "<html>502 Bad Gateway</html>")
+	})}
+	go garbSrv.Serve(garbLn)
+	defer garbSrv.Close()
+
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln1.Close()
+	table := map[string]string{"n1": ln1.Addr().String(), "ng": garbLn.Addr().String()}
+	reg, _ := clusterRegistry(t)
+	srv := New(reg, WithCluster(ClusterConfig{
+		Self: "n1", Peers: table,
+		ForwardAttempts: 3, ForwardBackoff: 2 * time.Millisecond,
+	}))
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln1)
+	defer hs.Close()
+	defer srv.Shutdown(context.Background())
+
+	key := ""
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("fast%d.omp", i)
+		if srv.sharded.ring.Owner(k) == "ng" {
+			key = k
+			break
+		}
+	}
+	if key == "" {
+		t.Skip("garbage node owns none of the test keys")
+	}
+	resp, rr := postJSON(t, "http://"+ln1.Addr().String(), fmt.Sprintf(`{"key":%q}`, key))
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(rr.Error, "malformed reply") {
+		t.Fatalf("error = %q, want a malformed-reply error", rr.Error)
+	}
+	if !srv.sharded.ring.Has("ng") {
+		t.Fatal("live peer rehashed off the ring over a malformed reply")
+	}
+	if got := srv.Stats().Counters[ctrForwardRetry]; got != 0 {
+		t.Fatalf("retry counter = %d, want 0 (definitive answers are not retried)", got)
+	}
+	if got := srv.Stats().Counters[ctrRehash]; got != 0 {
+		t.Fatalf("rehash counter = %d, want 0", got)
+	}
+}
+
+// A marked-down member that comes back is re-probed onto the ring: the
+// exile is a liveness belief, not a permanent sentence, and the vnode
+// positions being deterministic means it reclaims exactly its old keys.
+func TestMarkedDownPeerRecoversViaProbe(t *testing.T) {
+	// Reserve an address for n2, then free it so the probe is refused
+	// while n2 is "down".
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr2 := ln2.Addr().String()
+	ln2.Close()
+
+	reg, _ := clusterRegistry(t)
+	srv := New(reg, WithCluster(ClusterConfig{
+		Self:          "n1",
+		Peers:         map[string]string{"n1": "127.0.0.1:1", "n2": addr2},
+		ProbeInterval: 20 * time.Millisecond,
+	}))
+	defer srv.Shutdown(context.Background())
+	x := srv.sharded
+
+	x.markDown("n2")
+	if x.live("n2") || x.ring.Has("n2") {
+		t.Fatal("markDown did not take")
+	}
+
+	// While the address refuses connections the probe must not revive it.
+	time.Sleep(80 * time.Millisecond)
+	if x.live("n2") {
+		t.Fatal("probe revived a peer that is still refusing connections")
+	}
+
+	// n2 restarts: its address answers /healthz 200 again.
+	ln2b, err := net.Listen("tcp", addr2)
+	if err != nil {
+		t.Skipf("could not rebind %s after releasing it: %v", addr2, err)
+	}
+	defer ln2b.Close()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	hs2 := &http.Server{Handler: mux}
+	go hs2.Serve(ln2b)
+	defer hs2.Close()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if x.live("n2") && x.ring.Has("n2") {
+			if got := srv.Stats().Counters[ctrRecovered]; got < 1 {
+				t.Fatalf("recovered counter = %d, want >= 1", got)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("marked-down peer never recovered after coming back")
+}
+
+// A forwarded trace=true run's trace link works against the node the
+// client contacted: ids are node-qualified, the forwarder remembers who
+// retained the bytes, and GET /trace/{id} proxies there.
+func TestForwardedTraceProxiedFromOrigin(t *testing.T) {
+	nodes := startCluster(t, 3)
+	const key = "fast2.omp"
+	owner, origin := ownerOf(nodes, key), nonOwnerOf(nodes, key)
+	if owner == nil || origin == nil || owner == origin {
+		t.Fatalf("placement: owner=%v origin=%v", owner, origin)
+	}
+
+	resp, rr := postJSON(t, origin.url(), fmt.Sprintf(`{"key":%q,"trace":true}`, key))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200 (error %q)", resp.StatusCode, rr.Error)
+	}
+	if rr.TraceID == "" {
+		t.Fatal("trace=true produced no trace id")
+	}
+	if !strings.HasPrefix(rr.TraceID, owner.id+"-") {
+		t.Fatalf("trace id %q not qualified by executing node %s", rr.TraceID, owner.id)
+	}
+
+	fetch := func(base string) (*http.Response, error) {
+		return http.Get(base + "/trace/" + rr.TraceID)
+	}
+	for _, n := range []*testNode{origin, owner} {
+		got, err := fetch(n.url())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var chrome struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}
+		if got.StatusCode != http.StatusOK {
+			got.Body.Close()
+			t.Fatalf("GET /trace on %s: status %d, want 200", n.id, got.StatusCode)
+		}
+		if err := json.NewDecoder(got.Body).Decode(&chrome); err != nil {
+			t.Fatal(err)
+		}
+		got.Body.Close()
+		if len(chrome.TraceEvents) == 0 {
+			t.Fatalf("trace via %s has no events", n.id)
+		}
+	}
+
+	// A member that never saw the run has no pointer to relay.
+	for _, n := range nodes {
+		if n == owner || n == origin {
+			continue
+		}
+		got, err := fetch(n.url())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got.Body.Close()
+		if got.StatusCode != http.StatusNotFound {
+			t.Fatalf("uninvolved member %s: status %d, want 404", n.id, got.StatusCode)
+		}
+	}
+}
+
+// advertiseHost extracts the bindable host from a peer-table entry and
+// falls back to loopback (empty) on wildcards and garbage.
+func TestAdvertiseHost(t *testing.T) {
+	cases := map[string]string{
+		"127.0.0.1:7101": "127.0.0.1",
+		"nodeA:80":       "nodeA",
+		"[::1]:9":        "::1",
+		":8080":          "",
+		"0.0.0.0:8080":   "",
+		"[::]:8080":      "",
+		"garbage":        "",
+	}
+	for in, want := range cases {
+		if got := advertiseHost(in); got != want {
+			t.Errorf("advertiseHost(%q) = %q, want %q", in, got, want)
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -85,7 +86,7 @@ func (x *shardedExecutor) span(ctx context.Context, req ExecRequest) (core.Resul
 		hosts[rank] = pool[(rank-1)%len(pool)]
 	}
 
-	rz, err := launch.NewRendezvous(np)
+	rz, err := launch.NewRendezvousOn(x.advertiseHost(), np)
 	if err != nil {
 		return res, err
 	}
@@ -153,7 +154,7 @@ func (x *shardedExecutor) span(ctx context.Context, req ExecRequest) (core.Resul
 // the world as a whole already holds an admitted job; queueing its ranks
 // behind that job would deadlock a small worker pool against itself.
 func (x *shardedExecutor) hostRank(ctx context.Context, key string, rank, np int, rendezvous string, toggles map[string]bool) (string, error) {
-	tr, err := launch.ConnectTo(rank, np, rendezvous)
+	tr, err := launch.ConnectOn(x.advertiseHost(), rank, np, rendezvous)
 	if err != nil {
 		return "", err
 	}
@@ -164,6 +165,24 @@ func (x *shardedExecutor) hostRank(ctx context.Context, key string, rank, np int
 		Remote:   &core.RemoteExec{Rank: rank, NP: np, Transport: tr},
 	})
 	return res.Output, err
+}
+
+// advertiseHost is the host part of this node's entry in the peer
+// table: the address the other members dial, so the rendezvous and
+// rank-data listeners of a cluster-spanning world bind on it — loopback
+// only reaches co-located daemons, routable peer addresses make the
+// world span hosts. A wildcard or unparseable entry falls back to
+// loopback ("" selects it downstream).
+func (x *shardedExecutor) advertiseHost() string {
+	return advertiseHost(x.addrs[x.self])
+}
+
+func advertiseHost(addr string) string {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil || host == "" || host == "0.0.0.0" || host == "::" {
+		return ""
+	}
+	return host
 }
 
 // remoteRank asks a member daemon to host one rank via POST /worker and
@@ -192,6 +211,12 @@ func (x *shardedExecutor) remoteRank(ctx context.Context, node, key string, rank
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := x.client.Do(hreq)
 	if err != nil {
+		if ctx.Err() != nil {
+			// The span was cancelled or timed out on our side; every
+			// in-flight worker POST fails with the ctx error, which says
+			// nothing about the peers' health.
+			return "", ctx.Err()
+		}
 		x.markDown(node)
 		return "", &peerDownError{node: node, err: err}
 	}

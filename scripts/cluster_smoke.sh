@@ -3,7 +3,9 @@
 # static -peers table, run an OpenMP patternlet and a cluster-spanning
 # MPI world through a NON-owner (so the forward path is exercised), then
 # SIGKILL one member and verify its keys rehash to the survivors and
-# forwarded runs still succeed. CI runs it after serve-smoke.
+# forwarded runs still succeed. Finally restart the victim and verify
+# the survivors' health probes put it back on the ring. CI runs it
+# after serve-smoke.
 set -eu
 
 GO=${GO:-go}
@@ -53,11 +55,16 @@ P2=$((PORT_BASE + 1))
 P3=$((PORT_BASE + 2))
 PEERS="n1=127.0.0.1:$P1,n2=127.0.0.1:$P2,n3=127.0.0.1:$P3"
 
-"$TMPDIR_SMOKE/patternletd" -node-id n1 -peers "$PEERS" -workers 2 -queue 8 >"$TMPDIR_SMOKE/n1.log" 2>&1 &
+start_node() {
+    "$TMPDIR_SMOKE/patternletd" -node-id "$1" -peers "$PEERS" -workers 2 -queue 8 \
+        -probe-interval 300ms >>"$TMPDIR_SMOKE/$1.log" 2>&1 &
+}
+
+start_node n1
 PID1=$!
-"$TMPDIR_SMOKE/patternletd" -node-id n2 -peers "$PEERS" -workers 2 -queue 8 >"$TMPDIR_SMOKE/n2.log" 2>&1 &
+start_node n2
 PID2=$!
-"$TMPDIR_SMOKE/patternletd" -node-id n3 -peers "$PEERS" -workers 2 -queue 8 >"$TMPDIR_SMOKE/n3.log" 2>&1 &
+start_node n3
 PID3=$!
 
 for n in n1 n2 n3; do
@@ -148,10 +155,34 @@ HZ=$(curl -fsS "$(url_of $SURVIVOR)/healthz")
 printf '%s' "$HZ" | grep -q '"live":false' || fail "$SURVIVOR still sees every member live: $HZ"
 echo "cluster-smoke: $VICTIM's keys rehashed to survivors (rehash=$REHASH)"
 
-# Survivors drain cleanly on SIGTERM.
-kill "$PID1" "$PID2"
+# Restart the victim: the survivors' health probes must put it back on
+# the ring — "live":true again and the recovered counter advancing —
+# with nobody else restarting.
+start_node "$VICTIM"
+PID3=$!
+i=0
+until curl -fsS "$(url_of $SURVIVOR)/healthz" 2>/dev/null |
+    grep -q "\"id\":\"$VICTIM\",\"addr\":\"[^\"]*\",\"live\":true"; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && fail "$VICTIM never rejoined $SURVIVOR's ring after restart"
+    sleep 0.1
+done
+RECOVERED=0
+for n in n1 n2; do
+    R=$(counter "$(url_of $n)" serve.forward.recovered)
+    RECOVERED=$((RECOVERED + ${R:-0}))
+done
+[ "$RECOVERED" -ge 1 ] || fail "no survivor counted the recovery (serve.forward.recovered=$RECOVERED)"
+OUT=$(curl -fsS -X POST "$(url_of $SURVIVOR)/run" -H 'Content-Type: application/json' \
+    -d '{"key":"spmd.omp","tasks":2}') || fail "run after recovery failed outright"
+printf '%s' "$OUT" | grep -q '"error"' && fail "spmd.omp errored after recovery: $OUT"
+echo "cluster-smoke: $VICTIM recovered onto the ring (recovered=$RECOVERED)"
+
+# All members drain cleanly on SIGTERM.
+kill "$PID1" "$PID2" "$PID3"
 wait "$PID1" || fail "n1 exited non-zero on SIGTERM"
 wait "$PID2" || fail "n2 exited non-zero on SIGTERM"
-PID1="" PID2=""
+wait "$PID3" || fail "restarted n3 exited non-zero on SIGTERM"
+PID1="" PID2="" PID3=""
 
 echo "cluster-smoke: PASS"
