@@ -20,7 +20,7 @@ vet:
 # extra.
 test: vet
 	$(GO) test ./...
-	$(GO) test -race ./internal/omp/... ./internal/mpi/... ./internal/cluster/... ./internal/psort/... ./internal/telemetry/... ./internal/trace/... ./internal/serve/... ./internal/ring/...
+	$(GO) test -race ./internal/omp/... ./internal/mpi/... ./internal/cluster/... ./internal/psort/... ./internal/telemetry/... ./internal/trace/... ./internal/serve/... ./internal/ring/... ./internal/store/...
 
 race:
 	$(GO) test -race ./internal/... ./patternlets
@@ -44,9 +44,10 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Record a benchmark suite as BENCH_<date>[_label].json; SUITE=comm
-# records the communication-stack suite (BENCH_<date>_comm.json), and
-# SUITE=tasks the task-runtime suite (BENCH_<date>_tasks.json). Compare
-# two recordings with: go run ./cmd/benchjson -compare old.json new.json
+# records the communication-stack suite (BENCH_<date>_comm.json),
+# SUITE=tasks the task-runtime suite (BENCH_<date>_tasks.json), and
+# SUITE=store the run-store hit-vs-execute suite. Compare two
+# recordings with: go run ./cmd/benchjson -compare old.json new.json
 SUITE ?= tier1
 bench-json:
 	$(GO) run ./cmd/benchjson -suite "$(SUITE)" -label "$(LABEL)"

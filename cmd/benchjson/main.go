@@ -56,11 +56,19 @@ const tasksBench = "^(BenchmarkTaskSpawnWait|BenchmarkTaskRecursiveFanout|" +
 	"BenchmarkTaskloopVsParallelFor|BenchmarkTaskTreeReduce|" +
 	"BenchmarkMergeSort1M|BenchmarkSorts)$"
 
+// storeBench is the run-store suite: the cache hit path against the
+// execute path for a cheap OpenMP and an expensive MPI patternlet, plus
+// the store's own microbenchmarks (digest, log round trip, bloom-guarded
+// miss), recorded as BENCH_<date>_store.json to document the speedup
+// serving repeat /run requests from the store.
+const storeBench = "^(BenchmarkRunStoreHitVsExecute|BenchmarkStoreOps)$"
+
 // suites maps -suite names to benchmark regexes.
 var suites = map[string]string{
 	"tier1": tier1Bench,
 	"comm":  commBench,
 	"tasks": tasksBench,
+	"store": storeBench,
 }
 
 // suiteNames returns the -suite choices, sorted, for help and error text —

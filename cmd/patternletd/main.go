@@ -21,6 +21,15 @@
 //	GET  /metrics      text counter summary
 //	GET  /metrics.json counter snapshot
 //	GET  /trace/{id}   Chrome trace retained from a "trace":true run
+//	GET  /runs         stored run history, ?key= filters (with -store-dir)
+//	GET  /runs/{id}    one stored run with its full output (with -store-dir)
+//
+// With -store-dir the daemon keeps a persistent, content-addressed run
+// store: a repeat /run of a deterministic patternlet (same tasks,
+// toggles, seed) is answered from the store without executing, marked
+// "cached":true in the response, and the cache survives restarts:
+//
+//	patternletd -store-dir /var/lib/patternletd -store-max-bytes 67108864
 //
 // The service executes through the same Registry.Run entry point as the
 // patternlet CLI; admission control (bounded queue, worker pool,
@@ -43,6 +52,7 @@ import (
 
 	"repro/internal/collection"
 	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -58,6 +68,8 @@ func main() {
 	vnodes := flag.Int("vnodes", 0, "virtual nodes per member on the placement ring (0 = default)")
 	probeEvery := flag.Duration("probe-interval", serve.DefaultProbeInterval,
 		"how often members marked down are re-probed for recovery (cluster mode)")
+	storeDir := flag.String("store-dir", "", "directory for the persistent run store; repeat runs of deterministic patternlets are served from it (off when empty)")
+	storeMax := flag.Int64("store-max-bytes", store.DefaultMaxBytes, "byte budget for the run store's live records (LRU eviction past it)")
 	flag.Parse()
 
 	opts := []serve.Option{
@@ -65,6 +77,15 @@ func main() {
 		serve.WithQueueDepth(*queue),
 		serve.WithTimeout(*timeout),
 		serve.WithMaxTimeout(*maxTimeout),
+	}
+	var runStore *store.Store
+	if *storeDir != "" {
+		var err error
+		runStore, err = store.Open(*storeDir, store.WithMaxBytes(*storeMax))
+		if err != nil {
+			log.Fatalf("patternletd: -store-dir: %v", err)
+		}
+		opts = append(opts, serve.WithStore(runStore))
 	}
 	var cc *serve.ClusterConfig
 	if *nodeID != "" || *peers != "" {
@@ -104,6 +125,10 @@ func main() {
 		log.Printf("patternletd: serving %d patternlets on http://%s (workers=%d queue=%d)",
 			collection.Default.Len(), bound, *workers, *queue)
 	}
+	if runStore != nil {
+		log.Printf("patternletd: run store at %s (%d stored runs, budget %d bytes)",
+			*storeDir, runStore.Len(), *storeMax)
+	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)
@@ -127,6 +152,13 @@ func main() {
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		log.Printf("patternletd: http shutdown: %v", err)
+	}
+	if runStore != nil {
+		// Closed after the drain: in-flight runs may still persist their
+		// results until Shutdown returns.
+		if err := runStore.Close(); err != nil {
+			log.Printf("patternletd: store close: %v", err)
+		}
 	}
 	fmt.Fprintln(os.Stderr, "patternletd: drained")
 }

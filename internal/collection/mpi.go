@@ -333,6 +333,10 @@ func sequenceNumbersMPI() *core.Patternlet {
 				return nil
 			})
 		},
+		// The whole point of the patternlet: posted receives from each
+		// specific source serialize the output by rank, so only the master
+		// prints and always in the same order.
+		Deterministic: true,
 	}
 }
 
@@ -532,6 +536,9 @@ func reduction2MPI() *core.Patternlet {
 				return nil
 			})
 		},
+		// Only the master prints, and both reductions (element-wise integer
+		// sums, MAXLOC with a deterministic tie rule) are exact.
+		Deterministic: true,
 	}
 }
 

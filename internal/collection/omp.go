@@ -317,7 +317,7 @@ func reductionOMP() *core.Patternlet {
 		DefaultTasks: 4,
 		Run: func(rc *core.RunContext) error {
 			const size = 100000
-			rng := rand.New(rand.NewSource(42))
+			rng := rand.New(rand.NewSource(rc.BaseSeed()))
 			a := make([]int64, size)
 			for i := range a {
 				a[i] = int64(rng.Intn(1000))
@@ -348,6 +348,9 @@ func reductionOMP() *core.Patternlet {
 			rc.W.Printf("Seq. sum: \t%d\nPar. sum: \t%d\n", seq, par)
 			return nil
 		},
+		// Race demo: with 'parallel' on and 'reduction' off the shared sum
+		// is a data race and prints a different wrong value run to run.
+		Deterministic: false,
 	}
 }
 
@@ -375,6 +378,10 @@ func reduction2OMP() *core.Patternlet {
 			rc.W.Printf("sum  = %d\nprod = %d\nmax  = %d\nmin  = %d\n", sum, prod, mx, mn)
 			return nil
 		},
+		// All four results are exact integer tree-reductions and the one
+		// print happens after the join, so the output is byte-identical
+		// however the team is scheduled.
+		Deterministic: true,
 	}
 }
 
@@ -421,6 +428,9 @@ func privateOMP() *core.Patternlet {
 			rc.W.Printf("Total iterations executed: %d (expected %d)\n", count.Value(), expected)
 			return nil
 		},
+		// Race demo: with 'private' off the shared loop index races and the
+		// per-thread iteration counts vary run to run.
+		Deterministic: false,
 	}
 }
 
@@ -462,6 +472,9 @@ func atomicOMP() *core.Patternlet {
 			rc.W.Printf("After %d $1 deposits, your balance is %.2f (expected %d.00)\n", total, balance, total)
 			return nil
 		},
+		// Race demo: with 'atomic' off the unprotected deposits lose updates
+		// and the printed balance varies run to run.
+		Deterministic: false,
 	}
 }
 
@@ -502,6 +515,8 @@ func criticalOMP() *core.Patternlet {
 			rc.W.Printf("After %d $1 deposits, your balance is %.2f (expected %d.00)\n", total, balance, total)
 			return nil
 		},
+		// Race demo: with 'critical' off the printed balance races.
+		Deterministic: false,
 	}
 }
 
@@ -551,6 +566,8 @@ func critical2OMP() *core.Patternlet {
 			}
 			return nil
 		},
+		// Prints measured wall-clock times, different every run by nature.
+		Deterministic: false,
 	}
 }
 
@@ -625,6 +642,9 @@ func mutualExclusionOMP() *core.Patternlet {
 			rc.W.Printf("critical:    balance = %.2f of %d.00\n", balance, total)
 			return nil
 		},
+		// Race demo: the unprotected balance is wrong by a different amount
+		// each run.
+		Deterministic: false,
 	}
 }
 

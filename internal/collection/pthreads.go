@@ -116,6 +116,9 @@ func forkJoinPthreads() *core.Patternlet {
 			rc.W.Printf("After.\n")
 			return nil
 		},
+		// Fully ordered by construction: Before before the fork, the one
+		// child's line, then After only after the join.
+		Deterministic: true,
 	}
 }
 
@@ -269,6 +272,8 @@ func mutexPthreads() *core.Patternlet {
 			rc.W.Printf("After %d $1 deposits, your balance is %.2f (expected %d.00)\n", total, balance, total)
 			return nil
 		},
+		// Race demo: with 'mutex' off the printed balance races.
+		Deterministic: false,
 	}
 }
 

@@ -172,6 +172,18 @@ type Patternlet struct {
 	MinTasks     int         // smallest meaningful task count (default 1)
 	DefaultTasks int         // task count used when the caller passes 0
 	Run          func(rc *RunContext) error
+
+	// Deterministic declares that the patternlet's captured Output is
+	// byte-identical for a fixed (tasks, toggles, seed) — no scheduling-
+	// dependent line interleaving, no wall-clock values in the output, no
+	// unseeded randomness — under EVERY toggle combination, not just the
+	// defaults. That guarantee is what makes a run content-addressable:
+	// the serving layer's run store only caches patternlets tagged here,
+	// and the collection's determinism test re-executes each tagged one
+	// and pins byte-identity. Untagged (zero-value false) means "assume
+	// timing-nondeterministic", the safe default for anything that lets
+	// concurrent tasks race to the SafeWriter.
+	Deterministic bool
 }
 
 // Key returns the registry key, e.g. "spmd.omp" or "barrier.mpi".
@@ -206,6 +218,48 @@ func (p *Patternlet) Validate() error {
 	return nil
 }
 
+// ResolveTasks returns the task count a run requesting n would actually
+// execute with: n itself, the patternlet's default when n is 0, and the
+// paper's quad-core default when the patternlet declares none. This is
+// the same resolution Registry.Run applies; the run store uses it so a
+// request for "tasks":0 and an explicit request for the default count
+// content-address to the same cache entry.
+func (p *Patternlet) ResolveTasks(n int) int {
+	if n == 0 {
+		n = p.DefaultTasks
+	}
+	if n == 0 {
+		n = 4
+	}
+	return n
+}
+
+// DirectiveState is one resolved toggle: the directive's name and the
+// enabled state a run would observe for it.
+type DirectiveState struct {
+	Name    string
+	Enabled bool
+}
+
+// EffectiveDirectives resolves what every declared directive evaluates
+// to under the given overrides — the override when present, the shipped
+// default otherwise — sorted by name. Two requests that spell the same
+// effective configuration differently (one relying on a default, one
+// setting it explicitly) resolve identically, which is what lets the run
+// store's digest treat them as the same run.
+func (p *Patternlet) EffectiveDirectives(toggles map[string]bool) []DirectiveState {
+	out := make([]DirectiveState, 0, len(p.Directives))
+	for _, d := range p.Directives {
+		on := d.Default
+		if v, ok := toggles[d.Name]; ok {
+			on = v
+		}
+		out = append(out, DirectiveState{Name: d.Name, Enabled: on})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // directive returns the directive named name, if declared.
 func (p *Patternlet) directive(name string) (Directive, bool) {
 	for _, d := range p.Directives {
@@ -222,6 +276,7 @@ type RunContext struct {
 	Ctx      context.Context // run-scoped cancellation; never nil under Registry.Run
 	NumTasks int             // number of threads/processes (>= 1; Runner applies defaults)
 	Toggles  map[string]bool
+	Seed     int64           // caller-chosen PRNG seed; 0 = the shipped default (see BaseSeed)
 	Trace    *trace.Recorder // optional; patternlets record phases when non-nil
 
 	// MPI execution options, used by MPI and hybrid patternlets.
@@ -242,6 +297,23 @@ func (rc *RunContext) Context() context.Context {
 		return context.Background()
 	}
 	return rc.Ctx
+}
+
+// DefaultSeed seeds every patternlet PRNG when the caller does not choose
+// one — the fixed value the randomized patternlets have always shipped
+// with, so default runs stay reproducible (and cacheable) across
+// processes.
+const DefaultSeed = 42
+
+// BaseSeed resolves the run's PRNG seed: the caller's RunOptions.Seed
+// when set, DefaultSeed otherwise. Patternlets that use randomness must
+// seed from here (never time or math/rand's global state) to keep a
+// Deterministic tag honest.
+func (rc *RunContext) BaseSeed() int64 {
+	if rc.Seed != 0 {
+		return rc.Seed
+	}
+	return DefaultSeed
 }
 
 // Enabled reports whether the named directive is on: the explicit toggle

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"sort"
 	"strings"
@@ -110,6 +111,24 @@ func (r *Registry) Len() int {
 	return len(r.pats)
 }
 
+// Fingerprint hashes the catalog's observable shape — every key, model,
+// determinism tag, task defaults, and directive table in sorted key
+// order — into a short hex string. The run store folds it into every
+// content digest as the "catalog version": registering, removing, or
+// reshaping a patternlet changes the fingerprint and therefore invalidates
+// all cached results, without any manually-bumped version constant.
+func (r *Registry) Fingerprint() string {
+	h := fnv.New64a()
+	for _, p := range r.All() {
+		fmt.Fprintf(h, "%s|%s|det=%t|min=%d|def=%d", p.Key(), p.Model, p.Deterministic, p.MinTasks, p.DefaultTasks)
+		for _, d := range p.Directives {
+			fmt.Fprintf(h, "|%s=%t", d.Name, d.Default)
+		}
+		h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
 // RunOptions configures one execution of a patternlet through
 // Registry.Run — the single invocation path every front end (the
 // patternlet CLI, mpirun's per-rank workers, benchjson's telemetry
@@ -117,6 +136,7 @@ func (r *Registry) Len() int {
 type RunOptions struct {
 	NumTasks    int             // 0 = patternlet default
 	Toggles     map[string]bool // overrides for declared directives
+	Seed        int64           // PRNG seed for randomized patternlets; 0 = core.DefaultSeed
 	UseTCP      bool            // run MPI worlds over loopback TCP
 	Nodes       int             // simulated cluster nodes; 0 = one per process
 	RecvTimeout time.Duration   // MPI deadlock bound; 0 = the ctx deadline, else block forever
@@ -194,13 +214,7 @@ func runPatternlet(ctx context.Context, p *Patternlet, opts RunOptions) (Result,
 			return res, fmt.Errorf("core: patternlet %q has no directive %q", p.Key(), name)
 		}
 	}
-	n := opts.NumTasks
-	if n == 0 {
-		n = p.DefaultTasks
-	}
-	if n == 0 {
-		n = 4 // the paper's quad-core default
-	}
+	n := p.ResolveTasks(opts.NumTasks)
 	min := p.MinTasks
 	if min == 0 {
 		min = 1
@@ -231,6 +245,7 @@ func runPatternlet(ctx context.Context, p *Patternlet, opts RunOptions) (Result,
 		Ctx:         ctx,
 		NumTasks:    n,
 		Toggles:     opts.Toggles,
+		Seed:        opts.Seed,
 		Trace:       opts.Trace,
 		UseTCP:      opts.UseTCP,
 		Nodes:       opts.Nodes,

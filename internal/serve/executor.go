@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -46,6 +47,16 @@ type ExecResult struct {
 	core.Result
 	Node    string
 	TraceID string
+
+	// Cached marks a result served from the content-addressed run store
+	// (or shared from a collapsed concurrent execution) instead of a
+	// fresh execution. It survives forwarding: a cluster hit on the
+	// owning node reaches the client with the marker intact.
+	Cached bool
+
+	// RunID names the stored record for GET /runs/{id}; set only when a
+	// run store is configured and the result was stored or served by it.
+	RunID string
 }
 
 // Executor is the seam between the HTTP surface and run placement: the
@@ -121,6 +132,11 @@ type LocalExecutor struct {
 
 	counters *telemetry.CounterSet
 	traces   traceStore
+
+	// persist, when non-nil, retains rendered traces in the run store
+	// too, so /trace/{id} outlives both the in-memory FIFO and the
+	// daemon process.
+	persist *store.Store
 }
 
 // newLocalExecutor builds the worker-pool executor and starts its
@@ -216,6 +232,11 @@ func (l *LocalExecutor) executeFunc(ctx context.Context, req ExecRequest, fn fun
 		var buf bytes.Buffer
 		if terr := telemetry.WriteChromeTrace(&buf, j.res.Events, j.res.Counters); terr == nil {
 			out.TraceID = l.traces.put(buf.Bytes())
+			if l.persist != nil {
+				// Best-effort: the FIFO already holds the trace; the
+				// store copy is what survives eviction and restarts.
+				l.persist.PutTrace(out.TraceID, buf.Bytes())
+			}
 		}
 	}
 	return out, j.err

@@ -19,6 +19,7 @@ type RunRequest struct {
 	Key        string          `json:"key"`
 	Tasks      int             `json:"tasks,omitempty"`
 	Toggles    map[string]bool `json:"toggles,omitempty"`
+	Seed       int64           `json:"seed,omitempty"` // PRNG seed for randomized patternlets; 0 = the shipped default
 	TimeoutMS  int64           `json:"timeout_ms,omitempty"`
 	UseTCP     bool            `json:"tcp,omitempty"`
 	Nodes      int             `json:"nodes,omitempty"`
@@ -39,7 +40,9 @@ type RunResponse struct {
 	Phases    []PhaseSpan      `json:"phases,omitempty"`
 	Counters  map[string]int64 `json:"counters,omitempty"`
 	TraceID   string           `json:"trace_id,omitempty"`
-	Node      string           `json:"node,omitempty"` // executing node id (cluster mode only)
+	Node      string           `json:"node,omitempty"`   // executing node id (cluster mode only)
+	Cached    bool             `json:"cached,omitempty"` // served from the run store, not executed
+	RunID     string           `json:"run_id,omitempty"` // stored-run id for GET /runs/{id} (store mode only)
 	Error     string           `json:"error,omitempty"`
 }
 
@@ -71,6 +74,8 @@ type PatternletInfo struct {
 //	GET  /metrics      human-readable counter summary (text)
 //	GET  /metrics.json counter snapshot (JSON)
 //	GET  /trace/{id}   retained Chrome trace from a trace=true run
+//	GET  /runs         stored run history, ?key= filters (store mode)
+//	GET  /runs/{id}    one stored run with its full output (store mode)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /run", s.handleRun)
@@ -81,6 +86,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /trace/{id}", s.handleTrace)
 	if s.sharded != nil {
 		mux.HandleFunc("POST /worker", s.handleWorker)
+	}
+	if s.cfg.store != nil {
+		// Run history exists only with a store; without one the mux (and
+		// every response) is byte-identical to the store-less daemon.
+		mux.HandleFunc("GET /runs", s.handleRuns)
+		mux.HandleFunc("GET /runs/{id}", s.handleRunByID)
 	}
 	return mux
 }
@@ -133,6 +144,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Opts: core.RunOptions{
 			NumTasks: req.Tasks,
 			Toggles:  req.Toggles,
+			Seed:     req.Seed,
 			UseTCP:   req.UseTCP,
 			Nodes:    req.Nodes,
 			Collect:  req.Collect || req.Trace,
@@ -172,6 +184,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Counters:  res.Counters,
 		TraceID:   out.TraceID,
 		Node:      out.Node,
+		Cached:    out.Cached,
+		RunID:     out.RunID,
 	}
 	for _, ev := range res.Phases {
 		resp.Phases = append(resp.Phases, PhaseSpan{
@@ -310,19 +324,37 @@ func status(st Stats) string {
 	return "ok"
 }
 
+// metricsSnapshot merges the run store's counters into the server's; on
+// a store-less server it is exactly the serve counter snapshot, keeping
+// /metrics byte-identical to the pre-store daemon.
+func (s *Server) metricsSnapshot() map[string]int64 {
+	snap := s.counters.Snapshot()
+	if s.cfg.store != nil {
+		for name, v := range s.cfg.store.Counters() {
+			snap[name] = v
+		}
+	}
+	return snap
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, telemetry.Summarize(nil, s.counters.Snapshot()))
+	fmt.Fprint(w, telemetry.Summarize(nil, s.metricsSnapshot()))
 }
 
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(s.counters.Snapshot())
+	json.NewEncoder(w).Encode(s.metricsSnapshot())
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	data, ok := s.local.traces.get(id)
+	if !ok && s.cfg.store != nil {
+		// Evicted from the FIFO (or produced before a restart): the run
+		// store retains traces beyond both.
+		data, ok = s.cfg.store.GetTrace(id)
+	}
 	if !ok {
 		// A forwarded run's trace lives on the node that executed it;
 		// proxy the fetch there so the trace link in the /run reply works
@@ -335,4 +367,48 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(data)
+}
+
+// StoredRun is one GET /runs entry: the stored record's identity and,
+// on the single-run endpoint, its full result.
+type StoredRun struct {
+	ID       string       `json:"id"`
+	Key      string       `json:"key"`
+	Digest   string       `json:"digest"`
+	StoredMS int64        `json:"stored_unix_ms"`
+	Result   *RunResponse `json:"result,omitempty"`
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	records := s.cfg.store.Runs(r.URL.Query().Get("key"))
+	out := make([]StoredRun, 0, len(records))
+	for _, rec := range records {
+		out = append(out, StoredRun{ID: rec.ID, Key: rec.Key, Digest: rec.Digest, StoredMS: rec.StoredMS})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+func (s *Server) handleRunByID(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.cfg.store.RunByID(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no stored run %q", id)
+		return
+	}
+	res := rec.Result
+	out := StoredRun{
+		ID: rec.ID, Key: rec.Key, Digest: rec.Digest, StoredMS: rec.StoredMS,
+		Result: &RunResponse{
+			Key:       res.Key,
+			Tasks:     res.NumTasks,
+			ElapsedMS: float64(res.Elapsed) / float64(time.Millisecond),
+			Output:    res.Output,
+			Counters:  res.Counters,
+			Cached:    true,
+			RunID:     rec.ID,
+		},
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
 }

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/store"
 	"repro/internal/telemetry"
 )
 
@@ -49,6 +50,7 @@ type config struct {
 	traceCapacity int
 	retryAfter    time.Duration
 	cluster       *ClusterConfig
+	store         *store.Store
 }
 
 // WithWorkers caps run concurrency: at most n patternlets execute at
@@ -105,6 +107,17 @@ func WithRetryAfter(d time.Duration) Option {
 	return func(c *config) { c.retryAfter = d }
 }
 
+// WithStore attaches a content-addressed run store: repeat runs of
+// deterministic patternlets are served from it without re-executing
+// (marked "cached" in the response), traces are retained beyond the
+// in-memory FIFO and across restarts, and GET /runs exposes the stored
+// history. The store outlives the server — the caller opens it before
+// New and closes it after Shutdown. Without this option the server is
+// byte-identical to the store-less daemon.
+func WithStore(st *store.Store) Option {
+	return func(c *config) { c.store = st }
+}
+
 // WithCluster makes the server one member of a multi-node patternletd
 // cluster: run keys are placed on a consistent-hash ring over the
 // members and remote-owned keys are forwarded to their owner. With no
@@ -132,6 +145,7 @@ type Server struct {
 	cfg config
 
 	local    *LocalExecutor
+	cached   *CachedExecutor  // nil without WithStore
 	sharded  *shardedExecutor // nil on a single-node server
 	exec     Executor
 	counters telemetry.CounterSet
@@ -155,9 +169,22 @@ func New(reg *core.Registry, opts ...Option) *Server {
 	}
 	s := &Server{reg: reg, cfg: cfg}
 	s.local = newLocalExecutor(reg, cfg, &s.counters)
-	s.exec = s.local
+	here := Executor(s.local)
+	if cfg.store != nil {
+		// The store persists traces alongside results; seed the trace-id
+		// counter past the persisted ids so a restarted daemon never
+		// mints a colliding id for a fresh trace.
+		s.local.persist = cfg.store
+		s.local.traces.next = cfg.store.MaxTraceSeq(s.local.traces.prefix)
+		s.cached = newCachedExecutor(s.local, reg, cfg.store, &s.counters)
+		here = s.cached
+	}
+	s.exec = here
 	if cfg.cluster != nil {
-		s.sharded = newShardedExecutor(s.local, *cfg.cluster, &s.counters)
+		// The cache sits under the router: runs are placed on the ring
+		// first, and the owning node consults its own store, so each
+		// digest is cached exactly once in the cluster.
+		s.sharded = newShardedExecutor(s.local, here, *cfg.cluster, &s.counters)
 		s.exec = s.sharded
 	}
 	return s

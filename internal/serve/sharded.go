@@ -117,6 +117,7 @@ type shardedExecutor struct {
 	self     string
 	addrs    map[string]string
 	local    *LocalExecutor
+	here     Executor // local path for owned keys: the cache wrapper when a store is configured, else local itself
 	ring     *ring.Ring
 	client   *http.Client
 	counters *telemetry.CounterSet
@@ -144,7 +145,7 @@ type shardedExecutor struct {
 // newShardedExecutor wires the router over an already-started local
 // executor. cc must have been Validated by the caller (New panics on a
 // bad table, matching MustRegister's fail-fast convention).
-func newShardedExecutor(local *LocalExecutor, cc ClusterConfig, counters *telemetry.CounterSet) *shardedExecutor {
+func newShardedExecutor(local *LocalExecutor, here Executor, cc ClusterConfig, counters *telemetry.CounterSet) *shardedExecutor {
 	if err := cc.Validate(); err != nil {
 		panic(err)
 	}
@@ -159,6 +160,7 @@ func newShardedExecutor(local *LocalExecutor, cc ClusterConfig, counters *teleme
 		self:       cc.Self,
 		addrs:      addrs,
 		local:      local,
+		here:       here,
 		ring:       ring.New(cc.Replicas, members...),
 		client:     &http.Client{},
 		counters:   counters,
@@ -231,7 +233,10 @@ func (x *shardedExecutor) executeHere(ctx context.Context, req ExecRequest) (Exe
 		out.Node = x.self
 		return out, err
 	}
-	out, err := x.local.Execute(ctx, req)
+	// Plain runs go through the here seam: the cache wrapper when this
+	// node has a run store, so owned keys (and forwarded runs — the
+	// cache is owner-side) hit it before admission.
+	out, err := x.here.Execute(ctx, req)
 	out.Node = x.self
 	return out, err
 }
@@ -424,6 +429,7 @@ func (x *shardedExecutor) post(ctx context.Context, node string, req ExecRequest
 		Key:        req.Key,
 		Tasks:      req.Opts.NumTasks,
 		Toggles:    req.Opts.Toggles,
+		Seed:       req.Opts.Seed,
 		UseTCP:     req.Opts.UseTCP,
 		Nodes:      req.Opts.Nodes,
 		Collect:    req.Opts.Collect,
@@ -487,6 +493,10 @@ func (x *shardedExecutor) post(ctx context.Context, node string, req ExecRequest
 		},
 		Node:    rr.Node,
 		TraceID: rr.TraceID,
+		// The owner's cache marker and run id ride back with the result;
+		// GET /runs/{id} resolves on the node named in Node.
+		Cached: rr.Cached,
+		RunID:  rr.RunID,
 	}
 	if out.Node == "" {
 		out.Node = node

@@ -1,0 +1,64 @@
+package store
+
+import "encoding/binary"
+
+// bloom is a fixed-size bloom filter over result digests. The digests
+// are already uniform SHA-256 output, so no extra hashing is needed:
+// the k probe positions come straight from the digest bytes via
+// double hashing — idx_i = (h1 + i·h2) mod m with h1 and h2 read as
+// big-endian 64-bit words out of the digest.
+//
+// The filter only ever grows positives: eviction cannot clear bits, so
+// an evicted digest keeps testing positive until the next rebuild
+// (compaction or reopen). Those stale positives fall through to the
+// sorted index and are counted as store.bloom.falsepos — the filter's
+// job is only to make definite misses cheap, never to be authoritative.
+type bloom struct {
+	bits []uint64
+	m    uint64 // number of bits
+}
+
+// bloomK is the probe count; with ~16 bits per entry the false-positive
+// rate at k=4 stays well under 1%.
+const bloomK = 4
+
+// newBloom sizes a filter for n expected entries at 16 bits each, with
+// a 4096-bit floor so tiny stores still dilute their positives.
+func newBloom(n int) *bloom {
+	bits := uint64(n) * 16
+	if bits < 4096 {
+		bits = 4096
+	}
+	words := (bits + 63) / 64
+	return &bloom{bits: make([]uint64, words), m: words * 64}
+}
+
+// hashes extracts the double-hashing pair from a digest.
+func (b *bloom) hashes(d Digest) (uint64, uint64) {
+	h1 := binary.BigEndian.Uint64(d[0:8])
+	h2 := binary.BigEndian.Uint64(d[8:16])
+	// An even h2 could cycle through a subset of positions when m is a
+	// power of two; force it odd.
+	return h1, h2 | 1
+}
+
+// add sets the k probe bits for d.
+func (b *bloom) add(d Digest) {
+	h1, h2 := b.hashes(d)
+	for i := uint64(0); i < bloomK; i++ {
+		idx := (h1 + i*h2) % b.m
+		b.bits[idx/64] |= 1 << (idx % 64)
+	}
+}
+
+// test reports whether d might be present; false is definitive.
+func (b *bloom) test(d Digest) bool {
+	h1, h2 := b.hashes(d)
+	for i := uint64(0); i < bloomK; i++ {
+		idx := (h1 + i*h2) % b.m
+		if b.bits[idx/64]&(1<<(idx%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

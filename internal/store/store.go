@@ -1,0 +1,757 @@
+// Package store is the persistent, content-addressed run store behind
+// patternletd's cache: an append-only log of checksummed records on
+// disk, a sorted in-memory index over it, and a bloom filter in front —
+// the read-optimized shape of the index structures the db-index
+// evaluation benchmarks (see ROADMAP item 4 and DESIGN.md §11).
+//
+// Two record kinds share the log: run results, content-addressed by a
+// canonical digest of (catalog fingerprint, patternlet key, resolved
+// task count, effective directive states, seed, transport knobs), and
+// rendered Chrome traces, keyed by their serving-layer trace id. Repeat
+// /run requests whose digest is already indexed are answered from the
+// log without executing; traces survive the serving layer's bounded
+// in-memory FIFO and daemon restarts.
+//
+// Durability model: every record carries a CRC-32C of its payload.
+// Open replays the log sequentially — an incomplete record at the tail
+// (a crash mid-append) is truncated away, a full-length record whose
+// checksum fails is skipped and counted, and everything after a
+// corrupt length header is discarded as unrecoverable. The store is
+// therefore crash-safe without any write-ahead machinery: the log IS
+// the write-ahead structure.
+//
+// Capacity is bounded by WithMaxBytes: admission of a new record first
+// evicts least-recently-used live records until it fits, and the log is
+// compacted (live records rewritten, dead bytes dropped, bloom filter
+// rebuilt) once dead bytes exceed the budget, so disk usage stays under
+// 2× the configured cap at all times.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Counter names the store maintains; patternletd merges them into
+// /metrics.json next to the serve.* set.
+const (
+	ctrHit        = "store.hit"              // GetResult served from the log
+	ctrMiss       = "store.miss"             // GetResult found nothing
+	ctrPut        = "store.put"              // result records appended
+	ctrPutTrace   = "store.put.trace"        // trace records appended
+	ctrEvicted    = "store.evicted"          // records evicted for capacity
+	ctrBloomSkip  = "store.bloom.skip"       // misses answered by the bloom filter alone
+	ctrBloomFalse = "store.bloom.falsepos"   // bloom said maybe, index said no
+	ctrCompact    = "store.compactions"      // log compactions run
+	ctrTruncated  = "store.reopen.truncated" // torn tails truncated at Open
+	ctrBadRecord  = "store.reopen.badrecord" // checksum-bad records skipped at Open
+	ctrOversize   = "store.oversize"         // records larger than the whole budget, not stored
+)
+
+// logName is the single log file inside the store directory.
+const logName = "runs.log"
+
+// maxRecordLen bounds one record; a length header above it is treated
+// as corruption, not as an instruction to allocate gigabytes.
+const maxRecordLen = 64 << 20
+
+// ErrOversize reports a record that can never fit the configured
+// capacity; the caller simply serves the run uncached.
+var ErrOversize = errors.New("store: record exceeds the store's byte budget")
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms that matter.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Digest is the 32-byte content address of one run configuration.
+type Digest [sha256.Size]byte
+
+// String renders the digest as lowercase hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// ResultDigest canonicalizes one run configuration into its content
+// address. catalog is the registry fingerprint (core.Registry.Fingerprint),
+// tasks the RESOLVED task count (core.Patternlet.ResolveTasks), and
+// directives the EFFECTIVE states (core.Patternlet.EffectiveDirectives) —
+// resolution before hashing is what makes "tasks":0 and an explicit
+// default count, or an omitted toggle and an explicitly-spelled default,
+// the same cache entry. The preimage is a versioned, newline-framed
+// string, so no field concatenation can collide with another.
+func ResultDigest(catalog, key string, tasks int, directives []core.DirectiveState, seed int64, tcp bool, nodes int) Digest {
+	var b strings.Builder
+	b.WriteString("patternlet-run/v1\n")
+	fmt.Fprintf(&b, "catalog=%s\nkey=%s\ntasks=%d\nseed=%d\ntcp=%t\nnodes=%d\n",
+		catalog, key, tasks, seed, tcp, nodes)
+	for _, d := range directives {
+		fmt.Fprintf(&b, "toggle %s=%t\n", d.Name, d.Enabled)
+	}
+	return sha256.Sum256([]byte(b.String()))
+}
+
+// Option configures Open.
+type Option func(*config)
+
+type config struct {
+	maxBytes int64
+}
+
+// DefaultMaxBytes caps the store at 64 MiB unless configured otherwise.
+const DefaultMaxBytes = 64 << 20
+
+// WithMaxBytes bounds the live bytes the store retains; admission past
+// the bound evicts least-recently-used records first. Values below 1
+// select the default.
+func WithMaxBytes(n int64) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.maxBytes = n
+		}
+	}
+}
+
+// record kinds on disk.
+const (
+	kindResult = "result"
+	kindTrace  = "trace"
+)
+
+// diskRecord is the JSON payload of one log record. JSON keeps the
+// round trip gob-free and self-describing; the framing (length + CRC)
+// lives outside the payload.
+type diskRecord struct {
+	Kind   string       `json:"kind"`
+	ID     string       `json:"id"`
+	Digest string       `json:"digest,omitempty"`
+	Key    string       `json:"key,omitempty"`
+	Stored int64        `json:"stored_unix_ms"`
+	Result *core.Result `json:"result,omitempty"`
+	Trace  []byte       `json:"trace,omitempty"`
+}
+
+// entry is one live record in the in-memory index: where its bytes live
+// in the log and when it was last touched (the LRU clock).
+type entry struct {
+	kind   string
+	id     string
+	key    string
+	digest Digest
+	off    int64 // offset of the framing header
+	size   int64 // header + payload bytes
+	stored int64 // unix ms at append
+	last   int64 // LRU tick of the most recent access
+}
+
+// RunRecord is one stored run, as surfaced by the /runs endpoints.
+type RunRecord struct {
+	ID       string
+	Key      string
+	Digest   string
+	StoredMS int64
+	Result   core.Result
+}
+
+// Store is the content-addressed run store. All methods are safe for
+// concurrent use; one mutex serializes index and log access (records
+// are small and reads are single ReadAt calls, so the lock is never
+// held across anything slow).
+type Store struct {
+	dir      string
+	maxBytes int64
+	counters telemetry.CounterSet
+
+	mu      sync.Mutex
+	f       *os.File
+	size    int64 // current append offset (file size)
+	live    int64 // bytes belonging to live records
+	results map[Digest]*entry
+	sorted  []*entry // results ordered by digest — the index /runs walks
+	byID    map[string]*entry
+	byKey   map[string][]*entry
+	traces  map[string]*entry
+	bloom   *bloom
+	clock   int64
+	nextSeq int64
+	closed  bool
+}
+
+// Open loads (or creates) the store in dir, replaying the log: torn
+// tails are truncated, checksum-bad records skipped and counted, and
+// the in-memory index, bloom filter, and run-id sequence rebuilt from
+// the surviving records.
+func Open(dir string, opts ...Option) (*Store, error) {
+	cfg := config{maxBytes: DefaultMaxBytes}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: cfg.maxBytes,
+		f:        f,
+		results:  map[Digest]*entry{},
+		byID:     map[string]*entry{},
+		byKey:    map[string][]*entry{},
+		traces:   map[string]*entry{},
+	}
+	if err := s.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.rebuildBloom()
+	// A budget smaller than the surviving records (maxBytes lowered
+	// between runs) is enforced immediately.
+	s.evictUntil(s.maxBytes)
+	return s, nil
+}
+
+// replay scans the log, indexing every intact record. Called only from
+// Open, before the store is shared.
+func (s *Store) replay() error {
+	st, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	fileSize := st.Size()
+	var off int64
+	hdr := make([]byte, 8)
+	for off < fileSize {
+		if fileSize-off < 8 {
+			break // torn header
+		}
+		if _, err := s.f.ReadAt(hdr, off); err != nil {
+			return fmt.Errorf("store: replay read: %w", err)
+		}
+		length := int64(binary.BigEndian.Uint32(hdr[0:4]))
+		if length == 0 || length > maxRecordLen || off+8+length > fileSize {
+			// A corrupt length header (or a record whose bytes never
+			// made it): nothing after this point can be trusted.
+			break
+		}
+		payload := make([]byte, length)
+		if _, err := s.f.ReadAt(payload, off+8); err != nil {
+			return fmt.Errorf("store: replay read: %w", err)
+		}
+		if crc32.Checksum(payload, crcTable) != binary.BigEndian.Uint32(hdr[4:8]) {
+			s.counters.Counter(ctrBadRecord).Inc()
+			off += 8 + length
+			continue
+		}
+		var rec diskRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			s.counters.Counter(ctrBadRecord).Inc()
+			off += 8 + length
+			continue
+		}
+		s.index(&rec, off, 8+length)
+		off += 8 + length
+	}
+	if off != fileSize {
+		s.counters.Counter(ctrTruncated).Inc()
+		if err := s.f.Truncate(off); err != nil {
+			return fmt.Errorf("store: truncate torn tail: %w", err)
+		}
+	}
+	s.size = off
+	if _, err := s.f.Seek(off, io.SeekStart); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// index adds one replayed record to the in-memory maps; a later record
+// with the same digest or id supersedes an earlier one (the last write
+// before a crash wins, and compaction crash-overlaps resolve cleanly).
+func (s *Store) index(rec *diskRecord, off, size int64) {
+	e := &entry{kind: rec.Kind, id: rec.ID, key: rec.Key, off: off, size: size, stored: rec.Stored}
+	switch rec.Kind {
+	case kindResult:
+		d, err := hex.DecodeString(rec.Digest)
+		if err != nil || len(d) != sha256.Size || rec.Result == nil {
+			s.counters.Counter(ctrBadRecord).Inc()
+			return
+		}
+		copy(e.digest[:], d)
+		if prev, ok := s.results[e.digest]; ok {
+			s.drop(prev)
+		}
+		if prev, ok := s.byID[e.id]; ok && prev.kind == kindResult {
+			s.drop(prev)
+		}
+		s.results[e.digest] = e
+		s.byID[e.id] = e
+		s.byKey[e.key] = append(s.byKey[e.key], e)
+		s.insertSorted(e)
+		if n := runSeq(e.id); n >= s.nextSeq {
+			s.nextSeq = n + 1
+		}
+	case kindTrace:
+		if prev, ok := s.traces[e.id]; ok {
+			s.drop(prev)
+		}
+		s.traces[e.id] = e
+	default:
+		s.counters.Counter(ctrBadRecord).Inc()
+		return
+	}
+	s.live += size
+	s.clock++
+	e.last = s.clock
+}
+
+// runSeq parses the numeric suffix of a run id ("r17" → 17); -1 when
+// the id is not ours.
+func runSeq(id string) int64 {
+	if !strings.HasPrefix(id, "r") {
+		return -1
+	}
+	n, err := strconv.ParseInt(id[1:], 10, 64)
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// insertSorted places e into the digest-sorted result index.
+func (s *Store) insertSorted(e *entry) {
+	i := sort.Search(len(s.sorted), func(i int) bool {
+		return string(s.sorted[i].digest[:]) >= string(e.digest[:])
+	})
+	s.sorted = append(s.sorted, nil)
+	copy(s.sorted[i+1:], s.sorted[i:])
+	s.sorted[i] = e
+}
+
+// lookup binary-searches the sorted index for a digest.
+func (s *Store) lookup(d Digest) (*entry, bool) {
+	i := sort.Search(len(s.sorted), func(i int) bool {
+		return string(s.sorted[i].digest[:]) >= string(d[:])
+	})
+	if i < len(s.sorted) && s.sorted[i].digest == d {
+		return s.sorted[i], true
+	}
+	return nil, false
+}
+
+// drop removes an entry from every index structure (not from disk; the
+// bytes become dead and are reclaimed by compaction). The bloom filter
+// cannot forget — its stale positives are what the falsepos counter
+// measures until the next rebuild.
+func (s *Store) drop(e *entry) {
+	switch e.kind {
+	case kindResult:
+		if cur, ok := s.results[e.digest]; ok && cur == e {
+			delete(s.results, e.digest)
+		}
+		if cur, ok := s.byID[e.id]; ok && cur == e {
+			delete(s.byID, e.id)
+		}
+		if list, ok := s.byKey[e.key]; ok {
+			kept := list[:0]
+			for _, x := range list {
+				if x != e {
+					kept = append(kept, x)
+				}
+			}
+			if len(kept) == 0 {
+				delete(s.byKey, e.key)
+			} else {
+				s.byKey[e.key] = kept
+			}
+		}
+		if i, ok := s.lookupIndex(e); ok {
+			s.sorted = append(s.sorted[:i], s.sorted[i+1:]...)
+		}
+	case kindTrace:
+		if cur, ok := s.traces[e.id]; ok && cur == e {
+			delete(s.traces, e.id)
+		}
+	}
+	s.live -= e.size
+}
+
+// lookupIndex finds e's exact position in the sorted index.
+func (s *Store) lookupIndex(e *entry) (int, bool) {
+	i := sort.Search(len(s.sorted), func(i int) bool {
+		return string(s.sorted[i].digest[:]) >= string(e.digest[:])
+	})
+	if i < len(s.sorted) && s.sorted[i] == e {
+		return i, true
+	}
+	return 0, false
+}
+
+// rebuildBloom resizes the filter to the current population and re-adds
+// every live digest, clearing the stale positives of evicted entries.
+func (s *Store) rebuildBloom() {
+	s.bloom = newBloom(len(s.results) + 1024)
+	for d := range s.results {
+		s.bloom.add(d)
+	}
+}
+
+// GetResult serves a content-addressed lookup: the bloom filter answers
+// definite misses without touching the index, hits read the record back
+// from the log and refresh its LRU position. The returned run id names
+// the stored record for /runs/{id}.
+func (s *Store) GetResult(d Digest) (core.Result, string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return core.Result{}, "", false
+	}
+	if !s.bloom.test(d) {
+		s.counters.Counter(ctrBloomSkip).Inc()
+		s.counters.Counter(ctrMiss).Inc()
+		return core.Result{}, "", false
+	}
+	e, ok := s.lookup(d)
+	if !ok {
+		s.counters.Counter(ctrBloomFalse).Inc()
+		s.counters.Counter(ctrMiss).Inc()
+		return core.Result{}, "", false
+	}
+	rec, err := s.readRecord(e)
+	if err != nil || rec.Result == nil {
+		// The bytes under a live index entry failed to read back —
+		// treat as a miss; the caller re-executes and overwrites.
+		s.drop(e)
+		s.counters.Counter(ctrMiss).Inc()
+		return core.Result{}, "", false
+	}
+	s.clock++
+	e.last = s.clock
+	s.counters.Counter(ctrHit).Inc()
+	return *rec.Result, e.id, true
+}
+
+// PutResult appends one run result under its digest and returns the run
+// id it was stored as. Storing an already-present digest refreshes its
+// LRU position and returns the existing id without writing.
+func (s *Store) PutResult(d Digest, key string, res core.Result) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", errors.New("store: closed")
+	}
+	if e, ok := s.results[d]; ok {
+		s.clock++
+		e.last = s.clock
+		return e.id, nil
+	}
+	id := "r" + strconv.FormatInt(s.nextSeq, 10)
+	rec := &diskRecord{
+		Kind:   kindResult,
+		ID:     id,
+		Digest: d.String(),
+		Key:    key,
+		Stored: time.Now().UnixMilli(),
+		Result: &res,
+	}
+	if err := s.append(rec); err != nil {
+		return "", err
+	}
+	s.nextSeq++
+	s.counters.Counter(ctrPut).Inc()
+	return id, nil
+}
+
+// PutTrace appends one rendered Chrome trace under the serving layer's
+// trace id, superseding any previous record with the same id.
+func (s *Store) PutTrace(id string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	rec := &diskRecord{
+		Kind:   kindTrace,
+		ID:     id,
+		Stored: time.Now().UnixMilli(),
+		Trace:  data,
+	}
+	if err := s.append(rec); err != nil {
+		return err
+	}
+	s.counters.Counter(ctrPutTrace).Inc()
+	return nil
+}
+
+// GetTrace reads a retained trace back.
+func (s *Store) GetTrace(id string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.traces[id]
+	if !ok || s.closed {
+		return nil, false
+	}
+	rec, err := s.readRecord(e)
+	if err != nil || rec.Trace == nil {
+		s.drop(e)
+		return nil, false
+	}
+	s.clock++
+	e.last = s.clock
+	return rec.Trace, true
+}
+
+// MaxTraceSeq returns the highest numeric suffix among retained trace
+// ids of the form "<prefix>t<N>"; 0 when none. The serving layer seeds
+// its trace-id counter from this after a restart so new traces never
+// collide with persisted ones.
+func (s *Store) MaxTraceSeq(prefix string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var max int64
+	for id := range s.traces {
+		rest, ok := strings.CutPrefix(id, prefix+"t")
+		if !ok {
+			continue
+		}
+		if n, err := strconv.ParseInt(rest, 10, 64); err == nil && n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// RunByID returns the stored run with the given id.
+func (s *Store) RunByID(id string) (RunRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.byID[id]
+	if !ok || s.closed {
+		return RunRecord{}, false
+	}
+	rec, err := s.readRecord(e)
+	if err != nil || rec.Result == nil {
+		s.drop(e)
+		return RunRecord{}, false
+	}
+	s.clock++
+	e.last = s.clock
+	return RunRecord{ID: e.id, Key: e.key, Digest: rec.Digest, StoredMS: rec.Stored, Result: *rec.Result}, true
+}
+
+// Runs lists stored runs — for one patternlet key, or all of them when
+// key is empty — ordered by run id. Only metadata is materialized; use
+// RunByID for the full record including Output.
+func (s *Store) Runs(key string) []RunRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var list []*entry
+	if key == "" {
+		list = make([]*entry, 0, len(s.byID))
+		for _, e := range s.byID {
+			list = append(list, e)
+		}
+	} else {
+		list = append(list, s.byKey[key]...)
+	}
+	sort.Slice(list, func(i, j int) bool { return runSeq(list[i].id) < runSeq(list[j].id) })
+	out := make([]RunRecord, 0, len(list))
+	for _, e := range list {
+		out = append(out, RunRecord{ID: e.id, Key: e.key, Digest: e.digest.String(), StoredMS: e.stored})
+	}
+	return out
+}
+
+// append frames, checksums, and writes one record, evicting and
+// compacting as the byte budget requires. Caller holds mu.
+func (s *Store) append(rec *diskRecord) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encode: %w", err)
+	}
+	size := int64(8 + len(payload))
+	if size > s.maxBytes {
+		s.counters.Counter(ctrOversize).Inc()
+		return ErrOversize
+	}
+	s.evictUntil(s.maxBytes - size)
+	buf := make([]byte, size)
+	binary.BigEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(buf[4:8], crc32.Checksum(payload, crcTable))
+	copy(buf[8:], payload)
+	if _, err := s.f.Write(buf); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	off := s.size
+	s.size += size
+	s.index(rec, off, size)
+	if rec.Kind == kindResult {
+		s.bloom.add(s.results[digestOf(rec)].digest)
+	}
+	if s.size-s.live > s.maxBytes {
+		return s.compact()
+	}
+	return nil
+}
+
+// digestOf decodes a result record's digest (validated at index time).
+func digestOf(rec *diskRecord) Digest {
+	var d Digest
+	b, _ := hex.DecodeString(rec.Digest)
+	copy(d[:], b)
+	return d
+}
+
+// evictUntil drops least-recently-used live records until live bytes
+// fit the target.
+func (s *Store) evictUntil(target int64) {
+	if target < 0 {
+		target = 0
+	}
+	for s.live > target {
+		var victim *entry
+		for _, e := range s.results {
+			if victim == nil || e.last < victim.last {
+				victim = e
+			}
+		}
+		for _, e := range s.traces {
+			if victim == nil || e.last < victim.last {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		s.drop(victim)
+		s.counters.Counter(ctrEvicted).Inc()
+	}
+}
+
+// compact rewrites the live records into a fresh log and atomically
+// swaps it in, dropping dead bytes and rebuilding the bloom filter. A
+// crash mid-compaction leaves the original log untouched (the rename is
+// the commit point).
+func (s *Store) compact() error {
+	live := make([]*entry, 0, len(s.byID)+len(s.traces))
+	for _, e := range s.byID {
+		live = append(live, e)
+	}
+	for _, e := range s.traces {
+		live = append(live, e)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].off < live[j].off })
+
+	tmpPath := filepath.Join(s.dir, logName+".compact")
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return fmt.Errorf("store: compact: %w", err)
+	}
+	var off int64
+	for _, e := range live {
+		buf := make([]byte, e.size)
+		if _, err := s.f.ReadAt(buf, e.off); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("store: compact read: %w", err)
+		}
+		if _, err := tmp.Write(buf); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("store: compact write: %w", err)
+		}
+		e.off = off
+		off += e.size
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact close: %w", err)
+	}
+	if err := os.Rename(tmpPath, filepath.Join(s.dir, logName)); err != nil {
+		return fmt.Errorf("store: compact rename: %w", err)
+	}
+	old := s.f
+	f, err := os.OpenFile(filepath.Join(s.dir, logName), os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact reopen: %w", err)
+	}
+	if _, err := f.Seek(off, io.SeekStart); err != nil {
+		f.Close()
+		return fmt.Errorf("store: compact seek: %w", err)
+	}
+	old.Close()
+	s.f = f
+	s.size = off
+	s.live = off
+	s.rebuildBloom()
+	s.counters.Counter(ctrCompact).Inc()
+	return nil
+}
+
+// Len reports how many run results are currently live.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.results)
+}
+
+// DiskSize reports the log's current byte size (live + not-yet-compacted
+// dead bytes).
+func (s *Store) DiskSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// Counters snapshots the store's telemetry counters.
+func (s *Store) Counters() map[string]int64 {
+	return s.counters.Snapshot()
+}
+
+// Close releases the log file; further calls answer misses and errors.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	return s.f.Close()
+}
+
+// readRecord reads and decodes one record's payload. Caller holds mu.
+func (s *Store) readRecord(e *entry) (*diskRecord, error) {
+	buf := make([]byte, e.size)
+	if _, err := s.f.ReadAt(buf, e.off); err != nil {
+		return nil, err
+	}
+	payload := buf[8:]
+	if crc32.Checksum(payload, crcTable) != binary.BigEndian.Uint32(buf[4:8]) {
+		return nil, errors.New("store: record checksum mismatch")
+	}
+	var rec diskRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, err
+	}
+	return &rec, nil
+}

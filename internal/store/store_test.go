@@ -1,0 +1,549 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// dg builds a distinct digest from a label, via the real canonicalizer
+// so tests exercise the same preimage shape the serving layer uses.
+func dg(label string) Digest {
+	return ResultDigest("cat0", label, 4, nil, core.DefaultSeed, false, 1)
+}
+
+// res builds a distinguishable result payload.
+func res(label string) core.Result {
+	return core.Result{Key: label, Output: "output of " + label + "\n", NumTasks: 4}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	want := res("reduction2.omp")
+	want.Output = "line one\nline two with ünïcode\n"
+	id, err := s.PutResult(dg("a"), want.Key, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotID, ok := s.GetResult(dg("a"))
+	if !ok {
+		t.Fatal("stored digest missed")
+	}
+	if gotID != id {
+		t.Fatalf("id mismatch: put %q, get %q", id, gotID)
+	}
+	if got.Output != want.Output {
+		t.Fatalf("round trip not byte-identical:\nput: %q\ngot: %q", want.Output, got.Output)
+	}
+	if _, _, ok := s.GetResult(dg("never-stored")); ok {
+		t.Fatal("phantom hit for a digest never stored")
+	}
+	// Idempotent re-put returns the same id without a second record.
+	id2, err := s.PutResult(dg("a"), want.Key, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id {
+		t.Fatalf("re-put minted a new id: %q vs %q", id2, id)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after idempotent re-put, want 1", s.Len())
+	}
+}
+
+func TestReopenPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res("sequenceNumbers.mpi")
+	id, err := s.PutResult(dg("persist"), want.Key, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutTrace("t7", []byte(`{"traceEvents":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, gotID, ok := s2.GetResult(dg("persist"))
+	if !ok || gotID != id || got.Output != want.Output {
+		t.Fatalf("reopen lost the record: ok=%t id=%q output=%q", ok, gotID, got.Output)
+	}
+	tr, ok := s2.GetTrace("t7")
+	if !ok || string(tr) != `{"traceEvents":[]}` {
+		t.Fatalf("reopen lost the trace: ok=%t data=%q", ok, tr)
+	}
+	if n := s2.MaxTraceSeq(""); n != 7 {
+		t.Fatalf("MaxTraceSeq = %d, want 7", n)
+	}
+	// New ids must not collide with persisted ones.
+	id2, err := s2.PutResult(dg("persist2"), "other", res("other"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 == id {
+		t.Fatalf("run-id sequence reset after reopen: %q reused", id2)
+	}
+}
+
+func TestReopenTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutResult(dg("good"), "good", res("good")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: a header promising more bytes than
+	// the file holds.
+	path := filepath.Join(dir, logName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := make([]byte, 8+10)
+	binary.BigEndian.PutUint32(torn[0:4], 500) // promises 500 payload bytes
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	before, _ := os.Stat(path)
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, _, ok := s2.GetResult(dg("good")); !ok {
+		t.Fatal("record before the torn tail was lost")
+	}
+	if c := s2.Counters()[ctrTruncated]; c != 1 {
+		t.Fatalf("%s = %d, want 1", ctrTruncated, c)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("torn tail not truncated: %d → %d bytes", before.Size(), after.Size())
+	}
+	// The store must be appendable again at the truncated offset.
+	if _, err := s2.PutResult(dg("post-crash"), "p", res("post-crash")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s2.GetResult(dg("post-crash")); !ok {
+		t.Fatal("append after truncation missed")
+	}
+}
+
+func TestReopenSkipsChecksumBadRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutResult(dg("first"), "first", res("first")); err != nil {
+		t.Fatal(err)
+	}
+	firstEnd := s.DiskSize()
+	if _, err := s.PutResult(dg("second"), "second", res("second")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutResult(dg("third"), "third", res("third")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Flip a payload byte inside the middle record (past its header).
+	path := filepath.Join(dir, logName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[firstEnd+8+5] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, _, ok := s2.GetResult(dg("first")); !ok {
+		t.Fatal("record before the corrupt one was lost")
+	}
+	if _, _, ok := s2.GetResult(dg("second")); ok {
+		t.Fatal("checksum-bad record served as a hit")
+	}
+	if _, _, ok := s2.GetResult(dg("third")); !ok {
+		t.Fatal("record after the corrupt one was lost — skip did not resync")
+	}
+	if c := s2.Counters()[ctrBadRecord]; c != 1 {
+		t.Fatalf("%s = %d, want 1", ctrBadRecord, c)
+	}
+}
+
+// recordSize measures the on-disk footprint of one representative
+// record so capacity tests can size budgets in whole records.
+func recordSize(t *testing.T, label string) int64 {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.PutResult(dg(label), label, res(label)); err != nil {
+		t.Fatal(err)
+	}
+	return s.DiskSize()
+}
+
+func TestEvictionAtCapacityBoundary(t *testing.T) {
+	// Labels of equal length so every record has the same footprint.
+	labels := []string{"ev-aa", "ev-bb", "ev-cc", "ev-dd"}
+	rec := recordSize(t, labels[0])
+
+	// Budget for exactly three records.
+	s, err := Open(t.TempDir(), WithMaxBytes(3*rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for _, l := range labels[:3] {
+		if _, err := s.PutResult(dg(l), l, res(l)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Counters()[ctrEvicted]; got != 0 {
+		t.Fatalf("evicted %d records while under budget", got)
+	}
+	// Touch ev-aa so ev-bb becomes the LRU victim.
+	if _, _, ok := s.GetResult(dg(labels[0])); !ok {
+		t.Fatal("warm read missed")
+	}
+	// The fourth record must evict exactly one.
+	if _, err := s.PutResult(dg(labels[3]), labels[3], res(labels[3])); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Counters()[ctrEvicted]; got != 1 {
+		t.Fatalf("evicted %d records admitting one over budget, want 1", got)
+	}
+	if _, _, ok := s.GetResult(dg(labels[1])); ok {
+		t.Fatal("LRU victim ev-bb still present")
+	}
+	for _, l := range []string{labels[0], labels[2], labels[3]} {
+		if _, _, ok := s.GetResult(dg(l)); !ok {
+			t.Fatalf("%s evicted though it was not the LRU victim", l)
+		}
+	}
+}
+
+func TestEvictionCapacityOne(t *testing.T) {
+	rec := recordSize(t, "solo1")
+	s, err := Open(t.TempDir(), WithMaxBytes(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i, l := range []string{"solo1", "solo2", "solo3"} {
+		if _, err := s.PutResult(dg(l), l, res(l)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := s.GetResult(dg(l)); !ok {
+			t.Fatalf("just-stored %s missed", l)
+		}
+		if s.Len() != 1 {
+			t.Fatalf("Len = %d at capacity one", s.Len())
+		}
+		if i > 0 {
+			prev := []string{"solo1", "solo2"}[i-1]
+			if _, _, ok := s.GetResult(dg(prev)); ok {
+				t.Fatalf("%s survived at capacity one", prev)
+			}
+		}
+	}
+	if s.DiskSize() > 2*rec {
+		t.Fatalf("disk %d exceeds 2× budget %d — compaction not keeping up", s.DiskSize(), 2*rec)
+	}
+}
+
+func TestOversizeRecordRejected(t *testing.T) {
+	s, err := Open(t.TempDir(), WithMaxBytes(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	big := res("big")
+	big.Output = strings.Repeat("x", 4096)
+	if _, err := s.PutResult(dg("big"), "big", big); err != ErrOversize {
+		t.Fatalf("oversize put returned %v, want ErrOversize", err)
+	}
+	if c := s.Counters()[ctrOversize]; c != 1 {
+		t.Fatalf("%s = %d, want 1", ctrOversize, c)
+	}
+}
+
+func TestBloomFalsePositivePath(t *testing.T) {
+	rec := recordSize(t, "bfpA1")
+	s, err := Open(t.TempDir(), WithMaxBytes(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Store A, then evict it by storing B at capacity one. The bloom
+	// filter cannot clear A's bits, so the next Get(A) probes the index
+	// and must be counted a false positive — unless the eviction's
+	// compaction already rebuilt the filter, which clears A legally.
+	if _, err := s.PutResult(dg("bfpA1"), "a", res("bfpA1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PutResult(dg("bfpB1"), "b", res("bfpB1")); err != nil {
+		t.Fatal(err)
+	}
+	preSkip := s.Counters()[ctrBloomSkip]
+	if _, _, ok := s.GetResult(dg("bfpA1")); ok {
+		t.Fatal("evicted record served as a hit")
+	}
+	c := s.Counters()
+	if c[ctrMiss] == 0 {
+		t.Fatal("miss not counted")
+	}
+	if c[ctrBloomFalse] == 0 && c[ctrBloomSkip] == preSkip {
+		t.Fatal("evicted-digest miss counted neither as bloom false positive nor as bloom skip")
+	}
+
+	// A digest never stored must be a definite bloom skip (with 4096
+	// bits and ≤2 entries, a real false positive is ~impossible).
+	before := s.Counters()[ctrBloomSkip]
+	if _, _, ok := s.GetResult(dg("never-seen-by-this-store")); ok {
+		t.Fatal("phantom hit")
+	}
+	if s.Counters()[ctrBloomSkip] != before+1 {
+		t.Fatal("cold miss did not take the bloom skip path")
+	}
+}
+
+func TestRunsHistory(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ids := map[string]string{}
+	for i := 0; i < 3; i++ {
+		l := fmt.Sprintf("hist-red-%d", i)
+		id, err := s.PutResult(dg(l), "reduction2.omp", res(l))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[l] = id
+	}
+	if _, err := s.PutResult(dg("hist-other"), "forkJoin.pthreads", res("hist-other")); err != nil {
+		t.Fatal(err)
+	}
+
+	all := s.Runs("")
+	if len(all) != 4 {
+		t.Fatalf("Runs(\"\") = %d records, want 4", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if runSeq(all[i-1].ID) >= runSeq(all[i].ID) {
+			t.Fatalf("Runs not ordered by id: %q before %q", all[i-1].ID, all[i].ID)
+		}
+	}
+	red := s.Runs("reduction2.omp")
+	if len(red) != 3 {
+		t.Fatalf("Runs(reduction2.omp) = %d records, want 3", len(red))
+	}
+	for _, r := range red {
+		if r.Key != "reduction2.omp" {
+			t.Fatalf("history for wrong key: %q", r.Key)
+		}
+	}
+	full, ok := s.RunByID(ids["hist-red-1"])
+	if !ok {
+		t.Fatal("RunByID missed a live id")
+	}
+	if full.Result.Output != res("hist-red-1").Output {
+		t.Fatalf("RunByID payload mismatch: %q", full.Result.Output)
+	}
+	if _, ok := s.RunByID("r9999"); ok {
+		t.Fatal("RunByID hit for an id never minted")
+	}
+}
+
+func TestTraceSupersede(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.PutTrace("t1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutTrace("t1", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetTrace("t1")
+	if !ok || string(got) != "v2" {
+		t.Fatalf("GetTrace = %q, %t; want v2", got, ok)
+	}
+	if _, ok := s.GetTrace("t404"); ok {
+		t.Fatal("phantom trace")
+	}
+}
+
+func TestCompactionBoundsDisk(t *testing.T) {
+	rec := recordSize(t, "cmp-00")
+	budget := 4 * rec
+	s, err := Open(t.TempDir(), WithMaxBytes(budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 40; i++ {
+		l := fmt.Sprintf("cmp-%02d", i)
+		if _, err := s.PutResult(dg(l), l, res(l)); err != nil {
+			t.Fatal(err)
+		}
+		if s.DiskSize() > 2*budget {
+			t.Fatalf("after %d puts disk = %d, exceeds 2×budget %d", i+1, s.DiskSize(), 2*budget)
+		}
+	}
+	if c := s.Counters()[ctrCompact]; c == 0 {
+		t.Fatal("40 puts into a 4-record budget never compacted")
+	}
+	// The latest records must still be readable after compactions.
+	if _, _, ok := s.GetResult(dg("cmp-39")); !ok {
+		t.Fatal("latest record lost across compaction")
+	}
+}
+
+func TestShrunkBudgetEvictsOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		l := fmt.Sprintf("shr-%d", i)
+		if _, err := s.PutResult(dg(l), l, res(l)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rec := s.DiskSize() / 6
+	s.Close()
+
+	s2, err := Open(dir, WithMaxBytes(2*rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() > 2 {
+		t.Fatalf("Len = %d after reopening with a 2-record budget", s2.Len())
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	rec := recordSize(t, "st-00-00")
+	// Small budget so eviction and compaction churn under the race
+	// detector while readers are in flight.
+	s, err := Open(t.TempDir(), WithMaxBytes(8*rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const workers, iters = 8, 60
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l := fmt.Sprintf("st-%02d-%02d", w, i%10)
+				switch i % 3 {
+				case 0:
+					if _, err := s.PutResult(dg(l), l, res(l)); err != nil && err != ErrOversize {
+						t.Errorf("put: %v", err)
+						return
+					}
+				case 1:
+					if r, _, ok := s.GetResult(dg(l)); ok && r.Output != res(l).Output {
+						t.Errorf("hit for %s returned wrong payload %q", l, r.Output)
+						return
+					}
+				case 2:
+					if err := s.PutTrace(fmt.Sprintf("t%d", w*iters+i), []byte(l)); err != nil {
+						t.Errorf("trace: %v", err)
+						return
+					}
+					s.Runs(l)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Integrity after the storm: whatever is live must read back clean.
+	for _, r := range s.Runs("") {
+		full, ok := s.RunByID(r.ID)
+		if !ok {
+			continue // raced with an eviction
+		}
+		if full.Result.Output == "" {
+			t.Fatalf("live record %s read back empty", r.ID)
+		}
+	}
+}
+
+func TestDigestCanonicalization(t *testing.T) {
+	dirs := []core.DirectiveState{{Name: "omp", Enabled: true}, {Name: "verbose", Enabled: false}}
+	a := ResultDigest("cat", "k", 4, dirs, 42, false, 1)
+	b := ResultDigest("cat", "k", 4, dirs, 42, false, 1)
+	if a != b {
+		t.Fatal("identical configurations produced different digests")
+	}
+	variants := []Digest{
+		ResultDigest("cat2", "k", 4, dirs, 42, false, 1), // catalog changed
+		ResultDigest("cat", "k2", 4, dirs, 42, false, 1), // key changed
+		ResultDigest("cat", "k", 8, dirs, 42, false, 1),  // tasks changed
+		ResultDigest("cat", "k", 4, dirs, 43, false, 1),  // seed changed
+		ResultDigest("cat", "k", 4, dirs, 42, true, 1),   // transport changed
+		ResultDigest("cat", "k", 4, dirs, 42, false, 2),  // nodes changed
+		ResultDigest("cat", "k", 4, []core.DirectiveState{{Name: "omp", Enabled: false}, {Name: "verbose", Enabled: false}}, 42, false, 1),
+	}
+	seen := map[Digest]bool{a: true}
+	for i, v := range variants {
+		if seen[v] {
+			t.Fatalf("variant %d collided with another configuration", i)
+		}
+		seen[v] = true
+	}
+	// CRC framing sanity: the table is Castagnoli, not IEEE.
+	if crc32.Checksum([]byte("x"), crcTable) == crc32.ChecksumIEEE([]byte("x")) {
+		t.Fatal("store is framing with the IEEE polynomial")
+	}
+}

@@ -71,4 +71,59 @@ kill "$SRV_PID"
 wait "$SRV_PID" || fail "server exited non-zero on SIGTERM"
 SRV_PID=""
 
+# --- run-store stage: repeat runs served from the persistent cache ---
+
+STORE_DIR="$TMPDIR_SMOKE/store"
+: >"$ADDR_FILE"
+
+start_store_daemon() {
+    "$TMPDIR_SMOKE/patternletd" -addr 127.0.0.1:0 -addr-file "$ADDR_FILE" \
+        -workers 2 -queue 8 -store-dir "$STORE_DIR" >"$LOG_FILE" 2>&1 &
+    SRV_PID=$!
+    i=0
+    while [ ! -s "$ADDR_FILE" ]; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && fail "store daemon did not write $ADDR_FILE within 10s"
+        kill -0 "$SRV_PID" 2>/dev/null || fail "store daemon exited during startup"
+        sleep 0.1
+    done
+    BASE="http://$(cat "$ADDR_FILE")"
+}
+
+start_store_daemon
+echo "serve-smoke: store-backed patternletd up at $BASE"
+
+# Same deterministic run twice: the first executes, the repeat must be
+# answered from the store with the identical transcript.
+RUN_BODY='{"key":"reduction2.omp","tasks":4}'
+FIRST=$(curl -fsS -X POST "$BASE/run" -H 'Content-Type: application/json' -d "$RUN_BODY")
+echo "$FIRST" | grep -q '"cached":true' && fail "first store run already cached: $FIRST"
+SECOND=$(curl -fsS -X POST "$BASE/run" -H 'Content-Type: application/json' -d "$RUN_BODY")
+echo "$SECOND" | grep -q '"cached":true' || fail "repeat run not served from the store: $SECOND"
+FIRST_OUT=$(echo "$FIRST" | tr ',' '\n' | grep '"output"')
+SECOND_OUT=$(echo "$SECOND" | tr ',' '\n' | grep '"output"')
+[ "$FIRST_OUT" = "$SECOND_OUT" ] || fail "cached output differs: $FIRST_OUT vs $SECOND_OUT"
+
+# The stored history is visible.
+curl -fsS "$BASE/runs?key=reduction2.omp" | grep -q '"id":"r' \
+    || fail "/runs missing the stored record"
+
+# Restart the daemon on the same store directory: the hit must survive
+# the process.
+kill "$SRV_PID"
+wait "$SRV_PID" || fail "store daemon exited non-zero on SIGTERM"
+SRV_PID=""
+: >"$ADDR_FILE"
+start_store_daemon
+echo "serve-smoke: store daemon restarted at $BASE"
+
+THIRD=$(curl -fsS -X POST "$BASE/run" -H 'Content-Type: application/json' -d "$RUN_BODY")
+echo "$THIRD" | grep -q '"cached":true' || fail "cache did not survive the restart: $THIRD"
+THIRD_OUT=$(echo "$THIRD" | tr ',' '\n' | grep '"output"')
+[ "$FIRST_OUT" = "$THIRD_OUT" ] || fail "post-restart output differs: $THIRD_OUT"
+
+kill "$SRV_PID"
+wait "$SRV_PID" || fail "store daemon exited non-zero on final SIGTERM"
+SRV_PID=""
+
 echo "serve-smoke: PASS"
