@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race serve serve-smoke cluster-smoke bench bench-json figures study lab examples catalog clean
+.PHONY: all build vet test race serve serve-smoke cluster-smoke load-smoke bench bench-json figures study lab examples catalog clean
 
 all: build vet test
 
@@ -40,14 +40,21 @@ serve-smoke:
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
 
+# End-to-end smoke of the load harness: boot patternletd, run a short
+# closed-loop patternletbench phase, and assert nonzero throughput plus
+# a parseable percentile report. Finishes well under 30s.
+load-smoke:
+	sh scripts/load_smoke.sh
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Record a benchmark suite as BENCH_<date>[_label].json; SUITE=comm
 # records the communication-stack suite (BENCH_<date>_comm.json),
-# SUITE=tasks the task-runtime suite (BENCH_<date>_tasks.json), and
-# SUITE=store the run-store hit-vs-execute suite. Compare two
-# recordings with: go run ./cmd/benchjson -compare old.json new.json
+# SUITE=tasks the task-runtime suite, SUITE=store the run-store
+# hit-vs-execute suite, and SUITE=load the serving-pipeline
+# instrumentation pair. Compare two recordings with:
+# go run ./cmd/benchjson -compare old.json new.json
 SUITE ?= tier1
 bench-json:
 	$(GO) run ./cmd/benchjson -suite "$(SUITE)" -label "$(LABEL)"

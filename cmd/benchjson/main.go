@@ -15,17 +15,15 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/exec"
-	"runtime"
 	"sort"
 	"strconv"
 	"strings"
-	"time"
 
+	"repro/internal/benchfmt"
 	"repro/internal/collection"
 	"repro/internal/core"
 )
@@ -63,12 +61,22 @@ const tasksBench = "^(BenchmarkTaskSpawnWait|BenchmarkTaskRecursiveFanout|" +
 // serving repeat /run requests from the store.
 const storeBench = "^(BenchmarkRunStoreHitVsExecute|BenchmarkStoreOps)$"
 
+// loadBench is the serving-pipeline suite: the back-to-back
+// instrumentation-off/on pair over the full serve.New stack (the
+// overhead budget the latency histograms must stay within) and the
+// histogram record path itself, disabled vs enabled, recorded as
+// BENCH_<date>_load.json. The macro companion — percentile reports from
+// real HTTP load — comes from cmd/patternletbench, which writes the
+// same file format.
+const loadBench = "^(BenchmarkServePipeline|BenchmarkHistogramRecord)$"
+
 // suites maps -suite names to benchmark regexes.
 var suites = map[string]string{
 	"tier1": tier1Bench,
 	"comm":  commBench,
 	"tasks": tasksBench,
 	"store": storeBench,
+	"load":  loadBench,
 }
 
 // suiteNames returns the -suite choices, sorted, for help and error text —
@@ -82,33 +90,12 @@ func suiteNames() string {
 	return strings.Join(names, ", ")
 }
 
-// Result is one benchmark line.
-type Result struct {
-	Name        string             `json:"name"`
-	Iters       int64              `json:"iters"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  float64            `json:"bytes_per_op"`
-	AllocsPerOp float64            `json:"allocs_per_op"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
-
-// File is the on-disk format.
-type File struct {
-	Date      string   `json:"date"`
-	Label     string   `json:"label,omitempty"`
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	CPU       string   `json:"cpu,omitempty"`
-	Bench     string   `json:"bench"`
-	BenchTime string   `json:"benchtime"`
-	Results   []Result `json:"results"`
-	// Telemetry is the counter snapshot from a fixed instrumented probe
-	// workload (see telemetryProbe), recorded alongside the timings so a
-	// BENCH file also documents what the runtimes *did* — regions forked,
-	// tasks spawned/stolen, collectives run, messages moved.
-	Telemetry map[string]int64 `json:"telemetry,omitempty"`
-}
+// Result and File are the shared BENCH_*.json schema, extracted to
+// internal/benchfmt so cmd/patternletbench writes the same format.
+type (
+	Result = benchfmt.Result
+	File   = benchfmt.File
+)
 
 func main() {
 	bench := flag.String("bench", "", "benchmark regex passed to go test -bench (overrides -suite)")
@@ -153,19 +140,9 @@ func main() {
 	}
 	path := *out
 	if path == "" {
-		path = "BENCH_" + time.Now().Format("2006-01-02")
-		if *label != "" {
-			path += "_" + *label
-		}
-		path += ".json"
+		path = f.DefaultPath()
 	}
-	data, err := json.MarshalIndent(f, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if err := f.WriteFile(path); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
@@ -181,15 +158,7 @@ func run(bench, benchtime string, count int, label string) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, outBytes)
 	}
-	f := &File{
-		Date:      time.Now().Format("2006-01-02"),
-		Label:     label,
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		Bench:     bench,
-		BenchTime: benchtime,
-	}
+	f := benchfmt.NewFile(label, bench, benchtime)
 	f.Results = parse(string(outBytes), f)
 	if len(f.Results) == 0 {
 		return nil, fmt.Errorf("no benchmark results parsed from:\n%s", outBytes)
@@ -298,22 +267,11 @@ func parse(out string, f *File) []Result {
 
 // compareFiles prints a ratio table between two BENCH_*.json files.
 func compareFiles(oldPath, newPath string) error {
-	load := func(path string) (*File, error) {
-		data, err := os.ReadFile(path)
-		if err != nil {
-			return nil, err
-		}
-		var f File
-		if err := json.Unmarshal(data, &f); err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		return &f, nil
-	}
-	oldF, err := load(oldPath)
+	oldF, err := benchfmt.ReadFile(oldPath)
 	if err != nil {
 		return err
 	}
-	newF, err := load(newPath)
+	newF, err := benchfmt.ReadFile(newPath)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The read-heavy mix must actually be read-heavy: with a fixed source,
+// the empirical split converges on the declared 45/45/10 weights.
+func TestReadHeavyMixWeights(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	counts := map[string]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		req := mixes["read-heavy"].pick(r)
+		counts[req.method+" "+req.path]++
+	}
+	if got := counts["POST /run"]; got < n*5/100 || got > n*15/100 {
+		t.Fatalf("run fraction = %d/%d, want ~10%%", got, n)
+	}
+	for _, read := range []string{"GET /patternlets", "GET /metrics.json"} {
+		if got := counts[read]; got < n*40/100 || got > n*50/100 {
+			t.Fatalf("%s fraction = %d/%d, want ~45%%", read, got, n)
+		}
+	}
+}
+
+// Open-loop schedules: uniform spacing is exactly 1/rate; the Poisson
+// option draws exponential gaps with the same mean.
+func TestInterArrivalSchedule(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	if got := interArrival(r, 200, false); got != 5*time.Millisecond {
+		t.Fatalf("uniform gap at 200 QPS = %v, want 5ms", got)
+	}
+	var sum time.Duration
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		sum += interArrival(r, 200, true)
+	}
+	mean := sum / draws
+	if mean < 4*time.Millisecond || mean > 6*time.Millisecond {
+		t.Fatalf("poisson mean gap = %v, want ~5ms", mean)
+	}
+}
+
+// The coordinated-omission property itself: against a server that
+// serializes requests behind a lock, a closed loop with one connection
+// sees only the service time, while the open loop — measuring from the
+// intent schedule — charges the server for the queueing delay it
+// imposed. This asymmetry is the reason the harness has two modes.
+func TestOpenLoopChargesQueueingDelay(t *testing.T) {
+	const hold = 20 * time.Millisecond
+	var mu sync.Mutex
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		time.Sleep(hold)
+		mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+
+	closed := drive(ts.URL, genConfig{
+		mode: "closed", conns: 1, warmup: 0, duration: 300 * time.Millisecond,
+	}, mixes["run-cheap"])
+	if n := closed.ok.Load(); n == 0 {
+		t.Fatal("closed loop recorded no samples")
+	}
+	closedMax := closed.hist.Snapshot().Max
+	if closedMax > int64(3*hold) {
+		t.Fatalf("closed loop max %v; one polite connection should see ~service time %v", time.Duration(closedMax), hold)
+	}
+
+	// 100 QPS offered against a 50 QPS server: the backlog grows for the
+	// whole window, and intent-based timing must surface it.
+	open := drive(ts.URL, genConfig{
+		mode: "open", rate: 100, warmup: 0, duration: 300 * time.Millisecond,
+	}, mixes["run-cheap"])
+	if n := open.ok.Load(); n == 0 {
+		t.Fatal("open loop recorded no samples")
+	}
+	openMax := open.hist.Snapshot().Max
+	if openMax < int64(3*hold) {
+		t.Fatalf("open loop max %v; an overloaded serialized server must show queueing delay >> %v", time.Duration(openMax), hold)
+	}
+}
+
+// End to end against the in-process daemon: a short closed-loop phase
+// produces nonzero goodput, a monotone percentile ladder, a parseable
+// text report, and a BENCH result carrying the ladder as metrics.
+func TestClosedLoopSelfServe(t *testing.T) {
+	daemon, err := bootDaemon(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.shutdown()
+
+	rep := drive(daemon.url, genConfig{
+		mode: "closed", conns: 2, warmup: 100 * time.Millisecond, duration: 400 * time.Millisecond,
+	}, mixes["mixed"])
+
+	if rep.ok.Load() == 0 {
+		t.Fatalf("no successful requests: busy=%d failed=%d", rep.busy.Load(), rep.failed.Load())
+	}
+	snap := rep.hist.Snapshot()
+	if snap.Quantile(0.50) > snap.Quantile(0.99) || snap.Quantile(0.99) > snap.Max {
+		t.Fatalf("percentiles not monotone: p50=%d p99=%d max=%d",
+			snap.Quantile(0.50), snap.Quantile(0.99), snap.Max)
+	}
+	table := rep.table()
+	for _, want := range []string{"closed loop", "QPS goodput", "p50", "p99", "max"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("report table missing %q:\n%s", want, table)
+		}
+	}
+	res := rep.result("")
+	if res.Iters != rep.ok.Load() || res.NsPerOp <= 0 {
+		t.Fatalf("result iters=%d ns/op=%v, want iters=%d and positive mean", res.Iters, res.NsPerOp, rep.ok.Load())
+	}
+	for _, key := range []string{"qps", "p50_ns", "p95_ns", "p99_ns", "p999_ns", "max_ns"} {
+		if _, ok := res.Metrics[key]; !ok {
+			t.Fatalf("result metrics missing %q: %v", key, res.Metrics)
+		}
+	}
+	// The daemon's own stage histograms saw the load too.
+	metrics := scrapeMetrics(daemon.url)
+	if metrics["serve.stage.e2e.count"] == 0 {
+		t.Fatalf("daemon /metrics.json has no e2e stage samples: %v", metrics)
+	}
+}
+
+// The cached mix must actually hit the store on repeats, or it measures
+// the wrong thing.
+func TestCachedMixHitsStore(t *testing.T) {
+	daemon, err := bootDaemon(2, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer daemon.shutdown()
+
+	drive(daemon.url, genConfig{
+		mode: "closed", conns: 2, warmup: 0, duration: 200 * time.Millisecond,
+	}, mixes["run-cached"])
+
+	metrics := scrapeMetrics(daemon.url)
+	if metrics["serve.cache.hit"] == 0 {
+		t.Fatalf("run-cached mix produced no store hits: %v", metrics)
+	}
+}
+
+func TestSweepCells(t *testing.T) {
+	cells, err := sweepCells("1, 2,4", "8,32", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []cell{{1, 8}, {1, 32}, {2, 8}, {2, 32}, {4, 8}, {4, 32}}
+	if len(cells) != len(want) {
+		t.Fatalf("cells = %v, want %v", cells, want)
+	}
+	for i := range want {
+		if cells[i] != want[i] {
+			t.Fatalf("cells[%d] = %v, want %v", i, cells[i], want[i])
+		}
+	}
+	if _, err := sweepCells("1,zero", "", 16); err == nil {
+		t.Fatal("bad -sweep-workers accepted")
+	}
+	if cells, _ = sweepCells("2", "", 16); cells[0] != (cell{2, 16}) {
+		t.Fatalf("default queue not applied: %v", cells)
+	}
+}

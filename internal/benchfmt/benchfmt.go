@@ -1,0 +1,93 @@
+// Package benchfmt is the on-disk schema of the repository's
+// BENCH_<date>[_<label>].json recordings. Two producers write it —
+// cmd/benchjson (go test -bench suites) and cmd/patternletbench (the
+// HTTP load harness) — and keeping the struct in one place is what
+// keeps their files mutually diffable with `benchjson -compare`.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// Result is one benchmark line: a named measurement with the standard
+// go-bench axes plus free-form custom metrics (b.ReportMetric units for
+// benchjson; qps / percentile nanoseconds for patternletbench).
+type Result struct {
+	Name        string             `json:"name"`
+	Iters       int64              `json:"iters"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the on-disk format.
+type File struct {
+	Date      string   `json:"date"`
+	Label     string   `json:"label,omitempty"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPU       string   `json:"cpu,omitempty"`
+	Bench     string   `json:"bench"`
+	BenchTime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+	// Telemetry is the counter snapshot from a fixed instrumented probe
+	// workload, recorded alongside the timings so a BENCH file also
+	// documents what the runtimes *did* — regions forked, tasks
+	// spawned/stolen, collectives run, messages moved. patternletbench
+	// stores the daemon's final /metrics.json scrape here instead.
+	Telemetry map[string]int64 `json:"telemetry,omitempty"`
+}
+
+// NewFile stamps the environment fields every producer fills the same
+// way; bench and benchtime describe what was run (a regex for benchjson,
+// a workload descriptor for patternletbench).
+func NewFile(label, bench, benchtime string) *File {
+	return &File{
+		Date:      time.Now().Format("2006-01-02"),
+		Label:     label,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Bench:     bench,
+		BenchTime: benchtime,
+	}
+}
+
+// DefaultPath is the conventional file name: BENCH_<date>[_<label>].json
+// in the current directory.
+func (f *File) DefaultPath() string {
+	path := "BENCH_" + f.Date
+	if f.Label != "" {
+		path += "_" + f.Label
+	}
+	return path + ".json"
+}
+
+// WriteFile writes f as indented JSON with a trailing newline, the exact
+// layout of every BENCH_*.json committed so far.
+func (f *File) WriteFile(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a BENCH_*.json recording.
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/store"
@@ -45,6 +46,12 @@ type CachedExecutor struct {
 	store    *store.Store
 	catalog  string // registry fingerprint, folded into every digest
 	counters *telemetry.CounterSet
+
+	// lookupHist is the cache_lookup stage histogram (pipeline.go):
+	// the cost of canonicalizing the request and probing the store,
+	// recorded for every request crossing this layer. Nil when latency
+	// instrumentation is off.
+	lookupHist *telemetry.Histogram
 
 	mu       sync.Mutex
 	inflight map[store.Digest]*flight
@@ -116,11 +123,22 @@ func (c *CachedExecutor) digest(req ExecRequest) (store.Digest, bool) {
 // Execute implements Executor: store hit, singleflight share, or execute-
 // and-persist — in that order. Ineligible requests bypass all of it.
 func (c *CachedExecutor) Execute(ctx context.Context, req ExecRequest) (ExecResult, error) {
+	var start time.Time
+	if c.lookupHist != nil {
+		start = time.Now()
+	}
 	d, eligible := c.digest(req)
 	if !eligible {
+		if h := c.lookupHist; h != nil {
+			h.RecordSince(start)
+		}
 		return c.base.Execute(ctx, req)
 	}
-	if res, id, ok := c.store.GetResult(d); ok {
+	res, id, ok := c.store.GetResult(d)
+	if h := c.lookupHist; h != nil {
+		h.RecordSince(start)
+	}
+	if ok {
 		c.counters.Counter(ctrCacheHit).Inc()
 		return ExecResult{Result: res, Cached: true, RunID: id}, nil
 	}

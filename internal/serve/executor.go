@@ -107,6 +107,11 @@ type job struct {
 	ctx context.Context
 	run func(ctx context.Context) (core.Result, error)
 
+	// acceptedAt is stamped when the job enters the queue, only while
+	// latency histograms are on; the worker turns it into the
+	// queue-dwell sample. Zero means instrumentation is off.
+	acceptedAt time.Time
+
 	res  core.Result
 	err  error
 	done chan struct{}
@@ -132,6 +137,19 @@ type LocalExecutor struct {
 
 	counters *telemetry.CounterSet
 	traces   traceStore
+
+	// Pipeline stage histograms (see pipeline.go); all nil when latency
+	// instrumentation is off, making each record site one nil check.
+	admissionHist *telemetry.Histogram
+	queueHist     *telemetry.Histogram
+	executeHist   *telemetry.Histogram
+
+	// execEWMA is an exponentially weighted moving average (α = 1/8) of
+	// recent execute-stage latencies in nanoseconds, updated by every
+	// worker after every job — cheap enough to stay on unconditionally.
+	// It is the observed drain rate behind the adaptive Retry-After
+	// hint; zero means no job has finished yet.
+	execEWMA atomic.Int64
 
 	// persist, when non-nil, retains rendered traces in the run store
 	// too, so /trace/{id} outlives both the in-memory FIFO and the
@@ -171,9 +189,18 @@ func newLocalExecutor(reg *core.Registry, cfg config, counters *telemetry.Counte
 func (l *LocalExecutor) worker() {
 	defer l.wg.Done()
 	for j := range l.queue {
+		start := time.Now()
+		if h := l.queueHist; h != nil && !j.acceptedAt.IsZero() {
+			h.Record(start.Sub(j.acceptedAt).Nanoseconds())
+		}
 		l.running.Add(1)
 		j.res, j.err = j.run(j.ctx)
 		l.running.Add(-1)
+		elapsed := time.Since(start)
+		l.observeExecute(elapsed)
+		if h := l.executeHist; h != nil {
+			h.Record(elapsed.Nanoseconds())
+		}
 		switch {
 		case j.err == nil:
 			l.counters.Counter(ctrCompleted).Inc()
@@ -220,8 +247,21 @@ func (l *LocalExecutor) Execute(ctx context.Context, req ExecRequest) (ExecResul
 // runs obey the same admission control as local ones.
 func (l *LocalExecutor) executeFunc(ctx context.Context, req ExecRequest, fn func(ctx context.Context) (core.Result, error)) (ExecResult, error) {
 	j := &job{ctx: ctx, run: fn, done: make(chan struct{})}
+	var start time.Time
+	if l.admissionHist != nil {
+		// Stamped before the queue send — the channel handoff is the
+		// happens-before edge the worker's queue-dwell read rides on.
+		start = time.Now()
+		j.acceptedAt = start
+	}
 	if err := l.submit(j); err != nil {
+		if h := l.admissionHist; h != nil {
+			h.RecordSince(start)
+		}
 		return ExecResult{Result: core.Result{Key: req.Key}}, err
+	}
+	if h := l.admissionHist; h != nil {
+		h.RecordSince(start)
 	}
 	// The worker always closes done — even for a job whose context
 	// expired while queued (Registry.Run returns the ctx error without
@@ -240,6 +280,52 @@ func (l *LocalExecutor) executeFunc(ctx context.Context, req ExecRequest, fn fun
 		}
 	}
 	return out, j.err
+}
+
+// observeExecute folds one execute-stage latency into the drain-rate
+// EWMA (α = 1/8, the TCP RTT-estimator gain: smooth enough to ride out
+// one slow collective, fresh enough to track a workload shift within a
+// few jobs). Every finished job counts — a timed-out run occupied a
+// worker for exactly as long as it says, which is precisely what the
+// backlog hint needs to know.
+func (l *LocalExecutor) observeExecute(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 1 {
+		ns = 1 // keep "no samples yet" (zero) distinguishable
+	}
+	for {
+		old := l.execEWMA.Load()
+		next := ns
+		if old != 0 {
+			next = old + (ns-old)/8
+			if next < 1 {
+				next = 1
+			}
+		}
+		if l.execEWMA.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterHint derives the 503 Retry-After from the observed queue
+// drain rate: the execute-latency EWMA times the jobs ahead of a new
+// arrival (queued + running), spread over the worker pool. Until the
+// first job finishes there is no observed rate, and the configured
+// static hint is all we can honestly say.
+func (l *LocalExecutor) retryAfterHint() time.Duration {
+	ewma := l.execEWMA.Load()
+	if ewma == 0 {
+		return l.cfg.retryAfter
+	}
+	backlog := int64(len(l.queue)) + l.running.Load()
+	if backlog < 1 {
+		// Rejected while the queue reads empty (draining, or the backlog
+		// cleared between the bounce and this estimate): one job's worth
+		// is the floor.
+		backlog = 1
+	}
+	return time.Duration(ewma * backlog / int64(l.cfg.workers))
 }
 
 // Shutdown stops admission and drains: already-accepted jobs (queued or

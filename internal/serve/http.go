@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
@@ -104,6 +107,14 @@ func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	if m := s.metrics; m != nil {
+		// End-to-end covers every outcome this handler produces — 200s,
+		// 4xx validation bounces, 503 backpressure — because a load test
+		// sizing the daemon cares how long *answers* take, not only how
+		// long successes take.
+		start := time.Now()
+		defer func() { m.e2e.RecordSince(start) }()
+	}
 	var req RunRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		httpError(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -163,9 +174,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if errors.Is(err, errBusy) {
-		// Local saturation answers with this node's configured hint; a
-		// relayed peer 503 carries the peer's own hint through instead.
-		retryAfter := s.cfg.retryAfter
+		// Local saturation answers with a hint derived from the observed
+		// drain rate (execute-latency EWMA × backlog over the pool; see
+		// retryAfterHint), falling back to the configured static value
+		// before the first job has finished. A relayed peer 503 carries
+		// the peer's own hint through instead.
+		retryAfter := s.local.retryAfterHint()
 		var busy *BusyError
 		if errors.As(err, &busy) {
 			retryAfter = busy.RetryAfter
@@ -209,9 +223,16 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		code = http.StatusInternalServerError
 		resp.Error = err.Error()
 	}
+	var respondStart time.Time
+	if s.metrics != nil {
+		respondStart = time.Now()
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(resp)
+	if m := s.metrics; m != nil {
+		m.respond.RecordSince(respondStart)
+	}
 }
 
 // handleWorker hosts one rank of a peer-launched world in this process.
@@ -324,9 +345,11 @@ func status(st Stats) string {
 	return "ok"
 }
 
-// metricsSnapshot merges the run store's counters into the server's; on
-// a store-less server it is exactly the serve counter snapshot, keeping
-// /metrics byte-identical to the pre-store daemon.
+// metricsSnapshot merges the run store's counters and the pipeline
+// stage histograms (as serve.stage.* percentile keys) into the server's
+// counter snapshot; with neither configured it is exactly the serve
+// counter snapshot, keeping /metrics byte-identical to the
+// uninstrumented daemon.
 func (s *Server) metricsSnapshot() map[string]int64 {
 	snap := s.counters.Snapshot()
 	if s.cfg.store != nil {
@@ -334,7 +357,38 @@ func (s *Server) metricsSnapshot() map[string]int64 {
 			snap[name] = v
 		}
 	}
+	s.metrics.fold(snap)
 	return snap
+}
+
+// writeCountersJSON marshals a counter snapshot with a guaranteed
+// stable, sorted key order. encoding/json happens to sort map keys
+// today, but tooling that diffs consecutive scrapes deserves the order
+// as a documented guarantee, not an accident of the encoder — so the
+// object is assembled explicitly, sorted, and pinned by a golden test.
+func writeCountersJSON(w io.Writer, snap map[string]int64) error {
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		quoted, err := json.Marshal(name)
+		if err != nil {
+			return err
+		}
+		b.Write(quoted)
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(snap[name], 10))
+	}
+	b.WriteString("}\n")
+	_, err := w.Write(b.Bytes())
+	return err
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -344,7 +398,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(s.metricsSnapshot())
+	writeCountersJSON(w, s.metricsSnapshot())
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"repro/internal/telemetry"
+)
+
+// The request path is an explicitly composed pipeline of named stages,
+// mirroring the cluster.Middleware convention one layer up: serve.New
+// starts from the LocalExecutor (whose admission-wait, queue-dwell and
+// execute stages are internal to the worker pool) and folds each
+// configured layer over it in a fixed order — cache-lookup when a run
+// store is attached, ring-route when the node is a cluster member — and
+// the HTTP handler contributes the respond and end-to-end stages above
+// the Executor seam. Every stage name below is both a position in that
+// composition and, with WithLatencyHistograms, a latency histogram
+// exported through /metrics and /metrics.json as
+// serve.stage.<name>.{count,p50_ns,p90_ns,p95_ns,p99_ns,p999_ns,max_ns}.
+//
+// What each stage's histogram means:
+//
+//	admission_wait  Execute entry → admitted to (or bounced from) the queue
+//	queue_dwell     admission → a worker picks the job up
+//	execute         the worker running the job (registry run or spanned world)
+//	cache_lookup    digest + store probe in the CachedExecutor (hit or miss)
+//	ring_route      routing decision, plus the full forward round trip for
+//	                peer-owned keys (the peer's own stages break its side down)
+//	respond         encoding the RunResponse onto the wire
+//	e2e             handleRun entry → response written, every outcome
+//
+// With instrumentation off (the default) no histogram exists, every
+// record site is one nil field check, and the daemon's behavior and
+// metrics surface are byte-identical to the uninstrumented build —
+// pinned by TestUninstrumentedMetricsGolden and gated by the
+// back-to-back BenchmarkServePipeline pair in the load suite.
+const (
+	stageAdmission = "admission_wait"
+	stageQueue     = "queue_dwell"
+	stageExecute   = "execute"
+	stageCache     = "cache_lookup"
+	stageRoute     = "ring_route"
+	stageRespond   = "respond"
+	stageE2E       = "e2e"
+)
+
+// stage is one named layer of the executor composition: its wrap
+// function decorates the pipeline built so far, exactly like a
+// cluster.Middleware decorating a transport.
+type stage struct {
+	name string
+	wrap func(next Executor) Executor
+}
+
+// pipelineMetrics is the per-stage histogram set. Executors hold direct
+// *telemetry.Histogram fields resolved at construction — never a map
+// lookup on the hot path — and a nil pipelineMetrics (instrumentation
+// off) leaves every such field nil.
+type pipelineMetrics struct {
+	byName map[string]*telemetry.Histogram
+
+	admission *telemetry.Histogram
+	queue     *telemetry.Histogram
+	execute   *telemetry.Histogram
+	cache     *telemetry.Histogram
+	route     *telemetry.Histogram
+	respond   *telemetry.Histogram
+	e2e       *telemetry.Histogram
+}
+
+// newPipelineMetrics builds histograms for exactly the stages the
+// configured pipeline has: a single-node store-less daemon exports no
+// cache_lookup or ring_route series, because no request ever crosses
+// those layers.
+func newPipelineMetrics(withCache, withCluster bool) *pipelineMetrics {
+	m := &pipelineMetrics{byName: map[string]*telemetry.Histogram{}}
+	add := func(name string) *telemetry.Histogram {
+		h := &telemetry.Histogram{}
+		m.byName[name] = h
+		return h
+	}
+	m.admission = add(stageAdmission)
+	m.queue = add(stageQueue)
+	m.execute = add(stageExecute)
+	if withCache {
+		m.cache = add(stageCache)
+	}
+	if withCluster {
+		m.route = add(stageRoute)
+	}
+	m.respond = add(stageRespond)
+	m.e2e = add(stageE2E)
+	return m
+}
+
+// fold adds the percentile summary of every stage histogram to a counter
+// snapshot, as int64 nanosecond values, so the histograms ride the same
+// sorted /metrics and /metrics.json surface as the counters.
+func (m *pipelineMetrics) fold(snap map[string]int64) {
+	if m == nil {
+		return
+	}
+	for name, h := range m.byName {
+		s := h.Snapshot()
+		prefix := "serve.stage." + name + "."
+		snap[prefix+"count"] = s.Count()
+		for _, p := range telemetry.Percentiles {
+			snap[prefix+p.Label+"_ns"] = s.Quantile(p.Q)
+		}
+		snap[prefix+"max_ns"] = s.Max
+	}
+}

@@ -30,6 +30,19 @@ import (
 )
 
 // Defaults for the tunables below.
+//
+// Workers and queue depth are measured, not guessed: the patternletbench
+// sizing sweep in EXPERIMENTS.md (workers × queue cross product under
+// the mixed closed-loop workload) found workers=2 the goodput peak even
+// on a single-core host — patternlet runs block on channel handoffs
+// inside their regions, so a second worker keeps the core busy through
+// those stalls, while 4–8 workers only added scheduling churn. queue=16
+// was the smallest depth that absorbed admission bursts without
+// bouncing traffic: queue=4 returned spurious 503s under steady load
+// the pool could actually sustain, and queue=64 added queueing delay
+// at no goodput gain. Re-run `make load-smoke` style sweeps
+// (patternletbench -sweep-workers ... -sweep-queue ...) before changing
+// either number.
 const (
 	DefaultWorkers        = 2
 	DefaultQueueDepth     = 16
@@ -51,6 +64,7 @@ type config struct {
 	retryAfter    time.Duration
 	cluster       *ClusterConfig
 	store         *store.Store
+	histograms    bool
 }
 
 // WithWorkers caps run concurrency: at most n patternlets execute at
@@ -118,6 +132,20 @@ func WithStore(st *store.Store) Option {
 	return func(c *config) { c.store = st }
 }
 
+// WithLatencyHistograms turns on per-stage latency instrumentation:
+// every request records its admission-wait, queue-dwell, and execute
+// stages (plus cache-lookup and ring-route where those layers exist),
+// and the HTTP handler its respond and end-to-end time, into lock-free
+// log-bucketed histograms (telemetry.Histogram) exported through
+// /metrics and /metrics.json as p50/p90/p95/p99/p99.9/max. Off by
+// default: without this option no histogram exists, every record site
+// is a single nil field check, and the daemon's responses and metrics
+// surface are byte-identical to the uninstrumented build. See
+// pipeline.go for the stage map.
+func WithLatencyHistograms() Option {
+	return func(c *config) { c.histograms = true }
+}
+
 // WithCluster makes the server one member of a multi-node patternletd
 // cluster: run keys are placed on a consistent-hash ring over the
 // members and remote-owned keys are forwarded to their owner. With no
@@ -149,6 +177,7 @@ type Server struct {
 	sharded  *shardedExecutor // nil on a single-node server
 	exec     Executor
 	counters telemetry.CounterSet
+	metrics  *pipelineMetrics // nil without WithLatencyHistograms
 }
 
 // New builds a Server over reg and starts its worker pool.
@@ -168,24 +197,51 @@ func New(reg *core.Registry, opts ...Option) *Server {
 		cfg.timeout = cfg.maxTimeout
 	}
 	s := &Server{reg: reg, cfg: cfg}
+	if cfg.histograms {
+		s.metrics = newPipelineMetrics(cfg.store != nil, cfg.cluster != nil)
+	}
 	s.local = newLocalExecutor(reg, cfg, &s.counters)
-	here := Executor(s.local)
+	if m := s.metrics; m != nil {
+		s.local.admissionHist, s.local.queueHist, s.local.executeHist = m.admission, m.queue, m.execute
+	}
 	if cfg.store != nil {
 		// The store persists traces alongside results; seed the trace-id
 		// counter past the persisted ids so a restarted daemon never
 		// mints a colliding id for a fresh trace.
 		s.local.persist = cfg.store
 		s.local.traces.next = cfg.store.MaxTraceSeq(s.local.traces.prefix)
-		s.cached = newCachedExecutor(s.local, reg, cfg.store, &s.counters)
-		here = s.cached
 	}
-	s.exec = here
+
+	// Compose the executor pipeline innermost-out from its named stages
+	// (see pipeline.go): the LocalExecutor's admission/queue/execute
+	// core, then cache-lookup, then ring-route. Each stage's wrap is a
+	// middleware over the pipeline built so far, so adding a layer is
+	// appending a stage — not re-threading three hand-wired fields.
+	var stages []stage
+	if cfg.store != nil {
+		stages = append(stages, stage{stageCache, func(next Executor) Executor {
+			s.cached = newCachedExecutor(next, reg, cfg.store, &s.counters)
+			if m := s.metrics; m != nil {
+				s.cached.lookupHist = m.cache
+			}
+			return s.cached
+		}})
+	}
 	if cfg.cluster != nil {
-		// The cache sits under the router: runs are placed on the ring
-		// first, and the owning node consults its own store, so each
-		// digest is cached exactly once in the cluster.
-		s.sharded = newShardedExecutor(s.local, here, *cfg.cluster, &s.counters)
-		s.exec = s.sharded
+		stages = append(stages, stage{stageRoute, func(next Executor) Executor {
+			// The cache sits under the router: runs are placed on the
+			// ring first, and the owning node consults its own store, so
+			// each digest is cached exactly once in the cluster.
+			s.sharded = newShardedExecutor(s.local, next, *cfg.cluster, &s.counters)
+			if m := s.metrics; m != nil {
+				s.sharded.routeHist = m.route
+			}
+			return s.sharded
+		}})
+	}
+	s.exec = Executor(s.local)
+	for _, st := range stages {
+		s.exec = st.wrap(s.exec)
 	}
 	return s
 }

@@ -154,6 +154,44 @@ func TestQueueSaturationRejectsWithRetryAfter(t *testing.T) {
 	}
 }
 
+// Once the daemon has observed executions, a 503's Retry-After is no
+// longer the configured constant but the estimated drain time of the
+// backlog in front of the caller: execute-EWMA × (queued + running) /
+// workers. With a 2 s EWMA and a full 1-worker/1-slot pool the caller
+// is behind two jobs, so the honest hint is 4 s — not the 7 s default.
+func TestRetryAfterDerivedFromDrainRate(t *testing.T) {
+	reg, g := testRegistry(t)
+	g.startCh = make(chan struct{}, 8)
+	s := New(reg, WithWorkers(1), WithQueueDepth(1), WithRetryAfter(7*time.Second))
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Seed the drain estimate directly: runs "observed" to take 2 s.
+	s.local.execEWMA.Store((2 * time.Second).Nanoseconds())
+
+	// Saturate: one gated run on the worker, one in the queue slot.
+	done := make(chan *http.Response, 2)
+	go func() { done <- post(t, ts, `{"key":"gated.omp"}`) }()
+	<-g.startCh
+	go func() { done <- post(t, ts, `{"key":"gated.omp"}`) }()
+	waitFor(t, func() bool { return s.Stats().Queued == 1 })
+
+	resp := post(t, ts, `{"key":"fast.omp"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated submit: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "4" {
+		t.Fatalf("Retry-After = %q, want \"4\" (2s ewma x 2 backlog / 1 worker)", ra)
+	}
+	resp.Body.Close()
+
+	g.release()
+	for i := 0; i < 2; i++ {
+		(<-done).Body.Close()
+	}
+}
+
 // --- request timeout cancels a running region ---
 
 // A request timeout must cancel the omp taskloop mid-run: the region

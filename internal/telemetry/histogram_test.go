@@ -1,0 +1,262 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Every value must land in a bucket whose [low, nextLow) range contains
+// it — the invariant the quantile error bound is built on. Checked over
+// the exact range, every octave boundary ±1, and a pseudo-random sweep
+// of the full magnitude spectrum.
+func TestBucketIndexContainsValue(t *testing.T) {
+	check := func(v int64) {
+		t.Helper()
+		i := bucketIndex(v)
+		if i < 0 || i >= histBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		low := bucketLow(i)
+		if v < low {
+			t.Fatalf("value %d below its bucket %d low %d", v, i, low)
+		}
+		if i+1 < histBuckets {
+			if next := bucketLow(i + 1); v >= next {
+				t.Fatalf("value %d at or past next bucket low %d (bucket %d)", v, next, i)
+			}
+		}
+	}
+	for v := int64(0); v < 4096; v++ {
+		check(v)
+	}
+	for e := uint(5); e < 63; e++ {
+		p := int64(1) << e
+		check(p - 1)
+		check(p)
+		if p+1 > 0 {
+			check(p + 1)
+		}
+	}
+	check(math.MaxInt64)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100000; i++ {
+		// Spread magnitudes uniformly over bit-lengths, not values, so
+		// high octaves are exercised too.
+		v := int64(rng.Uint64() >> (rng.Intn(63) + 1))
+		check(v)
+	}
+	// bucketLow must be strictly monotone, or two buckets overlap.
+	for i := 1; i < histBuckets; i++ {
+		if bucketLow(i) <= bucketLow(i-1) {
+			t.Fatalf("bucketLow not monotone at %d: %d <= %d", i, bucketLow(i), bucketLow(i-1))
+		}
+	}
+}
+
+// Negative samples (a stepped clock) clamp to zero instead of indexing
+// off the array.
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	s := h.Snapshot()
+	if s.Count() != 1 || s.Counts[0] != 1 {
+		t.Fatalf("negative sample: count=%d bucket0=%d", s.Count(), s.Counts[0])
+	}
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("Quantile after negative sample = %d, want 0", got)
+	}
+}
+
+// A nil histogram absorbs records silently — the disabled-path contract
+// the serving layer's optional instrumentation relies on.
+func TestNilHistogramIsNoOp(t *testing.T) {
+	var h *Histogram
+	h.Record(123)
+	h.RecordSince(time.Now())
+}
+
+// Quantile accuracy against a sorted-slice oracle: for every tested
+// distribution and quantile, the histogram's answer must be within the
+// bucket error bound — exact below 32, else within 3.2 % of the oracle
+// (sub-bucket width / low ≤ 2^-5, so the midpoint is off by at most
+// half that from any sample in the bucket).
+func TestHistogramQuantileAccuracyAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	distributions := map[string]func() int64{
+		"uniform-small": func() int64 { return int64(rng.Intn(30)) },
+		"uniform-us":    func() int64 { return int64(rng.Intn(1_000_000)) },
+		"exponential":   func() int64 { return int64(rng.ExpFloat64() * 5e6) },
+		"bimodal": func() int64 {
+			if rng.Intn(10) == 0 {
+				return int64(50e6 + rng.Intn(10e6)) // slow mode: ~50-60 ms
+			}
+			return int64(100e3 + rng.Intn(50e3)) // fast mode: ~100-150 µs
+		},
+	}
+	quantiles := []float64{0, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+	for name, gen := range distributions {
+		var h Histogram
+		values := make([]int64, 20000)
+		for i := range values {
+			values[i] = gen()
+			h.Record(values[i])
+		}
+		sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+		s := h.Snapshot()
+		if s.Count() != int64(len(values)) {
+			t.Fatalf("%s: count = %d, want %d", name, s.Count(), len(values))
+		}
+		for _, q := range quantiles {
+			got := s.Quantile(q)
+			rank := int(math.Ceil(q * float64(len(values))))
+			if rank < 1 {
+				rank = 1
+			}
+			want := values[rank-1]
+			if q >= 1 {
+				want = values[len(values)-1]
+				if got != want {
+					t.Fatalf("%s: p100 = %d, want exact max %d", name, got, want)
+				}
+				continue
+			}
+			if want < histSub {
+				if got != want {
+					t.Fatalf("%s: q=%v got %d, want exact %d (below linear range)", name, q, got, want)
+				}
+				continue
+			}
+			if relErr := math.Abs(float64(got)-float64(want)) / float64(want); relErr > 0.032 {
+				t.Fatalf("%s: q=%v got %d, oracle %d, rel err %.4f > 0.032", name, q, got, want, relErr)
+			}
+		}
+	}
+}
+
+// Merge must be associative (and commutative): per-worker snapshots
+// folded in any grouping give the same population.
+func TestHistogramMergeAssociativity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	parts := make([]*HistogramSnapshot, 3)
+	for p := range parts {
+		var h Histogram
+		for i := 0; i < 5000; i++ {
+			h.Record(int64(rng.ExpFloat64() * float64(1+p) * 1e6))
+		}
+		parts[p] = h.Snapshot()
+	}
+	clone := func(s *HistogramSnapshot) *HistogramSnapshot {
+		c := *s
+		return &c
+	}
+	// (a ⊕ b) ⊕ c
+	left := clone(parts[0])
+	left.Merge(parts[1])
+	left.Merge(parts[2])
+	// a ⊕ (b ⊕ c)
+	bc := clone(parts[1])
+	bc.Merge(parts[2])
+	right := clone(parts[0])
+	right.Merge(bc)
+	// c ⊕ b ⊕ a (commutativity ride-along)
+	rev := clone(parts[2])
+	rev.Merge(parts[1])
+	rev.Merge(parts[0])
+	for name, other := range map[string]*HistogramSnapshot{"right-assoc": right, "reversed": rev} {
+		if *left != *other {
+			t.Fatalf("merge not order-independent (%s): N %d vs %d, Sum %d vs %d, Max %d vs %d",
+				name, left.N, other.N, left.Sum, other.Sum, left.Max, other.Max)
+		}
+	}
+	if left.N != 15000 {
+		t.Fatalf("merged N = %d, want 15000", left.N)
+	}
+}
+
+// Concurrent recording under -race: no sample lost, sum and max exact.
+func TestHistogramConcurrentRecording(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 20000
+	)
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				h.Record(int64(rng.Intn(1_000_000)) + 1)
+			}
+			// One known extreme per goroutine so max contends.
+			h.Record(int64(2_000_000 + g))
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if want := int64(goroutines * (perG + 1)); s.Count() != want {
+		t.Fatalf("count = %d, want %d (samples lost under concurrency)", s.Count(), want)
+	}
+	if want := int64(2_000_000 + goroutines - 1); s.Max != want {
+		t.Fatalf("max = %d, want %d", s.Max, want)
+	}
+	var sum int64
+	for g := 0; g < goroutines; g++ {
+		rng := rand.New(rand.NewSource(int64(g)))
+		for i := 0; i < perG; i++ {
+			sum += int64(rng.Intn(1_000_000)) + 1
+		}
+		sum += int64(2_000_000 + g)
+	}
+	if s.Sum != sum {
+		t.Fatalf("sum = %d, want %d", s.Sum, sum)
+	}
+}
+
+// The record path must not allocate: it sits on every request through
+// the serving pipeline.
+func TestHistogramRecordZeroAlloc(t *testing.T) {
+	var h Histogram
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(123_456)
+	}); allocs != 0 {
+		t.Fatalf("Record allocates %.1f objects/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.RecordSince(time.Now())
+	}); allocs != 0 {
+		t.Fatalf("RecordSince allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// Package-local microbenchmark; the recorded back-to-back pair for the
+// BENCH trajectory lives at the repo root (-suite load).
+func BenchmarkHistogram(b *testing.B) {
+	b.Run("record", func(b *testing.B) {
+		var h Histogram
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Record(int64(i))
+		}
+	})
+	b.Run("snapshot-quantile", func(b *testing.B) {
+		var h Histogram
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 100000; i++ {
+			h.Record(int64(rng.ExpFloat64() * 1e6))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := h.Snapshot()
+			if s.Quantile(0.99) == 0 {
+				b.Fatal("p99 = 0")
+			}
+		}
+	})
+}
