@@ -70,6 +70,11 @@ const storeBench = "^(BenchmarkRunStoreHitVsExecute|BenchmarkStoreOps)$"
 // same file format.
 const loadBench = "^(BenchmarkServePipeline|BenchmarkHistogramRecord)$"
 
+// alignBench is the alignment macro workload: serial oracle vs the three
+// parallel drivers across sizes, plus the virtual-core speedup model.
+const alignBench = "^(BenchmarkAlignSerial|BenchmarkAlignWavefront|" +
+	"BenchmarkAlignPipeline|BenchmarkAlignHybrid|BenchmarkAlignModelSpeedup)$"
+
 // suites maps -suite names to benchmark regexes.
 var suites = map[string]string{
 	"tier1": tier1Bench,
@@ -77,6 +82,7 @@ var suites = map[string]string{
 	"tasks": tasksBench,
 	"store": storeBench,
 	"load":  loadBench,
+	"align": alignBench,
 }
 
 // suiteNames returns the -suite choices, sorted, for help and error text —

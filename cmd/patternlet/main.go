@@ -1,13 +1,14 @@
-// Command patternlet is the front door to the collection: it lists the 45
+// Command patternlet is the front door to the collection: it lists the 48
 // patternlets, prints their student exercises, and runs any of them with a
-// chosen task count and directive toggles — the command-line equivalent of
-// the live-coding demo the paper describes (uncomment the pragma,
-// recompile, rerun).
+// chosen task count, directive toggles, and declared run parameters — the
+// command-line equivalent of the live-coding demo the paper describes
+// (uncomment the pragma, recompile, rerun).
 //
 // Usage:
 //
 //	patternlet list [-model MPI|OpenMP|Pthreads|MPI+OpenMP] [-pattern NAME]
-//	patternlet run KEY [-np N] [-on d1,d2] [-off d1,d2] [-tcp] [-nodes N]
+//	patternlet run KEY [-np N] [-on d1,d2] [-off d1,d2] [-param k=v,k=v]
+//	                   [-tcp] [-nodes N]
 //	                   [-timeout D] [-timeline] [-stats] [-trace FILE]
 //	patternlet exercise KEY
 //	patternlet patterns
@@ -18,6 +19,8 @@
 //	patternlet run barrier.omp -np 4               # Figure 8 (no barrier)
 //	patternlet run barrier.omp -np 4 -on barrier   # Figure 9
 //	patternlet run gather.mpi -np 6                # Figure 28
+//	patternlet run align.omp -np 4 -param n=1024,block=32
+//	    # the alignment macro workload at a chosen problem size
 //	patternlet run barrier.omp -np 4 -on barrier -trace out.json
 //	    # record a Chrome trace (open in about:tracing or Perfetto)
 package main
@@ -28,6 +31,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/collection"
@@ -69,7 +73,7 @@ func usage(w io.Writer) {
 
 commands:
   list      [-model M] [-pattern P]   list the collection
-  run KEY   [-np N] [-on ...] [-off ...] [-tcp] [-nodes N]
+  run KEY   [-np N] [-on ...] [-off ...] [-param k=v,...] [-tcp] [-nodes N]
             [-timeout D] [-timeline] [-stats] [-trace FILE]
   exercise KEY                        show the student exercise
   patterns                            show the pattern taxonomy
@@ -106,6 +110,9 @@ func cmdList(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "%-32s %-12s %s\n", "KEY", "MODEL", "SYNOPSIS")
 	for _, p := range pats {
 		fmt.Fprintf(stdout, "%-32s %-12s %s\n", p.Key(), p.Model, p.Synopsis)
+		if len(p.Params) > 0 {
+			fmt.Fprintf(stdout, "%-32s %-12s params: %s\n", "", "", paramSummary(p.Params))
+		}
 	}
 	counts := collection.Default.Counts()
 	fmt.Fprintf(stdout, "\n%d patternlets (%d MPI, %d OpenMP, %d Pthreads, %d heterogeneous)\n",
@@ -124,6 +131,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	np := fs.Int("np", 0, "number of tasks (0 = patternlet default)")
 	on := fs.String("on", "", "comma-separated directives to enable ('uncomment')")
 	off := fs.String("off", "", "comma-separated directives to disable")
+	paramList := fs.String("param", "", "comma-separated k=v run parameters (see `patternlet list`)")
 	useTCP := fs.Bool("tcp", false, "run MPI patternlets over loopback TCP")
 	nodes := fs.Int("nodes", 0, "simulated cluster node count (0 = one per process)")
 	timeout := fs.Duration("timeout", 0, "cancel the run after this long (0 = no limit)")
@@ -141,6 +149,11 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	for _, name := range splitList(*off) {
 		toggles[name] = false
 	}
+	params, err := parseParams(*paramList)
+	if err != nil {
+		fmt.Fprintf(stderr, "patternlet: %v\n", err)
+		return 2
+	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -155,6 +168,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	res, err := collection.Default.Run(ctx, key, core.RunOptions{
 		NumTasks: *np,
 		Toggles:  toggles,
+		Params:   params,
 		UseTCP:   *useTCP,
 		Nodes:    *nodes,
 		Stream:   stdout, // print live; res.Output keeps the capture
@@ -220,6 +234,13 @@ func cmdExercise(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "  %-12s models %-34q default: %s\n", d.Name, d.Pragma, state)
 		}
 	}
+	if len(p.Params) > 0 {
+		fmt.Fprintf(stdout, "\nparameters (set with -param NAME=VALUE):\n")
+		for _, pr := range p.Params {
+			fmt.Fprintf(stdout, "  %-12s %-58s default: %d  range: [%d, %d]\n",
+				pr.Name, pr.Doc, pr.Default, pr.Min, pr.Max)
+		}
+	}
 	return 0
 }
 
@@ -250,6 +271,14 @@ func cmdDoc(stdout io.Writer) int {
 				fmt.Fprintf(stdout, "Directives (all ship commented out, enable with `-on NAME`):\n\n")
 				for _, d := range p.Directives {
 					fmt.Fprintf(stdout, "- `%s` — models `%s`\n", d.Name, d.Pragma)
+				}
+				fmt.Fprintln(stdout)
+			}
+			if len(p.Params) > 0 {
+				fmt.Fprintf(stdout, "Parameters (set with `-param NAME=VALUE`):\n\n")
+				for _, pr := range p.Params {
+					fmt.Fprintf(stdout, "- `%s` — %s (default %d, range [%d, %d])\n",
+						pr.Name, pr.Doc, pr.Default, pr.Min, pr.Max)
 				}
 				fmt.Fprintln(stdout)
 			}
@@ -335,6 +364,40 @@ Surface it from the CLI:
   open it in about:tracing or https://ui.perfetto.dev to see regions,
   collectives and phase events on a per-task timeline.
 `
+
+// paramSummary renders a declared parameter table in one line:
+// "n=256 [16,2048], block=64 [8,1024]" (default then accepted range).
+func paramSummary(params []core.Param) string {
+	parts := make([]string, len(params))
+	for i, pr := range params {
+		parts[i] = fmt.Sprintf("%s=%d [%d,%d]", pr.Name, pr.Default, pr.Min, pr.Max)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// parseParams turns the -param flag's "n=2048,block=64" form into the
+// RunOptions.Params map; validation against the patternlet's declared
+// ranges happens inside Registry.Run.
+func parseParams(s string) (map[string]int, error) {
+	parts := splitList(s)
+	if len(parts) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]int, len(parts))
+	for _, part := range parts {
+		name, val, ok := strings.Cut(part, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -param entry %q, want NAME=VALUE", part)
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil {
+			return nil, fmt.Errorf("bad -param value in %q: %v", part, err)
+		}
+		out[name] = v
+	}
+	return out, nil
+}
 
 func splitList(s string) []string {
 	var out []string

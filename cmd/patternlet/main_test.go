@@ -41,7 +41,7 @@ func TestListShowsCompositionLine(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("list exit %d", code)
 	}
-	if !strings.Contains(stdout, "45 patternlets (16 MPI, 18 OpenMP, 9 Pthreads, 2 heterogeneous)") {
+	if !strings.Contains(stdout, "48 patternlets (17 MPI, 19 OpenMP, 9 Pthreads, 3 heterogeneous)") {
 		t.Fatalf("composition line missing:\n%s", stdout)
 	}
 	if !strings.Contains(stdout, "spmd.omp") || !strings.Contains(stdout, "gather.mpi") {
@@ -112,6 +112,47 @@ func TestRunUnknownToggleFails(t *testing.T) {
 	code, _, stderr := exec("run", "spmd.omp", "-on", "nonexistent")
 	if code != 1 || !strings.Contains(stderr, "no directive") {
 		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestRunWithParams(t *testing.T) {
+	code, stdout, stderr := exec("run", "align.omp", "-np", "2", "-param", "n=16, block=8")
+	if code != 0 {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+	if !strings.Contains(stdout, "align global (Needleman-Wunsch) n=16 m=16") {
+		t.Fatalf("param override not reflected in output:\n%s", stdout)
+	}
+}
+
+func TestRunMalformedParamFlag(t *testing.T) {
+	code, _, stderr := exec("run", "align.omp", "-param", "n")
+	if code != 2 || !strings.Contains(stderr, "want NAME=VALUE") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestRunUnknownParamFails(t *testing.T) {
+	code, _, stderr := exec("run", "align.omp", "-param", "bogus=1")
+	if code != 1 || !strings.Contains(stderr, `no param "bogus"`) {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestRunOutOfRangeParamFails(t *testing.T) {
+	code, _, stderr := exec("run", "align.omp", "-param", "n=3")
+	if code != 1 || !strings.Contains(stderr, "outside") {
+		t.Fatalf("code=%d stderr=%q", code, stderr)
+	}
+}
+
+func TestListShowsDeclaredParams(t *testing.T) {
+	code, stdout, _ := exec("list", "-pattern", "Data Decomposition")
+	if code != 0 {
+		t.Fatalf("list exit %d", code)
+	}
+	if !strings.Contains(stdout, "params: n=256 [16,2048]") {
+		t.Fatalf("declared params missing from list:\n%s", stdout)
 	}
 }
 
@@ -229,6 +270,18 @@ func TestExerciseShowsDirectives(t *testing.T) {
 	}
 }
 
+func TestExerciseShowsParams(t *testing.T) {
+	code, stdout, _ := exec("exercise", "align.mpi")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"parameters (set with -param NAME=VALUE):", "default: 256", "range: [16, 2048]"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("exercise output missing %q:\n%s", want, stdout)
+		}
+	}
+}
+
 func TestExerciseUnknownKey(t *testing.T) {
 	code, _, _ := exec("exercise", "none.mpi")
 	if code != 1 {
@@ -253,10 +306,10 @@ func TestDocEmitsFullCatalog(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d", code)
 	}
-	if strings.Count(stdout, "### `") != 45 {
-		t.Fatalf("doc lists %d patternlets, want 45", strings.Count(stdout, "### `"))
+	if strings.Count(stdout, "### `") != 48 {
+		t.Fatalf("doc lists %d patternlets, want 48", strings.Count(stdout, "### `"))
 	}
-	for _, want := range []string{"## OpenMP (18)", "## MPI (16)", "## Pthreads (9)", "## MPI+OpenMP (2)", "**Exercise.**"} {
+	for _, want := range []string{"## OpenMP (19)", "## MPI (17)", "## Pthreads (9)", "## MPI+OpenMP (3)", "**Exercise.**"} {
 		if !strings.Contains(stdout, want) {
 			t.Fatalf("doc missing %q", want)
 		}

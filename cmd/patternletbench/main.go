@@ -21,7 +21,9 @@
 //
 // Workload mixes (-mix) cover the daemon's distinct cost classes: cheap
 // fork-join runs, expensive cluster-wide MPI collectives, store-served
-// repeat runs, and read-mostly catalog/metrics traffic.
+// repeat runs, heavyweight compute-bound alignment runs (random seeds,
+// so the store cannot absorb them), and read-mostly catalog/metrics
+// traffic.
 //
 //	patternletbench -url http://127.0.0.1:8080 -mode open -rate 200 -mix mixed
 //	patternletbench -selfserve -mode closed -conns 8 -mix run-cheap
@@ -165,6 +167,16 @@ var (
 	reqMetrics   = request{"GET", "/metrics.json", ""}
 )
 
+// reqRunAlign builds a heavyweight compute-bound run: the banded-alignment
+// wavefront at n=512 with a fresh random seed per request, so the
+// deterministic run store cannot serve repeats and every request pays the
+// full dynamic-programming fill.
+func reqRunAlign(r *rand.Rand) request {
+	seed := r.Int63n(1 << 30)
+	return request{"POST", "/run",
+		fmt.Sprintf(`{"key":"align.omp","params":{"n":512},"seed":%d}`, seed)}
+}
+
 // mix picks the next request; r is a per-worker source so closed-loop
 // workers don't contend on one lock.
 type mix struct {
@@ -215,6 +227,10 @@ var mixes = map[string]mix{
 	"run-cached": {
 		desc: "100% POST /run reduction2.omp (deterministic; store hits after the first)",
 		pick: func(*rand.Rand) request { return reqRunCached },
+	},
+	"run-align": {
+		desc: "100% POST /run align.omp n=512, random seed (heavyweight compute, store-proof)",
+		pick: reqRunAlign,
 	},
 	"read-heavy": {
 		desc: "45% GET /patternlets, 45% GET /metrics.json, 10% cheap run",

@@ -1,0 +1,217 @@
+package align
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The package's load-bearing property: the omp wavefront, the mpi
+// pipeline and the hybrid driver produce Summaries byte-identical to the
+// serial oracle for every size, seed, band, mode, thread count and world
+// size — the same equivalence-test pattern the collectives use. That
+// identity is what licenses the align.* patternlets' Deterministic tags.
+
+func mustSerial(t *testing.T, cfg Config) Summary {
+	t.Helper()
+	want, err := Serial(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// equivConfigs is the cross-product the drivers are pinned over: three-plus
+// sizes (including non-square), two seeds, banded and unbanded, global and
+// local alignment, and a block that does not divide the size evenly.
+func equivConfigs() []Config {
+	return []Config{
+		{N: 16, Seed: 42},
+		{N: 63, Seed: 42, Block: 16},
+		{N: 64, M: 96, Seed: 7, Block: 16},
+		{N: 128, Seed: 42, Block: 32},
+		{N: 128, Seed: 7, Band: 24, Block: 32},
+		{N: 96, Seed: 42, Block: 16, Local: true},
+		{N: 80, M: 50, Seed: 7, Band: 40, Block: 16, Local: true},
+	}
+}
+
+func cfgName(cfg Config) string {
+	return fmt.Sprintf("n=%d_m=%d_band=%d_blk=%d_local=%t_seed=%d",
+		cfg.N, cfg.M, cfg.Band, cfg.Block, cfg.Local, cfg.Seed)
+}
+
+func TestSerialOracleKnownProperties(t *testing.T) {
+	// Identical sequences align perfectly: global score = 2n (all matches).
+	cfg := Config{N: 32, Seed: 42}
+	a, b := Sequences(cfg)
+	if len(a) != 32 || len(b) != 32 {
+		t.Fatalf("sequence lengths %d, %d", len(a), len(b))
+	}
+	// Different streams: a and b must differ (else every test is trivial).
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("sequences a and b are identical; stream separation broken")
+	}
+
+	// Local score is never negative, and never below the global score's
+	// clamp at zero.
+	s, err := Serial(Config{N: 48, Seed: 42, Local: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Score < 0 {
+		t.Fatalf("local alignment score %d < 0", s.Score)
+	}
+}
+
+func TestSerialDeterministicAcrossCalls(t *testing.T) {
+	cfg := Config{N: 64, Seed: 42, Block: 16}
+	a := mustSerial(t, cfg)
+	b := mustSerial(t, cfg)
+	if a != b {
+		t.Fatalf("serial not deterministic: %+v vs %+v", a, b)
+	}
+	c := mustSerial(t, Config{N: 64, Seed: 43, Block: 16})
+	if a.Checksum == c.Checksum {
+		t.Fatal("different seeds produced the same checksum")
+	}
+}
+
+func TestBlockSizeDoesNotChangeSummary(t *testing.T) {
+	// Block is a performance knob, not a semantic one: every block edge
+	// must give the oracle's Summary.
+	want := mustSerial(t, Config{N: 100, Seed: 42})
+	for _, blk := range []int{8, 17, 32, 100, 1000} {
+		got, err := Wavefront(Config{N: 100, Seed: 42, Block: blk}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("block %d: %+v, want %+v", blk, got, want)
+		}
+	}
+}
+
+func TestWavefrontMatchesSerial(t *testing.T) {
+	for _, cfg := range equivConfigs() {
+		cfg := cfg
+		t.Run(cfgName(cfg), func(t *testing.T) {
+			want := mustSerial(t, cfg)
+			for _, threads := range []int{1, 2, 4, 8} {
+				got, err := Wavefront(cfg, threads)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("threads=%d: %+v, want %+v", threads, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestPipelineMatchesSerial(t *testing.T) {
+	for _, cfg := range equivConfigs() {
+		cfg := cfg
+		t.Run(cfgName(cfg), func(t *testing.T) {
+			want := mustSerial(t, cfg)
+			for np := 1; np <= 9; np++ {
+				got, err := Pipeline(cfg, np)
+				if err != nil {
+					t.Fatalf("np=%d: %v", np, err)
+				}
+				if got != want {
+					t.Fatalf("np=%d: %+v, want %+v", np, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestHybridMatchesSerial(t *testing.T) {
+	for _, cfg := range equivConfigs() {
+		cfg := cfg
+		t.Run(cfgName(cfg), func(t *testing.T) {
+			want := mustSerial(t, cfg)
+			for np := 1; np <= 9; np += 2 {
+				got, err := Hybrid(cfg, np, 2)
+				if err != nil {
+					t.Fatalf("np=%d: %v", np, err)
+				}
+				if got != want {
+					t.Fatalf("np=%d: %+v, want %+v", np, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestPipelineManyMoreRanksThanRows(t *testing.T) {
+	// np > n: tail ranks own zero rows and must neither deadlock nor
+	// perturb the checksum.
+	cfg := Config{N: 5, Seed: 42}
+	want := mustSerial(t, cfg)
+	got, err := Pipeline(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("np=9 n=5: %+v, want %+v", got, want)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	if err := (Config{N: 0}).Validate(); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if err := (Config{N: 4, Band: -1}).Validate(); err == nil {
+		t.Fatal("negative band accepted")
+	}
+	if _, err := Serial(Config{}); err == nil {
+		t.Fatal("Serial accepted the zero config")
+	}
+}
+
+func TestSummaryStringCanonical(t *testing.T) {
+	s := Summary{N: 8, M: 8, Band: 0, Seed: 42, Score: 16, Checksum: 0xdeadbeef}
+	want := "align global (Needleman-Wunsch) n=8 m=8 band=0 seed=42\nscore=16 checksum=00000000deadbeef\n"
+	if s.String() != want {
+		t.Fatalf("String() = %q, want %q", s.String(), want)
+	}
+}
+
+func TestModelSpeedupShape(t *testing.T) {
+	cfg := Config{N: 1024, Seed: 42, Block: 64}
+	s1, err := ModelSpeedup(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 < 0.999 || s1 > 1.001 {
+		t.Fatalf("1-core speedup = %f, want 1", s1)
+	}
+	s4, err := ModelSpeedup(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s4 < 2.5 {
+		t.Fatalf("4-core wavefront speedup = %f, want > 2.5 for a 16x16 block grid", s4)
+	}
+	s64, err := ModelSpeedup(cfg, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The critical path (the block diagonal) caps speedup well below the
+	// core count — the saturation the assignment's charts show.
+	if s64 > 16.01 {
+		t.Fatalf("64-core speedup = %f exceeds the min(rb,cb)=16 diagonal bound", s64)
+	}
+	if s64 <= s4 {
+		t.Fatalf("speedup not monotone: 64-core %f <= 4-core %f", s64, s4)
+	}
+}

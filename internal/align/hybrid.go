@@ -1,0 +1,72 @@
+package align
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/omp"
+)
+
+// innerBlock picks the block edge for the hybrid driver's intra-rank
+// wavefront: half the pipeline chunk width, so a single column chunk
+// still has at least two block columns and the inner anti-diagonals
+// carry real task parallelism instead of a serial block stack.
+func innerBlock(blk int) int {
+	b := blk / 2
+	if b < 8 {
+		b = 8
+	}
+	return b
+}
+
+// HybridRank is one rank's share of the MPI+OpenMP alignment: the MPI
+// row pipeline between ranks (identical to PipelineRank's scatter /
+// chunk-stream / reduce structure), with each rank's column-chunk tile
+// filled by an inner OpenMP wavefront instead of a serial sweep — MPI
+// across processes, tasks within, the catalog's hybrid composition at
+// macro scale.
+//
+// The whole pipeline body runs as the driver task of a shared task
+// group, so the rank's other threads park in Wait and help execute the
+// inner taskloops while the driver blocks on MPI receives. threads <= 0
+// uses the scheduler default; opts attaches the run context.
+func HybridRank(c *mpi.Comm, cfg Config, threads int, opts ...omp.Option) (Summary, bool, error) {
+	var (
+		sum    Summary
+		isRoot bool
+		err    error
+	)
+	ompOpts := opts
+	if threads > 0 {
+		ompOpts = append([]omp.Option{omp.WithNumThreads(threads)}, opts...)
+	}
+	omp.Parallel(func(t *omp.Thread) {
+		root := t.SharedTaskGroup()
+		t.Master(func() {
+			root.Task(t, func(e *omp.Thread) {
+				sum, isRoot, err = pipelineRank(c, cfg, func(s *slab, cLo, cHi int) {
+					wavefrontRegion(e, s, 1, s.rows+1, cLo, cHi, innerBlock(s.cfg.Block))
+				})
+			})
+		})
+		t.Barrier()
+		root.Wait(t) // teammates help with the inner wavefront blocks
+	}, ompOpts...)
+	return sum, isRoot, err
+}
+
+// Hybrid runs the hybrid driver in a fresh np-rank in-process world with
+// the given thread count per rank — the form the equivalence tests and
+// benchmarks use directly.
+func Hybrid(cfg Config, np, threads int, opts ...mpi.Option) (Summary, error) {
+	var sum Summary
+	err := mpi.Run(np, func(c *mpi.Comm) error {
+		s, isRoot, err := HybridRank(c, cfg, threads)
+		if err != nil {
+			return err
+		}
+		if isRoot {
+			sum = s
+		}
+		return nil
+	}, opts...)
+	return sum, err
+}

@@ -1,0 +1,47 @@
+package align
+
+import "repro/internal/vtime"
+
+// ModelTasks builds the virtual-time task DAG of the blocked wavefront
+// for a config: one task per Block×Block tile, dependent on its north,
+// west and northwest neighbours, costing the number of in-band cells it
+// computes (out-of-band cells are a constant store, counted at zero).
+// Simulating it on P cores reproduces the speedup shape of the
+// alignment assignment's charts — near-linear while P is small against
+// the diagonal width, saturating at the critical path — which is how
+// this single-core container reports speedup claims (see internal/vtime).
+func ModelTasks(cfg Config) []vtime.Task {
+	cfg = cfg.norm()
+	blk := cfg.Block
+	rb := (cfg.N + blk - 1) / blk
+	cb := (cfg.M + blk - 1) / blk
+	return vtime.WavefrontGrid(rb, cb, func(r, c int) int64 {
+		var cells int64
+		rHi := (r + 1) * blk
+		if rHi > cfg.N {
+			rHi = cfg.N
+		}
+		cHi := (c + 1) * blk
+		if cHi > cfg.M {
+			cHi = cfg.M
+		}
+		for i := r*blk + 1; i <= rHi; i++ {
+			for j := c*blk + 1; j <= cHi; j++ {
+				if inBand(i, j, cfg.Band) {
+					cells++
+				}
+			}
+		}
+		return cells
+	})
+}
+
+// ModelSpeedup simulates the wavefront DAG on `cores` virtual cores and
+// returns the parallel speedup over a single core.
+func ModelSpeedup(cfg Config, cores int) (float64, error) {
+	sched, err := vtime.Simulate(ModelTasks(cfg), cores)
+	if err != nil {
+		return 0, err
+	}
+	return sched.Speedup(), nil
+}

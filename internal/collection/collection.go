@@ -29,14 +29,17 @@ var Default = core.NewRegistry()
 
 func register(p *core.Patternlet) { Default.MustRegister(p) }
 
-// ExpectedCounts is the composition the paper's abstract reports.
+// ExpectedCounts is the composition the paper's abstract reports, plus
+// this repository's additions: the task patternlet and the three-model
+// alignment macro workload (ROADMAP item 5).
 var ExpectedCounts = map[core.Model]int{
-	core.MPI:      16,
-	core.OpenMP:   18,
+	core.MPI:      17,
+	core.OpenMP:   19,
 	core.Pthreads: 9,
-	core.Hybrid:   2,
+	core.Hybrid:   3,
 }
 
 // ExpectedTotal is the collection size: the paper's 44 plus the task
-// patternlet this repository adds alongside its work-stealing runtime.
-const ExpectedTotal = 45
+// patternlet this repository adds alongside its work-stealing runtime,
+// plus the three align.* macro-workload patternlets.
+const ExpectedTotal = 48

@@ -67,6 +67,9 @@ func TestDeterministicTagSet(t *testing.T) {
 		"reduction2.omp":      true, // exact int tree-reductions, single print after join
 		"reduction2.mpi":      true, // only the master prints reduce results
 		"sequenceNumbers.mpi": true, // master receives per-source in rank order
+		"align.omp":           true, // pure DP kernel + wavefront joins, one print after the region
+		"align.mpi":           true, // max-reduce + rank-ordered gather, only the root prints
+		"align.hybrid":        true, // same collectives; inner omp only reorders the pure kernel
 	}
 	got := map[string]bool{}
 	for _, p := range Default.All() {

@@ -161,6 +161,22 @@ type Directive struct {
 	Default bool   // enabled state before any toggling
 }
 
+// Param declares one integer run parameter of a patternlet: a named
+// problem-size knob (a sequence length, a band width, a block size) with
+// a shipped default and a validated range. Parameters are to problem
+// size what Directives are to program structure: declared up front,
+// resolved against defaults, validated before a run starts, and folded
+// into the run store's content address — so discovery (`patternlet
+// list`, GET /patternlets) can expose every tunable size without anyone
+// reading source, and `n=512` never shares a cache entry with `n=4096`.
+type Param struct {
+	Name    string // parameter name, e.g. "n"
+	Doc     string // one-line description for discovery listings
+	Default int    // value used when the caller does not set one
+	Min     int    // smallest accepted value (inclusive)
+	Max     int    // largest accepted value (inclusive)
+}
+
 // Patternlet is one program of the collection.
 type Patternlet struct {
 	Name         string // base name, e.g. "spmd" — Key() adds the model suffix
@@ -169,6 +185,7 @@ type Patternlet struct {
 	Synopsis     string      // one-line description
 	Exercise     string      // the header-comment student exercise
 	Directives   []Directive // toggleable constructs, if any
+	Params       []Param     // declared run parameters, if any
 	MinTasks     int         // smallest meaningful task count (default 1)
 	DefaultTasks int         // task count used when the caller passes 0
 	Run          func(rc *RunContext) error
@@ -215,6 +232,39 @@ func (p *Patternlet) Validate() error {
 		}
 		seen[d.Name] = true
 	}
+	seenP := map[string]bool{}
+	for _, pr := range p.Params {
+		switch {
+		case pr.Name == "":
+			return fmt.Errorf("core: patternlet %q has an unnamed param", p.Name)
+		case seenP[pr.Name]:
+			return fmt.Errorf("core: patternlet %q has duplicate param %q", p.Name, pr.Name)
+		case pr.Min > pr.Max:
+			return fmt.Errorf("core: patternlet %q param %q has min %d > max %d", p.Name, pr.Name, pr.Min, pr.Max)
+		case pr.Default < pr.Min || pr.Default > pr.Max:
+			return fmt.Errorf("core: patternlet %q param %q default %d outside [%d, %d]",
+				p.Name, pr.Name, pr.Default, pr.Min, pr.Max)
+		}
+		seenP[pr.Name] = true
+	}
+	return nil
+}
+
+// ValidateParams checks caller-supplied parameter overrides against the
+// declared set: an unknown name or an out-of-range value is an error.
+// Both Registry.Run and the HTTP layer's pre-admission validation apply
+// exactly this check, so a bad request fails the same way everywhere.
+func (p *Patternlet) ValidateParams(params map[string]int) error {
+	for name, v := range params {
+		decl, ok := p.param(name)
+		if !ok {
+			return fmt.Errorf("core: patternlet %q has no param %q", p.Key(), name)
+		}
+		if v < decl.Min || v > decl.Max {
+			return fmt.Errorf("core: patternlet %q param %q = %d outside [%d, %d]",
+				p.Key(), name, v, decl.Min, decl.Max)
+		}
+	}
 	return nil
 }
 
@@ -260,6 +310,42 @@ func (p *Patternlet) EffectiveDirectives(toggles map[string]bool) []DirectiveSta
 	return out
 }
 
+// ParamState is one resolved run parameter: its name and the value a run
+// would observe for it.
+type ParamState struct {
+	Name  string
+	Value int
+}
+
+// EffectiveParams resolves what every declared parameter evaluates to
+// under the given overrides — the override when present, the declared
+// default otherwise — sorted by name. Like EffectiveDirectives, this is
+// the resolution the run store hashes: a request relying on the default
+// and one spelling it explicitly content-address to the same entry,
+// while any genuinely different value gets its own digest.
+func (p *Patternlet) EffectiveParams(params map[string]int) []ParamState {
+	out := make([]ParamState, 0, len(p.Params))
+	for _, decl := range p.Params {
+		v := decl.Default
+		if o, ok := params[decl.Name]; ok {
+			v = o
+		}
+		out = append(out, ParamState{Name: decl.Name, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// param returns the parameter named name, if declared.
+func (p *Patternlet) param(name string) (Param, bool) {
+	for _, pr := range p.Params {
+		if pr.Name == name {
+			return pr, true
+		}
+	}
+	return Param{}, false
+}
+
 // directive returns the directive named name, if declared.
 func (p *Patternlet) directive(name string) (Directive, bool) {
 	for _, d := range p.Directives {
@@ -276,6 +362,7 @@ type RunContext struct {
 	Ctx      context.Context // run-scoped cancellation; never nil under Registry.Run
 	NumTasks int             // number of threads/processes (>= 1; Runner applies defaults)
 	Toggles  map[string]bool
+	Params   map[string]int  // overrides for declared run parameters
 	Seed     int64           // caller-chosen PRNG seed; 0 = the shipped default (see BaseSeed)
 	Trace    *trace.Recorder // optional; patternlets record phases when non-nil
 
@@ -331,6 +418,24 @@ func (rc *RunContext) Enabled(name string) bool {
 		panic(fmt.Sprintf("core: patternlet %q queried undeclared directive %q", rc.pl.Name, name))
 	}
 	return false
+}
+
+// Param returns the run's value for the named declared parameter: the
+// explicit override if the caller set one, the declared default
+// otherwise. Asking about an undeclared parameter is a programming error
+// in the patternlet and panics, mirroring Enabled, so the catalog tests
+// catch it immediately.
+func (rc *RunContext) Param(name string) int {
+	if v, ok := rc.Params[name]; ok {
+		return v
+	}
+	if rc.pl != nil {
+		if decl, ok := rc.pl.param(name); ok {
+			return decl.Default
+		}
+		panic(fmt.Sprintf("core: patternlet %q queried undeclared param %q", rc.pl.Name, name))
+	}
+	return 0
 }
 
 // Record traces an event if tracing is active.

@@ -1,0 +1,194 @@
+package core
+
+// The declared-parameter API: patternlets declare integer problem-size
+// knobs (name, default, validated range) the same way they declare
+// directive toggles, callers override them through RunOptions.Params,
+// and every layer above — the CLI's -param flag, patternletd's
+// "params":{...}, the run store's content address — resolves and
+// validates them through exactly the methods tested here.
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// paramlet builds a registrable patternlet with an "n" and a "block"
+// param whose Run reports what it resolved.
+func paramlet() *Patternlet {
+	return &Patternlet{
+		Name:     "sized",
+		Model:    OpenMP,
+		Patterns: []Pattern{DataDecomposition},
+		Synopsis: "a parameterized patternlet",
+		Exercise: "vary n",
+		Params: []Param{
+			{Name: "n", Doc: "problem size", Default: 256, Min: 16, Max: 4096},
+			{Name: "block", Doc: "block size", Default: 64, Min: 8, Max: 1024},
+		},
+		Run: func(rc *RunContext) error {
+			rc.W.Printf("n=%d block=%d\n", rc.Param("n"), rc.Param("block"))
+			return nil
+		},
+	}
+}
+
+func TestValidateRejectsBadParamDeclarations(t *testing.T) {
+	cases := []struct {
+		name  string
+		param Param
+		want  string
+	}{
+		{"unnamed", Param{Default: 1, Min: 0, Max: 2}, "unnamed param"},
+		{"inverted range", Param{Name: "n", Default: 1, Min: 5, Max: 2}, "min 5 > max 2"},
+		{"default below min", Param{Name: "n", Default: 1, Min: 2, Max: 8}, "default 1 outside [2, 8]"},
+		{"default above max", Param{Name: "n", Default: 9, Min: 2, Max: 8}, "default 9 outside [2, 8]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := paramlet()
+			p.Params = []Param{tc.param}
+			err := p.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateRejectsDuplicateParam(t *testing.T) {
+	p := paramlet()
+	p.Params = append(p.Params, Param{Name: "n", Default: 1, Min: 1, Max: 2})
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), `duplicate param "n"`) {
+		t.Fatalf("Validate() = %v, want duplicate param error", err)
+	}
+}
+
+func TestValidateParams(t *testing.T) {
+	p := paramlet()
+	if err := p.ValidateParams(nil); err != nil {
+		t.Fatalf("nil params: %v", err)
+	}
+	if err := p.ValidateParams(map[string]int{"n": 512, "block": 8}); err != nil {
+		t.Fatalf("in-range params: %v", err)
+	}
+	if err := p.ValidateParams(map[string]int{"bogus": 1}); err == nil ||
+		!strings.Contains(err.Error(), `no param "bogus"`) {
+		t.Fatalf("unknown param: %v", err)
+	}
+	if err := p.ValidateParams(map[string]int{"n": 15}); err == nil ||
+		!strings.Contains(err.Error(), `"n" = 15 outside [16, 4096]`) {
+		t.Fatalf("below-min param: %v", err)
+	}
+	if err := p.ValidateParams(map[string]int{"n": 4097}); err == nil ||
+		!strings.Contains(err.Error(), "outside") {
+		t.Fatalf("above-max param: %v", err)
+	}
+}
+
+// TestRunValidatesParams: the single execution path applies ValidateParams,
+// so an unknown name or out-of-range value never reaches the Run body —
+// the same contract toggles have.
+func TestRunValidatesParams(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(paramlet())
+	if _, err := r.Run(context.Background(), "sized.omp",
+		RunOptions{Params: map[string]int{"bogus": 1}}); err == nil {
+		t.Fatal("unknown param accepted by Run")
+	}
+	if _, err := r.Run(context.Background(), "sized.omp",
+		RunOptions{Params: map[string]int{"n": 1 << 20}}); err == nil {
+		t.Fatal("out-of-range param accepted by Run")
+	}
+}
+
+// TestParamResolution: overrides win, defaults fill, and the values the
+// Run body observes through rc.Param are the resolved ones.
+func TestParamResolution(t *testing.T) {
+	r := NewRegistry()
+	r.MustRegister(paramlet())
+
+	res, err := r.Run(context.Background(), "sized.omp", RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "n=256 block=64\n" {
+		t.Fatalf("defaults: output %q", res.Output)
+	}
+
+	res, err = r.Run(context.Background(), "sized.omp",
+		RunOptions{Params: map[string]int{"n": 1024}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Output != "n=1024 block=64\n" {
+		t.Fatalf("partial override: output %q", res.Output)
+	}
+}
+
+func TestParamPanicsOnUndeclared(t *testing.T) {
+	p := paramlet()
+	p.Run = func(rc *RunContext) error {
+		rc.Param("ghost")
+		return nil
+	}
+	r := NewRegistry()
+	r.MustRegister(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("querying an undeclared param did not panic")
+		}
+	}()
+	r.Run(context.Background(), "sized.omp", RunOptions{})
+}
+
+// TestEffectiveParams pins the resolution + ordering contract the run
+// store's digest relies on: defaults fill, overrides win, output sorted
+// by name, and the two spellings of a default resolve identically.
+func TestEffectiveParams(t *testing.T) {
+	p := paramlet()
+	got := p.EffectiveParams(map[string]int{"n": 512})
+	want := []ParamState{{Name: "block", Value: 64}, {Name: "n", Value: 512}}
+	if len(got) != len(want) {
+		t.Fatalf("EffectiveParams = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("EffectiveParams[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	explicit := p.EffectiveParams(map[string]int{"n": 256, "block": 64})
+	implicit := p.EffectiveParams(nil)
+	for i := range explicit {
+		if explicit[i] != implicit[i] {
+			t.Fatalf("explicit defaults %v != implicit defaults %v", explicit, implicit)
+		}
+	}
+}
+
+// TestFingerprintCoversParams: reshaping a patternlet's parameter table
+// must change the catalog fingerprint, which is what invalidates every
+// cached result when a default (and therefore a resolved digest
+// preimage) changes meaning.
+func TestFingerprintCoversParams(t *testing.T) {
+	base := func() *Registry {
+		r := NewRegistry()
+		r.MustRegister(paramlet())
+		return r
+	}
+	r1 := base()
+	r2 := NewRegistry()
+	p := paramlet()
+	p.Params[0].Default = 512
+	r2.MustRegister(p)
+	if r1.Fingerprint() == r2.Fingerprint() {
+		t.Fatal("changing a param default did not change the catalog fingerprint")
+	}
+	r3 := NewRegistry()
+	q := paramlet()
+	q.Params = q.Params[:1]
+	r3.MustRegister(q)
+	if r1.Fingerprint() == r3.Fingerprint() {
+		t.Fatal("dropping a param did not change the catalog fingerprint")
+	}
+}

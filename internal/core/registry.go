@@ -124,6 +124,9 @@ func (r *Registry) Fingerprint() string {
 		for _, d := range p.Directives {
 			fmt.Fprintf(h, "|%s=%t", d.Name, d.Default)
 		}
+		for _, pr := range p.Params {
+			fmt.Fprintf(h, "|p:%s=%d[%d,%d]", pr.Name, pr.Default, pr.Min, pr.Max)
+		}
 		h.Write([]byte{'\n'})
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
@@ -136,6 +139,7 @@ func (r *Registry) Fingerprint() string {
 type RunOptions struct {
 	NumTasks    int             // 0 = patternlet default
 	Toggles     map[string]bool // overrides for declared directives
+	Params      map[string]int  // overrides for declared run parameters (problem sizes)
 	Seed        int64           // PRNG seed for randomized patternlets; 0 = core.DefaultSeed
 	UseTCP      bool            // run MPI worlds over loopback TCP
 	Nodes       int             // simulated cluster nodes; 0 = one per process
@@ -214,6 +218,9 @@ func runPatternlet(ctx context.Context, p *Patternlet, opts RunOptions) (Result,
 			return res, fmt.Errorf("core: patternlet %q has no directive %q", p.Key(), name)
 		}
 	}
+	if err := p.ValidateParams(opts.Params); err != nil {
+		return res, err
+	}
 	n := p.ResolveTasks(opts.NumTasks)
 	min := p.MinTasks
 	if min == 0 {
@@ -245,6 +252,7 @@ func runPatternlet(ctx context.Context, p *Patternlet, opts RunOptions) (Result,
 		Ctx:         ctx,
 		NumTasks:    n,
 		Toggles:     opts.Toggles,
+		Params:      opts.Params,
 		Seed:        opts.Seed,
 		Trace:       opts.Trace,
 		UseTCP:      opts.UseTCP,

@@ -114,6 +114,7 @@ func (c *CachedExecutor) digest(req ExecRequest) (store.Digest, bool) {
 		p.Key(),
 		p.ResolveTasks(req.Opts.NumTasks),
 		p.EffectiveDirectives(req.Opts.Toggles),
+		p.EffectiveParams(req.Opts.Params),
 		seed,
 		req.Opts.UseTCP,
 		req.Opts.Nodes,

@@ -37,6 +37,18 @@ func cacheRegistry(t *testing.T) (*core.Registry, *atomic.Int64, *gate) {
 	}
 	r.MustRegister(det)
 
+	sized := pattern("sized")
+	sized.Deterministic = true
+	sized.Params = []core.Param{
+		{Name: "n", Doc: "problem size", Default: 64, Min: 8, Max: 1024},
+	}
+	sized.Run = func(rc *core.RunContext) error {
+		execs.Add(1)
+		rc.W.Printf("sized ran with n=%d\n", rc.Param("n"))
+		return nil
+	}
+	r.MustRegister(sized)
+
 	racy := pattern("racy")
 	racy.Run = func(rc *core.RunContext) error {
 		execs.Add(1)
@@ -94,6 +106,54 @@ func decodeRun(t *testing.T, resp *http.Response) RunResponse {
 		t.Fatalf("decode /run reply (%d): %v", resp.StatusCode, err)
 	}
 	return rr
+}
+
+// Resolved params are part of the content address: the same size is one
+// cache entry however it is spelled (omitted vs explicit default), and a
+// different size is a different entry — "n=512" must never be served a
+// cached "n=64" transcript.
+func TestParamsDistinguishCacheEntries(t *testing.T) {
+	reg, execs, _ := cacheRegistry(t)
+	st := openStore(t, t.TempDir())
+	s := New(reg, WithStore(st))
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	first := decodeRun(t, post(t, ts, `{"key":"sized.omp","params":{"n":512}}`))
+	if first.Cached || first.Output != "sized ran with n=512\n" {
+		t.Fatalf("first run: %+v", first)
+	}
+	repeat := decodeRun(t, post(t, ts, `{"key":"sized.omp","params":{"n":512}}`))
+	if !repeat.Cached || repeat.Output != first.Output {
+		t.Fatalf("repeat run not served from store: %+v", repeat)
+	}
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("%d executions after repeat, want 1", got)
+	}
+
+	// A different size misses and executes fresh.
+	other := decodeRun(t, post(t, ts, `{"key":"sized.omp","params":{"n":256}}`))
+	if other.Cached || other.Output != "sized ran with n=256\n" {
+		t.Fatalf("different param served stale entry: %+v", other)
+	}
+	if got := execs.Load(); got != 2 {
+		t.Fatalf("%d executions after different size, want 2", got)
+	}
+
+	// The two spellings of the default share one entry: the implicit run
+	// executes once, the explicit spelling hits it.
+	implicit := decodeRun(t, post(t, ts, `{"key":"sized.omp"}`))
+	if implicit.Cached {
+		t.Fatalf("implicit default unexpectedly cached: %+v", implicit)
+	}
+	explicit := decodeRun(t, post(t, ts, `{"key":"sized.omp","params":{"n":64}}`))
+	if !explicit.Cached || explicit.Output != implicit.Output {
+		t.Fatalf("explicit default did not hit the implicit entry: %+v", explicit)
+	}
+	if got := execs.Load(); got != 3 {
+		t.Fatalf("%d executions total, want 3", got)
+	}
 }
 
 // A repeat run of a deterministic patternlet is served from the store:

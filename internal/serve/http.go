@@ -22,7 +22,8 @@ type RunRequest struct {
 	Key        string          `json:"key"`
 	Tasks      int             `json:"tasks,omitempty"`
 	Toggles    map[string]bool `json:"toggles,omitempty"`
-	Seed       int64           `json:"seed,omitempty"` // PRNG seed for randomized patternlets; 0 = the shipped default
+	Params     map[string]int  `json:"params,omitempty"` // declared run parameters (problem sizes); omitted = defaults
+	Seed       int64           `json:"seed,omitempty"`   // PRNG seed for randomized patternlets; 0 = the shipped default
 	TimeoutMS  int64           `json:"timeout_ms,omitempty"`
 	UseTCP     bool            `json:"tcp,omitempty"`
 	Nodes      int             `json:"nodes,omitempty"`
@@ -59,13 +60,26 @@ type PhaseSpan struct {
 
 // PatternletInfo is one GET /patternlets entry.
 type PatternletInfo struct {
-	Key          string   `json:"key"`
-	Model        string   `json:"model"`
-	Synopsis     string   `json:"synopsis"`
-	Patterns     []string `json:"patterns"`
-	Directives   []string `json:"directives,omitempty"`
-	MinTasks     int      `json:"min_tasks,omitempty"`
-	DefaultTasks int      `json:"default_tasks,omitempty"`
+	Key          string      `json:"key"`
+	Model        string      `json:"model"`
+	Synopsis     string      `json:"synopsis"`
+	Patterns     []string    `json:"patterns"`
+	Directives   []string    `json:"directives,omitempty"`
+	Params       []ParamInfo `json:"params,omitempty"`
+	MinTasks     int         `json:"min_tasks,omitempty"`
+	DefaultTasks int         `json:"default_tasks,omitempty"`
+}
+
+// ParamInfo is one declared run parameter in a PatternletInfo: name,
+// doc, shipped default and accepted range — everything a client (the
+// load harness, a student's script) needs to pick sizes without reading
+// source.
+type ParamInfo struct {
+	Name    string `json:"name"`
+	Doc     string `json:"doc,omitempty"`
+	Default int    `json:"default"`
+	Min     int    `json:"min"`
+	Max     int    `json:"max"`
 }
 
 // Handler returns the server's HTTP mux:
@@ -155,6 +169,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Opts: core.RunOptions{
 			NumTasks: req.Tasks,
 			Toggles:  req.Toggles,
+			Params:   req.Params,
 			Seed:     req.Seed,
 			UseTCP:   req.UseTCP,
 			Nodes:    req.Nodes,
@@ -272,6 +287,9 @@ func validateRequest(p *core.Patternlet, req *RunRequest) error {
 			return fmt.Errorf("patternlet %q has no directive %q", p.Key(), name)
 		}
 	}
+	if err := p.ValidateParams(req.Params); err != nil {
+		return err
+	}
 	if req.Tasks < 0 {
 		return fmt.Errorf("tasks must be non-negative, got %d", req.Tasks)
 	}
@@ -312,6 +330,11 @@ func (s *Server) handlePatternlets(w http.ResponseWriter, r *http.Request) {
 		}
 		for _, d := range p.Directives {
 			info.Directives = append(info.Directives, d.Name)
+		}
+		for _, pr := range p.Params {
+			info.Params = append(info.Params, ParamInfo{
+				Name: pr.Name, Doc: pr.Doc, Default: pr.Default, Min: pr.Min, Max: pr.Max,
+			})
 		}
 		out = append(out, info)
 	}

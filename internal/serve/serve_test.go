@@ -65,6 +65,16 @@ func testRegistry(t *testing.T) (*core.Registry, *gate) {
 	bad.Run = func(rc *core.RunContext) error { return fmt.Errorf("kaboom") }
 	r.MustRegister(bad)
 
+	sized := pattern("sized")
+	sized.Params = []core.Param{
+		{Name: "n", Doc: "problem size", Default: 64, Min: 8, Max: 1024},
+	}
+	sized.Run = func(rc *core.RunContext) error {
+		rc.W.Printf("sized ran with n=%d\n", rc.Param("n"))
+		return nil
+	}
+	r.MustRegister(sized)
+
 	return r, g
 }
 
@@ -486,6 +496,47 @@ func TestPatternletsListing(t *testing.T) {
 	fast, ok := byKey["fast.omp"]
 	if !ok || fast.Model != "OpenMP" || len(fast.Directives) != 1 {
 		t.Fatalf("fast.omp entry = %+v (present: %v)", fast, ok)
+	}
+	// Declared params surface with name, default and range, so clients
+	// can discover tunable sizes without reading source.
+	sized, ok := byKey["sized.omp"]
+	if !ok || len(sized.Params) != 1 {
+		t.Fatalf("sized.omp entry = %+v (present: %v)", sized, ok)
+	}
+	if p := sized.Params[0]; p.Name != "n" || p.Default != 64 || p.Min != 8 || p.Max != 1024 || p.Doc == "" {
+		t.Fatalf("sized.omp param = %+v", sized.Params[0])
+	}
+}
+
+// The /run body's "params" map resolves like the CLI's -param flag:
+// overrides reach the patternlet, unknown names and out-of-range values
+// bounce with 400 before admission.
+func TestRunWithParams(t *testing.T) {
+	reg, _ := testRegistry(t)
+	s := New(reg)
+	defer s.Shutdown(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := post(t, ts, `{"key":"sized.omp","params":{"n":256}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	rr := decodeRun(t, resp)
+	if rr.Output != "sized ran with n=256\n" {
+		t.Fatalf("output %q", rr.Output)
+	}
+
+	for _, body := range []string{
+		`{"key":"sized.omp","params":{"bogus":1}}`,
+		`{"key":"sized.omp","params":{"n":4}}`,
+		`{"key":"sized.omp","params":{"n":2048}}`,
+	} {
+		resp := post(t, ts, body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", body, resp.StatusCode)
+		}
 	}
 }
 

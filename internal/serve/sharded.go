@@ -454,6 +454,7 @@ func (x *shardedExecutor) post(ctx context.Context, node string, req ExecRequest
 		Key:        req.Key,
 		Tasks:      req.Opts.NumTasks,
 		Toggles:    req.Opts.Toggles,
+		Params:     req.Opts.Params,
 		Seed:       req.Opts.Seed,
 		UseTCP:     req.Opts.UseTCP,
 		Nodes:      req.Opts.Nodes,

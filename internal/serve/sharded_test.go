@@ -562,7 +562,7 @@ func TestSpanCancellationDoesNotMarkPeerDown(t *testing.T) {
 
 	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 	defer cancel()
-	_, err = x.remoteRank(ctx, "nb", "hello.mpi", 1, 2, "127.0.0.1:9", nil)
+	_, err = x.remoteRank(ctx, "nb", "hello.mpi", 1, 2, "127.0.0.1:9", core.RunOptions{})
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("err = %v, want the span's deadline", err)
 	}

@@ -25,13 +25,19 @@ import (
 // real socket between daemon processes with disjoint address spaces,
 // exactly the topology the paper's Beowulf cluster runs had.
 
-// WorkerRequest asks a member daemon to host one rank of a world.
+// WorkerRequest asks a member daemon to host one rank of a world. It
+// carries every run input that must agree across ranks — toggles,
+// declared params, and the seed — because a rank that regenerated its
+// share of a parameterized problem from different inputs would compute a
+// different world than its peers.
 type WorkerRequest struct {
 	Key        string          `json:"key"`
 	Rank       int             `json:"rank"`
 	NP         int             `json:"np"`
 	Rendezvous string          `json:"rendezvous"`
 	Toggles    map[string]bool `json:"toggles,omitempty"`
+	Params     map[string]int  `json:"params,omitempty"`
+	Seed       int64           `json:"seed,omitempty"`
 	TimeoutMS  int64           `json:"timeout_ms,omitempty"`
 }
 
@@ -109,10 +115,10 @@ func (x *shardedExecutor) span(ctx context.Context, req ExecRequest) (core.Resul
 		go func(rank int) {
 			defer wg.Done()
 			if hosts[rank] == x.self {
-				outputs[rank], errs[rank] = x.hostRank(ctx, req.Key, rank, np, rz.Addr(), req.Opts.Toggles)
+				outputs[rank], errs[rank] = x.hostRank(ctx, req.Key, rank, np, rz.Addr(), req.Opts)
 				return
 			}
-			outputs[rank], errs[rank] = x.remoteRank(ctx, hosts[rank], req.Key, rank, np, rz.Addr(), req.Opts.Toggles)
+			outputs[rank], errs[rank] = x.remoteRank(ctx, hosts[rank], req.Key, rank, np, rz.Addr(), req.Opts)
 		}(rank)
 	}
 	wg.Wait()
@@ -153,7 +159,7 @@ func (x *shardedExecutor) span(ctx context.Context, req ExecRequest) (core.Resul
 // goes straight through the registry — not the admission queue — because
 // the world as a whole already holds an admitted job; queueing its ranks
 // behind that job would deadlock a small worker pool against itself.
-func (x *shardedExecutor) hostRank(ctx context.Context, key string, rank, np int, rendezvous string, toggles map[string]bool) (string, error) {
+func (x *shardedExecutor) hostRank(ctx context.Context, key string, rank, np int, rendezvous string, opts core.RunOptions) (string, error) {
 	tr, err := launch.ConnectOn(x.advertiseHost(), rank, np, rendezvous)
 	if err != nil {
 		return "", err
@@ -161,7 +167,9 @@ func (x *shardedExecutor) hostRank(ctx context.Context, key string, rank, np int
 	defer tr.Close()
 	res, err := x.local.reg.Run(ctx, key, core.RunOptions{
 		NumTasks: np,
-		Toggles:  toggles,
+		Toggles:  opts.Toggles,
+		Params:   opts.Params,
+		Seed:     opts.Seed,
 		Remote:   &core.RemoteExec{Rank: rank, NP: np, Transport: tr},
 	})
 	return res.Output, err
@@ -187,10 +195,11 @@ func advertiseHost(addr string) string {
 
 // remoteRank asks a member daemon to host one rank via POST /worker and
 // waits for the rank to finish.
-func (x *shardedExecutor) remoteRank(ctx context.Context, node, key string, rank, np int, rendezvous string, toggles map[string]bool) (string, error) {
+func (x *shardedExecutor) remoteRank(ctx context.Context, node, key string, rank, np int, rendezvous string, opts core.RunOptions) (string, error) {
 	wreq := WorkerRequest{
 		Key: key, Rank: rank, NP: np,
-		Rendezvous: rendezvous, Toggles: toggles,
+		Rendezvous: rendezvous, Toggles: opts.Toggles,
+		Params: opts.Params, Seed: opts.Seed,
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		ms := time.Until(dl).Milliseconds()
@@ -246,7 +255,8 @@ func (x *shardedExecutor) hostWorker(ctx context.Context, wreq WorkerRequest) Wo
 		defer cancel()
 	}
 	x.counters.Counter(ctrWorkerRanks).Inc()
-	output, err := x.hostRank(ctx, wreq.Key, wreq.Rank, wreq.NP, wreq.Rendezvous, wreq.Toggles)
+	output, err := x.hostRank(ctx, wreq.Key, wreq.Rank, wreq.NP, wreq.Rendezvous,
+		core.RunOptions{Toggles: wreq.Toggles, Params: wreq.Params, Seed: wreq.Seed})
 	out.Output = output
 	if err != nil {
 		out.Error = err.Error()

@@ -87,19 +87,26 @@ func (d Digest) String() string { return hex.EncodeToString(d[:]) }
 
 // ResultDigest canonicalizes one run configuration into its content
 // address. catalog is the registry fingerprint (core.Registry.Fingerprint),
-// tasks the RESOLVED task count (core.Patternlet.ResolveTasks), and
-// directives the EFFECTIVE states (core.Patternlet.EffectiveDirectives) —
+// tasks the RESOLVED task count (core.Patternlet.ResolveTasks), directives
+// the EFFECTIVE states (core.Patternlet.EffectiveDirectives), and params
+// the EFFECTIVE parameter values (core.Patternlet.EffectiveParams) —
 // resolution before hashing is what makes "tasks":0 and an explicit
-// default count, or an omitted toggle and an explicitly-spelled default,
-// the same cache entry. The preimage is a versioned, newline-framed
-// string, so no field concatenation can collide with another.
-func ResultDigest(catalog, key string, tasks int, directives []core.DirectiveState, seed int64, tcp bool, nodes int) Digest {
+// default count, an omitted toggle and an explicitly-spelled default, or
+// an omitted param and its declared default, the same cache entry. The
+// preimage is a versioned, newline-framed string, so no field
+// concatenation can collide with another; patternlets with no declared
+// params contribute no param lines, so their preimages — and every
+// already-stored digest — are unchanged from before params existed.
+func ResultDigest(catalog, key string, tasks int, directives []core.DirectiveState, params []core.ParamState, seed int64, tcp bool, nodes int) Digest {
 	var b strings.Builder
 	b.WriteString("patternlet-run/v1\n")
 	fmt.Fprintf(&b, "catalog=%s\nkey=%s\ntasks=%d\nseed=%d\ntcp=%t\nnodes=%d\n",
 		catalog, key, tasks, seed, tcp, nodes)
 	for _, d := range directives {
 		fmt.Fprintf(&b, "toggle %s=%t\n", d.Name, d.Enabled)
+	}
+	for _, p := range params {
+		fmt.Fprintf(&b, "param %s=%d\n", p.Name, p.Value)
 	}
 	return sha256.Sum256([]byte(b.String()))
 }

@@ -16,7 +16,7 @@ import (
 // dg builds a distinct digest from a label, via the real canonicalizer
 // so tests exercise the same preimage shape the serving layer uses.
 func dg(label string) Digest {
-	return ResultDigest("cat0", label, 4, nil, core.DefaultSeed, false, 1)
+	return ResultDigest("cat0", label, 4, nil, nil, core.DefaultSeed, false, 1)
 }
 
 // res builds a distinguishable result payload.
@@ -521,19 +521,21 @@ func TestConcurrentStress(t *testing.T) {
 
 func TestDigestCanonicalization(t *testing.T) {
 	dirs := []core.DirectiveState{{Name: "omp", Enabled: true}, {Name: "verbose", Enabled: false}}
-	a := ResultDigest("cat", "k", 4, dirs, 42, false, 1)
-	b := ResultDigest("cat", "k", 4, dirs, 42, false, 1)
+	a := ResultDigest("cat", "k", 4, dirs, nil, 42, false, 1)
+	b := ResultDigest("cat", "k", 4, dirs, nil, 42, false, 1)
 	if a != b {
 		t.Fatal("identical configurations produced different digests")
 	}
 	variants := []Digest{
-		ResultDigest("cat2", "k", 4, dirs, 42, false, 1), // catalog changed
-		ResultDigest("cat", "k2", 4, dirs, 42, false, 1), // key changed
-		ResultDigest("cat", "k", 8, dirs, 42, false, 1),  // tasks changed
-		ResultDigest("cat", "k", 4, dirs, 43, false, 1),  // seed changed
-		ResultDigest("cat", "k", 4, dirs, 42, true, 1),   // transport changed
-		ResultDigest("cat", "k", 4, dirs, 42, false, 2),  // nodes changed
-		ResultDigest("cat", "k", 4, []core.DirectiveState{{Name: "omp", Enabled: false}, {Name: "verbose", Enabled: false}}, 42, false, 1),
+		ResultDigest("cat2", "k", 4, dirs, nil, 42, false, 1), // catalog changed
+		ResultDigest("cat", "k2", 4, dirs, nil, 42, false, 1), // key changed
+		ResultDigest("cat", "k", 8, dirs, nil, 42, false, 1),  // tasks changed
+		ResultDigest("cat", "k", 4, dirs, nil, 43, false, 1),  // seed changed
+		ResultDigest("cat", "k", 4, dirs, nil, 42, true, 1),   // transport changed
+		ResultDigest("cat", "k", 4, dirs, nil, 42, false, 2),  // nodes changed
+		ResultDigest("cat", "k", 4, []core.DirectiveState{{Name: "omp", Enabled: false}, {Name: "verbose", Enabled: false}}, nil, 42, false, 1),
+		ResultDigest("cat", "k", 4, dirs, []core.ParamState{{Name: "n", Value: 512}}, 42, false, 1),  // params appeared
+		ResultDigest("cat", "k", 4, dirs, []core.ParamState{{Name: "n", Value: 1024}}, 42, false, 1), // param value changed
 	}
 	seen := map[Digest]bool{a: true}
 	for i, v := range variants {
@@ -542,6 +544,14 @@ func TestDigestCanonicalization(t *testing.T) {
 		}
 		seen[v] = true
 	}
+	// Params canonicalization: nil and empty resolve identically, and —
+	// the store's backward-compatibility pin — a param-less preimage is
+	// byte-for-byte what it was before params existed, so every digest
+	// minted by earlier versions still addresses the same record.
+	if ResultDigest("cat", "k", 4, dirs, []core.ParamState{}, 42, false, 1) != a {
+		t.Fatal("empty param set changed the digest")
+	}
+
 	// CRC framing sanity: the table is Castagnoli, not IEEE.
 	if crc32.Checksum([]byte("x"), crcTable) == crc32.ChecksumIEEE([]byte("x")) {
 		t.Fatal("store is framing with the IEEE polynomial")

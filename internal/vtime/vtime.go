@@ -293,3 +293,34 @@ func ReductionChain(t int, combineCost int64) []Task {
 	}
 	return tasks
 }
+
+// WavefrontGrid builds the task DAG of a blocked wavefront computation
+// over an rb × cb grid of blocks (the align package's anti-diagonal
+// sweep): block (r, c) depends on its north, west and northwest
+// neighbours, and blockCost gives each block's work. The DAG's critical
+// path is the block diagonal, so speedup saturates at roughly
+// min(rb, cb) cores — the shape of the alignment assignment's speedup
+// charts.
+func WavefrontGrid(rb, cb int, blockCost func(r, c int) int64) []Task {
+	if rb < 1 || cb < 1 {
+		return nil
+	}
+	tasks := make([]Task, 0, rb*cb)
+	id := func(r, c int) int { return r*cb + c }
+	for r := 0; r < rb; r++ {
+		for c := 0; c < cb; c++ {
+			var deps []int
+			if r > 0 {
+				deps = append(deps, id(r-1, c))
+			}
+			if c > 0 {
+				deps = append(deps, id(r, c-1))
+			}
+			if r > 0 && c > 0 {
+				deps = append(deps, id(r-1, c-1))
+			}
+			tasks = append(tasks, Task{ID: id(r, c), Cost: blockCost(r, c), Deps: deps})
+		}
+	}
+	return tasks
+}

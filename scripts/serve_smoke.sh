@@ -122,6 +122,33 @@ echo "$THIRD" | grep -q '"cached":true' || fail "cache did not survive the resta
 THIRD_OUT=$(echo "$THIRD" | tr ',' '\n' | grep '"output"')
 [ "$FIRST_OUT" = "$THIRD_OUT" ] || fail "post-restart output differs: $THIRD_OUT"
 
+# --- align stage: a parameterized run, then the repeat from the store ---
+
+# The alignment patternlet takes a size parameter; the first request
+# computes the n=2048 banded fill, the repeat with identical params must
+# come back from the store, and a different n must execute fresh.
+ALIGN_BODY='{"key":"align.omp","params":{"n":2048}}'
+ALIGN1=$(curl -fsS -X POST "$BASE/run" -H 'Content-Type: application/json' -d "$ALIGN_BODY")
+echo "$ALIGN1" | grep -q 'align global (Needleman-Wunsch) n=2048' \
+    || fail "align.omp n=2048 output missing summary: $ALIGN1"
+echo "$ALIGN1" | grep -q '"cached":true' && fail "first align run already cached: $ALIGN1"
+ALIGN2=$(curl -fsS -X POST "$BASE/run" -H 'Content-Type: application/json' -d "$ALIGN_BODY")
+echo "$ALIGN2" | grep -q '"cached":true' || fail "repeat align run not served from the store: $ALIGN2"
+ALIGN1_OUT=$(echo "$ALIGN1" | tr ',' '\n' | grep '"output"')
+ALIGN2_OUT=$(echo "$ALIGN2" | tr ',' '\n' | grep '"output"')
+[ "$ALIGN1_OUT" = "$ALIGN2_OUT" ] || fail "cached align output differs: $ALIGN1_OUT vs $ALIGN2_OUT"
+
+# Different params must miss the cache and report the new size.
+ALIGN3=$(curl -fsS -X POST "$BASE/run" -H 'Content-Type: application/json' \
+    -d '{"key":"align.omp","params":{"n":512}}')
+echo "$ALIGN3" | grep -q '"cached":true' && fail "align n=512 wrongly served from the n=2048 entry: $ALIGN3"
+echo "$ALIGN3" | grep -q 'n=512' || fail "align n=512 output missing: $ALIGN3"
+
+# Out-of-range params are rejected at admission.
+ALIGN_BAD_CODE=$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE/run" \
+    -H 'Content-Type: application/json' -d '{"key":"align.omp","params":{"n":4}}')
+[ "$ALIGN_BAD_CODE" = "400" ] || fail "align n=4 (below range) got HTTP $ALIGN_BAD_CODE, want 400"
+
 kill "$SRV_PID"
 wait "$SRV_PID" || fail "store daemon exited non-zero on final SIGTERM"
 SRV_PID=""

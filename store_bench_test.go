@@ -91,7 +91,7 @@ func BenchmarkStoreOps(b *testing.B) {
 	dirs := []core.DirectiveState{{Name: "parallel", Enabled: true}, {Name: "reduction", Enabled: true}}
 	b.Run("digest", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			store.ResultDigest("0123456789abcdef", "reduction2.mpi", 32, dirs, core.DefaultSeed, false, 1)
+			store.ResultDigest("0123456789abcdef", "reduction2.mpi", 32, dirs, nil, core.DefaultSeed, false, 1)
 		}
 	})
 	res := core.Result{Key: "reduction2.mpi", NumTasks: 32, Output: "the answer is 42\n", Elapsed: time.Millisecond}
@@ -103,7 +103,7 @@ func BenchmarkStoreOps(b *testing.B) {
 		defer st.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			d := store.ResultDigest("cat", fmt.Sprintf("k%d", i), 4, nil, 1, false, 1)
+			d := store.ResultDigest("cat", fmt.Sprintf("k%d", i), 4, nil, nil, 1, false, 1)
 			if _, err := st.PutResult(d, "k", res); err != nil {
 				b.Fatal(err)
 			}
@@ -115,7 +115,7 @@ func BenchmarkStoreOps(b *testing.B) {
 			b.Fatal(err)
 		}
 		defer st.Close()
-		d := store.ResultDigest("cat", "k", 4, dirs, 1, false, 1)
+		d := store.ResultDigest("cat", "k", 4, dirs, nil, 1, false, 1)
 		if _, err := st.PutResult(d, "k", res); err != nil {
 			b.Fatal(err)
 		}
@@ -132,13 +132,13 @@ func BenchmarkStoreOps(b *testing.B) {
 			b.Fatal(err)
 		}
 		defer st.Close()
-		d := store.ResultDigest("cat", "k", 4, dirs, 1, false, 1)
+		d := store.ResultDigest("cat", "k", 4, dirs, nil, 1, false, 1)
 		if _, err := st.PutResult(d, "k", res); err != nil {
 			b.Fatal(err)
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			miss := store.ResultDigest("cat", "absent", 4, nil, int64(i), false, 1)
+			miss := store.ResultDigest("cat", "absent", 4, nil, nil, int64(i), false, 1)
 			if _, _, ok := st.GetResult(miss); ok {
 				b.Fatal("phantom hit")
 			}
